@@ -1,0 +1,438 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (regenerating the same rows/series on the simulated reference
+// machine), plus real-hardware microbenchmarks of the delegation runtime
+// and ablation benchmarks for the design choices called out in DESIGN.md.
+//
+// Regenerate everything with:
+//
+//	go test -bench=. -benchmem
+//
+// Individual artefacts: -bench=BenchmarkFigure7, -bench=BenchmarkTable2, …
+package robustconf_test
+
+import (
+	"fmt"
+	"testing"
+
+	"robustconf"
+	"robustconf/internal/config"
+	"robustconf/internal/delegation"
+	"robustconf/internal/harness"
+	"robustconf/internal/ilp"
+	"robustconf/internal/index"
+	"robustconf/internal/index/btree"
+	"robustconf/internal/index/bwtree"
+	"robustconf/internal/index/fptree"
+	"robustconf/internal/index/hashmap"
+	"robustconf/internal/oltp"
+	"robustconf/internal/sim"
+	"robustconf/internal/tpcc"
+	"robustconf/internal/workload"
+)
+
+// --- Paper artefacts (Experiments E1–E13, see DESIGN.md) -----------------
+
+// BenchmarkFigure1 regenerates the teaser figure: FP-Tree at 8 sockets
+// across the three YCSB workloads. Reports Opt. Configured's read-update
+// throughput as the headline metric.
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := harness.Figure1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if y, ok := fig.SeriesNamed("Opt. Configured").YAt(0); ok {
+			b.ReportMetric(y, "opt-RU-MOp/s")
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates the calibrated optimal domain sizes.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t2, err := config.Table2(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(t2[sim.KindFPTree][workload.A.Name]), "fptree-RU-size")
+		b.ReportMetric(float64(t2[sim.KindHashMap][workload.A.Name]), "hashmap-RU-size")
+	}
+}
+
+// BenchmarkFigure6 regenerates throughput for all structures × workloads at
+// the largest system size under the five strategies.
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Figure6(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure7 regenerates the read-update scaling curves (1–8 sockets).
+func BenchmarkFigure7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		figs, err := harness.Figure7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		opt, _ := figs["FP-Tree"].SeriesNamed("Opt. Configured").YAt(384)
+		se, _ := figs["FP-Tree"].SeriesNamed("SE").YAt(384)
+		b.ReportMetric(opt/se, "fptree-opt/se-x")
+	}
+}
+
+// BenchmarkFigure8 regenerates the FP-Tree abort-ratio and L2-miss curves.
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		abort, _, err := harness.Figure8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		y, _ := abort.SeriesNamed("SE").YAt(384)
+		b.ReportMetric(y, "se-abort-ratio")
+	}
+}
+
+// BenchmarkFigure9 regenerates the BW-Tree interconnect-volume curves.
+func BenchmarkFigure9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := harness.Figure9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		se, _ := fig.SeriesNamed("SE").YAt(384)
+		opt, _ := fig.SeriesNamed("Opt. Configured").YAt(384)
+		b.ReportMetric(se/opt, "se/opt-volume-x")
+	}
+}
+
+// BenchmarkFigure10 regenerates the read-only scaling curves.
+func BenchmarkFigure10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Figure10(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure11 regenerates the application-size sweep (16–1024 indexes).
+func BenchmarkFigure11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		figs, err := harness.Figure11()
+		if err != nil {
+			b.Fatal(err)
+		}
+		a, _ := figs["FP-Tree"].SeriesNamed("Opt. Configured").YAt(16)
+		z, _ := figs["FP-Tree"].SeriesNamed("Opt. Configured").YAt(1024)
+		b.ReportMetric(z/a, "opt-stability-x")
+	}
+}
+
+// BenchmarkFigure12 regenerates the TMAM cost breakdown (2 vs 8 sockets).
+func BenchmarkFigure12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.Figure12()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Structure == "FP-Tree" && r.Strategy == "Opt. Configured" && r.Sockets == 8 {
+				b.ReportMetric(r.TMAM.Total()/1000, "opt-fptree-Kcycles/op")
+			}
+		}
+	}
+}
+
+// BenchmarkFigure13Left regenerates TPC-C throughput vs system size.
+func BenchmarkFigure13Left(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		left, _, err := harness.Figure13()
+		if err != nil {
+			b.Fatal(err)
+		}
+		y, _ := left.SeriesNamed("Our OLTP Engine (FP-Tree)").YAt(384)
+		b.ReportMetric(y, "ours-fptree-Ktxn/s")
+	}
+}
+
+// BenchmarkFigure13Right regenerates TPC-C throughput vs remote fraction.
+func BenchmarkFigure13Right(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, right, err := harness.Figure13()
+		if err != nil {
+			b.Fatal(err)
+		}
+		base1, _ := right.SeriesNamed("SN-NUMA OLTP Engine (FP-Tree)").YAt(1)
+		b.ReportMetric(base1, "baseline-1pct-Ktxn/s")
+	}
+}
+
+// --- Real-hardware microbenchmarks (delegation runtime) ------------------
+
+// BenchmarkDelegationInvoke measures one synchronous delegated round trip
+// on this host.
+func BenchmarkDelegationInvoke(b *testing.B) {
+	machine := robustconf.Machine(1)
+	cfg := robustconf.Config{
+		Machine:    machine,
+		Domains:    []robustconf.Domain{{Name: "d", CPUs: robustconf.CPURange(0, 4)}},
+		Assignment: map[string]int{"x": 0},
+	}
+	rt, err := robustconf.Start(cfg, map[string]any{"x": btree.New()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rt.Stop()
+	s, err := rt.NewSession(0, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	task := robustconf.Task{Structure: "x", Op: func(ds any) any { return nil }}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Invoke(task); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationBurstSize sweeps the burst size (the paper fixes 14):
+// larger bursts overlap more pending tasks per client.
+func BenchmarkAblationBurstSize(b *testing.B) {
+	for _, burst := range []int{1, 4, 14} {
+		b.Run(fmt.Sprintf("burst-%d", burst), func(b *testing.B) {
+			machine := robustconf.Machine(1)
+			cfg := robustconf.Config{
+				Machine:    machine,
+				Domains:    []robustconf.Domain{{Name: "d", CPUs: robustconf.CPURange(0, 4)}},
+				Assignment: map[string]int{"x": 0},
+			}
+			tree := btree.New()
+			rt, err := robustconf.Start(cfg, map[string]any{"x": tree})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer rt.Stop()
+			s, err := rt.NewSession(0, burst)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := uint64(i)
+				_, err := s.Submit(robustconf.Task{Structure: "x", Op: func(ds any) any {
+					ds.(*btree.Tree).Insert(k, k, nil)
+					return nil
+				}})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationResponseBatching compares a worker sweep answering 14
+// posted requests at once (FFWD batching) against 14 individual sweeps.
+func BenchmarkAblationResponseBatching(b *testing.B) {
+	for _, batched := range []bool{true, false} {
+		name := "batched"
+		if !batched {
+			name = "one-by-one"
+		}
+		b.Run(name, func(b *testing.B) {
+			buf, err := delegation.NewBuffer(0, 14)
+			if err != nil {
+				b.Fatal(err)
+			}
+			inbox, err := delegation.NewInbox([]*delegation.Buffer{buf})
+			if err != nil {
+				b.Fatal(err)
+			}
+			slots, err := inbox.AcquireSlots(14, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			client, err := delegation.NewClient(slots)
+			if err != nil {
+				b.Fatal(err)
+			}
+			noop := delegation.Task(func() any { return nil })
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if batched {
+					for j := 0; j < 14; j++ {
+						client.Delegate(noop)
+					}
+					buf.Sweep() // one sweep answers all 14
+				} else {
+					for j := 0; j < 14; j++ {
+						client.Delegate(noop)
+						buf.Sweep()
+					}
+				}
+				client.Drain()
+			}
+		})
+	}
+}
+
+// BenchmarkAblationNUMAAwareSlots quantifies (in the cost model) what the
+// NUMA-aware slot assignment of Section 6 saves: without it every delegated
+// message is a worst-case remote transfer.
+func BenchmarkAblationNUMAAwareSlots(b *testing.B) {
+	aware := sim.DefaultParams()
+	naive := aware
+	naive.MsgTransferDiscount = 1.0 // every message fully stalls the worker
+	naive.MsgBytes *= 2             // and both directions cross sockets
+	for i := 0; i < b.N; i++ {
+		run := func(p *sim.Params) float64 {
+			r, err := sim.Run(sim.Scenario{
+				Kind: sim.KindFPTree, Mix: workload.A, Strategy: sim.StratConfigured,
+				Threads: 384, OptDomainSize: 24, Params: p,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return r.ThroughputMOps
+		}
+		b.ReportMetric(run(&aware)/run(&naive), "aware/naive-x")
+	}
+}
+
+// BenchmarkAblationILPvsGreedy compares the exact GAP-MQ solution against
+// the greedy fallback on the paper's OLTP2 instance.
+func BenchmarkAblationILPvsGreedy(b *testing.B) {
+	instances := []ilp.GAPInstance{
+		{Name: "w1", OptimalSize: 24, Load: 1},
+		{Name: "w2", OptimalSize: 24, Load: 1},
+		{Name: "r1", OptimalSize: 48, Load: 1},
+		{Name: "r2", OptimalSize: 48, Load: 1},
+		{Name: "r3", OptimalSize: 48, Load: 1},
+	}
+	b.Run("ilp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := ilp.SolveGAPMQ(instances, 192, 0.5, 1.5, nil, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(res.WorkersUsed()), "workers-used")
+		}
+	})
+	b.Run("greedy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := ilp.GreedyGAPMQ(instances, 192, 1.5)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(res.WorkersUsed()), "workers-used")
+		}
+	})
+}
+
+// --- Real index-structure microbenchmarks --------------------------------
+
+func benchIndex(b *testing.B, idx index.Index) {
+	const preload = 100_000
+	for _, k := range workload.LoadKeys(preload) {
+		idx.Insert(k, k, nil)
+	}
+	gen, err := workload.NewGenerator(workload.A, preload, 0, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op := gen.Next()
+		switch op.Type {
+		case workload.OpRead:
+			idx.Get(op.Key, nil)
+		case workload.OpUpdate:
+			idx.Update(op.Key, op.Val, nil)
+		default:
+			idx.Insert(op.Key, op.Val, nil)
+		}
+	}
+}
+
+// BenchmarkIndexBTree measures the real B-Tree under YCSB-A on this host.
+func BenchmarkIndexBTree(b *testing.B) { benchIndex(b, btree.New()) }
+
+// BenchmarkIndexFPTree measures the real FP-Tree under YCSB-A on this host.
+func BenchmarkIndexFPTree(b *testing.B) { benchIndex(b, fptree.New()) }
+
+// BenchmarkIndexBWTree measures the real BW-Tree under YCSB-A on this host.
+func BenchmarkIndexBWTree(b *testing.B) { benchIndex(b, bwtree.New()) }
+
+// BenchmarkIndexHashMap measures the real Hash Map under YCSB-A on this host.
+func BenchmarkIndexHashMap(b *testing.B) { benchIndex(b, hashmap.New()) }
+
+// --- Real TPC-C execution benchmarks --------------------------------------
+
+func benchTPCC(b *testing.B, delegated bool, fullMix bool) {
+	cfg := tpcc.Config{Warehouses: 2, Customers: 100, Items: 300}
+	newIndex := func() index.Index { return fptree.New() }
+	loader, err := tpcc.NewLoader(cfg, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var store tpcc.Store
+	if delegated {
+		machine := robustconf.Machine(1)
+		engine, err := oltp.NewEngine(cfg, newIndex, machine)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer engine.Stop()
+		s, err := engine.NewStore(0, robustconf.PaperBurstSize)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		store = s
+	} else {
+		engine, err := oltp.NewDirectEngine(cfg, newIndex)
+		if err != nil {
+			b.Fatal(err)
+		}
+		store = engine
+	}
+	if err := loader.Load(store); err != nil {
+		b.Fatal(err)
+	}
+	term, err := tpcc.NewTerminal(cfg, store, 1, 0.05, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if fullMix {
+			err = term.NextFullMix()
+		} else {
+			err = term.NextTransaction()
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTPCCDirectNOP measures real New-Order+Payment transactions on
+// the direct-execution baseline engine on this host.
+func BenchmarkTPCCDirectNOP(b *testing.B) { benchTPCC(b, false, false) }
+
+// BenchmarkTPCCDelegatedNOP measures the same mix through the delegated
+// engine (statements as tasks) on this host.
+func BenchmarkTPCCDelegatedNOP(b *testing.B) { benchTPCC(b, true, false) }
+
+// BenchmarkTPCCDirectFullMix measures the full five-transaction TPC-C mix
+// (extension beyond the paper's 88% subset) on the baseline engine.
+func BenchmarkTPCCDirectFullMix(b *testing.B) { benchTPCC(b, false, true) }
+
+// BenchmarkTPCCDelegatedFullMix measures the full mix on the delegated
+// engine.
+func BenchmarkTPCCDelegatedFullMix(b *testing.B) { benchTPCC(b, true, true) }

@@ -1,0 +1,43 @@
+// Command robustbench reproduces the paper's evaluation figures and tables
+// on the simulated reference machine.
+//
+// Usage:
+//
+//	robustbench                 # run every experiment
+//	robustbench -exp fig7       # one experiment (fig1, table2, fig6..fig13, ablations)
+//	robustbench -exp fig7 -format csv   # machine-readable series for plotting
+//	robustbench -list           # list experiment names
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"robustconf/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment to run (default: all)")
+	format := flag.String("format", "text", "output format: text or csv (figures only)")
+	list := flag.Bool("list", false, "list experiment names")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(harness.Experiments, "\n"))
+		return
+	}
+	var out string
+	var err error
+	if *exp == "" {
+		out, err = harness.RunAll()
+	} else {
+		out, err = harness.RunFormat(*exp, *format)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "robustbench:", err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+}

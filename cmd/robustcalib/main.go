@@ -1,0 +1,46 @@
+// Command robustcalib runs the calibration phase of the configuration
+// process (Section 5.2, step 1): it sweeps virtual-domain sizes for every
+// data structure and workload on the simulated reference machine, prints
+// the throughput curves, and reports the optimal sizes (the paper's
+// Table 2).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"robustconf/internal/config"
+	"robustconf/internal/sim"
+	"robustconf/internal/workload"
+)
+
+func main() {
+	curves := flag.Bool("curves", false, "print the full calibration curves")
+	flag.Parse()
+
+	mixes := []workload.Mix{workload.C, workload.A, workload.D}
+	fmt.Printf("%-10s %14s %14s %14s\n", "Structure", "Read-Only", "Read-Update", "Read-Insert")
+	for _, kind := range []sim.StructureKind{sim.KindBTree, sim.KindFPTree, sim.KindBWTree, sim.KindHashMap} {
+		fmt.Printf("%-10s", kind.Name())
+		var cals []config.Calibration
+		for _, mix := range mixes {
+			cal, err := config.Calibrate(kind, mix, nil, nil)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "robustcalib:", err)
+				os.Exit(1)
+			}
+			cals = append(cals, cal)
+			fmt.Printf(" %14d", cal.OptimalSize)
+		}
+		fmt.Println()
+		if *curves {
+			for i, cal := range cals {
+				fmt.Printf("  %s:\n", mixes[i].Name)
+				for _, p := range cal.Curve {
+					fmt.Printf("    size %4.0f → %8.1f MOp/s\n", p.X, p.Y)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,84 @@
+// Command robustconfig runs the composition step of the configuration
+// process for the paper's example scenarios (Figure 4): OLTP1
+// (homogeneous), OLTP2 (isolated + ILP), and HTAP (shared heterogeneous).
+//
+// Usage:
+//
+//	robustconfig -scenario oltp2 -workers 192
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"robustconf/internal/config"
+	"robustconf/internal/sim"
+	"robustconf/internal/workload"
+)
+
+func scenario(name string) ([]config.Instance, error) {
+	switch name {
+	case "oltp1":
+		// Homogeneous: all indexes write-heavy.
+		return []config.Instance{
+			{Name: "orders-idx", Kind: sim.KindFPTree, Mix: workload.A, Load: 1},
+			{Name: "stock-idx", Kind: sim.KindFPTree, Mix: workload.A, Load: 1},
+			{Name: "customer-idx", Kind: sim.KindFPTree, Mix: workload.A, Load: 1},
+			{Name: "district-idx", Kind: sim.KindFPTree, Mix: workload.A, Load: 1},
+		}, nil
+	case "oltp2":
+		// Mixed OLTP with two crucial indexes isolated (Fig. 4.2).
+		return []config.Instance{
+			{Name: "lock-table", Kind: sim.KindHashMap, Mix: workload.A, Load: 0.5, Crucial: true},
+			{Name: "hot-orders", Kind: sim.KindFPTree, Mix: workload.A, Load: 0.5, Crucial: true},
+			{Name: "write-idx-1", Kind: sim.KindFPTree, Mix: workload.A, Load: 1},
+			{Name: "write-idx-2", Kind: sim.KindFPTree, Mix: workload.A, Load: 1},
+			{Name: "read-idx-1", Kind: sim.KindFPTree, Mix: workload.C, Load: 1},
+			{Name: "read-idx-2", Kind: sim.KindFPTree, Mix: workload.C, Load: 1},
+			{Name: "read-idx-3", Kind: sim.KindFPTree, Mix: workload.C, Load: 1},
+		}, nil
+	case "htap":
+		// Shared heterogeneous: write-heavy, read-update, read-only.
+		return []config.Instance{
+			{Name: "oltp-idx-1", Kind: sim.KindFPTree, Mix: workload.A, Load: 1},
+			{Name: "oltp-idx-2", Kind: sim.KindFPTree, Mix: workload.A, Load: 1, CoLocateWith: "oltp-idx-1"},
+			{Name: "fresh-idx", Kind: sim.KindBWTree, Mix: workload.D, Load: 1},
+			{Name: "olap-idx-1", Kind: sim.KindBTree, Mix: workload.C, Load: 1},
+			{Name: "olap-idx-2", Kind: sim.KindBTree, Mix: workload.C, Load: 1},
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown scenario %q (have oltp1, oltp2, htap)", name)
+	}
+}
+
+func main() {
+	name := flag.String("scenario", "oltp2", "scenario: oltp1, oltp2, htap")
+	workers := flag.Int("workers", 192, "available worker threads")
+	flag.Parse()
+
+	instances, err := scenario(*name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "robustconfig:", err)
+		os.Exit(1)
+	}
+	plan, err := config.Compose(instances, *workers, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "robustconfig:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("scenario %s on %d workers → %s composition, %d domains, %d workers used\n",
+		*name, *workers, plan.Kind, len(plan.Domains), plan.WorkersUsed())
+	for i, d := range plan.Domains {
+		tag := ""
+		if d.Isolated {
+			tag = " [isolated]"
+		}
+		fmt.Printf("  domain %2d: %3d workers%s ← %s\n", i, d.Size, tag, strings.Join(d.Instances, ", "))
+	}
+	fmt.Println("calibrated sizes:")
+	for _, inst := range instances {
+		fmt.Printf("  %-14s %d\n", inst.Name, plan.CalibratedSizes[inst.Name])
+	}
+}

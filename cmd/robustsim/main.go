@@ -1,0 +1,122 @@
+// Command robustsim inspects the simulated reference machine and runs a
+// single simulation point with explicit parameters — a debugging lens into
+// the cost model behind the benchmark harness.
+//
+// Usage:
+//
+//	robustsim -topology
+//	robustsim -kind fptree -mix a -strategy opt -threads 384 -domain 24
+//	robustsim -kind hashmap -mix a -sweep      # strategies × system sizes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"robustconf/internal/sim"
+	"robustconf/internal/topology"
+	"robustconf/internal/workload"
+)
+
+func main() {
+	topo := flag.Bool("topology", false, "print the reference machine topology")
+	sweep := flag.Bool("sweep", false, "print a strategies × system-sizes throughput table")
+	kindName := flag.String("kind", "fptree", "structure: btree, fptree, bwtree, hashmap")
+	mixName := flag.String("mix", "a", "workload: a (read-update), c (read-only), d (read-insert)")
+	stratName := flag.String("strategy", "opt", "strategy: opt, sn-numa, sn-thread, se-numa, se")
+	threads := flag.Int("threads", 384, "system size in threads (48 per socket)")
+	domain := flag.Int("domain", 24, "virtual domain size (opt strategy)")
+	instances := flag.Int("instances", 0, "structure instances (0 = one per domain)")
+	flag.Parse()
+
+	if *topo {
+		m := topology.MC990X()
+		fmt.Println(m)
+		fmt.Println("NUMA latencies (ns) by level:")
+		for l := 0; l < m.NUMALevels(); l++ {
+			fmt.Printf("  level %d: %.0f\n", l, m.LatencyOfLevel(l))
+		}
+		fmt.Println("socket distance matrix:")
+		for i := range m.Sockets {
+			fmt.Print("  ")
+			for j := range m.Sockets {
+				fmt.Printf("%d ", m.Distance(i, j))
+			}
+			fmt.Println()
+		}
+		return
+	}
+
+	kinds := map[string]sim.StructureKind{
+		"btree": sim.KindBTree, "fptree": sim.KindFPTree,
+		"bwtree": sim.KindBWTree, "hashmap": sim.KindHashMap,
+	}
+	kind, ok := kinds[*kindName]
+	if !ok {
+		fatal(fmt.Errorf("unknown kind %q", *kindName))
+	}
+	mixes := map[string]workload.Mix{"a": workload.A, "c": workload.C, "d": workload.D}
+	mix, ok := mixes[*mixName]
+	if !ok {
+		fatal(fmt.Errorf("unknown mix %q", *mixName))
+	}
+	strats := map[string]sim.Strategy{
+		"opt": sim.StratConfigured, "sn-numa": sim.StratSNNUMA,
+		"sn-thread": sim.StratSNThread, "se-numa": sim.StratSENUMA, "se": sim.StratSE,
+	}
+	strat, ok := strats[*stratName]
+	if !ok {
+		fatal(fmt.Errorf("unknown strategy %q", *stratName))
+	}
+
+	if *sweep {
+		fmt.Printf("%s / %s — MOp/s by strategy and system size (opt domain %d)\n", kind.Name(), mix.Name, *domain)
+		fmt.Printf("%-16s", "strategy")
+		sizes := []int{48, 96, 144, 192, 240, 288, 336, 384}
+		for _, th := range sizes {
+			fmt.Printf(" %8d", th)
+		}
+		fmt.Println()
+		for _, st := range sim.AllStrategies {
+			fmt.Printf("%-16s", st.Name())
+			for _, th := range sizes {
+				r, err := sim.Run(sim.Scenario{Kind: kind, Mix: mix, Strategy: st, Threads: th, OptDomainSize: *domain})
+				if err != nil {
+					fatal(err)
+				}
+				fmt.Printf(" %8.1f", r.ThroughputMOps)
+			}
+			fmt.Println()
+		}
+		return
+	}
+
+	r, err := sim.Run(sim.Scenario{
+		Kind: kind, Mix: mix, Strategy: strat,
+		Threads: *threads, OptDomainSize: *domain, Instances: *instances,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s / %s / %s at %d threads\n", kind.Name(), mix.Name, strat.Name(), *threads)
+	fmt.Printf("  layout:        %d domains × %d workers (span level %d), %d instances\n",
+		r.Layout.Domains, r.Layout.DomainSize, r.Layout.SpanLevel, r.Instances)
+	fmt.Printf("  throughput:    %.1f MOp/s%s\n", r.ThroughputMOps, limitedTag(r))
+	fmt.Printf("  per-op cost:   %.0f ns (%s)\n", r.Cost.TotalNs(), r.TMAM.String())
+	fmt.Printf("  L2 misses/op:  %.1f\n", r.L2MissesPerOp)
+	fmt.Printf("  abort ratio:   %.2f (fallback %.4f)\n", r.AbortRatio, r.Cost.FallbackProb)
+	fmt.Printf("  interconnect:  %.0f GB for the full run (%.0f B/op)\n", r.InterconnectGB, r.Cost.CrossBytes)
+}
+
+func limitedTag(r sim.Result) string {
+	if r.BandwidthLimited {
+		return " (bandwidth limited)"
+	}
+	return ""
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "robustsim:", err)
+	os.Exit(1)
+}

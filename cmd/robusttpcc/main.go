@@ -1,0 +1,163 @@
+// Command robusttpcc runs TPC-C New-Order and Payment transactions for real
+// on the light-weight OLTP engine (delegated execution through the runtime)
+// or on the direct-execution shared-nothing baseline, and reports measured
+// throughput. It also prints the simulated Figure 13 point for the same
+// parameters on the reference machine.
+//
+// Usage:
+//
+//	robusttpcc -engine delegated -warehouses 4 -terminals 4 -txns 2000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"robustconf/internal/index"
+	"robustconf/internal/index/bwtree"
+	"robustconf/internal/index/fptree"
+	"robustconf/internal/metrics"
+	"robustconf/internal/oltp"
+	"robustconf/internal/sim"
+	"robustconf/internal/topology"
+	"robustconf/internal/tpcc"
+)
+
+func main() {
+	engine := flag.String("engine", "delegated", "engine: delegated or direct")
+	tree := flag.String("tree", "fptree", "index structure: fptree or bwtree")
+	warehouses := flag.Int("warehouses", 4, "TPC-C warehouses")
+	customers := flag.Int("customers", 300, "customers per district (scaled down)")
+	items := flag.Int("items", 1000, "items (scaled down)")
+	terminals := flag.Int("terminals", 4, "concurrent terminals")
+	txns := flag.Int("txns", 2000, "transactions per terminal")
+	remote := flag.Float64("remote", 0.01, "remote transaction fraction")
+	flag.Parse()
+
+	var newIndex func() index.Index
+	var kind sim.StructureKind
+	switch *tree {
+	case "fptree":
+		newIndex, kind = func() index.Index { return fptree.New() }, sim.KindFPTree
+	case "bwtree":
+		newIndex, kind = func() index.Index { return bwtree.New() }, sim.KindBWTree
+	default:
+		fmt.Fprintln(os.Stderr, "robusttpcc: unknown tree", *tree)
+		os.Exit(1)
+	}
+	cfg := tpcc.Config{Warehouses: *warehouses, Customers: *customers, Items: *items}
+	loader, err := tpcc.NewLoader(cfg, 1)
+	if err != nil {
+		fatal(err)
+	}
+
+	var openStore func(id int) (tpcc.Store, func() error, error)
+	switch *engine {
+	case "direct":
+		e, err := oltp.NewDirectEngine(cfg, newIndex)
+		if err != nil {
+			fatal(err)
+		}
+		if err := loader.Load(e); err != nil {
+			fatal(err)
+		}
+		openStore = func(int) (tpcc.Store, func() error, error) {
+			return e, func() error { return nil }, nil
+		}
+	case "delegated":
+		m, err := topology.Restricted(1)
+		if err != nil {
+			fatal(err)
+		}
+		e, err := oltp.NewEngine(cfg, newIndex, m)
+		if err != nil {
+			fatal(err)
+		}
+		defer e.Stop()
+		boot, err := e.NewStore(0, 14)
+		if err != nil {
+			fatal(err)
+		}
+		if err := loader.Load(boot); err != nil {
+			fatal(err)
+		}
+		if err := boot.Close(); err != nil {
+			fatal(err)
+		}
+		openStore = func(id int) (tpcc.Store, func() error, error) {
+			s, err := e.NewStore(id%m.LogicalCPUs(), 14)
+			if err != nil {
+				return nil, nil, err
+			}
+			return s, s.Close, nil
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "robusttpcc: unknown engine", *engine)
+		os.Exit(1)
+	}
+
+	var done atomic.Uint64
+	var latency metrics.Histogram
+	var wg sync.WaitGroup
+	start := time.Now()
+	errs := make(chan error, *terminals)
+	for g := 0; g < *terminals; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			store, closeStore, err := openStore(g)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer closeStore()
+			term, err := tpcc.NewTerminal(cfg, store, 1+g%cfg.Warehouses, *remote, int64(g+1))
+			if err != nil {
+				errs <- err
+				return
+			}
+			for i := 0; i < *txns; i++ {
+				t0 := time.Now()
+				if err := term.NextTransaction(); err != nil {
+					errs <- err
+					return
+				}
+				latency.Record(uint64(time.Since(t0).Nanoseconds()))
+				done.Add(1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("engine=%s tree=%s warehouses=%d terminals=%d remote=%.0f%%\n",
+		*engine, *tree, *warehouses, *terminals, *remote*100)
+	fmt.Printf("measured: %d txns in %v → %.0f txn/s on this host\n",
+		done.Load(), elapsed.Round(time.Millisecond), float64(done.Load())/elapsed.Seconds())
+	fmt.Printf("txn latency ns: %s\n", latency.String())
+
+	// The corresponding Figure 13 point on the simulated reference machine.
+	engKind := sim.EngineDelegated
+	if *engine == "direct" {
+		engKind = sim.EngineDirectSNNUMA
+	}
+	r, err := sim.RunTPCC(sim.TPCCScenario{
+		Engine: engKind, Kind: kind, Threads: 384, Warehouses: 8, RemoteFrac: *remote,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("simulated reference machine (384 threads, 8 warehouses): %.0f Ktxn/s\n", r.KTxnPerSec)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "robusttpcc:", err)
+	os.Exit(1)
+}

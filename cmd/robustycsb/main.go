@@ -1,0 +1,210 @@
+// Command robustycsb runs YCSB workloads for real on this host, through the
+// runtime under a chosen partitioning strategy — the measurement loop of the
+// paper's Experiment 1 at laptop scale. It reports throughput and the
+// delegation round-trip latency distribution, plus structure-specific
+// counters (HTM aborts, CAS failures, bucket skew).
+//
+// Usage:
+//
+//	robustycsb -structure fptree -mix a -domain 24 -clients 4 -records 100000 -ops 50000
+//	robustycsb -structure hashmap -mix c -domain 1 -trace /tmp/ops.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"robustconf"
+	"robustconf/internal/index"
+	"robustconf/internal/index/btree"
+	"robustconf/internal/index/bwtree"
+	"robustconf/internal/index/fptree"
+	"robustconf/internal/index/hashmap"
+	"robustconf/internal/metrics"
+	"robustconf/internal/workload"
+)
+
+func main() {
+	structure := flag.String("structure", "fptree", "btree, fptree, bwtree, hashmap")
+	mixName := flag.String("mix", "a", "a (read-update), c (read-only), d (read-insert)")
+	domain := flag.Int("domain", 24, "virtual domain size in workers")
+	clients := flag.Int("clients", 4, "client threads")
+	records := flag.Uint64("records", 100_000, "pre-loaded records")
+	ops := flag.Int("ops", 50_000, "operations per client")
+	burst := flag.Int("burst", robustconf.PaperBurstSize, "burst size (outstanding tasks per client)")
+	tracePath := flag.String("trace", "", "optional: write the generated op trace to this file first, then replay it")
+	flag.Parse()
+
+	var idx index.Index
+	switch *structure {
+	case "btree":
+		idx = btree.New()
+	case "fptree":
+		idx = fptree.New()
+	case "bwtree":
+		idx = bwtree.New()
+	case "hashmap":
+		idx = hashmap.New()
+	default:
+		fatal(fmt.Errorf("unknown structure %q", *structure))
+	}
+	mixes := map[string]workload.Mix{"a": workload.A, "c": workload.C, "d": workload.D}
+	mix, ok := mixes[*mixName]
+	if !ok {
+		fatal(fmt.Errorf("unknown mix %q", *mixName))
+	}
+
+	for _, k := range workload.LoadKeys(*records) {
+		idx.Insert(k, k, nil)
+	}
+
+	machine := robustconf.Machine(1)
+	var domains []robustconf.Domain
+	for lo := 0; lo < machine.LogicalCPUs(); lo += *domain {
+		hi := lo + *domain
+		if hi > machine.LogicalCPUs() {
+			hi = machine.LogicalCPUs()
+		}
+		domains = append(domains, robustconf.Domain{
+			Name: fmt.Sprintf("d%d", len(domains)),
+			CPUs: robustconf.CPURange(lo, hi),
+		})
+	}
+	rt, err := robustconf.Start(robustconf.Config{
+		Machine:    machine,
+		Domains:    domains,
+		Assignment: map[string]int{"ycsb": 0},
+	}, map[string]any{"ycsb": idx})
+	if err != nil {
+		fatal(err)
+	}
+	defer rt.Stop()
+
+	// Optional trace: generate once, replay identically (the paper's
+	// methodology for comparing strategies on the same operation stream).
+	streams := make([][]workload.Op, *clients)
+	for c := 0; c < *clients; c++ {
+		gen, err := workload.NewGenerator(mix, *records, uint64(c), int64(c)+1)
+		if err != nil {
+			fatal(err)
+		}
+		if *tracePath != "" {
+			path := fmt.Sprintf("%s.%d", *tracePath, c)
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := workload.WriteTrace(f, gen, *ops); err != nil {
+				fatal(err)
+			}
+			f.Close()
+			rf, err := os.Open(path)
+			if err != nil {
+				fatal(err)
+			}
+			tr, err := workload.NewTraceReader(rf)
+			if err != nil {
+				fatal(err)
+			}
+			for {
+				op, ok := tr.Next()
+				if !ok {
+					break
+				}
+				streams[c] = append(streams[c], op)
+			}
+			rf.Close()
+			if err := tr.Err(); err != nil {
+				fatal(err)
+			}
+		} else {
+			for i := 0; i < *ops; i++ {
+				streams[c] = append(streams[c], gen.Next())
+			}
+		}
+	}
+
+	// The structure's domain has domainSize workers × 15 slots; clamp the
+	// burst so all clients fit (the inbox bounds concurrent clients).
+	effBurst := *burst
+	if cap := domains[0].CPUs.Len() * 15 / *clients; cap < effBurst {
+		effBurst = cap
+		if effBurst < 1 {
+			fatal(fmt.Errorf("domain of %d workers cannot serve %d clients", domains[0].CPUs.Len(), *clients))
+		}
+		fmt.Printf("note: burst clamped to %d (%d clients share a %d-worker domain)\n",
+			effBurst, *clients, domains[0].CPUs.Len())
+	}
+
+	var latency metrics.Histogram
+	var wg sync.WaitGroup
+	start := time.Now()
+	errs := make(chan error, *clients)
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			session, err := rt.NewSession(c%machine.LogicalCPUs(), effBurst)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer session.Close()
+			for _, op := range streams[c] {
+				op := op
+				t0 := time.Now()
+				_, err := session.Invoke(robustconf.Task{Structure: "ycsb", Op: func(ds any) any {
+					tr := ds.(index.Index)
+					switch op.Type {
+					case workload.OpRead:
+						v, _ := tr.Get(op.Key, nil)
+						return v
+					case workload.OpUpdate:
+						return tr.Update(op.Key, op.Val, nil)
+					default:
+						return tr.Insert(op.Key, op.Val, nil)
+					}
+				}})
+				latency.Record(uint64(time.Since(t0).Nanoseconds()))
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	total := float64(*clients * *ops)
+	fmt.Printf("%s / %s: domains of %d workers, %d clients, burst %d\n",
+		idx.Name(), mix.Name, *domain, *clients, effBurst)
+	fmt.Printf("throughput: %.0f ops/s (%d ops in %v)\n",
+		total/elapsed.Seconds(), int(total), elapsed.Round(time.Millisecond))
+	fmt.Printf("latency ns: %s\n", latency.String())
+
+	switch s := idx.(type) {
+	case *fptree.Tree:
+		st := s.HTMStats()
+		fmt.Printf("htm: commits=%d aborts=%d fallbacks=%d abort-ratio=%.4f\n",
+			st.Commits.Load(), st.Aborts.Load(), st.Fallbacks.Load(), st.AbortRatio())
+	case *bwtree.Tree:
+		fmt.Printf("bwtree: cas-failures=%d consolidations=%d\n",
+			s.CASFailures.Load(), s.Consolidations.Load())
+	case *hashmap.Map:
+		fmt.Printf("hashmap: reader-registrations=%d bucket-stddev=%.2f\n",
+			s.ReaderRegistrations(), s.BucketSizeStdDev())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "robustycsb:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,85 @@
+package robustconf_test
+
+import (
+	"fmt"
+
+	"robustconf"
+	"robustconf/internal/index/btree"
+	"robustconf/internal/sim"
+	"robustconf/internal/workload"
+)
+
+// ExampleStart shows the minimal lifecycle: configure two virtual domains,
+// start the runtime, delegate a task, read its future.
+func ExampleStart() {
+	machine := robustconf.Machine(1)
+	cfg := robustconf.Config{
+		Machine: machine,
+		Domains: []robustconf.Domain{
+			{Name: "left", CPUs: robustconf.CPURange(0, 24)},
+			{Name: "right", CPUs: robustconf.CPURange(24, 48)},
+		},
+		Assignment: map[string]int{"kv": 0},
+	}
+	rt, err := robustconf.Start(cfg, map[string]any{"kv": btree.New()})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer rt.Stop()
+
+	session, _ := rt.NewSession(0, robustconf.PaperBurstSize)
+	defer session.Close()
+	res, _ := session.Invoke(robustconf.Task{
+		Structure: "kv",
+		Op: func(ds any) any {
+			t := ds.(*btree.Tree)
+			t.Insert(7, 42, nil)
+			v, _ := t.Get(7, nil)
+			return v
+		},
+	})
+	fmt.Println(res)
+	// Output: 42
+}
+
+// ExampleCompose runs the paper's configuration process: calibration picks
+// each instance's optimal domain size, composition assembles the domains.
+func ExampleCompose() {
+	plan, err := robustconf.Compose([]robustconf.PlanInstance{
+		{Name: "writes", Kind: sim.KindFPTree, Mix: workload.A, Load: 1},
+		{Name: "reads", Kind: sim.KindFPTree, Mix: workload.C, Load: 1},
+	}, 96)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(plan.Kind)
+	fmt.Println("write-heavy domain size:", plan.CalibratedSizes["writes"])
+	fmt.Println("read-only domain size:", plan.CalibratedSizes["reads"])
+	// Output:
+	// heterogeneous
+	// write-heavy domain size: 24
+	// read-only domain size: 48
+}
+
+// ExampleRuntime_Migrate demonstrates online reconfiguration: the structure
+// moves to another domain while the runtime keeps serving.
+func ExampleRuntime_Migrate() {
+	machine := robustconf.Machine(1)
+	rt, _ := robustconf.Start(robustconf.Config{
+		Machine: machine,
+		Domains: []robustconf.Domain{
+			{Name: "day", CPUs: robustconf.CPURange(0, 24)},
+			{Name: "night", CPUs: robustconf.CPURange(24, 48)},
+		},
+		Assignment: map[string]int{"orders": 0},
+	}, map[string]any{"orders": btree.New()})
+	defer rt.Stop()
+
+	before, _ := rt.AssignmentOf("orders")
+	rt.Migrate("orders", 1)
+	after, _ := rt.AssignmentOf("orders")
+	fmt.Println(before, "->", after)
+	// Output: 0 -> 1
+}

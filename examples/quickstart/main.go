@@ -1,0 +1,118 @@
+// Quickstart: partition a machine into virtual domains, assign data
+// structures, and execute asynchronous data-aware tasks through the runtime.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"robustconf"
+	"robustconf/internal/index/btree"
+	"robustconf/internal/index/hashmap"
+)
+
+func main() {
+	// A one-socket machine (24 cores / 48 SMT threads), split into two
+	// virtual domains: half a socket each — a granularity no rigid
+	// NUMA-partitioning scheme offers.
+	machine := robustconf.Machine(1)
+	cfg := robustconf.Config{
+		Machine: machine,
+		Domains: []robustconf.Domain{
+			{Name: "orders-domain", CPUs: robustconf.CPURange(0, 24)},
+			{Name: "sessions-domain", CPUs: robustconf.CPURange(24, 48)},
+		},
+		Assignment: map[string]int{
+			"orders":   0, // B-Tree lives in the first domain
+			"sessions": 1, // hash map in the second
+		},
+	}
+
+	orders := btree.New()
+	sessions := hashmap.New()
+	rt, err := robustconf.Start(cfg, map[string]any{
+		"orders":   orders,
+		"sessions": sessions,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Stop()
+
+	// A session is one client thread's connection; tasks route to the
+	// domain owning their structure and results come back via futures.
+	session, err := rt.NewSession(0, robustconf.PaperBurstSize)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer session.Close()
+
+	// Asynchronous burst: delegate many inserts without waiting.
+	var futures []*robustconf.Future
+	for i := uint64(1); i <= 1000; i++ {
+		i := i
+		f, err := session.Submit(robustconf.Task{
+			Structure: "orders",
+			Op: func(ds any) any {
+				return ds.(*btree.Tree).Insert(i, i*100, nil)
+			},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		futures = append(futures, f)
+	}
+	for _, f := range futures {
+		f.Wait()
+	}
+
+	// Synchronous invocation against the other domain.
+	res, err := session.Invoke(robustconf.Task{
+		Structure: "sessions",
+		Op: func(ds any) any {
+			m := ds.(*hashmap.Map)
+			m.Insert(7, 77, nil)
+			v, _ := m.Get(7, nil)
+			return v
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("orders tree holds %d keys after the burst\n", orders.Len())
+	fmt.Printf("sessions map answered %v through its own domain\n", res)
+
+	// Offline reconfiguration (Section 2.2): drain, then restart with a
+	// different partitioning — the data structures are untouched.
+	rt2, err := rt.Reconfigure(robustconf.Config{
+		Machine: machine,
+		Domains: []robustconf.Domain{
+			{Name: "everything", CPUs: robustconf.CPURange(0, 48)},
+		},
+		Assignment: map[string]int{"orders": 0, "sessions": 0},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rt2.Stop()
+
+	s2, err := rt2.NewSession(0, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s2.Close()
+	v, err := s2.Invoke(robustconf.Task{
+		Structure: "orders",
+		Op: func(ds any) any {
+			v, _ := ds.(*btree.Tree).Get(500, nil)
+			return v
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after reconfiguration, key 500 still maps to %v\n", v)
+}

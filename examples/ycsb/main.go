@@ -1,0 +1,142 @@
+// YCSB example: run the paper's three workloads (Read-Update, Read-Insert,
+// Read-Only) against an FP-Tree through the runtime, reconfiguring the
+// virtual domains between workloads to each one's calibrated optimal size —
+// robust performance by configuration, on real hardware.
+//
+//	go run ./examples/ycsb
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"robustconf"
+	"robustconf/internal/index"
+	"robustconf/internal/index/fptree"
+	"robustconf/internal/workload"
+)
+
+const (
+	records      = 50_000
+	opsPerClient = 20_000
+	clients      = 4
+)
+
+func main() {
+	machine := robustconf.Machine(1)
+	tree := fptree.New()
+	for _, k := range workload.LoadKeys(records) {
+		tree.Insert(k, k, nil)
+	}
+
+	// The calibrated domain sizes from the paper's Table 2 (FP-Tree):
+	// read-update and read-insert want half a socket, read-only a full
+	// socket. We reconfigure between workloads instead of redesigning
+	// the structure.
+	phases := []struct {
+		mix        workload.Mix
+		domainSize int
+	}{
+		{workload.A, 24},
+		{workload.D, 24},
+		{workload.C, 48},
+	}
+
+	var rt *robustconf.Runtime
+	for _, phase := range phases {
+		cfg := configFor(machine, phase.domainSize)
+		var err error
+		if rt == nil {
+			rt, err = robustconf.Start(cfg, map[string]any{"ycsb": tree})
+		} else {
+			rt, err = rt.Reconfigure(cfg) // offline reconfiguration
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		start := time.Now()
+		var wg sync.WaitGroup
+		errs := make(chan error, clients)
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				errs <- runClient(rt, phase.mix, c)
+			}(c)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		elapsed := time.Since(start)
+		total := float64(clients * opsPerClient)
+		fmt.Printf("%-18s domains of %2d workers: %8.0f ops/s (HTM aborts: %d, fallbacks: %d)\n",
+			phase.mix.Name, phase.domainSize, total/elapsed.Seconds(),
+			tree.HTMStats().Aborts.Load(), tree.HTMStats().Fallbacks.Load())
+	}
+	rt.Stop()
+	fmt.Printf("tree finished with %d keys\n", tree.Len())
+}
+
+// configFor partitions the machine into domains of the given size; the tree
+// lives in the first (the rest would host other structures in a real
+// deployment).
+func configFor(machine *robustconf.Topology, size int) robustconf.Config {
+	var domains []robustconf.Domain
+	for lo := 0; lo < machine.LogicalCPUs(); lo += size {
+		hi := lo + size
+		if hi > machine.LogicalCPUs() {
+			hi = machine.LogicalCPUs()
+		}
+		domains = append(domains, robustconf.Domain{
+			Name: fmt.Sprintf("d%d", len(domains)),
+			CPUs: robustconf.CPURange(lo, hi),
+		})
+	}
+	return robustconf.Config{
+		Machine:    machine,
+		Domains:    domains,
+		Assignment: map[string]int{"ycsb": 0},
+	}
+}
+
+// runClient drives one client session through the generator's stream.
+func runClient(rt *robustconf.Runtime, mix workload.Mix, id int) error {
+	gen, err := workload.NewGenerator(mix, records, uint64(id), int64(id)+1)
+	if err != nil {
+		return err
+	}
+	session, err := rt.NewSession(id, robustconf.PaperBurstSize)
+	if err != nil {
+		return err
+	}
+	defer session.Close()
+	for i := 0; i < opsPerClient; i++ {
+		op := gen.Next()
+		_, err := session.Submit(robustconf.Task{
+			Structure: "ycsb",
+			Op: func(ds any) any {
+				tr := ds.(index.Index)
+				switch op.Type {
+				case workload.OpRead:
+					v, _ := tr.Get(op.Key, nil)
+					return v
+				case workload.OpUpdate:
+					return tr.Update(op.Key, op.Val, nil)
+				default:
+					return tr.Insert(op.Key, op.Val, nil)
+				}
+			},
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module robustconf
+
+go 1.22

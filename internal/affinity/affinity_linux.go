@@ -1,0 +1,44 @@
+//go:build linux
+
+// Package affinity pins the calling OS thread to a CPU — the mechanism that
+// turns a virtual domain's PlacePinned policy into a real scheduling
+// constraint on Linux hosts (Section 5.1: "a worker thread placement policy
+// … strict pinning to cores"). On other platforms Pin is a no-op.
+package affinity
+
+import (
+	"fmt"
+	"runtime"
+	"syscall"
+	"unsafe"
+)
+
+// cpuSet is a minimal cpu_set_t: 1024 bits.
+type cpuSet [16]uint64
+
+func (s *cpuSet) set(cpu int) {
+	if cpu >= 0 && cpu < 1024 {
+		s[cpu/64] |= 1 << uint(cpu%64)
+	}
+}
+
+// Pin locks the calling goroutine to its OS thread and restricts that
+// thread to the given host CPU. Returns an unpin function that releases the
+// thread lock (the affinity mask persists for the thread's lifetime, which
+// is fine: the worker owns it).
+func Pin(cpu int) (unpin func(), err error) {
+	if cpu < 0 || cpu >= 1024 {
+		return nil, fmt.Errorf("affinity: cpu %d out of range", cpu)
+	}
+	runtime.LockOSThread()
+	var set cpuSet
+	set.set(cpu)
+	// sched_setaffinity(0 /* this thread */, sizeof(set), &set)
+	_, _, errno := syscall.RawSyscall(syscall.SYS_SCHED_SETAFFINITY,
+		0, uintptr(unsafe.Sizeof(set)), uintptr(unsafe.Pointer(&set)))
+	if errno != 0 {
+		runtime.UnlockOSThread()
+		return nil, fmt.Errorf("affinity: sched_setaffinity(%d): %v", cpu, errno)
+	}
+	return runtime.UnlockOSThread, nil
+}

@@ -1,0 +1,9 @@
+//go:build !linux
+
+package affinity
+
+// Pin is a no-op off Linux: worker placement degrades to the Go scheduler,
+// which matches the PlaceMigratable policy.
+func Pin(cpu int) (unpin func(), err error) {
+	return func() {}, nil
+}

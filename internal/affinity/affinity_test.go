@@ -1,0 +1,45 @@
+package affinity
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestPinAndCurrent(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("pinning is Linux-only")
+	}
+	unpin, err := Pin(0)
+	if err != nil {
+		t.Fatalf("Pin(0): %v", err)
+	}
+	defer unpin()
+	if cur := Current(); cur != 0 && cur != -1 {
+		t.Errorf("Current() = %d after pinning to 0", cur)
+	}
+}
+
+func TestPinValidation(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("pinning is Linux-only")
+	}
+	if _, err := Pin(-1); err == nil {
+		t.Error("negative cpu accepted")
+	}
+	if _, err := Pin(2048); err == nil {
+		t.Error("out-of-range cpu accepted")
+	}
+}
+
+func TestPinOfflineCPUFails(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("pinning is Linux-only")
+	}
+	// CPU 1023 is almost certainly not present; sched_setaffinity with an
+	// empty effective mask must fail rather than wedge the thread.
+	if _, err := Pin(1023); err == nil {
+		if runtime.NumCPU() < 1024 {
+			t.Error("pinning to a non-existent CPU should fail")
+		}
+	}
+}

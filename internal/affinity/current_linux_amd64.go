@@ -1,0 +1,24 @@
+//go:build linux && amd64
+
+package affinity
+
+import (
+	"syscall"
+	"unsafe"
+)
+
+// sysGetcpu is the x86-64 getcpu syscall number; the syscall package does
+// not export it.
+const sysGetcpu = 309
+
+// Current returns the CPU the calling thread is running on, or -1 when the
+// getcpu syscall fails.
+func Current() int {
+	var c, n uint32
+	_, _, errno := syscall.RawSyscall(sysGetcpu,
+		uintptr(unsafe.Pointer(&c)), uintptr(unsafe.Pointer(&n)), 0)
+	if errno != 0 {
+		return -1
+	}
+	return int(c)
+}

@@ -1,0 +1,6 @@
+//go:build !(linux && amd64)
+
+package affinity
+
+// Current is unknown on this platform.
+func Current() int { return -1 }

@@ -1,0 +1,409 @@
+// Package config implements the paper's configuration process (Section 5.2,
+// Figure 4): calibrating the optimal virtual-domain size of each data
+// structure instance under its workload, then composing the calibrated
+// sizes into a single configuration — homogeneous when one size fits all,
+// isolated for crucial instances, and shared heterogeneous via the GAP-MQ
+// integer linear program otherwise — and finally materialising the plan as
+// a runtime configuration over a concrete machine.
+package config
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"robustconf/internal/core"
+	"robustconf/internal/ilp"
+	"robustconf/internal/metrics"
+	"robustconf/internal/sim"
+	"robustconf/internal/topology"
+	"robustconf/internal/workload"
+)
+
+// DefaultSizes is the calibration sweep grid: thread-sized, half-socket,
+// socket, and socket multiples of the reference machine — the granularities
+// the paper's experiments use (Table 2 reports 1, 24 and 48).
+var DefaultSizes = []int{1, 24, 48, 96, 192, 384}
+
+// SlopeTolerance treats a throughput dip of up to 3% as measurement noise:
+// calibration keeps growing the domain while throughput stays within this
+// tolerance of the best seen, preferring larger domains as the ILP's
+// objective does, and stops at the first clearly negative slope.
+const SlopeTolerance = 0.03
+
+// MeasureFunc measures the whole-machine throughput (MOp/s) of running the
+// mix over the structure partitioned into domains of the given size. The
+// default implementation simulates the reference machine; tests can inject
+// synthetic curves.
+type MeasureFunc func(kind sim.StructureKind, mix workload.Mix, size int) (float64, error)
+
+// SimMeasure measures via the machine simulator at the full system size.
+func SimMeasure(kind sim.StructureKind, mix workload.Mix, size int) (float64, error) {
+	r, err := sim.Run(sim.Scenario{
+		Kind:          kind,
+		Mix:           mix,
+		Strategy:      sim.StratConfigured,
+		Threads:       384,
+		OptDomainSize: size,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return r.ThroughputMOps, nil
+}
+
+// Calibration is the result of calibrating one (structure, workload) pair.
+type Calibration struct {
+	Kind        sim.StructureKind
+	Mix         workload.Mix
+	OptimalSize int
+	// Curve is the measured throughput at each swept size (Fig. 4 step 1).
+	Curve []metrics.Point
+}
+
+// Calibrate sweeps the sizes (ascending) and picks the optimal domain size:
+// the largest size whose throughput is within SlopeTolerance of the best
+// observed before the slope turns clearly negative.
+func Calibrate(kind sim.StructureKind, mix workload.Mix, sizes []int, measure MeasureFunc) (Calibration, error) {
+	if len(sizes) == 0 {
+		sizes = DefaultSizes
+	}
+	if measure == nil {
+		measure = SimMeasure
+	}
+	sorted := append([]int(nil), sizes...)
+	sort.Ints(sorted)
+	cal := Calibration{Kind: kind, Mix: mix}
+	best := 0.0
+	bestSize := 0
+	for _, s := range sorted {
+		thr, err := measure(kind, mix, s)
+		if err != nil {
+			return Calibration{}, fmt.Errorf("config: calibrating %s/%s at size %d: %w", kind.Name(), mix.Name, s, err)
+		}
+		cal.Curve = append(cal.Curve, metrics.Point{X: float64(s), Y: thr})
+		switch {
+		case thr > best:
+			best, bestSize = thr, s
+		case thr >= best*(1-SlopeTolerance):
+			bestSize = s // flat within noise: prefer the larger domain
+		default:
+			// Clearly negative slope: stop growing (Fig. 4 step 1).
+			cal.OptimalSize = bestSize
+			return cal, nil
+		}
+	}
+	cal.OptimalSize = bestSize
+	return cal, nil
+}
+
+// Table2 calibrates every structure under the three YCSB workloads,
+// reproducing the paper's Table 2.
+func Table2(measure MeasureFunc) (map[sim.StructureKind]map[string]int, error) {
+	out := map[sim.StructureKind]map[string]int{}
+	for _, kind := range sim.AllKinds {
+		out[kind] = map[string]int{}
+		for _, mix := range []workload.Mix{workload.C, workload.A, workload.D} {
+			cal, err := Calibrate(kind, mix, nil, measure)
+			if err != nil {
+				return nil, err
+			}
+			out[kind][mix.Name] = cal.OptimalSize
+		}
+	}
+	return out, nil
+}
+
+// Instance is one data structure instance entering composition.
+type Instance struct {
+	Name string
+	Kind sim.StructureKind
+	Mix  workload.Mix
+	// Load is the abstract expected load l_i of Equation 6; uniform loads
+	// are fine for symmetric workloads.
+	Load float64
+	// Crucial marks instances needing predictable performance (e.g. a
+	// lock table); they are isolated into dedicated domains (Fig. 4.2).
+	Crucial bool
+	// CoLocateWith optionally names another instance that must share this
+	// instance's domain (e.g. a table's secondary index).
+	CoLocateWith string
+}
+
+// PlanDomain is one virtual domain of a composed plan.
+type PlanDomain struct {
+	Size      int
+	Instances []string
+	Isolated  bool
+}
+
+// Plan is a composed configuration before machine materialisation.
+type Plan struct {
+	Domains []PlanDomain
+	// Kind records which composition case applied: "homogeneous",
+	// "isolated+homogeneous", "heterogeneous", ...
+	Kind string
+	// CalibratedSizes records each instance's calibrated optimal size.
+	CalibratedSizes map[string]int
+}
+
+// String renders the plan in the robustconfig tool's format.
+func (p *Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s composition, %d domains, %d workers\n", p.Kind, len(p.Domains), p.WorkersUsed())
+	for i, d := range p.Domains {
+		tag := ""
+		if d.Isolated {
+			tag = " [isolated]"
+		}
+		fmt.Fprintf(&b, "  domain %2d: %3d workers%s ← %s\n", i, d.Size, tag, strings.Join(d.Instances, ", "))
+	}
+	return b.String()
+}
+
+// WorkersUsed sums the plan's domain sizes.
+func (p *Plan) WorkersUsed() int {
+	n := 0
+	for _, d := range p.Domains {
+		n += d.Size
+	}
+	return n
+}
+
+// DomainOf returns the index of the domain holding the named instance.
+func (p *Plan) DomainOf(name string) (int, error) {
+	for i, d := range p.Domains {
+		for _, inst := range d.Instances {
+			if inst == name {
+				return i, nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("config: instance %q not in plan", name)
+}
+
+// Compose runs the composition step of Figure 4 over the instances for a
+// machine with `workers` worker threads. Calibration is performed per
+// (kind, mix) pair through measure (nil → simulator).
+func Compose(instances []Instance, workers int, measure MeasureFunc) (*Plan, error) {
+	if len(instances) == 0 {
+		return nil, fmt.Errorf("config: no instances to compose")
+	}
+	if workers < 1 {
+		return nil, fmt.Errorf("config: no workers")
+	}
+	names := map[string]int{}
+	for i, inst := range instances {
+		if inst.Name == "" {
+			return nil, fmt.Errorf("config: instance %d has no name", i)
+		}
+		if _, dup := names[inst.Name]; dup {
+			return nil, fmt.Errorf("config: duplicate instance %q", inst.Name)
+		}
+		names[inst.Name] = i
+	}
+
+	plan := &Plan{CalibratedSizes: map[string]int{}}
+
+	// Step 1+2: calibrated optimal size per instance.
+	calCache := map[string]int{}
+	for _, inst := range instances {
+		key := fmt.Sprintf("%d/%s", inst.Kind, inst.Mix.Name)
+		size, ok := calCache[key]
+		if !ok {
+			cal, err := Calibrate(inst.Kind, inst.Mix, nil, measure)
+			if err != nil {
+				return nil, err
+			}
+			size = cal.OptimalSize
+			calCache[key] = size
+		}
+		if size > workers {
+			size = workers
+		}
+		plan.CalibratedSizes[inst.Name] = size
+	}
+
+	// Step 3a: isolate crucial instances first (Fig. 4.2) — each gets a
+	// dedicated domain of its calibrated size.
+	remaining := workers
+	var shared []Instance
+	for _, inst := range instances {
+		if !inst.Crucial {
+			shared = append(shared, inst)
+			continue
+		}
+		size := plan.CalibratedSizes[inst.Name]
+		if size > remaining {
+			return nil, fmt.Errorf("config: not enough workers to isolate %q (needs %d, %d left)", inst.Name, size, remaining)
+		}
+		plan.Domains = append(plan.Domains, PlanDomain{Size: size, Instances: []string{inst.Name}, Isolated: true})
+		remaining -= size
+	}
+	isolated := len(plan.Domains) > 0
+
+	if len(shared) == 0 {
+		plan.Kind = "isolated"
+		return plan, nil
+	}
+	if remaining == 0 {
+		return nil, fmt.Errorf("config: isolation consumed all workers, none left for %d shared instances", len(shared))
+	}
+
+	// Step 3b: homogeneous or heterogeneous composition of the rest.
+	sizes := map[int]struct{}{}
+	for _, inst := range shared {
+		sizes[plan.CalibratedSizes[inst.Name]] = struct{}{}
+	}
+	if len(sizes) == 1 {
+		if err := composeHomogeneous(plan, shared, remaining); err != nil {
+			return nil, err
+		}
+		plan.Kind = "homogeneous"
+	} else {
+		if err := composeHeterogeneous(plan, shared, remaining, names); err != nil {
+			return nil, err
+		}
+		plan.Kind = "heterogeneous"
+	}
+	if isolated {
+		plan.Kind = "isolated+" + plan.Kind
+	}
+	return plan, nil
+}
+
+// composeHomogeneous fills the workers with domains of the single calibrated
+// size and spreads the instances round-robin (load balancing, Fig. 4.1).
+func composeHomogeneous(plan *Plan, shared []Instance, workers int) error {
+	size := plan.CalibratedSizes[shared[0].Name]
+	n := workers / size
+	if n == 0 {
+		n = 1
+		size = workers
+	}
+	if n > len(shared) {
+		n = len(shared) // a domain without instances is pointless
+	}
+	start := len(plan.Domains)
+	for i := 0; i < n; i++ {
+		plan.Domains = append(plan.Domains, PlanDomain{Size: size})
+	}
+	// Honour co-location by assigning pairs together.
+	assigned := map[string]int{}
+	next := 0
+	for _, inst := range shared {
+		var d int
+		if inst.CoLocateWith != "" {
+			if prev, ok := assigned[inst.CoLocateWith]; ok {
+				d = prev
+			} else {
+				d = start + next%n
+				next++
+			}
+		} else {
+			d = start + next%n
+			next++
+		}
+		plan.Domains[d].Instances = append(plan.Domains[d].Instances, inst.Name)
+		assigned[inst.Name] = d
+	}
+	return nil
+}
+
+// composeHeterogeneous solves the GAP-MQ ILP (Equations 1–7) for mixed
+// calibrated sizes; beyond exact reach it falls back to the greedy
+// first-fit composition.
+func composeHeterogeneous(plan *Plan, shared []Instance, workers int, names map[string]int) error {
+	gap := make([]ilp.GAPInstance, len(shared))
+	totalLoad := 0.0
+	for i, inst := range shared {
+		load := inst.Load
+		if load <= 0 {
+			load = 1
+		}
+		size := plan.CalibratedSizes[inst.Name]
+		if size > workers {
+			// Isolation may have shrunk the shared pool below the
+			// calibrated optimum; a smaller domain only lowers worst-case
+			// contention (Section 5.2), so clamping is safe.
+			size = workers
+		}
+		gap[i] = ilp.GAPInstance{Name: inst.Name, OptimalSize: size, Load: load}
+		totalLoad += load
+	}
+	var coLocate [][2]int
+	sharedIdx := map[string]int{}
+	for i, inst := range shared {
+		sharedIdx[inst.Name] = i
+	}
+	for i, inst := range shared {
+		if inst.CoLocateWith == "" {
+			continue
+		}
+		j, ok := sharedIdx[inst.CoLocateWith]
+		if !ok {
+			return fmt.Errorf("config: %q co-locates with unknown or isolated instance %q", inst.Name, inst.CoLocateWith)
+		}
+		coLocate = append(coLocate, [2]int{i, j})
+	}
+	// Load window: balanced within a factor of ~2 around the mean domain
+	// load, assuming roughly one domain per distinct size per instance.
+	maxLoad := totalLoad // permissive upper bound; Eq. 2 still forces ≥ 1
+	minLoad := 0.0
+	var res *ilp.GAPResult
+	var err error
+	const exactLimit = 12
+	if len(shared) <= exactLimit {
+		res, err = ilp.SolveGAPMQ(gap, workers, minLoad, maxLoad, coLocate, 0)
+	} else {
+		res, err = ilp.GreedyGAPMQ(gap, workers, totalLoad/float64(len(shared))*4)
+	}
+	if err != nil {
+		return err
+	}
+	start := len(plan.Domains)
+	for _, size := range res.DomainSizes {
+		plan.Domains = append(plan.Domains, PlanDomain{Size: size})
+	}
+	for i, d := range res.Assignment {
+		plan.Domains[start+d].Instances = append(plan.Domains[start+d].Instances, shared[i].Name)
+	}
+	return nil
+}
+
+// Materialise turns a plan into a runnable core.Config on the machine,
+// carving socket-major CPU sets for each domain in plan order.
+func Materialise(plan *Plan, m *topology.Machine) (core.Config, error) {
+	need := plan.WorkersUsed()
+	if need > m.LogicalCPUs() {
+		return core.Config{}, fmt.Errorf("config: plan needs %d CPUs, machine has %d", need, m.LogicalCPUs())
+	}
+	// Socket-major CPU order, mirroring topology.PartitionEven.
+	var order []int
+	for _, sk := range m.Sockets {
+		order = append(order, m.CPUsOfSocket(sk.ID)...)
+	}
+	cfg := core.Config{Machine: m, Assignment: map[string]int{}}
+	cursor := 0
+	for i, d := range plan.Domains {
+		cpus := topology.NewCPUSet(order[cursor : cursor+d.Size]...)
+		cursor += d.Size
+		name := fmt.Sprintf("domain-%d", i)
+		if d.Isolated {
+			name = fmt.Sprintf("isolated-%d", i)
+		}
+		cfg.Domains = append(cfg.Domains, core.DomainSpec{
+			Name:      name,
+			CPUs:      cpus,
+			Placement: core.PlacePinned,
+			Memory:    core.MemLocal,
+		})
+		for _, inst := range d.Instances {
+			cfg.Assignment[inst] = i
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return core.Config{}, err
+	}
+	return cfg, nil
+}

@@ -1,0 +1,383 @@
+// Package core is the paper's runtime system (Section 3.2 and 6): it
+// executes asynchronous data-aware tasks inside virtual domains according to
+// a configuration. A configuration declares (1) the virtual domains —
+// arbitrary partitions of the machine's logical CPUs with a worker placement
+// and a memory allocation policy — and (2) the assignment of data structure
+// instances to domains. The runtime spawns one worker per domain CPU, each
+// owning an FFWD-style message buffer; the domain's inbox is composed of
+// those buffers; client sessions obtain slot ownership (NUMA-nearest worker
+// first) and delegate tasks, consuming results through futures.
+//
+// Reconfiguration is offline, as in the paper: Runtime.Stop drains all
+// workers, and a new Runtime is started from the next configuration.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"robustconf/internal/affinity"
+	"robustconf/internal/delegation"
+	"robustconf/internal/topology"
+)
+
+// PlacementPolicy controls how a domain's workers relate to its CPUs
+// (Section 5.1: strict pinning vs. allowed migration).
+type PlacementPolicy int
+
+const (
+	// PlacePinned binds worker i to the domain's i-th CPU; the NUMA-aware
+	// slot assignment uses this binding.
+	PlacePinned PlacementPolicy = iota
+	// PlaceMigratable lets workers float over the domain's CPUs; slot
+	// assignment then treats all workers as equidistant.
+	PlaceMigratable
+)
+
+// MemoryPolicy controls where a domain's allocations are homed.
+type MemoryPolicy int
+
+const (
+	// MemLocal homes memory on each worker's own socket.
+	MemLocal MemoryPolicy = iota
+	// MemInterleaved spreads memory across the sockets the domain spans.
+	MemInterleaved
+)
+
+// DomainSpec declares one virtual domain.
+type DomainSpec struct {
+	Name      string
+	CPUs      topology.CPUSet
+	Placement PlacementPolicy
+	Memory    MemoryPolicy
+}
+
+// Config is a full runtime configuration: the machine, its partitioning
+// into virtual domains, and the structure→domain assignment.
+type Config struct {
+	Machine *topology.Machine
+	Domains []DomainSpec
+	// Assignment maps a data structure instance name to the index of the
+	// domain that owns it.
+	Assignment map[string]int
+	// PinWorkers makes PlacePinned domains pin their worker goroutines to
+	// the OS CPUs named by the domain's CPU set (Linux sched_setaffinity;
+	// a no-op elsewhere). Use with a topology.DetectHost machine so the
+	// CPU ids are real host ids. Off by default: simulated topologies'
+	// ids don't correspond to host CPUs.
+	PinWorkers bool
+}
+
+// Validate checks the configuration's internal consistency.
+func (c *Config) Validate() error {
+	if c.Machine == nil {
+		return fmt.Errorf("core: config has no machine")
+	}
+	if len(c.Domains) == 0 {
+		return fmt.Errorf("core: config has no domains")
+	}
+	names := map[string]struct{}{}
+	for i, d := range c.Domains {
+		if d.Name == "" {
+			return fmt.Errorf("core: domain %d has no name", i)
+		}
+		if _, dup := names[d.Name]; dup {
+			return fmt.Errorf("core: duplicate domain name %q", d.Name)
+		}
+		names[d.Name] = struct{}{}
+		if d.CPUs.Len() == 0 {
+			return fmt.Errorf("core: domain %q has no CPUs", d.Name)
+		}
+		for _, id := range d.CPUs.IDs() {
+			if id < 0 || id >= c.Machine.LogicalCPUs() {
+				return fmt.Errorf("core: domain %q uses CPU %d outside machine (%d CPUs)", d.Name, id, c.Machine.LogicalCPUs())
+			}
+		}
+		for j := 0; j < i; j++ {
+			if c.Domains[j].CPUs.Intersects(d.CPUs) {
+				return fmt.Errorf("core: domains %q and %q overlap on CPUs", c.Domains[j].Name, d.Name)
+			}
+		}
+	}
+	for s, di := range c.Assignment {
+		if di < 0 || di >= len(c.Domains) {
+			return fmt.Errorf("core: structure %q assigned to domain %d of %d", s, di, len(c.Domains))
+		}
+	}
+	return nil
+}
+
+// Task is an asynchronous data-aware task (Section 4): it names the data
+// structure instance it targets and carries the access operation. The
+// runtime routes it to the owning domain; Op receives the registered
+// structure and its return value becomes the future's result.
+type Task struct {
+	Structure string
+	Op        func(ds any) any
+}
+
+// Domain is a running virtual domain: its workers, inbox and structures.
+type Domain struct {
+	spec       DomainSpec
+	index      int
+	inbox      *delegation.Inbox
+	workerCPUs []int // CPU of worker i (placement binding)
+	structures map[string]any
+	stop       chan struct{}
+	wg         sync.WaitGroup
+}
+
+// Spec returns the domain's declaration.
+func (d *Domain) Spec() DomainSpec { return d.spec }
+
+// Workers returns the number of worker threads in the domain.
+func (d *Domain) Workers() int { return len(d.workerCPUs) }
+
+// Inbox exposes the composed inbox (for stats).
+func (d *Domain) Inbox() *delegation.Inbox { return d.inbox }
+
+// Runtime executes tasks under one configuration. Construct with Start.
+type Runtime struct {
+	cfg     Config
+	domains []*Domain
+
+	mu      sync.Mutex
+	stopped bool
+}
+
+// Start validates cfg, registers the given data structures, spawns the
+// domain workers and returns the running runtime. Every structure in
+// cfg.Assignment must be present in structures and vice versa.
+func Start(cfg Config, structures map[string]any) (*Runtime, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	for name := range structures {
+		if _, ok := cfg.Assignment[name]; !ok {
+			return nil, fmt.Errorf("core: structure %q has no domain assignment", name)
+		}
+	}
+	for name := range cfg.Assignment {
+		if _, ok := structures[name]; !ok {
+			return nil, fmt.Errorf("core: assignment references unknown structure %q", name)
+		}
+	}
+	rt := &Runtime{cfg: cfg}
+	for i, spec := range cfg.Domains {
+		d := &Domain{
+			spec:       spec,
+			index:      i,
+			structures: map[string]any{},
+			stop:       make(chan struct{}),
+			workerCPUs: spec.CPUs.IDs(),
+		}
+		var bufs []*delegation.Buffer
+		for w := range d.workerCPUs {
+			b, err := delegation.NewBuffer(w, delegation.SlotsPerBuffer)
+			if err != nil {
+				return nil, err
+			}
+			bufs = append(bufs, b)
+		}
+		inbox, err := delegation.NewInbox(bufs)
+		if err != nil {
+			return nil, err
+		}
+		d.inbox = inbox
+		rt.domains = append(rt.domains, d)
+	}
+	for name, di := range cfg.Assignment {
+		rt.domains[di].structures[name] = structures[name]
+	}
+	// Spawn workers after all registration so a task can never observe a
+	// half-registered domain.
+	for _, d := range rt.domains {
+		for wi, b := range d.inbox.Buffers() {
+			d.wg.Add(1)
+			cpu := d.workerCPUs[wi]
+			pin := cfg.PinWorkers && d.spec.Placement == PlacePinned
+			go func(d *Domain, b *delegation.Buffer, cpu int, pin bool) {
+				defer d.wg.Done()
+				if pin {
+					if unpin, err := affinity.Pin(cpu); err == nil {
+						defer unpin()
+					}
+					// A pinning failure (e.g. the CPU is offline) degrades
+					// to migratable placement rather than failing the
+					// domain.
+				}
+				delegation.NewWorker(b).Run(d.stop)
+			}(d, b, cpu, pin)
+		}
+	}
+	return rt, nil
+}
+
+// Config returns the configuration the runtime was started with.
+func (rt *Runtime) Config() Config { return rt.cfg }
+
+// Domains returns the running domains in configuration order.
+func (rt *Runtime) Domains() []*Domain { return rt.domains }
+
+// DomainOf returns the domain owning the named structure. The assignment is
+// read under the runtime lock so it stays consistent with live migrations.
+func (rt *Runtime) DomainOf(structure string) (*Domain, error) {
+	d, _, err := rt.route(structure)
+	return d, err
+}
+
+// route resolves a structure to its current domain and instance atomically
+// with respect to Migrate.
+func (rt *Runtime) route(structure string) (*Domain, any, error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	di, ok := rt.cfg.Assignment[structure]
+	if !ok {
+		return nil, nil, fmt.Errorf("core: unknown structure %q", structure)
+	}
+	d := rt.domains[di]
+	return d, d.structures[structure], nil
+}
+
+// Stop drains and terminates all workers. It is the first half of the
+// paper's offline reconfiguration: after Stop returns, no task is in flight
+// and a new Runtime may be started with a different configuration over the
+// same structures.
+func (rt *Runtime) Stop() {
+	rt.mu.Lock()
+	if rt.stopped {
+		rt.mu.Unlock()
+		return
+	}
+	rt.stopped = true
+	rt.mu.Unlock()
+	for _, d := range rt.domains {
+		close(d.stop)
+	}
+	for _, d := range rt.domains {
+		d.wg.Wait()
+	}
+}
+
+// Reconfigure performs the paper's offline reconfiguration in one step:
+// it stops this runtime (draining all active operations) and starts a new
+// one with the given configuration over the same structure instances.
+func (rt *Runtime) Reconfigure(cfg Config) (*Runtime, error) {
+	rt.mu.Lock()
+	structures := map[string]any{}
+	for _, d := range rt.domains {
+		for name, ds := range d.structures {
+			structures[name] = ds
+		}
+	}
+	rt.mu.Unlock()
+	rt.Stop()
+	return Start(cfg, structures)
+}
+
+// Session is one client thread's connection to the runtime. It lazily
+// acquires slot ownership in each domain it talks to, with up to `burst`
+// outstanding tasks per domain (the paper's bursting mode, burst 14 in all
+// experiments). A Session is not safe for concurrent use — it models a
+// single client thread.
+type Session struct {
+	rt        *Runtime
+	cpu       int
+	burst     int
+	perDomain map[*Domain]*delegation.Client
+}
+
+// NewSession opens a session for a client thread logically running on the
+// given CPU; the CPU determines NUMA-nearest slot assignment. Burst is the
+// maximum number of outstanding tasks per domain.
+func (rt *Runtime) NewSession(cpu, burst int) (*Session, error) {
+	if cpu < 0 || cpu >= rt.cfg.Machine.LogicalCPUs() {
+		return nil, fmt.Errorf("core: session cpu %d outside machine", cpu)
+	}
+	if burst < 1 {
+		return nil, fmt.Errorf("core: burst must be ≥ 1, got %d", burst)
+	}
+	return &Session{rt: rt, cpu: cpu, burst: burst, perDomain: map[*Domain]*delegation.Client{}}, nil
+}
+
+// client returns (creating on first use) the delegation client for domain d.
+func (s *Session) client(d *Domain) (*delegation.Client, error) {
+	if c, ok := s.perDomain[d]; ok {
+		return c, nil
+	}
+	m := s.rt.cfg.Machine
+	mySocket := m.SocketOfCPU(s.cpu)
+	rank := func(worker int) int {
+		if d.spec.Placement == PlaceMigratable {
+			return 0
+		}
+		return m.Distance(mySocket, m.SocketOfCPU(d.workerCPUs[worker]))
+	}
+	slots, err := d.inbox.AcquireSlots(s.burst, rank)
+	if err != nil {
+		return nil, fmt.Errorf("core: domain %q: %w", d.spec.Name, err)
+	}
+	c, err := delegation.NewClient(slots)
+	if err != nil {
+		return nil, err
+	}
+	s.perDomain[d] = c
+	return c, nil
+}
+
+// Submit routes the task to the domain owning its structure and delegates
+// it, returning the future (step 1/2.x of Figure 3).
+func (s *Session) Submit(task Task) (*delegation.Future, error) {
+	d, ds, err := s.rt.route(task.Structure)
+	if err != nil {
+		return nil, err
+	}
+	c, err := s.client(d)
+	if err != nil {
+		return nil, err
+	}
+	op := task.Op
+	return c.Delegate(func() any { return op(ds) }), nil
+}
+
+// Invoke submits the task and waits for its result (synchronous delegation).
+func (s *Session) Invoke(task Task) (any, error) {
+	f, err := s.Submit(task)
+	if err != nil {
+		return nil, err
+	}
+	return f.Wait(), nil
+}
+
+// SubmitBulk delegates several tasks targeting the same structure under a
+// single synchronisation phase (bulk bursting) and returns their results in
+// order.
+func (s *Session) SubmitBulk(structure string, ops []func(ds any) any) ([]any, error) {
+	d, ds, err := s.rt.route(structure)
+	if err != nil {
+		return nil, err
+	}
+	c, err := s.client(d)
+	if err != nil {
+		return nil, err
+	}
+	tasks := make([]delegation.Task, len(ops))
+	for i, op := range ops {
+		op := op
+		tasks[i] = func() any { return op(ds) }
+	}
+	return c.DelegateBulk(tasks), nil
+}
+
+// Close drains all outstanding tasks and returns the session's slots.
+func (s *Session) Close() error {
+	var firstErr error
+	for d, c := range s.perDomain {
+		c.Drain()
+		if err := d.inbox.ReleaseSlots(c.Slots()); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		delete(s.perDomain, d)
+	}
+	return firstErr
+}

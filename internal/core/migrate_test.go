@@ -1,0 +1,149 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"robustconf/internal/index/btree"
+	"robustconf/internal/topology"
+)
+
+func TestMigrateBasic(t *testing.T) {
+	cfg, structures := twoDomainConfig(t)
+	rt, err := Start(cfg, structures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+
+	if di, _ := rt.AssignmentOf("tree"); di != 0 {
+		t.Fatalf("tree starts in domain %d", di)
+	}
+	if err := rt.Migrate("tree", 1); err != nil {
+		t.Fatal(err)
+	}
+	if di, _ := rt.AssignmentOf("tree"); di != 1 {
+		t.Errorf("tree in domain %d after migration", di)
+	}
+	// Self-migration is a no-op.
+	if err := rt.Migrate("tree", 1); err != nil {
+		t.Fatal(err)
+	}
+	// Tasks now execute in the new domain.
+	s, _ := rt.NewSession(0, 2)
+	defer s.Close()
+	if _, err := s.Invoke(Task{Structure: "tree", Op: func(ds any) any {
+		return ds.(*btree.Tree).Insert(1, 1, nil)
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	d1 := rt.Domains()[1]
+	exec := uint64(0)
+	for _, b := range d1.Inbox().Buffers() {
+		exec += b.Executed.Load()
+	}
+	if exec != 1 {
+		t.Errorf("post-migration task executed %d times in new domain, want 1", exec)
+	}
+}
+
+func TestMigrateValidation(t *testing.T) {
+	cfg, structures := twoDomainConfig(t)
+	rt, _ := Start(cfg, structures)
+	if err := rt.Migrate("nope", 1); err == nil {
+		t.Error("unknown structure accepted")
+	}
+	if err := rt.Migrate("tree", 5); err == nil {
+		t.Error("out-of-range domain accepted")
+	}
+	if _, err := rt.AssignmentOf("nope"); err == nil {
+		t.Error("unknown structure accepted by AssignmentOf")
+	}
+	rt.Stop()
+	if err := rt.Migrate("tree", 1); err == nil {
+		t.Error("migration on stopped runtime accepted")
+	}
+}
+
+// TestMigrateUnderLoad migrates a structure back and forth while client
+// sessions hammer it; no task may be lost and every insert must land.
+func TestMigrateUnderLoad(t *testing.T) {
+	m, _ := topology.Restricted(1)
+	cfg := Config{
+		Machine: m,
+		Domains: []DomainSpec{
+			{Name: "a", CPUs: topology.Range(0, 16)},
+			{Name: "b", CPUs: topology.Range(16, 32)},
+			{Name: "c", CPUs: topology.Range(32, 48)},
+		},
+		Assignment: map[string]int{"hot": 0},
+	}
+	tree := btree.New()
+	rt, err := Start(cfg, map[string]any{"hot": tree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+
+	const clients, perClient = 4, 500
+	var inserted atomic.Uint64
+	var wg, migrWG sync.WaitGroup
+	stopMigrate := make(chan struct{})
+
+	// The migrator bounces the structure across all three domains.
+	migrWG.Add(1)
+	go func() {
+		defer migrWG.Done()
+		next := 1
+		for {
+			select {
+			case <-stopMigrate:
+				return
+			default:
+			}
+			if err := rt.Migrate("hot", next); err != nil {
+				t.Error(err)
+				return
+			}
+			next = (next + 1) % 3
+		}
+	}()
+
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			s, err := rt.NewSession(g, 4)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer s.Close()
+			for i := 0; i < perClient; i++ {
+				k := uint64(g*perClient + i)
+				res, err := s.Invoke(Task{Structure: "hot", Op: func(ds any) any {
+					return ds.(*btree.Tree).Insert(k, k, nil)
+				}})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if res == true {
+					inserted.Add(1)
+				}
+			}
+		}(g)
+	}
+	// Stop migrating once all clients are done.
+	wg.Wait()
+	close(stopMigrate)
+	migrWG.Wait()
+
+	if got := inserted.Load(); got != clients*perClient {
+		t.Errorf("inserted = %d, want %d", got, clients*perClient)
+	}
+	if tree.Len() != clients*perClient {
+		t.Errorf("tree holds %d keys, want %d", tree.Len(), clients*perClient)
+	}
+}

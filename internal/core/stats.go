@@ -1,0 +1,69 @@
+package core
+
+import "fmt"
+
+// DomainStats is a point-in-time snapshot of one virtual domain's activity,
+// aggregated over its workers' message buffers.
+type DomainStats struct {
+	Name       string
+	Workers    int
+	Structures int
+	Executed   uint64 // tasks executed
+	Sweeps     uint64 // poll rounds
+	EmptySweep uint64 // poll rounds that found nothing
+	Batched    uint64 // tasks answered in multi-task sweeps
+	Pending    int    // posted, unswept tasks right now
+}
+
+// Occupancy is the fraction of sweeps that found work — a proxy for worker
+// utilisation (low occupancy means the domain is over-provisioned).
+func (s DomainStats) Occupancy() float64 {
+	if s.Sweeps == 0 {
+		return 0
+	}
+	return 1 - float64(s.EmptySweep)/float64(s.Sweeps)
+}
+
+// BatchingRate is the fraction of executed tasks that were answered
+// together with at least one other task in the same sweep — how much of
+// FFWD's response batching the workload actually exploits.
+func (s DomainStats) BatchingRate() float64 {
+	if s.Executed == 0 {
+		return 0
+	}
+	return float64(s.Batched) / float64(s.Executed)
+}
+
+func (s DomainStats) String() string {
+	return fmt.Sprintf("%s: %d workers, %d structures, %d executed, occupancy %.3f, batching %.3f, %d pending",
+		s.Name, s.Workers, s.Structures, s.Executed, s.Occupancy(), s.BatchingRate(), s.Pending)
+}
+
+// Stats snapshots the domain's counters.
+func (d *Domain) Stats() DomainStats {
+	s := DomainStats{
+		Name:    d.spec.Name,
+		Workers: len(d.workerCPUs),
+	}
+	for _, b := range d.inbox.Buffers() {
+		s.Executed += b.Executed.Load()
+		s.Sweeps += b.Sweeps.Load()
+		s.EmptySweep += b.EmptySweep.Load()
+		s.Batched += b.Batched.Load()
+		s.Pending += b.Pending()
+	}
+	return s
+}
+
+// Stats snapshots every domain, in configuration order. The structure
+// counts reflect live migrations.
+func (rt *Runtime) Stats() []DomainStats {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make([]DomainStats, len(rt.domains))
+	for i, d := range rt.domains {
+		out[i] = d.Stats()
+		out[i].Structures = len(d.structures)
+	}
+	return out
+}

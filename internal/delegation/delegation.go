@@ -1,0 +1,418 @@
+// Package delegation implements the paper's in-memory message-passing layer,
+// modelled on fast fly-weight delegation (FFWD, Roghanchi et al. SOSP'17)
+// and extended as Section 6 describes: every worker owns a contiguous
+// message buffer of fixed slots; a virtual domain's inbox is composed of the
+// buffers of its configured workers; clients obtain *ownership* of slots
+// from the inbox (rather than being hard-wired to one worker) and delegate
+// asynchronous tasks through them, receiving results via futures.
+//
+// The FFWD properties carried over:
+//
+//   - each slot is padded to 128 bytes so two slots never share (adjacent)
+//     cache lines and clients never contend with each other;
+//   - a slot has a single state word toggled between "free" and "posted",
+//     written by exactly one client and one worker, so the steady-state
+//     protocol needs no read-modify-write atomics on the critical path
+//     (plain release stores and acquire loads);
+//   - a worker buffer holds up to 15 slots, the batch FFWD answers with a
+//     single response-line write; the worker drains all posted slots of a
+//     buffer in one sweep (response batching).
+//
+// NUMA-aware slot assignment — giving a client slots in the buffer of the
+// worker nearest to it — is the caller's policy: AcquireSlots accepts a
+// preference ranking over workers.
+package delegation
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// SlotsPerBuffer is the FFWD response-batching width: one worker answers up
+// to 15 clients per response line.
+const SlotsPerBuffer = 15
+
+// Task is the unit of delegated work. The worker goroutine executes it and
+// places the returned value into the task's future.
+type Task func() any
+
+// Future is the invocation handle a client holds on a delegated task.
+type Future struct {
+	state atomic.Uint32 // 0 pending, 1 done
+	val   any
+}
+
+// complete publishes the result; called by the worker exactly once.
+func (f *Future) complete(v any) {
+	f.val = v
+	f.state.Store(1)
+}
+
+// Done reports whether the result is available without blocking.
+func (f *Future) Done() bool { return f.state.Load() == 1 }
+
+// Wait spins (yielding to the scheduler) until the result is available.
+func (f *Future) Wait() any {
+	for f.state.Load() == 0 {
+		runtime.Gosched()
+	}
+	return f.val
+}
+
+// TryGet returns the result if available.
+func (f *Future) TryGet() (any, bool) {
+	if f.state.Load() == 1 {
+		return f.val, true
+	}
+	return nil, false
+}
+
+// slot states.
+const (
+	slotFree   uint32 = 0 // owned by client side, ready for a request
+	slotPosted uint32 = 1 // request posted, owned by worker side
+)
+
+// Slot is one message cell in a worker's buffer. Exactly one client owns it
+// at a time (enforced by the inbox) and exactly one worker polls it.
+type Slot struct {
+	_     [128]byte // padding: no false sharing with the previous slot
+	state atomic.Uint32
+	task  Task
+	fut   *Future
+	owner int32 // client id for diagnostics; -1 = unowned
+	buf   *Buffer
+}
+
+// post publishes a task into the slot. The client must own the slot and the
+// slot must be free.
+func (s *Slot) post(t Task, f *Future) {
+	s.task = t
+	s.fut = f
+	s.state.Store(slotPosted) // release: publishes task+fut to the worker
+}
+
+// Buffer is the contiguous message buffer of one worker.
+type Buffer struct {
+	worker int // worker id within the domain (index into the inbox)
+	slots  []Slot
+
+	// Stats, updated by the owning worker only.
+	Executed   atomic.Uint64 // tasks executed
+	Sweeps     atomic.Uint64 // buffer sweeps (poll rounds)
+	EmptySweep atomic.Uint64 // sweeps that found no posted slot
+	Batched    atomic.Uint64 // tasks answered in multi-task sweeps (batching)
+}
+
+// NewBuffer allocates a worker buffer with n slots (n ≤ SlotsPerBuffer).
+func NewBuffer(worker, n int) (*Buffer, error) {
+	if n < 1 || n > SlotsPerBuffer {
+		return nil, fmt.Errorf("delegation: %d slots per buffer out of range [1,%d]", n, SlotsPerBuffer)
+	}
+	b := &Buffer{worker: worker, slots: make([]Slot, n)}
+	for i := range b.slots {
+		b.slots[i].owner = -1
+		b.slots[i].buf = b
+	}
+	return b, nil
+}
+
+// Worker returns the worker id this buffer belongs to.
+func (b *Buffer) Worker() int { return b.worker }
+
+// Pending counts the currently posted, unswept slots (advisory snapshot;
+// the runtime's migration quiesce polls it).
+func (b *Buffer) Pending() int {
+	n := 0
+	for i := range b.slots {
+		if b.slots[i].state.Load() == slotPosted {
+			n++
+		}
+	}
+	return n
+}
+
+// PanicError is delivered through a future when the delegated task
+// panicked. The worker survives: one client's faulty task must not take
+// down a virtual domain that other clients depend on.
+type PanicError struct {
+	Value any // the recovered panic value
+}
+
+// Error implements error.
+func (p PanicError) Error() string {
+	return fmt.Sprintf("delegation: task panicked: %v", p.Value)
+}
+
+// runTask executes a task, converting a panic into a PanicError result.
+func runTask(task Task) (res any) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = PanicError{Value: r}
+		}
+	}()
+	return task()
+}
+
+// Sweep executes all currently posted tasks in the buffer, in slot order,
+// and reports how many it ran. This is the worker's poll body: one pass over
+// the buffer detects posted toggles and answers them as a batch. A panicking
+// task yields a PanicError result instead of killing the worker.
+func (b *Buffer) Sweep() int {
+	n := 0
+	for i := range b.slots {
+		s := &b.slots[i]
+		if s.state.Load() != slotPosted { // acquire: sees task+fut when posted
+			continue
+		}
+		task, fut := s.task, s.fut
+		s.task, s.fut = nil, nil
+		fut.complete(runTask(task))
+		s.state.Store(slotFree) // release the slot back to its client
+		n++
+	}
+	b.Sweeps.Add(1)
+	if n == 0 {
+		b.EmptySweep.Add(1)
+	} else {
+		b.Executed.Add(uint64(n))
+		if n > 1 {
+			b.Batched.Add(uint64(n))
+		}
+	}
+	return n
+}
+
+// Inbox composes the message buffers of a domain's workers and hands slot
+// ownership to clients. Acquisition and release are off the critical path
+// and guarded by a mutex; posting and polling are lock-free.
+type Inbox struct {
+	buffers []*Buffer
+
+	mu        sync.Mutex
+	nextOwner int32
+	freeCount int
+}
+
+// ErrNoSlots is returned when the inbox cannot satisfy a slot acquisition:
+// the configured workers bound the number of concurrently served clients.
+var ErrNoSlots = errors.New("delegation: inbox has no free slots")
+
+// NewInbox builds an inbox over the given worker buffers.
+func NewInbox(buffers []*Buffer) (*Inbox, error) {
+	if len(buffers) == 0 {
+		return nil, fmt.Errorf("delegation: inbox needs at least one buffer")
+	}
+	in := &Inbox{buffers: buffers}
+	for _, b := range buffers {
+		in.freeCount += len(b.slots)
+	}
+	return in, nil
+}
+
+// Buffers returns the composed worker buffers.
+func (in *Inbox) Buffers() []*Buffer { return in.buffers }
+
+// FreeSlots returns the number of currently unowned slots.
+func (in *Inbox) FreeSlots() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.freeCount
+}
+
+// AcquireSlots grants ownership of n slots to a new client. The optional
+// rank function orders workers by preference (lower is better) — the runtime
+// passes NUMA distance from the client's CPU to each worker's CPU, so slots
+// come from the nearest worker's buffer first (Section 6's locality-aware
+// slot assignment). Slots may span several buffers when the preferred one
+// is exhausted.
+func (in *Inbox) AcquireSlots(n int, rank func(worker int) int) ([]*Slot, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("delegation: acquiring %d slots", n)
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.freeCount < n {
+		return nil, ErrNoSlots
+	}
+	order := make([]int, len(in.buffers))
+	for i := range order {
+		order[i] = i
+	}
+	if rank != nil {
+		sort.SliceStable(order, func(a, b int) bool {
+			return rank(in.buffers[order[a]].worker) < rank(in.buffers[order[b]].worker)
+		})
+	}
+	owner := in.nextOwner
+	in.nextOwner++
+	var out []*Slot
+	for _, bi := range order {
+		b := in.buffers[bi]
+		for i := range b.slots {
+			if len(out) == n {
+				break
+			}
+			if b.slots[i].owner == -1 {
+				b.slots[i].owner = owner
+				out = append(out, &b.slots[i])
+			}
+		}
+		if len(out) == n {
+			break
+		}
+	}
+	in.freeCount -= n
+	return out, nil
+}
+
+// ReleaseSlots returns slot ownership to the inbox. All slots must be free
+// (no posted task in flight).
+func (in *Inbox) ReleaseSlots(slots []*Slot) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, s := range slots {
+		if s.state.Load() == slotPosted {
+			return fmt.Errorf("delegation: releasing slot with task in flight")
+		}
+		if s.owner == -1 {
+			return fmt.Errorf("delegation: releasing unowned slot")
+		}
+		s.owner = -1
+		in.freeCount++
+	}
+	return nil
+}
+
+// Client delegates tasks through slots it owns, keeping up to burst tasks
+// outstanding (the paper's bursting delegation mode; Section 6). A Client is
+// not safe for concurrent use — it models one application thread, as in FFWD.
+type Client struct {
+	slots   []*Slot
+	pending []pendingTask // FIFO of outstanding delegations
+}
+
+type pendingTask struct {
+	slot *Slot
+	fut  *Future
+}
+
+// NewClient wraps owned slots into a delegating client. The burst size is
+// len(slots): the paper's experiments use 14.
+func NewClient(slots []*Slot) (*Client, error) {
+	if len(slots) == 0 {
+		return nil, fmt.Errorf("delegation: client needs at least one slot")
+	}
+	return &Client{slots: slots, pending: make([]pendingTask, 0, len(slots))}, nil
+}
+
+// Burst returns the client's maximum number of outstanding tasks.
+func (c *Client) Burst() int { return len(c.slots) }
+
+// Outstanding returns the number of tasks currently in flight.
+func (c *Client) Outstanding() int { return len(c.pending) }
+
+// Delegate posts task into a free owned slot and returns its future. When
+// the burst is completely filled it first waits for the oldest outstanding
+// task — the throughput-maximising delegation mode of Section 6.
+func (c *Client) Delegate(task Task) *Future {
+	var slot *Slot
+	if len(c.pending) == len(c.slots) {
+		oldest := c.pending[0]
+		oldest.fut.Wait()
+		c.pending = c.pending[1:]
+		slot = oldest.slot
+	} else {
+		for _, s := range c.slots {
+			if s.state.Load() == slotFree && !c.inFlight(s) {
+				slot = s
+				break
+			}
+		}
+		if slot == nil {
+			// All free slots are bookkept as pending but not yet swept;
+			// wait for the oldest.
+			oldest := c.pending[0]
+			oldest.fut.Wait()
+			c.pending = c.pending[1:]
+			slot = oldest.slot
+		}
+	}
+	f := &Future{}
+	slot.post(task, f)
+	c.pending = append(c.pending, pendingTask{slot: slot, fut: f})
+	return f
+}
+
+func (c *Client) inFlight(s *Slot) bool {
+	for _, p := range c.pending {
+		if p.slot == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Invoke delegates a task and synchronously waits for its result — the
+// simple delegation mode (burst size 1 semantics regardless of owned slots).
+func (c *Client) Invoke(task Task) any {
+	return c.Delegate(task).Wait()
+}
+
+// DelegateBulk posts tasks as one bulk burst under a single synchronisation
+// phase (the bulk-bursting mode): all tasks are delegated, then all futures
+// awaited, and the results returned in order.
+func (c *Client) DelegateBulk(tasks []Task) []any {
+	futs := make([]*Future, len(tasks))
+	for i, t := range tasks {
+		futs[i] = c.Delegate(t)
+	}
+	out := make([]any, len(tasks))
+	for i, f := range futs {
+		out[i] = f.Wait()
+	}
+	return out
+}
+
+// Drain waits for every outstanding task to finish and frees the pending
+// list. Call before releasing slots.
+func (c *Client) Drain() {
+	for _, p := range c.pending {
+		p.fut.Wait()
+	}
+	c.pending = c.pending[:0]
+}
+
+// Slots exposes the owned slots (for release back to the inbox).
+func (c *Client) Slots() []*Slot { return c.slots }
+
+// Worker runs the poll loop over one buffer until stop is closed.
+// A worker is bound to exactly one buffer, mirroring FFWD's design.
+type Worker struct {
+	buf *Buffer
+}
+
+// NewWorker wraps a buffer into a pollable worker.
+func NewWorker(buf *Buffer) *Worker { return &Worker{buf: buf} }
+
+// Run polls the buffer until stop is closed. It yields to the scheduler on
+// empty sweeps so co-scheduled goroutines make progress on small machines.
+func (w *Worker) Run(stop <-chan struct{}) {
+	for {
+		n := w.buf.Sweep()
+		if n == 0 {
+			select {
+			case <-stop:
+				// Final sweep so a task posted just before stop is answered.
+				w.buf.Sweep()
+				return
+			default:
+				runtime.Gosched()
+			}
+		}
+	}
+}

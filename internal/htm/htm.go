@@ -1,0 +1,227 @@
+// Package htm emulates hardware transactional memory (Intel TSX style) in
+// software, so the FP-Tree's synchronisation scheme — HTM-guarded traversal
+// with a global-lock fallback — executes for real on hardware without TSX.
+//
+// The emulation is a small software transactional memory over version locks:
+// a transaction records the versions of the cells it reads, defers its
+// writes, and at commit acquires the written cells and validates the read
+// set. A validation failure or a busy cell aborts the transaction, which is
+// retried up to MaxRetries times before the global fallback lock is taken —
+// exactly the lock-elision pattern TSX code uses. The fallback lock itself
+// is part of every transaction's read set, so taking it aborts all
+// concurrent transactions, as on real hardware.
+//
+// A companion analytical model (model.go) predicts abort ratios as a
+// function of domain size and NUMA span for the machine simulator, following
+// the measurements of Brown et al. (SPAA'16) that the paper cites.
+package htm
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"robustconf/internal/syncprims"
+)
+
+// ErrAbort is returned by transaction operations when the transaction has
+// conflicted and must be retried; bodies must propagate it immediately.
+var ErrAbort = errors.New("htm: transaction aborted")
+
+// DefaultMaxRetries is the number of transactional attempts before the
+// fallback lock is taken. Real TSX deployments typically retry 3–10 times.
+const DefaultMaxRetries = 8
+
+// DefaultCapacity bounds the read+write set size (in tracked cells) before a
+// capacity abort, emulating the L1-residency limit of real HTM.
+const DefaultCapacity = 1024
+
+// Stats counts transactional outcomes; all fields are safe for concurrent
+// update and read.
+type Stats struct {
+	Commits   atomic.Uint64 // transactions committed transactionally
+	Aborts    atomic.Uint64 // aborted attempts (conflict, capacity, explicit)
+	Fallbacks atomic.Uint64 // executions that took the global lock
+}
+
+// AbortRatio returns aborts/(aborts+commits), the quantity Figure 8 plots.
+func (s *Stats) AbortRatio() float64 {
+	a, c := float64(s.Aborts.Load()), float64(s.Commits.Load())
+	if a+c == 0 {
+		return 0
+	}
+	return a / (a + c)
+}
+
+// Region is one elided critical section, e.g. "all operations on this
+// FP-Tree". The zero value is NOT ready; use NewRegion.
+type Region struct {
+	fallback   syncprims.VersionLock
+	maxRetries int
+	capacity   int
+	Stats      Stats
+}
+
+// NewRegion returns a region with default retry and capacity limits.
+func NewRegion() *Region {
+	return &Region{maxRetries: DefaultMaxRetries, capacity: DefaultCapacity}
+}
+
+// NewRegionLimits returns a region with explicit limits, for tests and
+// ablation benchmarks.
+func NewRegionLimits(maxRetries, capacity int) *Region {
+	if maxRetries < 0 {
+		maxRetries = 0
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Region{maxRetries: maxRetries, capacity: capacity}
+}
+
+// Tx is one in-flight transaction attempt. A Tx is only valid inside the
+// body passed to Atomic and must not escape it.
+type Tx struct {
+	region   *Region
+	fallback bool // running under the global lock: operations apply directly
+	reads    []readEntry
+	writes   []writeEntry
+}
+
+type readEntry struct {
+	lock    *syncprims.VersionLock
+	version uint64
+}
+
+type writeEntry struct {
+	lock  *syncprims.VersionLock
+	apply func()
+}
+
+// Fallback reports whether this attempt runs under the global lock. Bodies
+// can use it for accounting (the FP-Tree counts fallback executions).
+func (tx *Tx) Fallback() bool { return tx.fallback }
+
+// Read registers cell l in the read set. The caller may then read the data
+// the cell guards; commit-time validation ensures the snapshot was
+// consistent. Returns ErrAbort when the cell is write-locked or the
+// capacity limit is exceeded.
+func (tx *Tx) Read(l *syncprims.VersionLock) error {
+	if tx.fallback {
+		return nil
+	}
+	if len(tx.reads)+len(tx.writes) >= tx.region.capacity {
+		return ErrAbort
+	}
+	v := l.Version()
+	if v&1 == 1 {
+		return ErrAbort // a writer holds the cell: conflict abort
+	}
+	tx.reads = append(tx.reads, readEntry{lock: l, version: v})
+	return nil
+}
+
+// Write schedules apply to run under cell l at commit time. In fallback mode
+// apply runs immediately (the global lock already serialises everything).
+func (tx *Tx) Write(l *syncprims.VersionLock, apply func()) error {
+	if tx.fallback {
+		apply()
+		return nil
+	}
+	if len(tx.reads)+len(tx.writes) >= tx.region.capacity {
+		return ErrAbort
+	}
+	tx.writes = append(tx.writes, writeEntry{lock: l, apply: apply})
+	return nil
+}
+
+// Abort forces an explicit abort of the current attempt (e.g. the body found
+// a state it cannot handle transactionally).
+func (tx *Tx) Abort() error { return ErrAbort }
+
+// commit acquires write cells, validates the read set, applies the writes
+// and releases. It reports whether the transaction committed.
+func (tx *Tx) commit() bool {
+	// Acquire written cells; any busy cell is a conflict.
+	acquired := 0
+	ok := true
+	for _, w := range tx.writes {
+		if !w.lock.TryWriteLock() {
+			ok = false
+			break
+		}
+		acquired++
+	}
+	if ok {
+		// Validate reads: a cell we also write moved from even v to odd
+		// v+1 by our own acquisition, so accept v+1 for owned cells.
+		for _, r := range tx.reads {
+			cur := r.lock.Version()
+			if cur == r.version {
+				continue
+			}
+			if cur == r.version+1 && tx.owns(r.lock) {
+				continue
+			}
+			ok = false
+			break
+		}
+	}
+	if !ok {
+		for i := 0; i < acquired; i++ {
+			// Roll back the acquisition: WriteUnlock bumps odd→even,
+			// which is correct — the cell was untouched but observers
+			// must re-validate anyway.
+			tx.writes[i].lock.WriteUnlock()
+		}
+		return false
+	}
+	for _, w := range tx.writes {
+		w.apply()
+	}
+	for _, w := range tx.writes {
+		w.lock.WriteUnlock()
+	}
+	return true
+}
+
+func (tx *Tx) owns(l *syncprims.VersionLock) bool {
+	for _, w := range tx.writes {
+		if w.lock == l {
+			return true
+		}
+	}
+	return false
+}
+
+// Atomic executes body as a memory transaction, retrying on aborts and
+// falling back to the region's global lock after MaxRetries attempts. The
+// body may be executed several times and must be idempotent up to its Tx
+// writes (which only apply on commit). Any non-ErrAbort error is returned
+// to the caller after the transaction machinery unwinds.
+func (r *Region) Atomic(body func(tx *Tx) error) error {
+	for attempt := 0; attempt <= r.maxRetries; attempt++ {
+		tx := &Tx{region: r}
+		// The fallback lock is in every read set: holders abort us.
+		fbVersion := r.fallback.Version()
+		if fbVersion&1 == 1 {
+			r.Stats.Aborts.Add(1)
+			continue // lock held: spin via retry loop
+		}
+		err := body(tx)
+		if err != nil && !errors.Is(err, ErrAbort) {
+			return err
+		}
+		if err == nil && r.fallback.Version() == fbVersion && tx.commit() {
+			r.Stats.Commits.Add(1)
+			return nil
+		}
+		r.Stats.Aborts.Add(1)
+	}
+	// Fallback: serialise under the global lock, aborting all concurrent
+	// transactions (they validate the fallback lock's version).
+	r.fallback.WriteLock()
+	defer r.fallback.WriteUnlock()
+	r.Stats.Fallbacks.Add(1)
+	tx := &Tx{region: r, fallback: true}
+	return body(tx)
+}

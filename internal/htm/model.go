@@ -1,0 +1,138 @@
+package htm
+
+import "math"
+
+// Model predicts HTM abort behaviour analytically for the machine simulator.
+// It follows the empirical findings of Brown et al., "Investigating the
+// Performance of Hardware Transactions on a Multi-Socket Machine" (SPAA'16),
+// which the paper cites as the cause of the FP-Tree's performance collapse:
+// abort probability grows with (1) the number of concurrently executing
+// transactions that can conflict, (2) the write fraction of the workload,
+// and (3) transaction length — and is strongly amplified once transactions
+// span sockets, because longer memory latencies widen the conflict window.
+type Model struct {
+	// BaseConflict is the probability that two concurrent transactions
+	// touch a conflicting cache line, for a single-line write footprint on
+	// a Zipfian-contended structure. Calibrated so that ~24 writers on one
+	// socket sit at the throughput knee the paper measures.
+	BaseConflict float64
+	// NUMAAmplification multiplies the conflict window per NUMA level the
+	// domain spans (level 0 = socket-local). Brown et al. observe roughly
+	// an order of magnitude more aborts across sockets.
+	NUMAAmplification float64
+	// MaxRetries before the fallback lock is taken (serialising everyone).
+	MaxRetries int
+}
+
+// DefaultModel returns the calibration used throughout the experiments:
+// chosen so that on a read-update workload the abort ratio at 24 writers on
+// one socket sits near the throughput knee the paper's calibration finds
+// (Table 2: FP-Tree wants 24-worker domains), and shared-everything across
+// sockets collapses as in Figure 7.
+func DefaultModel() Model {
+	return Model{BaseConflict: 0.031, NUMAAmplification: 5.0, MaxRetries: DefaultMaxRetries}
+}
+
+// conflictPerPair is the probability one concurrent transaction aborts ours.
+// Conflicts require a writer, so the pair probability scales with the write
+// fraction, amplified per NUMA level because longer latencies widen the
+// transaction's conflict window.
+func (m Model) conflictPerPair(writeFraction float64, span int) float64 {
+	c := m.BaseConflict * writeFraction * math.Pow(m.NUMAAmplification, float64(span))
+	if c > 1 {
+		c = 1
+	}
+	return c
+}
+
+// AbortProbability returns the per-attempt abort probability for a
+// transaction executing alongside `threads` concurrent threads on the same
+// structure, with the given workload write fraction, in a domain spanning
+// the given worst-case NUMA level.
+func (m Model) AbortProbability(threads int, writeFraction float64, span int) float64 {
+	if threads <= 1 {
+		return 0
+	}
+	c := m.conflictPerPair(writeFraction, span)
+	// Independent conflicts with each of the other threads.
+	return 1 - math.Pow(1-c, float64(threads-1))
+}
+
+// AbortRatio returns the steady-state fraction of transactional attempts
+// that abort, the metric Figure 8 plots. With per-attempt abort probability
+// p and r retries before fallback, a successful operation contributes its
+// aborted attempts and either one commit or one fallback.
+func (m Model) AbortRatio(threads int, writeFraction float64, span int) float64 {
+	p := m.AbortProbability(threads, writeFraction, span)
+	if p == 0 {
+		return 0
+	}
+	r := float64(m.MaxRetries)
+	if p > 1-1e-9 {
+		// Every attempt aborts: r+1 aborts per op, zero commits.
+		return 1
+	}
+	// Expected aborted attempts per operation: sum of the truncated
+	// geometric series; expected commits per op: probability an attempt
+	// eventually commits within the retry budget.
+	pFallback := math.Pow(p, r+1)
+	expAborts := p * (1 - math.Pow(p, r+1)) / (1 - p) // truncated geometric mean
+	expCommits := 1 - pFallback
+	return expAborts / (expAborts + expCommits)
+}
+
+// FallbackProbability is the chance an operation exhausts its retries and
+// serialises on the global lock. Once fallbacks become common the region
+// degenerates to a single global lock — the >90 % collapse the paper
+// observes for shared-everything FP-Tree beyond one socket.
+func (m Model) FallbackProbability(threads int, writeFraction float64, span int) float64 {
+	p := m.AbortProbability(threads, writeFraction, span)
+	return math.Pow(p, float64(m.MaxRetries)+1)
+}
+
+// MixedStats models an instance whose transactions are a mix of
+// socket-local and cross-socket ones (the TPC-C remote-transaction setting,
+// Figure 13). A remote transaction's conflict window is amplified both by
+// the NUMA level it spans and by `windowFactor` — its memory accesses are
+// slower, so it stays open far longer — and because the global fallback
+// lock is shared, the amplification degrades *every* transaction on the
+// instance: the contagion that makes the NUMA-partitioned baseline collapse
+// at even 1% remote transactions.
+func (m Model) MixedStats(threads int, writeFraction, remoteFrac float64, span int, windowFactor float64) (abortRatio, fallbackProb, expAttempts float64) {
+	if threads <= 1 {
+		return 0, 0, 1
+	}
+	amp := (1 - remoteFrac) + remoteFrac*math.Pow(m.NUMAAmplification, float64(span))*windowFactor
+	c := m.BaseConflict * writeFraction * amp
+	if c > 1 {
+		c = 1
+	}
+	p := 1 - math.Pow(1-c, float64(threads-1))
+	r := float64(m.MaxRetries)
+	if p > 1-1e-9 {
+		return 1, 1, r + 1
+	}
+	pFallback := math.Pow(p, r+1)
+	expAttempts = (1 - math.Pow(p, r+1)) / (1 - p)
+	if p == 0 {
+		return 0, 0, 1
+	}
+	expAborts := p * (1 - math.Pow(p, r+1)) / (1 - p)
+	expCommits := 1 - pFallback
+	return expAborts / (expAborts + expCommits), pFallback, expAttempts
+}
+
+// ExpectedAttempts returns the mean number of transactional attempts per
+// operation (including the committing one), capped by the retry budget.
+func (m Model) ExpectedAttempts(threads int, writeFraction float64, span int) float64 {
+	p := m.AbortProbability(threads, writeFraction, span)
+	if p == 0 {
+		return 1
+	}
+	r := float64(m.MaxRetries)
+	if p > 1-1e-9 {
+		return r + 1
+	}
+	// 1 + p + p² + … + p^r attempts on average (truncated geometric).
+	return (1 - math.Pow(p, r+1)) / (1 - p)
+}

@@ -1,0 +1,302 @@
+package ilp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// GAPInstance is one data structure instance entering the shared
+// heterogeneous composition: its calibrated optimal domain size s_i (in
+// workers) and its abstract expected load l_i.
+type GAPInstance struct {
+	Name        string
+	OptimalSize int
+	Load        float64
+}
+
+// GAPResult is a solved configuration: the chosen domain sizes and, for each
+// instance (input order), the index of the result domain it is assigned to.
+type GAPResult struct {
+	DomainSizes []int
+	Assignment  []int
+	Objective   float64
+	Nodes       int
+}
+
+// WorkersUsed sums the chosen domain sizes.
+func (r *GAPResult) WorkersUsed() int {
+	n := 0
+	for _, s := range r.DomainSizes {
+		n += s
+	}
+	return n
+}
+
+// SolveGAPMQ builds and solves the paper's Equations 1–7 exactly.
+//
+// The candidate multiset B contains each distinct calibrated size s with
+// multiplicity ⌊w/s⌋ (capped at the instance count, since Equation 2 forces
+// every chosen domain to hold at least one instance). The objective prefers
+// larger domains, with an ε-penalty per chosen domain so that, among
+// configurations using the same number of workers, fewer domains win —
+// the paper's "p₁ ≪ … ≪ p_|D|" profit ordering.
+//
+// minLoad and maxLoad are the uniform q_d and r_d bounds of Equation 6.
+// coLocate lists instance-index pairs that must share a domain (the
+// application-specific constraint hook of Section 5.2, e.g. a table with
+// its secondary indexes).
+func SolveGAPMQ(instances []GAPInstance, workers int, minLoad, maxLoad float64, coLocate [][2]int, maxNodes int) (*GAPResult, error) {
+	n := len(instances)
+	if n == 0 {
+		return nil, fmt.Errorf("ilp: no instances to configure")
+	}
+	if workers <= 0 {
+		return nil, fmt.Errorf("ilp: no workers available")
+	}
+	for _, inst := range instances {
+		if inst.OptimalSize < 1 {
+			return nil, fmt.Errorf("ilp: instance %q has optimal size %d", inst.Name, inst.OptimalSize)
+		}
+		if inst.OptimalSize > workers {
+			return nil, fmt.Errorf("ilp: instance %q wants %d workers, only %d available", inst.Name, inst.OptimalSize, workers)
+		}
+		if inst.Load < 0 {
+			return nil, fmt.Errorf("ilp: instance %q has negative load", inst.Name)
+		}
+	}
+	for _, pair := range coLocate {
+		if pair[0] < 0 || pair[0] >= n || pair[1] < 0 || pair[1] >= n {
+			return nil, fmt.Errorf("ilp: co-location pair %v out of range", pair)
+		}
+	}
+
+	// Candidate domains: each distinct size with its multiplicity.
+	sizeSet := map[int]struct{}{}
+	for _, inst := range instances {
+		sizeSet[inst.OptimalSize] = struct{}{}
+	}
+	sizes := make([]int, 0, len(sizeSet))
+	for s := range sizeSet {
+		sizes = append(sizes, s)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(sizes))) // big domains first: good incumbents early
+	type candidate struct {
+		size      int
+		sameGroup int // index of the previous same-size candidate, -1 if first
+	}
+	var cands []candidate
+	for _, s := range sizes {
+		mult := workers / s
+		if mult > n {
+			mult = n
+		}
+		for j := 0; j < mult; j++ {
+			prev := -1
+			if j > 0 {
+				prev = len(cands) - 1
+			}
+			cands = append(cands, candidate{size: s, sameGroup: prev})
+		}
+	}
+	nd := len(cands)
+
+	// Variable layout: y_d at [0,nd), x_{i,d} at nd + i*nd + d.
+	p, err := NewProblem(nd + n*nd)
+	if err != nil {
+		return nil, err
+	}
+	yVar := func(d int) int { return d }
+	xVar := func(i, d int) int { return nd + i*nd + d }
+
+	// Objective (Eq. 1): profit proportional to domain size, ε-penalised
+	// per domain so fewer domains win ties.
+	const eps = 1e-3
+	for d, c := range cands {
+		if err := p.SetObjective(yVar(d), float64(c.size)-eps); err != nil {
+			return nil, err
+		}
+	}
+
+	for d := range cands {
+		// Eq. 2: a chosen domain holds at least one instance:
+		// n·y_d − Σ_i x_{i,d} ≤ n−1.
+		row := map[int]float64{yVar(d): float64(n)}
+		for i := 0; i < n; i++ {
+			row[xVar(i, d)] = -1
+		}
+		if err := p.AddLE(row, float64(n-1)); err != nil {
+			return nil, err
+		}
+		// Linking (implicit in the paper's GAP-MQ base problem): an
+		// instance can only sit in a chosen domain: x_{i,d} ≤ y_d.
+		for i := 0; i < n; i++ {
+			if err := p.AddLE(map[int]float64{xVar(i, d): 1, yVar(d): -1}, 0); err != nil {
+				return nil, err
+			}
+		}
+		// Symmetry breaking within a size group: choose candidates in
+		// prefix order (equivalent to the paper's strictly ordered
+		// profits p₁ ≪ … ≪ p_|D|).
+		if prev := cands[d].sameGroup; prev >= 0 {
+			if err := p.AddLE(map[int]float64{yVar(d): 1, yVar(prev): -1}, 0); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	for i, inst := range instances {
+		// Eq. 3: every instance in exactly one domain.
+		row := map[int]float64{}
+		for d := 0; d < nd; d++ {
+			row[xVar(i, d)] = 1
+		}
+		if err := p.AddEQ(row, 1); err != nil {
+			return nil, err
+		}
+		// Eq. 4: only into domains of at most the calibrated size.
+		for d, c := range cands {
+			if c.size > inst.OptimalSize {
+				if err := p.AddLE(map[int]float64{xVar(i, d): 1}, 0); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	// Eq. 5: chosen domains fit the available workers.
+	row5 := map[int]float64{}
+	for d, c := range cands {
+		row5[yVar(d)] = float64(c.size)
+	}
+	if err := p.AddLE(row5, float64(workers)); err != nil {
+		return nil, err
+	}
+
+	// Eq. 6: per-domain load window q_d·y_d ≤ Σ l_i·x_{i,d} ≤ r_d·y_d.
+	for d := 0; d < nd; d++ {
+		lower := map[int]float64{yVar(d): -minLoad}
+		upper := map[int]float64{yVar(d): -maxLoad}
+		for i, inst := range instances {
+			lower[xVar(i, d)] = inst.Load
+			upper[xVar(i, d)] = inst.Load
+		}
+		if err := p.AddGE(lower, 0); err != nil {
+			return nil, err
+		}
+		if err := p.AddLE(upper, 0); err != nil {
+			return nil, err
+		}
+	}
+
+	// Application constraints: co-located instances share every domain
+	// indicator: x_{i,d} = x_{j,d}.
+	for _, pair := range coLocate {
+		for d := 0; d < nd; d++ {
+			err := p.AddEQ(map[int]float64{xVar(pair[0], d): 1, xVar(pair[1], d): -1}, 0)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	sol, err := p.Solve(maxNodes)
+	if err != nil {
+		return nil, err
+	}
+
+	// Extract: chosen domains in candidate order, remapped densely.
+	res := &GAPResult{Assignment: make([]int, n), Objective: sol.Objective, Nodes: sol.Nodes}
+	remap := make([]int, nd)
+	for d := range remap {
+		remap[d] = -1
+	}
+	for d, c := range cands {
+		if sol.X[yVar(d)] {
+			remap[d] = len(res.DomainSizes)
+			res.DomainSizes = append(res.DomainSizes, c.size)
+		}
+	}
+	for i := 0; i < n; i++ {
+		res.Assignment[i] = -1
+		for d := 0; d < nd; d++ {
+			if sol.X[xVar(i, d)] {
+				res.Assignment[i] = remap[d]
+				break
+			}
+		}
+		if res.Assignment[i] == -1 {
+			return nil, fmt.Errorf("ilp: internal error — instance %d unassigned in optimal solution", i)
+		}
+	}
+	return res, nil
+}
+
+// GreedyGAPMQ is the fallback for instance counts beyond exact reach (the
+// paper's Figure 11 runs 1024 instances): first-fit-decreasing by load into
+// domains of each instance's calibrated size, opening a new domain when the
+// load cap would be exceeded and workers remain.
+func GreedyGAPMQ(instances []GAPInstance, workers int, maxLoad float64) (*GAPResult, error) {
+	n := len(instances)
+	if n == 0 {
+		return nil, fmt.Errorf("ilp: no instances to configure")
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ia, ib := instances[order[a]], instances[order[b]]
+		if ia.OptimalSize != ib.OptimalSize {
+			return ia.OptimalSize < ib.OptimalSize // tight domains first
+		}
+		return ia.Load > ib.Load
+	})
+	type dom struct {
+		size int
+		load float64
+	}
+	var doms []dom
+	used := 0
+	res := &GAPResult{Assignment: make([]int, n)}
+	for _, i := range order {
+		inst := instances[i]
+		best := -1
+		for d := range doms {
+			if doms[d].size <= inst.OptimalSize && doms[d].load+inst.Load <= maxLoad {
+				if best == -1 || doms[d].load < doms[best].load {
+					best = d
+				}
+			}
+		}
+		if best == -1 {
+			if used+inst.OptimalSize <= workers {
+				doms = append(doms, dom{size: inst.OptimalSize})
+				used += inst.OptimalSize
+				best = len(doms) - 1
+			} else {
+				// No capacity for a new domain: overflow into the least
+				// loaded compatible domain regardless of the cap.
+				for d := range doms {
+					if doms[d].size <= inst.OptimalSize && (best == -1 || doms[d].load < doms[best].load) {
+						best = d
+					}
+				}
+				if best == -1 {
+					return nil, fmt.Errorf("ilp: instance %q (size %d) fits no domain", inst.Name, inst.OptimalSize)
+				}
+			}
+		}
+		doms[best].load += inst.Load
+		res.Assignment[i] = best
+	}
+	for _, d := range doms {
+		res.DomainSizes = append(res.DomainSizes, d.size)
+		res.Objective += float64(d.size)
+	}
+	res.Objective -= 1e-3 * float64(len(doms))
+	if math.IsNaN(res.Objective) {
+		return nil, fmt.Errorf("ilp: objective overflow")
+	}
+	return res, nil
+}

@@ -1,0 +1,262 @@
+// Package ilp provides a small exact solver for 0/1 integer linear programs,
+// sized for the configuration problems of Section 5.2: choosing virtual
+// domains and assigning data structure instances to them (a General
+// Assignment Problem with Minimum Quantities, Equations 1–7). Problems have
+// tens of binary variables; branch-and-bound with interval-based pruning
+// solves them exactly without any external dependency.
+//
+// Maximisation form: maximise c·x subject to lo ≤ A·x ≤ hi, x ∈ {0,1}ⁿ.
+package ilp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// term is one (variable, coefficient) entry of a sparse constraint row.
+type term struct {
+	v    int
+	coef float64
+}
+
+type constraint struct {
+	terms  []term
+	lo, hi float64
+
+	// Search state: contribution of fixed variables, and the minimum /
+	// maximum achievable contribution of the still-free variables.
+	fixed   float64
+	freeMin float64
+	freeMax float64
+}
+
+// Problem is a 0/1 maximisation ILP under construction.
+type Problem struct {
+	n   int
+	obj []float64
+	con []*constraint
+	// varCons[v] lists the constraints variable v participates in.
+	varCons [][]int
+}
+
+// NewProblem creates a problem over n binary variables with zero objective.
+func NewProblem(n int) (*Problem, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("ilp: need at least one variable, got %d", n)
+	}
+	return &Problem{n: n, obj: make([]float64, n), varCons: make([][]int, n)}, nil
+}
+
+// Vars returns the number of variables.
+func (p *Problem) Vars() int { return p.n }
+
+// SetObjective sets the objective coefficient of variable v.
+func (p *Problem) SetObjective(v int, c float64) error {
+	if v < 0 || v >= p.n {
+		return fmt.Errorf("ilp: variable %d out of range", v)
+	}
+	p.obj[v] = c
+	return nil
+}
+
+// AddRange adds the constraint lo ≤ Σ coefs[v]·x_v ≤ hi. Use math.Inf for
+// one-sided rows.
+func (p *Problem) AddRange(coefs map[int]float64, lo, hi float64) error {
+	if lo > hi {
+		return fmt.Errorf("ilp: empty constraint interval [%v,%v]", lo, hi)
+	}
+	c := &constraint{lo: lo, hi: hi}
+	for v, coef := range coefs {
+		if v < 0 || v >= p.n {
+			return fmt.Errorf("ilp: variable %d out of range", v)
+		}
+		if coef == 0 {
+			continue
+		}
+		c.terms = append(c.terms, term{v: v, coef: coef})
+	}
+	ci := len(p.con)
+	p.con = append(p.con, c)
+	for _, t := range c.terms {
+		p.varCons[t.v] = append(p.varCons[t.v], ci)
+	}
+	return nil
+}
+
+// AddLE adds Σ coefs·x ≤ hi.
+func (p *Problem) AddLE(coefs map[int]float64, hi float64) error {
+	return p.AddRange(coefs, math.Inf(-1), hi)
+}
+
+// AddGE adds Σ coefs·x ≥ lo.
+func (p *Problem) AddGE(coefs map[int]float64, lo float64) error {
+	return p.AddRange(coefs, lo, math.Inf(1))
+}
+
+// AddEQ adds Σ coefs·x = b.
+func (p *Problem) AddEQ(coefs map[int]float64, b float64) error {
+	return p.AddRange(coefs, b, b)
+}
+
+// Solution is the solver's result.
+type Solution struct {
+	X         []bool
+	Objective float64
+	Nodes     int  // branch-and-bound nodes explored
+	Optimal   bool // false when the node budget was exhausted
+}
+
+// ErrInfeasible is returned when no assignment satisfies the constraints.
+var ErrInfeasible = errors.New("ilp: infeasible")
+
+// DefaultMaxNodes bounds the search; configuration problems use far fewer.
+const DefaultMaxNodes = 5_000_000
+
+type solver struct {
+	p        *Problem
+	value    []int8 // -1 free, 0, 1
+	objFixed float64
+	// objFreePos is the sum of positive objective coefficients over free
+	// variables — the optimistic completion bound.
+	objFreePos float64
+
+	best    float64
+	bestX   []bool
+	hasBest bool
+	nodes   int
+	maxN    int
+}
+
+// Solve runs branch-and-bound to optimality (or the node budget).
+func (p *Problem) Solve(maxNodes int) (*Solution, error) {
+	if maxNodes <= 0 {
+		maxNodes = DefaultMaxNodes
+	}
+	s := &solver{p: p, value: make([]int8, p.n), maxN: maxNodes}
+	for v := range s.value {
+		s.value[v] = -1
+		if p.obj[v] > 0 {
+			s.objFreePos += p.obj[v]
+		}
+	}
+	for _, c := range p.con {
+		c.fixed = 0
+		c.freeMin, c.freeMax = 0, 0
+		for _, t := range c.terms {
+			if t.coef < 0 {
+				c.freeMin += t.coef
+			} else {
+				c.freeMax += t.coef
+			}
+		}
+	}
+	s.best = math.Inf(-1)
+	s.dfs(0)
+	if !s.hasBest {
+		if s.nodes >= s.maxN {
+			return nil, fmt.Errorf("ilp: node budget exhausted before finding a feasible point (%d nodes)", s.nodes)
+		}
+		return nil, ErrInfeasible
+	}
+	return &Solution{X: s.bestX, Objective: s.best, Nodes: s.nodes, Optimal: s.nodes < s.maxN}, nil
+}
+
+// feasibleHere reports whether the current partial assignment can still
+// satisfy every constraint.
+func (s *solver) feasibleHere() bool {
+	for _, c := range s.p.con {
+		if c.fixed+c.freeMin > c.hi+1e-9 {
+			return false
+		}
+		if c.fixed+c.freeMax < c.lo-1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *solver) dfs(v int) {
+	if s.nodes >= s.maxN {
+		return
+	}
+	s.nodes++
+	if !s.feasibleHere() {
+		return
+	}
+	if s.objFixed+s.objFreePos <= s.best+1e-12 {
+		return // cannot beat the incumbent
+	}
+	if v == s.p.n {
+		s.best = s.objFixed
+		s.bestX = make([]bool, s.p.n)
+		for i, val := range s.value {
+			s.bestX[i] = val == 1
+		}
+		s.hasBest = true
+		return
+	}
+	// Try 1 first: objectives are non-negative in our models, so this
+	// finds strong incumbents early.
+	for _, val := range [2]int8{1, 0} {
+		s.fix(v, val)
+		s.dfs(v + 1)
+		s.unfix(v, val)
+		if s.nodes >= s.maxN {
+			return
+		}
+	}
+}
+
+func (s *solver) fix(v int, val int8) {
+	s.value[v] = val
+	if s.p.obj[v] > 0 {
+		s.objFreePos -= s.p.obj[v]
+	}
+	if val == 1 {
+		s.objFixed += s.p.obj[v]
+	}
+	for _, ci := range s.p.varCons[v] {
+		c := s.p.con[ci]
+		coef := coefOf(c, v)
+		if coef < 0 {
+			c.freeMin -= coef
+		} else {
+			c.freeMax -= coef
+		}
+		if val == 1 {
+			c.fixed += coef
+		}
+	}
+}
+
+func (s *solver) unfix(v int, val int8) {
+	s.value[v] = -1
+	if s.p.obj[v] > 0 {
+		s.objFreePos += s.p.obj[v]
+	}
+	if val == 1 {
+		s.objFixed -= s.p.obj[v]
+	}
+	for _, ci := range s.p.varCons[v] {
+		c := s.p.con[ci]
+		coef := coefOf(c, v)
+		if coef < 0 {
+			c.freeMin += coef
+		} else {
+			c.freeMax += coef
+		}
+		if val == 1 {
+			c.fixed -= coef
+		}
+	}
+}
+
+func coefOf(c *constraint, v int) float64 {
+	for _, t := range c.terms {
+		if t.v == v {
+			return t.coef
+		}
+	}
+	return 0
+}

@@ -1,0 +1,430 @@
+package ilp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestProblemValidation(t *testing.T) {
+	if _, err := NewProblem(0); err == nil {
+		t.Error("0 variables accepted")
+	}
+	p, _ := NewProblem(2)
+	if err := p.SetObjective(5, 1); err == nil {
+		t.Error("out-of-range objective accepted")
+	}
+	if err := p.AddLE(map[int]float64{5: 1}, 1); err == nil {
+		t.Error("out-of-range constraint var accepted")
+	}
+	if err := p.AddRange(map[int]float64{0: 1}, 2, 1); err == nil {
+		t.Error("empty interval accepted")
+	}
+	if p.Vars() != 2 {
+		t.Errorf("Vars = %d", p.Vars())
+	}
+}
+
+func TestUnconstrainedMaximisation(t *testing.T) {
+	p, _ := NewProblem(3)
+	p.SetObjective(0, 5)
+	p.SetObjective(1, -2)
+	p.SetObjective(2, 3)
+	sol, err := p.Solve(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Objective != 8 {
+		t.Errorf("objective = %v, want 8", sol.Objective)
+	}
+	if !sol.X[0] || sol.X[1] || !sol.X[2] {
+		t.Errorf("X = %v", sol.X)
+	}
+	if !sol.Optimal {
+		t.Error("tiny problem not optimal")
+	}
+}
+
+func TestKnapsack(t *testing.T) {
+	// Classic knapsack: weights 3,4,5,6 values 4,5,6,7 capacity 10.
+	// Optimum: items 1+3 (weight 10, value 12).
+	p, _ := NewProblem(4)
+	weights := []float64{3, 4, 5, 6}
+	values := []float64{4, 5, 6, 7}
+	row := map[int]float64{}
+	for i := range weights {
+		p.SetObjective(i, values[i])
+		row[i] = weights[i]
+	}
+	p.AddLE(row, 10)
+	sol, err := p.Solve(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Objective != 12 {
+		t.Errorf("objective = %v, want 12", sol.Objective)
+	}
+	if !sol.X[1] || !sol.X[3] || sol.X[0] || sol.X[2] {
+		t.Errorf("X = %v, want items 1+3", sol.X)
+	}
+}
+
+func TestEqualityConstraint(t *testing.T) {
+	// Exactly two of three chosen, maximise 1,2,3 → pick vars 1 and 2.
+	p, _ := NewProblem(3)
+	for i, c := range []float64{1, 2, 3} {
+		p.SetObjective(i, c)
+	}
+	p.AddEQ(map[int]float64{0: 1, 1: 1, 2: 1}, 2)
+	sol, err := p.Solve(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Objective != 5 || sol.X[0] {
+		t.Errorf("objective = %v X = %v", sol.Objective, sol.X)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p, _ := NewProblem(2)
+	p.AddGE(map[int]float64{0: 1, 1: 1}, 3) // at most 2 achievable
+	if _, err := p.Solve(0); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestGEConstraint(t *testing.T) {
+	// Minimise-ish: all objective negative, but GE forces one on.
+	p, _ := NewProblem(2)
+	p.SetObjective(0, -1)
+	p.SetObjective(1, -3)
+	p.AddGE(map[int]float64{0: 1, 1: 1}, 1)
+	sol, err := p.Solve(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Objective != -1 || !sol.X[0] || sol.X[1] {
+		t.Errorf("objective = %v X = %v", sol.Objective, sol.X)
+	}
+}
+
+func TestNodeBudgetExhaustion(t *testing.T) {
+	// A problem the solver cannot even find a feasible point for within
+	// the budget must report exhaustion, not claim infeasibility.
+	p, _ := NewProblem(30)
+	row := map[int]float64{}
+	for i := 0; i < 30; i++ {
+		p.SetObjective(i, 1)
+		row[i] = 1
+	}
+	p.AddEQ(row, 15)
+	if _, err := p.Solve(2); err == nil {
+		t.Error("expected budget-exhaustion error")
+	} else if errors.Is(err, ErrInfeasible) {
+		t.Error("budget exhaustion misreported as infeasible")
+	}
+}
+
+func TestGAPMQValidation(t *testing.T) {
+	if _, err := SolveGAPMQ(nil, 10, 0, 1, nil, 0); err == nil {
+		t.Error("no instances accepted")
+	}
+	one := []GAPInstance{{Name: "a", OptimalSize: 4, Load: 1}}
+	if _, err := SolveGAPMQ(one, 0, 0, 1, nil, 0); err == nil {
+		t.Error("no workers accepted")
+	}
+	if _, err := SolveGAPMQ([]GAPInstance{{Name: "a", OptimalSize: 0, Load: 1}}, 8, 0, 1, nil, 0); err == nil {
+		t.Error("zero size accepted")
+	}
+	if _, err := SolveGAPMQ([]GAPInstance{{Name: "a", OptimalSize: 16, Load: 1}}, 8, 0, 1, nil, 0); err == nil {
+		t.Error("oversized instance accepted")
+	}
+	if _, err := SolveGAPMQ([]GAPInstance{{Name: "a", OptimalSize: 4, Load: -1}}, 8, 0, 1, nil, 0); err == nil {
+		t.Error("negative load accepted")
+	}
+	if _, err := SolveGAPMQ(one, 8, 0, 1, [][2]int{{0, 5}}, 0); err == nil {
+		t.Error("bad co-location pair accepted")
+	}
+}
+
+func TestGAPMQPaperOLTP2Example(t *testing.T) {
+	// The paper's running example (Section 5.2): w = 192 workers, optimal
+	// sizes S = {24, 48}; the solved configuration uses 2 domains of 24
+	// and 3 of 48 — 5 domains totalling all 192 workers.
+	instances := []GAPInstance{
+		{Name: "idx-w1", OptimalSize: 24, Load: 1},
+		{Name: "idx-w2", OptimalSize: 24, Load: 1},
+		{Name: "idx-r1", OptimalSize: 48, Load: 1},
+		{Name: "idx-r2", OptimalSize: 48, Load: 1},
+		{Name: "idx-r3", OptimalSize: 48, Load: 1},
+	}
+	res, err := SolveGAPMQ(instances, 192, 0.5, 1.5, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WorkersUsed() != 192 {
+		t.Errorf("workers used = %d, want 192", res.WorkersUsed())
+	}
+	count24, count48 := 0, 0
+	for _, s := range res.DomainSizes {
+		switch s {
+		case 24:
+			count24++
+		case 48:
+			count48++
+		default:
+			t.Errorf("unexpected domain size %d", s)
+		}
+	}
+	if count24 != 2 || count48 != 3 {
+		t.Errorf("domains = %d×24 + %d×48, want 2×24 + 3×48", count24, count48)
+	}
+	// Write-heavy instances must sit in 24-sized domains (Eq. 4).
+	for i := 0; i < 2; i++ {
+		if res.DomainSizes[res.Assignment[i]] != 24 {
+			t.Errorf("instance %d in size-%d domain, want 24", i, res.DomainSizes[res.Assignment[i]])
+		}
+	}
+}
+
+func TestGAPMQRespectsSizeCaps(t *testing.T) {
+	// A size-1 (thread-sized) instance must never share a big domain.
+	instances := []GAPInstance{
+		{Name: "hot", OptimalSize: 1, Load: 1},
+		{Name: "cold", OptimalSize: 8, Load: 1},
+	}
+	res, err := SolveGAPMQ(instances, 16, 0, 2, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DomainSizes[res.Assignment[0]] != 1 {
+		t.Errorf("thread-sized instance in size-%d domain", res.DomainSizes[res.Assignment[0]])
+	}
+	if res.DomainSizes[res.Assignment[1]] > 8 {
+		t.Errorf("size cap violated: %d", res.DomainSizes[res.Assignment[1]])
+	}
+}
+
+func TestGAPMQLoadBalancing(t *testing.T) {
+	// Four equal-load instances, maxLoad 1.2 forces ≥ 4 domains of the
+	// common size (no domain can hold two instances of load 1).
+	instances := []GAPInstance{
+		{Name: "a", OptimalSize: 4, Load: 1},
+		{Name: "b", OptimalSize: 4, Load: 1},
+		{Name: "c", OptimalSize: 4, Load: 1},
+		{Name: "d", OptimalSize: 4, Load: 1},
+	}
+	res, err := SolveGAPMQ(instances, 16, 0.5, 1.2, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.DomainSizes) != 4 {
+		t.Errorf("domains = %d, want 4 (load cap)", len(res.DomainSizes))
+	}
+	seen := map[int]bool{}
+	for _, d := range res.Assignment {
+		if seen[d] {
+			t.Error("two load-1 instances share a domain despite cap 1.2")
+		}
+		seen[d] = true
+	}
+}
+
+func TestGAPMQCoLocation(t *testing.T) {
+	// A table and its secondary index must share a domain.
+	instances := []GAPInstance{
+		{Name: "table", OptimalSize: 8, Load: 0.5},
+		{Name: "2nd-index", OptimalSize: 8, Load: 0.5},
+		{Name: "other", OptimalSize: 8, Load: 0.5},
+	}
+	res, err := SolveGAPMQ(instances, 16, 0, 2, [][2]int{{0, 1}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assignment[0] != res.Assignment[1] {
+		t.Errorf("co-located instances split: %v", res.Assignment)
+	}
+}
+
+func TestGAPMQPrefersFewerLargerDomains(t *testing.T) {
+	// Two read-heavy instances with size 8 on 16 workers and generous load
+	// caps: one domain of 8 holding both beats two domains of 8? No — the
+	// objective maximises Σ sizes, so TWO size-8 domains (16 workers) win
+	// over one (8 workers).
+	instances := []GAPInstance{
+		{Name: "a", OptimalSize: 8, Load: 0.5},
+		{Name: "b", OptimalSize: 8, Load: 0.5},
+	}
+	res, err := SolveGAPMQ(instances, 16, 0.1, 2, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WorkersUsed() != 16 || len(res.DomainSizes) != 2 {
+		t.Errorf("got %v (%d workers), want two size-8 domains", res.DomainSizes, res.WorkersUsed())
+	}
+}
+
+func TestGreedyGAPMQMatchesScale(t *testing.T) {
+	// 1024 instances, as in Figure 11: 16 domains of 24 workers on 384,
+	// with instances sharing domains.
+	var instances []GAPInstance
+	for i := 0; i < 1024; i++ {
+		instances = append(instances, GAPInstance{Name: "idx", OptimalSize: 24, Load: 1.0 / 64})
+	}
+	res, err := GreedyGAPMQ(instances, 384, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.DomainSizes) != 16 {
+		t.Errorf("domains = %d, want 16", len(res.DomainSizes))
+	}
+	perDomain := map[int]int{}
+	for _, d := range res.Assignment {
+		perDomain[d]++
+	}
+	for d, c := range perDomain {
+		if c != 64 {
+			t.Errorf("domain %d holds %d instances, want 64", d, c)
+		}
+	}
+	if res.WorkersUsed() != 384 {
+		t.Errorf("workers used = %d", res.WorkersUsed())
+	}
+}
+
+func TestGreedyGAPMQOverflowsWhenOutOfWorkers(t *testing.T) {
+	instances := []GAPInstance{
+		{Name: "a", OptimalSize: 4, Load: 1},
+		{Name: "b", OptimalSize: 4, Load: 1},
+		{Name: "c", OptimalSize: 4, Load: 1},
+	}
+	// Only one domain fits; the cap of 1.0 must be overridden by overflow.
+	res, err := GreedyGAPMQ(instances, 4, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.DomainSizes) != 1 {
+		t.Errorf("domains = %d, want 1", len(res.DomainSizes))
+	}
+}
+
+func TestGreedyGAPMQValidation(t *testing.T) {
+	if _, err := GreedyGAPMQ(nil, 8, 1); err == nil {
+		t.Error("no instances accepted")
+	}
+}
+
+func TestGAPMQObjectiveFinite(t *testing.T) {
+	instances := []GAPInstance{{Name: "a", OptimalSize: 2, Load: 0.1}}
+	res, err := SolveGAPMQ(instances, 4, 0, 1, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(res.Objective, 0) || math.IsNaN(res.Objective) {
+		t.Errorf("objective = %v", res.Objective)
+	}
+}
+
+// bruteForce enumerates all 2^n assignments and returns the optimum.
+func bruteForce(p *Problem, obj []float64, check func(x []bool) bool) (float64, bool) {
+	n := p.Vars()
+	best := math.Inf(-1)
+	found := false
+	x := make([]bool, n)
+	for mask := 0; mask < 1<<n; mask++ {
+		for i := 0; i < n; i++ {
+			x[i] = mask&(1<<i) != 0
+		}
+		if !check(x) {
+			continue
+		}
+		v := 0.0
+		for i := 0; i < n; i++ {
+			if x[i] {
+				v += obj[i]
+			}
+		}
+		if v > best {
+			best = v
+			found = true
+		}
+	}
+	return best, found
+}
+
+// TestSolverMatchesBruteForce builds random small problems and verifies the
+// branch-and-bound optimum against exhaustive enumeration.
+func TestSolverMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(424242))
+	for trial := 0; trial < 200; trial++ {
+		n := 3 + rng.Intn(10) // up to 12 variables
+		p, err := NewProblem(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		obj := make([]float64, n)
+		for i := range obj {
+			obj[i] = float64(rng.Intn(21) - 10)
+			p.SetObjective(i, obj[i])
+		}
+		// 1-3 random ≤/≥/= constraints over random subsets.
+		type row struct {
+			coefs map[int]float64
+			lo    float64
+			hi    float64
+		}
+		var rows []row
+		for c := 0; c < 1+rng.Intn(3); c++ {
+			coefs := map[int]float64{}
+			for i := 0; i < n; i++ {
+				if rng.Intn(2) == 0 {
+					coefs[i] = float64(rng.Intn(9) - 4)
+				}
+			}
+			bound := float64(rng.Intn(11) - 5)
+			switch rng.Intn(3) {
+			case 0:
+				p.AddLE(coefs, bound)
+				rows = append(rows, row{coefs, math.Inf(-1), bound})
+			case 1:
+				p.AddGE(coefs, bound)
+				rows = append(rows, row{coefs, bound, math.Inf(1)})
+			default:
+				p.AddEQ(coefs, bound)
+				rows = append(rows, row{coefs, bound, bound})
+			}
+		}
+		check := func(x []bool) bool {
+			for _, r := range rows {
+				s := 0.0
+				for i, coef := range r.coefs {
+					if x[i] {
+						s += coef
+					}
+				}
+				if s < r.lo-1e-9 || s > r.hi+1e-9 {
+					return false
+				}
+			}
+			return true
+		}
+		want, feasible := bruteForce(p, obj, check)
+		sol, err := p.Solve(0)
+		if !feasible {
+			if !errors.Is(err, ErrInfeasible) {
+				t.Fatalf("trial %d: brute force infeasible, solver said %v", trial, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("trial %d: solver failed on feasible problem: %v", trial, err)
+		}
+		if math.Abs(sol.Objective-want) > 1e-9 {
+			t.Fatalf("trial %d: solver %v, brute force %v", trial, sol.Objective, want)
+		}
+		if !check(sol.X) {
+			t.Fatalf("trial %d: solver returned infeasible point", trial)
+		}
+	}
+}

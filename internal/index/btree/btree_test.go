@@ -1,0 +1,302 @@
+package btree
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"robustconf/internal/index"
+)
+
+func TestEmptyTree(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 {
+		t.Errorf("Len = %d, want 0", tr.Len())
+	}
+	if _, ok := tr.Get(1, nil); ok {
+		t.Error("Get on empty tree found a key")
+	}
+	if tr.Update(1, 2, nil) {
+		t.Error("Update on empty tree succeeded")
+	}
+}
+
+func TestInsertGet(t *testing.T) {
+	tr := New()
+	const n = 10000
+	for i := uint64(0); i < n; i++ {
+		if !tr.Insert(i*7919%100000, i, nil) {
+			t.Fatalf("Insert(%d) returned false", i*7919%100000)
+		}
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+	for i := uint64(0); i < n; i++ {
+		v, ok := tr.Get(i*7919%100000, nil)
+		if !ok || v != i {
+			t.Fatalf("Get(%d) = %d,%v want %d,true", i*7919%100000, v, ok, i)
+		}
+	}
+	if _, ok := tr.Get(999999999, nil); ok {
+		t.Error("Get of absent key succeeded")
+	}
+}
+
+func TestInsertDuplicate(t *testing.T) {
+	tr := New()
+	if !tr.Insert(5, 1, nil) {
+		t.Fatal("first insert failed")
+	}
+	if tr.Insert(5, 2, nil) {
+		t.Error("duplicate insert succeeded")
+	}
+	if v, _ := tr.Get(5, nil); v != 1 {
+		t.Errorf("duplicate insert modified value: %d", v)
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d, want 1", tr.Len())
+	}
+}
+
+func TestUpdateInPlace(t *testing.T) {
+	tr := New()
+	for i := uint64(0); i < 1000; i++ {
+		tr.Insert(i, i, nil)
+	}
+	var st index.OpStats
+	for i := uint64(0); i < 1000; i++ {
+		if !tr.Update(i, i*2, &st) {
+			t.Fatalf("Update(%d) failed", i)
+		}
+	}
+	if st.Splits != 0 {
+		t.Error("updates caused splits")
+	}
+	for i := uint64(0); i < 1000; i++ {
+		if v, _ := tr.Get(i, nil); v != i*2 {
+			t.Fatalf("Get(%d) = %d after update", i, v)
+		}
+	}
+	if tr.Update(5000, 1, nil) {
+		t.Error("Update of absent key succeeded")
+	}
+}
+
+func TestOrderedScan(t *testing.T) {
+	tr := New()
+	keys := rand.New(rand.NewSource(1)).Perm(5000)
+	for _, k := range keys {
+		tr.Insert(uint64(k), uint64(k)*10, nil)
+	}
+	var got []uint64
+	n := tr.Scan(100, 199, func(k, v uint64) bool {
+		if v != k*10 {
+			t.Errorf("Scan value mismatch at %d: %d", k, v)
+		}
+		got = append(got, k)
+		return true
+	}, nil)
+	if n != 100 || len(got) != 100 {
+		t.Fatalf("Scan visited %d keys, want 100", n)
+	}
+	for i, k := range got {
+		if k != uint64(100+i) {
+			t.Fatalf("Scan out of order at %d: %d", i, k)
+		}
+	}
+	// Early termination.
+	n = tr.Scan(0, 4999, func(k, v uint64) bool { return k < 9 }, nil)
+	if n != 10 {
+		t.Errorf("early-terminated scan visited %d, want 10", n)
+	}
+}
+
+func TestSplitsAndHeightGrow(t *testing.T) {
+	tr := New()
+	var st index.OpStats
+	for i := uint64(0); i < 100000; i++ {
+		tr.Insert(i, i, &st)
+	}
+	if st.Splits == 0 {
+		t.Error("100k sequential inserts caused no splits")
+	}
+	if tr.Height() < 2 {
+		t.Errorf("Height = %d, want ≥ 2 for 100k keys", tr.Height())
+	}
+	// All keys still reachable after deep splits.
+	for i := uint64(0); i < 100000; i += 997 {
+		if _, ok := tr.Get(i, nil); !ok {
+			t.Fatalf("key %d lost after splits", i)
+		}
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	tr := New()
+	for i := uint64(0); i < 10000; i++ {
+		tr.Insert(i, i, nil)
+	}
+	var st index.OpStats
+	tr.Get(5000, &st)
+	if st.Ops != 1 {
+		t.Errorf("Ops = %d, want 1", st.Ops)
+	}
+	if st.NodesVisited < 2 {
+		t.Errorf("NodesVisited = %d, want ≥ 2 (inner + leaf)", st.NodesVisited)
+	}
+	if st.LinesTouched == 0 {
+		t.Error("LinesTouched = 0")
+	}
+	if st.Depth == 0 {
+		t.Error("Depth = 0, tree with 10k keys has inner levels")
+	}
+	var ist index.OpStats
+	tr.Insert(999999, 1, &ist)
+	if ist.LockAcquires != 1 {
+		t.Errorf("insert LockAcquires = %d, want 1", ist.LockAcquires)
+	}
+}
+
+func TestSchemeAndName(t *testing.T) {
+	tr := New()
+	if tr.Name() != "B-Tree" {
+		t.Errorf("Name = %q", tr.Name())
+	}
+	if tr.Scheme() != index.SchemeAtomicRecord {
+		t.Errorf("Scheme = %v", tr.Scheme())
+	}
+}
+
+func TestConcurrentReadersWithWriter(t *testing.T) {
+	tr := New()
+	for i := uint64(0); i < 1000; i++ {
+		tr.Insert(i*2, i, nil) // even keys pre-loaded
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// One writer inserting odd keys (global lock), many optimistic readers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := uint64(0); i < 2000; i++ {
+			tr.Insert(i*2+1, i, nil)
+		}
+		close(stop)
+	}()
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := uint64(r.Intn(1000)) * 2
+				if v, ok := tr.Get(k, nil); !ok || v != k/2 {
+					t.Errorf("Get(%d) = %d,%v during concurrent inserts", k, v, ok)
+					return
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	if tr.Len() != 3000 {
+		t.Errorf("Len = %d, want 3000", tr.Len())
+	}
+}
+
+func TestConcurrentUpdaters(t *testing.T) {
+	tr := New()
+	for i := uint64(0); i < 100; i++ {
+		tr.Insert(i, 0, nil)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(val uint64) {
+			defer wg.Done()
+			for i := uint64(0); i < 100; i++ {
+				tr.Update(i, val, nil)
+			}
+		}(uint64(g + 1))
+	}
+	wg.Wait()
+	// Every key must hold one of the written values (atomic, not torn).
+	for i := uint64(0); i < 100; i++ {
+		v, ok := tr.Get(i, nil)
+		if !ok || v < 1 || v > 8 {
+			t.Fatalf("Get(%d) = %d,%v — torn or lost update", i, v, ok)
+		}
+	}
+}
+
+func TestRandomisedAgainstMap(t *testing.T) {
+	tr := New()
+	oracle := map[uint64]uint64{}
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 50000; i++ {
+		k := uint64(r.Intn(20000))
+		switch r.Intn(3) {
+		case 0:
+			_, exists := oracle[k]
+			ok := tr.Insert(k, k+1, nil)
+			if ok == exists {
+				t.Fatalf("Insert(%d) = %v, oracle exists=%v", k, ok, exists)
+			}
+			if !exists {
+				oracle[k] = k + 1
+			}
+		case 1:
+			_, exists := oracle[k]
+			ok := tr.Update(k, k+2, nil)
+			if ok != exists {
+				t.Fatalf("Update(%d) = %v, oracle exists=%v", k, ok, exists)
+			}
+			if exists {
+				oracle[k] = k + 2
+			}
+		case 2:
+			v, ok := tr.Get(k, nil)
+			ov, exists := oracle[k]
+			if ok != exists || (ok && v != ov) {
+				t.Fatalf("Get(%d) = %d,%v, oracle %d,%v", k, v, ok, ov, exists)
+			}
+		}
+	}
+	if tr.Len() != len(oracle) {
+		t.Errorf("Len = %d, oracle %d", tr.Len(), len(oracle))
+	}
+}
+
+func TestScanPropertyMatchesSortedKeys(t *testing.T) {
+	f := func(keys []uint16, lo8, hi8 uint8) bool {
+		lo, hi := uint64(lo8)*100, uint64(hi8)*100+500
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		tr := New()
+		inSet := map[uint64]bool{}
+		for _, k16 := range keys {
+			k := uint64(k16)
+			if tr.Insert(k, k, nil) {
+				inSet[k] = true
+			}
+		}
+		want := 0
+		for k := range inSet {
+			if k >= lo && k <= hi {
+				want++
+			}
+		}
+		got := tr.Scan(lo, hi, func(k, v uint64) bool { return true }, nil)
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

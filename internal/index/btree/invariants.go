@@ -1,0 +1,105 @@
+package btree
+
+import "fmt"
+
+// CheckInvariants walks the whole tree and verifies its structural
+// invariants: sorted keys within every node, separator consistency between
+// inner nodes and their subtrees, and an ascending leaf chain that contains
+// exactly the tree's keys. Intended for tests and debugging; it takes the
+// structural lock, so do not call it on a hot path.
+func (t *Tree) CheckInvariants() error {
+	t.structLock.Lock()
+	defer t.structLock.Unlock()
+	if t.root == nil {
+		if t.count.Load() != 0 {
+			return fmt.Errorf("btree: empty tree reports %d keys", t.count.Load())
+		}
+		return nil
+	}
+	var leftmost *leaf
+	counted := 0
+	var check func(node any, lo, hi uint64, hasLo, hasHi bool, depth int) error
+	check = func(node any, lo, hi uint64, hasLo, hasHi bool, depth int) error {
+		switch n := node.(type) {
+		case *inner:
+			if n.num < 1 || n.num > innerSlots {
+				return fmt.Errorf("btree: inner node with %d keys", n.num)
+			}
+			for i := 1; i < n.num; i++ {
+				if n.keys[i-1] >= n.keys[i] {
+					return fmt.Errorf("btree: inner keys unsorted at %d", i)
+				}
+			}
+			if hasLo && n.keys[0] < lo {
+				return fmt.Errorf("btree: inner key %d below bound %d", n.keys[0], lo)
+			}
+			if hasHi && n.keys[n.num-1] > hi {
+				return fmt.Errorf("btree: inner key %d above bound %d", n.keys[n.num-1], hi)
+			}
+			for i := 0; i <= n.num; i++ {
+				cLo, cHasLo := lo, hasLo
+				cHi, cHasHi := hi, hasHi
+				if i > 0 {
+					cLo, cHasLo = n.keys[i-1], true
+				}
+				if i < n.num {
+					cHi, cHasHi = n.keys[i], true
+				}
+				if n.children[i] == nil {
+					return fmt.Errorf("btree: nil child %d of inner node", i)
+				}
+				if err := check(n.children[i], cLo, cHi, cHasLo, cHasHi, depth+1); err != nil {
+					return err
+				}
+			}
+			return nil
+		case *leaf:
+			if depth != t.height {
+				return fmt.Errorf("btree: leaf at depth %d, want %d", depth, t.height)
+			}
+			for i := 1; i < n.num; i++ {
+				if n.keys[i-1] >= n.keys[i] {
+					return fmt.Errorf("btree: leaf keys unsorted at %d", i)
+				}
+			}
+			if n.num > 0 {
+				if hasLo && n.keys[0] < lo {
+					return fmt.Errorf("btree: leaf key %d below separator %d", n.keys[0], lo)
+				}
+				if hasHi && n.keys[n.num-1] >= hi {
+					return fmt.Errorf("btree: leaf key %d not below separator %d", n.keys[n.num-1], hi)
+				}
+			}
+			if leftmost == nil {
+				leftmost = n
+			}
+			counted += n.num
+			return nil
+		default:
+			return fmt.Errorf("btree: unknown node type %T", node)
+		}
+	}
+	if err := check(t.root, 0, 0, false, false, 0); err != nil {
+		return err
+	}
+	if int64(counted) != t.count.Load() {
+		return fmt.Errorf("btree: %d keys in leaves, count says %d", counted, t.count.Load())
+	}
+	// The leaf chain must be ascending and cover the same keys.
+	chain := 0
+	var prev uint64
+	first := true
+	for lf := leftmost; lf != nil; lf = lf.next {
+		for i := 0; i < lf.num; i++ {
+			if !first && lf.keys[i] <= prev {
+				return fmt.Errorf("btree: leaf chain unsorted at key %d", lf.keys[i])
+			}
+			prev, first = lf.keys[i], false
+			chain++
+		}
+	}
+	if chain != counted {
+		return fmt.Errorf("btree: leaf chain has %d keys, tree walk found %d", chain, counted)
+	}
+	return nil
+}

@@ -1,0 +1,553 @@
+// Package bwtree implements the Open BW-Tree (Levandoski et al. ICDE'13, as
+// characterised by Wang et al. SIGMOD'18): a latch-free B-tree variant whose
+// nodes are addressed through a mapping table of atomic pointers. Writers
+// never modify a node in place — they prepend copy-on-write delta records
+// and publish them with a single compare-and-swap on the node's mapping
+// table slot. Chains are consolidated into fresh base nodes once they exceed
+// a threshold, and node splits follow the B-link discipline: a split first
+// becomes visible through the right-sibling link, then a separator is
+// installed in the parent (also via copy + CAS).
+//
+// Synchronisation is therefore exactly Table 1's "Copy-On-Write + atomic
+// CAS": the structure contains no locks at all. Memory reclamation, which
+// the original uses epochs for, is delegated to the Go garbage collector —
+// a chain that loses its mapping-table slot simply becomes unreachable.
+package bwtree
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"robustconf/internal/index"
+)
+
+const (
+	// consolidateAt is the delta-chain length that triggers consolidation.
+	consolidateAt = 8
+	// maxLeafRecords splits a leaf during consolidation when exceeded.
+	maxLeafRecords = 64
+	// maxInnerSeps splits an inner node when exceeded.
+	maxInnerSeps = 64
+	// rootPID is the fixed mapping-table slot of the root.
+	rootPID = 0
+)
+
+type pid = uint32
+
+const nilPID pid = ^pid(0)
+
+type nodeKind uint8
+
+const (
+	leafBase nodeKind = iota
+	leafInsertDelta
+	leafUpdateDelta
+	leafDeleteDelta
+	innerBase
+)
+
+// node is either a base node or a delta record; immutable once published.
+type node struct {
+	kind  nodeKind
+	next  *node // toward the base (deltas only)
+	depth int   // chain length from here down to the base
+
+	// Delta payload (leafInsertDelta, leafUpdateDelta).
+	key, val uint64
+
+	// Leaf base payload: parallel sorted slices.
+	keys []uint64
+	vals []uint64
+
+	// Inner base payload: children[i] covers keys < seps[i]; the last child
+	// covers the rest up to highKey.
+	seps     []uint64
+	children []pid
+
+	// B-link bounds, valid for both base kinds.
+	hasHigh bool
+	highKey uint64 // exclusive upper bound of this node's key space
+	right   pid    // right sibling, nilPID when none
+}
+
+func (n *node) isLeaf() bool { return n.kind != innerBase }
+
+// base follows the chain to the base node.
+func (n *node) base() *node {
+	for n.next != nil {
+		n = n.next
+	}
+	return n
+}
+
+func nodeBytes(n *node) int {
+	switch n.kind {
+	case leafBase:
+		return 64 + len(n.keys)*16
+	case innerBase:
+		return 64 + len(n.seps)*8 + len(n.children)*4
+	default:
+		return 48 // one delta record
+	}
+}
+
+// Tree is a concurrent BW-Tree. Construct with New or NewCapacity.
+type Tree struct {
+	mapping []atomic.Pointer[node]
+	nextPID atomic.Uint32
+	count   atomic.Int64
+
+	// CASFailures and Consolidations are cumulative structure-wide counters
+	// mirrored into per-op stats as they occur.
+	CASFailures    atomic.Uint64
+	Consolidations atomic.Uint64
+}
+
+// DefaultCapacity is the mapping-table size of New: 1Mi slots address well
+// beyond 30M records at the default leaf size.
+const DefaultCapacity = 1 << 20
+
+// New returns an empty tree with the default mapping-table capacity.
+func New() *Tree { return NewCapacity(DefaultCapacity) }
+
+// NewCapacity returns an empty tree whose mapping table holds `capacity`
+// logical node ids. The tree panics if an insert exhausts the table, so size
+// it to ≥ (records / 32) slots.
+func NewCapacity(capacity int) *Tree {
+	if capacity < 8 {
+		capacity = 8
+	}
+	t := &Tree{mapping: make([]atomic.Pointer[node], capacity)}
+	t.nextPID.Store(1) // slot 0 is the root
+	t.mapping[rootPID].Store(&node{kind: leafBase, right: nilPID})
+	return t
+}
+
+func (t *Tree) allocPID(n *node) pid {
+	p := t.nextPID.Add(1) - 1
+	if int(p) >= len(t.mapping) {
+		panic(fmt.Sprintf("bwtree: mapping table exhausted (%d slots)", len(t.mapping)))
+	}
+	t.mapping[p].Store(n)
+	return p
+}
+
+func (t *Tree) load(p pid) *node { return t.mapping[p].Load() }
+
+// Name implements index.Index.
+func (t *Tree) Name() string { return "BW-Tree" }
+
+// Scheme implements index.Index.
+func (t *Tree) Scheme() index.Scheme { return index.SchemeCOW }
+
+// Len implements index.Index.
+func (t *Tree) Len() int { return int(t.count.Load()) }
+
+// descend walks from the root to the leaf responsible for k, following
+// B-link right pointers past in-progress splits. It returns the leaf's pid,
+// the chain head it observed, and the pid path of inner nodes visited
+// (root first) for parent maintenance.
+func (t *Tree) descend(k uint64, st *index.OpStats) (pid, *node, []pid) {
+	var path []pid
+	p := pid(rootPID)
+	depth := uint64(0)
+	for {
+		n := t.load(p)
+		st.Visit(1, index.CacheLines(nodeBytes(n)))
+		b := n.base()
+		// Chase the right sibling when k is beyond this node's bound.
+		if b.hasHigh && k >= b.highKey && b.right != nilPID {
+			p = b.right
+			continue
+		}
+		if n.isLeaf() {
+			if st != nil {
+				st.Depth += depth
+				st.DeltaLength += uint64(n.depth)
+			}
+			return p, n, path
+		}
+		path = append(path, p)
+		depth++
+		i := searchSeps(b.seps, k)
+		p = b.children[i]
+	}
+}
+
+// searchSeps returns the child index for k (first separator > k).
+func searchSeps(seps []uint64, k uint64) int {
+	lo, hi := 0, len(seps)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if seps[mid] <= k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// chainLookup resolves k against a leaf chain: the newest delta for k wins,
+// otherwise the base is searched.
+func chainLookup(head *node, k uint64, st *index.OpStats) (uint64, bool) {
+	for n := head; n != nil; n = n.next {
+		switch n.kind {
+		case leafInsertDelta, leafUpdateDelta:
+			if n.key == k {
+				return n.val, true
+			}
+		case leafDeleteDelta:
+			if n.key == k {
+				return 0, false
+			}
+		case leafBase:
+			i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= k })
+			if i < len(n.keys) && n.keys[i] == k {
+				return n.vals[i], true
+			}
+			return 0, false
+		}
+	}
+	return 0, false
+}
+
+// Get implements index.Index.
+func (t *Tree) Get(k uint64, st *index.OpStats) (uint64, bool) {
+	if st != nil {
+		st.Ops++
+	}
+	_, head, _ := t.descend(k, st)
+	return chainLookup(head, k, st)
+}
+
+// Insert implements index.Index by publishing an insert delta with CAS.
+func (t *Tree) Insert(k, v uint64, st *index.OpStats) bool {
+	if st != nil {
+		st.Ops++
+	}
+	for {
+		p, head, path := t.descend(k, st)
+		if _, exists := chainLookup(head, k, st); exists {
+			return false
+		}
+		d := &node{kind: leafInsertDelta, key: k, val: v, next: head, depth: head.depth + 1}
+		if st != nil {
+			st.BytesCopied += uint64(nodeBytes(d))
+		}
+		if t.mapping[p].CompareAndSwap(head, d) {
+			t.count.Add(1)
+			if d.depth >= consolidateAt {
+				t.consolidate(p, d, path, st)
+			}
+			return true
+		}
+		t.CASFailures.Add(1)
+		if st != nil {
+			st.CASFailures++
+		}
+	}
+}
+
+// Update implements index.Index by publishing an update delta with CAS.
+func (t *Tree) Update(k, v uint64, st *index.OpStats) bool {
+	if st != nil {
+		st.Ops++
+	}
+	for {
+		p, head, path := t.descend(k, st)
+		if _, exists := chainLookup(head, k, st); !exists {
+			return false
+		}
+		d := &node{kind: leafUpdateDelta, key: k, val: v, next: head, depth: head.depth + 1}
+		if st != nil {
+			st.BytesCopied += uint64(nodeBytes(d))
+		}
+		if t.mapping[p].CompareAndSwap(head, d) {
+			if d.depth >= consolidateAt {
+				t.consolidate(p, d, path, st)
+			}
+			return true
+		}
+		t.CASFailures.Add(1)
+		if st != nil {
+			st.CASFailures++
+		}
+	}
+}
+
+// Delete implements index.Index by publishing a delete delta with CAS —
+// copy-on-write removal; the key physically disappears at the next
+// consolidation.
+func (t *Tree) Delete(k uint64, st *index.OpStats) bool {
+	if st != nil {
+		st.Ops++
+	}
+	for {
+		p, head, path := t.descend(k, st)
+		if _, exists := chainLookup(head, k, st); !exists {
+			return false
+		}
+		d := &node{kind: leafDeleteDelta, key: k, next: head, depth: head.depth + 1}
+		if st != nil {
+			st.BytesCopied += uint64(nodeBytes(d))
+		}
+		if t.mapping[p].CompareAndSwap(head, d) {
+			t.count.Add(-1)
+			if d.depth >= consolidateAt {
+				t.consolidate(p, d, path, st)
+			}
+			return true
+		}
+		t.CASFailures.Add(1)
+		if st != nil {
+			st.CASFailures++
+		}
+	}
+}
+
+// flatten merges a leaf chain into sorted key/value slices.
+func flatten(head *node) (keys, vals []uint64, b *node) {
+	b = head.base()
+	type kv struct{ k, v uint64 }
+	// Newest-first wins: collect delta overrides (deletions drop the
+	// key), then merge with the base.
+	overrides := map[uint64]uint64{}
+	deleted := map[uint64]bool{}
+	inserted := []kv{}
+	for n := head; n != nil; n = n.next {
+		if n.kind != leafInsertDelta && n.kind != leafUpdateDelta && n.kind != leafDeleteDelta {
+			break
+		}
+		if _, seen := overrides[n.key]; seen || deleted[n.key] {
+			continue
+		}
+		if n.kind == leafDeleteDelta {
+			deleted[n.key] = true
+			continue
+		}
+		overrides[n.key] = n.val
+		inserted = append(inserted, kv{n.key, n.val})
+	}
+	keys = make([]uint64, 0, len(b.keys)+len(inserted))
+	vals = make([]uint64, 0, len(b.keys)+len(inserted))
+	extra := make([]kv, 0, len(inserted))
+	inBase := map[uint64]bool{}
+	for _, k := range b.keys {
+		inBase[k] = true
+	}
+	for _, e := range inserted {
+		if !inBase[e.k] {
+			extra = append(extra, e)
+		}
+	}
+	sort.Slice(extra, func(i, j int) bool { return extra[i].k < extra[j].k })
+	ei := 0
+	for i, k := range b.keys {
+		for ei < len(extra) && extra[ei].k < k {
+			keys = append(keys, extra[ei].k)
+			vals = append(vals, extra[ei].v)
+			ei++
+		}
+		if deleted[k] {
+			continue
+		}
+		keys = append(keys, k)
+		if ov, ok := overrides[k]; ok {
+			vals = append(vals, ov)
+		} else {
+			vals = append(vals, b.vals[i])
+		}
+	}
+	for ; ei < len(extra); ei++ {
+		keys = append(keys, extra[ei].k)
+		vals = append(vals, extra[ei].v)
+	}
+	return keys, vals, b
+}
+
+// consolidate replaces the chain at p (observed as head) with a fresh base,
+// splitting it when oversized. Failure to install is benign — someone else
+// changed the chain and will consolidate later.
+func (t *Tree) consolidate(p pid, head *node, path []pid, st *index.OpStats) {
+	keys, vals, b := flatten(head)
+	t.Consolidations.Add(1)
+	if st != nil {
+		st.Consolidates++
+		st.BytesCopied += uint64(len(keys) * 16)
+	}
+	if len(keys) <= maxLeafRecords {
+		nb := &node{kind: leafBase, keys: keys, vals: vals, hasHigh: b.hasHigh, highKey: b.highKey, right: b.right}
+		if !t.mapping[p].CompareAndSwap(head, nb) {
+			t.CASFailures.Add(1)
+			if st != nil {
+				st.CASFailures++
+			}
+		}
+		return
+	}
+	// Split: the right half becomes a new pid, visible through the B-link
+	// before the parent learns the separator.
+	mid := len(keys) / 2
+	sep := keys[mid]
+	rightNode := &node{kind: leafBase, keys: append([]uint64(nil), keys[mid:]...), vals: append([]uint64(nil), vals[mid:]...),
+		hasHigh: b.hasHigh, highKey: b.highKey, right: b.right}
+	rp := t.allocPID(rightNode)
+	leftNode := &node{kind: leafBase, keys: append([]uint64(nil), keys[:mid]...), vals: append([]uint64(nil), vals[:mid]...),
+		hasHigh: true, highKey: sep, right: rp}
+	if !t.mapping[p].CompareAndSwap(head, leftNode) {
+		// Lost the race; the right pid stays orphaned until GC'd.
+		t.CASFailures.Add(1)
+		if st != nil {
+			st.CASFailures++
+		}
+		return
+	}
+	if st != nil {
+		st.Splits++
+	}
+	t.installSeparator(p, rp, sep, path, st)
+}
+
+// installSeparator publishes (sep → right) into the parent of p, splitting
+// parents and growing the root as needed. Inner nodes are replaced wholesale
+// (copy-on-write) with a CAS on their mapping slot.
+func (t *Tree) installSeparator(left, right pid, sep uint64, path []pid, st *index.OpStats) {
+	for attempt := 0; attempt < 64; attempt++ {
+		if len(path) == 0 {
+			// p was the root: grow the tree. The old root's content has
+			// already been replaced at its pid... the root pid IS left
+			// here only when path is empty, so move its content to a new
+			// pid and point a fresh root at both halves.
+			if left != rootPID {
+				return // a concurrent grower already handled it
+			}
+			cur := t.load(rootPID)
+			movedLeft := t.allocPID(cur)
+			newRoot := &node{kind: innerBase, seps: []uint64{sep}, children: []pid{movedLeft, right}, right: nilPID}
+			if t.mapping[rootPID].CompareAndSwap(cur, newRoot) {
+				if st != nil {
+					st.Splits++
+				}
+				return
+			}
+			t.CASFailures.Add(1)
+			// Root changed under us (e.g. concurrent delta on the old
+			// leaf that is now also reachable via movedLeft — those CAS
+			// on rootPID, not movedLeft, so retry from scratch).
+			path = t.refreshPath(sep)
+			continue
+		}
+		pp := path[len(path)-1]
+		cur := t.load(pp)
+		b := cur.base()
+		if b.kind != innerBase {
+			// The parent got replaced by something unexpected; re-walk.
+			path = t.refreshPath(sep)
+			continue
+		}
+		// Already installed? (Another thread may have helped.)
+		i := searchSeps(b.seps, sep)
+		if i > 0 && b.seps[i-1] == sep {
+			return
+		}
+		if b.hasHigh && sep >= b.highKey {
+			// The parent split concurrently and sep belongs to its right
+			// sibling now; re-walk from the root to find the new parent.
+			path = t.refreshPath(sep)
+			continue
+		}
+		nseps := make([]uint64, 0, len(b.seps)+1)
+		nchildren := make([]pid, 0, len(b.children)+1)
+		nseps = append(nseps, b.seps[:i]...)
+		nseps = append(nseps, sep)
+		nseps = append(nseps, b.seps[i:]...)
+		nchildren = append(nchildren, b.children[:i+1]...)
+		nchildren = append(nchildren, right)
+		nchildren = append(nchildren, b.children[i+1:]...)
+
+		if len(nseps) <= maxInnerSeps {
+			nb := &node{kind: innerBase, seps: nseps, children: nchildren, hasHigh: b.hasHigh, highKey: b.highKey, right: b.right}
+			if st != nil {
+				st.BytesCopied += uint64(nodeBytes(nb))
+			}
+			if t.mapping[pp].CompareAndSwap(cur, nb) {
+				return
+			}
+			t.CASFailures.Add(1)
+			if st != nil {
+				st.CASFailures++
+			}
+			continue
+		}
+		// Parent overflow: split it, then recurse upward with its separator.
+		mid := len(nseps) / 2
+		upSep := nseps[mid]
+		rightInner := &node{kind: innerBase, seps: append([]uint64(nil), nseps[mid+1:]...), children: append([]pid(nil), nchildren[mid+1:]...),
+			hasHigh: b.hasHigh, highKey: b.highKey, right: b.right}
+		rip := t.allocPID(rightInner)
+		leftInner := &node{kind: innerBase, seps: append([]uint64(nil), nseps[:mid]...), children: append([]pid(nil), nchildren[:mid+1]...),
+			hasHigh: true, highKey: upSep, right: rip}
+		if st != nil {
+			st.BytesCopied += uint64(nodeBytes(leftInner) + nodeBytes(rightInner))
+		}
+		if !t.mapping[pp].CompareAndSwap(cur, leftInner) {
+			t.CASFailures.Add(1)
+			if st != nil {
+				st.CASFailures++
+			}
+			continue
+		}
+		if st != nil {
+			st.Splits++
+		}
+		t.installSeparator(pp, rip, upSep, path[:len(path)-1], st)
+		return
+	}
+}
+
+// refreshPath re-walks from the root and returns the inner pid path leading
+// to the leaf that covers k.
+func (t *Tree) refreshPath(k uint64) []pid {
+	_, _, path := t.descend(k, nil)
+	return path
+}
+
+// Scan implements index.Ranger by flattening each leaf chain in turn and
+// following the B-link chain rightward.
+func (t *Tree) Scan(lo, hi uint64, fn func(k, v uint64) bool, st *index.OpStats) int {
+	if st != nil {
+		st.Ops++
+	}
+	p, head, _ := t.descend(lo, st)
+	n := 0
+	for {
+		keys, vals, b := flatten(head)
+		for i, k := range keys {
+			if k < lo {
+				continue
+			}
+			if k > hi {
+				return n
+			}
+			n++
+			if !fn(k, vals[i]) {
+				return n
+			}
+		}
+		if !b.hasHigh || b.highKey > hi || b.right == nilPID {
+			return n
+		}
+		p = b.right
+		head = t.load(p)
+		st.Visit(1, index.CacheLines(nodeBytes(head)))
+	}
+}
+
+// DeltaChainLength returns the current chain length at the leaf covering k,
+// exposed for tests and the cost model.
+func (t *Tree) DeltaChainLength(k uint64) int {
+	_, head, _ := t.descend(k, nil)
+	return head.depth
+}

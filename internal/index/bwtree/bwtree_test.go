@@ -1,0 +1,379 @@
+package bwtree
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"robustconf/internal/index"
+)
+
+func TestEmptyTree(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 {
+		t.Errorf("Len = %d, want 0", tr.Len())
+	}
+	if _, ok := tr.Get(1, nil); ok {
+		t.Error("Get on empty tree found a key")
+	}
+	if tr.Update(1, 1, nil) {
+		t.Error("Update on empty tree succeeded")
+	}
+}
+
+func TestInsertGetThroughSplits(t *testing.T) {
+	tr := New()
+	const n = 50000
+	for i := uint64(0); i < n; i++ {
+		k := i * 2654435761 % 1000003
+		if !tr.Insert(k, i, nil) {
+			t.Fatalf("Insert(%d) failed", k)
+		}
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+	for i := uint64(0); i < n; i++ {
+		k := i * 2654435761 % 1000003
+		v, ok := tr.Get(k, nil)
+		if !ok || v != i {
+			t.Fatalf("Get(%d) = %d,%v want %d", k, v, ok, i)
+		}
+	}
+}
+
+func TestSequentialInsertExercisesRootGrowth(t *testing.T) {
+	tr := New()
+	var st index.OpStats
+	for i := uint64(0); i < 100000; i++ {
+		tr.Insert(i, i, &st)
+	}
+	if st.Splits == 0 {
+		t.Error("no splits on 100k sequential inserts")
+	}
+	if st.Consolidates == 0 {
+		t.Error("no consolidations recorded")
+	}
+	for i := uint64(0); i < 100000; i += 991 {
+		if v, ok := tr.Get(i, nil); !ok || v != i {
+			t.Fatalf("Get(%d) = %d,%v", i, v, ok)
+		}
+	}
+}
+
+func TestDuplicateInsertRejected(t *testing.T) {
+	tr := New()
+	if !tr.Insert(9, 1, nil) {
+		t.Fatal("first insert failed")
+	}
+	if tr.Insert(9, 2, nil) {
+		t.Error("duplicate insert succeeded")
+	}
+	if v, _ := tr.Get(9, nil); v != 1 {
+		t.Errorf("value = %d after duplicate insert", v)
+	}
+}
+
+func TestUpdateNewestDeltaWins(t *testing.T) {
+	tr := New()
+	tr.Insert(5, 1, nil)
+	for v := uint64(2); v <= 20; v++ {
+		if !tr.Update(5, v, nil) {
+			t.Fatalf("Update to %d failed", v)
+		}
+	}
+	if got, _ := tr.Get(5, nil); got != 20 {
+		t.Errorf("Get = %d, want 20 (newest delta)", got)
+	}
+	if tr.Update(6, 1, nil) {
+		t.Error("Update of absent key succeeded")
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d, want 1", tr.Len())
+	}
+}
+
+func TestDeltaChainsConsolidate(t *testing.T) {
+	tr := New()
+	tr.Insert(1, 1, nil)
+	// Hammer one key with updates; the chain must be bounded by
+	// consolidation rather than growing without limit.
+	for i := uint64(0); i < 1000; i++ {
+		tr.Update(1, i, nil)
+	}
+	if l := tr.DeltaChainLength(1); l > consolidateAt {
+		t.Errorf("chain length %d exceeds consolidation threshold %d", l, consolidateAt)
+	}
+	if tr.Consolidations.Load() == 0 {
+		t.Error("no consolidations happened")
+	}
+}
+
+func TestScanOrdered(t *testing.T) {
+	tr := New()
+	keys := rand.New(rand.NewSource(3)).Perm(5000)
+	for _, k := range keys {
+		tr.Insert(uint64(k), uint64(k)*3, nil)
+	}
+	var got []uint64
+	n := tr.Scan(2000, 2199, func(k, v uint64) bool {
+		if v != k*3 {
+			t.Errorf("value mismatch at %d", k)
+		}
+		got = append(got, k)
+		return true
+	}, nil)
+	if n != 200 {
+		t.Fatalf("Scan visited %d, want 200", n)
+	}
+	for i, k := range got {
+		if k != uint64(2000+i) {
+			t.Fatalf("out of order at %d: %d", i, k)
+		}
+	}
+}
+
+func TestScanSeesFreshDeltas(t *testing.T) {
+	tr := New()
+	for i := uint64(0); i < 100; i++ {
+		tr.Insert(i*2, i, nil)
+	}
+	// Updates sit in deltas; scans must observe the newest values.
+	tr.Update(10, 999, nil)
+	seen := false
+	tr.Scan(10, 10, func(k, v uint64) bool {
+		seen = true
+		if v != 999 {
+			t.Errorf("Scan saw stale value %d", v)
+		}
+		return true
+	}, nil)
+	if !seen {
+		t.Error("Scan missed key 10")
+	}
+}
+
+func TestSchemeAndName(t *testing.T) {
+	tr := New()
+	if tr.Name() != "BW-Tree" {
+		t.Errorf("Name = %q", tr.Name())
+	}
+	if tr.Scheme() != index.SchemeCOW {
+		t.Errorf("Scheme = %v", tr.Scheme())
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	tr := New()
+	for i := uint64(0); i < 10000; i++ {
+		tr.Insert(i, i, nil)
+	}
+	var st index.OpStats
+	tr.Get(5000, &st)
+	if st.NodesVisited == 0 || st.LinesTouched == 0 {
+		t.Errorf("stats not accounted: %+v", st)
+	}
+	var ust index.OpStats
+	tr.Update(5000, 1, &ust)
+	if ust.BytesCopied == 0 {
+		t.Error("update delta copied no bytes")
+	}
+}
+
+func TestMappingTableExhaustionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on mapping-table exhaustion")
+		}
+	}()
+	tr := NewCapacity(8)
+	for i := uint64(0); i < 100000; i++ {
+		tr.Insert(i, i, nil)
+	}
+}
+
+func TestConcurrentInsertsDisjoint(t *testing.T) {
+	tr := New()
+	const goroutines, perG = 8, 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(base uint64) {
+			defer wg.Done()
+			for i := uint64(0); i < perG; i++ {
+				if !tr.Insert(base+i, base+i, nil) {
+					t.Errorf("Insert(%d) failed", base+i)
+					return
+				}
+			}
+		}(uint64(g) * 10_000_000)
+	}
+	wg.Wait()
+	if tr.Len() != goroutines*perG {
+		t.Fatalf("Len = %d, want %d", tr.Len(), goroutines*perG)
+	}
+	for g := 0; g < goroutines; g++ {
+		base := uint64(g) * 10_000_000
+		for i := uint64(0); i < perG; i += 499 {
+			if v, ok := tr.Get(base+i, nil); !ok || v != base+i {
+				t.Fatalf("Get(%d) = %d,%v", base+i, v, ok)
+			}
+		}
+	}
+}
+
+func TestConcurrentContendedInserts(t *testing.T) {
+	tr := New()
+	const n = 3000
+	var wins [n]int32
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := uint64(0); k < n; k++ {
+				if tr.Insert(k, k, nil) {
+					mu.Lock()
+					wins[k]++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for k := range wins {
+		if wins[k] != 1 {
+			t.Fatalf("key %d inserted %d times", k, wins[k])
+		}
+	}
+	if tr.Len() != n {
+		t.Errorf("Len = %d, want %d", tr.Len(), n)
+	}
+}
+
+func TestConcurrentReadUpdateConsistency(t *testing.T) {
+	tr := New()
+	const n = 2000
+	for i := uint64(0); i < n; i++ {
+		tr.Insert(i, i*10, nil)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(2)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < 5000; i++ {
+				k := uint64(r.Intn(n))
+				if !tr.Update(k, k*10, nil) {
+					t.Errorf("Update(%d) failed", k)
+					return
+				}
+			}
+		}(int64(g))
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed + 50))
+			for i := 0; i < 5000; i++ {
+				k := uint64(r.Intn(n))
+				v, ok := tr.Get(k, nil)
+				if !ok || v != k*10 {
+					t.Errorf("Get(%d) = %d,%v", k, v, ok)
+					return
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+}
+
+func TestConcurrentInsertsWithCASConflictsTracked(t *testing.T) {
+	tr := New()
+	var wg sync.WaitGroup
+	// Zipf-like contention on a small hot range maximises CAS conflicts.
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 5000; i++ {
+				k := uint64(r.Intn(200))
+				if !tr.Insert(k, k, nil) {
+					tr.Update(k, uint64(i), nil)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if tr.Len() != 200 {
+		t.Errorf("Len = %d, want 200", tr.Len())
+	}
+	// With 8 goroutines on 200 hot keys, some CAS failures are expected on
+	// a 1-CPU box but not guaranteed; just ensure the counter is readable.
+	_ = tr.CASFailures.Load()
+}
+
+func TestRandomisedAgainstMap(t *testing.T) {
+	tr := New()
+	oracle := map[uint64]uint64{}
+	r := rand.New(rand.NewSource(1234))
+	for i := 0; i < 60000; i++ {
+		k := uint64(r.Intn(20000))
+		switch r.Intn(3) {
+		case 0:
+			_, exists := oracle[k]
+			if ok := tr.Insert(k, k+1, nil); ok == exists {
+				t.Fatalf("Insert(%d) = %v, exists=%v", k, ok, exists)
+			}
+			if !exists {
+				oracle[k] = k + 1
+			}
+		case 1:
+			_, exists := oracle[k]
+			if ok := tr.Update(k, k+2, nil); ok != exists {
+				t.Fatalf("Update(%d) = %v, exists=%v", k, ok, exists)
+			}
+			if exists {
+				oracle[k] = k + 2
+			}
+		case 2:
+			v, ok := tr.Get(k, nil)
+			ov, exists := oracle[k]
+			if ok != exists || (ok && v != ov) {
+				t.Fatalf("Get(%d) = %d,%v, oracle %d,%v", k, v, ok, ov, exists)
+			}
+		}
+	}
+	if tr.Len() != len(oracle) {
+		t.Errorf("Len = %d, oracle %d", tr.Len(), len(oracle))
+	}
+}
+
+func TestScanCountProperty(t *testing.T) {
+	f := func(keys []uint16, a, b uint16) bool {
+		lo, hi := uint64(a), uint64(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		tr := New()
+		set := map[uint64]bool{}
+		for _, k16 := range keys {
+			k := uint64(k16)
+			if tr.Insert(k, k, nil) {
+				set[k] = true
+			}
+		}
+		want := 0
+		for k := range set {
+			if k >= lo && k <= hi {
+				want++
+			}
+		}
+		return tr.Scan(lo, hi, func(k, v uint64) bool { return true }, nil) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

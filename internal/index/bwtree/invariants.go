@@ -1,0 +1,113 @@
+package bwtree
+
+import "fmt"
+
+// CheckInvariants verifies the tree's structural invariants from a quiesced
+// state (no concurrent writers): every base node's keys are sorted and
+// within its B-link bounds, delta chains are well-formed with consistent
+// depths, the mapping table contains no cycles on the traversal paths, and
+// the leaf-level B-link chain visits ascending key ranges whose union is
+// exactly Len() keys. For tests and debugging.
+func (t *Tree) CheckInvariants() error {
+	// Walk the leaf level via the leftmost path, then the B-link chain.
+	p := pid(rootPID)
+	for {
+		n := t.load(p)
+		if n == nil {
+			return fmt.Errorf("bwtree: nil mapping entry %d", p)
+		}
+		if err := checkChain(n); err != nil {
+			return err
+		}
+		b := n.base()
+		if n.isLeaf() {
+			break
+		}
+		if len(b.children) != len(b.seps)+1 {
+			return fmt.Errorf("bwtree: inner pid %d has %d children for %d seps", p, len(b.children), len(b.seps))
+		}
+		for i := 1; i < len(b.seps); i++ {
+			if b.seps[i-1] >= b.seps[i] {
+				return fmt.Errorf("bwtree: inner pid %d separators unsorted", p)
+			}
+		}
+		p = b.children[0]
+	}
+	// Leaf chain.
+	total := 0
+	var prev uint64
+	first := true
+	visited := map[pid]bool{}
+	for {
+		if visited[p] {
+			return fmt.Errorf("bwtree: leaf chain cycle at pid %d", p)
+		}
+		visited[p] = true
+		head := t.load(p)
+		if head == nil {
+			return fmt.Errorf("bwtree: nil leaf pid %d", p)
+		}
+		if err := checkChain(head); err != nil {
+			return err
+		}
+		keys, _, b := flatten(head)
+		for i, k := range keys {
+			if i > 0 && keys[i-1] >= k {
+				return fmt.Errorf("bwtree: leaf pid %d keys unsorted", p)
+			}
+			if !first && k <= prev {
+				return fmt.Errorf("bwtree: leaf chain key %d out of order", k)
+			}
+			if b.hasHigh && k >= b.highKey {
+				return fmt.Errorf("bwtree: leaf pid %d key %d ≥ high bound %d", p, k, b.highKey)
+			}
+			prev, first = k, false
+		}
+		total += len(keys)
+		if b.right == nilPID {
+			if b.hasHigh {
+				return fmt.Errorf("bwtree: rightmost leaf pid %d has a high bound", p)
+			}
+			break
+		}
+		if !b.hasHigh {
+			return fmt.Errorf("bwtree: leaf pid %d has a right sibling but no high bound", p)
+		}
+		p = b.right
+	}
+	if int64(total) != t.count.Load() {
+		return fmt.Errorf("bwtree: leaf chain holds %d keys, count says %d", total, t.count.Load())
+	}
+	return nil
+}
+
+// checkChain validates a delta chain: monotonically decreasing depths down
+// to a base of depth 0, delta kinds only above a single base.
+func checkChain(head *node) error {
+	depth := head.depth
+	seen := 0
+	for n := head; n != nil; n = n.next {
+		if n.depth != depth-seen {
+			return fmt.Errorf("bwtree: chain depth %d at position %d, want %d", n.depth, seen, depth-seen)
+		}
+		seen++
+		if n.next == nil {
+			if n.kind != leafBase && n.kind != innerBase {
+				return fmt.Errorf("bwtree: chain ends in non-base kind %d", n.kind)
+			}
+			if n.depth != 0 {
+				return fmt.Errorf("bwtree: base has depth %d", n.depth)
+			}
+		} else {
+			switch n.kind {
+			case leafInsertDelta, leafUpdateDelta, leafDeleteDelta:
+			default:
+				return fmt.Errorf("bwtree: non-delta kind %d mid-chain", n.kind)
+			}
+		}
+		if seen > 1<<16 {
+			return fmt.Errorf("bwtree: chain of absurd length (cycle?)")
+		}
+	}
+	return nil
+}

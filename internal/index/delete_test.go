@@ -1,0 +1,203 @@
+package index_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"robustconf/internal/index"
+	"robustconf/internal/index/btree"
+)
+
+// TestDeleteUniformBehaviour exercises Delete across all four structures
+// through the common interface: delete removes, double delete fails,
+// deleted keys can be re-inserted, Len tracks.
+func TestDeleteUniformBehaviour(t *testing.T) {
+	for name, idx := range table1() {
+		t.Run(name, func(t *testing.T) {
+			const n = 2000
+			for i := uint64(0); i < n; i++ {
+				idx.Insert(i, i, nil)
+			}
+			if idx.Delete(99999, nil) {
+				t.Error("delete of absent key succeeded")
+			}
+			// Delete every third key.
+			removed := 0
+			for i := uint64(0); i < n; i += 3 {
+				if !idx.Delete(i, nil) {
+					t.Fatalf("Delete(%d) failed", i)
+				}
+				removed++
+			}
+			if idx.Len() != n-removed {
+				t.Errorf("Len = %d, want %d", idx.Len(), n-removed)
+			}
+			for i := uint64(0); i < n; i++ {
+				_, ok := idx.Get(i, nil)
+				want := i%3 != 0
+				if ok != want {
+					t.Fatalf("Get(%d) = %v, want %v after deletes", i, ok, want)
+				}
+			}
+			// Deleted keys are re-insertable with new values.
+			if !idx.Insert(0, 777, nil) {
+				t.Fatal("re-insert of deleted key failed")
+			}
+			if v, ok := idx.Get(0, nil); !ok || v != 777 {
+				t.Errorf("re-inserted key reads %d,%v", v, ok)
+			}
+			if idx.Delete(0, nil) != true {
+				t.Error("delete of re-inserted key failed")
+			}
+			// Update of a deleted key must fail.
+			if idx.Update(3, 1, nil) {
+				t.Error("update of deleted key succeeded")
+			}
+		})
+	}
+}
+
+// TestDeleteInterleavedRandomised cross-checks delete against a map oracle
+// for every structure.
+func TestDeleteInterleavedRandomised(t *testing.T) {
+	for name, idx := range table1() {
+		t.Run(name, func(t *testing.T) {
+			oracle := map[uint64]uint64{}
+			r := rand.New(rand.NewSource(5))
+			for i := 0; i < 30000; i++ {
+				k := uint64(r.Intn(3000))
+				switch r.Intn(4) {
+				case 0:
+					_, exists := oracle[k]
+					if ok := idx.Insert(k, k+1, nil); ok == exists {
+						t.Fatalf("Insert(%d) = %v, exists=%v", k, ok, exists)
+					}
+					if !exists {
+						oracle[k] = k + 1
+					}
+				case 1:
+					_, exists := oracle[k]
+					if ok := idx.Update(k, k+2, nil); ok != exists {
+						t.Fatalf("Update(%d) = %v, exists=%v", k, ok, exists)
+					}
+					if exists {
+						oracle[k] = k + 2
+					}
+				case 2:
+					_, exists := oracle[k]
+					if ok := idx.Delete(k, nil); ok != exists {
+						t.Fatalf("Delete(%d) = %v, exists=%v", k, ok, exists)
+					}
+					delete(oracle, k)
+				case 3:
+					v, ok := idx.Get(k, nil)
+					ov, exists := oracle[k]
+					if ok != exists || (ok && v != ov) {
+						t.Fatalf("Get(%d) = %d,%v, oracle %d,%v", k, v, ok, ov, exists)
+					}
+				}
+			}
+			if idx.Len() != len(oracle) {
+				t.Errorf("Len = %d, oracle %d", idx.Len(), len(oracle))
+			}
+		})
+	}
+}
+
+// TestDeleteExcludedFromScans verifies ordered structures stop returning
+// deleted keys from range scans.
+func TestDeleteExcludedFromScans(t *testing.T) {
+	for _, name := range []string{"B-Tree", "FP-Tree", "BW-Tree"} {
+		t.Run(name, func(t *testing.T) {
+			idx := table1()[name]
+			r := idx.(index.Ranger)
+			for i := uint64(0); i < 100; i++ {
+				idx.Insert(i, i, nil)
+			}
+			for i := uint64(20); i < 40; i++ {
+				idx.Delete(i, nil)
+			}
+			var got []uint64
+			r.Scan(0, 99, func(k, v uint64) bool {
+				got = append(got, k)
+				return true
+			}, nil)
+			if len(got) != 80 {
+				t.Fatalf("scan returned %d keys, want 80", len(got))
+			}
+			for _, k := range got {
+				if k >= 20 && k < 40 {
+					t.Fatalf("scan returned deleted key %d", k)
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentDeleteInsertChurn stresses delete/insert churn on the same
+// key range from several goroutines for each structure.
+func TestConcurrentDeleteInsertChurn(t *testing.T) {
+	for name, idx := range table1() {
+		t.Run(name, func(t *testing.T) {
+			const keys = 500
+			for i := uint64(0); i < keys; i++ {
+				idx.Insert(i, i, nil)
+			}
+			var wg sync.WaitGroup
+			for g := 0; g < 6; g++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					r := rand.New(rand.NewSource(seed))
+					for i := 0; i < 3000; i++ {
+						k := uint64(r.Intn(keys))
+						if r.Intn(2) == 0 {
+							idx.Delete(k, nil)
+						} else {
+							idx.Insert(k, k, nil)
+						}
+					}
+				}(int64(g))
+			}
+			wg.Wait()
+			// Invariants after churn: Len matches an exhaustive count, and
+			// every readable key maps to its own value.
+			count := 0
+			for i := uint64(0); i < keys; i++ {
+				if v, ok := idx.Get(i, nil); ok {
+					count++
+					if v != i {
+						t.Fatalf("key %d holds %d after churn", i, v)
+					}
+				}
+			}
+			if idx.Len() != count {
+				t.Errorf("Len = %d, exhaustive count = %d", idx.Len(), count)
+			}
+		})
+	}
+}
+
+// TestPartitionedDelete exercises Delete through the partitioned wrapper.
+func TestPartitionedDelete(t *testing.T) {
+	parts := []index.Index{btree.New(), btree.New()}
+	p, err := index.NewHashPartitioned(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 100; i++ {
+		p.Insert(i, i, nil)
+	}
+	for i := uint64(0); i < 100; i += 2 {
+		if !p.Delete(i, nil) {
+			t.Fatalf("Delete(%d) failed", i)
+		}
+	}
+	if p.Len() != 50 {
+		t.Errorf("Len = %d", p.Len())
+	}
+	if p.Delete(0, nil) {
+		t.Error("double delete succeeded")
+	}
+}

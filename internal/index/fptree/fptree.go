@@ -1,0 +1,467 @@
+// Package fptree implements the FP-Tree of Oukid et al. (SIGMOD'16) as a
+// main-memory index: volatile sorted inner nodes above unsorted leaves that
+// carry a one-byte fingerprint per record and an occupancy bitmap. Lookups
+// descend the inner nodes, then probe the leaf's fingerprint array and only
+// compare keys on fingerprint hits — the design that makes the leaf probe a
+// single cache-line scan in the common case.
+//
+// Synchronisation follows the paper's Table 1: operations run as hardware
+// memory transactions with a global-lock fallback, provided here by the
+// software HTM emulation in internal/htm. Every node carries a version cell;
+// transactions read the cells along their path and write the cells of the
+// nodes they modify. Leaf records are published through atomic stores so
+// in-flight optimistic readers never observe torn words.
+//
+// In the original system the leaves live in storage-class memory; here they
+// are DRAM-resident (see DESIGN.md §2) with identical structure.
+package fptree
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"robustconf/internal/htm"
+	"robustconf/internal/index"
+	"robustconf/internal/syncprims"
+)
+
+const (
+	leafCap     = 32 // records per leaf
+	innerFanout = 32 // children per inner node
+)
+
+// fingerprint is the one-byte hash probed before any key comparison.
+func fingerprint(k uint64) uint32 {
+	k ^= k >> 33
+	k *= 0xff51afd7ed558ccd
+	k ^= k >> 33
+	return uint32(k & 0xff)
+}
+
+type leaf struct {
+	cell   syncprims.VersionLock
+	bitmap atomic.Uint64 // publishes slot occupancy (release store)
+	fps    [leafCap]atomic.Uint32
+	keys   [leafCap]atomic.Uint64
+	vals   [leafCap]atomic.Uint64
+	next   atomic.Pointer[leaf]
+}
+
+const leafBytes = 8 + 8 + leafCap*(4+8+8) + 8
+
+// innerContent is the immutable payload of an inner node; structural changes
+// install a fresh content (copy-on-write) so concurrent readers always see a
+// consistent key/children pairing.
+type innerContent struct {
+	keys     []uint64
+	children []any // *inner or *leaf
+}
+
+type inner struct {
+	cell    syncprims.VersionLock
+	content atomic.Pointer[innerContent]
+}
+
+func innerBytes(c *innerContent) int { return 16 + len(c.keys)*8 + len(c.children)*8 }
+
+// rootRef wraps the root so it can be swapped atomically.
+type rootRef struct {
+	node any // *inner or *leaf
+}
+
+// Tree is a concurrent FP-Tree. Construct with New.
+type Tree struct {
+	region   *htm.Region
+	rootCell syncprims.VersionLock
+	root     atomic.Pointer[rootRef]
+	count    atomic.Int64
+}
+
+// New returns an empty FP-Tree with a fresh HTM region.
+func New() *Tree {
+	t := &Tree{region: htm.NewRegion()}
+	t.root.Store(&rootRef{node: newLeaf()})
+	return t
+}
+
+func newLeaf() *leaf { return &leaf{} }
+
+// Name implements index.Index.
+func (t *Tree) Name() string { return "FP-Tree" }
+
+// Scheme implements index.Index.
+func (t *Tree) Scheme() index.Scheme { return index.SchemeHTM }
+
+// Len implements index.Index.
+func (t *Tree) Len() int { return int(t.count.Load()) }
+
+// HTMStats exposes the region's transactional outcome counters (commits,
+// aborts, fallbacks) for the experiment harness.
+func (t *Tree) HTMStats() *htm.Stats { return &t.region.Stats }
+
+// descend walks from the root to the leaf covering k inside tx, registering
+// every cell on the path in the transaction's read set. It returns the leaf
+// and its parent chain (nearest last).
+func (t *Tree) descend(tx *htm.Tx, k uint64, st *index.OpStats) (*leaf, []*inner, error) {
+	if err := tx.Read(&t.rootCell); err != nil {
+		return nil, nil, err
+	}
+	ref := t.root.Load()
+	node := ref.node
+	var path []*inner
+	depth := uint64(0)
+	for {
+		switch n := node.(type) {
+		case *inner:
+			if err := tx.Read(&n.cell); err != nil {
+				return nil, nil, err
+			}
+			c := n.content.Load()
+			if c == nil || len(c.children) == 0 {
+				return nil, nil, tx.Abort() // torn mid-install; retry
+			}
+			st.Visit(1, index.CacheLines(innerBytes(c)))
+			depth++
+			i := searchSeparators(c.keys, k)
+			path = append(path, n)
+			node = c.children[i]
+		case *leaf:
+			if err := tx.Read(&n.cell); err != nil {
+				return nil, nil, err
+			}
+			st.Visit(1, index.CacheLines(leafBytes))
+			if st != nil {
+				st.Depth += depth
+			}
+			return n, path, nil
+		default:
+			return nil, nil, tx.Abort()
+		}
+	}
+}
+
+// searchSeparators returns the child index for k: first separator > k.
+func searchSeparators(keys []uint64, k uint64) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if keys[mid] <= k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// probe scans the leaf's fingerprints for k and returns the slot, or -1.
+func probe(lf *leaf, k uint64, st *index.OpStats) int {
+	fp := fingerprint(k)
+	bm := lf.bitmap.Load()
+	for i := 0; i < leafCap; i++ {
+		if bm&(1<<uint(i)) == 0 {
+			continue
+		}
+		if st != nil {
+			st.FPProbes++
+		}
+		if lf.fps[i].Load() != fp {
+			continue
+		}
+		if lf.keys[i].Load() == k {
+			return i
+		}
+	}
+	return -1
+}
+
+// Get implements index.Index.
+func (t *Tree) Get(k uint64, st *index.OpStats) (uint64, bool) {
+	if st != nil {
+		st.Ops++
+	}
+	var val uint64
+	var found bool
+	err := t.region.Atomic(func(tx *htm.Tx) error {
+		val, found = 0, false
+		lf, _, err := t.descend(tx, k, st)
+		if err != nil {
+			return err
+		}
+		if i := probe(lf, k, st); i >= 0 {
+			val = lf.vals[i].Load()
+			found = true
+		}
+		return nil
+	})
+	if err != nil {
+		// Atomic only surfaces non-abort errors, which we never generate.
+		panic("fptree: unexpected transaction error: " + err.Error())
+	}
+	return val, found
+}
+
+// Update implements index.Index: an in-place value store under the leaf cell.
+func (t *Tree) Update(k, v uint64, st *index.OpStats) bool {
+	if st != nil {
+		st.Ops++
+	}
+	var updated bool
+	err := t.region.Atomic(func(tx *htm.Tx) error {
+		updated = false
+		lf, _, err := t.descend(tx, k, st)
+		if err != nil {
+			return err
+		}
+		i := probe(lf, k, st)
+		if i < 0 {
+			return nil
+		}
+		updated = true
+		return tx.Write(&lf.cell, func() { lf.vals[i].Store(v) })
+	})
+	if err != nil {
+		panic("fptree: unexpected transaction error: " + err.Error())
+	}
+	return updated
+}
+
+// Delete implements index.Index: the unsorted-leaf design makes removal a
+// single bitmap-bit clear under the leaf's cell — the slot is simply
+// unpublished and becomes reusable by later inserts.
+func (t *Tree) Delete(k uint64, st *index.OpStats) bool {
+	if st != nil {
+		st.Ops++
+	}
+	var deleted bool
+	err := t.region.Atomic(func(tx *htm.Tx) error {
+		deleted = false
+		lf, _, err := t.descend(tx, k, st)
+		if err != nil {
+			return err
+		}
+		i := probe(lf, k, st)
+		if i < 0 {
+			return nil
+		}
+		deleted = true
+		bm := lf.bitmap.Load()
+		return tx.Write(&lf.cell, func() {
+			lf.bitmap.Store(bm &^ (1 << uint(i)))
+		})
+	})
+	if err != nil {
+		panic("fptree: unexpected transaction error: " + err.Error())
+	}
+	if deleted {
+		t.count.Add(-1)
+	}
+	return deleted
+}
+
+// Insert implements index.Index.
+func (t *Tree) Insert(k, v uint64, st *index.OpStats) bool {
+	if st != nil {
+		st.Ops++
+	}
+	var inserted bool
+	err := t.region.Atomic(func(tx *htm.Tx) error {
+		inserted = false
+		lf, path, err := t.descend(tx, k, st)
+		if err != nil {
+			return err
+		}
+		if probe(lf, k, st) >= 0 {
+			return nil // duplicate
+		}
+		bm := lf.bitmap.Load()
+		if slot := freeSlot(bm); slot >= 0 {
+			inserted = true
+			return tx.Write(&lf.cell, func() {
+				lf.fps[slot].Store(fingerprint(k))
+				lf.keys[slot].Store(k)
+				lf.vals[slot].Store(v)
+				lf.bitmap.Store(bm | 1<<uint(slot)) // publish last
+			})
+		}
+		// Leaf full: split, then insert into the proper half. The split
+		// plan is computed here (reads only); all mutations are deferred
+		// writes under the cells of the modified nodes.
+		inserted = true
+		return t.planSplitInsert(tx, lf, path, k, v, st)
+	})
+	if err != nil {
+		panic("fptree: unexpected transaction error: " + err.Error())
+	}
+	if inserted {
+		t.count.Add(1)
+	}
+	return inserted
+}
+
+func freeSlot(bm uint64) int {
+	for i := 0; i < leafCap; i++ {
+		if bm&(1<<uint(i)) == 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// planSplitInsert splits the full leaf lf around its median, inserts (k, v)
+// into the correct half, and updates the parent chain, growing the tree if
+// the root splits. All modifications are registered as transactional writes.
+func (t *Tree) planSplitInsert(tx *htm.Tx, lf *leaf, path []*inner, k, v uint64, st *index.OpStats) error {
+	// Snapshot the full leaf (bitmap is all-ones here).
+	type rec struct{ k, v uint64 }
+	recs := make([]rec, 0, leafCap+1)
+	for i := 0; i < leafCap; i++ {
+		recs = append(recs, rec{lf.keys[i].Load(), lf.vals[i].Load()})
+	}
+	recs = append(recs, rec{k, v})
+	sort.Slice(recs, func(i, j int) bool { return recs[i].k < recs[j].k })
+	mid := len(recs) / 2
+	sep := recs[mid].k // first key of the right leaf
+
+	right := newLeaf()
+	// The right leaf is private until the commit publishes the parent
+	// link, so it can be populated eagerly.
+	var rightBM uint64
+	for i, r := range recs[mid:] {
+		right.fps[i].Store(fingerprint(r.k))
+		right.keys[i].Store(r.k)
+		right.vals[i].Store(r.v)
+		rightBM |= 1 << uint(i)
+	}
+	if st != nil {
+		st.Splits++
+		st.BytesCopied += uint64(len(recs) * 16)
+	}
+
+	leftRecs := recs[:mid]
+	applyLeaf := func() {
+		// Rewrite the left leaf compacted; publish via bitmap store.
+		lf.bitmap.Store(0)
+		var bm uint64
+		for i, r := range leftRecs {
+			lf.fps[i].Store(fingerprint(r.k))
+			lf.keys[i].Store(r.k)
+			lf.vals[i].Store(r.v)
+			bm |= 1 << uint(i)
+		}
+		right.next.Store(lf.next.Load())
+		lf.next.Store(right)
+		right.bitmap.Store(rightBM)
+		lf.bitmap.Store(bm)
+	}
+	if err := tx.Write(&lf.cell, applyLeaf); err != nil {
+		return err
+	}
+	return t.propagateSplit(tx, path, lf, right, sep, st)
+}
+
+// propagateSplit inserts separator sep with new right child into the parent,
+// splitting inner nodes upward as needed (copy-on-write contents).
+func (t *Tree) propagateSplit(tx *htm.Tx, path []*inner, left, right any, sep uint64, st *index.OpStats) error {
+	if len(path) == 0 {
+		// The split node was the root: grow the tree.
+		newRoot := &inner{}
+		newRoot.content.Store(&innerContent{
+			keys:     []uint64{sep},
+			children: []any{left, right},
+		})
+		return tx.Write(&t.rootCell, func() { t.root.Store(&rootRef{node: newRoot}) })
+	}
+	parent := path[len(path)-1]
+	c := parent.content.Load()
+	i := searchSeparators(c.keys, sep)
+	nk := make([]uint64, 0, len(c.keys)+1)
+	nc := make([]any, 0, len(c.children)+1)
+	nk = append(nk, c.keys[:i]...)
+	nk = append(nk, sep)
+	nk = append(nk, c.keys[i:]...)
+	nc = append(nc, c.children[:i+1]...)
+	nc = append(nc, right)
+	nc = append(nc, c.children[i+1:]...)
+
+	if len(nc) <= innerFanout {
+		fresh := &innerContent{keys: nk, children: nc}
+		return tx.Write(&parent.cell, func() { parent.content.Store(fresh) })
+	}
+	// Inner split: left keeps [0,mid), key mid moves up, right gets the rest.
+	mid := len(nk) / 2
+	up := nk[mid]
+	leftContent := &innerContent{keys: append([]uint64(nil), nk[:mid]...), children: append([]any(nil), nc[:mid+1]...)}
+	rightInner := &inner{}
+	rightInner.content.Store(&innerContent{keys: append([]uint64(nil), nk[mid+1:]...), children: append([]any(nil), nc[mid+1:]...)})
+	if st != nil {
+		st.Splits++
+		st.BytesCopied += uint64(innerBytes(leftContent))
+	}
+	if err := tx.Write(&parent.cell, func() { parent.content.Store(leftContent) }); err != nil {
+		return err
+	}
+	return t.propagateSplit(tx, path[:len(path)-1], parent, rightInner, up, st)
+}
+
+// Scan implements index.Ranger. Leaves are unsorted, so each leaf's live
+// records are collected and sorted before yielding. Large scans may exceed
+// HTM capacity and execute on the fallback path — the behaviour a real
+// HTM-synchronised FP-Tree exhibits.
+func (t *Tree) Scan(lo, hi uint64, fn func(k, v uint64) bool, st *index.OpStats) int {
+	if st != nil {
+		st.Ops++
+	}
+	type rec struct{ k, v uint64 }
+	var out []rec
+	err := t.region.Atomic(func(tx *htm.Tx) error {
+		out = out[:0]
+		lf, _, err := t.descend(tx, lo, st)
+		if err != nil {
+			return err
+		}
+		for lf != nil {
+			var batch []rec
+			bm := lf.bitmap.Load()
+			minKey := uint64(1<<64 - 1)
+			for i := 0; i < leafCap; i++ {
+				if bm&(1<<uint(i)) == 0 {
+					continue
+				}
+				k := lf.keys[i].Load()
+				if k < minKey {
+					minKey = k
+				}
+				if k >= lo && k <= hi {
+					batch = append(batch, rec{k, lf.vals[i].Load()})
+				}
+			}
+			sort.Slice(batch, func(i, j int) bool { return batch[i].k < batch[j].k })
+			out = append(out, batch...)
+			if bm != 0 && minKey > hi {
+				break
+			}
+			next := lf.next.Load()
+			if next == nil {
+				break
+			}
+			if err := tx.Read(&next.cell); err != nil {
+				return err
+			}
+			st.Visit(1, index.CacheLines(leafBytes))
+			lf = next
+		}
+		return nil
+	})
+	if err != nil {
+		panic("fptree: unexpected transaction error: " + err.Error())
+	}
+	n := 0
+	for _, r := range out {
+		n++
+		if !fn(r.k, r.v) {
+			break
+		}
+	}
+	return n
+}

@@ -1,0 +1,125 @@
+package fptree
+
+import "fmt"
+
+// CheckInvariants verifies the tree's structural invariants from a quiesced
+// state: every occupied leaf slot's fingerprint matches its key, leaf
+// contents respect the inner separators, inner keys are sorted, and the
+// leaf chain covers exactly Len() keys in ascending range order. For tests
+// and debugging.
+func (t *Tree) CheckInvariants() error {
+	ref := t.root.Load()
+	if ref == nil {
+		return fmt.Errorf("fptree: nil root")
+	}
+	counted := 0
+	var firstLeaf *leaf
+	var walk func(node any, lo, hi uint64, hasLo, hasHi bool) error
+	walk = func(node any, lo, hi uint64, hasLo, hasHi bool) error {
+		switch n := node.(type) {
+		case *inner:
+			c := n.content.Load()
+			if c == nil {
+				return fmt.Errorf("fptree: inner node without content")
+			}
+			if len(c.children) != len(c.keys)+1 {
+				return fmt.Errorf("fptree: inner has %d children for %d keys", len(c.children), len(c.keys))
+			}
+			for i := 1; i < len(c.keys); i++ {
+				if c.keys[i-1] >= c.keys[i] {
+					return fmt.Errorf("fptree: inner keys unsorted at %d", i)
+				}
+			}
+			for i, child := range c.children {
+				cLo, cHasLo := lo, hasLo
+				cHi, cHasHi := hi, hasHi
+				if i > 0 {
+					cLo, cHasLo = c.keys[i-1], true
+				}
+				if i < len(c.keys) {
+					cHi, cHasHi = c.keys[i], true
+				}
+				if err := walk(child, cLo, cHi, cHasLo, cHasHi); err != nil {
+					return err
+				}
+			}
+			return nil
+		case *leaf:
+			if firstLeaf == nil {
+				firstLeaf = n
+			}
+			bm := n.bitmap.Load()
+			for i := 0; i < leafCap; i++ {
+				if bm&(1<<uint(i)) == 0 {
+					continue
+				}
+				k := n.keys[i].Load()
+				if got := n.fps[i].Load(); got != fingerprint(k) {
+					return fmt.Errorf("fptree: slot %d fingerprint %d ≠ fingerprint(%d) = %d", i, got, k, fingerprint(k))
+				}
+				if hasLo && k < lo {
+					return fmt.Errorf("fptree: leaf key %d below separator %d", k, lo)
+				}
+				if hasHi && k >= hi {
+					return fmt.Errorf("fptree: leaf key %d not below separator %d", k, hi)
+				}
+				counted++
+			}
+			// No duplicate keys within a leaf.
+			seen := map[uint64]bool{}
+			for i := 0; i < leafCap; i++ {
+				if bm&(1<<uint(i)) == 0 {
+					continue
+				}
+				k := n.keys[i].Load()
+				if seen[k] {
+					return fmt.Errorf("fptree: duplicate key %d within a leaf", k)
+				}
+				seen[k] = true
+			}
+			return nil
+		default:
+			return fmt.Errorf("fptree: unknown node type %T", node)
+		}
+	}
+	if err := walk(ref.node, 0, 0, false, false); err != nil {
+		return err
+	}
+	if int64(counted) != t.count.Load() {
+		return fmt.Errorf("fptree: %d occupied slots, count says %d", counted, t.count.Load())
+	}
+	// Leaf chain ranges must ascend: every key of leaf i+1 exceeds the max
+	// key of leaf i (leaves are internally unsorted but range-disjoint).
+	prevMax := uint64(0)
+	first := true
+	chainCount := 0
+	for lf := firstLeaf; lf != nil; lf = lf.next.Load() {
+		bm := lf.bitmap.Load()
+		var mn, mx uint64
+		any := false
+		for i := 0; i < leafCap; i++ {
+			if bm&(1<<uint(i)) == 0 {
+				continue
+			}
+			k := lf.keys[i].Load()
+			if !any || k < mn {
+				mn = k
+			}
+			if !any || k > mx {
+				mx = k
+			}
+			any = true
+			chainCount++
+		}
+		if any {
+			if !first && mn <= prevMax {
+				return fmt.Errorf("fptree: leaf chain ranges overlap (%d ≤ %d)", mn, prevMax)
+			}
+			prevMax, first = mx, false
+		}
+	}
+	if chainCount != counted {
+		return fmt.Errorf("fptree: leaf chain holds %d keys, tree walk found %d", chainCount, counted)
+	}
+	return nil
+}

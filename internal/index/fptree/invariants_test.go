@@ -1,0 +1,111 @@
+package fptree
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckInvariantsAcceptsHealthyTree(t *testing.T) {
+	tr := New()
+	for i := uint64(0); i < 20000; i++ {
+		tr.Insert(i*31%49999, i, nil)
+	}
+	for i := uint64(0); i < 20000; i += 5 {
+		tr.Delete(i*31%49999, nil)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := New().CheckInvariants(); err != nil {
+		t.Fatalf("empty tree: %v", err)
+	}
+}
+
+func TestCheckInvariantsDetectsCorruption(t *testing.T) {
+	build := func() *Tree {
+		tr := New()
+		for i := uint64(0); i < 3000; i++ {
+			tr.Insert(i, i, nil)
+		}
+		return tr
+	}
+
+	// findLeafRaw descends without transactions (test-only).
+	findLeafRaw := func(tr *Tree, k uint64) *leaf {
+		node := tr.root.Load().node
+		for {
+			switch n := node.(type) {
+			case *inner:
+				c := n.content.Load()
+				node = c.children[searchSeparators(c.keys, k)]
+			case *leaf:
+				return n
+			}
+		}
+	}
+
+	t.Run("fingerprint mismatch", func(t *testing.T) {
+		tr := build()
+		lf := findLeafRaw(tr, 100)
+		bm := lf.bitmap.Load()
+		for i := 0; i < leafCap; i++ {
+			if bm&(1<<uint(i)) != 0 {
+				lf.fps[i].Store(lf.fps[i].Load() ^ 0xFF)
+				break
+			}
+		}
+		err := tr.CheckInvariants()
+		if err == nil || !strings.Contains(err.Error(), "fingerprint") {
+			t.Errorf("fingerprint mismatch not detected: %v", err)
+		}
+	})
+
+	t.Run("count drift", func(t *testing.T) {
+		tr := build()
+		tr.count.Add(2)
+		err := tr.CheckInvariants()
+		if err == nil || !strings.Contains(err.Error(), "count") {
+			t.Errorf("count drift not detected: %v", err)
+		}
+	})
+
+	t.Run("duplicate key in leaf", func(t *testing.T) {
+		tr := build()
+		lf := findLeafRaw(tr, 100)
+		bm := lf.bitmap.Load()
+		var slots []int
+		for i := 0; i < leafCap && len(slots) < 2; i++ {
+			if bm&(1<<uint(i)) != 0 {
+				slots = append(slots, i)
+			}
+		}
+		if len(slots) < 2 {
+			t.Skip("leaf too empty")
+		}
+		k := lf.keys[slots[0]].Load()
+		lf.keys[slots[1]].Store(k)
+		lf.fps[slots[1]].Store(fingerprint(k))
+		err := tr.CheckInvariants()
+		if err == nil {
+			t.Error("duplicate key not detected")
+		}
+	})
+
+	t.Run("key outside separator range", func(t *testing.T) {
+		tr := build()
+		lf := findLeafRaw(tr, 0)
+		bm := lf.bitmap.Load()
+		for i := 0; i < leafCap; i++ {
+			if bm&(1<<uint(i)) != 0 {
+				k := uint64(1 << 50)
+				lf.keys[i].Store(k)
+				lf.fps[i].Store(fingerprint(k))
+				break
+			}
+		}
+		err := tr.CheckInvariants()
+		if err == nil {
+			t.Error("out-of-range key not detected")
+		}
+	})
+}

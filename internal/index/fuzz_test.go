@@ -1,0 +1,78 @@
+package index_test
+
+import (
+	"testing"
+
+	"robustconf/internal/index"
+	"robustconf/internal/index/btree"
+	"robustconf/internal/index/bwtree"
+	"robustconf/internal/index/fptree"
+	"robustconf/internal/index/hashmap"
+)
+
+// FuzzIndexAgainstOracle decodes the fuzz input as a stream of operations
+// and applies it to all four structures in lock-step with a map oracle.
+// Run with `go test -fuzz=FuzzIndexAgainstOracle ./internal/index`; the
+// seed corpus also executes under plain `go test`.
+func FuzzIndexAgainstOracle(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 2, 2, 3, 3, 0})
+	f.Add([]byte{0, 10, 2, 10, 1, 10, 3, 10, 0, 10})
+	f.Add([]byte{255, 254, 253, 252, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 || len(data) > 2048 {
+			return
+		}
+		structures := map[string]index.Index{
+			"btree":   btree.New(),
+			"fptree":  fptree.New(),
+			"bwtree":  bwtree.New(),
+			"hashmap": hashmap.New(),
+		}
+		oracle := map[uint64]uint64{}
+		for i := 0; i+1 < len(data); i += 2 {
+			op := data[i] % 4
+			k := uint64(data[i+1] % 64) // small key space forces collisions
+			v := uint64(i)
+			_, exists := oracle[k]
+			for name, idx := range structures {
+				switch op {
+				case 0:
+					if got := idx.Insert(k, v, nil); got == exists {
+						t.Fatalf("%s: Insert(%d) = %v with exists=%v", name, k, got, exists)
+					}
+				case 1:
+					if got := idx.Update(k, v, nil); got != exists {
+						t.Fatalf("%s: Update(%d) = %v with exists=%v", name, k, got, exists)
+					}
+				case 2:
+					if got := idx.Delete(k, nil); got != exists {
+						t.Fatalf("%s: Delete(%d) = %v with exists=%v", name, k, got, exists)
+					}
+				case 3:
+					got, ok := idx.Get(k, nil)
+					want, wok := oracle[k]
+					if ok != wok || (ok && got != want) {
+						t.Fatalf("%s: Get(%d) = %d,%v, oracle %d,%v", name, k, got, ok, want, wok)
+					}
+				}
+			}
+			switch op {
+			case 0:
+				if !exists {
+					oracle[k] = v
+				}
+			case 1:
+				if exists {
+					oracle[k] = v
+				}
+			case 2:
+				delete(oracle, k)
+			}
+		}
+		for name, idx := range structures {
+			if idx.Len() != len(oracle) {
+				t.Fatalf("%s: Len = %d, oracle %d", name, idx.Len(), len(oracle))
+			}
+		}
+	})
+}

@@ -1,0 +1,222 @@
+// Package hashmap implements a TBB-style concurrent hash map: chained
+// buckets, each protected by a fine-grained reader-writer spin lock. Per the
+// paper's footnote 1, the bucket hash additionally XORs the upper half of
+// the key into the lower half, which evens out bucket occupancy for the
+// structured 64-bit keys YCSB generates (the paper reports the bucket-size
+// standard deviation dropping from 4.7 to 1.2).
+//
+// The reader-side atomic increment that registers a reader on the bucket's
+// lock is the coordination cost the paper identifies as the structure's
+// read-only-workload bottleneck; it is surfaced via ReaderRegistrations so
+// the cost model can charge it.
+package hashmap
+
+import (
+	"math"
+	"sync/atomic"
+
+	"robustconf/internal/index"
+	"robustconf/internal/syncprims"
+)
+
+// DefaultBuckets is New's bucket count; a power of two sized for the YCSB
+// scale used in the examples and tests.
+const DefaultBuckets = 1 << 16
+
+type entry struct {
+	key  uint64
+	val  atomic.Uint64
+	next *entry
+}
+
+const entryBytes = 8 + 8 + 8
+
+type bucket struct {
+	lock syncprims.RWSpinLock
+	head atomic.Pointer[entry]
+	size atomic.Int64
+}
+
+// Map is a concurrent chained hash map. Construct with New or NewBuckets.
+type Map struct {
+	buckets []bucket
+	mask    uint64
+	count   atomic.Int64
+	// xorFold enables the footnote-1 hash fix; disabled only by the
+	// ablation constructor to reproduce the skew the paper discovered.
+	xorFold bool
+}
+
+// New returns a map with the default bucket count and the XOR hash fix on.
+func New() *Map { return NewBuckets(DefaultBuckets) }
+
+// NewBuckets returns a map with the given bucket count, rounded up to a
+// power of two, with the XOR hash fix enabled.
+func NewBuckets(n int) *Map {
+	return newMap(n, true)
+}
+
+// NewWithoutXORFix returns a map that hashes without folding the key's upper
+// half — the configuration the paper found to skew bucket occupancy. It
+// exists for the ablation benchmarks.
+func NewWithoutXORFix(n int) *Map {
+	return newMap(n, false)
+}
+
+func newMap(n int, xorFold bool) *Map {
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	return &Map{buckets: make([]bucket, size), mask: uint64(size - 1), xorFold: xorFold}
+}
+
+// hash mixes the key into a bucket number. Without the XOR fold only the
+// low bits participate, which skews occupancy for keys whose entropy is in
+// the upper half.
+func (m *Map) hash(k uint64) uint64 {
+	if m.xorFold {
+		k ^= k >> 32
+	}
+	k *= 0x9e3779b97f4a7c15
+	return (k >> 16) & m.mask
+}
+
+// Name implements index.Index.
+func (m *Map) Name() string { return "Hash Map" }
+
+// Scheme implements index.Index.
+func (m *Map) Scheme() index.Scheme { return index.SchemeBucketRW }
+
+// Len implements index.Index.
+func (m *Map) Len() int { return int(m.count.Load()) }
+
+// Get implements index.Index.
+func (m *Map) Get(k uint64, st *index.OpStats) (uint64, bool) {
+	if st != nil {
+		st.Ops++
+	}
+	b := &m.buckets[m.hash(k)]
+	b.lock.RLock()
+	defer b.lock.RUnlock()
+	n := uint64(0)
+	for e := b.head.Load(); e != nil; e = e.next {
+		n++
+		if e.key == k {
+			st.Visit(n, n*index.CacheLines(entryBytes))
+			return e.val.Load(), true
+		}
+	}
+	st.Visit(n+1, (n+1)*index.CacheLines(entryBytes))
+	return 0, false
+}
+
+// Insert implements index.Index.
+func (m *Map) Insert(k, v uint64, st *index.OpStats) bool {
+	if st != nil {
+		st.Ops++
+		st.LockAcquires++
+	}
+	b := &m.buckets[m.hash(k)]
+	b.lock.Lock()
+	defer b.lock.Unlock()
+	n := uint64(0)
+	for e := b.head.Load(); e != nil; e = e.next {
+		n++
+		if e.key == k {
+			st.Visit(n, n*index.CacheLines(entryBytes))
+			return false
+		}
+	}
+	e := &entry{key: k, next: b.head.Load()}
+	e.val.Store(v)
+	b.head.Store(e)
+	b.size.Add(1)
+	m.count.Add(1)
+	st.Visit(n+1, (n+1)*index.CacheLines(entryBytes))
+	if st != nil {
+		st.BytesCopied += entryBytes
+	}
+	return true
+}
+
+// Update implements index.Index with an in-place atomic store on the value.
+func (m *Map) Update(k, v uint64, st *index.OpStats) bool {
+	if st != nil {
+		st.Ops++
+		st.LockAcquires++
+	}
+	b := &m.buckets[m.hash(k)]
+	b.lock.RLock() // value stores are atomic; shared mode suffices
+	defer b.lock.RUnlock()
+	n := uint64(0)
+	for e := b.head.Load(); e != nil; e = e.next {
+		n++
+		if e.key == k {
+			e.val.Store(v)
+			st.Visit(n, n*index.CacheLines(entryBytes))
+			return true
+		}
+	}
+	st.Visit(n+1, (n+1)*index.CacheLines(entryBytes))
+	return false
+}
+
+// Delete implements index.Index by unlinking the entry under the bucket's
+// exclusive lock.
+func (m *Map) Delete(k uint64, st *index.OpStats) bool {
+	if st != nil {
+		st.Ops++
+		st.LockAcquires++
+	}
+	b := &m.buckets[m.hash(k)]
+	b.lock.Lock()
+	defer b.lock.Unlock()
+	n := uint64(0)
+	var prev *entry
+	for e := b.head.Load(); e != nil; e = e.next {
+		n++
+		if e.key == k {
+			// Readers hold the bucket's shared lock, so the exclusive
+			// holder may unlink in place.
+			if prev == nil {
+				b.head.Store(e.next)
+			} else {
+				prev.next = e.next
+			}
+			b.size.Add(-1)
+			m.count.Add(-1)
+			st.Visit(n, n*index.CacheLines(entryBytes))
+			return true
+		}
+		prev = e
+	}
+	st.Visit(n+1, (n+1)*index.CacheLines(entryBytes))
+	return false
+}
+
+// Buckets returns the bucket count.
+func (m *Map) Buckets() int { return len(m.buckets) }
+
+// ReaderRegistrations sums the reader-side lock registrations across all
+// buckets — the atomic-increment traffic the paper's read-only analysis
+// attributes the Hash Map bottleneck to.
+func (m *Map) ReaderRegistrations() uint64 {
+	var n uint64
+	for i := range m.buckets {
+		n += m.buckets[i].lock.ReaderRegistrations.Load()
+	}
+	return n
+}
+
+// BucketSizeStdDev returns the standard deviation of bucket occupancy, the
+// metric of footnote 1 (4.7 without the XOR fix vs 1.2 with it).
+func (m *Map) BucketSizeStdDev() float64 {
+	mean := float64(m.count.Load()) / float64(len(m.buckets))
+	var ss float64
+	for i := range m.buckets {
+		d := float64(m.buckets[i].size.Load()) - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(m.buckets)))
+}

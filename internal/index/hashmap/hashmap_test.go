@@ -1,0 +1,247 @@
+package hashmap
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"robustconf/internal/index"
+)
+
+func TestEmptyMap(t *testing.T) {
+	m := New()
+	if m.Len() != 0 {
+		t.Errorf("Len = %d", m.Len())
+	}
+	if _, ok := m.Get(1, nil); ok {
+		t.Error("Get on empty map found a key")
+	}
+	if m.Update(1, 1, nil) {
+		t.Error("Update on empty map succeeded")
+	}
+}
+
+func TestInsertGetUpdate(t *testing.T) {
+	m := New()
+	const n = 50000
+	for i := uint64(0); i < n; i++ {
+		if !m.Insert(i, i*2, nil) {
+			t.Fatalf("Insert(%d) failed", i)
+		}
+	}
+	if m.Len() != n {
+		t.Fatalf("Len = %d, want %d", m.Len(), n)
+	}
+	for i := uint64(0); i < n; i++ {
+		if v, ok := m.Get(i, nil); !ok || v != i*2 {
+			t.Fatalf("Get(%d) = %d,%v", i, v, ok)
+		}
+	}
+	for i := uint64(0); i < n; i++ {
+		if !m.Update(i, i*3, nil) {
+			t.Fatalf("Update(%d) failed", i)
+		}
+	}
+	if v, _ := m.Get(7, nil); v != 21 {
+		t.Errorf("Get(7) = %d after update", v)
+	}
+	if m.Insert(5, 0, nil) {
+		t.Error("duplicate insert succeeded")
+	}
+	if m.Update(n+1, 0, nil) {
+		t.Error("update of absent key succeeded")
+	}
+}
+
+func TestBucketCountRounding(t *testing.T) {
+	for _, c := range []struct{ in, want int }{{1, 1}, {2, 2}, {3, 4}, {1000, 1024}, {65536, 65536}} {
+		m := NewBuckets(c.in)
+		if m.Buckets() != c.want {
+			t.Errorf("NewBuckets(%d).Buckets() = %d, want %d", c.in, m.Buckets(), c.want)
+		}
+	}
+}
+
+func TestXORFoldEvensBuckets(t *testing.T) {
+	// Keys with all entropy in the upper 32 bits — the pathological case
+	// footnote 1 describes. Without folding they collide heavily.
+	const n = 1 << 14
+	withFix := NewBuckets(1 << 10)
+	withoutFix := NewWithoutXORFix(1 << 10)
+	for i := uint64(0); i < n; i++ {
+		k := i << 32
+		withFix.Insert(k, i, nil)
+		withoutFix.Insert(k, i, nil)
+	}
+	sdFix, sdNo := withFix.BucketSizeStdDev(), withoutFix.BucketSizeStdDev()
+	if sdFix >= sdNo {
+		t.Errorf("XOR fix did not reduce skew: with=%.2f without=%.2f", sdFix, sdNo)
+	}
+}
+
+func TestReaderRegistrationsCounted(t *testing.T) {
+	m := New()
+	m.Insert(1, 1, nil)
+	before := m.ReaderRegistrations()
+	for i := 0; i < 100; i++ {
+		m.Get(1, nil)
+	}
+	if got := m.ReaderRegistrations() - before; got != 100 {
+		t.Errorf("ReaderRegistrations delta = %d, want 100", got)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	m := New()
+	var ist index.OpStats
+	m.Insert(1, 1, &ist)
+	if ist.LockAcquires != 1 || ist.BytesCopied == 0 {
+		t.Errorf("insert stats: %+v", ist)
+	}
+	var gst index.OpStats
+	m.Get(1, &gst)
+	if gst.Ops != 1 || gst.NodesVisited == 0 || gst.LinesTouched == 0 {
+		t.Errorf("get stats: %+v", gst)
+	}
+}
+
+func TestSchemeAndName(t *testing.T) {
+	m := New()
+	if m.Name() != "Hash Map" {
+		t.Errorf("Name = %q", m.Name())
+	}
+	if m.Scheme() != index.SchemeBucketRW {
+		t.Errorf("Scheme = %v", m.Scheme())
+	}
+}
+
+func TestConcurrentInsertContended(t *testing.T) {
+	m := NewBuckets(64) // few buckets to force lock contention
+	const n = 2000
+	var wins [n]int32
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := uint64(0); k < n; k++ {
+				if m.Insert(k, k, nil) {
+					mu.Lock()
+					wins[k]++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for k := range wins {
+		if wins[k] != 1 {
+			t.Fatalf("key %d won %d times", k, wins[k])
+		}
+	}
+	if m.Len() != n {
+		t.Errorf("Len = %d, want %d", m.Len(), n)
+	}
+}
+
+func TestConcurrentReadUpdate(t *testing.T) {
+	m := New()
+	const n = 1000
+	for i := uint64(0); i < n; i++ {
+		m.Insert(i, i*10, nil)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(2)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < 5000; i++ {
+				k := uint64(r.Intn(n))
+				m.Update(k, k*10, nil)
+			}
+		}(int64(g))
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed + 10))
+			for i := 0; i < 5000; i++ {
+				k := uint64(r.Intn(n))
+				if v, ok := m.Get(k, nil); !ok || v != k*10 {
+					t.Errorf("Get(%d) = %d,%v", k, v, ok)
+					return
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+}
+
+func TestRandomisedAgainstMap(t *testing.T) {
+	m := NewBuckets(1 << 8)
+	oracle := map[uint64]uint64{}
+	r := rand.New(rand.NewSource(77))
+	for i := 0; i < 60000; i++ {
+		k := uint64(r.Intn(10000))
+		switch r.Intn(3) {
+		case 0:
+			_, exists := oracle[k]
+			if ok := m.Insert(k, k+1, nil); ok == exists {
+				t.Fatalf("Insert(%d) = %v, exists=%v", k, ok, exists)
+			}
+			if !exists {
+				oracle[k] = k + 1
+			}
+		case 1:
+			_, exists := oracle[k]
+			if ok := m.Update(k, k+2, nil); ok != exists {
+				t.Fatalf("Update(%d) = %v, exists=%v", k, ok, exists)
+			}
+			if exists {
+				oracle[k] = k + 2
+			}
+		case 2:
+			v, ok := m.Get(k, nil)
+			ov, exists := oracle[k]
+			if ok != exists || (ok && v != ov) {
+				t.Fatalf("Get(%d) = %d,%v, oracle %d,%v", k, v, ok, ov, exists)
+			}
+		}
+	}
+	if m.Len() != len(oracle) {
+		t.Errorf("Len = %d, oracle %d", m.Len(), len(oracle))
+	}
+}
+
+func TestHashStaysInRangeProperty(t *testing.T) {
+	m := NewBuckets(1 << 10)
+	f := func(k uint64) bool {
+		h := m.hash(k)
+		return h < uint64(m.Buckets())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInsertGetRoundTripProperty(t *testing.T) {
+	f := func(pairs map[uint64]uint64) bool {
+		m := NewBuckets(256)
+		for k, v := range pairs {
+			if !m.Insert(k, v, nil) {
+				return false
+			}
+		}
+		for k, v := range pairs {
+			got, ok := m.Get(k, nil)
+			if !ok || got != v {
+				return false
+			}
+		}
+		return m.Len() == len(pairs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,138 @@
+// Package index defines the common contract for the main-memory index
+// structures the paper evaluates (Table 1): an STX-style B+Tree, the
+// FP-Tree, the Open BW-Tree and a TBB-style Hash Map. All four store 64-bit
+// integer keys and values, matching the paper's YCSB setup.
+//
+// Every operation can optionally report its structural events through an
+// OpStats sink. The machine simulator charges costs (cache lines touched,
+// synchronisation events, allocations) from these real measurements rather
+// than from canned curves.
+package index
+
+import "fmt"
+
+// Scheme identifies the synchronisation scheme of a structure, as listed in
+// Table 1 of the paper. The scheme decides which contention model the
+// simulator applies.
+type Scheme int
+
+const (
+	// SchemeAtomicRecord: no structural synchronisation by default;
+	// modified with atomic load/store on records plus a global lock for
+	// inserts (the paper's modified STX B+Tree).
+	SchemeAtomicRecord Scheme = iota
+	// SchemeHTM: hardware transactional memory for traversal with a
+	// global-lock fallback path (FP-Tree).
+	SchemeHTM
+	// SchemeCOW: copy-on-write delta records installed with atomic CAS
+	// (Open BW-Tree).
+	SchemeCOW
+	// SchemeBucketRW: fine-grained per-bucket reader-writer locking with a
+	// spin lock (TBB-style Hash Map).
+	SchemeBucketRW
+)
+
+// String names the scheme as in Table 1.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeAtomicRecord:
+		return "atomic load/store + global insert lock"
+	case SchemeHTM:
+		return "HTM + global lock fallback"
+	case SchemeCOW:
+		return "copy-on-write + atomic CAS"
+	case SchemeBucketRW:
+		return "fine-grained locking + spin lock"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// OpStats accumulates the structural events of executed operations. Pass nil
+// when the caller does not need accounting; implementations must tolerate a
+// nil sink.
+type OpStats struct {
+	Ops          uint64 // operations accounted
+	NodesVisited uint64 // tree nodes, delta records or buckets traversed
+	Depth        uint64 // levels descended (cumulative)
+	LinesTouched uint64 // distinct cache lines examined (estimate)
+	BytesCopied  uint64 // bytes copied for COW / consolidation / splits
+	CASFailures  uint64 // failed compare-and-swap attempts
+	LockAcquires uint64 // pessimistic lock acquisitions
+	Splits       uint64 // structural splits performed
+	Consolidates uint64 // BW-Tree delta-chain consolidations
+	DeltaLength  uint64 // cumulative delta-chain length walked (BW-Tree)
+	FPProbes     uint64 // fingerprint comparisons (FP-Tree)
+	HTMAborts    uint64 // software-HTM aborts on the real execution path
+	HTMFallbacks uint64 // times the global-lock fallback was taken
+}
+
+// Add merges another accounting into s.
+func (s *OpStats) Add(o OpStats) {
+	s.Ops += o.Ops
+	s.NodesVisited += o.NodesVisited
+	s.Depth += o.Depth
+	s.LinesTouched += o.LinesTouched
+	s.BytesCopied += o.BytesCopied
+	s.CASFailures += o.CASFailures
+	s.LockAcquires += o.LockAcquires
+	s.Splits += o.Splits
+	s.Consolidates += o.Consolidates
+	s.DeltaLength += o.DeltaLength
+	s.FPProbes += o.FPProbes
+	s.HTMAborts += o.HTMAborts
+	s.HTMFallbacks += o.HTMFallbacks
+}
+
+// Visit records nodes visited and the cache lines they touched. It is safe
+// to call on a nil sink, so implementations can account unconditionally.
+func (s *OpStats) Visit(nodes, lines uint64) {
+	if s == nil {
+		return
+	}
+	s.NodesVisited += nodes
+	s.LinesTouched += lines
+}
+
+// Index is the uniform access interface over all evaluated structures.
+// Implementations are safe for concurrent use according to their Scheme.
+type Index interface {
+	// Name identifies the structure ("B-Tree", "FP-Tree", "BW-Tree",
+	// "Hash Map") as used in the paper's figures.
+	Name() string
+	// Scheme returns the synchronisation scheme per Table 1.
+	Scheme() Scheme
+	// Get returns the value stored under k.
+	Get(k uint64, st *OpStats) (uint64, bool)
+	// Insert stores v under a fresh key k; it returns false and leaves the
+	// structure unchanged when k is already present.
+	Insert(k, v uint64, st *OpStats) bool
+	// Update overwrites the value of an existing key in place; it returns
+	// false when k is absent. Updates never cause structural maintenance
+	// (no splits), matching the paper's read-update workload.
+	Update(k, v uint64, st *OpStats) bool
+	// Delete removes k; it returns false when k is absent. Deletions do
+	// not rebalance (in-memory OLTP churn refills pages quickly, so all
+	// four implementations — like many production main-memory indexes —
+	// reclaim space lazily via splits/consolidation instead).
+	Delete(k uint64, st *OpStats) bool
+	// Len returns the number of keys stored.
+	Len() int
+}
+
+// Ranger is implemented by the ordered structures (the three trees) and
+// supports ascending range scans, which the TPC-C engine needs for
+// secondary-index lookups.
+type Ranger interface {
+	// Scan visits keys in [lo, hi] in ascending order until fn returns
+	// false or the range is exhausted, and returns the number visited.
+	Scan(lo, hi uint64, fn func(k, v uint64) bool, st *OpStats) int
+}
+
+// CacheLines estimates how many 64-byte lines a byte span occupies.
+func CacheLines(bytes int) uint64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return uint64((bytes + 63) / 64)
+}

@@ -1,0 +1,222 @@
+package index_test
+
+import (
+	"strings"
+	"testing"
+
+	"robustconf/internal/index"
+	"robustconf/internal/index/btree"
+	"robustconf/internal/index/bwtree"
+	"robustconf/internal/index/fptree"
+	"robustconf/internal/index/hashmap"
+)
+
+// table1 mirrors the paper's Table 1: each structure must use its scheme.
+func table1() map[string]index.Index {
+	return map[string]index.Index{
+		"B-Tree":   btree.New(),
+		"FP-Tree":  fptree.New(),
+		"BW-Tree":  bwtree.New(),
+		"Hash Map": hashmap.New(),
+	}
+}
+
+func TestTable1SchemesMatchPaper(t *testing.T) {
+	want := map[string]index.Scheme{
+		"B-Tree":   index.SchemeAtomicRecord,
+		"FP-Tree":  index.SchemeHTM,
+		"BW-Tree":  index.SchemeCOW,
+		"Hash Map": index.SchemeBucketRW,
+	}
+	for name, idx := range table1() {
+		if idx.Name() != name {
+			t.Errorf("%s.Name() = %q", name, idx.Name())
+		}
+		if idx.Scheme() != want[name] {
+			t.Errorf("%s.Scheme() = %v, want %v", name, idx.Scheme(), want[name])
+		}
+	}
+}
+
+func TestAllStructuresUniformBehaviour(t *testing.T) {
+	for name, idx := range table1() {
+		t.Run(name, func(t *testing.T) {
+			for i := uint64(0); i < 1000; i++ {
+				if !idx.Insert(i, i+1, nil) {
+					t.Fatalf("Insert(%d) failed", i)
+				}
+			}
+			if idx.Insert(0, 0, nil) {
+				t.Error("duplicate insert accepted")
+			}
+			if !idx.Update(500, 42, nil) {
+				t.Error("update failed")
+			}
+			if v, ok := idx.Get(500, nil); !ok || v != 42 {
+				t.Errorf("Get(500) = %d,%v", v, ok)
+			}
+			if idx.Len() != 1000 {
+				t.Errorf("Len = %d", idx.Len())
+			}
+		})
+	}
+}
+
+func TestTreesImplementRanger(t *testing.T) {
+	for _, name := range []string{"B-Tree", "FP-Tree", "BW-Tree"} {
+		idx := table1()[name]
+		r, ok := idx.(index.Ranger)
+		if !ok {
+			t.Errorf("%s does not implement Ranger", name)
+			continue
+		}
+		for i := uint64(0); i < 100; i++ {
+			idx.Insert(i, i, nil)
+		}
+		if n := r.Scan(10, 19, func(k, v uint64) bool { return true }, nil); n != 10 {
+			t.Errorf("%s Scan = %d, want 10", name, n)
+		}
+	}
+	if _, ok := any(hashmap.New()).(index.Ranger); ok {
+		t.Error("Hash Map should not implement Ranger")
+	}
+}
+
+func TestSchemeStrings(t *testing.T) {
+	for _, s := range []index.Scheme{index.SchemeAtomicRecord, index.SchemeHTM, index.SchemeCOW, index.SchemeBucketRW} {
+		if s.String() == "" || strings.HasPrefix(s.String(), "Scheme(") {
+			t.Errorf("Scheme %d has no name", s)
+		}
+	}
+	if !strings.Contains(index.Scheme(99).String(), "99") {
+		t.Error("unknown scheme should carry its number")
+	}
+}
+
+func TestCacheLines(t *testing.T) {
+	cases := []struct {
+		bytes int
+		want  uint64
+	}{{0, 0}, {-5, 0}, {1, 1}, {64, 1}, {65, 2}, {656, 11}}
+	for _, c := range cases {
+		if got := index.CacheLines(c.bytes); got != c.want {
+			t.Errorf("CacheLines(%d) = %d, want %d", c.bytes, got, c.want)
+		}
+	}
+}
+
+func TestOpStatsAddAndNilVisit(t *testing.T) {
+	var a, b index.OpStats
+	a.Ops, a.Splits, a.HTMAborts = 1, 2, 3
+	b.Ops, b.Splits, b.HTMAborts = 10, 20, 30
+	a.Add(b)
+	if a.Ops != 11 || a.Splits != 22 || a.HTMAborts != 33 {
+		t.Errorf("Add result: %+v", a)
+	}
+	var nilStats *index.OpStats
+	nilStats.Visit(1, 1) // must not panic
+	a.Visit(2, 5)
+	if a.NodesVisited != 2 || a.LinesTouched != 5 {
+		t.Errorf("Visit result: %+v", a)
+	}
+}
+
+func TestHashPartitioned(t *testing.T) {
+	parts := []index.Index{btree.New(), btree.New(), btree.New(), btree.New()}
+	p, err := index.NewHashPartitioned(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 10000
+	for i := uint64(0); i < n; i++ {
+		if !p.Insert(i, i*2, nil) {
+			t.Fatalf("Insert(%d) failed", i)
+		}
+	}
+	if p.Len() != n {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	for i := uint64(0); i < n; i++ {
+		if v, ok := p.Get(i, nil); !ok || v != i*2 {
+			t.Fatalf("Get(%d) = %d,%v", i, v, ok)
+		}
+	}
+	if !p.Update(5, 99, nil) {
+		t.Error("Update failed")
+	}
+	if v, _ := p.Get(5, nil); v != 99 {
+		t.Error("Update not visible")
+	}
+	// Each partition should hold a reasonable share (hash spreads evenly).
+	for i := 0; i < p.Partitions(); i++ {
+		share := p.Partition(i).Len()
+		if share < n/8 || share > n/2 {
+			t.Errorf("partition %d holds %d of %d keys — poor spread", i, share, n)
+		}
+	}
+	if p.Scheme() != index.SchemeAtomicRecord {
+		t.Errorf("Scheme = %v", p.Scheme())
+	}
+	if !strings.Contains(p.Name(), "B-Tree") {
+		t.Errorf("Name = %q", p.Name())
+	}
+	// Hash partitioning cannot scan.
+	if n := p.Scan(0, 100, func(k, v uint64) bool { return true }, nil); n != 0 {
+		t.Errorf("hash-partitioned Scan = %d, want 0", n)
+	}
+}
+
+func TestRangePartitioned(t *testing.T) {
+	parts := []index.Index{btree.New(), btree.New(), btree.New()}
+	p, err := index.NewRangePartitioned(parts, []uint64{1000, 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 3000; i++ {
+		p.Insert(i, i, nil)
+	}
+	if got := p.Partition(0).Len(); got != 1000 {
+		t.Errorf("partition 0 holds %d", got)
+	}
+	if got := p.Partition(2).Len(); got != 1000 {
+		t.Errorf("partition 2 holds %d", got)
+	}
+	// Scan across the partition boundary must stay ordered and complete.
+	var got []uint64
+	n := p.Scan(950, 1049, func(k, v uint64) bool {
+		got = append(got, k)
+		return true
+	}, nil)
+	if n != 100 {
+		t.Fatalf("Scan = %d, want 100", n)
+	}
+	for i, k := range got {
+		if k != uint64(950+i) {
+			t.Fatalf("out of order at %d: %d", i, k)
+		}
+	}
+	// Early termination across partitions.
+	count := 0
+	p.Scan(950, 3000, func(k, v uint64) bool {
+		count++
+		return count < 60 // crosses into partition 1 then stops
+	}, nil)
+	if count != 60 {
+		t.Errorf("early-terminated scan visited %d", count)
+	}
+}
+
+func TestPartitionedValidation(t *testing.T) {
+	if _, err := index.NewHashPartitioned(nil); err == nil {
+		t.Error("empty hash partitioning accepted")
+	}
+	if _, err := index.NewRangePartitioned(nil, nil); err == nil {
+		t.Error("empty range partitioning accepted")
+	}
+	if _, err := index.NewRangePartitioned([]index.Index{btree.New(), btree.New()}, []uint64{}); err == nil {
+		t.Error("missing bounds accepted")
+	}
+	if _, err := index.NewRangePartitioned([]index.Index{btree.New(), btree.New(), btree.New()}, []uint64{5, 5}); err == nil {
+		t.Error("non-ascending bounds accepted")
+	}
+}

@@ -1,0 +1,111 @@
+package index_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"robustconf/internal/index/btree"
+	"robustconf/internal/index/bwtree"
+	"robustconf/internal/index/fptree"
+)
+
+func TestInvariantsAfterSequentialLoad(t *testing.T) {
+	bt, fp, bw := btree.New(), fptree.New(), bwtree.New()
+	for i := uint64(0); i < 50000; i++ {
+		bt.Insert(i, i, nil)
+		fp.Insert(i, i, nil)
+		bw.Insert(i, i, nil)
+	}
+	if err := bt.CheckInvariants(); err != nil {
+		t.Errorf("btree: %v", err)
+	}
+	if err := fp.CheckInvariants(); err != nil {
+		t.Errorf("fptree: %v", err)
+	}
+	if err := bw.CheckInvariants(); err != nil {
+		t.Errorf("bwtree: %v", err)
+	}
+}
+
+func TestInvariantsAfterRandomChurn(t *testing.T) {
+	bt, fp, bw := btree.New(), fptree.New(), bwtree.New()
+	r := rand.New(rand.NewSource(17))
+	for i := 0; i < 60000; i++ {
+		k := uint64(r.Intn(8000))
+		switch r.Intn(3) {
+		case 0:
+			bt.Insert(k, k, nil)
+			fp.Insert(k, k, nil)
+			bw.Insert(k, k, nil)
+		case 1:
+			bt.Update(k, k+1, nil)
+			fp.Update(k, k+1, nil)
+			bw.Update(k, k+1, nil)
+		case 2:
+			bt.Delete(k, nil)
+			fp.Delete(k, nil)
+			bw.Delete(k, nil)
+		}
+	}
+	if err := bt.CheckInvariants(); err != nil {
+		t.Errorf("btree after churn: %v", err)
+	}
+	if err := fp.CheckInvariants(); err != nil {
+		t.Errorf("fptree after churn: %v", err)
+	}
+	if err := bw.CheckInvariants(); err != nil {
+		t.Errorf("bwtree after churn: %v", err)
+	}
+	// The three trees saw identical operations: contents must agree.
+	if bt.Len() != fp.Len() || bt.Len() != bw.Len() {
+		t.Errorf("tree sizes diverged: btree=%d fptree=%d bwtree=%d", bt.Len(), fp.Len(), bw.Len())
+	}
+}
+
+func TestInvariantsAfterConcurrentChurnQuiesced(t *testing.T) {
+	// Invariant checks require quiescence; churn concurrently, then stop
+	// all writers and verify.
+	fp, bw := fptree.New(), bwtree.New()
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < 5000; i++ {
+				k := uint64(r.Intn(2000))
+				switch r.Intn(3) {
+				case 0:
+					fp.Insert(k, k, nil)
+					bw.Insert(k, k, nil)
+				case 1:
+					fp.Update(k, k, nil)
+					bw.Update(k, k, nil)
+				case 2:
+					fp.Delete(k, nil)
+					bw.Delete(k, nil)
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	if err := fp.CheckInvariants(); err != nil {
+		t.Errorf("fptree after concurrent churn: %v", err)
+	}
+	if err := bw.CheckInvariants(); err != nil {
+		t.Errorf("bwtree after concurrent churn: %v", err)
+	}
+}
+
+func TestInvariantsEmptyTrees(t *testing.T) {
+	if err := btree.New().CheckInvariants(); err != nil {
+		t.Errorf("empty btree: %v", err)
+	}
+	if err := fptree.New().CheckInvariants(); err != nil {
+		t.Errorf("empty fptree: %v", err)
+	}
+	if err := bwtree.New().CheckInvariants(); err != nil {
+		t.Errorf("empty bwtree: %v", err)
+	}
+}

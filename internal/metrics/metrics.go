@@ -1,0 +1,267 @@
+// Package metrics provides the statistical helpers the experiment harness
+// uses: medians over repeated executions, coefficient-of-variation
+// reliability checks (the paper requires CV ≤ 5 %), throughput series, and
+// TMAM-style cost breakdowns.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// ReliableCV is the paper's reliability threshold: measurements with a
+// coefficient of variation at or below 5 % are considered reliable.
+const ReliableCV = 0.05
+
+// Median returns the median of xs. It panics on an empty slice because a
+// median of nothing is a programming error in the harness.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("metrics: median of empty sample")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	lo, hi := s[n/2-1], s[n/2]
+	return lo/2 + hi/2 // never overflows, unlike (lo+hi)/2 or lo+(hi-lo)/2
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}
+
+// CV returns the coefficient of variation (stddev/mean) of xs.
+// A zero mean yields CV 0 to avoid dividing by zero on degenerate samples.
+func CV(xs []float64) float64 {
+	m := Mean(xs)
+	if m == 0 {
+		return 0
+	}
+	return StdDev(xs) / m
+}
+
+// Reliable reports whether the sample meets the paper's CV ≤ 5 % criterion.
+func Reliable(xs []float64) bool { return CV(xs) <= ReliableCV }
+
+// Sample aggregates repeated executions of one measurement point.
+type Sample struct {
+	Values []float64
+}
+
+// Add appends one execution's value.
+func (s *Sample) Add(v float64) { s.Values = append(s.Values, v) }
+
+// Median of the collected values.
+func (s *Sample) Median() float64 { return Median(s.Values) }
+
+// CV of the collected values.
+func (s *Sample) CV() float64 { return CV(s.Values) }
+
+// TMAM is a Top-down Microarchitecture Analysis Method breakdown of the cost
+// of one operation in CPU cycles, as plotted in the paper's Figure 12:
+// cycles actively executing instructions versus cycles wasted on back-end
+// stalls (memory), front-end stalls (instruction supply) and bad speculation.
+type TMAM struct {
+	ActiveCycles    float64
+	BackEndStalls   float64
+	FrontEndStalls  float64
+	SpeculationStls float64
+}
+
+// Total returns the full cost per operation in cycles; lower total means
+// higher per-thread throughput.
+func (t TMAM) Total() float64 {
+	return t.ActiveCycles + t.BackEndStalls + t.FrontEndStalls + t.SpeculationStls
+}
+
+// Add accumulates another breakdown into t.
+func (t *TMAM) Add(o TMAM) {
+	t.ActiveCycles += o.ActiveCycles
+	t.BackEndStalls += o.BackEndStalls
+	t.FrontEndStalls += o.FrontEndStalls
+	t.SpeculationStls += o.SpeculationStls
+}
+
+// Scale divides every bucket by n (e.g. to convert totals into per-op cost).
+func (t TMAM) Scale(n float64) TMAM {
+	if n == 0 {
+		return TMAM{}
+	}
+	return TMAM{
+		ActiveCycles:    t.ActiveCycles / n,
+		BackEndStalls:   t.BackEndStalls / n,
+		FrontEndStalls:  t.FrontEndStalls / n,
+		SpeculationStls: t.SpeculationStls / n,
+	}
+}
+
+func (t TMAM) String() string {
+	return fmt.Sprintf("active=%.0f backend=%.0f frontend=%.0f spec=%.0f total=%.0f",
+		t.ActiveCycles, t.BackEndStalls, t.FrontEndStalls, t.SpeculationStls, t.Total())
+}
+
+// Point is one (x, y) measurement of a series, e.g. (threads, MOp/s).
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Series is a named sequence of points, one line in a paper figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) { s.Points = append(s.Points, Point{X: x, Y: y}) }
+
+// YAt returns the y value at the first point with the given x, and whether
+// such a point exists.
+func (s *Series) YAt(x float64) (float64, bool) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}
+
+// MaxY returns the largest y in the series, or 0 when empty.
+func (s *Series) MaxY() float64 {
+	max := 0.0
+	for _, p := range s.Points {
+		if p.Y > max {
+			max = p.Y
+		}
+	}
+	return max
+}
+
+// Figure is a collection of series, matching one plot of the paper.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []*Series
+}
+
+// NewFigure creates an empty figure.
+func NewFigure(title, xlabel, ylabel string) *Figure {
+	return &Figure{Title: title, XLabel: xlabel, YLabel: ylabel}
+}
+
+// SeriesNamed returns the series with the given name, creating it if absent.
+func (f *Figure) SeriesNamed(name string) *Series {
+	for _, s := range f.Series {
+		if s.Name == name {
+			return s
+		}
+	}
+	s := &Series{Name: name}
+	f.Series = append(f.Series, s)
+	return s
+}
+
+// CSV renders the figure as comma-separated rows (header: xlabel + series
+// names; one row per x) for plotting tools.
+func (f *Figure) CSV() string {
+	xs := map[float64]struct{}{}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			xs[p.X] = struct{}{}
+		}
+	}
+	sorted := make([]float64, 0, len(xs))
+	for x := range xs {
+		sorted = append(sorted, x)
+	}
+	sort.Float64s(sorted)
+
+	var b strings.Builder
+	b.WriteString(csvEscape(f.XLabel))
+	for _, s := range f.Series {
+		b.WriteByte(',')
+		b.WriteString(csvEscape(s.Name))
+	}
+	b.WriteByte('\n')
+	for _, x := range sorted {
+		fmt.Fprintf(&b, "%g", x)
+		for _, s := range f.Series {
+			b.WriteByte(',')
+			if y, ok := s.YAt(x); ok {
+				fmt.Fprintf(&b, "%g", y)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// csvEscape quotes a field when it contains separators or quotes.
+func csvEscape(s string) string {
+	if !strings.ContainsAny(s, ",\"\n") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
+// Table renders the figure as aligned text rows (x, then one column per
+// series), the form EXPERIMENTS.md and the bench harness print.
+func (f *Figure) Table() string {
+	xs := map[float64]struct{}{}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			xs[p.X] = struct{}{}
+		}
+	}
+	sorted := make([]float64, 0, len(xs))
+	for x := range xs {
+		sorted = append(sorted, x)
+	}
+	sort.Float64s(sorted)
+
+	out := fmt.Sprintf("# %s\n%-12s", f.Title, f.XLabel)
+	for _, s := range f.Series {
+		out += fmt.Sprintf(" %16s", s.Name)
+	}
+	out += "\n"
+	for _, x := range sorted {
+		out += fmt.Sprintf("%-12g", x)
+		for _, s := range f.Series {
+			if y, ok := s.YAt(x); ok {
+				out += fmt.Sprintf(" %16.3f", y)
+			} else {
+				out += fmt.Sprintf(" %16s", "-")
+			}
+		}
+		out += "\n"
+	}
+	return out
+}

@@ -1,0 +1,304 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{[]float64{1}, 1},
+		{[]float64{3, 1, 2}, 2},
+		{[]float64{4, 1, 3, 2}, 2.5},
+		{[]float64{5, 5, 5, 5, 5, 5, 5}, 5},
+	}
+	for _, c := range cases {
+		if got := Median(c.in); got != c.want {
+			t.Errorf("Median(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMedianPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Median(nil) should panic")
+		}
+	}()
+	Median(nil)
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("Median mutated input: %v", in)
+	}
+}
+
+func TestMeanStdDevCV(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := StdDev(xs); math.Abs(got-2) > 1e-12 {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if got := CV(xs); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("CV = %v, want 0.4", got)
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 || CV(nil) != 0 {
+		t.Error("empty-sample stats should be 0")
+	}
+	if StdDev([]float64{7}) != 0 {
+		t.Error("single-sample stddev should be 0")
+	}
+}
+
+func TestReliable(t *testing.T) {
+	if !Reliable([]float64{100, 100, 101, 99}) {
+		t.Error("tight sample should be reliable")
+	}
+	if Reliable([]float64{100, 200, 50}) {
+		t.Error("loose sample should not be reliable")
+	}
+}
+
+func TestSample(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{10.8, 11.2, 11, 10.9, 11, 11.1, 11} {
+		s.Add(v)
+	}
+	if got := s.Median(); got != 11 {
+		t.Errorf("Sample.Median = %v, want 11", got)
+	}
+	if s.CV() > ReliableCV {
+		t.Errorf("Sample.CV = %v, want ≤ %v", s.CV(), ReliableCV)
+	}
+}
+
+func TestTMAM(t *testing.T) {
+	a := TMAM{ActiveCycles: 100, BackEndStalls: 50, FrontEndStalls: 20, SpeculationStls: 30}
+	if got := a.Total(); got != 200 {
+		t.Errorf("Total = %v, want 200", got)
+	}
+	b := a
+	b.Add(a)
+	if got := b.Total(); got != 400 {
+		t.Errorf("after Add, Total = %v, want 400", got)
+	}
+	half := b.Scale(2)
+	if half != a {
+		t.Errorf("Scale(2) = %+v, want %+v", half, a)
+	}
+	if (TMAM{ActiveCycles: 1}).Scale(0) != (TMAM{}) {
+		t.Error("Scale(0) should zero the breakdown")
+	}
+	if !strings.Contains(a.String(), "total=200") {
+		t.Errorf("String = %q", a.String())
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Add(48, 10)
+	s.Add(96, 20)
+	s.Add(192, 15)
+	if y, ok := s.YAt(96); !ok || y != 20 {
+		t.Errorf("YAt(96) = %v,%v", y, ok)
+	}
+	if _, ok := s.YAt(77); ok {
+		t.Error("YAt(77) should be absent")
+	}
+	if got := s.MaxY(); got != 20 {
+		t.Errorf("MaxY = %v, want 20", got)
+	}
+	if (&Series{}).MaxY() != 0 {
+		t.Error("empty MaxY should be 0")
+	}
+}
+
+func TestFigureTable(t *testing.T) {
+	f := NewFigure("Fig X", "threads", "MOp/s")
+	f.SeriesNamed("Opt").Add(48, 1.5)
+	f.SeriesNamed("Opt").Add(96, 3.0)
+	f.SeriesNamed("SE").Add(48, 1.0)
+	// Re-fetch must return the same series, not a duplicate.
+	if len(f.Series) != 2 {
+		t.Fatalf("series count = %d, want 2", len(f.Series))
+	}
+	tab := f.Table()
+	for _, want := range []string{"Fig X", "threads", "Opt", "SE", "1.500", "3.000"} {
+		if !strings.Contains(tab, want) {
+			t.Errorf("table missing %q:\n%s", want, tab)
+		}
+	}
+	// SE has no point at 96 → a dash in that row.
+	if !strings.Contains(tab, "-") {
+		t.Errorf("table should mark missing points with '-':\n%s", tab)
+	}
+}
+
+func TestMedianPropertyBounded(t *testing.T) {
+	f := func(vals []float64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		m := Median(vals)
+		lo, hi := vals[0], vals[0]
+		for _, v := range vals {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		return m >= lo && m <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCVScaleInvariantProperty(t *testing.T) {
+	// CV is invariant under positive scaling of the sample.
+	f := func(vals []float64, scale float64) bool {
+		if len(vals) < 2 {
+			return true
+		}
+		scale = math.Abs(scale)
+		if scale < 1e-6 || scale > 1e6 {
+			return true
+		}
+		clean := make([]float64, 0, len(vals))
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e9 {
+				return true
+			}
+			clean = append(clean, v)
+		}
+		if Mean(clean) == 0 {
+			return true
+		}
+		a := CV(clean)
+		scaled := make([]float64, len(clean))
+		for i, v := range clean {
+			scaled[i] = v * scale
+		}
+		b := CV(scaled)
+		return math.Abs(a-b) < 1e-6*(1+math.Abs(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Percentile(0.5) != 0 {
+		t.Error("zero histogram not zero")
+	}
+	for _, v := range []uint64{1, 2, 4, 8, 100, 1000, 1000, 1000} {
+		h.Record(v)
+	}
+	if h.Count() != 8 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if h.Max() != 1000 {
+		t.Errorf("Max = %d", h.Max())
+	}
+	wantMean := float64(1+2+4+8+100+1000*3) / 8
+	if math.Abs(h.Mean()-wantMean) > 1e-9 {
+		t.Errorf("Mean = %v, want %v", h.Mean(), wantMean)
+	}
+	// p50 over {1,2,4,8,100,1000,1000,1000}: 4th value is 8 → bucket ≤ 15.
+	if p := h.Percentile(0.5); p < 8 || p > 15 {
+		t.Errorf("p50 = %d, want in [8,15]", p)
+	}
+	// p99 lands in the 1000 bucket (≤ 1023).
+	if p := h.Percentile(0.99); p < 1000 || p > 1023 {
+		t.Errorf("p99 = %d, want in [1000,1023]", p)
+	}
+	if h.Percentile(0) != 0 || h.Percentile(1.5) != 0 {
+		t.Error("out-of-range percentile should be 0")
+	}
+	if !strings.Contains(h.String(), "n=8") {
+		t.Errorf("String = %q", h.String())
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10000; i++ {
+				h.Record(uint64(g*1000 + i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != 80000 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if h.Max() < 16999 {
+		t.Errorf("Max = %d", h.Max())
+	}
+}
+
+func TestHistogramPercentileMonotoneProperty(t *testing.T) {
+	f := func(vals []uint32) bool {
+		var h Histogram
+		for _, v := range vals {
+			h.Record(uint64(v))
+		}
+		prev := uint64(0)
+		for _, p := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0} {
+			q := h.Percentile(p)
+			if q < prev {
+				return false
+			}
+			prev = q
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFigureCSV(t *testing.T) {
+	f := NewFigure("Fig", "threads", "MOp/s")
+	f.SeriesNamed("Opt, Configured").Add(48, 1.5) // comma forces quoting
+	f.SeriesNamed("SE").Add(48, 1.0)
+	f.SeriesNamed("SE").Add(96, 2.0)
+	csv := f.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv has %d lines:\n%s", len(lines), csv)
+	}
+	if lines[0] != `threads,"Opt, Configured",SE` {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "48,1.5,1" {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+	// Missing point → empty cell.
+	if lines[2] != "96,,2" {
+		t.Errorf("row 2 = %q", lines[2])
+	}
+}

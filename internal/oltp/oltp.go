@@ -1,0 +1,352 @@
+// Package oltp provides the two OLTP engines of the paper's Experiment 3,
+// both executing the tpcc package's transaction logic over per-warehouse
+// partitions of index structures:
+//
+//   - Engine (the paper's light-weight engine): every statement is an
+//     asynchronous data-aware task delegated through the core runtime to
+//     the virtual domain owning the warehouse's composite data structure.
+//
+//   - DirectEngine (the SN-NUMA baseline in the style of Porobic et al.):
+//     transaction manager threads execute statements directly against the
+//     partitioned structures, with no delegation.
+//
+// Neither engine implements concurrency control beyond the structures'
+// latches, matching the paper's setup (Section 3.3): data races are
+// prevented, higher anomalies (e.g. lost updates) are not.
+package oltp
+
+import (
+	"fmt"
+
+	"robustconf/internal/config"
+	"robustconf/internal/core"
+	"robustconf/internal/index"
+	"robustconf/internal/sim"
+	"robustconf/internal/topology"
+	"robustconf/internal/tpcc"
+	"robustconf/internal/workload"
+)
+
+// Warehouse is the composite data structure of one warehouse: its tables
+// and indexes, co-located so transactions rarely cross domains (the
+// co-location constraint of Section 5.2).
+type Warehouse struct {
+	tables map[tpcc.Table]index.Index
+}
+
+// NewWarehouse builds the composite structure with one index per table.
+func NewWarehouse(newIndex func() index.Index) *Warehouse {
+	w := &Warehouse{tables: map[tpcc.Table]index.Index{}}
+	for _, t := range tpcc.Tables {
+		w.tables[t] = newIndex()
+	}
+	return w
+}
+
+// Table returns the index backing one table.
+func (w *Warehouse) Table(t tpcc.Table) index.Index { return w.tables[t] }
+
+// scan runs a range scan on an ordered table.
+func (w *Warehouse) scan(t tpcc.Table, lo, hi uint64, fn func(k, v uint64) bool) (int, error) {
+	r, ok := w.tables[t].(index.Ranger)
+	if !ok {
+		return 0, fmt.Errorf("oltp: table %s is not ordered", t)
+	}
+	return r.Scan(lo, hi, fn, nil), nil
+}
+
+// DirectEngine is the shared-nothing baseline: statements execute in the
+// calling goroutine, directly on the warehouse partition.
+type DirectEngine struct {
+	cfg        tpcc.Config
+	warehouses []*Warehouse
+}
+
+// NewDirectEngine builds the baseline engine.
+func NewDirectEngine(cfg tpcc.Config, newIndex func() index.Index) (*DirectEngine, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := &DirectEngine{cfg: cfg}
+	for w := 0; w < cfg.Warehouses; w++ {
+		e.warehouses = append(e.warehouses, NewWarehouse(newIndex))
+	}
+	return e, nil
+}
+
+// Warehouse exposes a partition (1-based id) for verification.
+func (e *DirectEngine) Warehouse(w int) *Warehouse { return e.warehouses[w-1] }
+
+func (e *DirectEngine) at(w int) (*Warehouse, error) {
+	if w < 1 || w > len(e.warehouses) {
+		return nil, fmt.Errorf("oltp: warehouse %d out of range", w)
+	}
+	return e.warehouses[w-1], nil
+}
+
+// Get implements tpcc.Store.
+func (e *DirectEngine) Get(w int, t tpcc.Table, key uint64) (uint64, bool, error) {
+	wh, err := e.at(w)
+	if err != nil {
+		return 0, false, err
+	}
+	v, ok := wh.tables[t].Get(key, nil)
+	return v, ok, nil
+}
+
+// Update implements tpcc.Store.
+func (e *DirectEngine) Update(w int, t tpcc.Table, key, val uint64) (bool, error) {
+	wh, err := e.at(w)
+	if err != nil {
+		return false, err
+	}
+	return wh.tables[t].Update(key, val, nil), nil
+}
+
+// Insert implements tpcc.Store.
+func (e *DirectEngine) Insert(w int, t tpcc.Table, key, val uint64) (bool, error) {
+	wh, err := e.at(w)
+	if err != nil {
+		return false, err
+	}
+	return wh.tables[t].Insert(key, val, nil), nil
+}
+
+// Delete implements tpcc.Store.
+func (e *DirectEngine) Delete(w int, t tpcc.Table, key uint64) (bool, error) {
+	wh, err := e.at(w)
+	if err != nil {
+		return false, err
+	}
+	return wh.tables[t].Delete(key, nil), nil
+}
+
+// Scan implements tpcc.Store.
+func (e *DirectEngine) Scan(w int, t tpcc.Table, lo, hi uint64, fn func(k, v uint64) bool) (int, error) {
+	wh, err := e.at(w)
+	if err != nil {
+		return 0, err
+	}
+	return wh.scan(t, lo, hi, fn)
+}
+
+// Engine is the paper's light-weight OLTP engine: warehouses are registered
+// as composite structures with the runtime, and every statement is executed
+// as a delegated task inside the owning virtual domain.
+type Engine struct {
+	cfg        tpcc.Config
+	rt         *core.Runtime
+	warehouses []*Warehouse
+}
+
+// structureName names a warehouse's composite structure in the runtime.
+func structureName(w int) string { return fmt.Sprintf("warehouse-%d", w) }
+
+// NewEngine starts the delegated engine on the machine, spreading the
+// warehouse composites over one virtual domain per warehouse (even CPU
+// split). For finer control, build a core.Config with the config package
+// and use NewEngineWithConfig.
+func NewEngine(cfg tpcc.Config, newIndex func() index.Index, m *topology.Machine) (*Engine, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	domains := cfg.Warehouses
+	if domains > m.LogicalCPUs() {
+		return nil, fmt.Errorf("oltp: %d warehouses need at least as many CPUs (machine has %d)", domains, m.LogicalCPUs())
+	}
+	parts, err := topology.PartitionEven(m, m.LogicalCPUs(), m.LogicalCPUs()/domains)
+	if err != nil {
+		return nil, err
+	}
+	rc := core.Config{Machine: m, Assignment: map[string]int{}}
+	for i := 0; i < domains; i++ {
+		rc.Domains = append(rc.Domains, core.DomainSpec{
+			Name: fmt.Sprintf("wh-domain-%d", i),
+			CPUs: parts[i],
+		})
+		rc.Assignment[structureName(i+1)] = i
+	}
+	return NewEngineWithConfig(cfg, newIndex, rc)
+}
+
+// NewEngineComposed starts the delegated engine with a configuration
+// produced by the paper's configuration procedure (Section 3.3: "configure
+// tables into virtual domains with the procedure outlined in Section 5"):
+// each warehouse is one composite instance whose tables and indexes are
+// co-located, calibrated for the structure kind under the TPC-C-like
+// read-update mix, and composed into optimally sized domains.
+func NewEngineComposed(cfg tpcc.Config, newIndex func() index.Index, kind sim.StructureKind, m *topology.Machine) (*Engine, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	instances := make([]config.Instance, cfg.Warehouses)
+	for w := 1; w <= cfg.Warehouses; w++ {
+		instances[w-1] = config.Instance{
+			Name: structureName(w),
+			Kind: kind,
+			Mix:  workload.A, // TPC-C statements are a read-update-heavy mix
+			Load: 1,
+		}
+	}
+	plan, err := config.Compose(instances, m.LogicalCPUs(), nil)
+	if err != nil {
+		return nil, err
+	}
+	rc, err := config.Materialise(plan, m)
+	if err != nil {
+		return nil, err
+	}
+	return NewEngineWithConfig(cfg, newIndex, rc)
+}
+
+// NewEngineWithConfig starts the delegated engine under an explicit runtime
+// configuration; the configuration must assign structureName(w) for every
+// warehouse w in 1..cfg.Warehouses.
+func NewEngineWithConfig(cfg tpcc.Config, newIndex func() index.Index, rc core.Config) (*Engine, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{cfg: cfg}
+	structures := map[string]any{}
+	for w := 1; w <= cfg.Warehouses; w++ {
+		wh := NewWarehouse(newIndex)
+		e.warehouses = append(e.warehouses, wh)
+		structures[structureName(w)] = wh
+	}
+	rt, err := core.Start(rc, structures)
+	if err != nil {
+		return nil, err
+	}
+	e.rt = rt
+	return e, nil
+}
+
+// Runtime exposes the underlying runtime (for stats and reconfiguration).
+func (e *Engine) Runtime() *core.Runtime { return e.rt }
+
+// Warehouse exposes a partition (1-based id) for verification.
+func (e *Engine) Warehouse(w int) *Warehouse { return e.warehouses[w-1] }
+
+// Stop drains and stops the runtime.
+func (e *Engine) Stop() { e.rt.Stop() }
+
+// NewStore opens a session-backed store for one terminal goroutine. The
+// returned store is not safe for concurrent use (one per terminal, as one
+// client thread); close it when the terminal finishes.
+func (e *Engine) NewStore(cpu, burst int) (*SessionStore, error) {
+	s, err := e.rt.NewSession(cpu, burst)
+	if err != nil {
+		return nil, err
+	}
+	return &SessionStore{engine: e, session: s}, nil
+}
+
+// SessionStore adapts one runtime session to tpcc.Store: every call is a
+// data-aware task executed inside the warehouse's domain (the paper's naive
+// statement→task mapping).
+type SessionStore struct {
+	engine  *Engine
+	session *core.Session
+}
+
+// result carries a statement outcome through the future.
+type result struct {
+	val uint64
+	ok  bool
+}
+
+func (s *SessionStore) invoke(w int, op func(wh *Warehouse) result) (result, error) {
+	if w < 1 || w > s.engine.cfg.Warehouses {
+		return result{}, fmt.Errorf("oltp: warehouse %d out of range", w)
+	}
+	out, err := s.session.Invoke(core.Task{
+		Structure: structureName(w),
+		Op: func(ds any) any {
+			return op(ds.(*Warehouse))
+		},
+	})
+	if err != nil {
+		return result{}, err
+	}
+	return out.(result), nil
+}
+
+// Get implements tpcc.Store.
+func (s *SessionStore) Get(w int, t tpcc.Table, key uint64) (uint64, bool, error) {
+	r, err := s.invoke(w, func(wh *Warehouse) result {
+		v, ok := wh.tables[t].Get(key, nil)
+		return result{val: v, ok: ok}
+	})
+	return r.val, r.ok, err
+}
+
+// Update implements tpcc.Store.
+func (s *SessionStore) Update(w int, t tpcc.Table, key, val uint64) (bool, error) {
+	r, err := s.invoke(w, func(wh *Warehouse) result {
+		return result{ok: wh.tables[t].Update(key, val, nil)}
+	})
+	return r.ok, err
+}
+
+// Insert implements tpcc.Store.
+func (s *SessionStore) Insert(w int, t tpcc.Table, key, val uint64) (bool, error) {
+	r, err := s.invoke(w, func(wh *Warehouse) result {
+		return result{ok: wh.tables[t].Insert(key, val, nil)}
+	})
+	return r.ok, err
+}
+
+// Delete implements tpcc.Store.
+func (s *SessionStore) Delete(w int, t tpcc.Table, key uint64) (bool, error) {
+	r, err := s.invoke(w, func(wh *Warehouse) result {
+		return result{ok: wh.tables[t].Delete(key, nil)}
+	})
+	return r.ok, err
+}
+
+// Scan implements tpcc.Store. The whole scan executes as a single task
+// inside the owning domain — a more complex operation on one structure, as
+// Section 4 permits — and the matches return through the future.
+func (s *SessionStore) Scan(w int, t tpcc.Table, lo, hi uint64, fn func(k, v uint64) bool) (int, error) {
+	if w < 1 || w > s.engine.cfg.Warehouses {
+		return 0, fmt.Errorf("oltp: warehouse %d out of range", w)
+	}
+	type kv struct{ k, v uint64 }
+	out, err := s.session.Invoke(core.Task{
+		Structure: structureName(w),
+		Op: func(ds any) any {
+			wh := ds.(*Warehouse)
+			var matches []kv
+			_, scanErr := wh.scan(t, lo, hi, func(k, v uint64) bool {
+				matches = append(matches, kv{k, v})
+				return true
+			})
+			if scanErr != nil {
+				return scanErr
+			}
+			return matches
+		},
+	})
+	if err != nil {
+		return 0, err
+	}
+	if scanErr, isErr := out.(error); isErr {
+		return 0, scanErr
+	}
+	matches := out.([]kv)
+	n := 0
+	for _, m := range matches {
+		n++
+		if !fn(m.k, m.v) {
+			break
+		}
+	}
+	return n, nil
+}
+
+// Close drains the session and releases its slots.
+func (s *SessionStore) Close() error { return s.session.Close() }

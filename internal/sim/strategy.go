@@ -1,0 +1,175 @@
+package sim
+
+import (
+	"fmt"
+
+	"robustconf/internal/topology"
+)
+
+// Strategy is one of the partitioning strategies compared throughout the
+// evaluation (Section 7, "Baselines and Setup").
+type Strategy int
+
+const (
+	// StratSE: shared everything — every thread directly executes
+	// operations on every structure instance; data placement left to the
+	// OS (effectively spread over all sockets).
+	StratSE Strategy = iota
+	// StratSENUMA: shared everything with NUMA-aware allocation of the
+	// individual partitions, but execution still unpartitioned.
+	StratSENUMA
+	// StratSNNUMA: shared nothing at NUMA-region granularity — one
+	// domain per socket, delegated execution.
+	StratSNNUMA
+	// StratSNThread: extreme shared nothing — one single-thread domain
+	// per hardware thread, delegated execution.
+	StratSNThread
+	// StratConfigured: the paper's contribution — domains of the
+	// calibrated optimal size for the structure and workload, delegated
+	// execution ("Opt. Configured").
+	StratConfigured
+)
+
+// AllStrategies in the paper's legend order.
+var AllStrategies = []Strategy{StratConfigured, StratSNNUMA, StratSNThread, StratSENUMA, StratSE}
+
+// Name returns the figure label.
+func (s Strategy) Name() string {
+	switch s {
+	case StratSE:
+		return "SE"
+	case StratSENUMA:
+		return "SE-NUMA"
+	case StratSNNUMA:
+		return "SN-NUMA"
+	case StratSNThread:
+		return "SN-Thread"
+	case StratConfigured:
+		return "Opt. Configured"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Delegated reports whether the strategy executes through the runtime's
+// delegation (shared-everything strategies access structures directly, so
+// bursting does not apply to them — Section 7 setup).
+func (s Strategy) Delegated() bool {
+	return s == StratSNNUMA || s == StratSNThread || s == StratConfigured
+}
+
+// Layout describes the execution geometry a strategy induces on a machine
+// restricted to `threads` logical CPUs.
+type Layout struct {
+	Strategy   Strategy
+	Threads    int
+	Domains    int // execution domains (1 for shared everything)
+	DomainSize int // threads per domain
+	// SpanLevel is the worst-case NUMA level inside one domain: 0 when a
+	// domain fits in a socket, up to 3 for domains crossing the NUMAlink.
+	SpanLevel int
+	// DataSpanLevel is the worst-case NUMA level between a thread and the
+	// data it touches — for shared everything all threads reach all
+	// sockets' memory.
+	DataSpanLevel int
+	// SocketsUsed is the number of sockets the restricted machine spans.
+	SocketsUsed int
+}
+
+// threadsPerSocket on the reference machine (24 cores × 2 SMT).
+const threadsPerSocket = topology.DefaultCoresPerSkt * topology.DefaultSMTPerCore
+
+// NewLayout computes the layout of a strategy on the reference machine
+// restricted to `threads` logical CPUs (threads are allocated socket-major,
+// as the paper does when varying system size). optSize is the configured
+// domain size and is only used by StratConfigured.
+func NewLayout(strategy Strategy, threads, optSize int) (Layout, error) {
+	if threads < 1 {
+		return Layout{}, fmt.Errorf("sim: need at least one thread")
+	}
+	sockets := (threads + threadsPerSocket - 1) / threadsPerSocket
+	if sockets > 8 {
+		return Layout{}, fmt.Errorf("sim: %d threads exceed the 8-socket machine", threads)
+	}
+	l := Layout{Strategy: strategy, Threads: threads, SocketsUsed: sockets}
+	l.DataSpanLevel = spanOfSockets(sockets)
+	switch strategy {
+	case StratSE, StratSENUMA:
+		l.Domains = 1
+		l.DomainSize = threads
+		l.SpanLevel = l.DataSpanLevel
+	case StratSNNUMA:
+		l.DomainSize = threadsPerSocket
+		if l.DomainSize > threads {
+			l.DomainSize = threads
+		}
+		l.Domains = ceilDiv(threads, l.DomainSize)
+		l.SpanLevel = 0
+	case StratSNThread:
+		l.DomainSize = 1
+		l.Domains = threads
+		l.SpanLevel = 0
+	case StratConfigured:
+		if optSize < 1 {
+			return Layout{}, fmt.Errorf("sim: configured strategy needs a positive domain size, got %d", optSize)
+		}
+		if optSize > threads {
+			optSize = threads
+		}
+		l.DomainSize = optSize
+		l.Domains = ceilDiv(threads, optSize)
+		// Domains never straddle sockets unless they must: a domain of
+		// ≤ 48 threads fits a socket; bigger ones span.
+		l.SpanLevel = spanOfSockets(ceilDiv(optSize, threadsPerSocket))
+	default:
+		return Layout{}, fmt.Errorf("sim: unknown strategy %d", strategy)
+	}
+	return l, nil
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// spanOfSockets returns the worst-case NUMA level of a region covering the
+// first n sockets of the reference machine.
+func spanOfSockets(n int) int {
+	switch {
+	case n <= 1:
+		return 0
+	case n == 2:
+		return 1
+	case n <= 4:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// avgMemLatency returns the mean load latency (ns) for a thread accessing
+// data spread uniformly over `dataSockets` sockets when the thread itself
+// sits on one of them. For dataSockets = 1 this is the local latency.
+func avgMemLatency(m *topology.Machine, dataSockets int) float64 {
+	if dataSockets < 1 {
+		dataSockets = 1
+	}
+	if dataSockets > len(m.Sockets) {
+		dataSockets = len(m.Sockets)
+	}
+	total := 0.0
+	// Average over accessing socket 0..dataSockets-1 hitting memory homed
+	// on each of the dataSockets with equal probability.
+	for from := 0; from < dataSockets; from++ {
+		for home := 0; home < dataSockets; home++ {
+			total += m.MemoryLatency(from, home)
+		}
+	}
+	return total / float64(dataSockets*dataSockets)
+}
+
+// remoteFraction is the share of uniformly spread data that is NOT on the
+// accessing thread's own socket.
+func remoteFraction(dataSockets int) float64 {
+	if dataSockets <= 1 {
+		return 0
+	}
+	return 1 - 1/float64(dataSockets)
+}

@@ -1,0 +1,208 @@
+// Package syncprims implements the low-level synchronisation primitives the
+// index structures and the delegation runtime build on: test-and-set and
+// ticket spin locks, an MCS queue lock, a reader-writer spin lock, and an
+// optimistic version lock (the BW-Tree and FP-Tree style structures use the
+// optimistic form; the hash map uses per-bucket reader-writer locks).
+//
+// All primitives are safe for concurrent use by multiple goroutines. Spin
+// loops yield to the Go scheduler so they behave sensibly even on machines
+// with few cores.
+package syncprims
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// SpinLock is a test-and-test-and-set spin lock. The zero value is unlocked.
+type SpinLock struct {
+	state atomic.Uint32
+}
+
+// Lock acquires the lock, spinning until it is free.
+func (l *SpinLock) Lock() {
+	for {
+		if l.state.Load() == 0 && l.state.CompareAndSwap(0, 1) {
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
+// TryLock acquires the lock if it is free and reports whether it succeeded.
+func (l *SpinLock) TryLock() bool {
+	return l.state.Load() == 0 && l.state.CompareAndSwap(0, 1)
+}
+
+// Unlock releases the lock. Unlocking an unlocked SpinLock is a no-op
+// rather than a panic to keep the fast path branch-free.
+func (l *SpinLock) Unlock() {
+	l.state.Store(0)
+}
+
+// Locked reports whether the lock is currently held (advisory only).
+func (l *SpinLock) Locked() bool { return l.state.Load() != 0 }
+
+// TicketLock is a fair FIFO spin lock: acquirers take a ticket and wait for
+// their turn, which bounds starvation under contention.
+type TicketLock struct {
+	next    atomic.Uint64
+	serving atomic.Uint64
+}
+
+// Lock acquires the lock in FIFO order.
+func (l *TicketLock) Lock() {
+	t := l.next.Add(1) - 1
+	for l.serving.Load() != t {
+		runtime.Gosched()
+	}
+}
+
+// Unlock releases the lock, admitting the next ticket holder.
+func (l *TicketLock) Unlock() {
+	l.serving.Add(1)
+}
+
+// RWSpinLock is a reader-writer spin lock with writer preference encoded in
+// a single word: the low 31 bits count readers, the high bit marks a writer.
+// This mirrors the TBB-style reader coordination whose atomic increment the
+// paper identifies as the Hash Map's read-only-workload bottleneck.
+type RWSpinLock struct {
+	word atomic.Int64
+
+	// ReaderRegistrations counts reader-side atomic increments; the cost
+	// model uses it to charge coherence traffic for reader coordination.
+	ReaderRegistrations atomic.Uint64
+}
+
+const rwWriterBit = int64(1) << 62
+
+// RLock acquires the lock in shared mode.
+func (l *RWSpinLock) RLock() {
+	l.ReaderRegistrations.Add(1)
+	for {
+		w := l.word.Load()
+		if w >= 0 && l.word.CompareAndSwap(w, w+1) {
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
+// RUnlock releases a shared hold.
+func (l *RWSpinLock) RUnlock() {
+	l.word.Add(-1)
+}
+
+// Lock acquires the lock in exclusive mode.
+func (l *RWSpinLock) Lock() {
+	for {
+		if l.word.Load() == 0 && l.word.CompareAndSwap(0, -rwWriterBit) {
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
+// Unlock releases an exclusive hold.
+func (l *RWSpinLock) Unlock() {
+	l.word.Add(rwWriterBit)
+}
+
+// mcsNode is one waiter in the MCS queue. Nodes are heap-allocated per
+// acquisition; Go's escape analysis keeps uncontended cost low.
+type mcsNode struct {
+	next   atomic.Pointer[mcsNode]
+	locked atomic.Bool
+}
+
+// MCSLock is a queue-based spin lock: each waiter spins on its own node,
+// so under contention each handoff touches one cache line — the NUMA-aware
+// behaviour FFWD is benchmarked against in the paper.
+type MCSLock struct {
+	tail atomic.Pointer[mcsNode]
+}
+
+// Handle identifies one acquisition; pass the handle returned by Lock to
+// Unlock.
+type Handle struct{ node *mcsNode }
+
+// Lock enqueues the caller and spins on its private node until granted.
+func (l *MCSLock) Lock() Handle {
+	n := &mcsNode{}
+	pred := l.tail.Swap(n)
+	if pred != nil {
+		n.locked.Store(true)
+		pred.next.Store(n)
+		for n.locked.Load() {
+			runtime.Gosched()
+		}
+	}
+	return Handle{node: n}
+}
+
+// Unlock releases the lock, granting it to the successor if one is queued.
+func (l *MCSLock) Unlock(h Handle) {
+	n := h.node
+	if n.next.Load() == nil {
+		if l.tail.CompareAndSwap(n, nil) {
+			return
+		}
+		// A successor is linking itself in; wait for the pointer.
+		for n.next.Load() == nil {
+			runtime.Gosched()
+		}
+	}
+	n.next.Load().locked.Store(false)
+}
+
+// VersionLock is an optimistic lock as used by optimistic lock coupling:
+// readers snapshot a version, do their work, and validate; writers bump the
+// version to odd while mutating and to the next even value when done.
+type VersionLock struct {
+	version atomic.Uint64
+}
+
+// ReadBegin returns the version to validate against, spinning past any
+// in-progress writer (odd version).
+func (l *VersionLock) ReadBegin() uint64 {
+	for {
+		v := l.version.Load()
+		if v&1 == 0 {
+			return v
+		}
+		runtime.Gosched()
+	}
+}
+
+// ReadValidate reports whether the critical section observed a consistent
+// snapshot, i.e. no writer intervened since ReadBegin returned v.
+func (l *VersionLock) ReadValidate(v uint64) bool {
+	return l.version.Load() == v
+}
+
+// WriteLock acquires the lock exclusively, leaving the version odd.
+func (l *VersionLock) WriteLock() {
+	for {
+		v := l.version.Load()
+		if v&1 == 0 && l.version.CompareAndSwap(v, v+1) {
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
+// TryWriteLock attempts a single exclusive acquisition without spinning.
+func (l *VersionLock) TryWriteLock() bool {
+	v := l.version.Load()
+	return v&1 == 0 && l.version.CompareAndSwap(v, v+1)
+}
+
+// WriteUnlock releases exclusive mode, making the version even again and
+// invalidating concurrent optimistic readers.
+func (l *VersionLock) WriteUnlock() {
+	l.version.Add(1)
+}
+
+// Version returns the raw version word (for tests and diagnostics).
+func (l *VersionLock) Version() uint64 { return l.version.Load() }

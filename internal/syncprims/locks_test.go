@@ -1,0 +1,223 @@
+package syncprims
+
+import (
+	"sync"
+	"testing"
+)
+
+// counterUnderLock increments a plain int n times per goroutine under the
+// given lock/unlock pair and checks no increment was lost.
+func counterUnderLock(t *testing.T, goroutines, perG int, lock, unlock func()) {
+	t.Helper()
+	var wg sync.WaitGroup
+	counter := 0
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				lock()
+				counter++
+				unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if want := goroutines * perG; counter != want {
+		t.Errorf("counter = %d, want %d", counter, want)
+	}
+}
+
+func TestSpinLockMutualExclusion(t *testing.T) {
+	var l SpinLock
+	counterUnderLock(t, 8, 2000, l.Lock, l.Unlock)
+}
+
+func TestSpinLockTryLock(t *testing.T) {
+	var l SpinLock
+	if !l.TryLock() {
+		t.Fatal("TryLock on free lock failed")
+	}
+	if l.TryLock() {
+		t.Fatal("TryLock on held lock succeeded")
+	}
+	if !l.Locked() {
+		t.Error("Locked() false while held")
+	}
+	l.Unlock()
+	if l.Locked() {
+		t.Error("Locked() true after Unlock")
+	}
+	if !l.TryLock() {
+		t.Error("TryLock after Unlock failed")
+	}
+	l.Unlock()
+}
+
+func TestTicketLockMutualExclusion(t *testing.T) {
+	var l TicketLock
+	counterUnderLock(t, 8, 2000, l.Lock, l.Unlock)
+}
+
+func TestTicketLockFIFOSingleThread(t *testing.T) {
+	var l TicketLock
+	// Sequential lock/unlock must never deadlock and serve in order.
+	for i := 0; i < 100; i++ {
+		l.Lock()
+		l.Unlock()
+	}
+	if got := l.next.Load(); got != 100 {
+		t.Errorf("tickets issued = %d, want 100", got)
+	}
+}
+
+func TestRWSpinLockExclusiveWriters(t *testing.T) {
+	var l RWSpinLock
+	counterUnderLock(t, 8, 2000, l.Lock, l.Unlock)
+}
+
+func TestRWSpinLockSharedReaders(t *testing.T) {
+	var l RWSpinLock
+	value := 42
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				l.RLock()
+				if value != 42 {
+					t.Error("reader observed torn value")
+				}
+				l.RUnlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := l.ReaderRegistrations.Load(); got != 8000 {
+		t.Errorf("ReaderRegistrations = %d, want 8000", got)
+	}
+}
+
+func TestRWSpinLockReadersExcludeWriter(t *testing.T) {
+	var l RWSpinLock
+	shared := 0
+	var wg sync.WaitGroup
+	// Writers increment by 2 in two steps; readers must never see odd.
+	for g := 0; g < 4; g++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				l.Lock()
+				shared++
+				shared++
+				l.Unlock()
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				l.RLock()
+				if shared%2 != 0 {
+					t.Error("reader observed writer's intermediate state")
+				}
+				l.RUnlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if shared != 4000 {
+		t.Errorf("shared = %d, want 4000", shared)
+	}
+}
+
+func TestMCSLockMutualExclusion(t *testing.T) {
+	var l MCSLock
+	var wg sync.WaitGroup
+	counter := 0
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				h := l.Lock()
+				counter++
+				l.Unlock(h)
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != 16000 {
+		t.Errorf("counter = %d, want 16000", counter)
+	}
+}
+
+func TestVersionLockWriterBumpsVersion(t *testing.T) {
+	var l VersionLock
+	v0 := l.ReadBegin()
+	if v0 != 0 {
+		t.Fatalf("initial version = %d, want 0", v0)
+	}
+	if !l.ReadValidate(v0) {
+		t.Error("validate with no writer should succeed")
+	}
+	l.WriteLock()
+	if l.Version()&1 != 1 {
+		t.Error("version should be odd while write-locked")
+	}
+	l.WriteUnlock()
+	if l.ReadValidate(v0) {
+		t.Error("validate must fail after a write")
+	}
+	if got := l.Version(); got != 2 {
+		t.Errorf("version = %d, want 2", got)
+	}
+}
+
+func TestVersionLockTryWriteLock(t *testing.T) {
+	var l VersionLock
+	if !l.TryWriteLock() {
+		t.Fatal("TryWriteLock on free lock failed")
+	}
+	if l.TryWriteLock() {
+		t.Fatal("TryWriteLock while locked succeeded")
+	}
+	l.WriteUnlock()
+	if !l.TryWriteLock() {
+		t.Error("TryWriteLock after unlock failed")
+	}
+	l.WriteUnlock()
+}
+
+func TestVersionLockOptimisticReadersDetectWrites(t *testing.T) {
+	var l VersionLock
+	data := [2]int{0, 0}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 1; i <= 1000; i++ {
+			l.WriteLock()
+			data[0] = i
+			data[1] = i
+			l.WriteUnlock()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 1000; i++ {
+			for {
+				v := l.ReadBegin()
+				a, b := data[0], data[1]
+				if l.ReadValidate(v) {
+					if a != b {
+						t.Error("validated read saw torn data")
+					}
+					break
+				}
+			}
+		}
+	}()
+	wg.Wait()
+}

@@ -1,0 +1,163 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CPUSet is an ordered set of logical CPU ids, used to describe the cores a
+// virtual domain owns. The zero value is the empty set.
+type CPUSet struct {
+	ids []int
+}
+
+// NewCPUSet builds a set from the given ids, deduplicating and sorting.
+func NewCPUSet(ids ...int) CPUSet {
+	seen := make(map[int]struct{}, len(ids))
+	var out []int
+	for _, id := range ids {
+		if _, ok := seen[id]; !ok {
+			seen[id] = struct{}{}
+			out = append(out, id)
+		}
+	}
+	sort.Ints(out)
+	return CPUSet{ids: out}
+}
+
+// Range returns the contiguous set [lo, hi).
+func Range(lo, hi int) CPUSet {
+	if hi <= lo {
+		return CPUSet{}
+	}
+	ids := make([]int, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		ids = append(ids, i)
+	}
+	return CPUSet{ids: ids}
+}
+
+// Len returns the number of CPUs in the set.
+func (s CPUSet) Len() int { return len(s.ids) }
+
+// IDs returns the ids in ascending order. The slice is a copy.
+func (s CPUSet) IDs() []int { return append([]int(nil), s.ids...) }
+
+// Contains reports whether id is in the set.
+func (s CPUSet) Contains(id int) bool {
+	i := sort.SearchInts(s.ids, id)
+	return i < len(s.ids) && s.ids[i] == id
+}
+
+// Union returns the union of two sets.
+func (s CPUSet) Union(t CPUSet) CPUSet {
+	return NewCPUSet(append(s.IDs(), t.ids...)...)
+}
+
+// Intersects reports whether the two sets share any CPU.
+func (s CPUSet) Intersects(t CPUSet) bool {
+	i, j := 0, 0
+	for i < len(s.ids) && j < len(t.ids) {
+		switch {
+		case s.ids[i] == t.ids[j]:
+			return true
+		case s.ids[i] < t.ids[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}
+
+// Sockets returns the distinct sockets the set's CPUs live on, ascending,
+// resolved against machine m.
+func (s CPUSet) Sockets(m *Machine) []int {
+	seen := map[int]struct{}{}
+	var out []int
+	for _, id := range s.ids {
+		sk := m.SocketOfCPU(id)
+		if _, ok := seen[sk]; !ok {
+			seen[sk] = struct{}{}
+			out = append(out, sk)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Span returns the worst-case NUMA level between any two CPUs in the set —
+// the "NUMA span" of a virtual domain, which amplifies coherence cost.
+func (s CPUSet) Span(m *Machine) int {
+	sks := s.Sockets(m)
+	span := 0
+	for i := 0; i < len(sks); i++ {
+		for j := i + 1; j < len(sks); j++ {
+			if d := m.Distance(sks[i], sks[j]); d > span {
+				span = d
+			}
+		}
+	}
+	return span
+}
+
+// String formats the set as compressed ranges, e.g. "0-23,48-71".
+func (s CPUSet) String() string {
+	if len(s.ids) == 0 {
+		return "∅"
+	}
+	var b strings.Builder
+	lo := s.ids[0]
+	prev := lo
+	flush := func(hi int) {
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		if lo == hi {
+			fmt.Fprintf(&b, "%d", lo)
+		} else {
+			fmt.Fprintf(&b, "%d-%d", lo, hi)
+		}
+	}
+	for _, id := range s.ids[1:] {
+		if id != prev+1 {
+			flush(prev)
+			lo = id
+		}
+		prev = id
+	}
+	flush(prev)
+	return b.String()
+}
+
+// PartitionEven splits machine m's first `threads` logical CPUs into parts of
+// `size` CPUs each, socket-major, mirroring how the paper carves virtual
+// domains out of a restricted machine. The final part may be smaller when
+// size does not divide threads.
+func PartitionEven(m *Machine, threads, size int) ([]CPUSet, error) {
+	if threads <= 0 || threads > m.LogicalCPUs() {
+		return nil, fmt.Errorf("topology: %d threads out of range [1,%d]", threads, m.LogicalCPUs())
+	}
+	if size <= 0 {
+		return nil, fmt.Errorf("topology: non-positive domain size %d", size)
+	}
+	// Order CPUs socket-major so a domain of ≤48 stays inside one socket.
+	order := make([]int, 0, threads)
+	for _, sk := range m.Sockets {
+		for _, id := range m.CPUsOfSocket(sk.ID) {
+			if len(order) < threads {
+				order = append(order, id)
+			}
+		}
+	}
+	var parts []CPUSet
+	for lo := 0; lo < len(order); lo += size {
+		hi := lo + size
+		if hi > len(order) {
+			hi = len(order)
+		}
+		parts = append(parts, NewCPUSet(order[lo:hi]...))
+	}
+	return parts, nil
+}

@@ -1,0 +1,281 @@
+//go:build linux
+
+package topology
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// DetectHost builds a Machine describing the Linux host this process runs
+// on, from sysfs: online CPUs, their package (socket) and core ids, the
+// last-level cache size, and the NUMA node distance matrix. The result can
+// be passed to core.Start so virtual domains map onto real host CPUs and —
+// with Config.PinWorkers — workers are pinned to them, making the runtime's
+// NUMA-awareness real rather than simulated.
+//
+// Hosts report NUMA distances in the ACPI SLIT convention (10 = local);
+// distinct distance values are ranked into the Machine's NUMA levels, with
+// latencies scaled from the local level's 114 ns baseline.
+func DetectHost() (*Machine, error) {
+	return detectHost("/sys/devices/system")
+}
+
+// detectHost is the testable body, rooted at a sysfs-like directory.
+func detectHost(sysRoot string) (*Machine, error) {
+	online, err := os.ReadFile(sysRoot + "/cpu/online")
+	if err != nil {
+		return nil, fmt.Errorf("topology: reading online cpus: %w", err)
+	}
+	cpuIDs, err := parseCPUList(strings.TrimSpace(string(online)))
+	if err != nil {
+		return nil, err
+	}
+	if len(cpuIDs) == 0 {
+		return nil, fmt.Errorf("topology: no online cpus")
+	}
+
+	type hostCPU struct {
+		id, pkg, core int
+	}
+	var cpus []hostCPU
+	pkgs := map[int]struct{}{}
+	coresPerPkg := map[int]map[int]struct{}{}
+	for _, id := range cpuIDs {
+		base := fmt.Sprintf("%s/cpu/cpu%d/topology", sysRoot, id)
+		pkg, err := readIntFile(base + "/physical_package_id")
+		if err != nil {
+			pkg = 0 // single-socket hosts sometimes omit the file
+		}
+		core, err := readIntFile(base + "/core_id")
+		if err != nil {
+			core = id
+		}
+		cpus = append(cpus, hostCPU{id: id, pkg: pkg, core: core})
+		pkgs[pkg] = struct{}{}
+		if coresPerPkg[pkg] == nil {
+			coresPerPkg[pkg] = map[int]struct{}{}
+		}
+		coresPerPkg[pkg][core] = struct{}{}
+	}
+
+	// Dense socket numbering in package-id order.
+	pkgList := make([]int, 0, len(pkgs))
+	for p := range pkgs {
+		pkgList = append(pkgList, p)
+	}
+	sort.Ints(pkgList)
+	pkgIndex := map[int]int{}
+	for i, p := range pkgList {
+		pkgIndex[p] = i
+	}
+
+	// L3 size: take the largest cache reported for cpu0 (fallback default).
+	l3 := detectL3(fmt.Sprintf("%s/cpu/cpu%d/cache", sysRoot, cpuIDs[0]))
+
+	m := &Machine{
+		Name:      "detected-host",
+		L1Bytes:   DefaultL1Bytes,
+		L2Bytes:   DefaultL2Bytes,
+		LineBytes: DefaultLineBytes,
+	}
+	for i, p := range pkgList {
+		nCores := len(coresPerPkg[p])
+		nCPUs := 0
+		for _, c := range cpus {
+			if c.pkg == p {
+				nCPUs++
+			}
+		}
+		smt := nCPUs / nCores
+		if smt < 1 {
+			smt = 1
+		}
+		m.Sockets = append(m.Sockets, Socket{
+			ID: i, Cores: nCores, SMTPerCor: smt, L3Bytes: l3, Partition: 0,
+		})
+	}
+
+	// NUMA distances from node*/distance when present; identity otherwise.
+	levels, latencies := detectDistances(sysRoot+"/node", len(pkgList))
+	m.distance = levels
+	m.latency = latencies
+
+	// Host CPUs keep their real ids: build the cpu table sorted by id with
+	// SMT index inferred per (pkg, core) arrival order.
+	sort.Slice(cpus, func(a, b int) bool { return cpus[a].id < cpus[b].id })
+	seen := map[[2]int]int{}
+	coreIdx := map[[2]int]int{}
+	nextCore := 0
+	for _, c := range cpus {
+		key := [2]int{c.pkg, c.core}
+		if _, ok := coreIdx[key]; !ok {
+			coreIdx[key] = nextCore
+			nextCore++
+		}
+		m.cpus = append(m.cpus, CPU{
+			ID:     c.id,
+			Core:   coreIdx[key],
+			Socket: pkgIndex[c.pkg],
+			SMT:    seen[key],
+		})
+		seen[key]++
+	}
+	return m, nil
+}
+
+// parseCPUList parses sysfs list syntax: "0-3,8,10-11".
+func parseCPUList(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		if lo, hi, ok := strings.Cut(part, "-"); ok {
+			a, err := strconv.Atoi(lo)
+			if err != nil {
+				return nil, fmt.Errorf("topology: cpu list %q: %w", s, err)
+			}
+			b, err := strconv.Atoi(hi)
+			if err != nil {
+				return nil, fmt.Errorf("topology: cpu list %q: %w", s, err)
+			}
+			if b < a {
+				return nil, fmt.Errorf("topology: cpu list %q: inverted range", s)
+			}
+			for i := a; i <= b; i++ {
+				out = append(out, i)
+			}
+		} else {
+			v, err := strconv.Atoi(part)
+			if err != nil {
+				return nil, fmt.Errorf("topology: cpu list %q: %w", s, err)
+			}
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}
+
+func readIntFile(path string) (int, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	return strconv.Atoi(strings.TrimSpace(string(b)))
+}
+
+// detectL3 scans cache/index*/size for the largest cache.
+func detectL3(cacheDir string) int64 {
+	best := int64(DefaultL3Bytes)
+	entries, err := os.ReadDir(cacheDir)
+	if err != nil {
+		return best
+	}
+	found := int64(0)
+	for _, e := range entries {
+		if !strings.HasPrefix(e.Name(), "index") {
+			continue
+		}
+		raw, err := os.ReadFile(cacheDir + "/" + e.Name() + "/size")
+		if err != nil {
+			continue
+		}
+		s := strings.TrimSpace(string(raw))
+		mult := int64(1)
+		switch {
+		case strings.HasSuffix(s, "K"):
+			mult, s = 1024, strings.TrimSuffix(s, "K")
+		case strings.HasSuffix(s, "M"):
+			mult, s = 1024*1024, strings.TrimSuffix(s, "M")
+		}
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			continue
+		}
+		if v*mult > found {
+			found = v * mult
+		}
+	}
+	if found > 0 {
+		return found
+	}
+	return best
+}
+
+// detectDistances reads node*/distance and ranks distinct SLIT distances
+// into NUMA levels with latencies scaled from the local baseline.
+func detectDistances(nodeDir string, sockets int) ([][]int, []float64) {
+	// Fallback: local/adjacent model.
+	fallbackLevels := make([][]int, sockets)
+	for i := range fallbackLevels {
+		fallbackLevels[i] = make([]int, sockets)
+		for j := range fallbackLevels[i] {
+			if i != j {
+				fallbackLevels[i][j] = 1
+			}
+		}
+	}
+	fallbackLat := []float64{DefaultNUMALatency[0], DefaultNUMALatency[1]}
+
+	raw := make([][]int, 0, sockets)
+	for n := 0; n < sockets; n++ {
+		b, err := os.ReadFile(fmt.Sprintf("%s/node%d/distance", nodeDir, n))
+		if err != nil {
+			return fallbackLevels, fallbackLat
+		}
+		fields := strings.Fields(strings.TrimSpace(string(b)))
+		if len(fields) < sockets {
+			return fallbackLevels, fallbackLat
+		}
+		row := make([]int, sockets)
+		for j := 0; j < sockets; j++ {
+			v, err := strconv.Atoi(fields[j])
+			if err != nil {
+				return fallbackLevels, fallbackLat
+			}
+			row[j] = v
+		}
+		raw = append(raw, row)
+	}
+	// Rank distinct distances.
+	distinct := map[int]struct{}{}
+	for _, row := range raw {
+		for _, v := range row {
+			distinct[v] = struct{}{}
+		}
+	}
+	vals := make([]int, 0, len(distinct))
+	for v := range distinct {
+		vals = append(vals, v)
+	}
+	sort.Ints(vals)
+	rank := map[int]int{}
+	for i, v := range vals {
+		if i > 3 {
+			rank[v] = 3 // clamp to the model's four levels
+			continue
+		}
+		rank[v] = i
+	}
+	levels := make([][]int, sockets)
+	for i, row := range raw {
+		levels[i] = make([]int, sockets)
+		for j, v := range row {
+			levels[i][j] = rank[v]
+		}
+	}
+	// Latency per level: scale the local baseline by the SLIT ratio.
+	local := float64(vals[0])
+	lat := make([]float64, 0, len(vals))
+	for i, v := range vals {
+		if i > 3 {
+			break
+		}
+		lat = append(lat, DefaultNUMALatency[0]*float64(v)/local)
+	}
+	return levels, lat
+}

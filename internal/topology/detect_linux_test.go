@@ -1,0 +1,144 @@
+//go:build linux
+
+package topology
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestDetectHostOnThisMachine(t *testing.T) {
+	m, err := DetectHost()
+	if err != nil {
+		t.Skipf("host detection unavailable: %v", err)
+	}
+	if m.LogicalCPUs() < 1 {
+		t.Fatal("detected no CPUs")
+	}
+	if len(m.Sockets) < 1 {
+		t.Fatal("detected no sockets")
+	}
+	// Distances must be reflexive-zero and symmetric.
+	for i := range m.Sockets {
+		if m.Distance(i, i) != 0 {
+			t.Errorf("Distance(%d,%d) = %d", i, i, m.Distance(i, i))
+		}
+	}
+	// Every CPU resolves.
+	for _, c := range m.CPUs() {
+		if got := m.SocketOfCPU(c.ID); got != c.Socket {
+			t.Errorf("cpu %d socket mismatch", c.ID)
+		}
+	}
+	t.Logf("detected: %s", m)
+}
+
+func TestDetectHostFromFakeSysfs(t *testing.T) {
+	root := t.TempDir()
+	write := func(path, content string) {
+		t.Helper()
+		full := root + "/" + path
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A 2-socket, 2-core, 2-SMT host: cpus 0-7, SLIT distances 10/21.
+	write("cpu/online", "0-7\n")
+	for cpu := 0; cpu < 8; cpu++ {
+		pkg := cpu / 4
+		core := (cpu / 2) % 2
+		write(fmt.Sprintf("cpu/cpu%d/topology/physical_package_id", cpu), fmt.Sprintf("%d\n", pkg))
+		write(fmt.Sprintf("cpu/cpu%d/topology/core_id", cpu), fmt.Sprintf("%d\n", core))
+	}
+	write("cpu/cpu0/cache/index3/size", "30M\n")
+	write("node/node0/distance", "10 21\n")
+	write("node/node1/distance", "21 10\n")
+
+	m, err := detectHost(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.LogicalCPUs(); got != 8 {
+		t.Errorf("LogicalCPUs = %d, want 8", got)
+	}
+	if got := len(m.Sockets); got != 2 {
+		t.Fatalf("sockets = %d, want 2", got)
+	}
+	if m.Sockets[0].Cores != 2 || m.Sockets[0].SMTPerCor != 2 {
+		t.Errorf("socket geometry: %+v", m.Sockets[0])
+	}
+	if m.Sockets[0].L3Bytes != 30*1024*1024 {
+		t.Errorf("L3 = %d, want 30M", m.Sockets[0].L3Bytes)
+	}
+	if m.Distance(0, 1) != 1 || m.Distance(0, 0) != 0 {
+		t.Errorf("distances: %d/%d", m.Distance(0, 0), m.Distance(0, 1))
+	}
+	// SLIT 21/10 scales the remote latency to 2.1× local.
+	if got := m.MemoryLatency(0, 1); math.Abs(got-114*2.1) > 0.5 {
+		t.Errorf("remote latency = %v, want ≈239", got)
+	}
+	// CPUs 4-7 are socket 1.
+	if m.SocketOfCPU(5) != 1 {
+		t.Errorf("cpu 5 on socket %d", m.SocketOfCPU(5))
+	}
+}
+
+func TestParseCPUList(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []int
+	}{
+		{"0-3", []int{0, 1, 2, 3}},
+		{"0", []int{0}},
+		{"0-1,4,6-7", []int{0, 1, 4, 6, 7}},
+		{"", nil},
+	}
+	for _, c := range cases {
+		got, err := parseCPUList(c.in)
+		if err != nil {
+			t.Fatalf("parseCPUList(%q): %v", c.in, err)
+		}
+		if len(got) != len(c.want) {
+			t.Fatalf("parseCPUList(%q) = %v, want %v", c.in, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("parseCPUList(%q) = %v, want %v", c.in, got, c.want)
+			}
+		}
+	}
+	for _, bad := range []string{"x", "3-1", "1-x"} {
+		if _, err := parseCPUList(bad); err == nil {
+			t.Errorf("parseCPUList(%q) accepted", bad)
+		}
+	}
+}
+
+// FuzzParseCPUList checks the sysfs list parser never panics and only
+// returns non-negative ids.
+func FuzzParseCPUList(f *testing.F) {
+	f.Add("0-3,8,10-11")
+	f.Add("")
+	f.Add("0")
+	f.Add("a-b")
+	f.Fuzz(func(t *testing.T, s string) {
+		if len(s) > 256 {
+			return
+		}
+		ids, err := parseCPUList(s)
+		if err != nil {
+			return
+		}
+		for _, id := range ids {
+			if id < 0 {
+				t.Fatalf("negative cpu id %d from %q", id, s)
+			}
+		}
+	})
+}

@@ -1,0 +1,11 @@
+//go:build !linux
+
+package topology
+
+import "fmt"
+
+// DetectHost reads the host topology from sysfs, which only exists on
+// Linux; other platforms use the modelled machines (MC990X, Restricted).
+func DetectHost() (*Machine, error) {
+	return nil, fmt.Errorf("topology: host detection requires Linux sysfs")
+}

@@ -1,0 +1,248 @@
+// Package topology describes the hardware platforms the runtime and the
+// machine simulator operate on: sockets, physical cores, SMT threads, the
+// NUMA distance matrix, and the cache hierarchy.
+//
+// The reference machine is the HPE MC990 X used in the paper: two hardware
+// partitions of four Intel Xeon E7-8890 v4 sockets each (24 cores, 60 MB L3),
+// joined by a NUMAlink controller into a single cache-coherent system with
+// four NUMA levels whose measured memory latencies are 114, 217, 265 and
+// 487 ns. Restricting the socket count yields the smaller "system sizes"
+// the paper sweeps (1–8 sockets, 48–384 SMT threads).
+package topology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Default cache geometry of the Xeon E7-8890 v4 (per the paper's testbed).
+const (
+	DefaultL1Bytes     = 32 * 1024        // per core, data
+	DefaultL2Bytes     = 256 * 1024       // per core
+	DefaultL3Bytes     = 60 * 1024 * 1024 // per socket, shared
+	DefaultLineBytes   = 64
+	DefaultCoresPerSkt = 24
+	DefaultSMTPerCore  = 2
+)
+
+// Measured NUMA latencies of the reference machine in nanoseconds, by level:
+// level 0 is socket-local DRAM, level 1 one QPI hop, level 2 two hops within
+// a hardware partition, level 3 across the NUMAlink controller.
+var DefaultNUMALatency = [4]float64{114, 217, 265, 487}
+
+// Cache access latencies in nanoseconds (typical Broadwell-EX figures).
+const (
+	LatencyL1 = 1.2
+	LatencyL2 = 3.7
+	LatencyL3 = 15.0
+)
+
+// CPU identifies one logical (SMT) processor.
+type CPU struct {
+	ID     int // logical CPU id, dense in [0, Machine.LogicalCPUs())
+	Core   int // physical core id, dense in [0, Machine.PhysicalCores())
+	Socket int // socket id, dense in [0, len(Machine.Sockets))
+	SMT    int // SMT sibling index within the core (0 = primary)
+}
+
+// Socket describes one processor package and its local memory.
+type Socket struct {
+	ID        int
+	Cores     int // physical cores
+	SMTPerCor int // SMT threads per core
+	L3Bytes   int64
+	Partition int // hardware partition (NUMAlink side) the socket belongs to
+}
+
+// Machine is an immutable description of a (possibly restricted) hardware
+// platform. Construct with NewMachine or one of the presets, then share
+// freely: all methods are read-only.
+type Machine struct {
+	Name      string
+	Sockets   []Socket
+	L1Bytes   int64
+	L2Bytes   int64
+	LineBytes int64
+
+	// distance[i][j] is the NUMA level (0..3) between sockets i and j.
+	distance [][]int
+	// latency[l] is the memory latency in ns for NUMA level l.
+	latency []float64
+
+	cpus []CPU
+}
+
+// NewMachine builds a machine of n identical sockets. The distance matrix
+// follows the MC990X layout: sockets within one 4-socket hardware partition
+// are one hop apart unless they need two (ring of 4: opposite corners are
+// level 2), and sockets in different partitions are level 3 (NUMAlink).
+func NewMachine(name string, sockets, coresPerSocket, smtPerCore int) (*Machine, error) {
+	if sockets <= 0 || coresPerSocket <= 0 || smtPerCore <= 0 {
+		return nil, fmt.Errorf("topology: invalid geometry %d sockets × %d cores × %d smt", sockets, coresPerSocket, smtPerCore)
+	}
+	m := &Machine{
+		Name:      name,
+		L1Bytes:   DefaultL1Bytes,
+		L2Bytes:   DefaultL2Bytes,
+		LineBytes: DefaultLineBytes,
+		latency:   append([]float64(nil), DefaultNUMALatency[:]...),
+	}
+	for s := 0; s < sockets; s++ {
+		m.Sockets = append(m.Sockets, Socket{
+			ID:        s,
+			Cores:     coresPerSocket,
+			SMTPerCor: smtPerCore,
+			L3Bytes:   DefaultL3Bytes,
+			Partition: s / 4,
+		})
+	}
+	m.distance = make([][]int, sockets)
+	for i := range m.distance {
+		m.distance[i] = make([]int, sockets)
+		for j := range m.distance[i] {
+			m.distance[i][j] = socketDistance(m.Sockets[i], m.Sockets[j])
+		}
+	}
+	m.buildCPUs()
+	return m, nil
+}
+
+// socketDistance reproduces the four-level MC990X topology.
+func socketDistance(a, b Socket) int {
+	switch {
+	case a.ID == b.ID:
+		return 0
+	case a.Partition != b.Partition:
+		return 3 // across the NUMAlink controller
+	default:
+		// Within a 4-socket partition the QPI links form a ring:
+		// adjacent sockets are one hop, opposite sockets two.
+		la, lb := a.ID%4, b.ID%4
+		d := la - lb
+		if d < 0 {
+			d = -d
+		}
+		if d == 2 {
+			return 2
+		}
+		return 1
+	}
+}
+
+func (m *Machine) buildCPUs() {
+	id := 0
+	core := 0
+	// Primary SMT threads of all cores first, then siblings — matching the
+	// usual Linux enumeration so "the first 192 threads" are physical cores.
+	for smt := 0; smt < m.Sockets[0].SMTPerCor; smt++ {
+		core = 0
+		for _, s := range m.Sockets {
+			for c := 0; c < s.Cores; c++ {
+				m.cpus = append(m.cpus, CPU{ID: id, Core: core, Socket: s.ID, SMT: smt})
+				id++
+				core++
+			}
+		}
+	}
+	sort.Slice(m.cpus, func(i, j int) bool { return m.cpus[i].ID < m.cpus[j].ID })
+}
+
+// MC990X returns the paper's full 8-socket reference machine
+// (192 physical cores, 384 logical threads).
+func MC990X() *Machine {
+	m, err := NewMachine("HPE MC990 X", 8, DefaultCoresPerSkt, DefaultSMTPerCore)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Restricted returns the reference machine limited to the first n sockets,
+// as the paper does to emulate smaller platforms (1–8 sockets).
+func Restricted(sockets int) (*Machine, error) {
+	if sockets < 1 || sockets > 8 {
+		return nil, fmt.Errorf("topology: restricted machine must have 1..8 sockets, got %d", sockets)
+	}
+	return NewMachine(fmt.Sprintf("MC990X/%d-socket", sockets), sockets, DefaultCoresPerSkt, DefaultSMTPerCore)
+}
+
+// LogicalCPUs returns the number of SMT threads on the machine.
+func (m *Machine) LogicalCPUs() int { return len(m.cpus) }
+
+// PhysicalCores returns the number of physical cores on the machine.
+func (m *Machine) PhysicalCores() int {
+	n := 0
+	for _, s := range m.Sockets {
+		n += s.Cores
+	}
+	return n
+}
+
+// CPUs returns the logical CPUs in id order. The returned slice is shared;
+// callers must not modify it.
+func (m *Machine) CPUs() []CPU { return m.cpus }
+
+// CPU returns the logical CPU with the given id.
+func (m *Machine) CPU(id int) (CPU, error) {
+	if id < 0 || id >= len(m.cpus) {
+		return CPU{}, fmt.Errorf("topology: cpu %d out of range [0,%d)", id, len(m.cpus))
+	}
+	return m.cpus[id], nil
+}
+
+// Distance returns the NUMA level (0..3) between two sockets.
+func (m *Machine) Distance(socketA, socketB int) int {
+	return m.distance[socketA][socketB]
+}
+
+// MemoryLatency returns the load latency in nanoseconds for a memory access
+// from a core on socket `from` to memory homed on socket `home`.
+func (m *Machine) MemoryLatency(from, home int) float64 {
+	return m.latency[m.distance[from][home]]
+}
+
+// LatencyOfLevel returns the memory latency for a NUMA level directly.
+func (m *Machine) LatencyOfLevel(level int) float64 { return m.latency[level] }
+
+// NUMALevels returns the number of distinct NUMA levels present.
+func (m *Machine) NUMALevels() int {
+	max := 0
+	for i := range m.distance {
+		for _, d := range m.distance[i] {
+			if d > max {
+				max = d
+			}
+		}
+	}
+	return max + 1
+}
+
+// TotalL3Bytes is the cumulative last-level cache across all sockets; the
+// paper sizes YCSB datasets at ten times this figure.
+func (m *Machine) TotalL3Bytes() int64 {
+	var n int64
+	for _, s := range m.Sockets {
+		n += s.L3Bytes
+	}
+	return n
+}
+
+// SocketOfCPU returns the socket that hosts logical cpu id.
+func (m *Machine) SocketOfCPU(cpu int) int { return m.cpus[cpu].Socket }
+
+// CPUsOfSocket returns the logical cpu ids on socket s in id order.
+func (m *Machine) CPUsOfSocket(s int) []int {
+	var out []int
+	for _, c := range m.cpus {
+		if c.Socket == s {
+			out = append(out, c.ID)
+		}
+	}
+	return out
+}
+
+// String summarises the machine geometry.
+func (m *Machine) String() string {
+	return fmt.Sprintf("%s: %d sockets × %d cores × %d SMT = %d threads, %d NUMA levels",
+		m.Name, len(m.Sockets), m.Sockets[0].Cores, m.Sockets[0].SMTPerCor, m.LogicalCPUs(), m.NUMALevels())
+}

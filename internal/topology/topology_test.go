@@ -1,0 +1,274 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMC990XGeometry(t *testing.T) {
+	m := MC990X()
+	if got := m.LogicalCPUs(); got != 384 {
+		t.Errorf("LogicalCPUs = %d, want 384", got)
+	}
+	if got := m.PhysicalCores(); got != 192 {
+		t.Errorf("PhysicalCores = %d, want 192", got)
+	}
+	if got := len(m.Sockets); got != 8 {
+		t.Errorf("sockets = %d, want 8", got)
+	}
+	if got := m.NUMALevels(); got != 4 {
+		t.Errorf("NUMALevels = %d, want 4", got)
+	}
+	if got := m.TotalL3Bytes(); got != 8*DefaultL3Bytes {
+		t.Errorf("TotalL3Bytes = %d, want %d", got, 8*DefaultL3Bytes)
+	}
+}
+
+func TestNUMALatencies(t *testing.T) {
+	m := MC990X()
+	cases := []struct {
+		from, home int
+		want       float64
+	}{
+		{0, 0, 114}, // local
+		{0, 1, 217}, // one hop in partition
+		{0, 2, 265}, // opposite corner of the ring
+		{0, 4, 487}, // across NUMAlink
+		{5, 5, 114},
+		{4, 7, 217},
+		{1, 6, 487},
+	}
+	for _, c := range cases {
+		if got := m.MemoryLatency(c.from, c.home); got != c.want {
+			t.Errorf("MemoryLatency(%d,%d) = %v, want %v", c.from, c.home, got, c.want)
+		}
+	}
+}
+
+func TestDistanceSymmetricAndReflexive(t *testing.T) {
+	m := MC990X()
+	for i := range m.Sockets {
+		if d := m.Distance(i, i); d != 0 {
+			t.Errorf("Distance(%d,%d) = %d, want 0", i, i, d)
+		}
+		for j := range m.Sockets {
+			if m.Distance(i, j) != m.Distance(j, i) {
+				t.Errorf("Distance(%d,%d) != Distance(%d,%d)", i, j, j, i)
+			}
+		}
+	}
+}
+
+func TestRestricted(t *testing.T) {
+	for n := 1; n <= 8; n++ {
+		m, err := Restricted(n)
+		if err != nil {
+			t.Fatalf("Restricted(%d): %v", n, err)
+		}
+		if got := m.LogicalCPUs(); got != n*48 {
+			t.Errorf("Restricted(%d).LogicalCPUs = %d, want %d", n, got, n*48)
+		}
+	}
+	if _, err := Restricted(0); err == nil {
+		t.Error("Restricted(0) should fail")
+	}
+	if _, err := Restricted(9); err == nil {
+		t.Error("Restricted(9) should fail")
+	}
+}
+
+func TestCPUEnumerationPhysicalFirst(t *testing.T) {
+	m := MC990X()
+	// The first 192 logical CPUs must be the primary SMT thread of each core.
+	for id := 0; id < 192; id++ {
+		c, err := m.CPU(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.SMT != 0 {
+			t.Fatalf("cpu %d has SMT=%d, want 0", id, c.SMT)
+		}
+	}
+	for id := 192; id < 384; id++ {
+		c, _ := m.CPU(id)
+		if c.SMT != 1 {
+			t.Fatalf("cpu %d has SMT=%d, want 1", id, c.SMT)
+		}
+	}
+	if _, err := m.CPU(-1); err == nil {
+		t.Error("CPU(-1) should fail")
+	}
+	if _, err := m.CPU(384); err == nil {
+		t.Error("CPU(384) should fail")
+	}
+}
+
+func TestCPUsOfSocket(t *testing.T) {
+	m := MC990X()
+	total := 0
+	for s := range m.Sockets {
+		ids := m.CPUsOfSocket(s)
+		if len(ids) != 48 {
+			t.Errorf("socket %d has %d cpus, want 48", s, len(ids))
+		}
+		total += len(ids)
+		for _, id := range ids {
+			if m.SocketOfCPU(id) != s {
+				t.Errorf("cpu %d maps to socket %d, want %d", id, m.SocketOfCPU(id), s)
+			}
+		}
+	}
+	if total != 384 {
+		t.Errorf("total cpus over sockets = %d, want 384", total)
+	}
+}
+
+func TestNewMachineValidation(t *testing.T) {
+	if _, err := NewMachine("bad", 0, 24, 2); err == nil {
+		t.Error("0 sockets should fail")
+	}
+	if _, err := NewMachine("bad", 2, 0, 2); err == nil {
+		t.Error("0 cores should fail")
+	}
+	if _, err := NewMachine("bad", 2, 24, 0); err == nil {
+		t.Error("0 smt should fail")
+	}
+}
+
+func TestCPUSetBasics(t *testing.T) {
+	s := NewCPUSet(3, 1, 2, 2, 1)
+	if s.Len() != 3 {
+		t.Errorf("Len = %d, want 3", s.Len())
+	}
+	if !s.Contains(2) || s.Contains(0) {
+		t.Error("Contains misbehaves")
+	}
+	if got := s.String(); got != "1-3" {
+		t.Errorf("String = %q, want \"1-3\"", got)
+	}
+	if got := (CPUSet{}).String(); got != "∅" {
+		t.Errorf("empty String = %q", got)
+	}
+	u := s.Union(NewCPUSet(0, 5))
+	if got := u.String(); got != "0-3,5" {
+		t.Errorf("union String = %q, want \"0-3,5\"", got)
+	}
+}
+
+func TestCPUSetIntersects(t *testing.T) {
+	a := Range(0, 10)
+	b := Range(10, 20)
+	if a.Intersects(b) {
+		t.Error("disjoint ranges should not intersect")
+	}
+	if !a.Intersects(Range(9, 12)) {
+		t.Error("overlapping ranges should intersect")
+	}
+	if (CPUSet{}).Intersects(a) {
+		t.Error("empty set intersects nothing")
+	}
+}
+
+func TestCPUSetSpan(t *testing.T) {
+	m := MC990X()
+	if got := Range(0, 24).Span(m); got != 0 {
+		t.Errorf("half-socket span = %d, want 0", got)
+	}
+	// Sockets 0 and 1 are adjacent in the ring.
+	s01 := NewCPUSet(append(m.CPUsOfSocket(0), m.CPUsOfSocket(1)...)...)
+	if got := s01.Span(m); got != 1 {
+		t.Errorf("2-socket span = %d, want 1", got)
+	}
+	// Sockets 0 and 4 are in different hardware partitions.
+	s04 := NewCPUSet(append(m.CPUsOfSocket(0), m.CPUsOfSocket(4)...)...)
+	if got := s04.Span(m); got != 3 {
+		t.Errorf("cross-partition span = %d, want 3", got)
+	}
+}
+
+func TestPartitionEven(t *testing.T) {
+	m := MC990X()
+	parts, err := PartitionEven(m, 192, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 8 {
+		t.Fatalf("got %d parts, want 8", len(parts))
+	}
+	for i, p := range parts {
+		if p.Len() != 24 {
+			t.Errorf("part %d has %d cpus, want 24", i, p.Len())
+		}
+		if span := p.Span(m); span != 0 {
+			t.Errorf("part %d spans NUMA level %d, want 0 (socket-local)", i, span)
+		}
+	}
+	// Non-dividing size leaves a smaller tail part.
+	parts, err = PartitionEven(m, 100, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 3 || parts[2].Len() != 4 {
+		t.Fatalf("tail partition wrong: %d parts, tail %d", len(parts), parts[len(parts)-1].Len())
+	}
+	if _, err := PartitionEven(m, 0, 4); err == nil {
+		t.Error("0 threads should fail")
+	}
+	if _, err := PartitionEven(m, 48, 0); err == nil {
+		t.Error("0 size should fail")
+	}
+	if _, err := PartitionEven(m, 500, 4); err == nil {
+		t.Error("too many threads should fail")
+	}
+}
+
+func TestPartitionEvenSocketMajor(t *testing.T) {
+	m := MC990X()
+	// With 384 threads and size 48, each part must sit on exactly one socket
+	// (both SMT threads of its cores).
+	parts, err := PartitionEven(m, 384, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range parts {
+		sks := p.Sockets(m)
+		if len(sks) != 1 {
+			t.Errorf("part %d covers sockets %v, want exactly one", i, sks)
+		}
+	}
+}
+
+func TestCPUSetUnionProperty(t *testing.T) {
+	f := func(a, b []uint8) bool {
+		ai := make([]int, len(a))
+		bi := make([]int, len(b))
+		for i, v := range a {
+			ai[i] = int(v)
+		}
+		for i, v := range b {
+			bi[i] = int(v)
+		}
+		sa, sb := NewCPUSet(ai...), NewCPUSet(bi...)
+		u := sa.Union(sb)
+		for _, id := range ai {
+			if !u.Contains(id) {
+				return false
+			}
+		}
+		for _, id := range bi {
+			if !u.Contains(id) {
+				return false
+			}
+		}
+		// Union must not invent members.
+		for _, id := range u.IDs() {
+			if !sa.Contains(id) && !sb.Contains(id) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,176 @@
+package tpcc
+
+import "fmt"
+
+// This file extends the paper's New-Order + Payment subset (88% of TPC-C)
+// to the full five-transaction mix — Delivery, Order-Status and Stock-Level
+// complete the remaining 12%. The paper notes the two implemented
+// transactions "represent 88% of the workload"; the engines' statement→task
+// mapping handles the rest without any runtime change, which this file
+// demonstrates.
+
+// StockLevelThreshold is the quantity below which Stock-Level counts an
+// item as low (the spec draws 10–20; we fix the midpoint for determinism).
+const StockLevelThreshold = 15
+
+// Delivery executes the TPC-C Delivery transaction for the terminal's home
+// warehouse: for every district it consumes the oldest undelivered order
+// (the minimum NewOrders entry), computes the order's amount from its lines
+// and credits the customer's balance.
+func (t *Terminal) Delivery() error {
+	w := t.home
+	for d := 1; d <= DistrictsPerWarehouse; d++ {
+		// Oldest new order of the district: the minimum key in the
+		// district's NewOrders range.
+		lo, hi := OrderKey(d, 0), OrderKey(d, (1<<40)-1)
+		var oldest uint64
+		found := false
+		if _, err := t.store.Scan(w, NewOrders, lo, hi, func(k, v uint64) bool {
+			oldest = k
+			found = true
+			return false // first key is the minimum
+		}); err != nil {
+			return err
+		}
+		if !found {
+			continue // nothing to deliver in this district (allowed)
+		}
+		if _, err := t.store.Delete(w, NewOrders, oldest); err != nil {
+			return err
+		}
+		o := int(oldest & ((1 << 40) - 1))
+		cu, ok, err := t.store.Get(w, Orders, OrderKey(d, o))
+		if err != nil || !ok {
+			return orFmt(err, "delivery: order %d/%d missing", d, o)
+		}
+		// Sum the order's line amounts (qty × item price).
+		amount := uint64(0)
+		llo, lhi := OrderLineKey(d, o, 0), OrderLineKey(d, o, 255)
+		if _, err := t.store.Scan(w, OrderLines, llo, lhi, func(k, v uint64) bool {
+			item, qty := UnpackLine(v)
+			price, okP, _ := t.store.Get(w, ItemPrice, ItemKey(item))
+			if okP {
+				amount += price * uint64(qty)
+			}
+			return true
+		}); err != nil {
+			return err
+		}
+		bal, ok, err := t.store.Get(w, CustomerBalance, CustomerKey(d, int(cu)))
+		if err != nil || !ok {
+			return orFmt(err, "delivery: customer %d/%d missing", d, cu)
+		}
+		newBal := DecodeBalance(bal) + int64(amount)
+		if _, err := t.store.Update(w, CustomerBalance, CustomerKey(d, int(cu)), EncodeBalance(newBal)); err != nil {
+			return err
+		}
+	}
+	t.Deliveries++
+	return nil
+}
+
+// OrderStatus executes the TPC-C Order-Status transaction: it resolves a
+// customer (60% by last name) and reads their most recent order with its
+// lines. Read-only.
+func (t *Terminal) OrderStatus() error {
+	w := t.home
+	d := 1 + t.rng.Intn(DistrictsPerWarehouse)
+	var cu int
+	if t.rng.Intn(100) < 60 {
+		name := LastName(nameNumber(1+t.rng.Intn(t.cfg.Customers), t.cfg.Customers))
+		lo, hi := CustomerNameRange(d, NameHash(name))
+		var matches []int
+		if _, err := t.store.Scan(w, CustomerByName, lo, hi, func(k, v uint64) bool {
+			matches = append(matches, int(v))
+			return true
+		}); err != nil {
+			return err
+		}
+		if len(matches) == 0 {
+			return fmt.Errorf("order-status: no customer named %s in %d/%d", name, w, d)
+		}
+		cu = matches[len(matches)/2]
+	} else {
+		cu = 1 + t.rng.Intn(t.cfg.Customers)
+	}
+	if _, ok, err := t.store.Get(w, CustomerBalance, CustomerKey(d, cu)); err != nil || !ok {
+		return orFmt(err, "order-status: customer %d/%d missing", d, cu)
+	}
+	// Most recent order of this customer: highest order id in the
+	// district whose Orders row names the customer.
+	lo, hi := OrderKey(d, 0), OrderKey(d, (1<<40)-1)
+	lastOrder := -1
+	if _, err := t.store.Scan(w, Orders, lo, hi, func(k, v uint64) bool {
+		if int(v) == cu {
+			lastOrder = int(k & ((1 << 40) - 1))
+		}
+		return true
+	}); err != nil {
+		return err
+	}
+	if lastOrder >= 0 {
+		llo, lhi := OrderLineKey(d, lastOrder, 0), OrderLineKey(d, lastOrder, 255)
+		if _, err := t.store.Scan(w, OrderLines, llo, lhi, func(k, v uint64) bool { return true }); err != nil {
+			return err
+		}
+	}
+	t.OrderStatuses++
+	return nil
+}
+
+// StockLevel executes the TPC-C Stock-Level transaction: it examines the
+// order lines of the district's last 20 orders and counts the distinct
+// items whose stock quantity is below the threshold. Read-only.
+func (t *Terminal) StockLevel() error {
+	w := t.home
+	d := 1 + t.rng.Intn(DistrictsPerWarehouse)
+	next, ok, err := t.store.Get(w, DistrictNextOID, DistrictKey(d))
+	if err != nil || !ok {
+		return orFmt(err, "stock-level: district %d missing", d)
+	}
+	first := int(next) - 20
+	if first < 1 {
+		first = 1
+	}
+	items := map[int]struct{}{}
+	llo := OrderLineKey(d, first, 0)
+	lhi := OrderLineKey(d, int(next), 255)
+	if _, err := t.store.Scan(w, OrderLines, llo, lhi, func(k, v uint64) bool {
+		item, _ := UnpackLine(v)
+		items[item] = struct{}{}
+		return true
+	}); err != nil {
+		return err
+	}
+	low := 0
+	for item := range items {
+		q, okQ, err := t.store.Get(w, StockQuantity, StockKey(item))
+		if err != nil {
+			return err
+		}
+		if okQ && q < StockLevelThreshold {
+			low++
+		}
+	}
+	t.StockLevels++
+	_ = low // the count is the transaction's result; nothing to persist
+	return nil
+}
+
+// NextFullMix runs one transaction of the full TPC-C mix with the
+// specification's weights: 45% New-Order, 43% Payment, 4% each of
+// Order-Status, Delivery and Stock-Level.
+func (t *Terminal) NextFullMix() error {
+	switch p := t.rng.Intn(100); {
+	case p < 45:
+		return t.NewOrder()
+	case p < 88:
+		return t.Payment()
+	case p < 92:
+		return t.OrderStatus()
+	case p < 96:
+		return t.Delivery()
+	default:
+		return t.StockLevel()
+	}
+}

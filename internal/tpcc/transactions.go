@@ -1,0 +1,209 @@
+package tpcc
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Terminal generates and executes New-Order and Payment transactions
+// against a Store, as one client terminal. Terminals are single-goroutine;
+// run one per client thread.
+type Terminal struct {
+	cfg   Config
+	store Store
+	rng   *rand.Rand
+	home  int    // home warehouse
+	id    uint64 // terminal id, namespaces history rows
+	// RemoteFrac is the probability a transaction touches a remote
+	// warehouse (the paper sweeps 0–75%).
+	RemoteFrac float64
+	seq        uint64 // history sequence
+
+	// Stats.
+	NewOrders     uint64
+	Payments      uint64
+	Deliveries    uint64
+	OrderStatuses uint64
+	StockLevels   uint64
+}
+
+// NewTerminal creates a terminal bound to a home warehouse.
+func NewTerminal(cfg Config, store Store, home int, remoteFrac float64, seed int64) (*Terminal, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if home < 1 || home > cfg.Warehouses {
+		return nil, fmt.Errorf("tpcc: home warehouse %d out of range", home)
+	}
+	if remoteFrac < 0 || remoteFrac > 1 {
+		return nil, fmt.Errorf("tpcc: remote fraction %v out of [0,1]", remoteFrac)
+	}
+	return &Terminal{
+		cfg: cfg, store: store, rng: rand.New(rand.NewSource(seed)),
+		home: home, id: uint64(seed) & 0xFFFF, RemoteFrac: remoteFrac,
+	}, nil
+}
+
+// remoteWarehouse picks a warehouse ≠ home (or home when there is only one).
+func (t *Terminal) remoteWarehouse() int {
+	if t.cfg.Warehouses == 1 {
+		return t.home
+	}
+	for {
+		w := 1 + t.rng.Intn(t.cfg.Warehouses)
+		if w != t.home {
+			return w
+		}
+	}
+}
+
+// NextTransaction runs one transaction of the paper's NO+P mix (roughly
+// equal shares of the 88% the two represent in full TPC-C).
+func (t *Terminal) NextTransaction() error {
+	if t.rng.Intn(2) == 0 {
+		return t.NewOrder()
+	}
+	return t.Payment()
+}
+
+// NewOrder executes the TPC-C New-Order transaction: reads warehouse and
+// district tax, assigns the order id, inserts the order and its lines, and
+// updates stock for each line — possibly against a remote warehouse.
+func (t *Terminal) NewOrder() error {
+	w := t.home
+	d := 1 + t.rng.Intn(DistrictsPerWarehouse)
+	c := 1 + t.rng.Intn(t.cfg.Customers)
+	remote := t.rng.Float64() < t.RemoteFrac
+
+	if _, ok, err := t.store.Get(w, WarehouseTax, uint64(w)); err != nil || !ok {
+		return orFmt(err, "new-order: warehouse %d tax missing", w)
+	}
+	if _, ok, err := t.store.Get(w, DistrictTax, DistrictKey(d)); err != nil || !ok {
+		return orFmt(err, "new-order: district %d tax missing", d)
+	}
+	oid, ok, err := t.store.Get(w, DistrictNextOID, DistrictKey(d))
+	if err != nil || !ok {
+		return orFmt(err, "new-order: district %d next_o_id missing", d)
+	}
+	if _, err := t.store.Update(w, DistrictNextOID, DistrictKey(d), oid+1); err != nil {
+		return err
+	}
+	o := int(oid)
+	if _, err := t.store.Insert(w, Orders, OrderKey(d, o), uint64(c)); err != nil {
+		return err
+	}
+	if _, err := t.store.Insert(w, NewOrders, OrderKey(d, o), 1); err != nil {
+		return err
+	}
+
+	lines := 5 + t.rng.Intn(11) // 5–15 lines per the spec
+	for line := 1; line <= lines; line++ {
+		item := 1 + t.rng.Intn(t.cfg.Items)
+		qty := 1 + t.rng.Intn(10)
+		supplier := w
+		if remote && line == 1 {
+			supplier = t.remoteWarehouse()
+		}
+		if _, ok, err := t.store.Get(w, ItemPrice, ItemKey(item)); err != nil || !ok {
+			return orFmt(err, "new-order: item %d missing", item)
+		}
+		sq, ok, err := t.store.Get(supplier, StockQuantity, StockKey(item))
+		if err != nil || !ok {
+			return orFmt(err, "new-order: stock %d/%d missing", supplier, item)
+		}
+		newQty := int64(sq) - int64(qty)
+		if newQty < 10 {
+			newQty += 91
+		}
+		if _, err := t.store.Update(supplier, StockQuantity, StockKey(item), uint64(newQty)); err != nil {
+			return err
+		}
+		ytd, _, err := t.store.Get(supplier, StockYTD, StockKey(item))
+		if err != nil {
+			return err
+		}
+		if _, err := t.store.Update(supplier, StockYTD, StockKey(item), ytd+uint64(qty)); err != nil {
+			return err
+		}
+		if _, err := t.store.Insert(w, OrderLines, OrderLineKey(d, o, line), PackLine(item, qty)); err != nil {
+			return err
+		}
+	}
+	t.NewOrders++
+	return nil
+}
+
+// Payment executes the TPC-C Payment transaction: updates warehouse and
+// district YTD, resolves the customer (60% by last name via the secondary
+// index), updates the balance and appends a history row. The customer is
+// remote with the configured probability.
+func (t *Terminal) Payment() error {
+	w := t.home
+	d := 1 + t.rng.Intn(DistrictsPerWarehouse)
+	amount := uint64(100 + t.rng.Intn(500000))
+
+	ytd, ok, err := t.store.Get(w, WarehouseYTD, uint64(w))
+	if err != nil || !ok {
+		return orFmt(err, "payment: warehouse %d ytd missing", w)
+	}
+	if _, err := t.store.Update(w, WarehouseYTD, uint64(w), ytd+amount); err != nil {
+		return err
+	}
+	dy, ok, err := t.store.Get(w, DistrictYTD, DistrictKey(d))
+	if err != nil || !ok {
+		return orFmt(err, "payment: district %d ytd missing", d)
+	}
+	if _, err := t.store.Update(w, DistrictYTD, DistrictKey(d), dy+amount); err != nil {
+		return err
+	}
+
+	// Customer resolution: remote customers pay at another warehouse.
+	cw, cd := w, d
+	if t.rng.Float64() < t.RemoteFrac {
+		cw = t.remoteWarehouse()
+		cd = 1 + t.rng.Intn(DistrictsPerWarehouse)
+	}
+	var cu int
+	if t.rng.Intn(100) < 60 {
+		// By last name: scan the secondary index and take the middle
+		// match, per the TPC-C specification.
+		name := LastName(nameNumber(1+t.rng.Intn(t.cfg.Customers), t.cfg.Customers))
+		lo, hi := CustomerNameRange(cd, NameHash(name))
+		var matches []int
+		if _, err := t.store.Scan(cw, CustomerByName, lo, hi, func(k, v uint64) bool {
+			matches = append(matches, int(v))
+			return true
+		}); err != nil {
+			return err
+		}
+		if len(matches) == 0 {
+			return fmt.Errorf("payment: no customer named %s in %d/%d", name, cw, cd)
+		}
+		cu = matches[len(matches)/2]
+	} else {
+		cu = 1 + t.rng.Intn(t.cfg.Customers)
+	}
+	bal, ok, err := t.store.Get(cw, CustomerBalance, CustomerKey(cd, cu))
+	if err != nil || !ok {
+		return orFmt(err, "payment: customer %d/%d/%d missing", cw, cd, cu)
+	}
+	newBal := DecodeBalance(bal) - int64(amount)
+	if _, err := t.store.Update(cw, CustomerBalance, CustomerKey(cd, cu), EncodeBalance(newBal)); err != nil {
+		return err
+	}
+	t.seq++
+	if _, err := t.store.Insert(w, History, HistoryKey(d, t.seq<<16|t.id), amount); err != nil {
+		return err
+	}
+	t.Payments++
+	return nil
+}
+
+// orFmt wraps a store error or formats a missing-row failure.
+func orFmt(err error, format string, args ...any) error {
+	if err != nil {
+		return err
+	}
+	return fmt.Errorf(format, args...)
+}

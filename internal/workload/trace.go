@@ -1,0 +1,90 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Trace support: the paper generates its workloads once (with the official
+// YCSB implementation) and replays the trace in every measured
+// configuration, so all strategies see the identical operation stream. This
+// file provides the same methodology: Record writes a generator's stream to
+// a compact binary format, and a Reader replays it.
+//
+// Format: an 8-byte magic/version header, then one record per operation —
+// a 1-byte op type followed by the key and value as little-endian uint64s.
+
+var traceMagic = [8]byte{'r', 'c', 't', 'r', 'a', 'c', 'e', '1'}
+
+const traceRecordBytes = 1 + 8 + 8
+
+// WriteTrace records n operations from the generator to w.
+func WriteTrace(w io.Writer, gen *Generator, n int) error {
+	if n < 0 {
+		return fmt.Errorf("workload: negative trace length")
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(traceMagic[:]); err != nil {
+		return err
+	}
+	var rec [traceRecordBytes]byte
+	for i := 0; i < n; i++ {
+		op := gen.Next()
+		rec[0] = byte(op.Type)
+		binary.LittleEndian.PutUint64(rec[1:9], op.Key)
+		binary.LittleEndian.PutUint64(rec[9:17], op.Val)
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// TraceReader replays a recorded operation stream.
+type TraceReader struct {
+	r   *bufio.Reader
+	err error
+}
+
+// NewTraceReader validates the header and returns a replaying reader.
+func NewTraceReader(r io.Reader) (*TraceReader, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("workload: reading trace header: %w", err)
+	}
+	if magic != traceMagic {
+		return nil, fmt.Errorf("workload: not a trace file (magic %q)", magic[:])
+	}
+	return &TraceReader{r: br}, nil
+}
+
+// Next returns the next operation; ok is false at a clean end of trace.
+// After a corrupt record, Err reports the failure.
+func (t *TraceReader) Next() (op Op, ok bool) {
+	if t.err != nil {
+		return Op{}, false
+	}
+	var rec [traceRecordBytes]byte
+	if _, err := io.ReadFull(t.r, rec[:]); err != nil {
+		if err != io.EOF {
+			t.err = fmt.Errorf("workload: corrupt trace: %w", err)
+		}
+		return Op{}, false
+	}
+	typ := OpType(rec[0])
+	if typ != OpRead && typ != OpUpdate && typ != OpInsert {
+		t.err = fmt.Errorf("workload: corrupt trace: op type %d", rec[0])
+		return Op{}, false
+	}
+	return Op{
+		Type: typ,
+		Key:  binary.LittleEndian.Uint64(rec[1:9]),
+		Val:  binary.LittleEndian.Uint64(rec[9:17]),
+	}, true
+}
+
+// Err returns the first corruption error encountered, if any.
+func (t *TraceReader) Err() error { return t.err }

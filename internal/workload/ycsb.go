@@ -1,0 +1,223 @@
+// Package workload generates the YCSB workloads of the paper's evaluation:
+// A (Read-Update 50/50), C (Read-Only) and D (Read-Insert 95/5). Following
+// Section 7.1, workload D's request distribution is changed from Latest to
+// Zipfian so records and operations are identically distributed across the
+// three workloads; keys and values are 64-bit integers.
+//
+// The Zipfian generator is the Gray et al. algorithm used by the official
+// YCSB implementation (theta 0.99), made deterministic under a seed so the
+// harness can replay identical operation streams across strategies — the
+// equivalent of the paper generating traces once and replaying them in C++.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// OpType classifies one key/value operation.
+type OpType int
+
+const (
+	OpRead OpType = iota
+	OpUpdate
+	OpInsert
+)
+
+// String names the operation.
+func (t OpType) String() string {
+	switch t {
+	case OpRead:
+		return "read"
+	case OpUpdate:
+		return "update"
+	case OpInsert:
+		return "insert"
+	default:
+		return fmt.Sprintf("OpType(%d)", int(t))
+	}
+}
+
+// Op is one generated operation.
+type Op struct {
+	Type OpType
+	Key  uint64
+	Val  uint64
+}
+
+// Mix declares a YCSB workload as operation fractions summing to 1.
+type Mix struct {
+	Name   string
+	Read   float64
+	Update float64
+	Insert float64
+}
+
+// The paper's three workloads.
+var (
+	// A is YCSB Workload A: Read-Update 50/50.
+	A = Mix{Name: "Read-Update 50/50", Read: 0.5, Update: 0.5}
+	// C is YCSB Workload C: Read-Only.
+	C = Mix{Name: "Read-Only", Read: 1.0}
+	// D is YCSB Workload D with Zipfian request distribution:
+	// Read-Insert 95/5.
+	D = Mix{Name: "Read-Insert 95/5", Read: 0.95, Insert: 0.05}
+)
+
+// WriteFraction returns the fraction of mutating operations — the parameter
+// the HTM abort and contention models consume.
+func (m Mix) WriteFraction() float64 { return m.Update + m.Insert }
+
+// Validate checks the mix sums to 1 (within rounding).
+func (m Mix) Validate() error {
+	sum := m.Read + m.Update + m.Insert
+	if math.Abs(sum-1) > 1e-9 {
+		return fmt.Errorf("workload: %s fractions sum to %v", m.Name, sum)
+	}
+	if m.Read < 0 || m.Update < 0 || m.Insert < 0 {
+		return fmt.Errorf("workload: %s has negative fraction", m.Name)
+	}
+	return nil
+}
+
+// ZipfTheta is YCSB's default skew parameter.
+const ZipfTheta = 0.99
+
+// Zipfian draws ranks in [0, n) with the Gray et al. incremental method
+// (constant time per sample), matching YCSB's ZipfianGenerator.
+type Zipfian struct {
+	n     uint64
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	zeta2 float64
+	rng   *rand.Rand
+}
+
+// NewZipfian builds a Zipfian sampler over [0, n) with the given seed.
+func NewZipfian(n uint64, theta float64, seed int64) (*Zipfian, error) {
+	if n == 0 {
+		return nil, fmt.Errorf("workload: zipfian over empty range")
+	}
+	if theta <= 0 || theta >= 1 {
+		return nil, fmt.Errorf("workload: zipfian theta %v out of (0,1)", theta)
+	}
+	z := &Zipfian{n: n, theta: theta, rng: rand.New(rand.NewSource(seed))}
+	z.zetan = zeta(n, theta)
+	z.zeta2 = zeta(2, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
+	return z, nil
+}
+
+func zeta(n uint64, theta float64) float64 {
+	// For large n, sum the first chunk exactly and approximate the tail by
+	// the integral — the error is far below the skew the experiments need,
+	// and it keeps 314M-record initialisation instant.
+	const exact = 1 << 20
+	if n <= exact {
+		sum := 0.0
+		for i := uint64(1); i <= n; i++ {
+			sum += 1 / math.Pow(float64(i), theta)
+		}
+		return sum
+	}
+	sum := zeta(exact, theta)
+	// ∫ x^-theta dx from `exact` to n.
+	sum += (math.Pow(float64(n), 1-theta) - math.Pow(float64(exact), 1-theta)) / (1 - theta)
+	return sum
+}
+
+// Next draws the next rank. Rank 0 is the most popular item.
+func (z *Zipfian) Next() uint64 {
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < 1.0+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	return uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}
+
+// ScatterKey maps a record index to its stored key, spreading YCSB's dense
+// indexes over the key space the way YCSB's key hashing does (and making
+// the hot Zipfian ranks non-adjacent in ordered structures).
+func ScatterKey(i uint64) uint64 {
+	k := i
+	k ^= k >> 33
+	k *= 0xff51afd7ed558ccd
+	k ^= k >> 33
+	k *= 0xc4ceb9fe1a85ec53
+	k ^= k >> 33
+	return k
+}
+
+// Generator produces one client thread's operation stream.
+type Generator struct {
+	mix     Mix
+	records uint64 // initially loaded records
+	zipf    *Zipfian
+	rng     *rand.Rand
+	inserts uint64 // records this generator has appended
+	id      uint64 // generator id, namespaces inserted keys
+}
+
+// NewGenerator builds a generator over `records` pre-loaded records. Each
+// concurrent client thread gets its own generator with a distinct id so
+// inserted keys never collide across threads.
+func NewGenerator(mix Mix, records uint64, id uint64, seed int64) (*Generator, error) {
+	if err := mix.Validate(); err != nil {
+		return nil, err
+	}
+	if records == 0 {
+		return nil, fmt.Errorf("workload: generator needs pre-loaded records")
+	}
+	z, err := NewZipfian(records, ZipfTheta, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Generator{mix: mix, records: records, zipf: z, rng: rand.New(rand.NewSource(seed ^ 0x5bd1e995)), id: id}, nil
+}
+
+// Mix returns the generator's workload mix.
+func (g *Generator) Mix() Mix { return g.mix }
+
+// Next produces the next operation.
+func (g *Generator) Next() Op {
+	r := g.rng.Float64()
+	switch {
+	case r < g.mix.Read:
+		return Op{Type: OpRead, Key: ScatterKey(g.zipf.Next())}
+	case r < g.mix.Read+g.mix.Update:
+		k := ScatterKey(g.zipf.Next())
+		return Op{Type: OpUpdate, Key: k, Val: k ^ g.inserts}
+	default:
+		// Fresh key, namespaced per generator: index beyond the loaded
+		// range so it cannot collide with ScatterKey-ed load keys.
+		g.inserts++
+		i := g.records + g.id*(1<<32) + g.inserts
+		return Op{Type: OpInsert, Key: ScatterKey(i), Val: i}
+	}
+}
+
+// LoadKeys returns the keys of the initial records in load order; the
+// harness inserts them before timing starts (the YCSB load phase).
+func LoadKeys(records uint64) []uint64 {
+	keys := make([]uint64, records)
+	for i := uint64(0); i < records; i++ {
+		keys[i] = ScatterKey(i)
+	}
+	return keys
+}
+
+// PaperRecordCount is the paper's dataset sizing rule: ten times the
+// cumulative last-level cache of the machine, in 16-byte records
+// (64-bit key + 64-bit value). For the full 8-socket MC990X this yields
+// 300M records (the paper reports 314M with its record layout).
+func PaperRecordCount(totalL3Bytes int64) uint64 {
+	return uint64(totalL3Bytes) * 10 / 16
+}

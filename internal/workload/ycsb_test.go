@@ -1,0 +1,333 @@
+package workload
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMixPresetsValid(t *testing.T) {
+	for _, m := range []Mix{A, C, D} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+	if A.WriteFraction() != 0.5 {
+		t.Errorf("A.WriteFraction = %v", A.WriteFraction())
+	}
+	if C.WriteFraction() != 0 {
+		t.Errorf("C.WriteFraction = %v", C.WriteFraction())
+	}
+	if math.Abs(D.WriteFraction()-0.05) > 1e-12 {
+		t.Errorf("D.WriteFraction = %v", D.WriteFraction())
+	}
+}
+
+func TestMixValidation(t *testing.T) {
+	bad := Mix{Name: "bad", Read: 0.5, Update: 0.2}
+	if err := bad.Validate(); err == nil {
+		t.Error("non-unit mix accepted")
+	}
+	neg := Mix{Name: "neg", Read: 1.5, Update: -0.5}
+	if err := neg.Validate(); err == nil {
+		t.Error("negative fraction accepted")
+	}
+}
+
+func TestZipfianValidation(t *testing.T) {
+	if _, err := NewZipfian(0, ZipfTheta, 1); err == nil {
+		t.Error("empty range accepted")
+	}
+	if _, err := NewZipfian(10, 0, 1); err == nil {
+		t.Error("theta 0 accepted")
+	}
+	if _, err := NewZipfian(10, 1, 1); err == nil {
+		t.Error("theta 1 accepted")
+	}
+}
+
+func TestZipfianRangeAndSkew(t *testing.T) {
+	const n = 10000
+	z, err := NewZipfian(n, ZipfTheta, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[uint64]int{}
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		r := z.Next()
+		if r >= n {
+			t.Fatalf("rank %d out of range", r)
+		}
+		counts[r]++
+	}
+	// Zipf(0.99): rank 0 must be far more popular than the median rank.
+	if counts[0] < draws/100 {
+		t.Errorf("rank 0 drawn %d times of %d — not skewed enough", counts[0], draws)
+	}
+	// Hot 1%% of ranks should capture a majority-ish share.
+	hot := 0
+	for r, c := range counts {
+		if r < n/100 {
+			hot += c
+		}
+	}
+	if frac := float64(hot) / draws; frac < 0.4 {
+		t.Errorf("hot 1%% captured %.2f of draws, want skew ≥ 0.4", frac)
+	}
+}
+
+func TestZipfianDeterministic(t *testing.T) {
+	a, _ := NewZipfian(1000, ZipfTheta, 7)
+	b, _ := NewZipfian(1000, ZipfTheta, 7)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c, _ := NewZipfian(1000, ZipfTheta, 8)
+	same := true
+	a2, _ := NewZipfian(1000, ZipfTheta, 7)
+	for i := 0; i < 100; i++ {
+		if a2.Next() != c.Next() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestZetaApproximationContinuity(t *testing.T) {
+	// The integral tail approximation must join smoothly at the cutover.
+	lo := zeta(1<<20, ZipfTheta)
+	hi := zeta((1<<20)+1000, ZipfTheta)
+	if hi <= lo {
+		t.Error("zeta not increasing across approximation boundary")
+	}
+	if hi-lo > 1.0 {
+		t.Errorf("zeta jump %v too large across boundary", hi-lo)
+	}
+}
+
+func TestLargeRangeZipfianFast(t *testing.T) {
+	// 314M records must initialise and sample instantly.
+	z, err := NewZipfian(314_000_000, ZipfTheta, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if r := z.Next(); r >= 314_000_000 {
+			t.Fatalf("rank %d out of range", r)
+		}
+	}
+}
+
+func TestGeneratorMixProportions(t *testing.T) {
+	g, err := NewGenerator(A, 100000, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reads, updates, inserts int
+	const n = 100000
+	for i := 0; i < n; i++ {
+		switch g.Next().Type {
+		case OpRead:
+			reads++
+		case OpUpdate:
+			updates++
+		case OpInsert:
+			inserts++
+		}
+	}
+	if inserts != 0 {
+		t.Errorf("workload A generated %d inserts", inserts)
+	}
+	if rf := float64(reads) / n; math.Abs(rf-0.5) > 0.02 {
+		t.Errorf("read fraction %v, want ≈0.5", rf)
+	}
+
+	gd, _ := NewGenerator(D, 100000, 0, 3)
+	inserts = 0
+	for i := 0; i < n; i++ {
+		if gd.Next().Type == OpInsert {
+			inserts++
+		}
+	}
+	if inf := float64(inserts) / n; math.Abs(inf-0.05) > 0.01 {
+		t.Errorf("insert fraction %v, want ≈0.05", inf)
+	}
+
+	gc, _ := NewGenerator(C, 1000, 0, 3)
+	for i := 0; i < 1000; i++ {
+		if op := gc.Next(); op.Type != OpRead {
+			t.Fatalf("read-only workload generated %v", op.Type)
+		}
+	}
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	if _, err := NewGenerator(Mix{Name: "bad", Read: 2}, 10, 0, 1); err == nil {
+		t.Error("invalid mix accepted")
+	}
+	if _, err := NewGenerator(A, 0, 0, 1); err == nil {
+		t.Error("zero records accepted")
+	}
+}
+
+func TestInsertedKeysNeverCollide(t *testing.T) {
+	const records = 1000
+	seen := map[uint64]bool{}
+	for _, k := range LoadKeys(records) {
+		seen[k] = true
+	}
+	// Two generators with distinct ids inserting concurrently.
+	g0, _ := NewGenerator(D, records, 0, 1)
+	g1, _ := NewGenerator(D, records, 1, 2)
+	for i := 0; i < 50000; i++ {
+		for _, g := range []*Generator{g0, g1} {
+			op := g.Next()
+			if op.Type != OpInsert {
+				continue
+			}
+			if seen[op.Key] {
+				t.Fatalf("inserted key %d collides", op.Key)
+			}
+			seen[op.Key] = true
+		}
+	}
+}
+
+func TestScatterKeyBijectiveOnSample(t *testing.T) {
+	f := func(a, b uint64) bool {
+		if a == b {
+			return true
+		}
+		return ScatterKey(a) != ScatterKey(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLoadKeysMatchGeneratorReads(t *testing.T) {
+	// Every key a read/update references must be in the load set.
+	const records = 5000
+	loaded := map[uint64]bool{}
+	for _, k := range LoadKeys(records) {
+		loaded[k] = true
+	}
+	g, _ := NewGenerator(A, records, 0, 9)
+	for i := 0; i < 20000; i++ {
+		op := g.Next()
+		if !loaded[op.Key] {
+			t.Fatalf("op references unloaded key %d", op.Key)
+		}
+	}
+}
+
+func TestPaperRecordCount(t *testing.T) {
+	// 8 sockets × 60MB L3 × 10 ÷ 16B = 300M records (paper says 314M with
+	// its exact record layout; same order).
+	got := PaperRecordCount(8 * 60 * 1024 * 1024)
+	if got < 250_000_000 || got > 350_000_000 {
+		t.Errorf("PaperRecordCount = %d, want ≈300M", got)
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	gen, _ := NewGenerator(A, 10000, 0, 5)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, gen, 5000); err != nil {
+		t.Fatal(err)
+	}
+	// Replay must reproduce the identical stream a fresh generator yields.
+	fresh, _ := NewGenerator(A, 10000, 0, 5)
+	tr, err := NewTraceReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		got, ok := tr.Next()
+		if !ok {
+			break
+		}
+		want := fresh.Next()
+		if got != want {
+			t.Fatalf("op %d: trace %+v vs generator %+v", n, got, want)
+		}
+		n++
+	}
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 5000 {
+		t.Errorf("replayed %d ops, want 5000", n)
+	}
+}
+
+func TestTraceValidation(t *testing.T) {
+	if _, err := NewTraceReader(bytes.NewReader([]byte("not a trace file"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := NewTraceReader(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+	gen, _ := NewGenerator(A, 100, 0, 1)
+	if err := WriteTrace(io.Discard, gen, -1); err == nil {
+		t.Error("negative length accepted")
+	}
+	// Truncated record → corruption error.
+	var buf bytes.Buffer
+	WriteTrace(&buf, gen, 2)
+	trunc := buf.Bytes()[:buf.Len()-5]
+	tr, err := NewTraceReader(bytes.NewReader(trunc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, ok := tr.Next(); !ok {
+			break
+		}
+	}
+	if tr.Err() == nil {
+		t.Error("truncated trace not reported")
+	}
+	// Corrupt op type.
+	raw := append([]byte{}, buf.Bytes()...)
+	raw[8] = 99 // first record's type byte
+	tr2, _ := NewTraceReader(bytes.NewReader(raw))
+	if _, ok := tr2.Next(); ok || tr2.Err() == nil {
+		t.Error("corrupt op type not reported")
+	}
+}
+
+// FuzzTraceReader feeds arbitrary bytes to the trace reader: it must never
+// panic, and every yielded operation must have a valid type.
+func FuzzTraceReader(f *testing.F) {
+	gen, _ := NewGenerator(A, 100, 0, 1)
+	var good bytes.Buffer
+	WriteTrace(&good, gen, 3)
+	f.Add(good.Bytes())
+	f.Add([]byte("garbage"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := NewTraceReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for {
+			op, ok := tr.Next()
+			if !ok {
+				break
+			}
+			if op.Type != OpRead && op.Type != OpUpdate && op.Type != OpInsert {
+				t.Fatalf("invalid op type %d yielded", op.Type)
+			}
+		}
+	})
+}

@@ -1,0 +1,139 @@
+// Package robustconf is the public API of the configuration-based runtime
+// for robust main-memory data structure performance (Bang et al.,
+// SIGMOD 2020): asynchronous data-aware tasks executed by worker threads
+// inside virtual domains, routed through FFWD-style slot messaging and
+// consumed through futures, with domain layout and structure placement
+// decided by a declarative configuration rather than hard-wired into the
+// data structures.
+//
+// Quick start:
+//
+//	machine := robustconf.Machine(1)                 // one-socket topology
+//	cfg := robustconf.Config{
+//		Machine: machine,
+//		Domains: []robustconf.Domain{
+//			{Name: "hot", CPUs: robustconf.CPURange(0, 24)},
+//			{Name: "cold", CPUs: robustconf.CPURange(24, 48)},
+//		},
+//		Assignment: map[string]int{"orders": 0, "archive": 1},
+//	}
+//	rt, err := robustconf.Start(cfg, map[string]any{
+//		"orders":  myOrdersIndex,
+//		"archive": myArchiveIndex,
+//	})
+//	// ...
+//	session, err := rt.NewSession(0, robustconf.PaperBurstSize)
+//	future, err := session.Submit(robustconf.Task{
+//		Structure: "orders",
+//		Op: func(ds any) any { return ds.(*OrdersIndex).Insert(k, v) },
+//	})
+//	result := future.Wait()
+//
+// The subpackages under internal implement the substrates: the evaluated
+// index structures, the software-HTM emulation, the machine simulator used
+// by the benchmark harness, and the ILP-based configuration process.
+package robustconf
+
+import (
+	"robustconf/internal/config"
+	"robustconf/internal/core"
+	"robustconf/internal/delegation"
+	"robustconf/internal/topology"
+)
+
+// PaperBurstSize is the burst size used in all of the paper's experiments
+// (14 outstanding tasks per client and domain).
+const PaperBurstSize = 14
+
+// Re-exported configuration types. A Config partitions a machine into
+// virtual domains and assigns data structure instances to them.
+type (
+	// Config declares virtual domains over a machine and assigns
+	// structures to them.
+	Config = core.Config
+	// Domain declares one virtual domain (CPU set + placement policies).
+	Domain = core.DomainSpec
+	// Task is an asynchronous data-aware task: the structure it targets
+	// plus the access operation.
+	Task = core.Task
+	// Runtime executes tasks under one configuration.
+	Runtime = core.Runtime
+	// Session is a client thread's connection to the runtime.
+	Session = core.Session
+	// Future is the invocation handle on a submitted task.
+	Future = delegation.Future
+	// CPUSet is an ordered set of logical CPU ids.
+	CPUSet = topology.CPUSet
+	// Topology describes a machine (sockets, cores, NUMA distances).
+	Topology = topology.Machine
+)
+
+// Placement and memory policies for domains.
+const (
+	PlacePinned     = core.PlacePinned
+	PlaceMigratable = core.PlaceMigratable
+	MemLocal        = core.MemLocal
+	MemInterleaved  = core.MemInterleaved
+)
+
+// Start validates the configuration, registers the structures, spawns the
+// domain workers, and returns the running runtime.
+//
+// Reconfiguration comes in two forms, mirroring the paper: offline via
+// Runtime.Reconfigure (drain everything, restart under a new Config —
+// Section 2.2), and online via Runtime.Migrate (move one structure to a
+// different domain while the runtime keeps serving — the paper's future
+// work, implemented here as an extension).
+func Start(cfg Config, structures map[string]any) (*Runtime, error) {
+	return core.Start(cfg, structures)
+}
+
+// PanicError is returned through a future when a delegated task panicked;
+// the domain worker survives and keeps serving other clients.
+type PanicError = delegation.PanicError
+
+// Machine returns the reference 24-core/48-thread-per-socket topology
+// restricted to n sockets (1–8); it models the paper's HPE MC990 X.
+func Machine(sockets int) *Topology {
+	m, err := topology.Restricted(sockets)
+	if err != nil {
+		panic(err) // sockets outside 1..8 is a programming error
+	}
+	return m
+}
+
+// DetectHostTopology builds a Topology describing the Linux host this
+// process runs on (sockets, cores, SMT, NUMA distances from sysfs). Use it
+// as Config.Machine together with Config.PinWorkers to pin domain workers
+// to real host CPUs. Returns an error off Linux or without sysfs.
+func DetectHostTopology() (*Topology, error) {
+	return topology.DetectHost()
+}
+
+// CPURange returns the CPU set [lo, hi).
+func CPURange(lo, hi int) CPUSet { return topology.Range(lo, hi) }
+
+// CPUs builds a CPU set from explicit ids.
+func CPUs(ids ...int) CPUSet { return topology.NewCPUSet(ids...) }
+
+// Planning: the configuration process of the paper (calibrate → compose →
+// materialise), re-exported for applications that want the runtime to pick
+// an optimal layout for their structures.
+type (
+	// PlanInstance describes one structure instance entering composition.
+	PlanInstance = config.Instance
+	// Plan is a composed domain layout before machine materialisation.
+	Plan = config.Plan
+)
+
+// Compose runs the paper's composition process (Section 5.2) over the
+// instances for a machine with the given worker count. The default measure
+// calibrates on the simulated reference machine.
+func Compose(instances []PlanInstance, workers int) (*Plan, error) {
+	return config.Compose(instances, workers, nil)
+}
+
+// Materialise turns a composed plan into a runnable Config on the machine.
+func Materialise(plan *Plan, m *Topology) (Config, error) {
+	return config.Materialise(plan, m)
+}
