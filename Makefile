@@ -1,0 +1,27 @@
+# Verification tiers. Tier-1 is the cheap always-on gate; tier-2 (verify)
+# adds static checks, the race detector, and the chaos fault-injection
+# suite, and is the bar for merging runtime/delegation changes.
+
+GO ?= go
+
+.PHONY: build test verify chaos bench
+
+build:
+	$(GO) build ./...
+
+# Tier-1: build + full test suite.
+test: build
+	$(GO) test ./...
+
+# Tier-2: vet + race-detected tests. -short shrinks the chaos schedules
+# (fewer sessions/seeds); drop it for the full sweep.
+verify: build
+	$(GO) vet ./...
+	$(GO) test -race -short ./...
+
+# The full-size chaos fault-injection suite on its own.
+chaos:
+	$(GO) test -race -run Chaos -v ./internal/harness/
+
+bench:
+	$(GO) test -run xxx -bench . -benchmem ./...

@@ -7,6 +7,8 @@
 //	robustsim -topology
 //	robustsim -kind fptree -mix a -strategy opt -threads 384 -domain 24
 //	robustsim -kind hashmap -mix a -sweep      # strategies × system sizes
+//	robustsim -chaos all                       # fault-injection schedules
+//	robustsim -chaos worker-kill -chaos-seed 7
 package main
 
 import (
@@ -14,6 +16,7 @@ import (
 	"fmt"
 	"os"
 
+	"robustconf/internal/harness"
 	"robustconf/internal/sim"
 	"robustconf/internal/topology"
 	"robustconf/internal/workload"
@@ -28,7 +31,16 @@ func main() {
 	threads := flag.Int("threads", 384, "system size in threads (48 per socket)")
 	domain := flag.Int("domain", 24, "virtual domain size (opt strategy)")
 	instances := flag.Int("instances", 0, "structure instances (0 = one per domain)")
+	chaos := flag.String("chaos", "", "run a chaos schedule against the real runtime: all, task-panic, worker-kill, worker-stall, sweep-delay, stop-post, mixed")
+	chaosSeed := flag.Int64("chaos-seed", 1, "fault-injection seed (chaos mode)")
+	chaosSessions := flag.Int("chaos-sessions", 6, "concurrent client sessions (chaos mode)")
+	chaosTasks := flag.Int("chaos-tasks", 300, "tasks per session (chaos mode)")
 	flag.Parse()
+
+	if *chaos != "" {
+		runChaos(*chaos, *chaosSeed, *chaosSessions, *chaosTasks)
+		return
+	}
 
 	if *topo {
 		m := topology.MC990X()
@@ -107,6 +119,33 @@ func main() {
 	fmt.Printf("  L2 misses/op:  %.1f\n", r.L2MissesPerOp)
 	fmt.Printf("  abort ratio:   %.2f (fallback %.4f)\n", r.AbortRatio, r.Cost.FallbackProb)
 	fmt.Printf("  interconnect:  %.0f GB for the full run (%.0f B/op)\n", r.InterconnectGB, r.Cost.CrossBytes)
+}
+
+// runChaos drives the real delegation runtime (not the simulator) under a
+// seeded fault schedule and reports whether every submitted future resolved.
+func runChaos(name string, seed int64, sessions, tasks int) {
+	if name == "all" {
+		out, err := harness.RunChaosAll(seed, sessions, tasks)
+		fmt.Print(out)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("chaos: all schedules complete, no hung futures")
+		return
+	}
+	sched, err := harness.ChaosScheduleNamed(name)
+	if err != nil {
+		fatal(err)
+	}
+	r, err := harness.RunChaos(sched, seed, sessions, tasks)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(r)
+	if !r.Complete() {
+		fatal(fmt.Errorf("chaos %s: %d futures hung", name, r.Hangs))
+	}
+	fmt.Println("chaos: complete, no hung futures")
 }
 
 func limitedTag(r sim.Result) string {

@@ -64,8 +64,13 @@ func main() {
 		}
 		futures = append(futures, f)
 	}
-	for _, f := range futures {
-		f.Wait()
+	// Futures always complete — with the value or a typed error
+	// (robustconf.PanicError, robustconf.ErrWorkerStopped); Result separates
+	// the two channels.
+	for i, f := range futures {
+		if _, err := f.Result(); err != nil {
+			log.Fatalf("insert %d: %v", i+1, err)
+		}
 	}
 
 	// Synchronous invocation against the other domain.

@@ -1,6 +1,7 @@
 package robustconf_test
 
 import (
+	"errors"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -112,16 +113,14 @@ func TestIntegrationStress(t *testing.T) {
 			for i := 0; i < opsPer; i++ {
 				name := names[rng.Intn(len(names))]
 				if rng.Intn(500) == 0 {
-					// Inject a faulty task; the domain must survive.
-					res, err := session.Invoke(robustconf.Task{Structure: name, Op: func(any) any {
+					// Inject a faulty task; the domain must survive and the
+					// panic must come back through the error channel.
+					_, err := session.Invoke(robustconf.Task{Structure: name, Op: func(any) any {
 						panic("injected failure")
 					}})
-					if err != nil {
-						t.Error(err)
-						return
-					}
-					if _, ok := res.(robustconf.PanicError); !ok {
-						t.Errorf("injected panic returned %#v", res)
+					var pe robustconf.PanicError
+					if !errors.As(err, &pe) {
+						t.Errorf("injected panic returned %v, want PanicError", err)
 						return
 					}
 					panicsSeen.Add(1)

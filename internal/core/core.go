@@ -15,9 +15,12 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"robustconf/internal/affinity"
 	"robustconf/internal/delegation"
+	"robustconf/internal/metrics"
 	"robustconf/internal/topology"
 )
 
@@ -44,12 +47,34 @@ const (
 	MemInterleaved
 )
 
+// DefaultRestartBudget is the number of worker respawns a domain is granted
+// after crashes when its spec does not set one.
+const DefaultRestartBudget = 8
+
 // DomainSpec declares one virtual domain.
 type DomainSpec struct {
 	Name      string
 	CPUs      topology.CPUSet
 	Placement PlacementPolicy
 	Memory    MemoryPolicy
+
+	// RestartBudget bounds how many times the domain respawns crashed
+	// workers (shared across the domain's workers). 0 means
+	// DefaultRestartBudget; negative disables respawning — a crashed
+	// worker's buffer is sealed immediately and posts into it are answered
+	// with ErrWorkerStopped.
+	RestartBudget int
+}
+
+// budget resolves the spec's restart budget.
+func (d DomainSpec) budget() int {
+	if d.RestartBudget == 0 {
+		return DefaultRestartBudget
+	}
+	if d.RestartBudget < 0 {
+		return 0
+	}
+	return d.RestartBudget
 }
 
 // Config is a full runtime configuration: the machine, its partitioning
@@ -66,6 +91,10 @@ type Config struct {
 	// CPU ids are real host ids. Off by default: simulated topologies'
 	// ids don't correspond to host CPUs.
 	PinWorkers bool
+	// FaultHook, when non-nil, is installed into every worker buffer for
+	// deterministic fault injection (see internal/faultinject). Nil — the
+	// default — leaves the delegation hot path untouched.
+	FaultHook delegation.FaultHook
 }
 
 // Validate checks the configuration's internal consistency.
@@ -125,6 +154,16 @@ type Domain struct {
 	structures map[string]any
 	stop       chan struct{}
 	wg         sync.WaitGroup
+	restarts   atomic.Int64 // worker respawns consumed (shared budget)
+}
+
+// Restarts returns how many worker respawns the domain has consumed.
+func (d *Domain) Restarts() int64 { return d.restarts.Load() }
+
+// allowRestart consumes one respawn token, reporting whether the domain's
+// budget still covers it.
+func (d *Domain) allowRestart() bool {
+	return d.restarts.Add(1) <= int64(d.spec.budget())
 }
 
 // Spec returns the domain's declaration.
@@ -190,14 +229,24 @@ func Start(cfg Config, structures map[string]any) (*Runtime, error) {
 		rt.domains[di].structures[name] = structures[name]
 	}
 	// Spawn workers after all registration so a task can never observe a
-	// half-registered domain.
+	// half-registered domain. Each worker runs under a supervisor loop that
+	// respawns it on its CPU after a crash, within the domain's restart
+	// budget.
 	for _, d := range rt.domains {
 		for wi, b := range d.inbox.Buffers() {
+			if cfg.FaultHook != nil {
+				b.SetFaultHook(cfg.FaultHook)
+			}
 			d.wg.Add(1)
 			cpu := d.workerCPUs[wi]
 			pin := cfg.PinWorkers && d.spec.Placement == PlacePinned
 			go func(d *Domain, b *delegation.Buffer, cpu int, pin bool) {
 				defer d.wg.Done()
+				// Whatever path exits the supervisor, the buffer ends
+				// sealed: the seal's final pass answers anything still
+				// posted, and later posts are rescued with
+				// ErrWorkerStopped — no future can dangle.
+				defer b.Seal()
 				if pin {
 					if unpin, err := affinity.Pin(cpu); err == nil {
 						defer unpin()
@@ -206,11 +255,50 @@ func Start(cfg Config, structures map[string]any) (*Runtime, error) {
 					// to migratable placement rather than failing the
 					// domain.
 				}
-				delegation.NewWorker(b).Run(d.stop)
+				supervise(d, b)
 			}(d, b, cpu, pin)
 		}
 	}
 	return rt, nil
+}
+
+// supervise runs the worker poll loop, respawning it after crashes with
+// exponential backoff until the stop channel closes or the domain's restart
+// budget is exhausted. A crash has already failed the buffer's posted tasks
+// with a PanicError (see delegation.Worker.Run); the respawned worker picks
+// up anything posted since.
+func supervise(d *Domain, b *delegation.Buffer) {
+	for attempt := 0; ; attempt++ {
+		crash := delegation.NewWorker(b).Run(d.stop)
+		if crash == nil {
+			return // clean stop; Run sealed the buffer
+		}
+		metrics.Faults.WorkerPanics.Add(1)
+		if !d.allowRestart() {
+			metrics.Faults.RestartsExhausted.Add(1)
+			return // deferred Seal retires the buffer
+		}
+		select {
+		case <-d.stop:
+			return
+		case <-time.After(restartBackoff(attempt)):
+		}
+		metrics.Faults.WorkerRestarts.Add(1)
+	}
+}
+
+// restartBackoff spaces respawn attempts: 50µs doubling to a 10ms cap, so a
+// crash loop cannot monopolise a CPU while staying far below any client
+// timeout.
+func restartBackoff(attempt int) time.Duration {
+	d := 50 * time.Microsecond
+	for i := 0; i < attempt && d < 10*time.Millisecond; i++ {
+		d *= 2
+	}
+	if d > 10*time.Millisecond {
+		d = 10 * time.Millisecond
+	}
+	return d
 }
 
 // Config returns the configuration the runtime was started with.
@@ -243,6 +331,12 @@ func (rt *Runtime) route(structure string) (*Domain, any, error) {
 // paper's offline reconfiguration: after Stop returns, no task is in flight
 // and a new Runtime may be started with a different configuration over the
 // same structures.
+//
+// Draining is exact, not best-effort: every worker seals its buffer on the
+// way out, the seal's final sweep executes everything already posted, and a
+// task racing past the seal completes with ErrWorkerStopped — so every
+// future held by an open session resolves, and sessions that keep
+// submitting after Stop get typed errors instead of hanging.
 func (rt *Runtime) Stop() {
 	rt.mu.Lock()
 	if rt.stopped {
@@ -260,8 +354,12 @@ func (rt *Runtime) Stop() {
 }
 
 // Reconfigure performs the paper's offline reconfiguration in one step:
-// it stops this runtime (draining all active operations) and starts a new
-// one with the given configuration over the same structure instances.
+// it stops this runtime — draining all active operations: outstanding
+// futures resolve with their value, and submissions racing the shutdown
+// resolve with ErrWorkerStopped — and starts a new runtime with the given
+// configuration over the same structure instances. Sessions opened on the
+// old runtime must be reopened on the new one; their submissions can error
+// but can never hang.
 func (rt *Runtime) Reconfigure(cfg Config) (*Runtime, error) {
 	rt.mu.Lock()
 	structures := map[string]any{}
@@ -340,18 +438,27 @@ func (s *Session) Submit(task Task) (*delegation.Future, error) {
 	return c.Delegate(func() any { return op(ds) }), nil
 }
 
-// Invoke submits the task and waits for its result (synchronous delegation).
+// Invoke submits the task and waits for its result (synchronous
+// delegation). Lifecycle failures surface as the error: a PanicError when
+// the task panicked in its domain, ErrWorkerStopped when the runtime shut
+// down before the task ran.
 func (s *Session) Invoke(task Task) (any, error) {
 	f, err := s.Submit(task)
 	if err != nil {
 		return nil, err
 	}
-	return f.Wait(), nil
+	v, err := f.Result()
+	if err != nil {
+		metrics.Faults.TasksFailed.Add(1)
+		return nil, err
+	}
+	return v, nil
 }
 
 // SubmitBulk delegates several tasks targeting the same structure under a
 // single synchronisation phase (bulk bursting) and returns their results in
-// order.
+// order. The error is the first lifecycle failure among them (PanicError,
+// ErrWorkerStopped); results of failed tasks are nil.
 func (s *Session) SubmitBulk(structure string, ops []func(ds any) any) ([]any, error) {
 	d, ds, err := s.rt.route(structure)
 	if err != nil {
@@ -366,14 +473,23 @@ func (s *Session) SubmitBulk(structure string, ops []func(ds any) any) ([]any, e
 		op := op
 		tasks[i] = func() any { return op(ds) }
 	}
-	return c.DelegateBulk(tasks), nil
+	out, err := c.DelegateBulkErr(tasks)
+	if err != nil {
+		metrics.Faults.TasksFailed.Add(1)
+	}
+	return out, err
 }
 
-// Close drains all outstanding tasks and returns the session's slots.
+// Close drains all outstanding tasks and returns the session's slots. The
+// error reports the first drain failure (a task abandoned by a stopped or
+// crashed worker) or slot-release inconsistency; the session is torn down
+// either way.
 func (s *Session) Close() error {
 	var firstErr error
 	for d, c := range s.perDomain {
-		c.Drain()
+		if err := c.DrainErr(); err != nil && firstErr == nil {
+			firstErr = err
+		}
 		if err := d.inbox.ReleaseSlots(c.Slots()); err != nil && firstErr == nil {
 			firstErr = err
 		}

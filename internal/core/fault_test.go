@@ -1,0 +1,317 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"robustconf/internal/delegation"
+	"robustconf/internal/faultinject"
+	"robustconf/internal/index/btree"
+	"robustconf/internal/metrics"
+	"robustconf/internal/topology"
+)
+
+// smallConfig is a one-domain, few-worker config so fault tests stay fast
+// and a single worker's crash is observable.
+func smallConfig(workers int) (Config, map[string]any) {
+	m, _ := topology.Restricted(1)
+	cfg := Config{
+		Machine:    m,
+		Domains:    []DomainSpec{{Name: "d", CPUs: topology.Range(0, workers)}},
+		Assignment: map[string]int{"tree": 0},
+	}
+	return cfg, map[string]any{"tree": btree.New()}
+}
+
+// waitInvoke runs Invoke under a deadline so a regression back to hanging
+// futures fails the test instead of wedging the suite.
+func waitInvoke(t *testing.T, s *Session, task Task, d time.Duration) (any, error) {
+	t.Helper()
+	f, err := s.Submit(task)
+	if err != nil {
+		return nil, err
+	}
+	v, err := f.WaitTimeout(d)
+	if errors.Is(err, delegation.ErrWaitTimeout) {
+		t.Fatalf("future hung for %v", d)
+	}
+	return v, err
+}
+
+func TestInvokeUnwrapsPanicError(t *testing.T) {
+	cfg, structures := smallConfig(2)
+	rt, err := Start(cfg, structures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+	s, _ := rt.NewSession(0, 2)
+	defer s.Close()
+
+	_, err = s.Invoke(Task{Structure: "tree", Op: func(any) any { panic("task bug") }})
+	var pe delegation.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Invoke error = %v, want PanicError", err)
+	}
+	if pe.Value != "task bug" {
+		t.Errorf("panic value = %v", pe.Value)
+	}
+	// The domain keeps serving after the task panic.
+	if v, err := s.Invoke(Task{Structure: "tree", Op: func(any) any { return 7 }}); err != nil || v != 7 {
+		t.Fatalf("post-panic invoke = %v, %v", v, err)
+	}
+}
+
+func TestWorkerCrashRespawnsAndServes(t *testing.T) {
+	metrics.Faults.Reset()
+	cfg, structures := smallConfig(1) // single worker: the crash must hit it
+	cfg.FaultHook = faultinject.New(1, faultinject.Rule{
+		Kind: faultinject.WorkerKill, Worker: -1, EveryNth: 10, Once: true,
+	})
+	rt, err := Start(cfg, structures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+	s, _ := rt.NewSession(0, 2)
+	defer s.Close()
+
+	// Submit until the kill has fired and a task has completed after it:
+	// the respawned worker on the same domain CPU must serve again.
+	sawError := false
+	okAfterCrash := 0
+	for i := 0; i < 2000 && okAfterCrash < 10; i++ {
+		v, err := waitInvoke(t, s, Task{Structure: "tree", Op: func(any) any { return i }}, 5*time.Second)
+		if err != nil {
+			var pe delegation.PanicError
+			if !errors.As(err, &pe) {
+				t.Fatalf("unexpected error type: %v", err)
+			}
+			sawError = true
+			continue
+		}
+		if metrics.Faults.WorkerPanics.Load() > 0 {
+			okAfterCrash++
+		}
+		_ = v
+	}
+	if metrics.Faults.WorkerPanics.Load() == 0 {
+		t.Fatal("injected worker kill never fired")
+	}
+	if metrics.Faults.WorkerRestarts.Load() == 0 {
+		t.Fatal("worker was not respawned")
+	}
+	if okAfterCrash < 10 {
+		t.Fatalf("only %d tasks succeeded after the crash", okAfterCrash)
+	}
+	if rt.Domains()[0].Restarts() == 0 {
+		t.Error("domain restart counter not consumed")
+	}
+	_ = sawError // tasks posted at crash time may or may not exist; both fine
+}
+
+func TestRestartBudgetExhaustionSealsDomain(t *testing.T) {
+	metrics.Faults.Reset()
+	cfg, structures := smallConfig(1)
+	cfg.Domains[0].RestartBudget = 2
+	// Kill the worker on every sweep: the budget burns out immediately.
+	cfg.FaultHook = faultinject.New(1, faultinject.Rule{
+		Kind: faultinject.WorkerKill, Worker: -1, EveryNth: 1,
+	})
+	rt, err := Start(cfg, structures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+	s, _ := rt.NewSession(0, 2)
+	defer s.Close()
+
+	// Every submission must resolve — by error once the domain is sealed.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("domain never sealed after budget exhaustion")
+		}
+		_, err := waitInvoke(t, s, Task{Structure: "tree", Op: func(any) any { return 1 }}, 5*time.Second)
+		if errors.Is(err, delegation.ErrWorkerStopped) {
+			break // sealed: typed error instead of a hang
+		}
+	}
+	if metrics.Faults.RestartsExhausted.Load() == 0 {
+		t.Error("exhaustion not counted")
+	}
+	if got := rt.Domains()[0].Restarts(); got < 2 {
+		t.Errorf("restarts consumed = %d, want ≥ budget 2", got)
+	}
+}
+
+// TestReconfigureUnderConcurrentSessions is the satellite race test: client
+// goroutines submit throughout an offline reconfiguration; every submission
+// must get a result or ErrWorkerStopped, never hang. Run with -race.
+func TestReconfigureUnderConcurrentSessions(t *testing.T) {
+	m, _ := topology.Restricted(1)
+	cfg := Config{
+		Machine: m,
+		Domains: []DomainSpec{
+			{Name: "d0", CPUs: topology.Range(0, 4)},
+			{Name: "d1", CPUs: topology.Range(4, 8)},
+		},
+		Assignment: map[string]int{"tree": 0},
+	}
+	rt, err := Start(cfg, map[string]any{"tree": btree.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const clients = 6
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			s, err := rt.NewSession(g%8, 4)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer s.Close()
+			<-start
+			for i := 0; i < 400; i++ {
+				k := uint64(g*1000 + i)
+				f, err := s.Submit(Task{Structure: "tree", Op: func(ds any) any {
+					return ds.(*btree.Tree).Insert(k, k, nil)
+				}})
+				if err != nil {
+					return // routing error after stop is acceptable
+				}
+				_, werr := f.WaitTimeout(10 * time.Second)
+				if errors.Is(werr, delegation.ErrWaitTimeout) {
+					t.Errorf("client %d: future hung during reconfiguration", g)
+					return
+				}
+				if werr != nil && !errors.Is(werr, delegation.ErrWorkerStopped) {
+					t.Errorf("client %d: unexpected error %v", g, werr)
+					return
+				}
+			}
+		}(g)
+	}
+	close(start)
+	// Reconfigure mid-traffic: merge to one domain.
+	cfg2 := Config{
+		Machine:    m,
+		Domains:    []DomainSpec{{Name: "all", CPUs: topology.Range(0, 8)}},
+		Assignment: map[string]int{"tree": 0},
+	}
+	rt2, err := rt.Reconfigure(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	rt2.Stop()
+}
+
+// TestMigrateUnderConcurrentSessions: structures migrate between domains
+// while sessions submit; every future must resolve. Run with -race.
+func TestMigrateUnderConcurrentSessions(t *testing.T) {
+	m, _ := topology.Restricted(1)
+	cfg := Config{
+		Machine: m,
+		Domains: []DomainSpec{
+			{Name: "d0", CPUs: topology.Range(0, 4)},
+			{Name: "d1", CPUs: topology.Range(4, 8)},
+		},
+		Assignment: map[string]int{"tree": 0},
+	}
+	rt, err := Start(cfg, map[string]any{"tree": btree.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+
+	stopMigr := make(chan struct{})
+	var migrWG sync.WaitGroup
+	migrWG.Add(1)
+	go func() {
+		defer migrWG.Done()
+		to := 1
+		for {
+			select {
+			case <-stopMigr:
+				return
+			default:
+			}
+			if err := rt.Migrate("tree", to); err != nil {
+				t.Error(err)
+				return
+			}
+			to = 1 - to
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			s, err := rt.NewSession(g%8, 4)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer s.Close()
+			for i := 0; i < 300; i++ {
+				k := uint64(g*1000 + i)
+				v, err := waitInvoke(t, s, Task{Structure: "tree", Op: func(ds any) any {
+					return ds.(*btree.Tree).Insert(k, k, nil)
+				}}, 10*time.Second)
+				if err != nil {
+					t.Errorf("client %d: %v", g, err)
+					return
+				}
+				if v != true {
+					t.Errorf("client %d: insert %d = %v", g, k, v)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stopMigr)
+	migrWG.Wait()
+}
+
+// TestSubmitAfterStopGetsTypedError: the "draining all active operations"
+// guarantee — a session that keeps using a stopped runtime errors instead
+// of hanging.
+func TestSubmitAfterStopGetsTypedError(t *testing.T) {
+	cfg, structures := smallConfig(2)
+	rt, err := Start(cfg, structures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := rt.NewSession(0, 2)
+	// Acquire slots before the stop so the sealed-post path is exercised.
+	if _, err := s.Invoke(Task{Structure: "tree", Op: func(any) any { return 1 }}); err != nil {
+		t.Fatal(err)
+	}
+	rt.Stop()
+
+	f, err := s.Submit(Task{Structure: "tree", Op: func(any) any { return 2 }})
+	if err != nil {
+		t.Fatalf("Submit after stop errored at routing: %v", err)
+	}
+	v, werr := f.WaitTimeout(5 * time.Second)
+	if !errors.Is(werr, delegation.ErrWorkerStopped) {
+		t.Fatalf("post-stop future = (%v, %v), want ErrWorkerStopped", v, werr)
+	}
+	if err := s.Close(); err != nil && !errors.Is(err, delegation.ErrWorkerStopped) {
+		t.Errorf("Close = %v", err)
+	}
+	if stats := rt.Stats(); stats[0].Rescued == 0 {
+		t.Error("rescued-post counter not incremented")
+	}
+}

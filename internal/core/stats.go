@@ -13,6 +13,9 @@ type DomainStats struct {
 	EmptySweep uint64 // poll rounds that found nothing
 	Batched    uint64 // tasks answered in multi-task sweeps
 	Pending    int    // posted, unswept tasks right now
+	Failed     uint64 // futures completed with a typed error
+	Rescued    uint64 // posts into sealed buffers answered with ErrWorkerStopped
+	Restarts   int64  // worker respawns consumed from the restart budget
 }
 
 // Occupancy is the fraction of sweeps that found work — a proxy for worker
@@ -35,8 +38,12 @@ func (s DomainStats) BatchingRate() float64 {
 }
 
 func (s DomainStats) String() string {
-	return fmt.Sprintf("%s: %d workers, %d structures, %d executed, occupancy %.3f, batching %.3f, %d pending",
+	out := fmt.Sprintf("%s: %d workers, %d structures, %d executed, occupancy %.3f, batching %.3f, %d pending",
 		s.Name, s.Workers, s.Structures, s.Executed, s.Occupancy(), s.BatchingRate(), s.Pending)
+	if s.Failed > 0 || s.Rescued > 0 || s.Restarts > 0 {
+		out += fmt.Sprintf(", %d failed, %d rescued, %d restarts", s.Failed, s.Rescued, s.Restarts)
+	}
+	return out
 }
 
 // Stats snapshots the domain's counters.
@@ -51,7 +58,10 @@ func (d *Domain) Stats() DomainStats {
 		s.EmptySweep += b.EmptySweep.Load()
 		s.Batched += b.Batched.Load()
 		s.Pending += b.Pending()
+		s.Failed += b.Failed.Load()
+		s.Rescued += b.Rescued.Load()
 	}
+	s.Restarts = d.Restarts()
 	return s
 }
 

@@ -21,15 +21,28 @@
 // NUMA-aware slot assignment — giving a client slots in the buffer of the
 // worker nearest to it — is the caller's policy: AcquireSlots accepts a
 // preference ranking over workers.
+//
+// Failure model (beyond FFWD, which assumes immortal workers): a future
+// completes exactly once, with a value or with a typed error — PanicError
+// when the task panicked, ErrWorkerStopped when it never ran. On shutdown a
+// worker *seals* its buffer: the seal's final sweep answers everything
+// already posted, and a post racing past it is rescued by its own client
+// with ErrWorkerStopped, so no client can block forever on a stopping
+// worker. A worker crash (a panic escaping the sweep, e.g. injected via
+// FaultHook) fails the buffer's posted tasks with a PanicError and is
+// reported to the caller of Worker.Run so a supervisor can respawn the
+// worker; the buffer stays open for the respawn.
 package delegation
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // SlotsPerBuffer is the FFWD response-batching width: one worker answers up
@@ -40,33 +53,174 @@ const SlotsPerBuffer = 15
 // places the returned value into the task's future.
 type Task func() any
 
-// Future is the invocation handle a client holds on a delegated task.
+// ErrWorkerStopped is delivered through a future when its task was posted
+// into a sealed buffer: the owning worker has shut down (or exhausted its
+// restart budget after crashing) and will never execute the task. The task
+// did NOT run.
+var ErrWorkerStopped = errors.New("delegation: worker stopped, task not executed")
+
+// ErrWaitTimeout is returned by Future.WaitTimeout when the deadline expires
+// before the task completes. The task may still complete later; the future
+// stays valid and can be waited on again.
+var ErrWaitTimeout = errors.New("delegation: wait timed out")
+
+// Future lifecycle states.
+const (
+	futPending uint32 = 0 // no result yet
+	futValue   uint32 = 1 // completed with a value
+	futError   uint32 = 2 // completed with a typed error (never ran, or panicked)
+)
+
+// Future is the invocation handle a client holds on a delegated task. A
+// future completes exactly once, either with a value (the task ran and
+// returned) or with a typed error: PanicError when the task panicked,
+// ErrWorkerStopped when it was posted into a sealed buffer and never ran.
 type Future struct {
-	state atomic.Uint32 // 0 pending, 1 done
+	state atomic.Uint32 // futPending, futValue or futError
 	val   any
+	err   error
 }
 
-// complete publishes the result; called by the worker exactly once.
+// complete publishes a value result; called by the worker exactly once.
 func (f *Future) complete(v any) {
 	f.val = v
-	f.state.Store(1)
+	f.state.Store(futValue)
+}
+
+// completeErr publishes an error result. It uses a CAS so the lifecycle
+// paths that fail futures (seal rescue, crash fail-over) can never clobber
+// a result the worker already published.
+func (f *Future) completeErr(err error) bool {
+	f.err = err
+	return f.state.CompareAndSwap(futPending, futError)
 }
 
 // Done reports whether the result is available without blocking.
-func (f *Future) Done() bool { return f.state.Load() == 1 }
+func (f *Future) Done() bool { return f.state.Load() != futPending }
 
-// Wait spins (yielding to the scheduler) until the result is available.
-func (f *Future) Wait() any {
-	for f.state.Load() == 0 {
+// Err returns the typed error the future completed with, nil for a pending
+// future or a value result.
+func (f *Future) Err() error {
+	if f.state.Load() == futError {
+		return f.err
+	}
+	return nil
+}
+
+// Idle-wait backoff: spin (yielding) this many times, then sleep with
+// exponential backoff between polls. Bursting clients normally see their
+// oldest future complete within the spin phase; the sleep phase only
+// engages on genuinely idle waits, where burning a core on Gosched would
+// starve co-scheduled workers.
+const (
+	waitSpins    = 256
+	waitSleepMin = time.Microsecond
+	waitSleepMax = 100 * time.Microsecond
+)
+
+// block waits until the future completes, spinning first and then sleeping
+// with exponential backoff.
+func (f *Future) block() {
+	for i := 0; i < waitSpins; i++ {
+		if f.state.Load() != futPending {
+			return
+		}
 		runtime.Gosched()
+	}
+	d := waitSleepMin
+	for f.state.Load() == futPending {
+		time.Sleep(d)
+		if d < waitSleepMax {
+			d *= 2
+		}
+	}
+}
+
+// result returns the completed future's result in Wait's historical shape:
+// the value, or the error as the value (a PanicError came back through Wait
+// as a plain value before futures grew an error channel).
+func (f *Future) result() any {
+	if f.state.Load() == futError {
+		return f.err
 	}
 	return f.val
 }
 
-// TryGet returns the result if available.
+// Wait blocks until the result is available. An error-completed future
+// yields its error as the returned value (use Result or Err for a typed
+// error). Waiting spins briefly and then backs off to sleeping, so an idle
+// wait does not burn a core.
+func (f *Future) Wait() any {
+	f.block()
+	return f.result()
+}
+
+// Result blocks like Wait but separates the two completion channels: the
+// task's value, or the typed error (PanicError, ErrWorkerStopped) when the
+// task panicked or never ran.
+func (f *Future) Result() (any, error) {
+	f.block()
+	if f.state.Load() == futError {
+		return nil, f.err
+	}
+	return f.val, nil
+}
+
+// WaitTimeout waits up to d for the result. It returns ErrWaitTimeout when
+// the deadline expires first; the future remains valid and may still
+// complete afterwards.
+func (f *Future) WaitTimeout(d time.Duration) (any, error) {
+	deadline := time.Now().Add(d)
+	for i := 0; i < waitSpins; i++ {
+		if f.state.Load() != futPending {
+			return f.Result()
+		}
+		runtime.Gosched()
+	}
+	sleep := waitSleepMin
+	for f.state.Load() == futPending {
+		if time.Now().After(deadline) {
+			return nil, ErrWaitTimeout
+		}
+		time.Sleep(sleep)
+		if sleep < waitSleepMax {
+			sleep *= 2
+		}
+	}
+	return f.Result()
+}
+
+// WaitCtx waits until the result is available or the context is cancelled,
+// returning the context's error in the latter case. The future remains
+// valid after cancellation.
+func (f *Future) WaitCtx(ctx context.Context) (any, error) {
+	for i := 0; i < waitSpins; i++ {
+		if f.state.Load() != futPending {
+			return f.Result()
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		runtime.Gosched()
+	}
+	sleep := waitSleepMin
+	for f.state.Load() == futPending {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		time.Sleep(sleep)
+		if sleep < waitSleepMax {
+			sleep *= 2
+		}
+	}
+	return f.Result()
+}
+
+// TryGet returns the result if available (an error-completed future yields
+// its error as the value, mirroring Wait).
 func (f *Future) TryGet() (any, bool) {
-	if f.state.Load() == 1 {
-		return f.val, true
+	if f.state.Load() != futPending {
+		return f.result(), true
 	}
 	return nil, false
 }
@@ -90,10 +244,29 @@ type Slot struct {
 
 // post publishes a task into the slot. The client must own the slot and the
 // slot must be free.
+//
+// The sealed check after the posted store closes the stop/post race: both
+// sides use sequentially consistent atomics, so either the worker's final
+// sweep observes the posted slot, or this client observes the seal and
+// rescues its own task with ErrWorkerStopped — a post can never dangle.
 func (s *Slot) post(t Task, f *Future) {
 	s.task = t
 	s.fut = f
 	s.state.Store(slotPosted) // release: publishes task+fut to the worker
+	if s.buf.sealed.Load() {
+		s.buf.rescue(s)
+	}
+}
+
+// FaultHook intercepts the worker's poll loop for deterministic fault
+// injection (see internal/faultinject). A nil hook — the default — keeps
+// the hot path unchanged. BeforeSweep runs outside the task-panic recovery,
+// so a panic there simulates a worker crash (recovered by Worker.Run);
+// BeforeTask runs inside it, so a panic there becomes the task's
+// PanicError. Either may sleep to simulate stalls.
+type FaultHook interface {
+	BeforeSweep(worker int)
+	BeforeTask(worker int)
 }
 
 // Buffer is the contiguous message buffer of one worker.
@@ -101,11 +274,24 @@ type Buffer struct {
 	worker int // worker id within the domain (index into the inbox)
 	slots  []Slot
 
+	// Lifecycle. sealed flips once, on shutdown or restart-budget
+	// exhaustion; sealMu serialises every operation that may complete
+	// futures outside the worker's own sweep (final sweep, crash
+	// fail-over, client-side rescue of a post into a sealed buffer).
+	sealed atomic.Bool
+	sealMu sync.Mutex
+
+	hook FaultHook // fault injection; nil by default, set before workers run
+
 	// Stats, updated by the owning worker only.
 	Executed   atomic.Uint64 // tasks executed
 	Sweeps     atomic.Uint64 // buffer sweeps (poll rounds)
 	EmptySweep atomic.Uint64 // sweeps that found no posted slot
 	Batched    atomic.Uint64 // tasks answered in multi-task sweeps (batching)
+
+	// Fault stats, updated under sealMu or by the owning worker.
+	Failed  atomic.Uint64 // futures completed with a typed error
+	Rescued atomic.Uint64 // posts into a sealed buffer answered with ErrWorkerStopped
 }
 
 // NewBuffer allocates a worker buffer with n slots (n ≤ SlotsPerBuffer).
@@ -123,6 +309,14 @@ func NewBuffer(worker, n int) (*Buffer, error) {
 
 // Worker returns the worker id this buffer belongs to.
 func (b *Buffer) Worker() int { return b.worker }
+
+// SetFaultHook installs a fault-injection hook. Call before any worker
+// polls the buffer; the field is read without synchronisation on the hot
+// path (goroutine creation orders the write for workers spawned after it).
+func (b *Buffer) SetFaultHook(h FaultHook) { b.hook = h }
+
+// Sealed reports whether the buffer has been sealed.
+func (b *Buffer) Sealed() bool { return b.sealed.Load() }
 
 // Pending counts the currently posted, unswept slots (advisory snapshot;
 // the runtime's migration quiesce polls it).
@@ -148,21 +342,43 @@ func (p PanicError) Error() string {
 	return fmt.Sprintf("delegation: task panicked: %v", p.Value)
 }
 
-// runTask executes a task, converting a panic into a PanicError result.
-func runTask(task Task) (res any) {
+// runTask executes a task, converting a panic into a PanicError result. The
+// fault hook's BeforeTask runs inside the recovery scope, so an injected
+// task fault surfaces exactly like a genuine one.
+func runTask(task Task, hook FaultHook, worker int) (res any) {
 	defer func() {
 		if r := recover(); r != nil {
 			res = PanicError{Value: r}
 		}
 	}()
+	if hook != nil {
+		hook.BeforeTask(worker)
+	}
 	return task()
 }
 
 // Sweep executes all currently posted tasks in the buffer, in slot order,
 // and reports how many it ran. This is the worker's poll body: one pass over
 // the buffer detects posted toggles and answers them as a batch. A panicking
-// task yields a PanicError result instead of killing the worker.
+// task yields a PanicError result instead of killing the worker; a panic
+// out of the hook's BeforeSweep escapes to Worker.Run as a worker crash.
+// On a sealed buffer the pass runs under the seal lock so it cannot race
+// client-side rescues.
 func (b *Buffer) Sweep() int {
+	if b.sealed.Load() {
+		b.sealMu.Lock()
+		defer b.sealMu.Unlock()
+		return b.sweepSlots(nil)
+	}
+	if h := b.hook; h != nil {
+		h.BeforeSweep(b.worker)
+	}
+	return b.sweepSlots(b.hook)
+}
+
+// sweepSlots is the sweep body. Callers on the sealed path hold sealMu and
+// pass a nil hook (shutdown must not re-inject faults).
+func (b *Buffer) sweepSlots(hook FaultHook) int {
 	n := 0
 	for i := range b.slots {
 		s := &b.slots[i]
@@ -171,7 +387,13 @@ func (b *Buffer) Sweep() int {
 		}
 		task, fut := s.task, s.fut
 		s.task, s.fut = nil, nil
-		fut.complete(runTask(task))
+		res := runTask(task, hook, b.worker)
+		if pe, ok := res.(PanicError); ok {
+			fut.completeErr(pe)
+			b.Failed.Add(1)
+		} else {
+			fut.complete(res)
+		}
 		s.state.Store(slotFree) // release the slot back to its client
 		n++
 	}
@@ -185,6 +407,67 @@ func (b *Buffer) Sweep() int {
 		}
 	}
 	return n
+}
+
+// Seal marks the buffer closed and runs a final sweep that executes every
+// task already posted, so no future delegated before shutdown dangles. Any
+// task posted after the seal is completed with ErrWorkerStopped by its own
+// client (see Slot.post). Seal is idempotent and safe to call from a
+// supervisor goroutine after the worker has exited; it returns the number
+// of tasks the final sweep executed.
+func (b *Buffer) Seal() int {
+	b.sealMu.Lock()
+	defer b.sealMu.Unlock()
+	b.sealed.Store(true)
+	return b.sweepSlots(nil)
+}
+
+// FailPending completes every posted, unswept task with err without
+// executing it, and frees the slots. The worker crash path uses it so the
+// tasks that were in the buffer when the worker died are answered with a
+// PanicError instead of waiting for a respawn that may never come. Returns
+// the number of futures failed.
+func (b *Buffer) FailPending(err error) int {
+	b.sealMu.Lock()
+	defer b.sealMu.Unlock()
+	n := 0
+	for i := range b.slots {
+		s := &b.slots[i]
+		if s.state.Load() != slotPosted {
+			continue
+		}
+		fut := s.fut
+		s.task, s.fut = nil, nil
+		s.state.Store(slotFree)
+		if fut == nil {
+			// The crashed sweep had already taken this task (the crash hit
+			// between claiming the slot and releasing it); its future was
+			// completed — or will be failed via the crash value — upstream.
+			continue
+		}
+		fut.completeErr(err)
+		b.Failed.Add(1)
+		n++
+	}
+	return n
+}
+
+// rescue answers the calling client's own post into a sealed buffer. The
+// seal lock orders it against the final sweep: if the sweep already took
+// the task the slot is free and there is nothing to do, otherwise the task
+// never ran and its future completes with ErrWorkerStopped.
+func (b *Buffer) rescue(s *Slot) {
+	b.sealMu.Lock()
+	defer b.sealMu.Unlock()
+	if s.state.Load() != slotPosted {
+		return
+	}
+	fut := s.fut
+	s.task, s.fut = nil, nil
+	fut.completeErr(ErrWorkerStopped)
+	s.state.Store(slotFree)
+	b.Failed.Add(1)
+	b.Rescued.Add(1)
 }
 
 // Inbox composes the message buffers of a domain's workers and hands slot
@@ -359,8 +642,25 @@ func (c *Client) inFlight(s *Slot) bool {
 
 // Invoke delegates a task and synchronously waits for its result — the
 // simple delegation mode (burst size 1 semantics regardless of owned slots).
+// An error completion comes back as the value; InvokeErr separates it.
 func (c *Client) Invoke(task Task) any {
 	return c.Delegate(task).Wait()
+}
+
+// DelegateErr posts like Delegate and additionally surfaces an immediately
+// known failure: a post into a sealed buffer is completed with
+// ErrWorkerStopped before DelegateErr returns, so the caller can stop
+// submitting instead of discovering the error future by future.
+func (c *Client) DelegateErr(task Task) (*Future, error) {
+	f := c.Delegate(task)
+	return f, f.Err()
+}
+
+// InvokeErr delegates a task, waits, and returns the value and the typed
+// error separately: PanicError when the task panicked, ErrWorkerStopped
+// when the buffer was sealed before the task ran.
+func (c *Client) InvokeErr(task Task) (any, error) {
+	return c.Delegate(task).Result()
 }
 
 // DelegateBulk posts tasks as one bulk burst under a single synchronisation
@@ -378,6 +678,26 @@ func (c *Client) DelegateBulk(tasks []Task) []any {
 	return out
 }
 
+// DelegateBulkErr is DelegateBulk with an error channel: results hold each
+// task's value (nil where a task failed) and the returned error is the
+// first typed error among them.
+func (c *Client) DelegateBulkErr(tasks []Task) ([]any, error) {
+	futs := make([]*Future, len(tasks))
+	for i, t := range tasks {
+		futs[i] = c.Delegate(t)
+	}
+	out := make([]any, len(tasks))
+	var firstErr error
+	for i, f := range futs {
+		v, err := f.Result()
+		out[i] = v
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return out, firstErr
+}
+
 // Drain waits for every outstanding task to finish and frees the pending
 // list. Call before releasing slots.
 func (c *Client) Drain() {
@@ -385,6 +705,20 @@ func (c *Client) Drain() {
 		p.fut.Wait()
 	}
 	c.pending = c.pending[:0]
+}
+
+// DrainErr drains like Drain and returns the first typed error among the
+// outstanding tasks, so a caller shutting down can tell "all work done"
+// from "work abandoned by a stopped or crashed worker".
+func (c *Client) DrainErr() error {
+	var firstErr error
+	for _, p := range c.pending {
+		if _, err := p.fut.Result(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	c.pending = c.pending[:0]
+	return firstErr
 }
 
 // Slots exposes the owned slots (for release back to the inbox).
@@ -399,17 +733,35 @@ type Worker struct {
 // NewWorker wraps a buffer into a pollable worker.
 func NewWorker(buf *Buffer) *Worker { return &Worker{buf: buf} }
 
-// Run polls the buffer until stop is closed. It yields to the scheduler on
-// empty sweeps so co-scheduled goroutines make progress on small machines.
-func (w *Worker) Run(stop <-chan struct{}) {
+// Run polls the buffer until stop is closed or the worker crashes. It
+// yields to the scheduler on empty sweeps so co-scheduled goroutines make
+// progress on small machines.
+//
+// On a clean stop Run seals the buffer — the seal's final sweep answers
+// every task posted before the seal, and a task racing past it is rescued
+// with ErrWorkerStopped by its own client — then returns nil.
+//
+// A panic escaping the sweep (a fault-injected worker kill, or a bug in
+// the protocol itself; task panics never escape, runTask converts them) is
+// recovered here: every task posted in the buffer at crash time completes
+// with a PanicError, and the crash is returned so a supervisor can respawn
+// the worker. The buffer is NOT sealed on a crash — it keeps accepting
+// posts for the respawned worker.
+func (w *Worker) Run(stop <-chan struct{}) (crash error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err := PanicError{Value: r}
+			w.buf.FailPending(err)
+			crash = err
+		}
+	}()
 	for {
 		n := w.buf.Sweep()
 		if n == 0 {
 			select {
 			case <-stop:
-				// Final sweep so a task posted just before stop is answered.
-				w.buf.Sweep()
-				return
+				w.buf.Seal()
+				return nil
 			default:
 				runtime.Gosched()
 			}

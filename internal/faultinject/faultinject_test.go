@@ -1,0 +1,127 @@
+package faultinject
+
+import (
+	"testing"
+	"time"
+
+	"robustconf/internal/delegation"
+)
+
+// The injector must satisfy the runtime's hook interface.
+var _ delegation.FaultHook = (*Injector)(nil)
+
+func TestEveryNthDeterministic(t *testing.T) {
+	in := New(1, Rule{Kind: TaskPanic, Worker: -1, EveryNth: 3})
+	fired := 0
+	for i := 0; i < 9; i++ {
+		func() {
+			defer func() {
+				if recover() != nil {
+					fired++
+				}
+			}()
+			in.BeforeTask(0)
+		}()
+	}
+	if fired != 3 {
+		t.Errorf("every-3rd rule fired %d times in 9 opportunities, want 3", fired)
+	}
+	if in.Triggered(TaskPanic) != 3 {
+		t.Errorf("Triggered = %d", in.Triggered(TaskPanic))
+	}
+}
+
+func TestSeededProbabilityReproducible(t *testing.T) {
+	run := func(seed int64) []bool {
+		in := New(seed, Rule{Kind: WorkerKill, Worker: -1, Probability: 0.5})
+		var out []bool
+		for i := 0; i < 32; i++ {
+			hit := false
+			func() {
+				defer func() { hit = recover() != nil }()
+				in.BeforeSweep(0)
+			}()
+			out = append(out, hit)
+		}
+		return out
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at opportunity %d", i)
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical schedules (suspicious)")
+	}
+}
+
+func TestOnceDisarms(t *testing.T) {
+	in := New(7, Rule{Kind: WorkerKill, Worker: -1, EveryNth: 1, Once: true})
+	kills := 0
+	for i := 0; i < 5; i++ {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if k, ok := r.(Killed); !ok || k.Worker != 3 {
+						t.Errorf("panic value = %#v", r)
+					}
+					kills++
+				}
+			}()
+			in.BeforeSweep(3)
+		}()
+	}
+	if kills != 1 {
+		t.Errorf("Once rule killed %d times, want 1", kills)
+	}
+}
+
+func TestWorkerFilter(t *testing.T) {
+	in := New(1, Rule{Kind: TaskPanic, Worker: 2, EveryNth: 1})
+	panicked := func(w int) (hit bool) {
+		defer func() { hit = recover() != nil }()
+		in.BeforeTask(w)
+		return
+	}
+	if panicked(0) || panicked(1) {
+		t.Error("rule for worker 2 fired on other workers")
+	}
+	if !panicked(2) {
+		t.Error("rule for worker 2 did not fire on worker 2")
+	}
+}
+
+func TestStallSleeps(t *testing.T) {
+	in := New(1, Rule{Kind: WorkerStall, Worker: -1, EveryNth: 1, Stall: 20 * time.Millisecond})
+	start := time.Now()
+	in.BeforeSweep(0)
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Errorf("stall slept %v, want ≈20ms", d)
+	}
+	if in.Triggered(WorkerStall) != 1 {
+		t.Error("stall not counted")
+	}
+}
+
+func TestCountsSnapshot(t *testing.T) {
+	in := New(1,
+		Rule{Kind: SweepDelay, Worker: -1, EveryNth: 1, Stall: time.Microsecond})
+	in.BeforeSweep(0)
+	in.BeforeSweep(0)
+	counts := in.Counts()
+	if counts["sweep-delay"] != 2 {
+		t.Errorf("Counts = %v", counts)
+	}
+	if Kind(99).String() == "" || TaskPanic.String() != "task-panic" {
+		t.Error("Kind.String broken")
+	}
+}

@@ -1,0 +1,248 @@
+package harness
+
+// Chaos mode: drive the *real* runtime (not the simulator) under seeded
+// fault schedules and verify the fault-tolerance contract — every submitted
+// task's future completes, with a value or a typed error, under task
+// panics, worker kills, worker stalls, delayed sweeps and the stop/post
+// race. This is the executable form of the failure model documented in
+// DESIGN.md ("Failure model & shutdown semantics").
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"robustconf/internal/core"
+	"robustconf/internal/delegation"
+	"robustconf/internal/faultinject"
+	"robustconf/internal/index/btree"
+	"robustconf/internal/metrics"
+	"robustconf/internal/topology"
+)
+
+// ChaosSchedule names a seeded fault schedule for one chaos run.
+type ChaosSchedule struct {
+	Name  string
+	Rules []faultinject.Rule
+	// StopMidway shuts the runtime down while clients are still
+	// submitting, exercising the seal/rescue path (the stop/post race).
+	StopMidway bool
+}
+
+// ChaosSchedules returns the standard schedule set the chaos suite runs:
+// one per fault class plus a mixed storm.
+func ChaosSchedules() []ChaosSchedule {
+	return []ChaosSchedule{
+		{
+			Name: "task-panic",
+			Rules: []faultinject.Rule{
+				{Kind: faultinject.TaskPanic, Worker: -1, Probability: 0.02},
+			},
+		},
+		{
+			// The injector mutex serializes hook calls, so a short chaos run
+			// sees on the order of a thousand sweep draws in total; the
+			// counters below make each fault class fire a few times per run.
+			Name: "worker-kill",
+			Rules: []faultinject.Rule{
+				{Kind: faultinject.WorkerKill, Worker: -1, EveryNth: 300},
+			},
+		},
+		{
+			Name: "worker-stall",
+			Rules: []faultinject.Rule{
+				{Kind: faultinject.WorkerStall, Worker: -1, EveryNth: 150, Stall: 200 * time.Microsecond},
+			},
+		},
+		{
+			Name: "sweep-delay",
+			Rules: []faultinject.Rule{
+				{Kind: faultinject.SweepDelay, Worker: -1, Probability: 0.01, Stall: 200 * time.Microsecond},
+			},
+		},
+		{
+			Name:       "stop-post",
+			StopMidway: true,
+		},
+		{
+			Name:       "mixed",
+			StopMidway: true,
+			Rules: []faultinject.Rule{
+				{Kind: faultinject.TaskPanic, Worker: -1, Probability: 0.01},
+				{Kind: faultinject.WorkerKill, Worker: -1, EveryNth: 500},
+				{Kind: faultinject.WorkerStall, Worker: -1, EveryNth: 250, Stall: 200 * time.Microsecond},
+			},
+		},
+	}
+}
+
+// ChaosScheduleNamed returns the named schedule.
+func ChaosScheduleNamed(name string) (ChaosSchedule, error) {
+	var names []string
+	for _, s := range ChaosSchedules() {
+		if s.Name == name {
+			return s, nil
+		}
+		names = append(names, s.Name)
+	}
+	return ChaosSchedule{}, fmt.Errorf("harness: unknown chaos schedule %q (have %s)", name, strings.Join(names, ", "))
+}
+
+// ChaosReport summarises one chaos run.
+type ChaosReport struct {
+	Schedule  string
+	Seed      int64
+	Submitted int // tasks whose futures were obtained
+	Values    int // futures completed with a value
+	Errors    int // futures completed with a typed error
+	Hangs     int // futures that never completed within the deadline — must be 0
+	Panics    uint64
+	Restarts  uint64
+	Rescued   uint64
+	Injected  map[string]uint64
+}
+
+func (r ChaosReport) String() string {
+	return fmt.Sprintf("chaos %-12s seed=%-3d submitted=%-6d values=%-6d errors=%-5d hangs=%d  worker-panics=%d restarts=%d rescued=%d injected=%v",
+		r.Schedule, r.Seed, r.Submitted, r.Values, r.Errors, r.Hangs, r.Panics, r.Restarts, r.Rescued, r.Injected)
+}
+
+// Complete reports whether every submitted future resolved.
+func (r ChaosReport) Complete() bool { return r.Hangs == 0 && r.Submitted == r.Values+r.Errors }
+
+// RunChaos executes one chaos run: sessions×tasksPerSession tasks submitted
+// by concurrent clients against a two-domain runtime with the schedule's
+// faults injected, every future then awaited under deadline. The returned
+// report counts completions; Hangs > 0 or an unexpected error type is a
+// fault-tolerance bug.
+func RunChaos(sched ChaosSchedule, seed int64, sessions, tasksPerSession int) (ChaosReport, error) {
+	metrics.Faults.Reset()
+	m, err := topology.Restricted(1)
+	if err != nil {
+		return ChaosReport{}, err
+	}
+	// A generous restart budget: chaos injects far more kills than a
+	// production domain should tolerate, and the suite's subject is future
+	// completion, not budget policy (fault_test covers exhaustion).
+	cfg := core.Config{
+		Machine: m,
+		Domains: []core.DomainSpec{
+			{Name: "c0", CPUs: topology.Range(0, 4), RestartBudget: 1 << 20},
+			{Name: "c1", CPUs: topology.Range(4, 8), RestartBudget: 1 << 20},
+		},
+		Assignment: map[string]int{"tree": 0, "tree2": 1},
+	}
+	if len(sched.Rules) > 0 {
+		cfg.FaultHook = faultinject.New(seed, sched.Rules...)
+	}
+	rt, err := core.Start(cfg, map[string]any{"tree": btree.New(), "tree2": btree.New()})
+	if err != nil {
+		return ChaosReport{}, err
+	}
+
+	type futRec struct {
+		fut *delegation.Future
+	}
+	var (
+		mu   sync.Mutex
+		futs []futRec
+	)
+	var submitted atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < sessions; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			s, err := rt.NewSession(g%8, 4)
+			if err != nil {
+				return
+			}
+			structure := "tree"
+			if g%2 == 1 {
+				structure = "tree2"
+			}
+			var local []futRec
+			for i := 0; i < tasksPerSession; i++ {
+				k := uint64(g*tasksPerSession + i)
+				f, err := s.Submit(core.Task{Structure: structure, Op: func(ds any) any {
+					ds.(*btree.Tree).Insert(k, k, nil)
+					return k
+				}})
+				if err != nil {
+					continue // routing/acquisition error: no future to track
+				}
+				submitted.Add(1)
+				local = append(local, futRec{fut: f})
+			}
+			mu.Lock()
+			futs = append(futs, local...)
+			mu.Unlock()
+			// Close() may legitimately report abandoned tasks under chaos;
+			// the per-future accounting below is the assertion that counts.
+			_ = s.Close()
+		}(g)
+	}
+
+	if sched.StopMidway {
+		// Let some traffic through, then shut down under it.
+		time.Sleep(2 * time.Millisecond)
+		rt.Stop()
+	}
+	wg.Wait()
+	if !sched.StopMidway {
+		rt.Stop()
+	}
+
+	report := ChaosReport{
+		Schedule:  sched.Name,
+		Seed:      seed,
+		Submitted: int(submitted.Load()),
+	}
+	for _, fr := range futs {
+		v, err := fr.fut.WaitTimeout(10 * time.Second)
+		switch {
+		case errors.Is(err, delegation.ErrWaitTimeout):
+			report.Hangs++
+		case err != nil:
+			var pe delegation.PanicError
+			if !errors.Is(err, delegation.ErrWorkerStopped) && !errors.As(err, &pe) {
+				return report, fmt.Errorf("harness: chaos %s: untyped future error %v", sched.Name, err)
+			}
+			report.Errors++
+		default:
+			_ = v
+			report.Values++
+		}
+	}
+	snap := metrics.Faults.Snapshot()
+	report.Panics = snap.WorkerPanics
+	report.Restarts = snap.WorkerRestarts
+	for _, st := range rt.Stats() {
+		report.Rescued += st.Rescued
+	}
+	if cfg.FaultHook != nil {
+		report.Injected = cfg.FaultHook.(*faultinject.Injector).Counts()
+	}
+	return report, nil
+}
+
+// RunChaosAll runs every standard schedule and renders the reports,
+// returning an error when any run left a future hanging.
+func RunChaosAll(seed int64, sessions, tasksPerSession int) (string, error) {
+	var b strings.Builder
+	for _, sched := range ChaosSchedules() {
+		r, err := RunChaos(sched, seed, sessions, tasksPerSession)
+		if err != nil {
+			return b.String(), err
+		}
+		fmt.Fprintln(&b, r)
+		if !r.Complete() {
+			return b.String(), fmt.Errorf("harness: chaos %s: %d futures hung (submitted %d, resolved %d)",
+				sched.Name, r.Hangs, r.Submitted, r.Values+r.Errors)
+		}
+	}
+	return b.String(), nil
+}

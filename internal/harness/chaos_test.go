@@ -1,0 +1,110 @@
+package harness
+
+import (
+	"testing"
+)
+
+// chaosScale shrinks the suite under -short (the tier-2 `make verify` runs
+// it full-size with -race).
+func chaosScale(t *testing.T) (sessions, tasks int, seeds []int64) {
+	if testing.Short() {
+		return 4, 100, []int64{1}
+	}
+	return 6, 300, []int64{1, 7, 42}
+}
+
+// TestChaosAllSchedules is the acceptance gate of the fault-tolerance
+// layer: for every seeded fault schedule, 100% of submitted futures must
+// complete — with a value or a typed error — within the deadline. A hang
+// is a protocol bug, not a flake.
+func TestChaosAllSchedules(t *testing.T) {
+	sessions, tasks, seeds := chaosScale(t)
+	for _, sched := range ChaosSchedules() {
+		for _, seed := range seeds {
+			r, err := RunChaos(sched, seed, sessions, tasks)
+			if err != nil {
+				t.Fatalf("%s/seed %d: %v", sched.Name, seed, err)
+			}
+			t.Log(r)
+			if r.Hangs > 0 {
+				t.Errorf("%s/seed %d: %d futures hung", sched.Name, seed, r.Hangs)
+			}
+			if r.Values+r.Errors != r.Submitted {
+				t.Errorf("%s/seed %d: submitted %d but resolved %d",
+					sched.Name, seed, r.Submitted, r.Values+r.Errors)
+			}
+		}
+	}
+}
+
+// TestChaosWorkerKillRecovers asserts the crash-recovery half of the
+// acceptance criterion at the chaos level: under the kill schedule the
+// runtime observed panics, respawned workers, and still completed tasks
+// with values afterwards.
+func TestChaosWorkerKillRecovers(t *testing.T) {
+	sessions, tasks, _ := chaosScale(t)
+	sched, err := ChaosScheduleNamed("worker-kill")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kills are sweep-rate dependent; retry a few seeds until one fires
+	// (deterministic per seed, machine-speed dependent across machines).
+	for _, seed := range []int64{3, 5, 9, 11} {
+		r, runErr := RunChaos(sched, seed, sessions, tasks)
+		if runErr != nil {
+			t.Fatal(runErr)
+		}
+		if !r.Complete() {
+			t.Fatalf("seed %d: incomplete run: %v", seed, r)
+		}
+		if r.Panics > 0 {
+			if r.Restarts == 0 {
+				t.Fatalf("seed %d: %d worker panics but no respawns", seed, r.Panics)
+			}
+			if r.Values == 0 {
+				t.Fatalf("seed %d: no task succeeded despite respawns", seed)
+			}
+			return
+		}
+	}
+	t.Skip("no kill fired on this machine's sweep rate; covered by core fault tests")
+}
+
+// TestChaosStopPostNoDangle pins the stop/post race at the system level:
+// shutting down mid-traffic must resolve every future.
+func TestChaosStopPostNoDangle(t *testing.T) {
+	sessions, tasks, seeds := chaosScale(t)
+	sched, err := ChaosScheduleNamed("stop-post")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range seeds {
+		r, err := RunChaos(sched, seed, sessions, tasks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Complete() {
+			t.Fatalf("seed %d: %v", seed, r)
+		}
+		if r.Errors == 0 && r.Rescued == 0 {
+			// Shutdown beat all submitters: legal but means the race was
+			// not exercised; still a pass, the schedule runs repeatedly
+			// across seeds.
+			t.Logf("seed %d: shutdown raced no submissions (%v)", seed, r)
+		}
+	}
+}
+
+// TestRunChaosAllRenders smoke-tests the robustsim -chaos entry point.
+func TestRunChaosAllRenders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full schedule sweep skipped in -short")
+	}
+	out, err := RunChaosAll(1, 4, 100)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if out == "" {
+		t.Error("empty chaos report")
+	}
+}

@@ -1,0 +1,55 @@
+package metrics
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// FaultCounters aggregates the runtime's fault-tolerance events. The core
+// runtime increments them as workers crash, respawn, or exhaust their
+// restart budget; the chaos harness and operators read them to verify that
+// failures were observed and handled rather than silently swallowed.
+type FaultCounters struct {
+	WorkerPanics      atomic.Uint64 // panics escaping a worker's sweep (crashes)
+	WorkerRestarts    atomic.Uint64 // successful respawns after a crash
+	RestartsExhausted atomic.Uint64 // workers retired after blowing the budget
+	TasksFailed       atomic.Uint64 // futures completed with a typed error
+	RescuedPosts      atomic.Uint64 // posts into sealed buffers answered with ErrWorkerStopped
+}
+
+// Faults is the process-wide fault counter set the core runtime reports to.
+var Faults = &FaultCounters{}
+
+// FaultSnapshot is a point-in-time copy of the counters.
+type FaultSnapshot struct {
+	WorkerPanics      uint64
+	WorkerRestarts    uint64
+	RestartsExhausted uint64
+	TasksFailed       uint64
+	RescuedPosts      uint64
+}
+
+// Snapshot copies the current counter values.
+func (c *FaultCounters) Snapshot() FaultSnapshot {
+	return FaultSnapshot{
+		WorkerPanics:      c.WorkerPanics.Load(),
+		WorkerRestarts:    c.WorkerRestarts.Load(),
+		RestartsExhausted: c.RestartsExhausted.Load(),
+		TasksFailed:       c.TasksFailed.Load(),
+		RescuedPosts:      c.RescuedPosts.Load(),
+	}
+}
+
+// Reset zeroes the counters (tests and benchmark harnesses).
+func (c *FaultCounters) Reset() {
+	c.WorkerPanics.Store(0)
+	c.WorkerRestarts.Store(0)
+	c.RestartsExhausted.Store(0)
+	c.TasksFailed.Store(0)
+	c.RescuedPosts.Store(0)
+}
+
+func (s FaultSnapshot) String() string {
+	return fmt.Sprintf("panics=%d restarts=%d exhausted=%d failed=%d rescued=%d",
+		s.WorkerPanics, s.WorkerRestarts, s.RestartsExhausted, s.TasksFailed, s.RescuedPosts)
+}

@@ -2,6 +2,7 @@ package syncprims
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -191,16 +192,19 @@ func TestVersionLockTryWriteLock(t *testing.T) {
 }
 
 func TestVersionLockOptimisticReadersDetectWrites(t *testing.T) {
+	// The payload uses atomics so the test itself is race-clean under the
+	// detector; torn reads between the two loads remain possible, and
+	// ReadValidate must reject them.
 	var l VersionLock
-	data := [2]int{0, 0}
+	var data [2]atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(2)
 	go func() {
 		defer wg.Done()
-		for i := 1; i <= 1000; i++ {
+		for i := int64(1); i <= 1000; i++ {
 			l.WriteLock()
-			data[0] = i
-			data[1] = i
+			data[0].Store(i)
+			data[1].Store(i)
 			l.WriteUnlock()
 		}
 	}()
@@ -209,7 +213,7 @@ func TestVersionLockOptimisticReadersDetectWrites(t *testing.T) {
 		for i := 0; i < 1000; i++ {
 			for {
 				v := l.ReadBegin()
-				a, b := data[0], data[1]
+				a, b := data[0].Load(), data[1].Load()
 				if l.ReadValidate(v) {
 					if a != b {
 						t.Error("validated read saw torn data")

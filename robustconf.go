@@ -29,6 +29,11 @@
 //	})
 //	result := future.Wait()
 //
+// Futures always complete — with the task's value or a typed error
+// (PanicError, ErrWorkerStopped); use Future.Result, WaitTimeout or WaitCtx
+// for the error-separating forms, and Session.Invoke for synchronous calls
+// with the error unwrapped.
+//
 // The subpackages under internal implement the substrates: the evaluated
 // index structures, the software-HTM emulation, the machine simulator used
 // by the benchmark harness, and the ILP-based configuration process.
@@ -91,6 +96,25 @@ func Start(cfg Config, structures map[string]any) (*Runtime, error) {
 // PanicError is returned through a future when a delegated task panicked;
 // the domain worker survives and keeps serving other clients.
 type PanicError = delegation.PanicError
+
+// FaultHook intercepts the worker poll loop for deterministic fault
+// injection (set Config.FaultHook; see internal/faultinject for the seeded
+// reference implementation). Nil — the default — keeps the hot path as is.
+type FaultHook = delegation.FaultHook
+
+// Failure-model errors delivered through futures and session calls. A future
+// always completes: with the task's value, a PanicError (the task ran and
+// panicked), or ErrWorkerStopped (the worker shut down first; the task never
+// ran). ErrWaitTimeout only comes from Future.WaitTimeout and means the
+// future is still pending, not failed.
+var (
+	ErrWorkerStopped = delegation.ErrWorkerStopped
+	ErrWaitTimeout   = delegation.ErrWaitTimeout
+)
+
+// DefaultRestartBudget is how many crash respawns a domain performs before
+// sealing its buffers (override per domain via Domain.RestartBudget).
+const DefaultRestartBudget = core.DefaultRestartBudget
 
 // Machine returns the reference 24-core/48-thread-per-socket topology
 // restricted to n sockets (1–8); it models the paper's HPE MC990 X.

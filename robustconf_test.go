@@ -1,6 +1,7 @@
 package robustconf_test
 
 import (
+	"errors"
 	"testing"
 
 	"robustconf"
@@ -128,15 +129,14 @@ func TestPublicAPIMigrationAndPanicIsolation(t *testing.T) {
 	s, _ := rt.NewSession(0, 2)
 	defer s.Close()
 
-	// A panicking task is isolated into a PanicError; the domain survives.
-	res, err := s.Invoke(robustconf.Task{Structure: "x", Op: func(any) any {
+	// A panicking task is isolated into a PanicError on the error channel;
+	// the domain survives.
+	_, err = s.Invoke(robustconf.Task{Structure: "x", Op: func(any) any {
 		panic("bad task")
 	}})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, ok := res.(robustconf.PanicError); !ok {
-		t.Fatalf("result = %#v, want PanicError", res)
+	var pe robustconf.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Invoke error = %v, want PanicError", err)
 	}
 	if v, err := s.Invoke(robustconf.Task{Structure: "x", Op: func(any) any { return "ok" }}); err != nil || v != "ok" {
 		t.Fatalf("domain dead after panic: %v, %v", v, err)
