@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test verify chaos bench
+.PHONY: build test verify chaos bench obs-smoke
 
 build:
 	$(GO) build ./...
@@ -15,9 +15,15 @@ test: build
 
 # Tier-2: vet + race-detected tests. -short shrinks the chaos schedules
 # (fewer sessions/seeds); drop it for the full sweep.
-verify: build
+verify: build obs-smoke
 	$(GO) vet ./...
 	$(GO) test -race -short ./...
+
+# End-to-end observability smoke: run a chaos schedule with the live
+# endpoint up, scrape /metrics, and assert the injected faults show in the
+# exported counters.
+obs-smoke:
+	./scripts/obs-smoke.sh
 
 # The full-size chaos fault-injection suite on its own.
 chaos:

@@ -198,6 +198,36 @@ func BenchmarkDelegationInvoke(b *testing.B) {
 	}
 }
 
+// BenchmarkDelegationInvokeObserved is the same round trip with an
+// Observer attached at default sampling — the overhead budget for the
+// introspection layer (DESIGN.md §9) is ≤5% over BenchmarkDelegationInvoke.
+func BenchmarkDelegationInvokeObserved(b *testing.B) {
+	machine := robustconf.Machine(1)
+	cfg := robustconf.Config{
+		Machine:    machine,
+		Domains:    []robustconf.Domain{{Name: "d", CPUs: robustconf.CPURange(0, 4)}},
+		Assignment: map[string]int{"x": 0},
+		Obs:        robustconf.NewObserver(robustconf.ObserverOptions{}),
+	}
+	rt, err := robustconf.Start(cfg, map[string]any{"x": btree.New()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rt.Stop()
+	s, err := rt.NewSession(0, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	task := robustconf.Task{Structure: "x", Op: func(ds any) any { return nil }}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Invoke(task); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkAblationBurstSize sweeps the burst size (the paper fixes 14):
 // larger bursts overlap more pending tasks per client.
 func BenchmarkAblationBurstSize(b *testing.B) {

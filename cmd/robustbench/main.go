@@ -6,7 +6,9 @@
 //	robustbench                 # run every experiment
 //	robustbench -exp fig7       # one experiment (fig1, table2, fig6..fig13, ablations)
 //	robustbench -exp fig7 -format csv   # machine-readable series for plotting
+//	robustbench -exp chaos      # fault-injection schedules on the real runtime
 //	robustbench -list           # list experiment names
+//	robustbench -obs :6060      # live metrics/pprof endpoint during the run
 package main
 
 import (
@@ -16,28 +18,61 @@ import (
 	"strings"
 
 	"robustconf/internal/harness"
+	"robustconf/internal/metrics"
+	"robustconf/internal/obs"
 )
 
 func main() {
 	exp := flag.String("exp", "", "experiment to run (default: all)")
 	format := flag.String("format", "text", "output format: text or csv (figures only)")
 	list := flag.Bool("list", false, "list experiment names")
+	obsAddr := flag.String("obs", "", "serve the observability endpoint on this address during the run (e.g. :6060)")
 	flag.Parse()
 
 	if *list {
-		fmt.Println(strings.Join(harness.Experiments, "\n"))
+		fmt.Println(strings.Join(append(append([]string{}, harness.Experiments...), "chaos"), "\n"))
 		return
 	}
+
+	faults := &metrics.FaultCounters{}
+	observer := obs.New(obs.Options{Faults: faults})
+	if *obsAddr != "" {
+		addr, stopSrv, err := observer.Serve(*obsAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer stopSrv()
+		fmt.Printf("obs: serving http://%s/metrics (also /spans, /events, /debug/pprof/)\n", addr)
+	}
+	opts := harness.ChaosOptions{Observer: observer, Faults: faults}
+
 	var out string
 	var err error
-	if *exp == "" {
+	switch {
+	case *exp == "":
 		out, err = harness.RunAll()
-	} else {
+	case *exp == "chaos":
+		// The one experiment on the real runtime rather than the simulator:
+		// every fault schedule, with telemetry attached.
+		out, err = harness.RunChaosAllOpts(1, 6, 300, opts)
+	default:
 		out, err = harness.RunFormat(*exp, *format)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "robustbench:", err)
-		os.Exit(1)
+		fmt.Fprint(os.Stdout, out)
+		fatal(err)
 	}
 	fmt.Print(out)
+	// Every report ends with the fault summary: zero counters assert the
+	// run saw no runtime faults, non-zero ones (chaos) quantify them.
+	if *exp == "chaos" {
+		fmt.Print(observer.Report())
+	} else {
+		fmt.Printf("faults: %s\n", faults.Snapshot())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "robustbench:", err)
+	os.Exit(1)
 }

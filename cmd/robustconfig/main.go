@@ -5,6 +5,12 @@
 // Usage:
 //
 //	robustconfig -scenario oltp2 -workers 192
+//	robustconfig -scenario htap -run 2000 -obs :6060
+//
+// With -run the composed plan is materialised on the reference topology and
+// actually started: real index structures are registered per instance, the
+// given number of operations is driven through each, and the report ends
+// with the runtime's per-domain telemetry and fault summary.
 package main
 
 import (
@@ -12,9 +18,20 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync"
+	"time"
 
 	"robustconf/internal/config"
+	"robustconf/internal/core"
+	"robustconf/internal/index"
+	"robustconf/internal/index/btree"
+	"robustconf/internal/index/bwtree"
+	"robustconf/internal/index/fptree"
+	"robustconf/internal/index/hashmap"
+	"robustconf/internal/metrics"
+	"robustconf/internal/obs"
 	"robustconf/internal/sim"
+	"robustconf/internal/topology"
 	"robustconf/internal/workload"
 )
 
@@ -53,9 +70,127 @@ func scenario(name string) ([]config.Instance, error) {
 	}
 }
 
+// newIndexForKind builds the real structure implementation matching the
+// simulator kind an instance was planned with.
+func newIndexForKind(k sim.StructureKind) index.Index {
+	switch k {
+	case sim.KindBTree:
+		return btree.New()
+	case sim.KindBWTree:
+		return bwtree.New()
+	case sim.KindHashMap:
+		return hashmap.New()
+	default:
+		return fptree.New()
+	}
+}
+
+// runPlan materialises the composed plan, starts the runtime with real
+// structures registered for every instance, drives ops operations per
+// instance through it, and prints throughput plus the observer's telemetry
+// and fault report.
+func runPlan(plan *config.Plan, instances []config.Instance, ops int, records uint64, obsAddr string, obsTrace int) error {
+	sockets := (plan.WorkersUsed() + 47) / 48
+	if sockets < 1 {
+		sockets = 1
+	}
+	m, err := topology.Restricted(sockets)
+	if err != nil {
+		return err
+	}
+	cfg, err := config.Materialise(plan, m)
+	if err != nil {
+		return err
+	}
+	faults := &metrics.FaultCounters{}
+	observer := obs.New(obs.Options{TraceEvery: obsTrace, Faults: faults})
+	if obsAddr != "" {
+		addr, stopSrv, err := observer.Serve(obsAddr)
+		if err != nil {
+			return err
+		}
+		defer stopSrv()
+		fmt.Printf("obs: serving http://%s/metrics (also /spans, /events, /debug/pprof/)\n", addr)
+	}
+	cfg.Faults = faults
+	cfg.Obs = observer
+
+	structures := make(map[string]any, len(instances))
+	for _, inst := range instances {
+		idx := newIndexForKind(inst.Kind)
+		for _, k := range workload.LoadKeys(records) {
+			idx.Insert(k, k, nil)
+		}
+		structures[inst.Name] = idx
+	}
+	rt, err := core.Start(cfg, structures)
+	if err != nil {
+		return err
+	}
+	defer rt.Stop()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, len(instances))
+	start := time.Now()
+	for c, inst := range instances {
+		wg.Add(1)
+		go func(c int, inst config.Instance) {
+			defer wg.Done()
+			session, err := rt.NewSession(c%m.LogicalCPUs(), 14)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer session.Close()
+			gen, err := workload.NewGenerator(inst.Mix, records, uint64(c), int64(c)+1)
+			if err != nil {
+				errs <- err
+				return
+			}
+			for i := 0; i < ops; i++ {
+				op := gen.Next()
+				_, err := session.Invoke(core.Task{Structure: inst.Name, Op: func(ds any) any {
+					tr := ds.(index.Index)
+					switch op.Type {
+					case workload.OpRead:
+						v, _ := tr.Get(op.Key, nil)
+						return v
+					case workload.OpUpdate:
+						return tr.Update(op.Key, op.Val, nil)
+					default:
+						return tr.Insert(op.Key, op.Val, nil)
+					}
+				}})
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(c, inst)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	elapsed := time.Since(start)
+	rt.Stop() // final worker-shard flush before the report (defer is a no-op then)
+	total := len(instances) * ops
+	fmt.Printf("run: %d ops in %v → %.0f ops/s across %d instances\n",
+		total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds(), len(instances))
+	fmt.Print(observer.Report())
+	return nil
+}
+
 func main() {
 	name := flag.String("scenario", "oltp2", "scenario: oltp1, oltp2, htap")
 	workers := flag.Int("workers", 192, "available worker threads")
+	runOps := flag.Int("run", 0, "materialise the plan and drive this many ops per instance through the real runtime (0 = plan only)")
+	records := flag.Uint64("records", 10_000, "pre-loaded records per instance when -run is set")
+	obsAddr := flag.String("obs", "", "serve the observability endpoint on this address during -run (e.g. :6060)")
+	obsTrace := flag.Int("obs-trace", 0, "commit every Nth sampled task span to the trace ring (0 = off)")
 	flag.Parse()
 
 	instances, err := scenario(*name)
@@ -80,5 +215,11 @@ func main() {
 	fmt.Println("calibrated sizes:")
 	for _, inst := range instances {
 		fmt.Printf("  %-14s %d\n", inst.Name, plan.CalibratedSizes[inst.Name])
+	}
+	if *runOps > 0 {
+		if err := runPlan(plan, instances, *runOps, *records, *obsAddr, *obsTrace); err != nil {
+			fmt.Fprintln(os.Stderr, "robustconfig:", err)
+			os.Exit(1)
+		}
 	}
 }

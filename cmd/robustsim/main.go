@@ -15,8 +15,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"robustconf/internal/harness"
+	"robustconf/internal/metrics"
+	"robustconf/internal/obs"
 	"robustconf/internal/sim"
 	"robustconf/internal/topology"
 	"robustconf/internal/workload"
@@ -35,10 +38,13 @@ func main() {
 	chaosSeed := flag.Int64("chaos-seed", 1, "fault-injection seed (chaos mode)")
 	chaosSessions := flag.Int("chaos-sessions", 6, "concurrent client sessions (chaos mode)")
 	chaosTasks := flag.Int("chaos-tasks", 300, "tasks per session (chaos mode)")
+	obsAddr := flag.String("obs", "", "serve the observability endpoint on this address (e.g. :6060; chaos mode)")
+	obsTrace := flag.Int("obs-trace", 0, "commit every Nth sampled task span to the trace ring (0 = off)")
+	obsHold := flag.Bool("obs-hold", false, "keep the process (and the -obs endpoint) alive after the chaos run until interrupted")
 	flag.Parse()
 
 	if *chaos != "" {
-		runChaos(*chaos, *chaosSeed, *chaosSessions, *chaosTasks)
+		runChaos(*chaos, *chaosSeed, *chaosSessions, *chaosTasks, *obsAddr, *obsTrace, *obsHold)
 		return
 	}
 
@@ -123,29 +129,57 @@ func main() {
 
 // runChaos drives the real delegation runtime (not the simulator) under a
 // seeded fault schedule and reports whether every submitted future resolved.
-func runChaos(name string, seed int64, sessions, tasks int) {
+// With -obs, every chaos runtime attaches to one observer behind a live
+// endpoint, and the run ends with the per-domain telemetry + fault summary.
+func runChaos(name string, seed int64, sessions, tasks int, obsAddr string, obsTrace int, hold bool) {
+	opts := harness.ChaosOptions{Faults: &metrics.FaultCounters{}}
+	var observer *obs.Observer
+	if obsAddr != "" || obsTrace > 0 {
+		observer = obs.New(obs.Options{TraceEvery: obsTrace, Faults: opts.Faults})
+		opts.Observer = observer
+	}
+	if obsAddr != "" {
+		addr, stopSrv, err := observer.Serve(obsAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer stopSrv()
+		fmt.Printf("obs: serving http://%s/metrics (also /spans, /events, /debug/pprof/)\n", addr)
+	}
+
 	if name == "all" {
-		out, err := harness.RunChaosAll(seed, sessions, tasks)
+		out, err := harness.RunChaosAllOpts(seed, sessions, tasks, opts)
 		fmt.Print(out)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Println("chaos: all schedules complete, no hung futures")
-		return
+	} else {
+		sched, err := harness.ChaosScheduleNamed(name)
+		if err != nil {
+			fatal(err)
+		}
+		r, err := harness.RunChaosOpts(sched, seed, sessions, tasks, opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(r)
+		if !r.Complete() {
+			fatal(fmt.Errorf("chaos %s: %d futures hung", name, r.Hangs))
+		}
+		fmt.Println("chaos: complete, no hung futures")
 	}
-	sched, err := harness.ChaosScheduleNamed(name)
-	if err != nil {
-		fatal(err)
+	if observer != nil {
+		fmt.Print(observer.Report())
+	} else {
+		fmt.Printf("faults: %s\n", opts.Faults.Snapshot())
 	}
-	r, err := harness.RunChaos(sched, seed, sessions, tasks)
-	if err != nil {
-		fatal(err)
+	if hold {
+		fmt.Println("obs: holding endpoint open (interrupt to exit)")
+		for {
+			time.Sleep(time.Hour)
+		}
 	}
-	fmt.Println(r)
-	if !r.Complete() {
-		fatal(fmt.Errorf("chaos %s: %d futures hung", name, r.Hangs))
-	}
-	fmt.Println("chaos: complete, no hung futures")
 }
 
 func limitedTag(r sim.Result) string {

@@ -21,6 +21,7 @@ import (
 	"robustconf/internal/index/bwtree"
 	"robustconf/internal/index/fptree"
 	"robustconf/internal/metrics"
+	"robustconf/internal/obs"
 	"robustconf/internal/oltp"
 	"robustconf/internal/sim"
 	"robustconf/internal/topology"
@@ -36,6 +37,8 @@ func main() {
 	terminals := flag.Int("terminals", 4, "concurrent terminals")
 	txns := flag.Int("txns", 2000, "transactions per terminal")
 	remote := flag.Float64("remote", 0.01, "remote transaction fraction")
+	obsAddr := flag.String("obs", "", "serve the observability endpoint on this address during the run (delegated engine; e.g. :6060)")
+	obsTrace := flag.Int("obs-trace", 0, "commit every Nth sampled task span to the trace ring (0 = off)")
 	flag.Parse()
 
 	var newIndex func() index.Index
@@ -55,7 +58,19 @@ func main() {
 		fatal(err)
 	}
 
+	faults := &metrics.FaultCounters{}
+	observer := obs.New(obs.Options{TraceEvery: *obsTrace, Faults: faults})
+	if *obsAddr != "" {
+		addr, stopSrv, err := observer.Serve(*obsAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer stopSrv()
+		fmt.Printf("obs: serving http://%s/metrics (also /spans, /events, /debug/pprof/)\n", addr)
+	}
+
 	var openStore func(id int) (tpcc.Store, func() error, error)
+	delegated := false
 	switch *engine {
 	case "direct":
 		e, err := oltp.NewDirectEngine(cfg, newIndex)
@@ -69,11 +84,18 @@ func main() {
 			return e, func() error { return nil }, nil
 		}
 	case "delegated":
+		delegated = true
 		m, err := topology.Restricted(1)
 		if err != nil {
 			fatal(err)
 		}
-		e, err := oltp.NewEngine(cfg, newIndex, m)
+		rc, err := oltp.EvenConfig(cfg, m)
+		if err != nil {
+			fatal(err)
+		}
+		rc.Faults = faults
+		rc.Obs = observer
+		e, err := oltp.NewEngineWithConfig(cfg, newIndex, rc)
 		if err != nil {
 			fatal(err)
 		}
@@ -142,6 +164,9 @@ func main() {
 	fmt.Printf("measured: %d txns in %v → %.0f txn/s on this host\n",
 		done.Load(), elapsed.Round(time.Millisecond), float64(done.Load())/elapsed.Seconds())
 	fmt.Printf("txn latency ns: %s\n", latency.String())
+	if delegated {
+		fmt.Print(observer.Report())
+	}
 
 	// The corresponding Figure 13 point on the simulated reference machine.
 	engKind := sim.EngineDelegated

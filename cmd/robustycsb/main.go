@@ -36,6 +36,8 @@ func main() {
 	ops := flag.Int("ops", 50_000, "operations per client")
 	burst := flag.Int("burst", robustconf.PaperBurstSize, "burst size (outstanding tasks per client)")
 	tracePath := flag.String("trace", "", "optional: write the generated op trace to this file first, then replay it")
+	obsAddr := flag.String("obs", "", "serve the observability endpoint on this address during the run (e.g. :6060)")
+	obsTrace := flag.Int("obs-trace", 0, "commit every Nth sampled task span to the trace ring (0 = off)")
 	flag.Parse()
 
 	var idx index.Index
@@ -73,10 +75,22 @@ func main() {
 			CPUs: robustconf.CPURange(lo, hi),
 		})
 	}
+	faults := &metrics.FaultCounters{}
+	observer := robustconf.NewObserver(robustconf.ObserverOptions{TraceEvery: *obsTrace, Faults: faults})
+	if *obsAddr != "" {
+		addr, stopSrv, err := observer.Serve(*obsAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer stopSrv()
+		fmt.Printf("obs: serving http://%s/metrics (also /spans, /events, /debug/pprof/)\n", addr)
+	}
 	rt, err := robustconf.Start(robustconf.Config{
 		Machine:    machine,
 		Domains:    domains,
 		Assignment: map[string]int{"ycsb": 0},
+		Faults:     faults,
+		Obs:        observer,
 	}, map[string]any{"ycsb": idx})
 	if err != nil {
 		fatal(err)
@@ -202,6 +216,7 @@ func main() {
 		fmt.Printf("hashmap: reader-registrations=%d bucket-stddev=%.2f\n",
 			s.ReaderRegistrations(), s.BucketSizeStdDev())
 	}
+	fmt.Print(observer.Report())
 }
 
 func fatal(err error) {

@@ -13,7 +13,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -21,6 +24,7 @@ import (
 	"robustconf/internal/affinity"
 	"robustconf/internal/delegation"
 	"robustconf/internal/metrics"
+	"robustconf/internal/obs"
 	"robustconf/internal/topology"
 )
 
@@ -95,6 +99,16 @@ type Config struct {
 	// deterministic fault injection (see internal/faultinject). Nil — the
 	// default — leaves the delegation hot path untouched.
 	FaultHook delegation.FaultHook
+	// Faults receives the runtime's fault-tolerance counters. Nil — the
+	// default — reports to the process-wide metrics.Faults; harnesses inject
+	// their own set so concurrent runs don't bleed into each other.
+	Faults *metrics.FaultCounters
+	// Obs, when non-nil, attaches the runtime to an observability layer:
+	// every worker buffer gets a telemetry shard, sessions get client
+	// shards, worker goroutines carry pprof labels, and lifecycle events
+	// (crash, respawn, stop) are recorded. Nil — the default — leaves the
+	// delegation hot path untouched.
+	Obs *obs.Observer
 }
 
 // Validate checks the configuration's internal consistency.
@@ -155,6 +169,17 @@ type Domain struct {
 	stop       chan struct{}
 	wg         sync.WaitGroup
 	restarts   atomic.Int64 // worker respawns consumed (shared budget)
+
+	faults *metrics.FaultCounters
+	obs    *obs.Observer  // nil when observability is not attached
+	obsDom *obs.DomainObs // nil when observability is not attached
+}
+
+// event records a lifecycle event when observability is attached.
+func (d *Domain) event(worker int, kind string) {
+	if d.obs != nil {
+		d.obs.Lifecycle(d.spec.Name, worker, kind)
+	}
 }
 
 // Restarts returns how many worker respawns the domain has consumed.
@@ -179,10 +204,18 @@ func (d *Domain) Inbox() *delegation.Inbox { return d.inbox }
 type Runtime struct {
 	cfg     Config
 	domains []*Domain
+	faults  *metrics.FaultCounters
 
 	mu      sync.Mutex
 	stopped bool
 }
+
+// Faults returns the fault-counter set this runtime reports to (the
+// injected cfg.Faults, or the process-wide metrics.Faults).
+func (rt *Runtime) Faults() *metrics.FaultCounters { return rt.faults }
+
+// Observer returns the attached observability layer, nil when none.
+func (rt *Runtime) Observer() *obs.Observer { return rt.cfg.Obs }
 
 // Start validates cfg, registers the given data structures, spawns the
 // domain workers and returns the running runtime. Every structure in
@@ -201,7 +234,13 @@ func Start(cfg Config, structures map[string]any) (*Runtime, error) {
 			return nil, fmt.Errorf("core: assignment references unknown structure %q", name)
 		}
 	}
-	rt := &Runtime{cfg: cfg}
+	rt := &Runtime{cfg: cfg, faults: cfg.Faults}
+	if rt.faults == nil {
+		rt.faults = metrics.Faults
+	}
+	if cfg.Obs != nil {
+		cfg.Obs.SetFaults(rt.faults)
+	}
 	for i, spec := range cfg.Domains {
 		d := &Domain{
 			spec:       spec,
@@ -209,12 +248,20 @@ func Start(cfg Config, structures map[string]any) (*Runtime, error) {
 			structures: map[string]any{},
 			stop:       make(chan struct{}),
 			workerCPUs: spec.CPUs.IDs(),
+			faults:     rt.faults,
+			obs:        cfg.Obs,
+		}
+		if cfg.Obs != nil {
+			d.obsDom = cfg.Obs.Domain(spec.Name, len(d.workerCPUs))
 		}
 		var bufs []*delegation.Buffer
 		for w := range d.workerCPUs {
 			b, err := delegation.NewBuffer(w, delegation.SlotsPerBuffer)
 			if err != nil {
 				return nil, err
+			}
+			if d.obsDom != nil {
+				b.SetProbe(d.obsDom.Worker(w))
 			}
 			bufs = append(bufs, b)
 		}
@@ -223,6 +270,20 @@ func Start(cfg Config, structures map[string]any) (*Runtime, error) {
 			return nil, err
 		}
 		d.inbox = inbox
+		if d.obsDom != nil {
+			// Failure accounting and queue depth live in the buffers; the
+			// obs layer reads them through this snapshot-time closure.
+			d.obsDom.SetExternal(func() obs.DomainExternal {
+				var ext obs.DomainExternal
+				for _, b := range inbox.Buffers() {
+					ext.Failed += b.Failed.Load()
+					ext.Rescued += b.Rescued.Load()
+					ext.Pending += b.Pending()
+				}
+				ext.Restarts = d.restarts.Load()
+				return ext
+			})
+		}
 		rt.domains = append(rt.domains, d)
 	}
 	for name, di := range cfg.Assignment {
@@ -247,6 +308,13 @@ func Start(cfg Config, structures map[string]any) (*Runtime, error) {
 				// posted, and later posts are rescued with
 				// ErrWorkerStopped — no future can dangle.
 				defer b.Seal()
+				if d.obs != nil {
+					// Label the goroutine so CPU profiles off the obs
+					// endpoint attribute samples per domain/worker.
+					pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+						pprof.Labels("domain", d.spec.Name, "worker", strconv.Itoa(b.Worker()))))
+					d.event(b.Worker(), obs.EventWorkerStart)
+				}
 				if pin {
 					if unpin, err := affinity.Pin(cpu); err == nil {
 						defer unpin()
@@ -273,9 +341,11 @@ func supervise(d *Domain, b *delegation.Buffer) {
 		if crash == nil {
 			return // clean stop; Run sealed the buffer
 		}
-		metrics.Faults.WorkerPanics.Add(1)
+		d.faults.WorkerPanics.Add(1)
+		d.event(b.Worker(), obs.EventWorkerCrash)
 		if !d.allowRestart() {
-			metrics.Faults.RestartsExhausted.Add(1)
+			d.faults.RestartsExhausted.Add(1)
+			d.event(b.Worker(), obs.EventRestartsExhausted)
 			return // deferred Seal retires the buffer
 		}
 		select {
@@ -283,7 +353,8 @@ func supervise(d *Domain, b *delegation.Buffer) {
 			return
 		case <-time.After(restartBackoff(attempt)):
 		}
-		metrics.Faults.WorkerRestarts.Add(1)
+		d.faults.WorkerRestarts.Add(1)
+		d.event(b.Worker(), obs.EventWorkerRespawn)
 	}
 }
 
@@ -350,6 +421,7 @@ func (rt *Runtime) Stop() {
 	}
 	for _, d := range rt.domains {
 		d.wg.Wait()
+		d.event(-1, obs.EventDomainStop)
 	}
 }
 
@@ -419,6 +491,9 @@ func (s *Session) client(d *Domain) (*delegation.Client, error) {
 	if err != nil {
 		return nil, err
 	}
+	if d.obsDom != nil {
+		c.SetProbe(d.obsDom.NewClient())
+	}
 	s.perDomain[d] = c
 	return c, nil
 }
@@ -449,7 +524,7 @@ func (s *Session) Invoke(task Task) (any, error) {
 	}
 	v, err := f.Result()
 	if err != nil {
-		metrics.Faults.TasksFailed.Add(1)
+		s.rt.faults.TasksFailed.Add(1)
 		return nil, err
 	}
 	return v, nil
@@ -475,7 +550,7 @@ func (s *Session) SubmitBulk(structure string, ops []func(ds any) any) ([]any, e
 	}
 	out, err := c.DelegateBulkErr(tasks)
 	if err != nil {
-		metrics.Faults.TasksFailed.Add(1)
+		s.rt.faults.TasksFailed.Add(1)
 	}
 	return out, err
 }

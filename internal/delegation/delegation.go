@@ -43,6 +43,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"robustconf/internal/obs"
 )
 
 // SlotsPerBuffer is the FFWD response-batching width: one worker answers up
@@ -79,20 +81,32 @@ type Future struct {
 	state atomic.Uint32 // futPending, futValue or futError
 	val   any
 	err   error
+	span  *obs.Span // lifecycle span on sampled posts; nil almost always
 }
 
-// complete publishes a value result; called by the worker exactly once.
+// complete publishes a value result; called by the worker exactly once. The
+// span's responded stamp lands before the state store so a waiter that
+// resolves immediately still sees responded ≤ resolved.
 func (f *Future) complete(v any) {
 	f.val = v
+	f.span.MarkResponded()
 	f.state.Store(futValue)
 }
 
 // completeErr publishes an error result. It uses a CAS so the lifecycle
 // paths that fail futures (seal rescue, crash fail-over) can never clobber
-// a result the worker already published.
+// a result the worker already published. A losing path's responded stamp
+// overwrites the winner's — benign, the stamps are atomic and advisory.
 func (f *Future) completeErr(err error) bool {
 	f.err = err
+	f.span.MarkResponded()
 	return f.state.CompareAndSwap(futPending, futError)
+}
+
+// observeResolved finalises the future's lifecycle span the first time a
+// waiter observes the completed result (no-op without a span).
+func (f *Future) observeResolved() {
+	f.span.Resolve(f.state.Load() == futError)
 }
 
 // Done reports whether the result is available without blocking.
@@ -140,6 +154,7 @@ func (f *Future) block() {
 // the value, or the error as the value (a PanicError came back through Wait
 // as a plain value before futures grew an error channel).
 func (f *Future) result() any {
+	f.observeResolved()
 	if f.state.Load() == futError {
 		return f.err
 	}
@@ -160,6 +175,7 @@ func (f *Future) Wait() any {
 // task panicked or never ran.
 func (f *Future) Result() (any, error) {
 	f.block()
+	f.observeResolved()
 	if f.state.Load() == futError {
 		return nil, f.err
 	}
@@ -283,6 +299,8 @@ type Buffer struct {
 
 	hook FaultHook // fault injection; nil by default, set before workers run
 
+	probe *obs.WorkerShard // telemetry shard; nil by default, set before workers run
+
 	// Stats, updated by the owning worker only.
 	Executed   atomic.Uint64 // tasks executed
 	Sweeps     atomic.Uint64 // buffer sweeps (poll rounds)
@@ -314,6 +332,11 @@ func (b *Buffer) Worker() int { return b.worker }
 // polls the buffer; the field is read without synchronisation on the hot
 // path (goroutine creation orders the write for workers spawned after it).
 func (b *Buffer) SetFaultHook(h FaultHook) { b.hook = h }
+
+// SetProbe installs the worker's telemetry shard. Like SetFaultHook it must
+// be called before any worker polls the buffer; the field is read without
+// synchronisation on the hot path.
+func (b *Buffer) SetProbe(p *obs.WorkerShard) { b.probe = p }
 
 // Sealed reports whether the buffer has been sealed.
 func (b *Buffer) Sealed() bool { return b.sealed.Load() }
@@ -368,17 +391,26 @@ func (b *Buffer) Sweep() int {
 	if b.sealed.Load() {
 		b.sealMu.Lock()
 		defer b.sealMu.Unlock()
-		return b.sweepSlots(nil)
+		// No probe on the sealed path: seal/rescue sweeps may run on
+		// non-worker goroutines, which must not touch the worker's shard.
+		return b.sweepSlots(nil, nil)
 	}
 	if h := b.hook; h != nil {
 		h.BeforeSweep(b.worker)
 	}
-	return b.sweepSlots(b.hook)
+	probe := b.probe
+	if probe == nil {
+		return b.sweepSlots(b.hook, nil)
+	}
+	t0 := probe.SweepBegin()
+	n := b.sweepSlots(b.hook, probe)
+	probe.SweepEnd(t0, n)
+	return n
 }
 
 // sweepSlots is the sweep body. Callers on the sealed path hold sealMu and
-// pass a nil hook (shutdown must not re-inject faults).
-func (b *Buffer) sweepSlots(hook FaultHook) int {
+// pass a nil hook (shutdown must not re-inject faults) and a nil probe.
+func (b *Buffer) sweepSlots(hook FaultHook, probe *obs.WorkerShard) int {
 	n := 0
 	for i := range b.slots {
 		s := &b.slots[i]
@@ -387,7 +419,18 @@ func (b *Buffer) sweepSlots(hook FaultHook) int {
 		}
 		task, fut := s.task, s.fut
 		s.task, s.fut = nil, nil
+		sp := fut.span // nil unless this task's post was trace-sampled
+		sp.MarkSwept(b.worker)
+		var tt int64
+		if probe != nil {
+			tt = probe.TaskBegin()
+		}
+		sp.MarkExecStart()
 		res := runTask(task, hook, b.worker)
+		sp.MarkExecEnd()
+		if probe != nil {
+			probe.TaskEnd(tt)
+		}
 		if pe, ok := res.(PanicError); ok {
 			fut.completeErr(pe)
 			b.Failed.Add(1)
@@ -419,7 +462,7 @@ func (b *Buffer) Seal() int {
 	b.sealMu.Lock()
 	defer b.sealMu.Unlock()
 	b.sealed.Store(true)
-	return b.sweepSlots(nil)
+	return b.sweepSlots(nil, nil)
 }
 
 // FailPending completes every posted, unswept task with err without
@@ -577,6 +620,7 @@ func (in *Inbox) ReleaseSlots(slots []*Slot) error {
 type Client struct {
 	slots   []*Slot
 	pending []pendingTask // FIFO of outstanding delegations
+	probe   *obs.ClientShard
 }
 
 type pendingTask struct {
@@ -593,6 +637,10 @@ func NewClient(slots []*Slot) (*Client, error) {
 	return &Client{slots: slots, pending: make([]pendingTask, 0, len(slots))}, nil
 }
 
+// SetProbe installs the client's telemetry shard. The Client is single-
+// threaded by contract, so the shard shares its owner's serial execution.
+func (c *Client) SetProbe(p *obs.ClientShard) { c.probe = p }
+
 // Burst returns the client's maximum number of outstanding tasks.
 func (c *Client) Burst() int { return len(c.slots) }
 
@@ -605,6 +653,9 @@ func (c *Client) Outstanding() int { return len(c.pending) }
 func (c *Client) Delegate(task Task) *Future {
 	var slot *Slot
 	if len(c.pending) == len(c.slots) {
+		if c.probe != nil {
+			c.probe.BurstWait()
+		}
 		oldest := c.pending[0]
 		oldest.fut.Wait()
 		c.pending = c.pending[1:]
@@ -619,6 +670,9 @@ func (c *Client) Delegate(task Task) *Future {
 		if slot == nil {
 			// All free slots are bookkept as pending but not yet swept;
 			// wait for the oldest.
+			if c.probe != nil {
+				c.probe.BurstWait()
+			}
 			oldest := c.pending[0]
 			oldest.fut.Wait()
 			c.pending = c.pending[1:]
@@ -626,6 +680,12 @@ func (c *Client) Delegate(task Task) *Future {
 		}
 	}
 	f := &Future{}
+	if c.probe != nil {
+		// Post counts the delegation and, on sampled posts, mints the
+		// lifecycle span; the slot's release store publishes it (via the
+		// future) to the worker alongside the task.
+		f.span = c.probe.Post()
+	}
 	slot.post(task, f)
 	c.pending = append(c.pending, pendingTask{slot: slot, fut: f})
 	return f
@@ -705,6 +765,9 @@ func (c *Client) Drain() {
 		p.fut.Wait()
 	}
 	c.pending = c.pending[:0]
+	if c.probe != nil {
+		c.probe.Flush()
+	}
 }
 
 // DrainErr drains like Drain and returns the first typed error among the
@@ -718,6 +781,9 @@ func (c *Client) DrainErr() error {
 		}
 	}
 	c.pending = c.pending[:0]
+	if c.probe != nil {
+		c.probe.Flush()
+	}
 	return firstErr
 }
 
@@ -749,6 +815,11 @@ func NewWorker(buf *Buffer) *Worker { return &Worker{buf: buf} }
 // posts for the respawned worker.
 func (w *Worker) Run(stop <-chan struct{}) (crash error) {
 	defer func() {
+		// Publish the telemetry shard's local mirror: this deferred func
+		// runs on the worker goroutine on both the clean and crash exits.
+		if p := w.buf.probe; p != nil {
+			p.Flush()
+		}
 		if r := recover(); r != nil {
 			err := PanicError{Value: r}
 			w.buf.FailPending(err)

@@ -20,8 +20,20 @@ import (
 	"robustconf/internal/faultinject"
 	"robustconf/internal/index/btree"
 	"robustconf/internal/metrics"
+	"robustconf/internal/obs"
 	"robustconf/internal/topology"
 )
+
+// ChaosOptions attaches shared infrastructure to chaos runs.
+type ChaosOptions struct {
+	// Observer, when non-nil, is attached to every chaos runtime so a live
+	// endpoint (or the final report) can watch the storm.
+	Observer *obs.Observer
+	// Faults, when non-nil, receives the runs' fault counters. Nil gives
+	// each run a private set — chaos never touches the process-global
+	// metrics.Faults, so concurrent suites don't bleed into each other.
+	Faults *metrics.FaultCounters
+}
 
 // ChaosSchedule names a seeded fault schedule for one chaos run.
 type ChaosSchedule struct {
@@ -119,7 +131,18 @@ func (r ChaosReport) Complete() bool { return r.Hangs == 0 && r.Submitted == r.V
 // report counts completions; Hangs > 0 or an unexpected error type is a
 // fault-tolerance bug.
 func RunChaos(sched ChaosSchedule, seed int64, sessions, tasksPerSession int) (ChaosReport, error) {
-	metrics.Faults.Reset()
+	return RunChaosOpts(sched, seed, sessions, tasksPerSession, ChaosOptions{})
+}
+
+// RunChaosOpts is RunChaos with shared observability and fault counters.
+func RunChaosOpts(sched ChaosSchedule, seed int64, sessions, tasksPerSession int, opts ChaosOptions) (ChaosReport, error) {
+	faults := opts.Faults
+	if faults == nil {
+		faults = &metrics.FaultCounters{}
+	}
+	// The counter set may be shared across runs (robustsim passes one per
+	// suite); report this run's contribution as a delta.
+	before := faults.Snapshot()
 	m, err := topology.Restricted(1)
 	if err != nil {
 		return ChaosReport{}, err
@@ -134,6 +157,8 @@ func RunChaos(sched ChaosSchedule, seed int64, sessions, tasksPerSession int) (C
 			{Name: "c1", CPUs: topology.Range(4, 8), RestartBudget: 1 << 20},
 		},
 		Assignment: map[string]int{"tree": 0, "tree2": 1},
+		Faults:     faults,
+		Obs:        opts.Observer,
 	}
 	if len(sched.Rules) > 0 {
 		cfg.FaultHook = faultinject.New(seed, sched.Rules...)
@@ -217,9 +242,9 @@ func RunChaos(sched ChaosSchedule, seed int64, sessions, tasksPerSession int) (C
 			report.Values++
 		}
 	}
-	snap := metrics.Faults.Snapshot()
-	report.Panics = snap.WorkerPanics
-	report.Restarts = snap.WorkerRestarts
+	snap := faults.Snapshot()
+	report.Panics = snap.WorkerPanics - before.WorkerPanics
+	report.Restarts = snap.WorkerRestarts - before.WorkerRestarts
 	for _, st := range rt.Stats() {
 		report.Rescued += st.Rescued
 	}
@@ -232,9 +257,19 @@ func RunChaos(sched ChaosSchedule, seed int64, sessions, tasksPerSession int) (C
 // RunChaosAll runs every standard schedule and renders the reports,
 // returning an error when any run left a future hanging.
 func RunChaosAll(seed int64, sessions, tasksPerSession int) (string, error) {
+	return RunChaosAllOpts(seed, sessions, tasksPerSession, ChaosOptions{})
+}
+
+// RunChaosAllOpts is RunChaosAll with shared observability and fault
+// counters: one observer and one counter set accumulate across the whole
+// schedule sweep (each run still reports its own delta).
+func RunChaosAllOpts(seed int64, sessions, tasksPerSession int, opts ChaosOptions) (string, error) {
+	if opts.Faults == nil {
+		opts.Faults = &metrics.FaultCounters{}
+	}
 	var b strings.Builder
 	for _, sched := range ChaosSchedules() {
-		r, err := RunChaos(sched, seed, sessions, tasksPerSession)
+		r, err := RunChaosOpts(sched, seed, sessions, tasksPerSession, opts)
 		if err != nil {
 			return b.String(), err
 		}

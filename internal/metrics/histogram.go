@@ -59,6 +59,99 @@ func (h *Histogram) Mean() float64 {
 // Max returns the largest observation.
 func (h *Histogram) Max() uint64 { return h.max.Load() }
 
+// Snapshot copies the histogram's state at bucket granularity. The copy is
+// advisory (concurrent Records may land between bucket loads) but every
+// field is individually consistent, which is all the quantile math needs.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	for b := range h.buckets {
+		s.Buckets[b] = h.buckets[b].Load()
+	}
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	s.Max = h.max.Load()
+	return s
+}
+
+// Quantile returns the q-quantile (0 < q ≤ 1) of the observations with
+// linear interpolation inside the log₂ bucket the quantile's rank lands in,
+// so reports can print p50/p99 tighter than the factor-of-2 bucket bound
+// Percentile gives. The top bucket is clamped to the observed maximum.
+func (h *Histogram) Quantile(q float64) float64 { return h.Snapshot().Quantile(q) }
+
+// HistogramSnapshot is a point-in-time copy of a Histogram, exposing the
+// raw log₂ buckets for exposition formats (e.g. Prometheus text) and
+// offline quantile math.
+type HistogramSnapshot struct {
+	Buckets [64]uint64 // bucket b counts observations of bit length b
+	Count   uint64
+	Sum     uint64
+	Max     uint64
+}
+
+// Mean returns the arithmetic mean of the snapshot's observations.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile returns the q-quantile (0 < q ≤ 1) with linear interpolation
+// inside the bucket: bucket b (b ≥ 1) spans [2^(b-1), 2^b-1], and the
+// quantile's rank positions the estimate proportionally inside that span.
+// The highest non-empty bucket is clamped to the observed maximum so
+// Quantile(1) returns exactly Max.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if q <= 0 || q > 1 || s.Count == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(s.Count)))
+	if target == 0 {
+		target = 1
+	}
+	top := 0
+	for b := 0; b < 64; b++ {
+		if s.Buckets[b] > 0 {
+			top = b
+		}
+	}
+	var cum uint64
+	for b := 0; b < 64; b++ {
+		cnt := s.Buckets[b]
+		if cnt == 0 {
+			continue
+		}
+		if cum+cnt >= target {
+			if b == 0 {
+				return 0
+			}
+			lo := float64(uint64(1) << uint(b-1))
+			hi := float64(uint64(1)<<uint(b)) - 1
+			if b == top && float64(s.Max) >= lo {
+				hi = float64(s.Max)
+			}
+			f := float64(target-cum) / float64(cnt)
+			return lo + f*(hi-lo)
+		}
+		cum += cnt
+	}
+	return float64(s.Max)
+}
+
+// Merge accumulates another snapshot into s (summed buckets/count/sum,
+// max of maxes) — used when several shards observe the same metric.
+func (s *HistogramSnapshot) Merge(o HistogramSnapshot) {
+	for b := range s.Buckets {
+		s.Buckets[b] += o.Buckets[b]
+	}
+	s.Count += o.Count
+	s.Sum += o.Sum
+	if o.Max > s.Max {
+		s.Max = o.Max
+	}
+}
+
 // Percentile returns an upper bound of the p-quantile (0 < p ≤ 1) at
 // bucket resolution (a factor of 2).
 func (h *Histogram) Percentile(p float64) uint64 {
@@ -83,10 +176,12 @@ func (h *Histogram) Percentile(p float64) uint64 {
 	return h.max.Load()
 }
 
-// String renders count, mean and the common latency quantiles.
+// String renders count, mean and the common latency quantiles
+// (interpolated — see Quantile).
 func (h *Histogram) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "n=%d mean=%.0f p50≤%d p95≤%d p99≤%d max=%d",
-		h.Count(), h.Mean(), h.Percentile(0.5), h.Percentile(0.95), h.Percentile(0.99), h.Max())
+	s := h.Snapshot()
+	fmt.Fprintf(&b, "n=%d mean=%.0f p50=%.0f p95=%.0f p99=%.0f max=%d",
+		s.Count, s.Mean(), s.Quantile(0.5), s.Quantile(0.95), s.Quantile(0.99), s.Max)
 	return b.String()
 }

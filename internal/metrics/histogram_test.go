@@ -1,0 +1,173 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantileInterpolates(t *testing.T) {
+	var h Histogram
+	// 64 values uniformly filling bucket 7 ([64, 127]).
+	for v := uint64(64); v < 128; v++ {
+		h.Record(v)
+	}
+	// The bucket-resolution Percentile can only answer 127 for any q; the
+	// interpolated Quantile should track the uniform distribution.
+	if p := h.Percentile(0.5); p != 127 {
+		t.Fatalf("Percentile(0.5) = %d, want bucket bound 127", p)
+	}
+	q50 := h.Quantile(0.5)
+	if q50 < 90 || q50 > 100 {
+		t.Errorf("Quantile(0.5) = %.1f, want ≈95 (midpoint of [64,127])", q50)
+	}
+	q01 := h.Quantile(0.01)
+	if q01 < 64 || q01 > 66 {
+		t.Errorf("Quantile(0.01) = %.1f, want ≈64 (bucket floor)", q01)
+	}
+	if q := h.Quantile(1); q != 127 {
+		t.Errorf("Quantile(1) = %.1f, want exactly max 127", q)
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile should be 0")
+	}
+	h.Record(0)
+	h.Record(0)
+	if h.Quantile(0.5) != 0 {
+		t.Error("all-zero sample quantile should be 0")
+	}
+	if h.Quantile(0) != 0 || h.Quantile(1.5) != 0 {
+		t.Error("out-of-range q should yield 0")
+	}
+	var one Histogram
+	one.Record(1000)
+	if q := one.Quantile(0.5); q != 1000 {
+		t.Errorf("single-observation Quantile(0.5) = %.1f, want clamped to max 1000", q)
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(vals []uint32) bool {
+		var h Histogram
+		for _, v := range vals {
+			h.Record(uint64(v))
+		}
+		prev := -1.0
+		for _, q := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0} {
+			v := h.Quantile(q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		// The interpolated quantile never exceeds the bucket upper bound.
+		return len(vals) == 0 || h.Quantile(0.5) <= float64(h.Percentile(0.5))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSnapshotAndMerge(t *testing.T) {
+	var a, b Histogram
+	for _, v := range []uint64{1, 2, 4, 8} {
+		a.Record(v)
+	}
+	for _, v := range []uint64{100, 1000} {
+		b.Record(v)
+	}
+	sa, sb := a.Snapshot(), b.Snapshot()
+	if sa.Count != 4 || sa.Sum != 15 || sa.Max != 8 {
+		t.Errorf("snapshot a = count %d sum %d max %d", sa.Count, sa.Sum, sa.Max)
+	}
+	sa.Merge(sb)
+	if sa.Count != 6 || sa.Sum != 1115 || sa.Max != 1000 {
+		t.Errorf("merged = count %d sum %d max %d", sa.Count, sa.Sum, sa.Max)
+	}
+	if math.Abs(sa.Mean()-1115.0/6) > 1e-9 {
+		t.Errorf("merged mean = %v", sa.Mean())
+	}
+	// Merged quantiles behave like one histogram over the union.
+	var u Histogram
+	for _, v := range []uint64{1, 2, 4, 8, 100, 1000} {
+		u.Record(v)
+	}
+	if got, want := sa.Quantile(0.99), u.Quantile(0.99); got != want {
+		t.Errorf("merged Quantile(0.99) = %v, union's = %v", got, want)
+	}
+}
+
+// TestHistogramRecordSnapshotConcurrent hammers Record from several
+// goroutines while others snapshot and read quantiles — the shard
+// aggregation pattern of internal/obs. Run under -race (make verify).
+func TestHistogramRecordSnapshotConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20000; i++ {
+				h.Record(uint64(g*4096 + i))
+			}
+		}(g)
+	}
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := h.Snapshot()
+				if s.Count > 0 && s.Quantile(0.99) < s.Quantile(0.5) {
+					t.Error("p99 < p50 on a live snapshot")
+					return
+				}
+				_ = h.String()
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for g := 0; g < 4; g++ {
+			for i := 0; i < 20000; i++ {
+				_ = h.Count()
+			}
+		}
+		close(stop)
+	}()
+	wg.Wait()
+	if h.Count() != 80000 {
+		t.Errorf("Count = %d, want 80000", h.Count())
+	}
+}
+
+// TestHistogramRecordNoAlloc pins Record as allocation-free: it sits on the
+// observability sampling path, which must not add GC pressure.
+func TestHistogramRecordNoAlloc(t *testing.T) {
+	var h Histogram
+	if n := testing.AllocsPerRun(1000, func() { h.Record(1234) }); n != 0 {
+		t.Errorf("Record allocates %.1f objects per call, want 0", n)
+	}
+}
+
+// BenchmarkHistogramRecord shows Record's cost and that it stays
+// allocation-free (see -benchmem).
+func BenchmarkHistogramRecord(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(uint64(i))
+	}
+}

@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+	"time"
+
+	"robustconf/internal/metrics"
+)
+
+// Handler returns the endpoint mux:
+//
+//	/metrics       Prometheus text exposition (counters, histograms, faults)
+//	/spans         JSON dump of the task-lifecycle trace ring
+//	/events        JSON dump of retained lifecycle events + per-kind totals
+//	/debug/pprof/  the standard pprof suite (worker goroutines carry
+//	               domain/worker labels, so profiles attribute per domain)
+func (o *Observer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "robustconf observability endpoint\n\n"+
+			"  /metrics       Prometheus text counters + histograms + faults\n"+
+			"  /spans         sampled task-lifecycle spans (JSON)\n"+
+			"  /events        worker/domain lifecycle events (JSON)\n"+
+			"  /debug/pprof/  pprof suite (workers labelled domain/worker)\n")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		o.writeMetrics(w)
+	})
+	mux.HandleFunc("/spans", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := o.tracer.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		events, counts := o.events.snapshot()
+		writeEventsJSON(w, events, counts)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the endpoint on addr (e.g. ":6060"; ":0" picks a free port).
+// It returns the bound address and a stop function that shuts the listener
+// down. Serving runs on its own goroutine; Serve itself returns immediately.
+func (o *Observer) Serve(addr string) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: o.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}
+
+// writeMetrics renders the Prometheus text exposition: per-domain counters
+// and gauges (labelled domain="..."), the latency histograms as cumulative
+// le-bucket series, the fault counters, and lifecycle event totals.
+func (o *Observer) writeMetrics(w http.ResponseWriter) {
+	snap := o.Snapshot()
+
+	fmt.Fprintf(w, "# HELP robustconf_uptime_seconds Seconds since the observer was created.\n")
+	fmt.Fprintf(w, "# TYPE robustconf_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "robustconf_uptime_seconds %g\n", snap.UptimeSeconds)
+
+	counter := func(name, help string, val func(d DomainSnapshot) uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for _, d := range snap.Domains {
+			fmt.Fprintf(w, "%s{domain=%q} %d\n", name, d.Name, val(d))
+		}
+	}
+	counter("robustconf_tasks_swept_total", "Tasks executed by domain workers.",
+		func(d DomainSnapshot) uint64 { return d.Tasks })
+	counter("robustconf_sweeps_total", "Worker poll rounds over client slots.",
+		func(d DomainSnapshot) uint64 { return d.Sweeps })
+	counter("robustconf_empty_sweeps_total", "Poll rounds that found no posted task.",
+		func(d DomainSnapshot) uint64 { return d.EmptySweep })
+	counter("robustconf_batched_tasks_total", "Tasks answered in multi-task sweep batches.",
+		func(d DomainSnapshot) uint64 { return d.Batched })
+	counter("robustconf_posts_total", "Tasks delegated by clients.",
+		func(d DomainSnapshot) uint64 { return d.Posts })
+	counter("robustconf_burst_waits_total", "Client stalls waiting on a full burst window.",
+		func(d DomainSnapshot) uint64 { return d.BurstWaits })
+	counter("robustconf_tasks_failed_total", "Futures completed with a typed error, by domain.",
+		func(d DomainSnapshot) uint64 { return d.Failed })
+	counter("robustconf_rescued_posts_total", "Posts answered ErrWorkerStopped from sealed buffers.",
+		func(d DomainSnapshot) uint64 { return d.Rescued })
+
+	fmt.Fprintf(w, "# HELP robustconf_worker_restarts_total Worker respawns after a crash, by domain.\n")
+	fmt.Fprintf(w, "# TYPE robustconf_worker_restarts_total counter\n")
+	for _, d := range snap.Domains {
+		fmt.Fprintf(w, "robustconf_worker_restarts_total{domain=%q} %d\n", d.Name, d.Restarts)
+	}
+	fmt.Fprintf(w, "# HELP robustconf_pending_tasks Posted-but-unanswered slots, by domain.\n")
+	fmt.Fprintf(w, "# TYPE robustconf_pending_tasks gauge\n")
+	for _, d := range snap.Domains {
+		fmt.Fprintf(w, "robustconf_pending_tasks{domain=%q} %d\n", d.Name, d.Pending)
+	}
+	fmt.Fprintf(w, "# HELP robustconf_max_batch_size Largest single-sweep response batch observed, by domain.\n")
+	fmt.Fprintf(w, "# TYPE robustconf_max_batch_size gauge\n")
+	for _, d := range snap.Domains {
+		fmt.Fprintf(w, "robustconf_max_batch_size{domain=%q} %d\n", d.Name, d.MaxBatch)
+	}
+
+	hist := func(name, help string, val func(d DomainSnapshot) metrics.HistogramSnapshot) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+		for _, d := range snap.Domains {
+			writePromHistogram(w, name, d.Name, val(d))
+		}
+	}
+	hist("robustconf_sweep_duration_ns", "Sampled worker sweep latency (ns).",
+		func(d DomainSnapshot) metrics.HistogramSnapshot { return d.SweepNs })
+	hist("robustconf_exec_duration_ns", "Sampled task execute latency (ns).",
+		func(d DomainSnapshot) metrics.HistogramSnapshot { return d.ExecNs })
+	hist("robustconf_response_duration_ns", "Sampled post-to-resolved response latency (ns).",
+		func(d DomainSnapshot) metrics.HistogramSnapshot { return d.RespNs })
+
+	fault := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	f := snap.Faults
+	fault("robustconf_faults_worker_panics_total", "Panics escaping a worker sweep.", f.WorkerPanics)
+	fault("robustconf_faults_worker_restarts_total", "Successful worker respawns.", f.WorkerRestarts)
+	fault("robustconf_faults_restarts_exhausted_total", "Workers retired after exhausting the restart budget.", f.RestartsExhausted)
+	fault("robustconf_faults_tasks_failed_total", "Futures completed with a typed error.", f.TasksFailed)
+	fault("robustconf_faults_rescued_posts_total", "Posts rescued from sealed buffers.", f.RescuedPosts)
+
+	if len(snap.EventCounts) > 0 {
+		fmt.Fprintf(w, "# HELP robustconf_lifecycle_events_total Domain/worker lifecycle events by kind.\n")
+		fmt.Fprintf(w, "# TYPE robustconf_lifecycle_events_total counter\n")
+		kinds := make([]string, 0, len(snap.EventCounts))
+		for k := range snap.EventCounts {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		for _, k := range kinds {
+			fmt.Fprintf(w, "robustconf_lifecycle_events_total{kind=%q} %d\n", k, snap.EventCounts[k])
+		}
+	}
+	fmt.Fprintf(w, "# HELP robustconf_spans_sampled_total Task-lifecycle spans committed to the trace ring.\n")
+	fmt.Fprintf(w, "# TYPE robustconf_spans_sampled_total counter\n")
+	fmt.Fprintf(w, "robustconf_spans_sampled_total %d\n", snap.SpansSampled)
+}
+
+// writePromHistogram renders one log₂ histogram as cumulative le buckets.
+// Empty log₂ buckets are folded into the next non-empty bound to keep the
+// series short; +Inf carries the total count per the exposition format.
+func writePromHistogram(w http.ResponseWriter, name, domain string, s metrics.HistogramSnapshot) {
+	if s.Count == 0 {
+		return
+	}
+	var cum uint64
+	for b := 0; b < 64; b++ {
+		if s.Buckets[b] == 0 {
+			continue
+		}
+		cum += s.Buckets[b]
+		upper := float64(uint64(1)<<uint(b)) - 1
+		if b == 0 {
+			upper = 0
+		}
+		fmt.Fprintf(w, "%s_bucket{domain=%q,le=%q} %d\n", name, domain, trimFloat(upper), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{domain=%q,le=\"+Inf\"} %d\n", name, domain, s.Count)
+	fmt.Fprintf(w, "%s_sum{domain=%q} %d\n", name, domain, s.Sum)
+	fmt.Fprintf(w, "%s_count{domain=%q} %d\n", name, domain, s.Count)
+}
+
+func trimFloat(v float64) string {
+	return strings.TrimSuffix(fmt.Sprintf("%.0f", v), ".")
+}
+
+// writeEventsJSON renders the /events payload without pulling in a second
+// encoder dependency: {"counts": {...}, "events": [...]}.
+func writeEventsJSON(w http.ResponseWriter, events []Event, counts map[string]uint64) {
+	fmt.Fprint(w, "{\n  \"counts\": {")
+	kinds := make([]string, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for i, k := range kinds {
+		if i > 0 {
+			fmt.Fprint(w, ", ")
+		}
+		fmt.Fprintf(w, "%q: %d", k, counts[k])
+	}
+	fmt.Fprint(w, "},\n  \"events\": [")
+	for i, e := range events {
+		if i > 0 {
+			fmt.Fprint(w, ",")
+		}
+		fmt.Fprintf(w, "\n    {\"at_ns\": %d, \"domain\": %q, \"worker\": %d, \"kind\": %q}",
+			e.AtNs, e.Domain, e.Worker, e.Kind)
+	}
+	fmt.Fprint(w, "\n  ]\n}\n")
+}

@@ -1,0 +1,365 @@
+// Package obs is the runtime introspection layer: low-overhead telemetry
+// for the delegation runtime (internal/delegation + internal/core), built
+// so the paper's measurement claims — where delegation time goes, what the
+// burst size does to the latency distribution — are observable on a live
+// run instead of only in offline experiments.
+//
+// Three pieces, in increasing cost:
+//
+//   - Per-worker stat shards (WorkerShard, ClientShard): cache-line-padded
+//     counters written as plain increments by their single owner on the
+//     critical path — no atomics, no sharing — and published to an atomic
+//     image on a flush cadence; aggregation reads only the image. Latency
+//     (sweep, execute, post→resolve response) is sampled every
+//     SampleEvery-th operation into log₂ histograms.
+//
+//   - A sampled task-lifecycle tracer (Span, Tracer): post → sweep →
+//     execute → respond → future-resolved timestamps collected into a
+//     fixed-size ring, off by default (Options.TraceEvery), dumpable as
+//     JSON.
+//
+//   - An HTTP exposition endpoint (Observer.Serve): Prometheus-text
+//     counters and histograms plus the fault-counter snapshot on /metrics,
+//     span and lifecycle-event dumps on /spans and /events, and the pprof
+//     suite on /debug/pprof/ — the runtime core labels worker goroutines
+//     with their domain/worker so CPU profiles attribute time per domain.
+//
+// When no Observer is attached (the default), the delegation hot path sees
+// only nil-pointer checks and allocates nothing extra.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"robustconf/internal/metrics"
+)
+
+// Options tunes an Observer.
+type Options struct {
+	// SampleEvery is the latency-sampling period: every Nth sweep, task
+	// execution and post is timed. Rounded up to a power of two; 0 means
+	// DefaultSampleEvery. 1 samples everything (tests).
+	SampleEvery int
+	// TraceEvery commits every Nth *sampled* span to the trace ring; 0 —
+	// the default — disables lifecycle tracing entirely.
+	TraceEvery int
+	// TraceCap is the span ring capacity (default 4096).
+	TraceCap int
+	// EventCap is the lifecycle event ring capacity (default 256).
+	EventCap int
+	// Faults is the fault-counter set the endpoint and reports expose.
+	// Defaults to the process-wide metrics.Faults; the runtime core
+	// rebinds it to the runtime's own counters when they are injected.
+	Faults *metrics.FaultCounters
+}
+
+// DefaultSampleEvery is the default latency-sampling period. At one timed
+// operation in 64 the two clock reads amortise to well under a nanosecond
+// per operation.
+const DefaultSampleEvery = 64
+
+// pow2 rounds n up to the next power of two.
+func pow2(n int) uint64 {
+	p := uint64(1)
+	for p < uint64(n) {
+		p <<= 1
+	}
+	return p
+}
+
+// Observer is the root of the introspection layer for one process: domains
+// register their worker and client shards with it, the runtime core feeds
+// it lifecycle events, and the exposition endpoint and text reports read
+// aggregated snapshots from it.
+type Observer struct {
+	sampleMask uint64
+	traceEvery uint64
+	start      time.Time
+	tracer     *Tracer
+	events     *eventLog
+
+	mu      sync.Mutex
+	domains []*DomainObs
+	faults  *metrics.FaultCounters
+}
+
+// New builds an Observer.
+func New(opts Options) *Observer {
+	if opts.SampleEvery <= 0 {
+		opts.SampleEvery = DefaultSampleEvery
+	}
+	if opts.TraceCap <= 0 {
+		opts.TraceCap = 4096
+	}
+	if opts.EventCap <= 0 {
+		opts.EventCap = 256
+	}
+	faults := opts.Faults
+	if faults == nil {
+		faults = metrics.Faults
+	}
+	return &Observer{
+		sampleMask: pow2(opts.SampleEvery) - 1,
+		traceEvery: uint64(opts.TraceEvery),
+		start:      time.Now(),
+		tracer:     NewTracer(opts.TraceCap),
+		events:     newEventLog(opts.EventCap),
+		faults:     faults,
+	}
+}
+
+// SetFaults rebinds the fault-counter set the observer exposes (the
+// runtime core calls this when a runtime carries injected counters).
+func (o *Observer) SetFaults(f *metrics.FaultCounters) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if f != nil {
+		o.faults = f
+	}
+}
+
+// Tracer exposes the span ring.
+func (o *Observer) Tracer() *Tracer { return o.tracer }
+
+// Lifecycle records a domain/worker lifecycle event (worker start, crash,
+// respawn, budget exhaustion, domain stop).
+func (o *Observer) Lifecycle(domain string, worker int, kind string) {
+	o.events.add(Event{AtNs: nanos(), Domain: domain, Worker: worker, Kind: kind})
+}
+
+// Events returns the retained lifecycle events (oldest first) and the
+// all-time per-kind totals.
+func (o *Observer) Events() ([]Event, map[string]uint64) { return o.events.snapshot() }
+
+// Domain registers a new domain instance with the given worker count and
+// returns its telemetry handle. Re-registering a name (each chaos schedule
+// starts a fresh runtime over the same domain names) adds a new instance;
+// Snapshot merges instances by name.
+func (o *Observer) Domain(name string, workers int) *DomainObs {
+	d := &DomainObs{name: name}
+	for i := 0; i < workers; i++ {
+		d.workers = append(d.workers, &WorkerShard{mask: o.sampleMask, dom: d})
+	}
+	d.obs = o
+	o.mu.Lock()
+	o.domains = append(o.domains, d)
+	o.mu.Unlock()
+	return d
+}
+
+// DomainObs aggregates one registered domain instance: its worker shards,
+// the client shards of the sessions that talked to it, and the sampled
+// latency histograms.
+type DomainObs struct {
+	name    string
+	obs     *Observer
+	workers []*WorkerShard
+
+	sweepNs metrics.Histogram // sampled worker sweep (poll round) latency
+	execNs  metrics.Histogram // sampled task execute latency
+	respNs  metrics.Histogram // sampled post→future-resolved latency
+
+	mu       sync.Mutex
+	clients  []*ClientShard
+	external func() DomainExternal
+}
+
+// Name returns the domain name.
+func (d *DomainObs) Name() string { return d.name }
+
+// Worker returns worker i's shard; the runtime core installs it into the
+// worker's message buffer.
+func (d *DomainObs) Worker(i int) *WorkerShard { return d.workers[i] }
+
+// NewClient registers a client shard for one session's delegation client.
+// Off the critical path (sessions acquire clients once per domain).
+func (d *DomainObs) NewClient() *ClientShard {
+	c := &ClientShard{mask: d.obs.sampleMask, traceEvery: d.obs.traceEvery, dom: d, tracer: d.obs.tracer}
+	d.mu.Lock()
+	d.clients = append(d.clients, c)
+	d.mu.Unlock()
+	return c
+}
+
+// DomainExternal carries domain counters the obs layer does not own but
+// reports alongside its shards (failure accounting and queue depth, read
+// from the runtime's buffers at snapshot time).
+type DomainExternal struct {
+	Failed   uint64
+	Rescued  uint64
+	Restarts int64
+	Pending  int
+}
+
+// SetExternal installs the snapshot-time callback for external counters.
+func (d *DomainObs) SetExternal(fn func() DomainExternal) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.external = fn
+}
+
+// DomainSnapshot is the aggregated point-in-time view of one domain name
+// (summed over its registered instances and their shards).
+type DomainSnapshot struct {
+	Name       string
+	Workers    int
+	Tasks      uint64
+	Sweeps     uint64
+	EmptySweep uint64
+	Batched    uint64
+	MaxBatch   uint64
+	Posts      uint64
+	BurstWaits uint64
+	Failed     uint64
+	Rescued    uint64
+	Restarts   int64
+	Pending    int
+	SweepNs    metrics.HistogramSnapshot
+	ExecNs     metrics.HistogramSnapshot
+	RespNs     metrics.HistogramSnapshot
+}
+
+// Occupancy is the fraction of sweeps that found work.
+func (s DomainSnapshot) Occupancy() float64 {
+	if s.Sweeps == 0 {
+		return 0
+	}
+	return 1 - float64(s.EmptySweep)/float64(s.Sweeps)
+}
+
+// snapshot aggregates one domain instance.
+func (d *DomainObs) snapshot() DomainSnapshot {
+	s := DomainSnapshot{Name: d.name, Workers: len(d.workers)}
+	for _, w := range d.workers {
+		s.Tasks += w.pub[wsTasks].Load()
+		s.Sweeps += w.pub[wsSweeps].Load()
+		s.EmptySweep += w.pub[wsEmptySweeps].Load()
+		s.Batched += w.pub[wsBatched].Load()
+		if mb := w.pub[wsMaxBatch].Load(); mb > s.MaxBatch {
+			s.MaxBatch = mb
+		}
+	}
+	d.mu.Lock()
+	clients := append([]*ClientShard(nil), d.clients...)
+	external := d.external
+	d.mu.Unlock()
+	for _, c := range clients {
+		s.Posts += c.pub[csPosts].Load()
+		s.BurstWaits += c.pub[csBurstWaits].Load()
+	}
+	s.SweepNs = d.sweepNs.Snapshot()
+	s.ExecNs = d.execNs.Snapshot()
+	s.RespNs = d.respNs.Snapshot()
+	if external != nil {
+		ext := external()
+		s.Failed = ext.Failed
+		s.Rescued = ext.Rescued
+		s.Restarts = ext.Restarts
+		s.Pending = ext.Pending
+	}
+	return s
+}
+
+// merge folds another instance of the same domain name into s.
+func (s *DomainSnapshot) merge(o DomainSnapshot) {
+	if o.Workers > s.Workers {
+		s.Workers = o.Workers
+	}
+	s.Tasks += o.Tasks
+	s.Sweeps += o.Sweeps
+	s.EmptySweep += o.EmptySweep
+	s.Batched += o.Batched
+	if o.MaxBatch > s.MaxBatch {
+		s.MaxBatch = o.MaxBatch
+	}
+	s.Posts += o.Posts
+	s.BurstWaits += o.BurstWaits
+	s.Failed += o.Failed
+	s.Rescued += o.Rescued
+	s.Restarts += o.Restarts
+	s.Pending += o.Pending
+	s.SweepNs.Merge(o.SweepNs)
+	s.ExecNs.Merge(o.ExecNs)
+	s.RespNs.Merge(o.RespNs)
+}
+
+// Snapshot is the whole layer's aggregated view.
+type Snapshot struct {
+	UptimeSeconds float64
+	Domains       []DomainSnapshot
+	Faults        metrics.FaultSnapshot
+	SpansSampled  uint64
+	EventCounts   map[string]uint64
+}
+
+// Snapshot aggregates every registered domain (merged by name, in first-
+// registration order) plus the fault counters.
+func (o *Observer) Snapshot() Snapshot {
+	o.mu.Lock()
+	domains := append([]*DomainObs(nil), o.domains...)
+	faults := o.faults
+	o.mu.Unlock()
+
+	snap := Snapshot{UptimeSeconds: time.Since(o.start).Seconds()}
+	index := map[string]int{}
+	for _, d := range domains {
+		ds := d.snapshot()
+		if i, ok := index[ds.Name]; ok {
+			snap.Domains[i].merge(ds)
+			continue
+		}
+		index[ds.Name] = len(snap.Domains)
+		snap.Domains = append(snap.Domains, ds)
+	}
+	snap.Faults = faults.Snapshot()
+	snap.SpansSampled = o.tracer.Total()
+	_, snap.EventCounts = o.events.snapshot()
+	return snap
+}
+
+// Report renders the final-report telemetry block the cmd binaries print:
+// per-domain task counters and latency quantiles, then the fault summary.
+func (o *Observer) Report() string {
+	snap := o.Snapshot()
+	var b strings.Builder
+	fmt.Fprintf(&b, "--- telemetry (uptime %.1fs) ---\n", snap.UptimeSeconds)
+	for _, d := range snap.Domains {
+		fmt.Fprintf(&b, "domain %s: workers %d, tasks %d, posts %d, burst-waits %d, sweeps %d (occupancy %.3f), batched %d (max batch %d), pending %d\n",
+			d.Name, d.Workers, d.Tasks, d.Posts, d.BurstWaits, d.Sweeps, d.Occupancy(), d.Batched, d.MaxBatch, d.Pending)
+		if d.Failed > 0 || d.Rescued > 0 || d.Restarts > 0 {
+			fmt.Fprintf(&b, "  failures: %d failed, %d rescued, %d restarts\n", d.Failed, d.Rescued, d.Restarts)
+		}
+		writeHistLine(&b, "sweep ns", d.SweepNs)
+		writeHistLine(&b, "exec  ns", d.ExecNs)
+		writeHistLine(&b, "resp  ns", d.RespNs)
+	}
+	if len(snap.EventCounts) > 0 {
+		kinds := make([]string, 0, len(snap.EventCounts))
+		for k := range snap.EventCounts {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		fmt.Fprintf(&b, "lifecycle:")
+		for _, k := range kinds {
+			fmt.Fprintf(&b, " %s=%d", k, snap.EventCounts[k])
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	if snap.SpansSampled > 0 {
+		fmt.Fprintf(&b, "trace: %d spans committed (GET /spans for the ring)\n", snap.SpansSampled)
+	}
+	fmt.Fprintf(&b, "faults: %s\n", snap.Faults)
+	return b.String()
+}
+
+func writeHistLine(b *strings.Builder, label string, h metrics.HistogramSnapshot) {
+	if h.Count == 0 {
+		return
+	}
+	fmt.Fprintf(b, "  %s: n=%d p50=%.0f p99=%.0f max=%d\n",
+		label, h.Count, h.Quantile(0.5), h.Quantile(0.99), h.Max)
+}

@@ -1,0 +1,353 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"robustconf/internal/metrics"
+)
+
+func TestWorkerShardCountsAndFlush(t *testing.T) {
+	o := New(Options{SampleEvery: 1})
+	d := o.Domain("index", 2)
+	w0 := d.Worker(0)
+
+	// Simulate 3 sweeps: batch of 2, empty, batch of 1, each task bracketed.
+	for _, n := range []int{2, 0, 1} {
+		t0 := w0.SweepBegin()
+		for i := 0; i < n; i++ {
+			tt := w0.TaskBegin()
+			w0.TaskEnd(tt)
+		}
+		w0.SweepEnd(t0, n)
+	}
+	w0.Flush()
+
+	s := o.Snapshot()
+	if len(s.Domains) != 1 {
+		t.Fatalf("domains = %d", len(s.Domains))
+	}
+	ds := s.Domains[0]
+	if ds.Name != "index" || ds.Workers != 2 {
+		t.Errorf("name %q workers %d", ds.Name, ds.Workers)
+	}
+	if ds.Tasks != 3 || ds.Sweeps != 3 || ds.EmptySweep != 1 {
+		t.Errorf("tasks %d sweeps %d empty %d, want 3/3/1", ds.Tasks, ds.Sweeps, ds.EmptySweep)
+	}
+	if ds.Batched != 2 || ds.MaxBatch != 2 {
+		t.Errorf("batched %d maxBatch %d, want 2/2", ds.Batched, ds.MaxBatch)
+	}
+	// SampleEvery=1 times every sweep and task.
+	if ds.SweepNs.Count != 3 || ds.ExecNs.Count != 3 {
+		t.Errorf("sweep samples %d exec samples %d, want 3/3", ds.SweepNs.Count, ds.ExecNs.Count)
+	}
+	if occ := ds.Occupancy(); occ < 0.66 || occ > 0.67 {
+		t.Errorf("occupancy = %.3f, want 2/3", occ)
+	}
+}
+
+func TestShardFlushCadence(t *testing.T) {
+	o := New(Options{SampleEvery: 1 << 30}) // effectively never sample
+	d := o.Domain("d", 1)
+	w := d.Worker(0)
+	for i := 0; i < flushEvery-1; i++ {
+		w.SweepEnd(w.SweepBegin(), 1)
+	}
+	if got := w.pub[wsSweeps].Load(); got != 0 {
+		t.Fatalf("published before cadence: %d", got)
+	}
+	w.SweepEnd(w.SweepBegin(), 1)
+	if got := w.pub[wsSweeps].Load(); got != flushEvery {
+		t.Fatalf("published %d after cadence, want %d", got, flushEvery)
+	}
+}
+
+func TestClientShardSamplingAndTrace(t *testing.T) {
+	o := New(Options{SampleEvery: 4, TraceEvery: 2})
+	d := o.Domain("d", 1)
+	c := d.NewClient()
+
+	var spans, traced int
+	for i := 0; i < 64; i++ {
+		if sp := c.Post(); sp != nil {
+			spans++
+			if sp.tracer != nil {
+				traced++
+			}
+			sp.MarkSwept(0)
+			sp.MarkExecStart()
+			sp.MarkExecEnd()
+			sp.MarkResponded()
+			sp.Resolve(false)
+			sp.Resolve(true) // second resolve must be a no-op
+		}
+	}
+	c.Flush()
+	if spans != 16 {
+		t.Errorf("sampled %d of 64 posts at SampleEvery=4, want 16", spans)
+	}
+	if traced != 8 {
+		t.Errorf("trace-selected %d of 16 sampled at TraceEvery=2, want 8", traced)
+	}
+	if got := o.Tracer().Total(); got != 8 {
+		t.Errorf("tracer committed %d, want 8", got)
+	}
+	for _, r := range o.Tracer().Spans() {
+		if r.Failed {
+			t.Error("second Resolve overwrote the committed failed flag")
+		}
+		if !(r.PostedNs <= r.SweptNs && r.SweptNs <= r.ExecStartNs &&
+			r.ExecStartNs <= r.ExecEndNs && r.ExecEndNs <= r.RespondedNs &&
+			r.RespondedNs <= r.ResolvedNs) {
+			t.Errorf("non-monotone span stages: %+v", r)
+		}
+	}
+	ds := o.Snapshot().Domains[0]
+	if ds.Posts != 64 {
+		t.Errorf("posts %d, want 64", ds.Posts)
+	}
+	if ds.RespNs.Count != 16 {
+		t.Errorf("response samples %d, want 16", ds.RespNs.Count)
+	}
+}
+
+func TestNilSpanMarksAreSafe(t *testing.T) {
+	var sp *Span
+	sp.MarkSwept(3)
+	sp.MarkExecStart()
+	sp.MarkExecEnd()
+	sp.MarkResponded()
+	sp.Resolve(true)
+}
+
+func TestSnapshotMergesSameDomainName(t *testing.T) {
+	// Chaos schedules re-register the same domain names per run; the
+	// snapshot folds instances together.
+	o := New(Options{SampleEvery: 1})
+	for run := 0; run < 3; run++ {
+		d := o.Domain("store", 1)
+		w := d.Worker(0)
+		for i := 0; i < 5; i++ {
+			tt := w.TaskBegin()
+			w.TaskEnd(tt)
+		}
+		w.SweepEnd(w.SweepBegin(), 5)
+		w.Flush()
+	}
+	s := o.Snapshot()
+	if len(s.Domains) != 1 {
+		t.Fatalf("domains = %d, want 1 merged", len(s.Domains))
+	}
+	if s.Domains[0].Tasks != 15 || s.Domains[0].Sweeps != 3 {
+		t.Errorf("merged tasks %d sweeps %d, want 15/3", s.Domains[0].Tasks, s.Domains[0].Sweeps)
+	}
+	if s.Domains[0].ExecNs.Count != 15 {
+		t.Errorf("merged exec samples %d, want 15", s.Domains[0].ExecNs.Count)
+	}
+}
+
+func TestExternalCountersAndReport(t *testing.T) {
+	faults := &metrics.FaultCounters{}
+	faults.WorkerPanics.Add(2)
+	o := New(Options{SampleEvery: 1, Faults: faults})
+	d := o.Domain("acct", 1)
+	d.SetExternal(func() DomainExternal {
+		return DomainExternal{Failed: 7, Rescued: 3, Restarts: 2, Pending: 1}
+	})
+	o.Lifecycle("acct", 0, EventWorkerCrash)
+	o.Lifecycle("acct", 0, EventWorkerRespawn)
+
+	s := o.Snapshot()
+	ds := s.Domains[0]
+	if ds.Failed != 7 || ds.Rescued != 3 || ds.Restarts != 2 || ds.Pending != 1 {
+		t.Errorf("external = %+v", ds)
+	}
+	if s.Faults.WorkerPanics != 2 {
+		t.Errorf("faults snapshot panics = %d", s.Faults.WorkerPanics)
+	}
+	if s.EventCounts[EventWorkerCrash] != 1 || s.EventCounts[EventWorkerRespawn] != 1 {
+		t.Errorf("event counts = %v", s.EventCounts)
+	}
+
+	rep := o.Report()
+	for _, want := range []string{"domain acct", "7 failed, 3 rescued, 2 restarts",
+		"worker-crash=1", "panics=2"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestTracerRingWraps(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.commit(SpanRecord{PostedNs: int64(i)})
+	}
+	if tr.Total() != 10 {
+		t.Errorf("total = %d", tr.Total())
+	}
+	got := tr.Spans()
+	if len(got) != 4 {
+		t.Fatalf("retained %d", len(got))
+	}
+	for i, r := range got {
+		if r.PostedNs != int64(6+i) {
+			t.Errorf("span[%d].PostedNs = %d, want %d (oldest-first)", i, r.PostedNs, 6+i)
+		}
+	}
+}
+
+func TestHTTPEndpoint(t *testing.T) {
+	faults := &metrics.FaultCounters{}
+	faults.WorkerPanics.Add(5)
+	faults.TasksFailed.Add(9)
+	o := New(Options{SampleEvery: 1, TraceEvery: 1, Faults: faults})
+	d := o.Domain("index", 1)
+	w := d.Worker(0)
+	c := d.NewClient()
+	for i := 0; i < 8; i++ {
+		sp := c.Post()
+		t0 := w.SweepBegin()
+		sp.MarkSwept(0)
+		tt := w.TaskBegin()
+		sp.MarkExecStart()
+		sp.MarkExecEnd()
+		w.TaskEnd(tt)
+		sp.MarkResponded()
+		w.SweepEnd(t0, 1)
+		sp.Resolve(false)
+	}
+	w.Flush()
+	c.Flush()
+	o.Lifecycle("index", 0, EventWorkerStart)
+
+	srv := httptest.NewServer(o.Handler())
+	defer srv.Close()
+
+	body := get(t, srv.URL+"/metrics")
+	for _, want := range []string{
+		`robustconf_tasks_swept_total{domain="index"} 8`,
+		`robustconf_posts_total{domain="index"} 8`,
+		`robustconf_faults_worker_panics_total 5`,
+		`robustconf_faults_tasks_failed_total 9`,
+		`robustconf_response_duration_ns_count{domain="index"} 8`,
+		`le="+Inf"`,
+		`robustconf_lifecycle_events_total{kind="worker-start"} 1`,
+		`robustconf_spans_sampled_total 8`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	var spans []SpanRecord
+	if err := json.Unmarshal([]byte(get(t, srv.URL+"/spans")), &spans); err != nil {
+		t.Fatalf("/spans not JSON: %v", err)
+	}
+	if len(spans) != 8 {
+		t.Errorf("/spans returned %d records, want 8", len(spans))
+	}
+
+	var events struct {
+		Counts map[string]uint64 `json:"counts"`
+		Events []Event           `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(get(t, srv.URL+"/events")), &events); err != nil {
+		t.Fatalf("/events not JSON: %v", err)
+	}
+	if events.Counts[EventWorkerStart] != 1 || len(events.Events) != 1 {
+		t.Errorf("/events = %+v", events)
+	}
+
+	if !strings.Contains(get(t, srv.URL+"/"), "/debug/pprof/") {
+		t.Error("index page missing pprof pointer")
+	}
+}
+
+func TestServeAndStop(t *testing.T) {
+	o := New(Options{})
+	addr, stop, err := o.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := get(t, "http://"+addr+"/metrics")
+	if !strings.Contains(body, "robustconf_uptime_seconds") {
+		t.Errorf("metrics body = %q", body)
+	}
+	if err := stop(); err != nil {
+		t.Errorf("stop: %v", err)
+	}
+}
+
+// TestConcurrentShardsAndSnapshot exercises the flush/aggregate protocol
+// under -race: workers and clients hammer their shards while a reader
+// snapshots and renders.
+func TestConcurrentShardsAndSnapshot(t *testing.T) {
+	o := New(Options{SampleEvery: 8, TraceEvery: 4})
+	d := o.Domain("d", 4)
+	var wg sync.WaitGroup
+	for wi := 0; wi < 4; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			w := d.Worker(wi)
+			c := d.NewClient()
+			for i := 0; i < 5000; i++ {
+				sp := c.Post()
+				t0 := w.SweepBegin()
+				sp.MarkSwept(wi)
+				tt := w.TaskBegin()
+				sp.MarkExecStart()
+				sp.MarkExecEnd()
+				w.TaskEnd(tt)
+				sp.MarkResponded()
+				w.SweepEnd(t0, 1)
+				sp.Resolve(i%2 == 0)
+			}
+			w.Flush()
+			c.Flush()
+		}(wi)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			s := o.Snapshot()
+			_ = s.Domains[0].Occupancy()
+			_ = o.Report()
+			_ = o.Tracer().Spans()
+		}
+	}()
+	wg.Wait()
+	<-done
+	s := o.Snapshot().Domains[0]
+	if s.Tasks != 20000 || s.Posts != 20000 {
+		t.Errorf("tasks %d posts %d, want 20000/20000", s.Tasks, s.Posts)
+	}
+}
+
+func get(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var b strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		b.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d\n%s", url, resp.StatusCode, b.String())
+	}
+	return b.String()
+}

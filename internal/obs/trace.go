@@ -1,0 +1,240 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// Span tracks one sampled task through the delegation lifecycle:
+//
+//	post → sweep → execute → respond → future-resolved
+//
+// The client allocates it at post time (ClientShard.Post), the worker
+// stamps the middle stages during its sweep, and whichever goroutine
+// observes the future's completion stamps Resolved, records the response
+// latency, and — when the span is trace-selected — commits an immutable
+// SpanRecord into the ring.
+//
+// Stage stamps cross the client→worker→waiter hand-offs, so the fields the
+// worker writes are atomics; `posted` is written before the slot's release
+// store publishes the span and is ordered by it. All mark methods are
+// nil-receiver safe so the hot path can call them unconditionally on the
+// (usually nil) span pointer.
+type Span struct {
+	dom    *DomainObs
+	tracer *Tracer // nil unless this span was selected for the ring
+	posted int64
+
+	worker    atomic.Int32
+	swept     atomic.Int64
+	execStart atomic.Int64
+	execEnd   atomic.Int64
+	responded atomic.Int64
+	failed    atomic.Bool
+	done      atomic.Bool
+}
+
+// MarkSwept stamps the worker's pickup of the posted task.
+func (s *Span) MarkSwept(worker int) {
+	if s == nil {
+		return
+	}
+	s.worker.Store(int32(worker))
+	s.swept.Store(nanos())
+}
+
+// MarkExecStart stamps the start of task execution.
+func (s *Span) MarkExecStart() {
+	if s == nil {
+		return
+	}
+	s.execStart.Store(nanos())
+}
+
+// MarkExecEnd stamps the end of task execution.
+func (s *Span) MarkExecEnd() {
+	if s == nil {
+		return
+	}
+	s.execEnd.Store(nanos())
+}
+
+// MarkResponded stamps the completion of the task's future (the response
+// write). Completion paths race by design (worker vs. seal rescue vs. crash
+// fail-over — the future's CAS arbitrates); the stamp is an atomic store,
+// so the losing path's overwrite is benign.
+func (s *Span) MarkResponded() {
+	if s == nil {
+		return
+	}
+	s.responded.Store(nanos())
+}
+
+// Resolve finalises the span when a waiter observes the future's result:
+// stamps the resolved time, records post→resolved response latency into the
+// domain histogram, and commits the span to the trace ring when selected.
+// Idempotent — only the first caller wins.
+func (s *Span) Resolve(failed bool) {
+	if s == nil || !s.done.CompareAndSwap(false, true) {
+		return
+	}
+	resolved := nanos()
+	s.failed.Store(failed)
+	s.dom.respNs.Record(uint64(resolved - s.posted))
+	if s.tracer != nil {
+		s.tracer.commit(s.record(resolved))
+	}
+}
+
+// record freezes the span into its immutable exported form.
+func (s *Span) record(resolved int64) SpanRecord {
+	return SpanRecord{
+		Domain:      s.dom.name,
+		Worker:      s.worker.Load(),
+		PostedNs:    s.posted,
+		SweptNs:     s.swept.Load(),
+		ExecStartNs: s.execStart.Load(),
+		ExecEndNs:   s.execEnd.Load(),
+		RespondedNs: s.responded.Load(),
+		ResolvedNs:  resolved,
+		Failed:      s.failed.Load(),
+	}
+}
+
+// SpanRecord is a completed span: monotonic nanosecond stamps (since the
+// process's obs epoch) for each lifecycle stage. Stages a task never
+// reached (e.g. a rescued post was never swept) are 0.
+type SpanRecord struct {
+	Domain      string `json:"domain"`
+	Worker      int32  `json:"worker"`
+	PostedNs    int64  `json:"posted_ns"`
+	SweptNs     int64  `json:"swept_ns"`
+	ExecStartNs int64  `json:"exec_start_ns"`
+	ExecEndNs   int64  `json:"exec_end_ns"`
+	RespondedNs int64  `json:"responded_ns"`
+	ResolvedNs  int64  `json:"resolved_ns"`
+	Failed      bool   `json:"failed"`
+}
+
+// Tracer keeps the last cap committed spans in a fixed-size ring. Commits
+// are mutex-guarded — they happen only for trace-selected spans, a
+// configurable sliver of sampled posts, so the lock is uncontended noise
+// next to the delegation protocol.
+type Tracer struct {
+	mu    sync.Mutex
+	ring  []SpanRecord
+	next  int
+	total uint64
+}
+
+// NewTracer builds a ring of the given capacity (minimum 1).
+func NewTracer(cap int) *Tracer {
+	if cap < 1 {
+		cap = 1
+	}
+	return &Tracer{ring: make([]SpanRecord, 0, cap)}
+}
+
+func (t *Tracer) commit(r SpanRecord) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, r)
+	} else {
+		t.ring[t.next] = r
+	}
+	t.next = (t.next + 1) % cap(t.ring)
+	t.total++
+}
+
+// Total returns how many spans have ever been committed (including those
+// the ring has since overwritten).
+func (t *Tracer) Total() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Spans returns the retained spans, oldest first.
+func (t *Tracer) Spans() []SpanRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.ring) < cap(t.ring) {
+		return append([]SpanRecord(nil), t.ring...)
+	}
+	out := make([]SpanRecord, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// WriteJSON dumps the retained spans as a JSON array.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t.Spans())
+}
+
+// Lifecycle event kinds recorded by the runtime core.
+const (
+	EventWorkerStart       = "worker-start"
+	EventWorkerCrash       = "worker-crash"
+	EventWorkerRespawn     = "worker-respawn"
+	EventRestartsExhausted = "restarts-exhausted"
+	EventDomainStop        = "domain-stop"
+)
+
+// Event is one domain/worker lifecycle transition (start, crash, respawn,
+// budget exhaustion, stop).
+type Event struct {
+	AtNs   int64  `json:"at_ns"`
+	Domain string `json:"domain"`
+	Worker int    `json:"worker"` // -1 for domain-scoped events
+	Kind   string `json:"kind"`
+}
+
+// eventLog is a bounded ring of lifecycle events plus per-kind totals.
+type eventLog struct {
+	mu     sync.Mutex
+	ring   []Event
+	next   int
+	counts map[string]uint64
+}
+
+func newEventLog(cap int) *eventLog {
+	if cap < 1 {
+		cap = 1
+	}
+	return &eventLog{ring: make([]Event, 0, cap), counts: map[string]uint64{}}
+}
+
+func (l *eventLog) add(e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.ring) < cap(l.ring) {
+		l.ring = append(l.ring, e)
+	} else {
+		l.ring[l.next] = e
+	}
+	l.next = (l.next + 1) % cap(l.ring)
+	l.counts[e.Kind]++
+}
+
+func (l *eventLog) snapshot() ([]Event, map[string]uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, 0, len(l.ring))
+	if len(l.ring) == cap(l.ring) {
+		out = append(out, l.ring[l.next:]...)
+		out = append(out, l.ring[:l.next]...)
+	} else {
+		out = append(out, l.ring...)
+	}
+	counts := make(map[string]uint64, len(l.counts))
+	for k, v := range l.counts {
+		counts[k] = v
+	}
+	return out, counts
+}

@@ -143,22 +143,22 @@ type Engine struct {
 // structureName names a warehouse's composite structure in the runtime.
 func structureName(w int) string { return fmt.Sprintf("warehouse-%d", w) }
 
-// NewEngine starts the delegated engine on the machine, spreading the
-// warehouse composites over one virtual domain per warehouse (even CPU
-// split). For finer control, build a core.Config with the config package
-// and use NewEngineWithConfig.
-func NewEngine(cfg tpcc.Config, newIndex func() index.Index, m *topology.Machine) (*Engine, error) {
+// EvenConfig builds the even-split runtime configuration NewEngine uses:
+// one virtual domain per warehouse over an even CPU partition. Callers that
+// need to adjust the config before starting (attach an observer, inject
+// fault counters) build it here and pass it to NewEngineWithConfig.
+func EvenConfig(cfg tpcc.Config, m *topology.Machine) (core.Config, error) {
 	cfg = cfg.WithDefaults()
 	if err := cfg.Validate(); err != nil {
-		return nil, err
+		return core.Config{}, err
 	}
 	domains := cfg.Warehouses
 	if domains > m.LogicalCPUs() {
-		return nil, fmt.Errorf("oltp: %d warehouses need at least as many CPUs (machine has %d)", domains, m.LogicalCPUs())
+		return core.Config{}, fmt.Errorf("oltp: %d warehouses need at least as many CPUs (machine has %d)", domains, m.LogicalCPUs())
 	}
 	parts, err := topology.PartitionEven(m, m.LogicalCPUs(), m.LogicalCPUs()/domains)
 	if err != nil {
-		return nil, err
+		return core.Config{}, err
 	}
 	rc := core.Config{Machine: m, Assignment: map[string]int{}}
 	for i := 0; i < domains; i++ {
@@ -167,6 +167,18 @@ func NewEngine(cfg tpcc.Config, newIndex func() index.Index, m *topology.Machine
 			CPUs: parts[i],
 		})
 		rc.Assignment[structureName(i+1)] = i
+	}
+	return rc, nil
+}
+
+// NewEngine starts the delegated engine on the machine, spreading the
+// warehouse composites over one virtual domain per warehouse (even CPU
+// split). For finer control, build a core.Config with the config package
+// (or EvenConfig) and use NewEngineWithConfig.
+func NewEngine(cfg tpcc.Config, newIndex func() index.Index, m *topology.Machine) (*Engine, error) {
+	rc, err := EvenConfig(cfg, m)
+	if err != nil {
+		return nil, err
 	}
 	return NewEngineWithConfig(cfg, newIndex, rc)
 }

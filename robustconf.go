@@ -43,6 +43,7 @@ import (
 	"robustconf/internal/config"
 	"robustconf/internal/core"
 	"robustconf/internal/delegation"
+	"robustconf/internal/obs"
 	"robustconf/internal/topology"
 )
 
@@ -115,6 +116,22 @@ var (
 // DefaultRestartBudget is how many crash respawns a domain performs before
 // sealing its buffers (override per domain via Domain.RestartBudget).
 const DefaultRestartBudget = core.DefaultRestartBudget
+
+// Observability: set Config.Obs to an Observer to collect per-worker task
+// telemetry, sampled latency histograms and lifecycle events from the
+// runtime, and Observer.Serve to expose them over HTTP (Prometheus text on
+// /metrics, span dumps on /spans, pprof on /debug/pprof/). With no observer
+// attached the hot path cost is a handful of nil checks.
+type (
+	// Observer is the root of the runtime introspection layer.
+	Observer = obs.Observer
+	// ObserverOptions tunes sampling, tracing and the fault-counter set.
+	ObserverOptions = obs.Options
+)
+
+// NewObserver builds an Observer (zero ObserverOptions give the defaults:
+// latency sampling every 64th operation, lifecycle tracing off).
+func NewObserver(opts ObserverOptions) *Observer { return obs.New(opts) }
 
 // Machine returns the reference 24-core/48-thread-per-socket topology
 // restricted to n sockets (1–8); it models the paper's HPE MC990 X.

@@ -1,0 +1,74 @@
+#!/bin/sh
+# obs-smoke: end-to-end check of the observability endpoint.
+#
+# Builds robustsim, runs the mixed chaos schedule with the live endpoint up
+# (-obs-hold keeps it serving after the run), scrapes /metrics, and asserts
+# that the injected faults are visible in the exported counters. Exits
+# non-zero if the endpoint never comes up or the counters stay at zero.
+set -eu
+
+PORT="${OBS_SMOKE_PORT:-17060}"
+ADDR="127.0.0.1:$PORT"
+TMP="$(mktemp -d)"
+BIN="$TMP/robustsim"
+OUT="$TMP/run.log"
+METRICS="$TMP/metrics.txt"
+
+cleanup() {
+	[ -n "${PID:-}" ] && kill "$PID" 2>/dev/null || true
+	rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$BIN" ./cmd/robustsim
+
+"$BIN" -chaos mixed -obs "$ADDR" -obs-trace 1 -obs-hold >"$OUT" 2>&1 &
+PID=$!
+
+# Wait for the chaos run to finish and the endpoint to serve the final
+# counters (the run takes ~1s; poll up to 30s).
+fetch() {
+	if command -v curl >/dev/null 2>&1; then
+		curl -fsS "http://$ADDR/metrics" 2>/dev/null
+	else
+		wget -qO- "http://$ADDR/metrics" 2>/dev/null
+	fi
+}
+
+i=0
+while :; do
+	if ! kill -0 "$PID" 2>/dev/null; then
+		echo "obs-smoke: robustsim exited early:" >&2
+		cat "$OUT" >&2
+		exit 1
+	fi
+	if fetch >"$METRICS" && grep -q '^robustconf_faults_worker_panics_total [1-9]' "$METRICS"; then
+		break
+	fi
+	i=$((i + 1))
+	if [ "$i" -ge 150 ]; then
+		echo "obs-smoke: no non-zero fault counters on http://$ADDR/metrics after 30s" >&2
+		[ -s "$METRICS" ] && head -40 "$METRICS" >&2
+		cat "$OUT" >&2
+		exit 1
+	fi
+	sleep 0.2
+done
+
+# The counters the chaos run must have exported.
+for metric in \
+	robustconf_faults_worker_panics_total \
+	robustconf_faults_worker_restarts_total \
+	robustconf_tasks_swept_total \
+	robustconf_spans_sampled_total; do
+	if ! grep -q "^$metric\({\| \)" "$METRICS"; then
+		echo "obs-smoke: $metric missing from /metrics" >&2
+		exit 1
+	fi
+done
+# Latency histograms with cumulative buckets must be present.
+grep -q '^robustconf_exec_duration_ns_bucket{' "$METRICS" ||
+	{ echo "obs-smoke: exec histogram missing" >&2; exit 1; }
+
+panics="$(grep '^robustconf_faults_worker_panics_total ' "$METRICS" | awk '{print $2}')"
+echo "obs-smoke: ok — $panics worker panics exported on http://$ADDR/metrics"
