@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test verify chaos bench obs-smoke
+.PHONY: build test verify chaos bench bench-full alloc-smoke obs-smoke
 
 build:
 	$(GO) build ./...
@@ -13,11 +13,16 @@ build:
 test: build
 	$(GO) test ./...
 
-# Tier-2: vet + race-detected tests. -short shrinks the chaos schedules
-# (fewer sessions/seeds); drop it for the full sweep.
-verify: build obs-smoke
+# Tier-2: vet + race-detected tests + allocation gate on the delegation hot
+# path. -short shrinks the chaos schedules (fewer sessions/seeds); drop it
+# for the full sweep.
+verify: build obs-smoke alloc-smoke
 	$(GO) vet ./...
 	$(GO) test -race -short ./...
+
+# Fail if the unobserved synchronous delegation round trip allocates.
+alloc-smoke:
+	./scripts/alloc-smoke.sh
 
 # End-to-end observability smoke: run a chaos schedule with the live
 # endpoint up, scrape /metrics, and assert the injected faults show in the
@@ -29,5 +34,11 @@ obs-smoke:
 chaos:
 	$(GO) test -race -run Chaos -v ./internal/harness/
 
+# Record the delegation/index/TPC-C perf trajectory into
+# BENCH_delegation.json (commit the refreshed snapshot).
 bench:
+	./scripts/bench-snapshot.sh
+
+# Every benchmark in the repo, including the paper-artefact regenerations.
+bench-full:
 	$(GO) test -run xxx -bench . -benchmem ./...

@@ -190,6 +190,10 @@ func BenchmarkDelegationInvoke(b *testing.B) {
 	}
 	defer s.Close()
 	task := robustconf.Task{Structure: "x", Op: func(ds any) any { return nil }}
+	if _, err := s.Invoke(task); err != nil { // warm up: lazy client creation
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := s.Invoke(task); err != nil {
@@ -220,6 +224,10 @@ func BenchmarkDelegationInvokeObserved(b *testing.B) {
 	}
 	defer s.Close()
 	task := robustconf.Task{Structure: "x", Op: func(ds any) any { return nil }}
+	if _, err := s.Invoke(task); err != nil { // warm up: lazy client creation
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := s.Invoke(task); err != nil {

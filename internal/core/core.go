@@ -278,7 +278,10 @@ func Start(cfg Config, structures map[string]any) (*Runtime, error) {
 				for _, b := range inbox.Buffers() {
 					ext.Failed += b.Failed.Load()
 					ext.Rescued += b.Rescued.Load()
-					ext.Pending += b.Pending()
+					// The published gauge, not the live slot scan: the
+					// endpoint polls from foreign goroutines and only needs
+					// a bounded-staleness queue depth.
+					ext.Pending += b.PendingPublished()
 				}
 				ext.Restarts = d.restarts.Load()
 				return ext
@@ -454,7 +457,22 @@ type Session struct {
 	rt        *Runtime
 	cpu       int
 	burst     int
-	perDomain map[*Domain]*delegation.Client
+	perDomain map[*Domain]*sessionClient
+}
+
+// sessionClient pairs a domain's delegation client with a reusable task
+// thunk. The thunk closes over the sessionClient once, at client creation,
+// and reads the op/ds fields the session stores immediately before each
+// synchronous post — so Invoke wraps a Task without allocating a closure
+// per call. Safe because a Session is single-threaded and Invoke is
+// synchronous: the fields cannot be overwritten while a posted thunk may
+// still read them (the slot post's release store publishes them to the
+// worker along with the task).
+type sessionClient struct {
+	c     *delegation.Client
+	ds    any
+	op    func(ds any) any
+	thunk delegation.Task
 }
 
 // NewSession opens a session for a client thread logically running on the
@@ -467,13 +485,13 @@ func (rt *Runtime) NewSession(cpu, burst int) (*Session, error) {
 	if burst < 1 {
 		return nil, fmt.Errorf("core: burst must be ≥ 1, got %d", burst)
 	}
-	return &Session{rt: rt, cpu: cpu, burst: burst, perDomain: map[*Domain]*delegation.Client{}}, nil
+	return &Session{rt: rt, cpu: cpu, burst: burst, perDomain: map[*Domain]*sessionClient{}}, nil
 }
 
 // client returns (creating on first use) the delegation client for domain d.
-func (s *Session) client(d *Domain) (*delegation.Client, error) {
-	if c, ok := s.perDomain[d]; ok {
-		return c, nil
+func (s *Session) client(d *Domain) (*sessionClient, error) {
+	if sc, ok := s.perDomain[d]; ok {
+		return sc, nil
 	}
 	m := s.rt.cfg.Machine
 	mySocket := m.SocketOfCPU(s.cpu)
@@ -494,8 +512,10 @@ func (s *Session) client(d *Domain) (*delegation.Client, error) {
 	if d.obsDom != nil {
 		c.SetProbe(d.obsDom.NewClient())
 	}
-	s.perDomain[d] = c
-	return c, nil
+	sc := &sessionClient{c: c}
+	sc.thunk = func() any { return sc.op(sc.ds) }
+	s.perDomain[d] = sc
+	return sc, nil
 }
 
 // Submit routes the task to the domain owning its structure and delegates
@@ -505,24 +525,34 @@ func (s *Session) Submit(task Task) (*delegation.Future, error) {
 	if err != nil {
 		return nil, err
 	}
-	c, err := s.client(d)
+	sc, err := s.client(d)
 	if err != nil {
 		return nil, err
 	}
 	op := task.Op
-	return c.Delegate(func() any { return op(ds) }), nil
+	return sc.c.Delegate(func() any { return op(ds) }), nil
 }
 
 // Invoke submits the task and waits for its result (synchronous
 // delegation). Lifecycle failures surface as the error: a PanicError when
 // the task panicked in its domain, ErrWorkerStopped when the runtime shut
 // down before the task ran.
+//
+// Invoke is the zero-allocation round trip: the task runs through the
+// session's reusable per-domain thunk and the slot's recycled embedded
+// future, so the steady state allocates nothing (unlike Submit, whose
+// detached future and closure must escape to the heap).
 func (s *Session) Invoke(task Task) (any, error) {
-	f, err := s.Submit(task)
+	d, ds, err := s.rt.route(task.Structure)
 	if err != nil {
 		return nil, err
 	}
-	v, err := f.Result()
+	sc, err := s.client(d)
+	if err != nil {
+		return nil, err
+	}
+	sc.ds, sc.op = ds, task.Op
+	v, err := sc.c.InvokeErr(sc.thunk)
 	if err != nil {
 		s.rt.faults.TasksFailed.Add(1)
 		return nil, err
@@ -539,7 +569,7 @@ func (s *Session) SubmitBulk(structure string, ops []func(ds any) any) ([]any, e
 	if err != nil {
 		return nil, err
 	}
-	c, err := s.client(d)
+	sc, err := s.client(d)
 	if err != nil {
 		return nil, err
 	}
@@ -548,7 +578,7 @@ func (s *Session) SubmitBulk(structure string, ops []func(ds any) any) ([]any, e
 		op := op
 		tasks[i] = func() any { return op(ds) }
 	}
-	out, err := c.DelegateBulkErr(tasks)
+	out, err := sc.c.DelegateBulkErr(tasks)
 	if err != nil {
 		s.rt.faults.TasksFailed.Add(1)
 	}
@@ -561,11 +591,11 @@ func (s *Session) SubmitBulk(structure string, ops []func(ds any) any) ([]any, e
 // either way.
 func (s *Session) Close() error {
 	var firstErr error
-	for d, c := range s.perDomain {
-		if err := c.DrainErr(); err != nil && firstErr == nil {
+	for d, sc := range s.perDomain {
+		if err := sc.c.DrainErr(); err != nil && firstErr == nil {
 			firstErr = err
 		}
-		if err := d.inbox.ReleaseSlots(c.Slots()); err != nil && firstErr == nil {
+		if err := d.inbox.ReleaseSlots(sc.c.Slots()); err != nil && firstErr == nil {
 			firstErr = err
 		}
 		delete(s.perDomain, d)

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"robustconf/internal/index/btree"
 	"robustconf/internal/index/hashmap"
@@ -131,6 +133,7 @@ func TestTasksRouteToOwningDomain(t *testing.T) {
 	if d0 == d1 {
 		t.Fatal("structures share a domain")
 	}
+	rt.Stop() // worker exit publishes the final stat flush
 	exec0, exec1 := uint64(0), uint64(0)
 	for _, b := range d0.Inbox().Buffers() {
 		exec0 += b.Executed.Load()
@@ -351,6 +354,7 @@ func TestNUMANearestSlotAssignment(t *testing.T) {
 	s.Invoke(Task{Structure: "tree", Op: func(any) any { return nil }})
 
 	d := rt.Domains()[0]
+	rt.Stop() // worker exit publishes the final stat flush
 	// Workers 4..7 are the socket-1 CPUs (24..27); the executed task must
 	// have landed there.
 	var socket1Exec uint64
@@ -433,7 +437,21 @@ func TestDomainStats(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	stats := rt.Stats()
+	// Counters publish on the worker's flush cadence (or when it parks
+	// idle), so poll briefly instead of stopping the runtime — the test
+	// migrates on it below.
+	var stats []DomainStats
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		stats = rt.Stats()
+		if len(stats) == 2 && stats[0].Executed == 50 {
+			break
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		runtime.Gosched()
+	}
 	if len(stats) != 2 {
 		t.Fatalf("stats for %d domains", len(stats))
 	}

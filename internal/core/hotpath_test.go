@@ -1,0 +1,32 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestInvokeZeroAlloc pins the session-level half of the zero-allocation
+// round trip: Invoke routes through the per-domain reusable thunk and the
+// slot's recycled embedded future, so the steady state — route, wrap, post,
+// wait — allocates nothing.
+func TestInvokeZeroAlloc(t *testing.T) {
+	cfg, structures := twoDomainConfig(t)
+	rt, err := Start(cfg, structures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+	s, _ := rt.NewSession(0, 1)
+	defer s.Close()
+
+	task := Task{Structure: "tree", Op: func(any) any { return nil }}
+	if _, err := s.Invoke(task); err != nil { // warm up: lazy client creation
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(2000, func() {
+		if _, err := s.Invoke(task); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("Session.Invoke allocates %.1f objects/op, want 0", n)
+	}
+}

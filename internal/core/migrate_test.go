@@ -39,6 +39,7 @@ func TestMigrateBasic(t *testing.T) {
 		t.Fatal(err)
 	}
 	d1 := rt.Domains()[1]
+	rt.Stop() // worker exit publishes the final stat flush
 	exec := uint64(0)
 	for _, b := range d1.Inbox().Buffers() {
 		exec += b.Executed.Load()

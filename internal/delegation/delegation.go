@@ -10,13 +10,26 @@
 //
 //   - each slot is padded to 128 bytes so two slots never share (adjacent)
 //     cache lines and clients never contend with each other;
-//   - a slot has a single state word toggled between "free" and "posted",
-//     written by exactly one client and one worker, so the steady-state
-//     protocol needs no read-modify-write atomics on the critical path
-//     (plain release stores and acquire loads);
+//   - a slot has a single versioned state word toggled between "free" (even)
+//     and "posted" (odd), advanced by exactly one client and claimed by the
+//     sweeping worker, so the steady-state protocol needs no contended
+//     read-modify-write atomics on the critical path;
 //   - a worker buffer holds up to 15 slots, the batch FFWD answers with a
 //     single response-line write; the worker drains all posted slots of a
 //     buffer in one sweep (response batching).
+//
+// Hot-path memory discipline (DESIGN.md §10): the steady-state round trip
+// allocates nothing and is O(1) per operation. Each slot embeds a recycled
+// Future whose completion word carries a monotonically increasing generation
+// (gen<<2 | state), so the synchronous Invoke/InvokeErr paths reuse the same
+// future across operations without ABA: every completion path — worker
+// sweep, seal rescue, crash fail-over — first claims the slot with a CAS on
+// its versioned state word and then publishes the result with a CAS on the
+// future's generation word, making both execution and completion exactly
+// once per generation. Clients track free slots and outstanding tasks in
+// fixed-capacity index rings, so posting never scans and never grows.
+// Asynchronous Delegate still hands out a one-shot heap future, because its
+// caller may hold the handle arbitrarily long after the slot has cycled.
 //
 // NUMA-aware slot assignment — giving a client slots in the buffer of the
 // worker nearest to it — is the caller's policy: AcquireSlots accepts a
@@ -66,56 +79,111 @@ var ErrWorkerStopped = errors.New("delegation: worker stopped, task not executed
 // stays valid and can be waited on again.
 var ErrWaitTimeout = errors.New("delegation: wait timed out")
 
-// Future lifecycle states.
+// Future completion states, held in the low bits of the future's word.
 const (
-	futPending uint32 = 0 // no result yet
-	futValue   uint32 = 1 // completed with a value
-	futError   uint32 = 2 // completed with a typed error (never ran, or panicked)
+	futPending   uint64 = 0 // no result yet
+	futValue     uint64 = 1 // completed with a value
+	futError     uint64 = 2 // completed with a typed error (never ran, or panicked)
+	futStateMask uint64 = 3
+	futGenShift         = 2
 )
 
 // Future is the invocation handle a client holds on a delegated task. A
-// future completes exactly once, either with a value (the task ran and
-// returned) or with a typed error: PanicError when the task panicked,
-// ErrWorkerStopped when it was posted into a sealed buffer and never ran.
+// future completes exactly once per generation, either with a value (the
+// task ran and returned) or with a typed error: PanicError when the task
+// panicked, ErrWorkerStopped when it was posted into a sealed buffer and
+// never ran.
+//
+// The word packs a generation counter over the completion state
+// (gen<<2 | state). Detached futures — the ones Delegate returns — live and
+// die in generation 0 and behave like ordinary one-shot futures. Slot-
+// embedded futures are recycled: the owning client bumps the generation on
+// every reuse (begin), and completion paths CAS against the exact pending
+// word they observed, so a straggling completer from an old generation can
+// never touch a newer one (no ABA).
 type Future struct {
-	state atomic.Uint32 // futPending, futValue or futError
-	val   any
-	err   error
-	span  *obs.Span // lifecycle span on sampled posts; nil almost always
+	word atomic.Uint64 // gen<<2 | futPending/futValue/futError
+	val  any
+	err  error
+	span *obs.Span // lifecycle span on sampled posts; nil almost always
 }
 
-// complete publishes a value result; called by the worker exactly once. The
-// span's responded stamp lands before the state store so a waiter that
-// resolves immediately still sees responded ≤ resolved.
+// begin recycles the future for its next generation and returns the pending
+// word completion paths must CAS against. Only the slot-owning client calls
+// it, and only while the slot is free — no completer can hold a reference to
+// the new generation yet, so plain stores suffice.
+func (f *Future) begin() uint64 {
+	w := (f.word.Load()>>futGenShift + 1) << futGenShift
+	f.val, f.err, f.span = nil, nil, nil
+	f.word.Store(w)
+	return w
+}
+
+// awaitToken blocks until the generation identified by tok completes, then
+// returns its result. Only the slot-owning client calls it (the embedded
+// future is never handed out), so the word cannot move past tok's completion
+// while we wait.
+func (f *Future) awaitToken(tok uint64) (any, error) {
+	w := f.word.Load()
+	for i := 0; w == tok && i < waitSpins; i++ {
+		runtime.Gosched()
+		w = f.word.Load()
+	}
+	d := waitSleepMin
+	for w == tok {
+		time.Sleep(d)
+		if d < waitSleepMax {
+			d *= 2
+		}
+		w = f.word.Load()
+	}
+	failed := w&futStateMask == futError
+	f.span.Resolve(failed)
+	if failed {
+		return nil, f.err
+	}
+	return f.val, nil
+}
+
+// complete publishes a value result for the current generation; used by
+// tests and benchmarks that drive futures directly (the worker path in
+// sweepSlots claims the slot first and CASes the word inline).
 func (f *Future) complete(v any) {
+	w := f.word.Load()
+	if w&futStateMask != futPending {
+		return
+	}
 	f.val = v
 	f.span.MarkResponded()
-	f.state.Store(futValue)
+	f.word.CompareAndSwap(w, w|futValue)
 }
 
-// completeErr publishes an error result. It uses a CAS so the lifecycle
-// paths that fail futures (seal rescue, crash fail-over) can never clobber
-// a result the worker already published. A losing path's responded stamp
-// overwrites the winner's — benign, the stamps are atomic and advisory.
+// completeErr publishes an error result. The generation CAS means lifecycle
+// paths that fail futures (seal rescue, crash fail-over) can never clobber a
+// result the worker already published, nor touch a later generation.
 func (f *Future) completeErr(err error) bool {
+	w := f.word.Load()
+	if w&futStateMask != futPending {
+		return false
+	}
 	f.err = err
 	f.span.MarkResponded()
-	return f.state.CompareAndSwap(futPending, futError)
+	return f.word.CompareAndSwap(w, w|futError)
 }
 
 // observeResolved finalises the future's lifecycle span the first time a
 // waiter observes the completed result (no-op without a span).
 func (f *Future) observeResolved() {
-	f.span.Resolve(f.state.Load() == futError)
+	f.span.Resolve(f.word.Load()&futStateMask == futError)
 }
 
 // Done reports whether the result is available without blocking.
-func (f *Future) Done() bool { return f.state.Load() != futPending }
+func (f *Future) Done() bool { return f.word.Load()&futStateMask != futPending }
 
 // Err returns the typed error the future completed with, nil for a pending
 // future or a value result.
 func (f *Future) Err() error {
-	if f.state.Load() == futError {
+	if f.word.Load()&futStateMask == futError {
 		return f.err
 	}
 	return nil
@@ -136,13 +204,13 @@ const (
 // with exponential backoff.
 func (f *Future) block() {
 	for i := 0; i < waitSpins; i++ {
-		if f.state.Load() != futPending {
+		if f.word.Load()&futStateMask != futPending {
 			return
 		}
 		runtime.Gosched()
 	}
 	d := waitSleepMin
-	for f.state.Load() == futPending {
+	for f.word.Load()&futStateMask == futPending {
 		time.Sleep(d)
 		if d < waitSleepMax {
 			d *= 2
@@ -155,7 +223,7 @@ func (f *Future) block() {
 // as a plain value before futures grew an error channel).
 func (f *Future) result() any {
 	f.observeResolved()
-	if f.state.Load() == futError {
+	if f.word.Load()&futStateMask == futError {
 		return f.err
 	}
 	return f.val
@@ -176,7 +244,7 @@ func (f *Future) Wait() any {
 func (f *Future) Result() (any, error) {
 	f.block()
 	f.observeResolved()
-	if f.state.Load() == futError {
+	if f.word.Load()&futStateMask == futError {
 		return nil, f.err
 	}
 	return f.val, nil
@@ -188,13 +256,13 @@ func (f *Future) Result() (any, error) {
 func (f *Future) WaitTimeout(d time.Duration) (any, error) {
 	deadline := time.Now().Add(d)
 	for i := 0; i < waitSpins; i++ {
-		if f.state.Load() != futPending {
+		if f.Done() {
 			return f.Result()
 		}
 		runtime.Gosched()
 	}
 	sleep := waitSleepMin
-	for f.state.Load() == futPending {
+	for !f.Done() {
 		if time.Now().After(deadline) {
 			return nil, ErrWaitTimeout
 		}
@@ -211,7 +279,7 @@ func (f *Future) WaitTimeout(d time.Duration) (any, error) {
 // valid after cancellation.
 func (f *Future) WaitCtx(ctx context.Context) (any, error) {
 	for i := 0; i < waitSpins; i++ {
-		if f.state.Load() != futPending {
+		if f.Done() {
 			return f.Result()
 		}
 		if ctx.Err() != nil {
@@ -220,7 +288,7 @@ func (f *Future) WaitCtx(ctx context.Context) (any, error) {
 		runtime.Gosched()
 	}
 	sleep := waitSleepMin
-	for f.state.Load() == futPending {
+	for !f.Done() {
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
 		}
@@ -235,31 +303,39 @@ func (f *Future) WaitCtx(ctx context.Context) (any, error) {
 // TryGet returns the result if available (an error-completed future yields
 // its error as the value, mirroring Wait).
 func (f *Future) TryGet() (any, bool) {
-	if f.state.Load() != futPending {
+	if f.Done() {
 		return f.result(), true
 	}
 	return nil, false
 }
 
-// slot states.
-const (
-	slotFree   uint32 = 0 // owned by client side, ready for a request
-	slotPosted uint32 = 1 // request posted, owned by worker side
-)
-
 // Slot is one message cell in a worker's buffer. Exactly one client owns it
 // at a time (enforced by the inbox) and exactly one worker polls it.
+//
+// The state word is a version counter: odd means posted, even means free,
+// and the count itself is the slot's generation. The owning client advances
+// free→posted with a plain store (it is the sole writer of a free slot);
+// every consumer — worker sweep, seal's final sweep, client-side rescue,
+// crash fail-over — claims posted→free with a CAS on the exact odd value it
+// observed. A claim that loses the CAS walks away, so a task is executed by
+// exactly one sweeper and a stale free from an old generation can never
+// clobber a newer post.
 type Slot struct {
 	_     [128]byte // padding: no false sharing with the previous slot
-	state atomic.Uint32
+	state atomic.Uint64
 	task  Task
 	fut   *Future
-	owner int32 // client id for diagnostics; -1 = unowned
+	fut0  Future // recycled future for the zero-alloc synchronous path
+	owner int32  // client id for diagnostics; -1 = unowned
 	buf   *Buffer
 }
 
+// posted reports whether the slot currently holds an unclaimed task.
+func (s *Slot) posted() bool { return s.state.Load()&1 == 1 }
+
 // post publishes a task into the slot. The client must own the slot and the
-// slot must be free.
+// slot must be free. f is either a fresh detached future (Delegate) or the
+// slot's own recycled fut0 with its generation already begun (InvokeErr).
 //
 // The sealed check after the posted store closes the stop/post race: both
 // sides use sequentially consistent atomics, so either the worker's final
@@ -268,7 +344,7 @@ type Slot struct {
 func (s *Slot) post(t Task, f *Future) {
 	s.task = t
 	s.fut = f
-	s.state.Store(slotPosted) // release: publishes task+fut to the worker
+	s.state.Store(s.state.Load() + 1) // release: publishes task+fut to the worker
 	if s.buf.sealed.Load() {
 		s.buf.rescue(s)
 	}
@@ -284,6 +360,14 @@ type FaultHook interface {
 	BeforeSweep(worker int)
 	BeforeTask(worker int)
 }
+
+// statFlushEvery is the worker's stat-publication cadence: the sweep loop
+// counts into plain worker-local mirrors and stores them to the published
+// atomics every statFlushEvery sweeps (and when parking idle, and on worker
+// exit) — the same flush discipline internal/obs shards use. The sweep loop
+// therefore issues no stat read-modify-write at all; external readers see
+// counters that lag a live worker by at most statFlushEvery-1 sweeps.
+const statFlushEvery = 64
 
 // Buffer is the contiguous message buffer of one worker.
 type Buffer struct {
@@ -301,13 +385,26 @@ type Buffer struct {
 
 	probe *obs.WorkerShard // telemetry shard; nil by default, set before workers run
 
-	// Stats, updated by the owning worker only.
+	_ [64]byte // keep the worker-local mirrors off the lifecycle fields' line
+
+	// Worker-local stat mirrors: written only by the owning worker's
+	// unsealed sweeps, published to the atomics below on the flush cadence.
+	// Sealed-path sweeps (Seal's final pass, rescues) do not count here —
+	// they may run on non-worker goroutines and shutdown traffic is not
+	// steady-state signal.
+	nSweeps, nEmpty, nExec, nBatch, sinceFlush uint64
+
+	_ [64]byte // local mirrors and published images on separate lines
+
+	// Published stat images (flushed on the statFlushEvery cadence; see
+	// SyncStats). Snapshots lag a live worker by at most one cadence.
 	Executed   atomic.Uint64 // tasks executed
 	Sweeps     atomic.Uint64 // buffer sweeps (poll rounds)
 	EmptySweep atomic.Uint64 // sweeps that found no posted slot
 	Batched    atomic.Uint64 // tasks answered in multi-task sweeps (batching)
+	pubPending atomic.Int64  // posted-slot gauge at last flush (obs export)
 
-	// Fault stats, updated under sealMu or by the owning worker.
+	// Fault stats: cold paths only, kept exact with atomic RMWs.
 	Failed  atomic.Uint64 // futures completed with a typed error
 	Rescued atomic.Uint64 // posts into a sealed buffer answered with ErrWorkerStopped
 }
@@ -341,16 +438,45 @@ func (b *Buffer) SetProbe(p *obs.WorkerShard) { b.probe = p }
 // Sealed reports whether the buffer has been sealed.
 func (b *Buffer) Sealed() bool { return b.sealed.Load() }
 
-// Pending counts the currently posted, unswept slots (advisory snapshot;
-// the runtime's migration quiesce polls it).
+// Pending counts the currently posted, unclaimed slots.
+//
+// The contract is advisory: the per-slot loads are atomic but the scan is
+// not serialised against concurrent posts and sweeps, so a snapshot can miss
+// a post that lands behind the scan position or still count a task a sweeper
+// is about to claim. Two properties make it safe for its callers anyway:
+// it never reports a phantom task (a counted slot really was posted at its
+// load), and once all posters have stopped, a drain observed by this scan is
+// permanent. The migration quiesce loop relies on exactly that; anything
+// wanting a cheap racy gauge (the obs endpoint) should use PendingPublished
+// instead.
 func (b *Buffer) Pending() int {
 	n := 0
 	for i := range b.slots {
-		if b.slots[i].state.Load() == slotPosted {
+		if b.slots[i].posted() {
 			n++
 		}
 	}
 	return n
+}
+
+// PendingPublished returns the posted-slot gauge captured at the worker's
+// last stat flush. It is a bounded-staleness snapshot for exporters: unlike
+// Pending it costs one atomic load and never walks the slot array from a
+// foreign goroutine.
+func (b *Buffer) PendingPublished() int { return int(b.pubPending.Load()) }
+
+// SyncStats publishes the worker-local stat mirrors to the exported atomic
+// counters and refreshes the pending gauge. The sweep loop calls it on the
+// statFlushEvery cadence, before parking idle, and on worker exit. It must
+// only be called from the sweeping goroutine — or from any goroutine while
+// no worker is polling the buffer (tests that drive Sweep manually).
+func (b *Buffer) SyncStats() {
+	b.sinceFlush = 0
+	b.Sweeps.Store(b.nSweeps)
+	b.EmptySweep.Store(b.nEmpty)
+	b.Executed.Store(b.nExec)
+	b.Batched.Store(b.nBatch)
+	b.pubPending.Store(int64(b.Pending()))
 }
 
 // PanicError is delivered through a future when the delegated task
@@ -391,35 +517,52 @@ func (b *Buffer) Sweep() int {
 	if b.sealed.Load() {
 		b.sealMu.Lock()
 		defer b.sealMu.Unlock()
-		// No probe on the sealed path: seal/rescue sweeps may run on
-		// non-worker goroutines, which must not touch the worker's shard.
-		return b.sweepSlots(nil, nil)
+		// No probe or local stats on the sealed path: seal/rescue sweeps may
+		// run on non-worker goroutines, which must not touch the worker's
+		// unsynchronised mirrors.
+		return b.sweepSlots(nil, nil, false)
 	}
 	if h := b.hook; h != nil {
 		h.BeforeSweep(b.worker)
 	}
 	probe := b.probe
 	if probe == nil {
-		return b.sweepSlots(b.hook, nil)
+		return b.sweepSlots(b.hook, nil, true)
 	}
 	t0 := probe.SweepBegin()
-	n := b.sweepSlots(b.hook, probe)
+	n := b.sweepSlots(b.hook, probe, true)
 	probe.SweepEnd(t0, n)
 	return n
 }
 
 // sweepSlots is the sweep body. Callers on the sealed path hold sealMu and
-// pass a nil hook (shutdown must not re-inject faults) and a nil probe.
-func (b *Buffer) sweepSlots(hook FaultHook, probe *obs.WorkerShard) int {
+// pass a nil hook (shutdown must not re-inject faults), a nil probe, and
+// local=false so the worker-owned stat mirrors stay single-writer.
+//
+// Per posted slot: read the pending word of its future, claim the slot with
+// a CAS on its version (the loser of a racing seal-path sweep walks away),
+// execute, and publish the result with a CAS on the future word. Claiming
+// frees the slot version *before* the result is published — safe, because
+// the owning client never reposts until it has observed the completion.
+func (b *Buffer) sweepSlots(hook FaultHook, probe *obs.WorkerShard, local bool) int {
 	n := 0
 	for i := range b.slots {
 		s := &b.slots[i]
-		if s.state.Load() != slotPosted { // acquire: sees task+fut when posted
+		v := s.state.Load() // acquire: sees task+fut when posted
+		if v&1 == 0 {
 			continue
 		}
-		task, fut := s.task, s.fut
-		s.task, s.fut = nil, nil
-		sp := fut.span // nil unless this task's post was trace-sampled
+		f := s.fut
+		w := f.word.Load()
+		if w&futStateMask != futPending {
+			continue // answered by a racing completer this very moment
+		}
+		task := s.task
+		if !s.state.CompareAndSwap(v, v+1) {
+			continue // a seal-path sweep or rescue claimed it first
+		}
+		s.task = nil
+		sp := f.span // nil unless this task's post was trace-sampled
 		sp.MarkSwept(b.worker)
 		var tt int64
 		if probe != nil {
@@ -431,22 +574,30 @@ func (b *Buffer) sweepSlots(hook FaultHook, probe *obs.WorkerShard) int {
 		if probe != nil {
 			probe.TaskEnd(tt)
 		}
+		sp.MarkResponded()
 		if pe, ok := res.(PanicError); ok {
-			fut.completeErr(pe)
+			f.err = pe
+			f.word.CompareAndSwap(w, w|futError)
 			b.Failed.Add(1)
 		} else {
-			fut.complete(res)
+			f.val = res
+			f.word.CompareAndSwap(w, w|futValue)
 		}
-		s.state.Store(slotFree) // release the slot back to its client
 		n++
 	}
-	b.Sweeps.Add(1)
-	if n == 0 {
-		b.EmptySweep.Add(1)
-	} else {
-		b.Executed.Add(uint64(n))
-		if n > 1 {
-			b.Batched.Add(uint64(n))
+	if local {
+		b.nSweeps++
+		b.sinceFlush++
+		if n == 0 {
+			b.nEmpty++
+		} else {
+			b.nExec += uint64(n)
+			if n > 1 {
+				b.nBatch += uint64(n)
+			}
+		}
+		if b.sinceFlush >= statFlushEvery {
+			b.SyncStats()
 		}
 	}
 	return n
@@ -462,11 +613,11 @@ func (b *Buffer) Seal() int {
 	b.sealMu.Lock()
 	defer b.sealMu.Unlock()
 	b.sealed.Store(true)
-	return b.sweepSlots(nil, nil)
+	return b.sweepSlots(nil, nil, false)
 }
 
-// FailPending completes every posted, unswept task with err without
-// executing it, and frees the slots. The worker crash path uses it so the
+// FailPending completes every posted, unclaimed task with err without
+// executing it, and claims the slots. The worker crash path uses it so the
 // tasks that were in the buffer when the worker died are answered with a
 // PanicError instead of waiting for a respawn that may never come. Returns
 // the number of futures failed.
@@ -476,41 +627,55 @@ func (b *Buffer) FailPending(err error) int {
 	n := 0
 	for i := range b.slots {
 		s := &b.slots[i]
-		if s.state.Load() != slotPosted {
+		v := s.state.Load()
+		if v&1 == 0 {
 			continue
 		}
-		fut := s.fut
-		s.task, s.fut = nil, nil
-		s.state.Store(slotFree)
-		if fut == nil {
-			// The crashed sweep had already taken this task (the crash hit
-			// between claiming the slot and releasing it); its future was
-			// completed — or will be failed via the crash value — upstream.
+		f := s.fut
+		w := f.word.Load()
+		if w&futStateMask != futPending {
 			continue
 		}
-		fut.completeErr(err)
-		b.Failed.Add(1)
-		n++
+		if !s.state.CompareAndSwap(v, v+1) {
+			continue // a racing sweep owns it; that sweep answers the future
+		}
+		s.task = nil
+		f.err = err
+		f.span.MarkResponded()
+		if f.word.CompareAndSwap(w, w|futError) {
+			b.Failed.Add(1)
+			n++
+		}
 	}
 	return n
 }
 
 // rescue answers the calling client's own post into a sealed buffer. The
-// seal lock orders it against the final sweep: if the sweep already took
-// the task the slot is free and there is nothing to do, otherwise the task
-// never ran and its future completes with ErrWorkerStopped.
+// seal lock orders it against the final sweep: if the sweep already claimed
+// the task there is nothing to do, otherwise the task never ran and its
+// future completes with ErrWorkerStopped.
 func (b *Buffer) rescue(s *Slot) {
 	b.sealMu.Lock()
 	defer b.sealMu.Unlock()
-	if s.state.Load() != slotPosted {
+	v := s.state.Load()
+	if v&1 == 0 {
 		return
 	}
-	fut := s.fut
-	s.task, s.fut = nil, nil
-	fut.completeErr(ErrWorkerStopped)
-	s.state.Store(slotFree)
-	b.Failed.Add(1)
-	b.Rescued.Add(1)
+	f := s.fut
+	w := f.word.Load()
+	if w&futStateMask != futPending {
+		return
+	}
+	if !s.state.CompareAndSwap(v, v+1) {
+		return // a straggling unsealed sweep claimed it; it will answer
+	}
+	s.task = nil
+	f.err = ErrWorkerStopped
+	f.span.MarkResponded()
+	if f.word.CompareAndSwap(w, w|futError) {
+		b.Failed.Add(1)
+		b.Rescued.Add(1)
+	}
 }
 
 // Inbox composes the message buffers of a domain's workers and hands slot
@@ -602,7 +767,7 @@ func (in *Inbox) ReleaseSlots(slots []*Slot) error {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	for _, s := range slots {
-		if s.state.Load() == slotPosted {
+		if s.posted() {
 			return fmt.Errorf("delegation: releasing slot with task in flight")
 		}
 		if s.owner == -1 {
@@ -617,14 +782,22 @@ func (in *Inbox) ReleaseSlots(slots []*Slot) error {
 // Client delegates tasks through slots it owns, keeping up to burst tasks
 // outstanding (the paper's bursting delegation mode; Section 6). A Client is
 // not safe for concurrent use — it models one application thread, as in FFWD.
+//
+// Bookkeeping is O(1) and allocation-free: free slots live on a fixed index
+// stack, outstanding delegations in a fixed-capacity FIFO ring — there is no
+// slot scan, no in-flight list walk, and no slice growth no matter how long
+// the client lives.
 type Client struct {
-	slots   []*Slot
-	pending []pendingTask // FIFO of outstanding delegations
-	probe   *obs.ClientShard
+	slots []*Slot
+	free  []int32     // LIFO stack of free slot indices
+	ring  []pendingOp // FIFO ring of outstanding delegations
+	head  int         // ring index of the oldest outstanding delegation
+	n     int         // outstanding delegations
+	probe *obs.ClientShard
 }
 
-type pendingTask struct {
-	slot *Slot
+type pendingOp struct {
+	slot int32
 	fut  *Future
 }
 
@@ -634,7 +807,17 @@ func NewClient(slots []*Slot) (*Client, error) {
 	if len(slots) == 0 {
 		return nil, fmt.Errorf("delegation: client needs at least one slot")
 	}
-	return &Client{slots: slots, pending: make([]pendingTask, 0, len(slots))}, nil
+	c := &Client{
+		slots: slots,
+		free:  make([]int32, len(slots)),
+		ring:  make([]pendingOp, len(slots)),
+	}
+	for i := range slots {
+		// Reverse order so slot 0 pops first, preserving the NUMA-ranked
+		// acquisition order on the fast path.
+		c.free[i] = int32(len(slots) - 1 - i)
+	}
+	return c, nil
 }
 
 // SetProbe installs the client's telemetry shard. The Client is single-
@@ -645,40 +828,48 @@ func (c *Client) SetProbe(p *obs.ClientShard) { c.probe = p }
 func (c *Client) Burst() int { return len(c.slots) }
 
 // Outstanding returns the number of tasks currently in flight.
-func (c *Client) Outstanding() int { return len(c.pending) }
+func (c *Client) Outstanding() int { return c.n }
 
-// Delegate posts task into a free owned slot and returns its future. When
-// the burst is completely filled it first waits for the oldest outstanding
-// task — the throughput-maximising delegation mode of Section 6.
-func (c *Client) Delegate(task Task) *Future {
-	var slot *Slot
-	if len(c.pending) == len(c.slots) {
+// harvestOldest retires the oldest outstanding delegation: waits for its
+// future and returns its slot to the free stack. The completer has already
+// advanced the slot's version to free before publishing the result, so
+// observing the future settles slot ownership too.
+func (c *Client) harvestOldest() *Future {
+	op := &c.ring[c.head]
+	f := op.fut
+	f.block()
+	c.free = append(c.free, op.slot)
+	op.fut = nil
+	c.head++
+	if c.head == len(c.ring) {
+		c.head = 0
+	}
+	c.n--
+	return f
+}
+
+// takeSlot pops a free slot index, first retiring the oldest outstanding
+// task when the burst window is full — the throughput-maximising delegation
+// mode of Section 6.
+func (c *Client) takeSlot() int32 {
+	if c.n == len(c.slots) {
 		if c.probe != nil {
 			c.probe.BurstWait()
 		}
-		oldest := c.pending[0]
-		oldest.fut.Wait()
-		c.pending = c.pending[1:]
-		slot = oldest.slot
-	} else {
-		for _, s := range c.slots {
-			if s.state.Load() == slotFree && !c.inFlight(s) {
-				slot = s
-				break
-			}
-		}
-		if slot == nil {
-			// All free slots are bookkept as pending but not yet swept;
-			// wait for the oldest.
-			if c.probe != nil {
-				c.probe.BurstWait()
-			}
-			oldest := c.pending[0]
-			oldest.fut.Wait()
-			c.pending = c.pending[1:]
-			slot = oldest.slot
-		}
+		f := c.harvestOldest()
+		f.observeResolved()
 	}
+	i := c.free[len(c.free)-1]
+	c.free = c.free[:len(c.free)-1]
+	return i
+}
+
+// Delegate posts task into a free owned slot and returns its future. When
+// the burst is completely filled it first waits for the oldest outstanding
+// task. The returned future is detached (heap-allocated, generation 0): the
+// caller may hold it for as long as it likes, independent of slot reuse.
+func (c *Client) Delegate(task Task) *Future {
+	i := c.takeSlot()
 	f := &Future{}
 	if c.probe != nil {
 		// Post counts the delegation and, on sampled posts, mints the
@@ -686,25 +877,51 @@ func (c *Client) Delegate(task Task) *Future {
 		// future) to the worker alongside the task.
 		f.span = c.probe.Post()
 	}
-	slot.post(task, f)
-	c.pending = append(c.pending, pendingTask{slot: slot, fut: f})
-	return f
-}
-
-func (c *Client) inFlight(s *Slot) bool {
-	for _, p := range c.pending {
-		if p.slot == s {
-			return true
-		}
+	c.slots[i].post(task, f)
+	tail := c.head + c.n
+	if tail >= len(c.ring) {
+		tail -= len(c.ring)
 	}
-	return false
+	c.ring[tail] = pendingOp{slot: i, fut: f}
+	c.n++
+	return f
 }
 
 // Invoke delegates a task and synchronously waits for its result — the
 // simple delegation mode (burst size 1 semantics regardless of owned slots).
 // An error completion comes back as the value; InvokeErr separates it.
+//
+// Invoke runs on the zero-allocation path: it recycles the slot's embedded
+// future instead of allocating one.
 func (c *Client) Invoke(task Task) any {
-	return c.Delegate(task).Wait()
+	v, err := c.InvokeErr(task)
+	if err != nil {
+		return err
+	}
+	return v
+}
+
+// InvokeErr delegates a task, waits, and returns the value and the typed
+// error separately: PanicError when the task panicked, ErrWorkerStopped
+// when the buffer was sealed before the task ran.
+//
+// This is the steady-state zero-allocation round trip: the task is posted
+// through the slot's embedded future, whose generation word is bumped for
+// this invocation and CAS-completed by exactly one of worker sweep, seal
+// rescue, or crash fail-over. The future never escapes, so the slot can be
+// recycled the moment the result is observed.
+func (c *Client) InvokeErr(task Task) (any, error) {
+	i := c.takeSlot()
+	s := c.slots[i]
+	f := &s.fut0
+	tok := f.begin()
+	if c.probe != nil {
+		f.span = c.probe.Post()
+	}
+	s.post(task, f)
+	v, err := f.awaitToken(tok)
+	c.free = append(c.free, i)
+	return v, err
 }
 
 // DelegateErr posts like Delegate and additionally surfaces an immediately
@@ -714,13 +931,6 @@ func (c *Client) Invoke(task Task) any {
 func (c *Client) DelegateErr(task Task) (*Future, error) {
 	f := c.Delegate(task)
 	return f, f.Err()
-}
-
-// InvokeErr delegates a task, waits, and returns the value and the typed
-// error separately: PanicError when the task panicked, ErrWorkerStopped
-// when the buffer was sealed before the task ran.
-func (c *Client) InvokeErr(task Task) (any, error) {
-	return c.Delegate(task).Result()
 }
 
 // DelegateBulk posts tasks as one bulk burst under a single synchronisation
@@ -759,12 +969,12 @@ func (c *Client) DelegateBulkErr(tasks []Task) ([]any, error) {
 }
 
 // Drain waits for every outstanding task to finish and frees the pending
-// list. Call before releasing slots.
+// window. Call before releasing slots.
 func (c *Client) Drain() {
-	for _, p := range c.pending {
-		p.fut.Wait()
+	for c.n > 0 {
+		f := c.harvestOldest()
+		f.observeResolved()
 	}
-	c.pending = c.pending[:0]
 	if c.probe != nil {
 		c.probe.Flush()
 	}
@@ -775,12 +985,12 @@ func (c *Client) Drain() {
 // from "work abandoned by a stopped or crashed worker".
 func (c *Client) DrainErr() error {
 	var firstErr error
-	for _, p := range c.pending {
-		if _, err := p.fut.Result(); err != nil && firstErr == nil {
+	for c.n > 0 {
+		f := c.harvestOldest()
+		if _, err := f.Result(); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
-	c.pending = c.pending[:0]
 	if c.probe != nil {
 		c.probe.Flush()
 	}
@@ -799,9 +1009,22 @@ type Worker struct {
 // NewWorker wraps a buffer into a pollable worker.
 func NewWorker(buf *Buffer) *Worker { return &Worker{buf: buf} }
 
-// Run polls the buffer until stop is closed or the worker crashes. It
-// yields to the scheduler on empty sweeps so co-scheduled goroutines make
-// progress on small machines.
+// Adaptive idle policy: after idleSpinSweeps consecutive empty sweeps the
+// worker stops yield-spinning and parks in short sleeps with exponential
+// backoff, capped at idleSleepMax — so an idle domain costs sleeps instead
+// of a burning core. The first non-empty sweep resets the policy, which
+// bounds the requickening latency of a post into an idle buffer by one
+// sleep period (≤ idleSleepMax).
+const (
+	idleSpinSweeps = 128
+	idleSleepMin   = time.Microsecond
+	idleSleepMax   = 100 * time.Microsecond
+)
+
+// Run polls the buffer until stop is closed or the worker crashes. Empty
+// sweeps first yield to the scheduler (so co-scheduled goroutines make
+// progress on small machines) and then back off to parked sleeps under the
+// adaptive idle policy, publishing stats before the first park.
 //
 // On a clean stop Run seals the buffer — the seal's final sweep answers
 // every task posted before the seal, and a task racing past it is rescued
@@ -815,8 +1038,10 @@ func NewWorker(buf *Buffer) *Worker { return &Worker{buf: buf} }
 // posts for the respawned worker.
 func (w *Worker) Run(stop <-chan struct{}) (crash error) {
 	defer func() {
-		// Publish the telemetry shard's local mirror: this deferred func
-		// runs on the worker goroutine on both the clean and crash exits.
+		// Publish the stat mirrors and the telemetry shard's local mirror:
+		// this deferred func runs on the worker goroutine on both the clean
+		// and crash exits.
+		w.buf.SyncStats()
 		if p := w.buf.probe; p != nil {
 			p.Flush()
 		}
@@ -826,15 +1051,30 @@ func (w *Worker) Run(stop <-chan struct{}) (crash error) {
 			crash = err
 		}
 	}()
+	idle := 0
+	sleep := idleSleepMin
 	for {
-		n := w.buf.Sweep()
-		if n == 0 {
-			select {
-			case <-stop:
-				w.buf.Seal()
-				return nil
-			default:
-				runtime.Gosched()
+		if n := w.buf.Sweep(); n > 0 {
+			idle, sleep = 0, idleSleepMin
+			continue
+		}
+		select {
+		case <-stop:
+			w.buf.Seal()
+			return nil
+		default:
+		}
+		idle++
+		switch {
+		case idle < idleSpinSweeps:
+			runtime.Gosched()
+		case idle == idleSpinSweeps:
+			w.buf.SyncStats() // publish before parking; flushes stall while asleep
+			time.Sleep(sleep)
+		default:
+			time.Sleep(sleep)
+			if sleep < idleSleepMax {
+				sleep *= 2
 			}
 		}
 	}

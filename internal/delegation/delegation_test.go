@@ -157,7 +157,6 @@ func TestDelegateBulk(t *testing.T) {
 func TestManyClientsOneWorker(t *testing.T) {
 	in := newInboxT(t, 1, 15)
 	stop := startWorkers(in.Buffers())
-	defer stop()
 
 	var wg sync.WaitGroup
 	total := int64(0)
@@ -182,6 +181,7 @@ func TestManyClientsOneWorker(t *testing.T) {
 		}()
 	}
 	wg.Wait()
+	stop() // worker exit publishes the final stat flush
 	if total != 15*500 {
 		t.Errorf("total = %d, want %d", total, 15*500)
 	}
@@ -203,6 +203,7 @@ func TestResponseBatchingObserved(t *testing.T) {
 	if n := b.Sweep(); n != 8 {
 		t.Errorf("sweep answered %d, want 8", n)
 	}
+	b.SyncStats() // no worker: publish the manual sweep's counts
 	if b.Batched.Load() != 8 {
 		t.Errorf("Batched = %d, want 8", b.Batched.Load())
 	}
@@ -323,6 +324,7 @@ func TestStatsCounters(t *testing.T) {
 	if n := b.Sweep(); n != 0 {
 		t.Errorf("empty sweep = %d", n)
 	}
+	b.SyncStats() // no worker: publish the manual sweep's counts
 	if b.EmptySweep.Load() != 1 || b.Sweeps.Load() != 1 {
 		t.Error("empty sweep not counted")
 	}
@@ -331,6 +333,7 @@ func TestStatsCounters(t *testing.T) {
 	c, _ := NewClient(slots)
 	c.Delegate(func() any { return nil })
 	b.Sweep()
+	b.SyncStats()
 	if b.Executed.Load() != 1 {
 		t.Errorf("Executed = %d", b.Executed.Load())
 	}

@@ -188,7 +188,7 @@ func TestFailPending(t *testing.T) {
 	if b.Sealed() {
 		t.Error("FailPending sealed the buffer")
 	}
-	c.pending = c.pending[:0] // futures resolved by error, not by sweep
+	c.Drain() // futures already resolved by error; harvest frees the window
 	if err := in.ReleaseSlots(c.Slots()); err != nil {
 		t.Errorf("release after FailPending: %v", err)
 	}
@@ -267,7 +267,7 @@ func TestCrashedWorkerReportsAndBufferStaysOpen(t *testing.T) {
 	if b.Sealed() {
 		t.Fatal("crash sealed the buffer")
 	}
-	c.pending = c.pending[:0]
+	c.Drain()
 
 	// Respawn: the same buffer serves again.
 	done := make(chan struct{})

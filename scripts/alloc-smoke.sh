@@ -1,0 +1,25 @@
+#!/bin/sh
+# alloc-smoke: cheap allocation gate on the delegation hot path.
+#
+# Runs BenchmarkDelegationInvoke for 100 iterations with -benchmem and fails
+# if the unobserved synchronous round trip reports more than 0 allocs/op —
+# the tentpole property of the zero-allocation hot path (DESIGN.md §10).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT="$(go test -run NONE -bench 'BenchmarkDelegationInvoke$' -benchtime 100x -benchmem .)"
+echo "$OUT"
+
+ALLOCS=$(echo "$OUT" | awk '/^BenchmarkDelegationInvoke/ {
+	for (i = 2; i <= NF; i++) if ($i == "allocs/op") print $(i-1)
+}')
+if [ -z "$ALLOCS" ]; then
+	echo "alloc-smoke: benchmark produced no allocs/op figure" >&2
+	exit 1
+fi
+if [ "$ALLOCS" != "0" ]; then
+	echo "alloc-smoke: BenchmarkDelegationInvoke reports $ALLOCS allocs/op, want 0" >&2
+	exit 1
+fi
+echo "alloc-smoke: hot path is allocation-free ($ALLOCS allocs/op)"

@@ -1,0 +1,51 @@
+#!/bin/sh
+# bench-snapshot: record the perf trajectory of the delegation hot path.
+#
+# Runs the delegation, index, and TPC-C microbenchmarks with -benchmem and
+# rewrites BENCH_delegation.json at the repo root with one record per
+# benchmark: name, ns/op, allocs/op, B/op. Commit the file so regressions
+# show up in review diffs across PRs.
+#
+# BENCHTIME tunes -benchtime (default 300ms: enough iterations for stable
+# ns/op on the sub-microsecond benchmarks without a minutes-long run).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-300ms}"
+OUT="BENCH_delegation.json"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT INT TERM
+
+PATTERN='BenchmarkDelegation|BenchmarkAblationBurstSize|BenchmarkAblationResponseBatching|BenchmarkIndex|BenchmarkTPCC'
+
+go test -run NONE -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" . | tee "$RAW"
+
+# Parse `BenchmarkName  N  12.3 ns/op  4 B/op  1 allocs/op` lines into JSON.
+# The name is kept exactly as printed (Go appends a -GOMAXPROCS suffix when
+# running on more than one proc; stripping it cannot be told apart from a
+# numeric subbenchmark name, so we don't try).
+awk '
+BEGIN { print "["; n = 0 }
+/^Benchmark/ && /ns\/op/ {
+	name = $1
+	ns = ""; bytes = ""; allocs = ""
+	for (i = 2; i <= NF; i++) {
+		if ($i == "ns/op")     ns = $(i-1)
+		if ($i == "B/op")      bytes = $(i-1)
+		if ($i == "allocs/op") allocs = $(i-1)
+	}
+	if (ns == "") next
+	if (n++) printf ",\n"
+	printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s, \"bytes_per_op\": %s}", \
+		name, ns, (allocs == "" ? 0 : allocs), (bytes == "" ? 0 : bytes)
+}
+END { print "\n]" }
+' "$RAW" >"$OUT"
+
+COUNT=$(grep -c '"name"' "$OUT" || true)
+if [ "$COUNT" -eq 0 ]; then
+	echo "bench-snapshot: no benchmark lines parsed" >&2
+	exit 1
+fi
+echo "bench-snapshot: wrote $COUNT records to $OUT"
