@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test verify chaos bench bench-full alloc-smoke obs-smoke
+.PHONY: build test verify chaos bench bench-compare bench-full alloc-smoke obs-smoke
 
 build:
 	$(GO) build ./...
@@ -38,6 +38,11 @@ chaos:
 # BENCH_delegation.json (commit the refreshed snapshot).
 bench:
 	./scripts/bench-snapshot.sh
+
+# Re-run the snapshot benchmarks and fail on a >15% ns/op regression against
+# the committed BENCH_delegation.json (THRESHOLD_PCT overrides the bar).
+bench-compare:
+	./scripts/bench-compare.sh
 
 # Every benchmark in the repo, including the paper-artefact regenerations.
 bench-full:

@@ -474,3 +474,43 @@ func BenchmarkTPCCDirectFullMix(b *testing.B) { benchTPCC(b, false, true) }
 // BenchmarkTPCCDelegatedFullMix measures the full mix on the delegated
 // engine.
 func BenchmarkTPCCDelegatedFullMix(b *testing.B) { benchTPCC(b, true, true) }
+
+// BenchmarkAblationTxnMode isolates the contribution of each statement→task
+// mapping on the delegated engine under the full TPC-C mix: per-statement
+// pipelining (async statement futures), same-domain fusion (one multi-op
+// task per dependency wave), and whole-transaction delegation (one task per
+// single-warehouse transaction, pipelined fallback across warehouses).
+func BenchmarkAblationTxnMode(b *testing.B) {
+	for _, mode := range []oltp.ExecMode{oltp.ModePerStatement, oltp.ModeFused, oltp.ModeWholeTxn} {
+		b.Run(mode.String(), func(b *testing.B) {
+			cfg := tpcc.Config{Warehouses: 2, Customers: 100, Items: 300}
+			loader, err := tpcc.NewLoader(cfg, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			engine, err := oltp.NewEngine(cfg, func() index.Index { return fptree.New() }, robustconf.Machine(1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer engine.Stop()
+			s, err := engine.NewStoreMode(0, robustconf.PaperBurstSize, mode)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			if err := loader.Load(s); err != nil {
+				b.Fatal(err)
+			}
+			term, err := tpcc.NewTerminal(cfg, s, 1, 0.05, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := term.NextFullMix(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

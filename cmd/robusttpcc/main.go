@@ -6,7 +6,12 @@
 //
 // Usage:
 //
-//	robusttpcc -engine delegated -warehouses 4 -terminals 4 -txns 2000
+//	robusttpcc -engine delegated -mode whole-txn -warehouses 4 -terminals 4 -txns 2000
+//
+// The -mode flag selects the delegated engine's statement→task mapping:
+// per-statement (pipelined statement futures), fused (same-domain multi-op
+// tasks) or whole-txn (single-warehouse transactions as one task, the
+// default).
 package main
 
 import (
@@ -30,6 +35,7 @@ import (
 
 func main() {
 	engine := flag.String("engine", "delegated", "engine: delegated or direct")
+	mode := flag.String("mode", "whole-txn", "delegated statement→task mapping: per-statement, fused or whole-txn")
 	tree := flag.String("tree", "fptree", "index structure: fptree or bwtree")
 	warehouses := flag.Int("warehouses", 4, "TPC-C warehouses")
 	customers := flag.Int("customers", 300, "customers per district (scaled down)")
@@ -85,6 +91,10 @@ func main() {
 		}
 	case "delegated":
 		delegated = true
+		execMode, err := oltp.ParseMode(*mode)
+		if err != nil {
+			fatal(err)
+		}
 		m, err := topology.Restricted(1)
 		if err != nil {
 			fatal(err)
@@ -111,7 +121,7 @@ func main() {
 			fatal(err)
 		}
 		openStore = func(id int) (tpcc.Store, func() error, error) {
-			s, err := e.NewStore(id%m.LogicalCPUs(), 14)
+			s, err := e.NewStoreMode(id%m.LogicalCPUs(), 14, execMode)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -159,8 +169,12 @@ func main() {
 		fatal(err)
 	}
 	elapsed := time.Since(start)
+	label := *engine
+	if delegated {
+		label += " mode=" + *mode
+	}
 	fmt.Printf("engine=%s tree=%s warehouses=%d terminals=%d remote=%.0f%%\n",
-		*engine, *tree, *warehouses, *terminals, *remote*100)
+		label, *tree, *warehouses, *terminals, *remote*100)
 	fmt.Printf("measured: %d txns in %v → %.0f txn/s on this host\n",
 		done.Load(), elapsed.Round(time.Millisecond), float64(done.Load())/elapsed.Seconds())
 	fmt.Printf("txn latency ns: %s\n", latency.String())

@@ -468,11 +468,141 @@ type Session struct {
 // synchronous: the fields cannot be overwritten while a posted thunk may
 // still read them (the slot post's release store publishes them to the
 // worker along with the task).
+//
+// The pipelined path (SubmitAsync) generalises the same trick to many
+// statements in flight: each reserved slot owns an asyncThunk argument
+// block and each in-flight statement a pooled AsyncFuture, so issuing a
+// burst of independent statements allocates nothing in steady state.
 type sessionClient struct {
-	c     *delegation.Client
-	ds    any
-	op    func(ds any) any
-	thunk delegation.Task
+	c      *delegation.Client
+	ds     any
+	op     func(ds any) any
+	thunk  delegation.Task
+	faults *metrics.FaultCounters
+
+	// Pipelined-statement state: per-slot argument blocks, the FIFO of
+	// issued-but-unrecycled futures, and the future free list.
+	athunks []asyncThunk
+	qhead   *AsyncFuture
+	qtail   *AsyncFuture
+	pool    *AsyncFuture
+
+	// Batch-invocation state: the reusable thunk of InvokeBatch reads these
+	// exactly like thunk reads ds/op.
+	bds    any
+	bops   []func(ds any) any
+	bout   []any
+	bthunk delegation.Task
+}
+
+// asyncThunk is one reserved slot's argument block on the pipelined path.
+// SubmitAsync stores the structure instance, operation and argument here and
+// posts the slot's prebuilt fn, so a statement carries no per-call closure.
+// Reuse is safe for the same reason the sync thunk's is: the slot returns to
+// the free stack only after its embedded future completes, which happens
+// after the worker has finished reading these fields.
+type asyncThunk struct {
+	ds  any
+	op  func(ds, arg any) any
+	arg any
+	fn  delegation.Task
+}
+
+// AsyncFuture is the handle SubmitAsync returns for one pipelined
+// statement. It is pooled per session client: Wait caches the result, and
+// once a future is both resolved and consumed it recycles from the FIFO head
+// back onto the free list — so a long-lived session issues millions of
+// statements through a handful of future objects.
+//
+// Consume-once contract: call Wait exactly once per returned future (it
+// blocks, or returns the result a Barrier already cached). After Wait the
+// handle may be recycled and must not be touched again.
+type AsyncFuture struct {
+	sc       *sessionClient
+	h        delegation.InvokeHandle
+	val      any
+	err      error
+	resolved bool // result cached; the underlying slot is free again
+	consumed bool // Wait handed the result to the caller
+	qNext    *AsyncFuture
+}
+
+// getFuture pops a pooled future (or mints one) and rearms it.
+func (sc *sessionClient) getFuture() *AsyncFuture {
+	f := sc.pool
+	if f == nil {
+		f = &AsyncFuture{sc: sc}
+	} else {
+		sc.pool = f.qNext
+	}
+	f.val, f.err = nil, nil
+	f.resolved, f.consumed = false, false
+	f.qNext = nil
+	return f
+}
+
+// enqueue appends an issued future to the client's FIFO.
+func (sc *sessionClient) enqueue(f *AsyncFuture) {
+	if sc.qtail == nil {
+		sc.qhead = f
+	} else {
+		sc.qtail.qNext = f
+	}
+	sc.qtail = f
+}
+
+// recycleHead returns fully finished futures at the FIFO head to the pool.
+// Only head recycling keeps the invariant that every queued future is still
+// owned by its issuer: a resolved-but-unconsumed future stays queued (and
+// un-recycled) until its Wait.
+func (sc *sessionClient) recycleHead() {
+	for f := sc.qhead; f != nil && f.resolved && f.consumed; f = sc.qhead {
+		sc.qhead = f.qNext
+		if sc.qhead == nil {
+			sc.qtail = nil
+		}
+		f.val, f.err = nil, nil
+		f.qNext = sc.pool
+		sc.pool = f
+	}
+}
+
+// resolve awaits the future's handle if it hasn't been awaited yet, caching
+// the result and freeing the slot. Idempotent.
+func (sc *sessionClient) resolve(f *AsyncFuture) {
+	if f.resolved {
+		return
+	}
+	f.val, f.err = sc.c.Await(f.h)
+	f.resolved = true
+	if f.err != nil {
+		sc.faults.TasksFailed.Add(1)
+	}
+}
+
+// resolveOldest resolves the oldest unresolved queued future to free its
+// slot, reporting whether there was one.
+func (sc *sessionClient) resolveOldest() bool {
+	f := sc.qhead
+	for f != nil && f.resolved {
+		f = f.qNext
+	}
+	if f == nil {
+		return false
+	}
+	sc.resolve(f)
+	return true
+}
+
+// ensureFree makes room for a synchronous delegation when every slot is held
+// by an un-awaited pipelined handle (the delegation client can harvest its
+// own ring-tracked delegations, but reserved handles are session-owned).
+func (sc *sessionClient) ensureFree() {
+	for sc.c.FreeSlots() == 0 && sc.c.Outstanding() == 0 {
+		if !sc.resolveOldest() {
+			return
+		}
+	}
 }
 
 // NewSession opens a session for a client thread logically running on the
@@ -512,8 +642,20 @@ func (s *Session) client(d *Domain) (*sessionClient, error) {
 	if d.obsDom != nil {
 		c.SetProbe(d.obsDom.NewClient())
 	}
-	sc := &sessionClient{c: c}
+	sc := &sessionClient{c: c, faults: s.rt.faults}
 	sc.thunk = func() any { return sc.op(sc.ds) }
+	sc.bthunk = func() any {
+		ds := sc.bds
+		for i, op := range sc.bops {
+			sc.bout[i] = op(ds)
+		}
+		return nil
+	}
+	sc.athunks = make([]asyncThunk, len(slots))
+	for i := range sc.athunks {
+		at := &sc.athunks[i]
+		at.fn = func() any { return at.op(at.ds, at.arg) }
+	}
 	s.perDomain[d] = sc
 	return sc, nil
 }
@@ -529,8 +671,88 @@ func (s *Session) Submit(task Task) (*delegation.Future, error) {
 	if err != nil {
 		return nil, err
 	}
+	sc.ensureFree()
 	op := task.Op
 	return sc.c.Delegate(func() any { return op(ds) }), nil
+}
+
+// SubmitAsync issues one pipelined statement against the named structure and
+// returns its future without waiting: up to the session's burst of
+// statements ride the domain's slots concurrently, and the caller
+// synchronises once per dependency barrier (Wait per future, or Barrier)
+// instead of once per statement. The op receives the structure instance and
+// the given argument; threading the argument through instead of closing over
+// it keeps the steady state allocation-free (per-slot argument blocks,
+// pooled futures, recycled slot-embedded delegation futures).
+//
+// When all slots are in flight SubmitAsync resolves the oldest outstanding
+// statement first (its result stays cached for its Wait), preserving the
+// bursting-window semantics of Delegate.
+func (s *Session) SubmitAsync(structure string, op func(ds, arg any) any, arg any) (*AsyncFuture, error) {
+	d, ds, err := s.rt.route(structure)
+	if err != nil {
+		return nil, err
+	}
+	sc, err := s.client(d)
+	if err != nil {
+		return nil, err
+	}
+	i, ok := sc.c.Reserve()
+	for !ok {
+		if !sc.resolveOldest() {
+			return nil, fmt.Errorf("core: domain %q: no free slots and no outstanding statements", d.spec.Name)
+		}
+		i, ok = sc.c.Reserve()
+	}
+	at := &sc.athunks[i]
+	at.ds, at.op, at.arg = ds, op, arg
+	f := sc.getFuture()
+	f.h = sc.c.PostReserved(i, at.fn)
+	sc.enqueue(f)
+	return f, nil
+}
+
+// Wait blocks until the statement completes and returns its result (or the
+// result a Barrier already cached). Lifecycle failures surface exactly like
+// Invoke's: PanicError, or ErrWorkerStopped when the statement never ran.
+// Consume-once: the handle recycles after Wait and must not be reused.
+func (f *AsyncFuture) Wait() (any, error) {
+	sc := f.sc
+	sc.resolve(f)
+	f.consumed = true
+	v, err := f.val, f.err
+	sc.recycleHead()
+	return v, err
+}
+
+// Done reports whether the statement's result is already available without
+// blocking (either cached by a Barrier or completed in its slot).
+func (f *AsyncFuture) Done() bool {
+	return f.resolved || f.sc.c.HandleDone(f.h)
+}
+
+// Barrier resolves every outstanding pipelined statement previously issued
+// to the named structure's domain, returning the first lifecycle error among
+// them. Results stay cached: each future's Wait still returns its own
+// result. A barrier on a structure with no outstanding statements is free.
+func (s *Session) Barrier(structure string) error {
+	d, _, err := s.rt.route(structure)
+	if err != nil {
+		return err
+	}
+	sc, ok := s.perDomain[d]
+	if !ok {
+		return nil
+	}
+	var firstErr error
+	for f := sc.qhead; f != nil; f = f.qNext {
+		sc.resolve(f)
+		if f.err != nil && firstErr == nil {
+			firstErr = f.err
+		}
+	}
+	sc.recycleHead()
+	return firstErr
 }
 
 // Invoke submits the task and waits for its result (synchronous
@@ -551,6 +773,7 @@ func (s *Session) Invoke(task Task) (any, error) {
 	if err != nil {
 		return nil, err
 	}
+	sc.ensureFree()
 	sc.ds, sc.op = ds, task.Op
 	v, err := sc.c.InvokeErr(sc.thunk)
 	if err != nil {
@@ -573,6 +796,7 @@ func (s *Session) SubmitBulk(structure string, ops []func(ds any) any) ([]any, e
 	if err != nil {
 		return nil, err
 	}
+	sc.ensureFree()
 	tasks := make([]delegation.Task, len(ops))
 	for i, op := range ops {
 		op := op
@@ -585,6 +809,36 @@ func (s *Session) SubmitBulk(structure string, ops []func(ds any) any) ([]any, e
 	return out, err
 }
 
+// InvokeBatch executes several operations against the same structure as ONE
+// delegated task — same-domain task fusion: the worker runs the ops in order
+// in a single sweep, so the batch pays one round trip instead of len(ops).
+// Results come back in order. If an op panics, the whole batch completes
+// with its PanicError; results of the ops that ran before the panic are
+// already filled in, the rest stay nil.
+//
+// Like Invoke, the batch rides a reusable per-domain thunk and the slot's
+// recycled future — the only steady-state allocation is the results slice.
+func (s *Session) InvokeBatch(structure string, ops []func(ds any) any) ([]any, error) {
+	d, ds, err := s.rt.route(structure)
+	if err != nil {
+		return nil, err
+	}
+	sc, err := s.client(d)
+	if err != nil {
+		return nil, err
+	}
+	sc.ensureFree()
+	out := make([]any, len(ops))
+	sc.bds, sc.bops, sc.bout = ds, ops, out
+	_, err = sc.c.InvokeErr(sc.bthunk)
+	sc.bds, sc.bops, sc.bout = nil, nil, nil
+	if err != nil {
+		s.rt.faults.TasksFailed.Add(1)
+		return out, err
+	}
+	return out, nil
+}
+
 // Close drains all outstanding tasks and returns the session's slots. The
 // error reports the first drain failure (a task abandoned by a stopped or
 // crashed worker) or slot-release inconsistency; the session is torn down
@@ -592,6 +846,16 @@ func (s *Session) SubmitBulk(structure string, ops []func(ds any) any) ([]any, e
 func (s *Session) Close() error {
 	var firstErr error
 	for d, sc := range s.perDomain {
+		// Retire the pipelined statements first: every issued handle must be
+		// awaited before its slot can be released.
+		for f := sc.qhead; f != nil; f = f.qNext {
+			sc.resolve(f)
+			if f.err != nil && firstErr == nil {
+				firstErr = f.err
+			}
+			f.consumed = true
+		}
+		sc.qhead, sc.qtail, sc.pool = nil, nil, nil
 		if err := sc.c.DrainErr(); err != nil && firstErr == nil {
 			firstErr = err
 		}

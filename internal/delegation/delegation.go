@@ -850,9 +850,14 @@ func (c *Client) harvestOldest() *Future {
 
 // takeSlot pops a free slot index, first retiring the oldest outstanding
 // task when the burst window is full — the throughput-maximising delegation
-// mode of Section 6.
+// mode of Section 6. When every non-free slot is held by a reserved handle
+// (Reserve) rather than a ring-tracked delegation there is nothing this
+// client can harvest; the caller must Await its handles first.
 func (c *Client) takeSlot() int32 {
-	if c.n == len(c.slots) {
+	for len(c.free) == 0 {
+		if c.n == 0 {
+			panic("delegation: no free slots and none outstanding; await reserved handles first")
+		}
 		if c.probe != nil {
 			c.probe.BurstWait()
 		}
@@ -863,6 +868,74 @@ func (c *Client) takeSlot() int32 {
 	c.free = c.free[:len(c.free)-1]
 	return i
 }
+
+// InvokeHandle identifies one in-flight reserved-slot invocation: the slot
+// whose embedded future carries the result and the generation token to await.
+// It is a value, not a pointer — pipelined callers keep handles in their own
+// storage, so the burst path stays allocation-free.
+type InvokeHandle struct {
+	slot int32
+	tok  uint64
+}
+
+// Reserve pops a free slot for a pipelined zero-allocation invocation
+// (PostReserved/Await). When no slot is free it retires the oldest
+// ring-tracked delegation like takeSlot; when every slot is held by an
+// un-awaited handle it reports false — the caller owns those handles and
+// must Await one to free a slot.
+func (c *Client) Reserve() (int32, bool) {
+	for len(c.free) == 0 {
+		if c.n == 0 {
+			return 0, false
+		}
+		if c.probe != nil {
+			c.probe.BurstWait()
+		}
+		f := c.harvestOldest()
+		f.observeResolved()
+	}
+	i := c.free[len(c.free)-1]
+	c.free = c.free[:len(c.free)-1]
+	return i, true
+}
+
+// PostReserved posts a task into a slot obtained from Reserve without
+// waiting, returning the handle to Await later. Like InvokeErr it runs on
+// the zero-allocation path — the slot's embedded future is recycled for this
+// generation and never escapes — but the round trip is split so a client can
+// keep several statements in flight and synchronise once per dependency
+// barrier instead of once per statement.
+func (c *Client) PostReserved(i int32, task Task) InvokeHandle {
+	s := c.slots[i]
+	f := &s.fut0
+	tok := f.begin()
+	if c.probe != nil {
+		f.span = c.probe.PostRecycled()
+	}
+	s.post(task, f)
+	return InvokeHandle{slot: i, tok: tok}
+}
+
+// Await blocks until the handle's invocation completes, frees its slot, and
+// returns the result. Each handle must be awaited exactly once; handles may
+// be awaited in any order (each lives in its own slot's embedded future).
+func (c *Client) Await(h InvokeHandle) (any, error) {
+	v, err := c.slots[h.slot].fut0.awaitToken(h.tok)
+	c.free = append(c.free, h.slot)
+	return v, err
+}
+
+// HandleDone reports, without blocking or freeing the slot, whether the
+// handle's invocation has completed. Valid only between PostReserved and
+// Await — the embedded future's word equals the handle's token exactly while
+// that generation is pending.
+func (c *Client) HandleDone(h InvokeHandle) bool {
+	return c.slots[h.slot].fut0.word.Load() != h.tok
+}
+
+// FreeSlots returns how many of the client's slots are currently free
+// (neither ring-tracked outstanding nor held by a reserved handle).
+func (c *Client) FreeSlots() int { return len(c.free) }
 
 // Delegate posts task into a free owned slot and returns its future. When
 // the burst is completely filled it first waits for the oldest outstanding
@@ -916,7 +989,12 @@ func (c *Client) InvokeErr(task Task) (any, error) {
 	f := &s.fut0
 	tok := f.begin()
 	if c.probe != nil {
-		f.span = c.probe.Post()
+		// PostRecycled, not Post: the embedded future resolves its span
+		// exactly once per generation, so the shard can hand back a recycled
+		// span instead of allocating one (the stray 1 B/op on the observed
+		// path). Detached Delegate futures keep the allocating Post — their
+		// holders may Wait (and Resolve) long after the span would recycle.
+		f.span = c.probe.PostRecycled()
 	}
 	s.post(task, f)
 	v, err := f.awaitToken(tok)

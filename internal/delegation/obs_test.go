@@ -48,6 +48,42 @@ func TestDelegateNoObsAllocs(t *testing.T) {
 	}
 }
 
+// TestInvokeObservedZeroAlloc pins the observed hot path: with a client
+// probe attached and EVERY post sampled, Invoke must not allocate — the
+// sampled span recycles through the shard's one-deep spare as soon as the
+// previous generation resolves. (Before span recycling this path allocated
+// one Span per sampled post — the stray byte/op in the committed
+// BenchmarkDelegationInvokeObserved snapshot.)
+func TestInvokeObservedZeroAlloc(t *testing.T) {
+	o := obs.New(obs.Options{SampleEvery: 1})
+	d := o.Domain("dom", 1)
+	buf, err := NewBuffer(0, SlotsPerBuffer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.SetProbe(d.Worker(0))
+	join := startWorker(t, buf)
+	defer join()
+	in, _ := NewInbox([]*Buffer{buf})
+	slots, err := in.AcquireSlots(4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := NewClient(slots)
+	c.SetProbe(d.NewClient())
+	defer c.Drain()
+
+	task := Task(func() any { return nil })
+	for i := 0; i < 100; i++ {
+		c.Invoke(task) // warm the spare span and the shard
+	}
+	if n := testing.AllocsPerRun(5000, func() {
+		c.Invoke(task)
+	}); n != 0 {
+		t.Errorf("observed Invoke allocates %.2f objects/op, want 0", n)
+	}
+}
+
 // TestProbeCountsDelegations attaches worker and client shards and checks
 // the aggregated counters line up with the actual traffic.
 func TestProbeCountsDelegations(t *testing.T) {

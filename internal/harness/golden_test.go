@@ -18,10 +18,19 @@ import (
 
 var update = flag.Bool("update", false, "rewrite golden files")
 
+// Experiments that measure real execution on the host rather than the
+// deterministic simulator; their output carries wall-clock timings and
+// cannot be pinned byte-for-byte. Covered by their own tests instead
+// (txn-modes: internal/oltp/modes_test.go + BenchmarkAblationTxnMode).
+var measured = map[string]bool{"txn-modes": true}
+
 func TestGoldenExperiments(t *testing.T) {
 	for _, name := range Experiments {
 		name := name
 		t.Run(name, func(t *testing.T) {
+			if measured[name] {
+				t.Skip("measured on the host, not deterministic")
+			}
 			out, err := Run(name)
 			if err != nil {
 				t.Fatal(err)

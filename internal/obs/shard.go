@@ -147,6 +147,7 @@ type ClientShard struct {
 	traceEvery uint64 // commit every Nth sampled span to the ring; 0 = off
 	dom        *DomainObs
 	tracer     *Tracer
+	spare      *Span // recycled span for PostRecycled; single-owner, reused once resolved
 
 	_ [64]byte
 
@@ -171,6 +172,37 @@ func (c *ClientShard) Post() *Span {
 	}
 	c.sampled++
 	sp := &Span{dom: c.dom, posted: nanos()}
+	if c.traceEvery > 0 && c.sampled%c.traceEvery == 0 {
+		sp.tracer = c.tracer
+	}
+	return sp
+}
+
+// PostRecycled is Post for recycled-future callers (Invoke, the pipelined
+// reserved-handle path): identical counting and sampling, but the sampled
+// span is drawn from a one-deep per-shard recycle pool instead of being
+// freshly allocated — the source of the observed path's stray 1 B/op.
+// Safe only where the span is resolved exactly once per lifecycle before
+// the next sampled post can reclaim it, which the slot-embedded future
+// guarantees (awaitToken resolves before the slot frees); detached Delegate
+// futures must keep using Post. An unresolved spare (several sampled posts
+// in flight at once) falls back to allocating.
+func (c *ClientShard) PostRecycled() *Span {
+	c.posts++
+	c.sinceFlush++
+	if c.sinceFlush >= clientFlushEvery {
+		c.Flush()
+	}
+	if c.posts&c.mask != 0 {
+		return nil
+	}
+	c.sampled++
+	sp := c.spare
+	if sp == nil || !sp.done.Load() {
+		sp = &Span{}
+		c.spare = sp
+	}
+	sp.reset(c.dom, nanos())
 	if c.traceEvery > 0 && c.sampled%c.traceEvery == 0 {
 		sp.tracer = c.tracer
 	}

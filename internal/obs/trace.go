@@ -88,6 +88,24 @@ func (s *Span) Resolve(failed bool) {
 	}
 }
 
+// reset rearms a resolved span for a new lifecycle. Only the shard that
+// minted the span calls it (PostRecycled), and only after observing
+// done=true — Resolve has run, and every completion path claims the slot's
+// versioned state first, so no straggler from the previous lifecycle can
+// still write the span.
+func (s *Span) reset(dom *DomainObs, posted int64) {
+	s.dom = dom
+	s.tracer = nil
+	s.posted = posted
+	s.worker.Store(0)
+	s.swept.Store(0)
+	s.execStart.Store(0)
+	s.execEnd.Store(0)
+	s.responded.Store(0)
+	s.failed.Store(false)
+	s.done.Store(false)
+}
+
 // record freezes the span into its immutable exported form.
 func (s *Span) record(resolved int64) SpanRecord {
 	return SpanRecord{

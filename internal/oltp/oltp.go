@@ -131,6 +131,23 @@ func (e *DirectEngine) Scan(w int, t tpcc.Table, lo, hi uint64, fn func(k, v uin
 	return wh.scan(t, lo, hi, fn)
 }
 
+// RMW implements tpcc.Store. Like every baseline statement it runs in the
+// calling goroutine with no atomicity beyond the index latches — concurrent
+// manager threads may lose updates, exactly as the paper's baseline does.
+func (e *DirectEngine) RMW(w int, t tpcc.Table, key uint64, kind tpcc.RMWKind, delta uint64) (uint64, bool, error) {
+	wh, err := e.at(w)
+	if err != nil {
+		return 0, false, err
+	}
+	old, ok := wh.tables[t].Get(key, nil)
+	if !ok {
+		return 0, false, nil
+	}
+	nv := tpcc.ApplyRMW(kind, old, delta)
+	wh.tables[t].Update(key, nv, nil)
+	return nv, true, nil
+}
+
 // Engine is the paper's light-weight OLTP engine: warehouses are registered
 // as composite structures with the runtime, and every statement is executed
 // as a delegated task inside the owning virtual domain.
@@ -138,7 +155,11 @@ type Engine struct {
 	cfg        tpcc.Config
 	rt         *core.Runtime
 	warehouses []*Warehouse
+	names      []string // cached structureName(w) per warehouse (hot path)
 }
+
+// name returns the cached structure name of a (validated) warehouse id.
+func (e *Engine) name(w int) string { return e.names[w-1] }
 
 // structureName names a warehouse's composite structure in the runtime.
 func structureName(w int) string { return fmt.Sprintf("warehouse-%d", w) }
@@ -227,6 +248,7 @@ func NewEngineWithConfig(cfg tpcc.Config, newIndex func() index.Index, rc core.C
 	for w := 1; w <= cfg.Warehouses; w++ {
 		wh := NewWarehouse(newIndex)
 		e.warehouses = append(e.warehouses, wh)
+		e.names = append(e.names, structureName(w))
 		structures[structureName(w)] = wh
 	}
 	rt, err := core.Start(rc, structures)
@@ -246,119 +268,510 @@ func (e *Engine) Warehouse(w int) *Warehouse { return e.warehouses[w-1] }
 // Stop drains and stops the runtime.
 func (e *Engine) Stop() { e.rt.Stop() }
 
-// NewStore opens a session-backed store for one terminal goroutine. The
-// returned store is not safe for concurrent use (one per terminal, as one
-// client thread); close it when the terminal finishes.
+// ExecMode selects how a SessionStore maps transaction statements onto
+// delegated tasks (DESIGN.md §11).
+type ExecMode int
+
+const (
+	// ModePerStatement pipelines every statement as its own asynchronous
+	// data-aware task: independent statements of one transaction fly
+	// concurrently on the session's burst slots and synchronise only at
+	// dependency barriers.
+	ModePerStatement ExecMode = iota
+	// ModeFused buffers statements bound for the same warehouse and flushes
+	// them as one multi-op task executed in a single worker sweep; a
+	// statement's Value (or any sync operation) forces the flush.
+	ModeFused
+	// ModeWholeTxn ships entire single-warehouse transactions into the
+	// owning domain as one task (RunTxn) and falls back to pipelined
+	// statements for cross-warehouse transactions.
+	ModeWholeTxn
+)
+
+// String names the mode as accepted by ParseMode.
+func (m ExecMode) String() string {
+	switch m {
+	case ModePerStatement:
+		return "per-statement"
+	case ModeFused:
+		return "fused"
+	case ModeWholeTxn:
+		return "whole-txn"
+	}
+	return fmt.Sprintf("ExecMode(%d)", int(m))
+}
+
+// ParseMode parses a mode name (the robusttpcc -mode flag).
+func ParseMode(s string) (ExecMode, error) {
+	switch s {
+	case "per-statement":
+		return ModePerStatement, nil
+	case "fused":
+		return ModeFused, nil
+	case "whole-txn":
+		return ModeWholeTxn, nil
+	}
+	return 0, fmt.Errorf("oltp: unknown execution mode %q (want per-statement, fused or whole-txn)", s)
+}
+
+// fusedBatchCap bounds one fused task's statement count so a single sweep
+// never monopolises the worker (New-Order's widest wave is 62 statements).
+const fusedBatchCap = 64
+
+// NewStore opens a session-backed store for one terminal goroutine in the
+// default whole-transaction mode. The returned store is not safe for
+// concurrent use (one per terminal, as one client thread); close it when the
+// terminal finishes.
 func (e *Engine) NewStore(cpu, burst int) (*SessionStore, error) {
-	s, err := e.rt.NewSession(cpu, burst)
+	return e.NewStoreMode(cpu, burst, ModeWholeTxn)
+}
+
+// NewStoreMode opens a session-backed store with an explicit execution mode.
+func (e *Engine) NewStoreMode(cpu, burst int, mode ExecMode) (*SessionStore, error) {
+	sess, err := e.rt.NewSession(cpu, burst)
 	if err != nil {
 		return nil, err
 	}
-	return &SessionStore{engine: e, session: s}, nil
+	s := &SessionStore{engine: e, session: sess, mode: mode}
+	if mode == ModeFused {
+		s.batches = make([]*stmtBatch, e.cfg.Warehouses)
+	}
+	// Prebuilt in-domain closures: one scan collector and one
+	// whole-transaction trampoline per store lifetime, so the hot paths
+	// allocate nothing per call.
+	s.scanCB = func(k, v uint64) bool {
+		s.scanBuf = append(s.scanBuf, kvPair{k, v})
+		return true
+	}
+	s.scanOp = func(ds any) any {
+		wh := ds.(*Warehouse)
+		s.scanBuf = s.scanBuf[:0]
+		if _, err := wh.scan(s.scanT, s.scanLo, s.scanHi, s.scanCB); err != nil {
+			return err
+		}
+		return nil
+	}
+	s.txnOp = func(ds any) any {
+		s.local.wh = ds.(*Warehouse)
+		err := s.txnFn(&s.local)
+		s.local.wh = nil
+		if err != nil {
+			return err
+		}
+		return nil
+	}
+	return s, nil
 }
 
-// SessionStore adapts one runtime session to tpcc.Store: every call is a
-// data-aware task executed inside the warehouse's domain (the paper's naive
-// statement→task mapping).
+// SessionStore adapts one runtime session to the tpcc statement interfaces.
+// It implements tpcc.Store (synchronous statements), tpcc.AsyncStore
+// (pipelined statement futures) and tpcc.TxnRunner (whole-transaction
+// delegation); the ExecMode decides which machinery each statement rides.
 type SessionStore struct {
 	engine  *Engine
 	session *core.Session
+	mode    ExecMode
+
+	pool    *stmtFuture  // recycled statement futures
+	batches []*stmtBatch // fused mode: one pending batch per warehouse
+
+	// Scan scratch: the in-domain collector appends into scanBuf, the
+	// client replays it; both sides reuse the buffer across calls.
+	scanBuf        []kvPair
+	scanT          tpcc.Table
+	scanLo, scanHi uint64
+	scanCB         func(k, v uint64) bool
+	scanOp         func(ds any) any
+
+	// Whole-transaction trampoline state (valid only during RunTxn).
+	txnFn func(local tpcc.Store) error
+	txnOp func(ds any) any
+	local domainStore
 }
 
-// result carries a statement outcome through the future.
-type result struct {
-	val uint64
-	ok  bool
+// kvPair is one collected scan match.
+type kvPair struct{ k, v uint64 }
+
+// stmtKind tags the operation a stmtFuture carries.
+type stmtKind uint8
+
+const (
+	stGet stmtKind = iota
+	stUpdate
+	stInsert
+	stDelete
+	stRMW
+)
+
+// stmtFuture is one issued statement: the argument block the worker reads
+// and the result block it writes. It doubles as the tpcc.StmtFuture handle;
+// Value recycles it into the store's pool (consume-once).
+type stmtFuture struct {
+	store *SessionStore
+	af    *core.AsyncFuture // pipelined path (nil once consumed)
+	batch *stmtBatch        // fused path (nil once flushed)
+	kind  stmtKind
+	table tpcc.Table
+	key   uint64
+	arg   uint64 // value for writes, delta for RMW
+	rmw   tpcc.RMWKind
+	val   uint64
+	ok    bool
+	err   error
+	next  *stmtFuture
 }
 
-func (s *SessionStore) invoke(w int, op func(wh *Warehouse) result) (result, error) {
+// exec runs the statement inside the owning domain.
+func (f *stmtFuture) exec(wh *Warehouse) {
+	tb := wh.tables[f.table]
+	switch f.kind {
+	case stGet:
+		f.val, f.ok = tb.Get(f.key, nil)
+	case stUpdate:
+		f.ok = tb.Update(f.key, f.arg, nil)
+	case stInsert:
+		f.ok = tb.Insert(f.key, f.arg, nil)
+	case stDelete:
+		f.ok = tb.Delete(f.key, nil)
+	case stRMW:
+		old, ok := tb.Get(f.key, nil)
+		if !ok {
+			f.ok = false
+			return
+		}
+		nv := tpcc.ApplyRMW(f.rmw, old, f.arg)
+		tb.Update(f.key, nv, nil)
+		f.val, f.ok = nv, true
+	}
+}
+
+// execStmt is the one shared task op of the pipelined path: the statement
+// travels as the task argument, so posting allocates nothing.
+func execStmt(ds, arg any) any {
+	arg.(*stmtFuture).exec(ds.(*Warehouse))
+	return nil
+}
+
+// getStmt takes a statement future from the pool.
+func (s *SessionStore) getStmt() *stmtFuture {
+	f := s.pool
+	if f == nil {
+		f = &stmtFuture{store: s}
+	} else {
+		s.pool = f.next
+	}
+	f.af, f.batch, f.next = nil, nil, nil
+	f.val, f.ok, f.err = 0, false, nil
+	return f
+}
+
+// issue routes one statement according to the store's mode and returns its
+// future. Routing errors are carried in the future (Value surfaces them), so
+// transaction code consumes every future uniformly.
+func (s *SessionStore) issue(w int, kind stmtKind, t tpcc.Table, key, arg uint64, rmw tpcc.RMWKind) *stmtFuture {
+	f := s.getStmt()
+	f.kind, f.table, f.key, f.arg, f.rmw = kind, t, key, arg, rmw
 	if w < 1 || w > s.engine.cfg.Warehouses {
-		return result{}, fmt.Errorf("oltp: warehouse %d out of range", w)
+		f.err = fmt.Errorf("oltp: warehouse %d out of range", w)
+		return f
 	}
-	out, err := s.session.Invoke(core.Task{
-		Structure: structureName(w),
-		Op: func(ds any) any {
-			return op(ds.(*Warehouse))
-		},
-	})
+	if s.mode == ModeFused {
+		b := s.batch(w)
+		f.batch = b
+		b.stmts = append(b.stmts, f)
+		if len(b.stmts) >= fusedBatchCap {
+			b.flush() // lifecycle errors land in every member's err
+		}
+		return f
+	}
+	af, err := s.session.SubmitAsync(s.engine.name(w), execStmt, f)
 	if err != nil {
-		return result{}, err
+		f.err = err
+		return f
 	}
-	return out.(result), nil
+	f.af = af
+	return f
+}
+
+// Value implements tpcc.StmtFuture: it waits for the statement (flushing its
+// fused batch if still pending), returns the result and recycles the handle.
+func (f *stmtFuture) Value() (uint64, bool, error) {
+	s := f.store
+	if f.af != nil {
+		if _, err := f.af.Wait(); err != nil && f.err == nil {
+			f.err = err
+		}
+		f.af = nil
+	} else if f.batch != nil {
+		f.batch.flush()
+	}
+	v, ok, err := f.val, f.ok, f.err
+	f.next = s.pool
+	s.pool = f
+	return v, ok, err
+}
+
+// stmtBatch accumulates same-warehouse statements in fused mode and flushes
+// them as one multi-op task the worker executes in a single sweep.
+type stmtBatch struct {
+	store *SessionStore
+	w     int
+	stmts []*stmtFuture
+	op    func(ds any) any
+}
+
+// batch returns (building lazily) the pending batch of a warehouse.
+func (s *SessionStore) batch(w int) *stmtBatch {
+	b := s.batches[w-1]
+	if b == nil {
+		b = &stmtBatch{store: s, w: w}
+		b.op = func(ds any) any {
+			wh := ds.(*Warehouse)
+			for _, f := range b.stmts {
+				f.exec(wh)
+			}
+			return nil
+		}
+		s.batches[w-1] = b
+	}
+	return b
+}
+
+// flush executes the pending statements as one task. A lifecycle error (the
+// task never ran, or a statement panicked) is recorded into every member so
+// each Value reports it.
+func (b *stmtBatch) flush() error {
+	if len(b.stmts) == 0 {
+		return nil
+	}
+	_, err := b.store.session.Invoke(core.Task{Structure: b.store.engine.name(b.w), Op: b.op})
+	for i, f := range b.stmts {
+		f.batch = nil
+		if err != nil && f.err == nil {
+			f.err = err
+		}
+		b.stmts[i] = nil
+	}
+	b.stmts = b.stmts[:0]
+	return err
+}
+
+// syncWrites makes every already-issued write for a warehouse visible before
+// an operation that must observe it (Scan, RunTxn).
+func (s *SessionStore) syncWrites(w int) error {
+	if s.mode == ModeFused {
+		return s.batch(w).flush()
+	}
+	return s.session.Barrier(s.engine.name(w))
 }
 
 // Get implements tpcc.Store.
 func (s *SessionStore) Get(w int, t tpcc.Table, key uint64) (uint64, bool, error) {
-	r, err := s.invoke(w, func(wh *Warehouse) result {
-		v, ok := wh.tables[t].Get(key, nil)
-		return result{val: v, ok: ok}
-	})
-	return r.val, r.ok, err
+	return s.issue(w, stGet, t, key, 0, 0).Value()
 }
 
 // Update implements tpcc.Store.
 func (s *SessionStore) Update(w int, t tpcc.Table, key, val uint64) (bool, error) {
-	r, err := s.invoke(w, func(wh *Warehouse) result {
-		return result{ok: wh.tables[t].Update(key, val, nil)}
-	})
-	return r.ok, err
+	_, ok, err := s.issue(w, stUpdate, t, key, val, 0).Value()
+	return ok, err
 }
 
 // Insert implements tpcc.Store.
 func (s *SessionStore) Insert(w int, t tpcc.Table, key, val uint64) (bool, error) {
-	r, err := s.invoke(w, func(wh *Warehouse) result {
-		return result{ok: wh.tables[t].Insert(key, val, nil)}
-	})
-	return r.ok, err
+	_, ok, err := s.issue(w, stInsert, t, key, val, 0).Value()
+	return ok, err
 }
 
 // Delete implements tpcc.Store.
 func (s *SessionStore) Delete(w int, t tpcc.Table, key uint64) (bool, error) {
-	r, err := s.invoke(w, func(wh *Warehouse) result {
-		return result{ok: wh.tables[t].Delete(key, nil)}
-	})
-	return r.ok, err
+	_, ok, err := s.issue(w, stDelete, t, key, 0, 0).Value()
+	return ok, err
+}
+
+// RMW implements tpcc.Store: the whole read-modify-write is one task inside
+// the owning domain.
+func (s *SessionStore) RMW(w int, t tpcc.Table, key uint64, kind tpcc.RMWKind, delta uint64) (uint64, bool, error) {
+	return s.issue(w, stRMW, t, key, delta, kind).Value()
+}
+
+// GetAsync implements tpcc.AsyncStore.
+func (s *SessionStore) GetAsync(w int, t tpcc.Table, key uint64) tpcc.StmtFuture {
+	return s.issue(w, stGet, t, key, 0, 0)
+}
+
+// UpdateAsync implements tpcc.AsyncStore.
+func (s *SessionStore) UpdateAsync(w int, t tpcc.Table, key, val uint64) tpcc.StmtFuture {
+	return s.issue(w, stUpdate, t, key, val, 0)
+}
+
+// InsertAsync implements tpcc.AsyncStore.
+func (s *SessionStore) InsertAsync(w int, t tpcc.Table, key, val uint64) tpcc.StmtFuture {
+	return s.issue(w, stInsert, t, key, val, 0)
+}
+
+// DeleteAsync implements tpcc.AsyncStore.
+func (s *SessionStore) DeleteAsync(w int, t tpcc.Table, key uint64) tpcc.StmtFuture {
+	return s.issue(w, stDelete, t, key, 0, 0)
+}
+
+// RMWAsync implements tpcc.AsyncStore.
+func (s *SessionStore) RMWAsync(w int, t tpcc.Table, key uint64, kind tpcc.RMWKind, delta uint64) tpcc.StmtFuture {
+	return s.issue(w, stRMW, t, key, delta, kind)
 }
 
 // Scan implements tpcc.Store. The whole scan executes as a single task
 // inside the owning domain — a more complex operation on one structure, as
-// Section 4 permits — and the matches return through the future.
+// Section 4 permits — collecting matches into the store's reusable scratch
+// buffer; the client replays them into fn after the future resolves.
 func (s *SessionStore) Scan(w int, t tpcc.Table, lo, hi uint64, fn func(k, v uint64) bool) (int, error) {
 	if w < 1 || w > s.engine.cfg.Warehouses {
 		return 0, fmt.Errorf("oltp: warehouse %d out of range", w)
 	}
-	type kv struct{ k, v uint64 }
-	out, err := s.session.Invoke(core.Task{
-		Structure: structureName(w),
-		Op: func(ds any) any {
-			wh := ds.(*Warehouse)
-			var matches []kv
-			_, scanErr := wh.scan(t, lo, hi, func(k, v uint64) bool {
-				matches = append(matches, kv{k, v})
-				return true
-			})
-			if scanErr != nil {
-				return scanErr
-			}
-			return matches
-		},
-	})
+	if err := s.syncWrites(w); err != nil {
+		return 0, err
+	}
+	s.scanT, s.scanLo, s.scanHi = t, lo, hi
+	out, err := s.session.Invoke(core.Task{Structure: s.engine.name(w), Op: s.scanOp})
 	if err != nil {
 		return 0, err
 	}
 	if scanErr, isErr := out.(error); isErr {
 		return 0, scanErr
 	}
-	matches := out.([]kv)
+	buf := s.scanBuf
+	s.scanBuf = nil // a nested scan from fn grows its own buffer
 	n := 0
-	for _, m := range matches {
+	for _, m := range buf {
 		n++
 		if !fn(m.k, m.v) {
 			break
 		}
 	}
+	s.scanBuf = buf[:0]
 	return n, nil
 }
 
-// Close drains the session and releases its slots.
-func (s *SessionStore) Close() error { return s.session.Close() }
+// RunsWhole implements tpcc.TxnRunner: whole-transaction delegation applies
+// only in ModeWholeTxn and only for warehouses this engine owns.
+func (s *SessionStore) RunsWhole(w int) bool {
+	return s.mode == ModeWholeTxn && w >= 1 && w <= s.engine.cfg.Warehouses
+}
+
+// RunTxn implements tpcc.TxnRunner: the whole transaction closure ships into
+// the warehouse's domain as one data-aware task and executes against a
+// warehouse-local store, cutting the per-transaction round trips to one.
+// Cross-warehouse transactions never reach here (callers gate on RunsWhole
+// and fall back to pipelined statements).
+func (s *SessionStore) RunTxn(w int, fn func(local tpcc.Store) error) error {
+	if !s.RunsWhole(w) {
+		return fn(s)
+	}
+	// Statements of earlier cross-warehouse transactions were consumed at
+	// their barriers; resolve any straggler so the closure observes them.
+	if err := s.syncWrites(w); err != nil {
+		return err
+	}
+	s.txnFn, s.local.w = fn, w
+	out, err := s.session.Invoke(core.Task{Structure: s.engine.name(w), Op: s.txnOp})
+	s.txnFn = nil
+	if err != nil {
+		return err
+	}
+	if out != nil {
+		return out.(error)
+	}
+	return nil
+}
+
+// domainStore is the warehouse-local tpcc.Store a whole-transaction closure
+// runs against inside the domain. Statements execute directly on the owned
+// partition; touching any other warehouse is a programming error (the
+// closure was promised to be single-warehouse) and fails loudly.
+type domainStore struct {
+	wh *Warehouse
+	w  int
+}
+
+func (d *domainStore) table(w int, t tpcc.Table) (index.Index, error) {
+	if w != d.w {
+		return nil, fmt.Errorf("oltp: whole-transaction task for warehouse %d touched warehouse %d", d.w, w)
+	}
+	return d.wh.tables[t], nil
+}
+
+// Get implements tpcc.Store.
+func (d *domainStore) Get(w int, t tpcc.Table, key uint64) (uint64, bool, error) {
+	tb, err := d.table(w, t)
+	if err != nil {
+		return 0, false, err
+	}
+	v, ok := tb.Get(key, nil)
+	return v, ok, nil
+}
+
+// Update implements tpcc.Store.
+func (d *domainStore) Update(w int, t tpcc.Table, key, val uint64) (bool, error) {
+	tb, err := d.table(w, t)
+	if err != nil {
+		return false, err
+	}
+	return tb.Update(key, val, nil), nil
+}
+
+// Insert implements tpcc.Store.
+func (d *domainStore) Insert(w int, t tpcc.Table, key, val uint64) (bool, error) {
+	tb, err := d.table(w, t)
+	if err != nil {
+		return false, err
+	}
+	return tb.Insert(key, val, nil), nil
+}
+
+// Delete implements tpcc.Store.
+func (d *domainStore) Delete(w int, t tpcc.Table, key uint64) (bool, error) {
+	tb, err := d.table(w, t)
+	if err != nil {
+		return false, err
+	}
+	return tb.Delete(key, nil), nil
+}
+
+// Scan implements tpcc.Store.
+func (d *domainStore) Scan(w int, t tpcc.Table, lo, hi uint64, fn func(k, v uint64) bool) (int, error) {
+	if w != d.w {
+		return 0, fmt.Errorf("oltp: whole-transaction task for warehouse %d touched warehouse %d", d.w, w)
+	}
+	return d.wh.scan(t, lo, hi, fn)
+}
+
+// RMW implements tpcc.Store.
+func (d *domainStore) RMW(w int, t tpcc.Table, key uint64, kind tpcc.RMWKind, delta uint64) (uint64, bool, error) {
+	tb, err := d.table(w, t)
+	if err != nil {
+		return 0, false, err
+	}
+	old, ok := tb.Get(key, nil)
+	if !ok {
+		return 0, false, nil
+	}
+	nv := tpcc.ApplyRMW(kind, old, delta)
+	tb.Update(key, nv, nil)
+	return nv, true, nil
+}
+
+// Close flushes any pending fused batches, drains the session and releases
+// its slots.
+func (s *SessionStore) Close() error {
+	var firstErr error
+	for _, b := range s.batches {
+		if b != nil {
+			if err := b.flush(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	if err := s.session.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}

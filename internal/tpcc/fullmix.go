@@ -7,7 +7,8 @@ import "fmt"
 // complete the remaining 12%. The paper notes the two implemented
 // transactions "represent 88% of the workload"; the engines' statement→task
 // mapping handles the rest without any runtime change, which this file
-// demonstrates.
+// demonstrates. All three always touch only the home warehouse, so under a
+// whole-transaction engine they ship into its domain as one task each.
 
 // StockLevelThreshold is the quantity below which Stock-Level counts an
 // item as low (the spec draws 10–20; we fix the midpoint for determinism).
@@ -18,6 +19,17 @@ const StockLevelThreshold = 15
 // (the minimum NewOrders entry), computes the order's amount from its lines
 // and credits the customer's balance.
 func (t *Terminal) Delivery() error {
+	if t.runner != nil && t.runner.RunsWhole(t.home) {
+		return t.runner.RunTxn(t.home, t.delFn)
+	}
+	return t.execDelivery(t.as)
+}
+
+// execDelivery is the Delivery statement body. Per district the NewOrders
+// consume and the order's customer read fly while the line scan runs, the
+// line prices resolve as a batch, and the balance credit closes the
+// district.
+func (t *Terminal) execDelivery(as AsyncStore) error {
 	w := t.home
 	for d := 1; d <= DistrictsPerWarehouse; d++ {
 		// Oldest new order of the district: the minimum key in the
@@ -25,7 +37,7 @@ func (t *Terminal) Delivery() error {
 		lo, hi := OrderKey(d, 0), OrderKey(d, (1<<40)-1)
 		var oldest uint64
 		found := false
-		if _, err := t.store.Scan(w, NewOrders, lo, hi, func(k, v uint64) bool {
+		if _, err := as.Scan(w, NewOrders, lo, hi, func(k, v uint64) bool {
 			oldest = k
 			found = true
 			return false // first key is the minimum
@@ -35,72 +47,120 @@ func (t *Terminal) Delivery() error {
 		if !found {
 			continue // nothing to deliver in this district (allowed)
 		}
-		if _, err := t.store.Delete(w, NewOrders, oldest); err != nil {
-			return err
-		}
+		fdel := as.DeleteAsync(w, NewOrders, oldest)
 		o := int(oldest & ((1 << 40) - 1))
-		cu, ok, err := t.store.Get(w, Orders, OrderKey(d, o))
-		if err != nil || !ok {
-			return orFmt(err, "delivery: order %d/%d missing", d, o)
-		}
-		// Sum the order's line amounts (qty × item price).
-		amount := uint64(0)
+		fcu := as.GetAsync(w, Orders, OrderKey(d, o))
+
+		// Collect the order's lines, then price them as one flight.
+		nLines := 0
 		llo, lhi := OrderLineKey(d, o, 0), OrderLineKey(d, o, 255)
-		if _, err := t.store.Scan(w, OrderLines, llo, lhi, func(k, v uint64) bool {
-			item, qty := UnpackLine(v)
-			price, okP, _ := t.store.Get(w, ItemPrice, ItemKey(item))
-			if okP {
-				amount += price * uint64(qty)
+		_, scanErr := as.Scan(w, OrderLines, llo, lhi, func(k, v uint64) bool {
+			if nLines < len(t.lineBuf) {
+				t.lineBuf[nLines] = v
+				nLines++
 			}
 			return true
-		}); err != nil {
+		})
+		for i := 0; i < nLines; i++ {
+			item, _ := UnpackLine(t.lineBuf[i])
+			t.futA[i] = as.GetAsync(w, ItemPrice, ItemKey(item))
+		}
+		amount := uint64(0)
+		var err error
+		for i := 0; i < nLines; i++ {
+			price, okP, e := t.futA[i].Value()
+			if okP {
+				_, qty := UnpackLine(t.lineBuf[i])
+				amount += price * uint64(qty)
+			}
+			if err == nil {
+				err = e
+			}
+		}
+		cu, okC, eC := fcu.Value()
+		_, _, eD := fdel.Value()
+		switch {
+		case err != nil:
+		case scanErr != nil:
+			err = scanErr
+		case eC != nil:
+			err = eC
+		case !okC:
+			err = fmt.Errorf("delivery: order %d/%d missing", d, o)
+		case eD != nil:
+			err = eD
+		}
+		if err != nil {
 			return err
 		}
-		bal, ok, err := t.store.Get(w, CustomerBalance, CustomerKey(d, int(cu)))
-		if err != nil || !ok {
-			return orFmt(err, "delivery: customer %d/%d missing", d, cu)
+		fb := as.RMWAsync(w, CustomerBalance, CustomerKey(d, int(cu)), RMWAdd, amount)
+		_, okB, eB := fb.Value()
+		if eB != nil {
+			return eB
 		}
-		newBal := DecodeBalance(bal) + int64(amount)
-		if _, err := t.store.Update(w, CustomerBalance, CustomerKey(d, int(cu)), EncodeBalance(newBal)); err != nil {
-			return err
+		if !okB {
+			return fmt.Errorf("delivery: customer %d/%d missing", d, cu)
 		}
 	}
 	t.Deliveries++
 	return nil
 }
 
+// drawOrderStatus pre-draws one Order-Status' parameters in the historical
+// rng order.
+func (t *Terminal) drawOrderStatus() {
+	p := &t.osp
+	p.d = 1 + t.rng.Intn(DistrictsPerWarehouse)
+	p.byName = t.rng.Intn(100) < 60
+	if p.byName {
+		p.name = LastName(nameNumber(1+t.rng.Intn(t.cfg.Customers), t.cfg.Customers))
+		p.nameHash = NameHash(p.name)
+	} else {
+		p.cu = 1 + t.rng.Intn(t.cfg.Customers)
+	}
+}
+
 // OrderStatus executes the TPC-C Order-Status transaction: it resolves a
 // customer (60% by last name) and reads their most recent order with its
-// lines. Read-only.
+// lines. Read-only and scan-dominated, so it gains nothing from pipelining;
+// it still ships whole into the warehouse's domain when the engine
+// supports it.
 func (t *Terminal) OrderStatus() error {
+	t.drawOrderStatus()
+	if t.runner != nil && t.runner.RunsWhole(t.home) {
+		return t.runner.RunTxn(t.home, t.osFn)
+	}
+	return t.execOrderStatus(t.store, &t.osp)
+}
+
+// execOrderStatus is the Order-Status body (synchronous: every statement
+// depends on the previous scan).
+func (t *Terminal) execOrderStatus(s Store, p *osParams) error {
 	w := t.home
-	d := 1 + t.rng.Intn(DistrictsPerWarehouse)
-	var cu int
-	if t.rng.Intn(100) < 60 {
-		name := LastName(nameNumber(1+t.rng.Intn(t.cfg.Customers), t.cfg.Customers))
-		lo, hi := CustomerNameRange(d, NameHash(name))
-		var matches []int
-		if _, err := t.store.Scan(w, CustomerByName, lo, hi, func(k, v uint64) bool {
-			matches = append(matches, int(v))
+	d := p.d
+	cu := p.cu
+	if p.byName {
+		lo, hi := CustomerNameRange(d, p.nameHash)
+		t.matches = t.matches[:0]
+		if _, err := s.Scan(w, CustomerByName, lo, hi, func(k, v uint64) bool {
+			t.matches = append(t.matches, int(v))
 			return true
 		}); err != nil {
 			return err
 		}
-		if len(matches) == 0 {
-			return fmt.Errorf("order-status: no customer named %s in %d/%d", name, w, d)
+		if len(t.matches) == 0 {
+			return fmt.Errorf("order-status: no customer named %s in %d/%d", p.name, w, d)
 		}
-		cu = matches[len(matches)/2]
-	} else {
-		cu = 1 + t.rng.Intn(t.cfg.Customers)
+		cu = t.matches[len(t.matches)/2]
 	}
-	if _, ok, err := t.store.Get(w, CustomerBalance, CustomerKey(d, cu)); err != nil || !ok {
+	if _, ok, err := s.Get(w, CustomerBalance, CustomerKey(d, cu)); err != nil || !ok {
 		return orFmt(err, "order-status: customer %d/%d missing", d, cu)
 	}
 	// Most recent order of this customer: highest order id in the
 	// district whose Orders row names the customer.
 	lo, hi := OrderKey(d, 0), OrderKey(d, (1<<40)-1)
 	lastOrder := -1
-	if _, err := t.store.Scan(w, Orders, lo, hi, func(k, v uint64) bool {
+	if _, err := s.Scan(w, Orders, lo, hi, func(k, v uint64) bool {
 		if int(v) == cu {
 			lastOrder = int(k & ((1 << 40) - 1))
 		}
@@ -110,7 +170,7 @@ func (t *Terminal) OrderStatus() error {
 	}
 	if lastOrder >= 0 {
 		llo, lhi := OrderLineKey(d, lastOrder, 0), OrderLineKey(d, lastOrder, 255)
-		if _, err := t.store.Scan(w, OrderLines, llo, lhi, func(k, v uint64) bool { return true }); err != nil {
+		if _, err := s.Scan(w, OrderLines, llo, lhi, func(k, v uint64) bool { return true }); err != nil {
 			return err
 		}
 	}
@@ -120,11 +180,20 @@ func (t *Terminal) OrderStatus() error {
 
 // StockLevel executes the TPC-C Stock-Level transaction: it examines the
 // order lines of the district's last 20 orders and counts the distinct
-// items whose stock quantity is below the threshold. Read-only.
+// items whose stock quantity is below the threshold. Read-only; the
+// per-item stock reads are independent and pipeline as one flight.
 func (t *Terminal) StockLevel() error {
+	t.sld = 1 + t.rng.Intn(DistrictsPerWarehouse)
+	if t.runner != nil && t.runner.RunsWhole(t.home) {
+		return t.runner.RunTxn(t.home, t.slFn)
+	}
+	return t.execStockLevel(t.as, t.sld)
+}
+
+// execStockLevel is the Stock-Level body.
+func (t *Terminal) execStockLevel(as AsyncStore, d int) error {
 	w := t.home
-	d := 1 + t.rng.Intn(DistrictsPerWarehouse)
-	next, ok, err := t.store.Get(w, DistrictNextOID, DistrictKey(d))
+	next, ok, err := as.Get(w, DistrictNextOID, DistrictKey(d))
 	if err != nil || !ok {
 		return orFmt(err, "stock-level: district %d missing", d)
 	}
@@ -135,22 +204,30 @@ func (t *Terminal) StockLevel() error {
 	items := map[int]struct{}{}
 	llo := OrderLineKey(d, first, 0)
 	lhi := OrderLineKey(d, int(next), 255)
-	if _, err := t.store.Scan(w, OrderLines, llo, lhi, func(k, v uint64) bool {
+	if _, err := as.Scan(w, OrderLines, llo, lhi, func(k, v uint64) bool {
 		item, _ := UnpackLine(v)
 		items[item] = struct{}{}
 		return true
 	}); err != nil {
 		return err
 	}
-	low := 0
+	t.futExtra = t.futExtra[:0]
 	for item := range items {
-		q, okQ, err := t.store.Get(w, StockQuantity, StockKey(item))
-		if err != nil {
-			return err
+		t.futExtra = append(t.futExtra, as.GetAsync(w, StockQuantity, StockKey(item)))
+	}
+	low := 0
+	var firstErr error
+	for _, f := range t.futExtra {
+		q, okQ, err := f.Value()
+		if err != nil && firstErr == nil {
+			firstErr = err
 		}
 		if okQ && q < StockLevelThreshold {
 			low++
 		}
+	}
+	if firstErr != nil {
+		return firstErr
 	}
 	t.StockLevels++
 	_ = low // the count is the transaction's result; nothing to persist

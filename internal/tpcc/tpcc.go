@@ -183,6 +183,42 @@ type Store interface {
 	Delete(warehouse int, table Table, key uint64) (bool, error)
 	// Scan visits [lo, hi] of an ordered table in ascending key order.
 	Scan(warehouse int, table Table, lo, hi uint64, fn func(k, v uint64) bool) (int, error)
+	// RMW applies a typed read-modify-write (ApplyRMW) to a row as ONE
+	// statement, returning the new value. On the delegated engine the whole
+	// read-modify-write executes inside the owning domain, so pipelined
+	// transactions can keep several same-key RMWs in flight without the
+	// lost-update window a Get+Update pair would open.
+	RMW(warehouse int, table Table, key uint64, kind RMWKind, delta uint64) (uint64, bool, error)
+}
+
+// RMWKind selects the modify step of Store.RMW.
+type RMWKind uint8
+
+const (
+	// RMWAdd adds delta with wrapping arithmetic; subtraction passes the
+	// two's complement (uint64(-int64(x))). Offset-encoded balances work
+	// unchanged: EncodeBalance(b+δ) = EncodeBalance(b)+δ.
+	RMWAdd RMWKind = iota
+	// RMWStockDecr is New-Order's stock decrement: v -= delta, then
+	// v += 91 while v < 10 — the spec's wrap keeping quantities in
+	// [10, 100]. With quantities starting in [10, 100] and deltas in
+	// [1, 10] the result is the unique representative of (v−delta) mod 91
+	// in [10, 100], so concurrent and reordered stock decrements commute.
+	RMWStockDecr
+)
+
+// ApplyRMW computes the modify step of Store.RMW.
+func ApplyRMW(kind RMWKind, old, delta uint64) uint64 {
+	switch kind {
+	case RMWStockDecr:
+		v := int64(old) - int64(delta)
+		for v < 10 {
+			v += 91
+		}
+		return uint64(v)
+	default:
+		return old + delta
+	}
 }
 
 // Loader populates a Store with the generated database.

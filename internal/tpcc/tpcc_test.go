@@ -154,6 +154,17 @@ func (s *memStore) Delete(w int, t Table, k uint64) (bool, error) {
 	return true, nil
 }
 
+func (s *memStore) RMW(w int, t Table, k uint64, kind RMWKind, delta uint64) (uint64, bool, error) {
+	tab := s.table(w, t)
+	old, ok := tab[k]
+	if !ok {
+		return 0, false, nil
+	}
+	nv := ApplyRMW(kind, old, delta)
+	tab[k] = nv
+	return nv, true, nil
+}
+
 func (s *memStore) Scan(w int, t Table, lo, hi uint64, fn func(k, v uint64) bool) (int, error) {
 	tab := s.table(w, t)
 	// Order by key for determinism.

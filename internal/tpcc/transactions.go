@@ -8,16 +8,53 @@ import (
 // Terminal generates and executes New-Order and Payment transactions
 // against a Store, as one client terminal. Terminals are single-goroutine;
 // run one per client thread.
+//
+// Transactions are structured for pipelined execution: each one first draws
+// every random parameter (the same rng stream as the historical interleaved
+// code — store calls never consume the rng), then executes its statements
+// against the store's AsyncStore view, keeping independent statements
+// concurrently in flight and synchronising once per dependency barrier.
+// When the parameters show the transaction touches a single warehouse and
+// the store can run whole transactions in the owning domain (TxnRunner),
+// the whole closure ships as one task instead; a cross-warehouse
+// transaction — remote Payment, remote-item New-Order — automatically falls
+// back to pipelined statements.
 type Terminal struct {
-	cfg   Config
-	store Store
-	rng   *rand.Rand
-	home  int    // home warehouse
-	id    uint64 // terminal id, namespaces history rows
+	cfg    Config
+	store  Store
+	as     AsyncStore // async view of store (native or eager adapter)
+	runner TxnRunner  // non-nil when store delegates whole transactions
+	rng    *rand.Rand
+	home   int    // home warehouse
+	id     uint64 // terminal id, namespaces history rows
 	// RemoteFrac is the probability a transaction touches a remote
 	// warehouse (the paper sweeps 0–75%).
 	RemoteFrac float64
 	seq        uint64 // history sequence
+
+	// Prebuilt whole-transaction closures (no per-transaction closure
+	// allocation) and the reusable adapter they aim at the domain-local
+	// store.
+	wrap  immediateAsync
+	noFn  func(local Store) error
+	payFn func(local Store) error
+	delFn func(local Store) error
+	osFn  func(local Store) error
+	slFn  func(local Store) error
+
+	// Per-transaction parameter blocks and statement scratch, reused
+	// across transactions.
+	no       noParams
+	pay      payParams
+	osp      osParams
+	sld      int // Stock-Level district
+	matches  []int
+	lineBuf  [MaxItemsPerOrder]uint64
+	futA     [MaxItemsPerOrder]StmtFuture
+	futB     [MaxItemsPerOrder]StmtFuture
+	futC     [MaxItemsPerOrder]StmtFuture
+	futD     [MaxItemsPerOrder]StmtFuture
+	futExtra []StmtFuture
 
 	// Stats.
 	NewOrders     uint64
@@ -25,6 +62,31 @@ type Terminal struct {
 	Deliveries    uint64
 	OrderStatuses uint64
 	StockLevels   uint64
+}
+
+// noParams is one New-Order's pre-drawn parameter block.
+type noParams struct {
+	w, d, c, lines int
+	items          [MaxItemsPerOrder]int
+	qtys           [MaxItemsPerOrder]int
+	suppliers      [MaxItemsPerOrder]int
+}
+
+// payParams is one Payment's pre-drawn parameter block.
+type payParams struct {
+	w, d, cw, cd, cu int
+	amount           uint64
+	byName           bool
+	name             string
+	nameHash         uint32
+}
+
+// osParams is one Order-Status' pre-drawn parameter block.
+type osParams struct {
+	d, cu    int
+	byName   bool
+	name     string
+	nameHash uint32
 }
 
 // NewTerminal creates a terminal bound to a home warehouse.
@@ -39,10 +101,34 @@ func NewTerminal(cfg Config, store Store, home int, remoteFrac float64, seed int
 	if remoteFrac < 0 || remoteFrac > 1 {
 		return nil, fmt.Errorf("tpcc: remote fraction %v out of [0,1]", remoteFrac)
 	}
-	return &Terminal{
-		cfg: cfg, store: store, rng: rand.New(rand.NewSource(seed)),
+	t := &Terminal{
+		cfg: cfg, store: store, as: AsyncView(store), rng: rand.New(rand.NewSource(seed)),
 		home: home, id: uint64(seed) & 0xFFFF, RemoteFrac: remoteFrac,
-	}, nil
+	}
+	t.runner, _ = store.(TxnRunner)
+	t.noFn = func(local Store) error { return t.execNewOrder(t.asyncOn(local), &t.no) }
+	t.payFn = func(local Store) error { return t.execPayment(t.asyncOn(local), &t.pay) }
+	t.delFn = func(local Store) error { return t.execDelivery(t.asyncOn(local)) }
+	t.osFn = func(local Store) error { return t.execOrderStatus(local, &t.osp) }
+	t.slFn = func(local Store) error { return t.execStockLevel(t.asyncOn(local), t.sld) }
+	return t, nil
+}
+
+// asyncOn returns the AsyncStore view of the store a transaction body should
+// run against: the terminal's own pipelined view for its engine store, the
+// native view for async-capable local stores, or the terminal's reusable
+// eager adapter for the plain warehouse-local store a whole-transaction
+// closure receives. Whole-transaction closures run one at a time (RunTxn is
+// synchronous), so reusing one adapter is safe.
+func (t *Terminal) asyncOn(local Store) AsyncStore {
+	if local == t.store {
+		return t.as
+	}
+	if as, ok := local.(AsyncStore); ok {
+		return as
+	}
+	t.wrap.s = local
+	return &t.wrap
 }
 
 // remoteWarehouse picks a warehouse ≠ home (or home when there is only one).
@@ -67,133 +153,199 @@ func (t *Terminal) NextTransaction() error {
 	return t.Payment()
 }
 
+// drawNewOrder pre-draws one New-Order's parameters, consuming the rng in
+// the same order as the historical statement-interleaved code.
+func (t *Terminal) drawNewOrder() {
+	p := &t.no
+	p.w = t.home
+	p.d = 1 + t.rng.Intn(DistrictsPerWarehouse)
+	p.c = 1 + t.rng.Intn(t.cfg.Customers)
+	remote := t.rng.Float64() < t.RemoteFrac
+	p.lines = 5 + t.rng.Intn(11) // 5–15 lines per the spec
+	for i := 0; i < p.lines; i++ {
+		p.items[i] = 1 + t.rng.Intn(t.cfg.Items)
+		p.qtys[i] = 1 + t.rng.Intn(10)
+		p.suppliers[i] = p.w
+		if remote && i == 0 {
+			p.suppliers[i] = t.remoteWarehouse()
+		}
+	}
+}
+
 // NewOrder executes the TPC-C New-Order transaction: reads warehouse and
 // district tax, assigns the order id, inserts the order and its lines, and
-// updates stock for each line — possibly against a remote warehouse.
+// updates stock for each line — possibly against a remote warehouse. A
+// home-only order ships whole into the warehouse's domain when the engine
+// supports it; a remote-item order always runs as pipelined statements.
 func (t *Terminal) NewOrder() error {
-	w := t.home
-	d := 1 + t.rng.Intn(DistrictsPerWarehouse)
-	c := 1 + t.rng.Intn(t.cfg.Customers)
-	remote := t.rng.Float64() < t.RemoteFrac
+	t.drawNewOrder()
+	p := &t.no
+	if p.suppliers[0] == p.w && t.runner != nil && t.runner.RunsWhole(p.w) {
+		return t.runner.RunTxn(p.w, t.noFn)
+	}
+	return t.execNewOrder(t.as, p)
+}
 
-	if _, ok, err := t.store.Get(w, WarehouseTax, uint64(w)); err != nil || !ok {
-		return orFmt(err, "new-order: warehouse %d tax missing", w)
+// execNewOrder is the New-Order statement body. Two dependency barriers:
+// the order id RMW (with the tax reads riding along) must resolve before
+// the inserts that embed it; everything after is independent and stays in
+// flight until the final barrier. Every issued future is consumed even on
+// failure — statement futures are consume-once.
+func (t *Terminal) execNewOrder(as AsyncStore, p *noParams) error {
+	w, d := p.w, p.d
+	fw := as.GetAsync(w, WarehouseTax, uint64(w))
+	fd := as.GetAsync(w, DistrictTax, DistrictKey(d))
+	fo := as.RMWAsync(w, DistrictNextOID, DistrictKey(d), RMWAdd, 1)
+	_, okW, errW := fw.Value()
+	_, okD, errD := fd.Value()
+	noid, okO, errO := fo.Value()
+	if errW != nil || !okW {
+		return orFmt(errW, "new-order: warehouse %d tax missing", w)
 	}
-	if _, ok, err := t.store.Get(w, DistrictTax, DistrictKey(d)); err != nil || !ok {
-		return orFmt(err, "new-order: district %d tax missing", d)
+	if errD != nil || !okD {
+		return orFmt(errD, "new-order: district %d tax missing", d)
 	}
-	oid, ok, err := t.store.Get(w, DistrictNextOID, DistrictKey(d))
-	if err != nil || !ok {
-		return orFmt(err, "new-order: district %d next_o_id missing", d)
+	if errO != nil || !okO {
+		return orFmt(errO, "new-order: district %d next_o_id missing", d)
 	}
-	if _, err := t.store.Update(w, DistrictNextOID, DistrictKey(d), oid+1); err != nil {
-		return err
-	}
-	o := int(oid)
-	if _, err := t.store.Insert(w, Orders, OrderKey(d, o), uint64(c)); err != nil {
-		return err
-	}
-	if _, err := t.store.Insert(w, NewOrders, OrderKey(d, o), 1); err != nil {
-		return err
-	}
+	o := int(noid) - 1 // RMW returned the incremented id; this order gets the old one
 
-	lines := 5 + t.rng.Intn(11) // 5–15 lines per the spec
-	for line := 1; line <= lines; line++ {
-		item := 1 + t.rng.Intn(t.cfg.Items)
-		qty := 1 + t.rng.Intn(10)
-		supplier := w
-		if remote && line == 1 {
-			supplier = t.remoteWarehouse()
+	fOrd := as.InsertAsync(w, Orders, OrderKey(d, o), uint64(p.c))
+	fNew := as.InsertAsync(w, NewOrders, OrderKey(d, o), 1)
+	for i := 0; i < p.lines; i++ {
+		item, qty, sup := p.items[i], p.qtys[i], p.suppliers[i]
+		t.futA[i] = as.GetAsync(w, ItemPrice, ItemKey(item))
+		t.futB[i] = as.RMWAsync(sup, StockQuantity, StockKey(item), RMWStockDecr, uint64(qty))
+		t.futC[i] = as.RMWAsync(sup, StockYTD, StockKey(item), RMWAdd, uint64(qty))
+		t.futD[i] = as.InsertAsync(w, OrderLines, OrderLineKey(d, o, i+1), PackLine(item, qty))
+	}
+	var err error
+	if _, _, e := fOrd.Value(); err == nil {
+		err = e
+	}
+	if _, _, e := fNew.Value(); err == nil {
+		err = e
+	}
+	for i := 0; i < p.lines; i++ {
+		_, okP, eP := t.futA[i].Value()
+		_, okS, eS := t.futB[i].Value()
+		_, _, eY := t.futC[i].Value()
+		_, _, eL := t.futD[i].Value()
+		if err == nil {
+			switch {
+			case eP != nil:
+				err = eP
+			case !okP:
+				err = fmt.Errorf("new-order: item %d missing", p.items[i])
+			case eS != nil:
+				err = eS
+			case !okS:
+				err = fmt.Errorf("new-order: stock %d/%d missing", p.suppliers[i], p.items[i])
+			case eY != nil:
+				err = eY
+			case eL != nil:
+				err = eL
+			}
 		}
-		if _, ok, err := t.store.Get(w, ItemPrice, ItemKey(item)); err != nil || !ok {
-			return orFmt(err, "new-order: item %d missing", item)
-		}
-		sq, ok, err := t.store.Get(supplier, StockQuantity, StockKey(item))
-		if err != nil || !ok {
-			return orFmt(err, "new-order: stock %d/%d missing", supplier, item)
-		}
-		newQty := int64(sq) - int64(qty)
-		if newQty < 10 {
-			newQty += 91
-		}
-		if _, err := t.store.Update(supplier, StockQuantity, StockKey(item), uint64(newQty)); err != nil {
-			return err
-		}
-		ytd, _, err := t.store.Get(supplier, StockYTD, StockKey(item))
-		if err != nil {
-			return err
-		}
-		if _, err := t.store.Update(supplier, StockYTD, StockKey(item), ytd+uint64(qty)); err != nil {
-			return err
-		}
-		if _, err := t.store.Insert(w, OrderLines, OrderLineKey(d, o, line), PackLine(item, qty)); err != nil {
-			return err
-		}
+	}
+	if err != nil {
+		return err
 	}
 	t.NewOrders++
 	return nil
 }
 
+// drawPayment pre-draws one Payment's parameters in the historical rng
+// order: district, amount, remote customer, name-or-id resolution.
+func (t *Terminal) drawPayment() {
+	p := &t.pay
+	p.w = t.home
+	p.d = 1 + t.rng.Intn(DistrictsPerWarehouse)
+	p.amount = uint64(100 + t.rng.Intn(500000))
+	p.cw, p.cd = p.w, p.d
+	if t.rng.Float64() < t.RemoteFrac {
+		p.cw = t.remoteWarehouse()
+		p.cd = 1 + t.rng.Intn(DistrictsPerWarehouse)
+	}
+	p.byName = t.rng.Intn(100) < 60
+	if p.byName {
+		p.name = LastName(nameNumber(1+t.rng.Intn(t.cfg.Customers), t.cfg.Customers))
+		p.nameHash = NameHash(p.name)
+	} else {
+		p.cu = 1 + t.rng.Intn(t.cfg.Customers)
+	}
+}
+
 // Payment executes the TPC-C Payment transaction: updates warehouse and
 // district YTD, resolves the customer (60% by last name via the secondary
 // index), updates the balance and appends a history row. The customer is
-// remote with the configured probability.
+// remote with the configured probability; a home-customer payment ships
+// whole into the warehouse's domain when the engine supports it.
 func (t *Terminal) Payment() error {
-	w := t.home
-	d := 1 + t.rng.Intn(DistrictsPerWarehouse)
-	amount := uint64(100 + t.rng.Intn(500000))
+	t.drawPayment()
+	p := &t.pay
+	if p.cw == p.w && t.runner != nil && t.runner.RunsWhole(p.w) {
+		return t.runner.RunTxn(p.w, t.payFn)
+	}
+	return t.execPayment(t.as, p)
+}
 
-	ytd, ok, err := t.store.Get(w, WarehouseYTD, uint64(w))
-	if err != nil || !ok {
-		return orFmt(err, "payment: warehouse %d ytd missing", w)
-	}
-	if _, err := t.store.Update(w, WarehouseYTD, uint64(w), ytd+amount); err != nil {
-		return err
-	}
-	dy, ok, err := t.store.Get(w, DistrictYTD, DistrictKey(d))
-	if err != nil || !ok {
-		return orFmt(err, "payment: district %d ytd missing", d)
-	}
-	if _, err := t.store.Update(w, DistrictYTD, DistrictKey(d), dy+amount); err != nil {
-		return err
-	}
+// execPayment is the Payment statement body: the two YTD credits fly while
+// the customer resolves (a synchronous scan in the by-name case), then the
+// balance debit and history append join them at the final barrier.
+func (t *Terminal) execPayment(as AsyncStore, p *payParams) error {
+	fw := as.RMWAsync(p.w, WarehouseYTD, uint64(p.w), RMWAdd, p.amount)
+	fd := as.RMWAsync(p.w, DistrictYTD, DistrictKey(p.d), RMWAdd, p.amount)
 
-	// Customer resolution: remote customers pay at another warehouse.
-	cw, cd := w, d
-	if t.rng.Float64() < t.RemoteFrac {
-		cw = t.remoteWarehouse()
-		cd = 1 + t.rng.Intn(DistrictsPerWarehouse)
-	}
-	var cu int
-	if t.rng.Intn(100) < 60 {
+	cu := p.cu
+	var scanErr error
+	if p.byName {
 		// By last name: scan the secondary index and take the middle
 		// match, per the TPC-C specification.
-		name := LastName(nameNumber(1+t.rng.Intn(t.cfg.Customers), t.cfg.Customers))
-		lo, hi := CustomerNameRange(cd, NameHash(name))
-		var matches []int
-		if _, err := t.store.Scan(cw, CustomerByName, lo, hi, func(k, v uint64) bool {
-			matches = append(matches, int(v))
+		lo, hi := CustomerNameRange(p.cd, p.nameHash)
+		t.matches = t.matches[:0]
+		if _, err := as.Scan(p.cw, CustomerByName, lo, hi, func(k, v uint64) bool {
+			t.matches = append(t.matches, int(v))
 			return true
 		}); err != nil {
-			return err
+			scanErr = err
+		} else if len(t.matches) == 0 {
+			scanErr = fmt.Errorf("payment: no customer named %s in %d/%d", p.name, p.cw, p.cd)
+		} else {
+			cu = t.matches[len(t.matches)/2]
 		}
-		if len(matches) == 0 {
-			return fmt.Errorf("payment: no customer named %s in %d/%d", name, cw, cd)
-		}
-		cu = matches[len(matches)/2]
-	} else {
-		cu = 1 + t.rng.Intn(t.cfg.Customers)
 	}
-	bal, ok, err := t.store.Get(cw, CustomerBalance, CustomerKey(cd, cu))
-	if err != nil || !ok {
-		return orFmt(err, "payment: customer %d/%d/%d missing", cw, cd, cu)
+	if scanErr != nil {
+		fw.Value()
+		fd.Value()
+		return scanErr
 	}
-	newBal := DecodeBalance(bal) - int64(amount)
-	if _, err := t.store.Update(cw, CustomerBalance, CustomerKey(cd, cu), EncodeBalance(newBal)); err != nil {
-		return err
-	}
+	fb := as.RMWAsync(p.cw, CustomerBalance, CustomerKey(p.cd, cu), RMWAdd, uint64(-int64(p.amount)))
 	t.seq++
-	if _, err := t.store.Insert(w, History, HistoryKey(d, t.seq<<16|t.id), amount); err != nil {
+	fh := as.InsertAsync(p.w, History, HistoryKey(p.d, t.seq<<16|t.id), p.amount)
+
+	_, okW, eW := fw.Value()
+	_, okD, eD := fd.Value()
+	_, okB, eB := fb.Value()
+	_, _, eH := fh.Value()
+	var err error
+	switch {
+	case eW != nil:
+		err = eW
+	case !okW:
+		err = fmt.Errorf("payment: warehouse %d ytd missing", p.w)
+	case eD != nil:
+		err = eD
+	case !okD:
+		err = fmt.Errorf("payment: district %d ytd missing", p.d)
+	case eB != nil:
+		err = eB
+	case !okB:
+		err = fmt.Errorf("payment: customer %d/%d/%d missing", p.cw, p.cd, cu)
+	case eH != nil:
+		err = eH
+	}
+	if err != nil {
 		return err
 	}
 	t.Payments++

@@ -1,25 +1,32 @@
 #!/bin/sh
 # alloc-smoke: cheap allocation gate on the delegation hot path.
 #
-# Runs BenchmarkDelegationInvoke for 100 iterations with -benchmem and fails
-# if the unobserved synchronous round trip reports more than 0 allocs/op —
-# the tentpole property of the zero-allocation hot path (DESIGN.md §10).
+# Runs the unobserved AND observed invoke benchmarks for 100 iterations with
+# -benchmem and fails if either reports more than 0 allocs/op or 0 B/op —
+# the tentpole property of the zero-allocation hot path (DESIGN.md §10),
+# which span recycling extends to the observed path.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-OUT="$(go test -run NONE -bench 'BenchmarkDelegationInvoke$' -benchtime 100x -benchmem .)"
+OUT="$(go test -run NONE -bench 'BenchmarkDelegationInvoke(Observed)?$' -benchtime 100x -benchmem .)"
 echo "$OUT"
 
-ALLOCS=$(echo "$OUT" | awk '/^BenchmarkDelegationInvoke/ {
-	for (i = 2; i <= NF; i++) if ($i == "allocs/op") print $(i-1)
-}')
-if [ -z "$ALLOCS" ]; then
-	echo "alloc-smoke: benchmark produced no allocs/op figure" >&2
-	exit 1
-fi
-if [ "$ALLOCS" != "0" ]; then
-	echo "alloc-smoke: BenchmarkDelegationInvoke reports $ALLOCS allocs/op, want 0" >&2
-	exit 1
-fi
-echo "alloc-smoke: hot path is allocation-free ($ALLOCS allocs/op)"
+for BENCH in BenchmarkDelegationInvoke BenchmarkDelegationInvokeObserved; do
+	LINE=$(echo "$OUT" | awk -v b="$BENCH" '$1 ~ "^"b"(-[0-9]+)?$" { print }')
+	if [ -z "$LINE" ]; then
+		echo "alloc-smoke: $BENCH produced no output" >&2
+		exit 1
+	fi
+	ALLOCS=$(echo "$LINE" | awk '{ for (i = 2; i <= NF; i++) if ($i == "allocs/op") print $(i-1) }')
+	BYTES=$(echo "$LINE" | awk '{ for (i = 2; i <= NF; i++) if ($i == "B/op") print $(i-1) }')
+	if [ -z "$ALLOCS" ] || [ -z "$BYTES" ]; then
+		echo "alloc-smoke: $BENCH produced no allocs/op / B/op figures" >&2
+		exit 1
+	fi
+	if [ "$ALLOCS" != "0" ] || [ "$BYTES" != "0" ]; then
+		echo "alloc-smoke: $BENCH reports $BYTES B/op, $ALLOCS allocs/op, want 0/0" >&2
+		exit 1
+	fi
+	echo "alloc-smoke: $BENCH is allocation-free ($BYTES B/op, $ALLOCS allocs/op)"
+done

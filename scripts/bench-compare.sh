@@ -1,0 +1,88 @@
+#!/bin/sh
+# bench-compare: guard the committed perf trajectory.
+#
+# Re-runs the snapshot benchmarks and compares fresh ns/op against the
+# committed BENCH_delegation.json baseline. Fails when any benchmark
+# regresses by more than THRESHOLD_PCT percent (default 15). Benchmarks
+# present in only one side are reported and skipped — renames and new
+# benchmarks don't fail the gate — but comparing nothing at all does.
+#
+# Each benchmark runs COUNT times (default 3) and the per-benchmark MINIMUM
+# ns/op is compared: scheduling noise on a shared host only ever slows a run
+# down, so the minimum is the stable estimate and keeps the gate from
+# flapping. BENCHTIME tunes -benchtime (default 300ms, like bench-snapshot).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BASELINE="BENCH_delegation.json"
+BENCHTIME="${BENCHTIME:-300ms}"
+THRESHOLD_PCT="${THRESHOLD_PCT:-15}"
+COUNT="${COUNT:-3}"
+
+if [ ! -f "$BASELINE" ]; then
+	echo "bench-compare: no $BASELINE baseline (run make bench first)" >&2
+	exit 1
+fi
+
+PATTERN='BenchmarkDelegation|BenchmarkAblationBurstSize|BenchmarkAblationResponseBatching|BenchmarkAblationTxnMode|BenchmarkIndex|BenchmarkTPCC'
+
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT INT TERM
+go test -run NONE -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" -count "$COUNT" . | tee "$RAW"
+
+# Join baseline records ("name ns" lines) with fresh benchmark output and
+# flag regressions beyond the threshold.
+awk -v threshold="$THRESHOLD_PCT" '
+NR == FNR {
+	# Baseline JSON: one record per line after bench-snapshot formatting.
+	if (match($0, /"name": "[^"]+"/)) {
+		name = substr($0, RSTART + 9, RLENGTH - 10)
+		if (match($0, /"ns_per_op": [0-9.]+/)) {
+			base[name] = substr($0, RSTART + 13, RLENGTH - 13)
+		}
+	}
+	next
+}
+/^Benchmark/ && /ns\/op/ {
+	name = $1
+	ns = ""
+	for (i = 2; i <= NF; i++) if ($i == "ns/op") ns = $(i - 1)
+	if (ns == "") next
+	if (!(name in fresh) || ns + 0 < fresh[name] + 0) fresh[name] = ns
+}
+END {
+	compared = 0
+	failed = 0
+	for (name in fresh) {
+		if (!(name in base)) {
+			printf "bench-compare: NEW      %-48s %12.1f ns/op (no baseline, skipped)\n", name, fresh[name]
+			continue
+		}
+		compared++
+		delta = (fresh[name] - base[name]) / base[name] * 100
+		status = "ok"
+		if (delta > threshold) {
+			status = "REGRESSED"
+			failed++
+		}
+		printf "bench-compare: %-9s %-48s %12.1f -> %12.1f ns/op (%+6.1f%%)\n", \
+			status, name, base[name], fresh[name], delta
+	}
+	for (name in base) {
+		if (!(name in fresh)) {
+			printf "bench-compare: GONE     %-48s (in baseline only, skipped)\n", name
+		}
+	}
+	if (compared == 0) {
+		print "bench-compare: no benchmarks compared against the baseline" > "/dev/stderr"
+		exit 1
+	}
+	if (failed > 0) {
+		printf "bench-compare: %d of %d benchmarks regressed more than %s%%\n", \
+			failed, compared, threshold > "/dev/stderr"
+		exit 1
+	}
+	printf "bench-compare: %d benchmarks within %s%% of the committed baseline\n", compared, threshold
+}
+' "$BASELINE" "$RAW"
