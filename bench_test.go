@@ -236,6 +236,137 @@ func BenchmarkDelegationInvokeObserved(b *testing.B) {
 	}
 }
 
+// BenchmarkDelegationReadBypass is the read-path counterpart of
+// BenchmarkDelegationInvoke: a NOP read-only task submitted through
+// SubmitRead against a bypass-armed Hash Map, so the number measures the
+// validated-local-read protocol itself — route, publication-word loads,
+// re-validation — with no index work and no allocations (alloc-smoke pins
+// the 0 B/op).
+func BenchmarkDelegationReadBypass(b *testing.B) {
+	machine := robustconf.Machine(1)
+	cfg := robustconf.Config{
+		Machine:      machine,
+		Domains:      []robustconf.Domain{{Name: "d", CPUs: robustconf.CPURange(0, 4)}},
+		Assignment:   map[string]int{"x": 0},
+		ReadPolicies: map[string]robustconf.ReadPolicy{"x": robustconf.ReadBypass},
+	}
+	rt, err := robustconf.Start(cfg, map[string]any{"x": hashmap.New()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rt.Stop()
+	s, err := rt.NewSession(0, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	task := robustconf.Task{Structure: "x", Op: func(ds any) any { return nil }}
+	if _, err := s.SubmitRead(task); err != nil { // warm up lazy read state
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.SubmitRead(task); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchReadPolicy drives one seeded YCSB stream through a single session
+// with reads classified at submit time, under the given read policy — the
+// real-work version of the read-path comparison (ISSUE 5 acceptance: bypass
+// must at least double delegated YCSB-C throughput and come within 1.5× of
+// the direct baseline; adaptive must not regress YCSB-A).
+func benchReadPolicy(b *testing.B, mix workload.Mix, policy robustconf.ReadPolicy) {
+	const preload = 100_000
+	idx := hashmap.New()
+	for _, k := range workload.LoadKeys(preload) {
+		idx.Insert(k, k, nil)
+	}
+	machine := robustconf.Machine(1)
+	rt, err := robustconf.Start(robustconf.Config{
+		Machine:      machine,
+		Domains:      []robustconf.Domain{{Name: "d", CPUs: robustconf.CPURange(0, 4)}},
+		Assignment:   map[string]int{"x": 0},
+		ReadPolicies: map[string]robustconf.ReadPolicy{"x": policy},
+	}, map[string]any{"x": idx})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rt.Stop()
+	s, err := rt.NewSession(0, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	gen, err := workload.NewGenerator(mix, preload, 0, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// One reusable task per kind, closing over mutable operands: both paths
+	// are synchronous, so the operands are stable while a task is in flight,
+	// and neither path pays a per-op closure allocation the direct baseline
+	// doesn't have.
+	var key, val uint64
+	var update bool
+	readTask := robustconf.Task{Structure: "x", Op: func(ds any) any {
+		ds.(*hashmap.Map).Get(key, nil)
+		return nil
+	}}
+	writeTask := robustconf.Task{Structure: "x", Op: func(ds any) any {
+		mp := ds.(*hashmap.Map)
+		if update {
+			mp.Update(key, val, nil)
+		} else {
+			mp.Insert(key, val, nil)
+		}
+		return nil
+	}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op := gen.Next()
+		key, val, update = op.Key, op.Val, op.Type == workload.OpUpdate
+		if op.Type == workload.OpRead {
+			_, err = s.SubmitRead(readTask)
+		} else {
+			_, err = s.Invoke(writeTask)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReadBypass compares the read-path policies on the Hash Map:
+// YCSB-C delegated vs bypass vs the undelgated direct bound, and YCSB-A
+// delegated vs adaptive (which must detect the 50% write fraction and stay
+// at delegation cost). Tracked in BENCH_delegation.json.
+func BenchmarkReadBypass(b *testing.B) {
+	b.Run("ycsb-c/delegated", func(b *testing.B) { benchReadPolicy(b, workload.C, robustconf.ReadDelegate) })
+	b.Run("ycsb-c/bypass", func(b *testing.B) { benchReadPolicy(b, workload.C, robustconf.ReadBypass) })
+	b.Run("ycsb-c/direct", func(b *testing.B) {
+		const preload = 100_000
+		idx := hashmap.New()
+		for _, k := range workload.LoadKeys(preload) {
+			idx.Insert(k, k, nil)
+		}
+		gen, err := workload.NewGenerator(workload.C, preload, 0, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			op := gen.Next()
+			idx.Get(op.Key, nil)
+		}
+	})
+	b.Run("ycsb-a/delegated", func(b *testing.B) { benchReadPolicy(b, workload.A, robustconf.ReadDelegate) })
+	b.Run("ycsb-a/adaptive", func(b *testing.B) { benchReadPolicy(b, workload.A, robustconf.ReadAdaptive) })
+}
+
 // BenchmarkAblationBurstSize sweeps the burst size (the paper fixes 14):
 // larger bursts overlap more pending tasks per client.
 func BenchmarkAblationBurstSize(b *testing.B) {

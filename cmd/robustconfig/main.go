@@ -149,18 +149,24 @@ func runPlan(plan *config.Plan, instances []config.Instance, ops int, records ui
 			}
 			for i := 0; i < ops; i++ {
 				op := gen.Next()
-				_, err := session.Invoke(core.Task{Structure: inst.Name, Op: func(ds any) any {
-					tr := ds.(index.Index)
-					switch op.Type {
-					case workload.OpRead:
-						v, _ := tr.Get(op.Key, nil)
+				var err error
+				if op.Type == workload.OpRead {
+					// Reads are classified at submit time so the plan's
+					// calibrated read policy takes effect (bypass/adaptive
+					// instances serve these locally when validation holds).
+					_, err = session.SubmitRead(core.Task{Structure: inst.Name, Op: func(ds any) any {
+						v, _ := ds.(index.Index).Get(op.Key, nil)
 						return v
-					case workload.OpUpdate:
-						return tr.Update(op.Key, op.Val, nil)
-					default:
+					}})
+				} else {
+					_, err = session.Invoke(core.Task{Structure: inst.Name, Op: func(ds any) any {
+						tr := ds.(index.Index)
+						if op.Type == workload.OpUpdate {
+							return tr.Update(op.Key, op.Val, nil)
+						}
 						return tr.Insert(op.Key, op.Val, nil)
-					}
-				}})
+					}})
+				}
 				if err != nil {
 					errs <- err
 					return

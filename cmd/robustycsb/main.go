@@ -35,6 +35,7 @@ func main() {
 	records := flag.Uint64("records", 100_000, "pre-loaded records")
 	ops := flag.Int("ops", 50_000, "operations per client")
 	burst := flag.Int("burst", robustconf.PaperBurstSize, "burst size (outstanding tasks per client)")
+	readPolicy := flag.String("readpolicy", "delegate", "read path: delegate, bypass, adaptive")
 	tracePath := flag.String("trace", "", "optional: write the generated op trace to this file first, then replay it")
 	obsAddr := flag.String("obs", "", "serve the observability endpoint on this address during the run (e.g. :6060)")
 	obsTrace := flag.Int("obs-trace", 0, "commit every Nth sampled task span to the trace ring (0 = off)")
@@ -57,6 +58,10 @@ func main() {
 	mix, ok := mixes[*mixName]
 	if !ok {
 		fatal(fmt.Errorf("unknown mix %q", *mixName))
+	}
+	policy, err := robustconf.ParseReadPolicy(*readPolicy)
+	if err != nil {
+		fatal(err)
 	}
 
 	for _, k := range workload.LoadKeys(*records) {
@@ -86,11 +91,12 @@ func main() {
 		fmt.Printf("obs: serving http://%s/metrics (also /spans, /events, /debug/pprof/)\n", addr)
 	}
 	rt, err := robustconf.Start(robustconf.Config{
-		Machine:    machine,
-		Domains:    domains,
-		Assignment: map[string]int{"ycsb": 0},
-		Faults:     faults,
-		Obs:        observer,
+		Machine:      machine,
+		Domains:      domains,
+		Assignment:   map[string]int{"ycsb": 0},
+		ReadPolicies: map[string]robustconf.ReadPolicy{"ycsb": policy},
+		Faults:       faults,
+		Obs:          observer,
 	}, map[string]any{"ycsb": idx})
 	if err != nil {
 		fatal(err)
@@ -170,18 +176,24 @@ func main() {
 			for _, op := range streams[c] {
 				op := op
 				t0 := time.Now()
-				_, err := session.Invoke(robustconf.Task{Structure: "ycsb", Op: func(ds any) any {
-					tr := ds.(index.Index)
-					switch op.Type {
-					case workload.OpRead:
-						v, _ := tr.Get(op.Key, nil)
+				var err error
+				if op.Type == workload.OpRead {
+					// Classified at submit time so the -readpolicy axis takes
+					// effect: bypass/adaptive attempt the validated local read
+					// and fall back to delegation when validation fails.
+					_, err = session.SubmitRead(robustconf.Task{Structure: "ycsb", Op: func(ds any) any {
+						v, _ := ds.(index.Index).Get(op.Key, nil)
 						return v
-					case workload.OpUpdate:
-						return tr.Update(op.Key, op.Val, nil)
-					default:
+					}})
+				} else {
+					_, err = session.Invoke(robustconf.Task{Structure: "ycsb", Op: func(ds any) any {
+						tr := ds.(index.Index)
+						if op.Type == workload.OpUpdate {
+							return tr.Update(op.Key, op.Val, nil)
+						}
 						return tr.Insert(op.Key, op.Val, nil)
-					}
-				}})
+					}})
+				}
 				latency.Record(uint64(time.Since(t0).Nanoseconds()))
 				if err != nil {
 					errs <- err
@@ -198,8 +210,8 @@ func main() {
 	elapsed := time.Since(start)
 
 	total := float64(*clients * *ops)
-	fmt.Printf("%s / %s: domains of %d workers, %d clients, burst %d\n",
-		idx.Name(), mix.Name, *domain, *clients, effBurst)
+	fmt.Printf("%s / %s: domains of %d workers, %d clients, burst %d, read policy %s (effective %s)\n",
+		idx.Name(), mix.Name, *domain, *clients, effBurst, policy, rt.EffectiveReadPolicy("ycsb"))
 	fmt.Printf("throughput: %.0f ops/s (%d ops in %v)\n",
 		total/elapsed.Seconds(), int(total), elapsed.Round(time.Millisecond))
 	fmt.Printf("latency ns: %s\n", latency.String())

@@ -130,6 +130,25 @@ type Instance struct {
 	CoLocateWith string
 }
 
+// RecommendReadPolicy derives an instance's read-path policy from its
+// workload mix, making the read policy a calibrated configuration axis
+// alongside domain size: purely read-only mixes always bypass, read-mostly
+// mixes bypass adaptively (so a drifting write fraction self-corrects at
+// runtime), and write-heavy mixes keep every read delegated — bypass
+// validation would mostly fail under them and each miss costs wasted
+// attempts. The 15% threshold mirrors core's adaptive cutoff: YCSB-C (0%)
+// bypasses, YCSB-D (5% inserts) adapts, YCSB-A (50% updates) delegates.
+func RecommendReadPolicy(mix workload.Mix) core.ReadPolicy {
+	switch wf := mix.WriteFraction(); {
+	case wf == 0:
+		return core.ReadBypass
+	case wf <= 0.15:
+		return core.ReadAdaptive
+	default:
+		return core.ReadDelegate
+	}
+}
+
 // PlanDomain is one virtual domain of a composed plan.
 type PlanDomain struct {
 	Size      int
@@ -145,6 +164,10 @@ type Plan struct {
 	Kind string
 	// CalibratedSizes records each instance's calibrated optimal size.
 	CalibratedSizes map[string]int
+	// ReadPolicies records each instance's recommended read-path policy
+	// (RecommendReadPolicy over its mix); Materialise carries them into
+	// core.Config.ReadPolicies.
+	ReadPolicies map[string]core.ReadPolicy
 }
 
 // String renders the plan in the robustconfig tool's format.
@@ -157,6 +180,18 @@ func (p *Plan) String() string {
 			tag = " [isolated]"
 		}
 		fmt.Fprintf(&b, "  domain %2d: %3d workers%s ← %s\n", i, d.Size, tag, strings.Join(d.Instances, ", "))
+	}
+	if len(p.ReadPolicies) > 0 {
+		names := make([]string, 0, len(p.ReadPolicies))
+		for name := range p.ReadPolicies {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		var pairs []string
+		for _, name := range names {
+			pairs = append(pairs, fmt.Sprintf("%s=%s", name, p.ReadPolicies[name]))
+		}
+		fmt.Fprintf(&b, "  read policies: %s\n", strings.Join(pairs, ", "))
 	}
 	return b.String()
 }
@@ -203,11 +238,14 @@ func Compose(instances []Instance, workers int, measure MeasureFunc) (*Plan, err
 		names[inst.Name] = i
 	}
 
-	plan := &Plan{CalibratedSizes: map[string]int{}}
+	plan := &Plan{CalibratedSizes: map[string]int{}, ReadPolicies: map[string]core.ReadPolicy{}}
 
-	// Step 1+2: calibrated optimal size per instance.
+	// Step 1+2: calibrated optimal size per instance, plus the read-path
+	// policy its mix recommends (a second per-instance configuration axis;
+	// core gates it on the materialised structure's concurrent-read safety).
 	calCache := map[string]int{}
 	for _, inst := range instances {
+		plan.ReadPolicies[inst.Name] = RecommendReadPolicy(inst.Mix)
 		key := fmt.Sprintf("%d/%s", inst.Kind, inst.Mix.Name)
 		size, ok := calCache[key]
 		if !ok {
@@ -400,6 +438,14 @@ func Materialise(plan *Plan, m *topology.Machine) (core.Config, error) {
 		})
 		for _, inst := range d.Instances {
 			cfg.Assignment[inst] = i
+		}
+	}
+	if len(plan.ReadPolicies) > 0 {
+		cfg.ReadPolicies = map[string]core.ReadPolicy{}
+		for inst, p := range plan.ReadPolicies {
+			if _, ok := cfg.Assignment[inst]; ok && p != core.ReadDelegate {
+				cfg.ReadPolicies[inst] = p
+			}
 		}
 	}
 	if err := cfg.Validate(); err != nil {

@@ -109,6 +109,11 @@ type Config struct {
 	// (crash, respawn, stop) are recorded. Nil — the default — leaves the
 	// delegation hot path untouched.
 	Obs *obs.Observer
+	// ReadPolicies maps structure names to their read-path policy (see
+	// ReadPolicy and Session.SubmitRead). Structures absent from the map —
+	// and structures that do not vouch for concurrent-reader safety — use
+	// ReadDelegate.
+	ReadPolicies map[string]ReadPolicy
 }
 
 // Validate checks the configuration's internal consistency.
@@ -145,6 +150,14 @@ func (c *Config) Validate() error {
 	for s, di := range c.Assignment {
 		if di < 0 || di >= len(c.Domains) {
 			return fmt.Errorf("core: structure %q assigned to domain %d of %d", s, di, len(c.Domains))
+		}
+	}
+	for s, p := range c.ReadPolicies {
+		if _, ok := c.Assignment[s]; !ok {
+			return fmt.Errorf("core: read policy for unassigned structure %q", s)
+		}
+		if p < ReadDelegate || p > ReadAdaptive {
+			return fmt.Errorf("core: structure %q has invalid read policy %d", s, int(p))
 		}
 	}
 	return nil
@@ -206,6 +219,11 @@ type Runtime struct {
 	domains []*Domain
 	faults  *metrics.FaultCounters
 
+	// readStates holds the per-structure read-bypass state for structures
+	// whose effective policy is not ReadDelegate. Built once in Start and
+	// read-only afterwards, so the read hot path probes it without a lock.
+	readStates map[string]*readState
+
 	mu      sync.Mutex
 	stopped bool
 }
@@ -235,6 +253,7 @@ func Start(cfg Config, structures map[string]any) (*Runtime, error) {
 		}
 	}
 	rt := &Runtime{cfg: cfg, faults: cfg.Faults}
+	rt.readStates = buildReadStates(cfg.ReadPolicies, structures)
 	if rt.faults == nil {
 		rt.faults = metrics.Faults
 	}
@@ -458,6 +477,14 @@ type Session struct {
 	cpu       int
 	burst     int
 	perDomain map[*Domain]*sessionClient
+
+	// Read-bypass state (readpolicy.go): session-local adaptive observation
+	// mirrors for the most recently touched adaptive structure, and the
+	// per-domain telemetry shards bypass outcomes report to.
+	rsLast            *readState
+	rsReads, rsWrites uint64
+	rsSince           uint64
+	readShards        map[*Domain]*obs.ClientShard
 }
 
 // sessionClient pairs a domain's delegation client with a reusable task
@@ -615,7 +642,11 @@ func (rt *Runtime) NewSession(cpu, burst int) (*Session, error) {
 	if burst < 1 {
 		return nil, fmt.Errorf("core: burst must be ≥ 1, got %d", burst)
 	}
-	return &Session{rt: rt, cpu: cpu, burst: burst, perDomain: map[*Domain]*sessionClient{}}, nil
+	return &Session{
+		rt: rt, cpu: cpu, burst: burst,
+		perDomain:  map[*Domain]*sessionClient{},
+		readShards: map[*Domain]*obs.ClientShard{},
+	}, nil
 }
 
 // client returns (creating on first use) the delegation client for domain d.
@@ -663,6 +694,7 @@ func (s *Session) client(d *Domain) (*sessionClient, error) {
 // Submit routes the task to the domain owning its structure and delegates
 // it, returning the future (step 1/2.x of Figure 3).
 func (s *Session) Submit(task Task) (*delegation.Future, error) {
+	s.noteWrite(task.Structure, 1)
 	d, ds, err := s.rt.route(task.Structure)
 	if err != nil {
 		return nil, err
@@ -689,6 +721,7 @@ func (s *Session) Submit(task Task) (*delegation.Future, error) {
 // statement first (its result stays cached for its Wait), preserving the
 // bursting-window semantics of Delegate.
 func (s *Session) SubmitAsync(structure string, op func(ds, arg any) any, arg any) (*AsyncFuture, error) {
+	s.noteWrite(structure, 1)
 	d, ds, err := s.rt.route(structure)
 	if err != nil {
 		return nil, err
@@ -765,6 +798,7 @@ func (s *Session) Barrier(structure string) error {
 // future, so the steady state allocates nothing (unlike Submit, whose
 // detached future and closure must escape to the heap).
 func (s *Session) Invoke(task Task) (any, error) {
+	s.noteWrite(task.Structure, 1)
 	d, ds, err := s.rt.route(task.Structure)
 	if err != nil {
 		return nil, err
@@ -788,6 +822,7 @@ func (s *Session) Invoke(task Task) (any, error) {
 // order. The error is the first lifecycle failure among them (PanicError,
 // ErrWorkerStopped); results of failed tasks are nil.
 func (s *Session) SubmitBulk(structure string, ops []func(ds any) any) ([]any, error) {
+	s.noteWrite(structure, uint64(len(ops)))
 	d, ds, err := s.rt.route(structure)
 	if err != nil {
 		return nil, err
@@ -819,6 +854,7 @@ func (s *Session) SubmitBulk(structure string, ops []func(ds any) any) ([]any, e
 // Like Invoke, the batch rides a reusable per-domain thunk and the slot's
 // recycled future — the only steady-state allocation is the results slice.
 func (s *Session) InvokeBatch(structure string, ops []func(ds any) any) ([]any, error) {
+	s.noteWrite(structure, uint64(len(ops)))
 	d, ds, err := s.rt.route(structure)
 	if err != nil {
 		return nil, err
@@ -844,6 +880,10 @@ func (s *Session) InvokeBatch(structure string, ops []func(ds any) any) ([]any, 
 // crashed worker) or slot-release inconsistency; the session is torn down
 // either way.
 func (s *Session) Close() error {
+	s.flushReadStats()
+	for _, sh := range s.readShards {
+		sh.Flush()
+	}
 	var firstErr error
 	for d, sc := range s.perDomain {
 		// Retire the pipelined statements first: every issued handle must be

@@ -55,6 +55,13 @@ func (rt *Runtime) Migrate(structure string, toDomain int) error {
 		return nil
 	}
 	src, dst := rt.domains[from], rt.domains[toDomain]
+	if rs := rt.readStates[structure]; rs != nil {
+		// Bump the migration epoch before the assignment swap, still under
+		// the lock: any session that routed before this bump and validates a
+		// bypass read after a new-domain mutation becomes visible re-reads
+		// the epoch and discards the read (see Session.SubmitRead).
+		rs.migrations.Add(1)
+	}
 	ds := src.structures[structure]
 	dst.structures[structure] = ds
 	delete(src.structures, structure)

@@ -327,6 +327,7 @@ type Slot struct {
 	fut   *Future
 	fut0  Future // recycled future for the zero-alloc synchronous path
 	owner int32  // client id for diagnostics; -1 = unowned
+	ro    bool   // task is read-only: the sweep must not count it as a mutating batch
 	buf   *Buffer
 }
 
@@ -341,10 +342,11 @@ func (s *Slot) posted() bool { return s.state.Load()&1 == 1 }
 // sides use sequentially consistent atomics, so either the worker's final
 // sweep observes the posted slot, or this client observes the seal and
 // rescues its own task with ErrWorkerStopped — a post can never dangle.
-func (s *Slot) post(t Task, f *Future) {
+func (s *Slot) post(t Task, f *Future, ro bool) {
 	s.task = t
 	s.fut = f
-	s.state.Store(s.state.Load() + 1) // release: publishes task+fut to the worker
+	s.ro = ro
+	s.state.Store(s.state.Load() + 1) // release: publishes task+fut+ro to the worker
 	if s.buf.sealed.Load() {
 		s.buf.rescue(s)
 	}
@@ -404,6 +406,20 @@ type Buffer struct {
 	Batched    atomic.Uint64 // tasks answered in multi-task sweeps (batching)
 	pubPending atomic.Int64  // posted-slot gauge at last flush (obs export)
 
+	_ [64]byte // publication words off the flush-cadence stats' line
+
+	// Read-bypass publication words (DESIGN.md §12): a seqlock split into an
+	// enter/exit counter pair so concurrent bumpers compose (a single parity
+	// word would not). A sweep pass bumps mutEnter before executing its first
+	// non-read task and mutExit after the pass; the pair is equal exactly when
+	// no mutating batch is in flight. Seal and crash fail-over poison the pair
+	// (mutEnter alone, under sealMu, before any future completes), leaving it
+	// permanently unequal — a bypass read can never validate across a seal or
+	// crash window, and a buffer is never re-armed after either. Invariant:
+	// mutEnter >= mutExit, always.
+	mutEnter atomic.Uint64
+	mutExit  atomic.Uint64
+
 	// Fault stats: cold paths only, kept exact with atomic RMWs.
 	Failed  atomic.Uint64 // futures completed with a typed error
 	Rescued atomic.Uint64 // posts into a sealed buffer answered with ErrWorkerStopped
@@ -437,6 +453,18 @@ func (b *Buffer) SetProbe(p *obs.WorkerShard) { b.probe = p }
 
 // Sealed reports whether the buffer has been sealed.
 func (b *Buffer) Sealed() bool { return b.sealed.Load() }
+
+// MutExit loads the exit half of the read-bypass publication pair. A
+// validating reader must load MutExit before MutEnter (per buffer): exits
+// trail enters, so loading in that order can only under-count exits and the
+// equality check stays conservative.
+func (b *Buffer) MutExit() uint64 { return b.mutExit.Load() }
+
+// MutEnter loads the enter half of the read-bypass publication pair. Equal
+// MutExit/MutEnter values mean no mutating sweep batch was in flight between
+// the two loads; a reader that re-reads MutEnter unchanged after its
+// structure read knows the read overlapped no mutating batch on this buffer.
+func (b *Buffer) MutEnter() uint64 { return b.mutEnter.Load() }
 
 // Pending counts the currently posted, unclaimed slots.
 //
@@ -546,6 +574,7 @@ func (b *Buffer) Sweep() int {
 // the owning client never reposts until it has observed the completion.
 func (b *Buffer) sweepSlots(hook FaultHook, probe *obs.WorkerShard, local bool) int {
 	n := 0
+	mutating := false
 	for i := range b.slots {
 		s := &b.slots[i]
 		v := s.state.Load() // acquire: sees task+fut when posted
@@ -558,8 +587,17 @@ func (b *Buffer) sweepSlots(hook FaultHook, probe *obs.WorkerShard, local bool) 
 			continue // answered by a racing completer this very moment
 		}
 		task := s.task
+		ro := s.ro
 		if !s.state.CompareAndSwap(v, v+1) {
 			continue // a seal-path sweep or rescue claimed it first
+		}
+		if !ro && !mutating {
+			// First non-read task of this pass: open the mutating window
+			// before it runs so a concurrent bypass reader cannot validate
+			// over its effects. Read-flagged tasks never open the window —
+			// a delegated read must not invalidate concurrent bypass reads.
+			b.mutEnter.Add(1)
+			mutating = true
 		}
 		s.task = nil
 		sp := f.span // nil unless this task's post was trace-sampled
@@ -584,6 +622,9 @@ func (b *Buffer) sweepSlots(hook FaultHook, probe *obs.WorkerShard, local bool) 
 			f.word.CompareAndSwap(w, w|futValue)
 		}
 		n++
+	}
+	if mutating {
+		b.mutExit.Add(1) // close the mutating window: pair balanced again
 	}
 	if local {
 		b.nSweeps++
@@ -612,6 +653,12 @@ func (b *Buffer) sweepSlots(hook FaultHook, probe *obs.WorkerShard, local bool) 
 func (b *Buffer) Seal() int {
 	b.sealMu.Lock()
 	defer b.sealMu.Unlock()
+	// Poison the read-bypass publication pair before the final sweep runs a
+	// single task or completes a single future: the unmatched enter leaves
+	// the pair permanently unequal, so no bypass read that overlaps (or
+	// follows) the shutdown window can ever validate. Idempotent calls just
+	// deepen the imbalance.
+	b.mutEnter.Add(1)
 	b.sealed.Store(true)
 	return b.sweepSlots(nil, nil, false)
 }
@@ -624,6 +671,11 @@ func (b *Buffer) Seal() int {
 func (b *Buffer) FailPending(err error) int {
 	b.sealMu.Lock()
 	defer b.sealMu.Unlock()
+	// Crash fail-over poisons the publication pair before any future is
+	// failed, exactly like Seal: the worker may have died with structure
+	// state only it could vouch for, so bypass on this buffer is disabled
+	// for good — a respawned worker never re-arms it.
+	b.mutEnter.Add(1)
 	n := 0
 	for i := range b.slots {
 		s := &b.slots[i]
@@ -912,7 +964,7 @@ func (c *Client) PostReserved(i int32, task Task) InvokeHandle {
 	if c.probe != nil {
 		f.span = c.probe.PostRecycled()
 	}
-	s.post(task, f)
+	s.post(task, f, false)
 	return InvokeHandle{slot: i, tok: tok}
 }
 
@@ -950,7 +1002,7 @@ func (c *Client) Delegate(task Task) *Future {
 		// future) to the worker alongside the task.
 		f.span = c.probe.Post()
 	}
-	c.slots[i].post(task, f)
+	c.slots[i].post(task, f, false)
 	tail := c.head + c.n
 	if tail >= len(c.ring) {
 		tail -= len(c.ring)
@@ -983,7 +1035,16 @@ func (c *Client) Invoke(task Task) any {
 // this invocation and CAS-completed by exactly one of worker sweep, seal
 // rescue, or crash fail-over. The future never escapes, so the slot can be
 // recycled the moment the result is observed.
-func (c *Client) InvokeErr(task Task) (any, error) {
+func (c *Client) InvokeErr(task Task) (any, error) { return c.invokeErr(task, false) }
+
+// InvokeReadErr is InvokeErr for a task the caller guarantees is read-only:
+// the slot is posted with the read flag, so the worker's sweep does not open
+// a mutating-batch window for it. The read-bypass fallback path uses it — a
+// delegated read serializes with mutations exactly like any other task, it
+// just must not spuriously invalidate concurrent bypass readers.
+func (c *Client) InvokeReadErr(task Task) (any, error) { return c.invokeErr(task, true) }
+
+func (c *Client) invokeErr(task Task, ro bool) (any, error) {
 	i := c.takeSlot()
 	s := c.slots[i]
 	f := &s.fut0
@@ -996,7 +1057,7 @@ func (c *Client) InvokeErr(task Task) (any, error) {
 		// holders may Wait (and Resolve) long after the span would recycle.
 		f.span = c.probe.PostRecycled()
 	}
-	s.post(task, f)
+	s.post(task, f, ro)
 	v, err := f.awaitToken(tok)
 	c.free = append(c.free, i)
 	return v, err

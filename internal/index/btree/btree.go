@@ -55,6 +55,13 @@ func (t *Tree) Name() string { return "B-Tree" }
 // Scheme implements index.Index.
 func (t *Tree) Scheme() index.Scheme { return index.SchemeAtomicRecord }
 
+// ConcurrentReadSafe reports false: the optimistic read path loads leaf key
+// arrays with plain reads while writers store them in place under the
+// internal version lock — benign within this scheme's own validation, but a
+// data race for a foreign goroutine, so bypass reads must stay delegated
+// (see index.ConcurrentReadSafe).
+func (t *Tree) ConcurrentReadSafe() bool { return false }
+
 // Len implements index.Index.
 func (t *Tree) Len() int { return int(t.count.Load()) }
 

@@ -141,6 +141,12 @@ func (t *Tree) Name() string { return "BW-Tree" }
 // Scheme implements index.Index.
 func (t *Tree) Scheme() index.Scheme { return index.SchemeCOW }
 
+// ConcurrentReadSafe reports true: readers only traverse immutable delta
+// records and base nodes reached through CAS-published mapping-table slots,
+// so a read concurrent with any writer touches no in-place-mutated word
+// (see index.ConcurrentReadSafe).
+func (t *Tree) ConcurrentReadSafe() bool { return true }
+
 // Len implements index.Index.
 func (t *Tree) Len() int { return int(t.count.Load()) }
 

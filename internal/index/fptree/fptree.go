@@ -92,6 +92,13 @@ func (t *Tree) Name() string { return "FP-Tree" }
 // Scheme implements index.Index.
 func (t *Tree) Scheme() index.Scheme { return index.SchemeHTM }
 
+// ConcurrentReadSafe reports true: reads run inside the software-HTM
+// region's version-lock validation, inner-node content is copy-on-write
+// behind an atomic pointer, and leaf bitmap/fingerprint/key/value cells are
+// atomic — so a concurrent read is race-clean, though not allocation-free
+// (each read opens a transaction descriptor; see index.ConcurrentReadSafe).
+func (t *Tree) ConcurrentReadSafe() bool { return true }
+
 // Len implements index.Index.
 func (t *Tree) Len() int { return int(t.count.Load()) }
 

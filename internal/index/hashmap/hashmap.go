@@ -88,6 +88,14 @@ func (m *Map) Name() string { return "Hash Map" }
 // Scheme implements index.Index.
 func (m *Map) Scheme() index.Scheme { return index.SchemeBucketRW }
 
+// ConcurrentReadSafe reports true: Get holds the bucket's reader-writer
+// spin lock (a single atomic word) in shared mode, entry values are atomic,
+// and chain links never change while the lock is held shared — a concurrent
+// read is race-clean and allocation-free (see index.ConcurrentReadSafe),
+// which makes the hash map the reference structure for the runtime's
+// zero-allocation bypass-read pin.
+func (m *Map) ConcurrentReadSafe() bool { return true }
+
 // Len implements index.Index.
 func (m *Map) Len() int { return int(m.count.Load()) }
 

@@ -120,6 +120,44 @@ type Index interface {
 	Len() int
 }
 
+// ConcurrentReadSafe is implemented by structures whose read operations
+// (Get, Scan, Len) are safe — and, crucially, race-detector-clean — when
+// executed by a foreign goroutine while a domain worker mutates the
+// structure. The core runtime's read-bypass layer (core.SubmitRead) only
+// arms a non-delegate read policy for structures that answer true; anything
+// else silently degrades to always-delegate.
+//
+// "Safe" here is a memory-ordering property, not a linearizability one: a
+// bypass read may observe logically torn mid-batch state, which is why the
+// runtime discards any result whose validation window overlapped a mutating
+// sweep batch. What the structure must guarantee is merely that the read
+// itself cannot fault, loop, or read torn words — i.e. every field a reader
+// dereferences concurrently with a writer is published via atomics or held
+// under a shared lock the reader takes. Of the four evaluated structures:
+//
+//   - Hash Map (SchemeBucketRW): safe. Get takes the bucket's reader-writer
+//     spin lock (an atomic-word lock) in read mode; entry values are
+//     atomic.Uint64 and the chain links are immutable while the lock is held
+//     shared.
+//   - BW-Tree (SchemeCOW): safe. Readers traverse immutable delta records
+//     reached through CAS-published mapping-table slots; nothing a reader
+//     touches is ever written in place.
+//   - FP-Tree (SchemeHTM): safe. Reads run inside the software-HTM
+//     region's version-lock validation; inner-node content is COW behind an
+//     atomic pointer and leaf fields are atomic. (Its reads allocate a
+//     transaction descriptor, so it is bypass-safe but not allocation-free.)
+//   - B-Tree (SchemeAtomicRecord): NOT safe. Leaf key arrays are written in
+//     place with plain stores under the structure's internal version lock,
+//     and optimistic readers load them with plain reads — the race is benign
+//     under that scheme's own validation but is still a data race a foreign
+//     reader must not be exposed to, so it reports false and always
+//     delegates.
+type ConcurrentReadSafe interface {
+	// ConcurrentReadSafe reports whether reads may run concurrently with the
+	// owning domain's writers (under the runtime's validation protocol).
+	ConcurrentReadSafe() bool
+}
+
 // Ranger is implemented by the ordered structures (the three trees) and
 // supports ascending range scans, which the TPC-C engine needs for
 // secondary-index lookups.

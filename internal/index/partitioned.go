@@ -74,6 +74,22 @@ func (p *Partitioned) Name() string {
 // Scheme implements Index (all partitions share one scheme).
 func (p *Partitioned) Scheme() Scheme { return p.parts[0].Scheme() }
 
+// ConcurrentReadSafe reports whether every partition is safe for concurrent
+// readers — the wrapper itself adds no shared mutable state, and a bypass
+// read routes through PartitionOf exactly like a delegated one, so each
+// validated local read stays confined to the single partition owning its
+// key. One unsafe partition poisons the whole wrapper: the runtime's policy
+// gating is per registered structure, and the wrapper is the structure.
+func (p *Partitioned) ConcurrentReadSafe() bool {
+	for _, part := range p.parts {
+		crs, ok := part.(ConcurrentReadSafe)
+		if !ok || !crs.ConcurrentReadSafe() {
+			return false
+		}
+	}
+	return true
+}
+
 // Get implements Index.
 func (p *Partitioned) Get(k uint64, st *OpStats) (uint64, bool) {
 	return p.parts[p.PartitionOf(k)].Get(k, st)

@@ -96,6 +96,12 @@ func (o *Observer) writeMetrics(w http.ResponseWriter) {
 		func(d DomainSnapshot) uint64 { return d.Posts })
 	counter("robustconf_burst_waits_total", "Client stalls waiting on a full burst window.",
 		func(d DomainSnapshot) uint64 { return d.BurstWaits })
+	counter("robustconf_bypass_hits_total", "Read-bypass reads that validated locally, skipping delegation.",
+		func(d DomainSnapshot) uint64 { return d.BypassHits })
+	counter("robustconf_bypass_retries_total", "Read-bypass validation attempts wasted on unstable publication words.",
+		func(d DomainSnapshot) uint64 { return d.BypassRetries })
+	counter("robustconf_bypass_fallbacks_total", "Read-bypass reads that fell back to delegated execution.",
+		func(d DomainSnapshot) uint64 { return d.BypassFallbacks })
 	counter("robustconf_tasks_failed_total", "Futures completed with a typed error, by domain.",
 		func(d DomainSnapshot) uint64 { return d.Failed })
 	counter("robustconf_rescued_posts_total", "Posts answered ErrWorkerStopped from sealed buffers.",

@@ -214,13 +214,18 @@ type DomainSnapshot struct {
 	MaxBatch   uint64
 	Posts      uint64
 	BurstWaits uint64
-	Failed     uint64
-	Rescued    uint64
-	Restarts   int64
-	Pending    int
-	SweepNs    metrics.HistogramSnapshot
-	ExecNs     metrics.HistogramSnapshot
-	RespNs     metrics.HistogramSnapshot
+	// Read-bypass counters: validated local reads, wasted validation
+	// attempts, and reads that fell back to delegation (see core.SubmitRead).
+	BypassHits      uint64
+	BypassRetries   uint64
+	BypassFallbacks uint64
+	Failed          uint64
+	Rescued         uint64
+	Restarts        int64
+	Pending         int
+	SweepNs         metrics.HistogramSnapshot
+	ExecNs          metrics.HistogramSnapshot
+	RespNs          metrics.HistogramSnapshot
 }
 
 // Occupancy is the fraction of sweeps that found work.
@@ -250,6 +255,9 @@ func (d *DomainObs) snapshot() DomainSnapshot {
 	for _, c := range clients {
 		s.Posts += c.pub[csPosts].Load()
 		s.BurstWaits += c.pub[csBurstWaits].Load()
+		s.BypassHits += c.pub[csBypassHits].Load()
+		s.BypassRetries += c.pub[csBypassRetries].Load()
+		s.BypassFallbacks += c.pub[csBypassFallbacks].Load()
 	}
 	s.SweepNs = d.sweepNs.Snapshot()
 	s.ExecNs = d.execNs.Snapshot()
@@ -278,6 +286,9 @@ func (s *DomainSnapshot) merge(o DomainSnapshot) {
 	}
 	s.Posts += o.Posts
 	s.BurstWaits += o.BurstWaits
+	s.BypassHits += o.BypassHits
+	s.BypassRetries += o.BypassRetries
+	s.BypassFallbacks += o.BypassFallbacks
 	s.Failed += o.Failed
 	s.Rescued += o.Rescued
 	s.Restarts += o.Restarts
@@ -332,6 +343,9 @@ func (o *Observer) Report() string {
 			d.Name, d.Workers, d.Tasks, d.Posts, d.BurstWaits, d.Sweeps, d.Occupancy(), d.Batched, d.MaxBatch, d.Pending)
 		if d.Failed > 0 || d.Rescued > 0 || d.Restarts > 0 {
 			fmt.Fprintf(&b, "  failures: %d failed, %d rescued, %d restarts\n", d.Failed, d.Rescued, d.Restarts)
+		}
+		if d.BypassHits > 0 || d.BypassFallbacks > 0 {
+			fmt.Fprintf(&b, "  read-bypass: %d hits, %d retries, %d fallbacks\n", d.BypassHits, d.BypassRetries, d.BypassFallbacks)
 		}
 		writeHistLine(&b, "sweep ns", d.SweepNs)
 		writeHistLine(&b, "exec  ns", d.ExecNs)

@@ -128,6 +128,9 @@ func (s *WorkerShard) Flush() {
 const (
 	csPosts = iota
 	csBurstWaits
+	csBypassHits
+	csBypassRetries
+	csBypassFallbacks
 	csNumStats
 )
 
@@ -138,10 +141,13 @@ const (
 type ClientShard struct {
 	_ [64]byte
 
-	posts      uint64
-	burstWaits uint64
-	sinceFlush uint64
-	sampled    uint64
+	posts           uint64
+	burstWaits      uint64
+	bypassHits      uint64
+	bypassRetries   uint64
+	bypassFallbacks uint64
+	sinceFlush      uint64
+	sampled         uint64
 
 	mask       uint64
 	traceEvery uint64 // commit every Nth sampled span to the ring; 0 = off
@@ -213,10 +219,37 @@ func (c *ClientShard) PostRecycled() *Span {
 // free slots bookkept pending) and it had to wait for its oldest future.
 func (c *ClientShard) BurstWait() { c.burstWaits++ }
 
+// BypassHit counts one validated local read on the read-bypass fast path,
+// plus the wasted validation attempts (retries) it took before validating.
+// Same owner-local counting and flush cadence as Post: the bypass hot path
+// issues no atomic RMW.
+func (c *ClientShard) BypassHit(retries uint64) {
+	c.bypassHits++
+	c.bypassRetries += retries
+	c.sinceFlush++
+	if c.sinceFlush >= clientFlushEvery {
+		c.Flush()
+	}
+}
+
+// BypassFallback counts one read that exhausted its validation attempts (or
+// found the publication words poisoned) and fell back to delegation.
+func (c *ClientShard) BypassFallback(retries uint64) {
+	c.bypassFallbacks++
+	c.bypassRetries += retries
+	c.sinceFlush++
+	if c.sinceFlush >= clientFlushEvery {
+		c.Flush()
+	}
+}
+
 // Flush publishes the local mirror. Must be called from the owning client
 // goroutine (Post does, on a cadence; Client.Drain does on teardown).
 func (c *ClientShard) Flush() {
 	c.sinceFlush = 0
 	c.pub[csPosts].Store(c.posts)
 	c.pub[csBurstWaits].Store(c.burstWaits)
+	c.pub[csBypassHits].Store(c.bypassHits)
+	c.pub[csBypassRetries].Store(c.bypassRetries)
+	c.pub[csBypassFallbacks].Store(c.bypassFallbacks)
 }

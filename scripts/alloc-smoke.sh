@@ -1,18 +1,19 @@
 #!/bin/sh
 # alloc-smoke: cheap allocation gate on the delegation hot path.
 #
-# Runs the unobserved AND observed invoke benchmarks for 100 iterations with
-# -benchmem and fails if either reports more than 0 allocs/op or 0 B/op —
-# the tentpole property of the zero-allocation hot path (DESIGN.md §10),
-# which span recycling extends to the observed path.
+# Runs the unobserved AND observed invoke benchmarks plus the bypass-read
+# benchmark for 100 iterations with -benchmem and fails if any reports more
+# than 0 allocs/op or 0 B/op — the tentpole property of the zero-allocation
+# hot path (DESIGN.md §10), which span recycling extends to the observed
+# path and publication-word validation to the bypass read path (§12).
 set -eu
 
 cd "$(dirname "$0")/.."
 
-OUT="$(go test -run NONE -bench 'BenchmarkDelegationInvoke(Observed)?$' -benchtime 100x -benchmem .)"
+OUT="$(go test -run NONE -bench 'BenchmarkDelegationInvoke(Observed)?$|BenchmarkDelegationReadBypass$' -benchtime 100x -benchmem .)"
 echo "$OUT"
 
-for BENCH in BenchmarkDelegationInvoke BenchmarkDelegationInvokeObserved; do
+for BENCH in BenchmarkDelegationInvoke BenchmarkDelegationInvokeObserved BenchmarkDelegationReadBypass; do
 	LINE=$(echo "$OUT" | awk -v b="$BENCH" '$1 ~ "^"b"(-[0-9]+)?$" { print }')
 	if [ -z "$LINE" ]; then
 		echo "alloc-smoke: $BENCH produced no output" >&2

@@ -25,7 +25,7 @@ if [ ! -f "$BASELINE" ]; then
 	exit 1
 fi
 
-PATTERN='BenchmarkDelegation|BenchmarkAblationBurstSize|BenchmarkAblationResponseBatching|BenchmarkAblationTxnMode|BenchmarkIndex|BenchmarkTPCC'
+PATTERN='BenchmarkDelegation|BenchmarkAblationBurstSize|BenchmarkAblationResponseBatching|BenchmarkAblationTxnMode|BenchmarkIndex|BenchmarkTPCC|BenchmarkReadBypass'
 
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT INT TERM

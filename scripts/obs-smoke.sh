@@ -60,7 +60,10 @@ for metric in \
 	robustconf_faults_worker_panics_total \
 	robustconf_faults_worker_restarts_total \
 	robustconf_tasks_swept_total \
-	robustconf_spans_sampled_total; do
+	robustconf_spans_sampled_total \
+	robustconf_bypass_hits_total \
+	robustconf_bypass_retries_total \
+	robustconf_bypass_fallbacks_total; do
 	if ! grep -q "^$metric\({\| \)" "$METRICS"; then
 		echo "obs-smoke: $metric missing from /metrics" >&2
 		exit 1
