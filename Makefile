@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test verify chaos bench bench-compare bench-full alloc-smoke obs-smoke
+.PHONY: build test verify chaos bench bench-compare bench-full alloc-smoke obs-smoke wal-smoke
 
 build:
 	$(GO) build ./...
@@ -16,7 +16,7 @@ test: build
 # Tier-2: vet + race-detected tests + allocation gate on the delegation hot
 # path. -short shrinks the chaos schedules (fewer sessions/seeds); drop it
 # for the full sweep.
-verify: build obs-smoke alloc-smoke
+verify: build obs-smoke alloc-smoke wal-smoke
 	$(GO) vet ./...
 	$(GO) test -race -short ./...
 
@@ -24,13 +24,20 @@ verify: build obs-smoke alloc-smoke
 alloc-smoke:
 	./scripts/alloc-smoke.sh
 
+# Durability gate: shrunk WAL chaos golden-equality suite under -race plus
+# the allocation check on the logged delegation round trip.
+wal-smoke:
+	./scripts/wal-smoke.sh
+
 # End-to-end observability smoke: run a chaos schedule with the live
 # endpoint up, scrape /metrics, and assert the injected faults show in the
 # exported counters.
 obs-smoke:
 	./scripts/obs-smoke.sh
 
-# The full-size chaos fault-injection suite on its own.
+# The full-size chaos fault-injection suite on its own — both the WAL-off
+# schedules (crash-with-data-loss envelope) and the TestChaosWAL* suite
+# (crash-with-replay golden equality).
 chaos:
 	$(GO) test -race -run Chaos -v ./internal/harness/
 

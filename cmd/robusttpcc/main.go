@@ -12,6 +12,10 @@
 // per-statement (pipelined statement futures), fused (same-domain multi-op
 // tasks) or whole-txn (single-warehouse transactions as one task, the
 // default).
+//
+// -wal DIR turns on per-domain write-ahead logging with periodic
+// checkpoints (delegated engine only); -fsync picks the flush discipline
+// (none, batch, always) and -checkpoint the snapshot cadence.
 package main
 
 import (
@@ -22,6 +26,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"robustconf/internal/core"
 	"robustconf/internal/index"
 	"robustconf/internal/index/bwtree"
 	"robustconf/internal/index/fptree"
@@ -31,6 +36,7 @@ import (
 	"robustconf/internal/sim"
 	"robustconf/internal/topology"
 	"robustconf/internal/tpcc"
+	"robustconf/internal/wal"
 )
 
 func main() {
@@ -45,6 +51,9 @@ func main() {
 	remote := flag.Float64("remote", 0.01, "remote transaction fraction")
 	obsAddr := flag.String("obs", "", "serve the observability endpoint on this address during the run (delegated engine; e.g. :6060)")
 	obsTrace := flag.Int("obs-trace", 0, "commit every Nth sampled task span to the trace ring (0 = off)")
+	walDir := flag.String("wal", "", "directory for per-domain write-ahead logs (delegated engine; empty = durability off)")
+	fsync := flag.String("fsync", "batch", "WAL flush discipline: none, batch or always")
+	checkpoint := flag.Duration("checkpoint", 0, "WAL checkpoint cadence (0 = default)")
 	flag.Parse()
 
 	var newIndex func() index.Index
@@ -76,6 +85,7 @@ func main() {
 	}
 
 	var openStore func(id int) (tpcc.Store, func() error, error)
+	var walEngine *oltp.Engine
 	delegated := false
 	switch *engine {
 	case "direct":
@@ -105,11 +115,19 @@ func main() {
 		}
 		rc.Faults = faults
 		rc.Obs = observer
+		if *walDir != "" {
+			fmode, err := wal.ParseFsyncMode(*fsync)
+			if err != nil {
+				fatal(err)
+			}
+			rc.WAL = core.WALConfig{Dir: *walDir, Fsync: fmode, CheckpointEvery: *checkpoint}
+		}
 		e, err := oltp.NewEngineWithConfig(cfg, newIndex, rc)
 		if err != nil {
 			fatal(err)
 		}
 		defer e.Stop()
+		walEngine = e
 		boot, err := e.NewStore(0, 14)
 		if err != nil {
 			fatal(err)
@@ -180,6 +198,17 @@ func main() {
 	fmt.Printf("txn latency ns: %s\n", latency.String())
 	if delegated {
 		fmt.Print(observer.Report())
+	}
+	if walEngine != nil && *walDir != "" {
+		var committed, replayed, recoveries uint64
+		for _, d := range walEngine.Runtime().Domains() {
+			st := d.WALStats()
+			committed += st.Committed
+			replayed += st.Replayed
+			recoveries += st.Recoveries
+		}
+		fmt.Printf("wal: fsync=%s committed=%d recoveries=%d replayed=%d\n",
+			*fsync, committed, recoveries, replayed)
 	}
 
 	// The corresponding Figure 13 point on the simulated reference machine.

@@ -8,6 +8,11 @@
 //
 //	robustycsb -structure fptree -mix a -domain 24 -clients 4 -records 100000 -ops 50000
 //	robustycsb -structure hashmap -mix c -domain 1 -trace /tmp/ops.trace
+//	robustycsb -structure fptree -mix a -wal /tmp/wal -fsync batch
+//
+// -wal DIR turns on per-domain write-ahead logging with periodic
+// checkpoints: writes become logged upserts that complete only after their
+// group commit (-fsync none|batch|always, -checkpoint cadence).
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 	"time"
 
 	"robustconf"
+	"robustconf/internal/harness"
 	"robustconf/internal/index"
 	"robustconf/internal/index/btree"
 	"robustconf/internal/index/bwtree"
@@ -39,20 +45,36 @@ func main() {
 	tracePath := flag.String("trace", "", "optional: write the generated op trace to this file first, then replay it")
 	obsAddr := flag.String("obs", "", "serve the observability endpoint on this address during the run (e.g. :6060)")
 	obsTrace := flag.Int("obs-trace", 0, "commit every Nth sampled task span to the trace ring (0 = off)")
+	walDir := flag.String("wal", "", "directory for per-domain write-ahead logs (empty = durability off; needs -structure fptree or bwtree)")
+	fsyncMode := flag.String("fsync", "batch", "WAL flush discipline: none, batch or always")
+	checkpoint := flag.Duration("checkpoint", 0, "WAL checkpoint cadence (0 = default)")
 	flag.Parse()
 
+	// With -wal the structure must be Durable (checkpoint + replay), so the
+	// tree is wrapped in the harness's durable adapter; writes become
+	// logged upserts whose futures resolve only after their group commit.
 	var idx index.Index
+	var wt *harness.WALTree
 	switch *structure {
 	case "btree":
 		idx = btree.New()
 	case "fptree":
 		idx = fptree.New()
+		if *walDir != "" {
+			wt = harness.NewWALTree()
+		}
 	case "bwtree":
 		idx = bwtree.New()
+		if *walDir != "" {
+			wt = harness.NewWALBwTree()
+		}
 	case "hashmap":
 		idx = hashmap.New()
 	default:
 		fatal(fmt.Errorf("unknown structure %q", *structure))
+	}
+	if *walDir != "" && wt == nil {
+		fatal(fmt.Errorf("-wal needs a durable structure (fptree or bwtree), not %q", *structure))
 	}
 	mixes := map[string]workload.Mix{"a": workload.A, "c": workload.C, "d": workload.D}
 	mix, ok := mixes[*mixName]
@@ -65,7 +87,11 @@ func main() {
 	}
 
 	for _, k := range workload.LoadKeys(*records) {
-		idx.Insert(k, k, nil)
+		if wt != nil {
+			wt.Set(k, k)
+		} else {
+			idx.Insert(k, k, nil)
+		}
 	}
 
 	machine := robustconf.Machine(1)
@@ -90,14 +116,24 @@ func main() {
 		defer stopSrv()
 		fmt.Printf("obs: serving http://%s/metrics (also /spans, /events, /debug/pprof/)\n", addr)
 	}
-	rt, err := robustconf.Start(robustconf.Config{
+	rtCfg := robustconf.Config{
 		Machine:      machine,
 		Domains:      domains,
 		Assignment:   map[string]int{"ycsb": 0},
 		ReadPolicies: map[string]robustconf.ReadPolicy{"ycsb": policy},
 		Faults:       faults,
 		Obs:          observer,
-	}, map[string]any{"ycsb": idx})
+	}
+	registered := map[string]any{"ycsb": idx}
+	if wt != nil {
+		fmode, err := robustconf.ParseFsyncMode(*fsyncMode)
+		if err != nil {
+			fatal(err)
+		}
+		rtCfg.WAL = robustconf.WALConfig{Dir: *walDir, Fsync: fmode, CheckpointEvery: *checkpoint}
+		registered["ycsb"] = wt
+	}
+	rt, err := robustconf.Start(rtCfg, registered)
 	if err != nil {
 		fatal(err)
 	}
@@ -177,7 +213,13 @@ func main() {
 				op := op
 				t0 := time.Now()
 				var err error
-				if op.Type == workload.OpRead {
+				switch {
+				case op.Type == workload.OpRead && wt != nil:
+					_, err = session.SubmitRead(robustconf.Task{Structure: "ycsb", Op: func(ds any) any {
+						v, _ := ds.(*harness.WALTree).Get(op.Key)
+						return v
+					}})
+				case op.Type == workload.OpRead:
 					// Classified at submit time so the -readpolicy axis takes
 					// effect: bypass/adaptive attempt the validated local read
 					// and fall back to delegation when validation fails.
@@ -185,7 +227,20 @@ func main() {
 						v, _ := ds.(index.Index).Get(op.Key, nil)
 						return v
 					}})
-				} else {
+				case wt != nil:
+					// Logged upsert: the future resolves only after the
+					// record's group commit, so a nil error means durable.
+					_, err = session.Invoke(robustconf.Task{
+						Structure: "ycsb",
+						Op: func(ds any) any {
+							ds.(*harness.WALTree).Set(op.Key, op.Val)
+							return nil
+						},
+						Log: func(dst []byte) []byte {
+							return harness.AppendWALSet(dst, op.Key, op.Val)
+						},
+					})
+				default:
 					_, err = session.Invoke(robustconf.Task{Structure: "ycsb", Op: func(ds any) any {
 						tr := ds.(index.Index)
 						if op.Type == workload.OpUpdate {
@@ -216,17 +271,29 @@ func main() {
 		total/elapsed.Seconds(), int(total), elapsed.Round(time.Millisecond))
 	fmt.Printf("latency ns: %s\n", latency.String())
 
-	switch s := idx.(type) {
-	case *fptree.Tree:
-		st := s.HTMStats()
-		fmt.Printf("htm: commits=%d aborts=%d fallbacks=%d abort-ratio=%.4f\n",
-			st.Commits.Load(), st.Aborts.Load(), st.Fallbacks.Load(), st.AbortRatio())
-	case *bwtree.Tree:
-		fmt.Printf("bwtree: cas-failures=%d consolidations=%d\n",
-			s.CASFailures.Load(), s.Consolidations.Load())
-	case *hashmap.Map:
-		fmt.Printf("hashmap: reader-registrations=%d bucket-stddev=%.2f\n",
-			s.ReaderRegistrations(), s.BucketSizeStdDev())
+	if wt == nil {
+		switch s := idx.(type) {
+		case *fptree.Tree:
+			st := s.HTMStats()
+			fmt.Printf("htm: commits=%d aborts=%d fallbacks=%d abort-ratio=%.4f\n",
+				st.Commits.Load(), st.Aborts.Load(), st.Fallbacks.Load(), st.AbortRatio())
+		case *bwtree.Tree:
+			fmt.Printf("bwtree: cas-failures=%d consolidations=%d\n",
+				s.CASFailures.Load(), s.Consolidations.Load())
+		case *hashmap.Map:
+			fmt.Printf("hashmap: reader-registrations=%d bucket-stddev=%.2f\n",
+				s.ReaderRegistrations(), s.BucketSizeStdDev())
+		}
+	} else {
+		var committed, replayed, recoveries uint64
+		for _, d := range rt.Domains() {
+			st := d.WALStats()
+			committed += st.Committed
+			replayed += st.Replayed
+			recoveries += st.Recoveries
+		}
+		fmt.Printf("wal: fsync=%s committed=%d recoveries=%d replayed=%d\n",
+			*fsyncMode, committed, recoveries, replayed)
 	}
 	fmt.Print(observer.Report())
 }

@@ -11,12 +11,14 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"robustconf/internal/core"
 	"robustconf/internal/ilp"
 	"robustconf/internal/metrics"
 	"robustconf/internal/sim"
 	"robustconf/internal/topology"
+	"robustconf/internal/wal"
 	"robustconf/internal/workload"
 )
 
@@ -149,6 +151,40 @@ func RecommendReadPolicy(mix workload.Mix) core.ReadPolicy {
 	}
 }
 
+// Durability is the composed durability configuration: the WAL fsync
+// discipline and the checkpoint cadence, two further configuration axes
+// alongside domain size and read policy. The zero value (FsyncNone, default
+// cadence) is what read-only compositions get.
+type Durability struct {
+	Fsync           wal.FsyncMode
+	CheckpointEvery time.Duration
+}
+
+// RecommendDurability derives the durability axes from the composed
+// workload, following the RecommendReadPolicy precedent: read-only
+// compositions log nothing, so syncing buys nothing (FsyncNone, relaxed
+// checkpoints); write-heavy compositions group-commit with fsync per batch
+// and checkpoint tightly, bounding the replay tail a crash leaves behind;
+// mixed compositions batch-fsync at the default cadence. FsyncAlways is
+// never recommended — it is the explicit opt-in for strict per-record
+// durability, surfaced as a flag on the binaries.
+func RecommendDurability(instances []Instance) Durability {
+	maxWF := 0.0
+	for _, inst := range instances {
+		if wf := inst.Mix.WriteFraction(); wf > maxWF {
+			maxWF = wf
+		}
+	}
+	switch {
+	case maxWF == 0:
+		return Durability{Fsync: wal.FsyncNone, CheckpointEvery: time.Second}
+	case maxWF > 0.15:
+		return Durability{Fsync: wal.FsyncBatch, CheckpointEvery: core.DefaultCheckpointEvery / 2}
+	default:
+		return Durability{Fsync: wal.FsyncBatch, CheckpointEvery: core.DefaultCheckpointEvery}
+	}
+}
+
 // PlanDomain is one virtual domain of a composed plan.
 type PlanDomain struct {
 	Size      int
@@ -168,6 +204,11 @@ type Plan struct {
 	// (RecommendReadPolicy over its mix); Materialise carries them into
 	// core.Config.ReadPolicies.
 	ReadPolicies map[string]core.ReadPolicy
+	// Durability records the recommended durability axes
+	// (RecommendDurability over the composition); Materialise carries them
+	// into core.Config.WAL, which stays disabled until a log directory is
+	// supplied.
+	Durability Durability
 }
 
 // String renders the plan in the robustconfig tool's format.
@@ -193,7 +234,15 @@ func (p *Plan) String() string {
 		}
 		fmt.Fprintf(&b, "  read policies: %s\n", strings.Join(pairs, ", "))
 	}
+	fmt.Fprintf(&b, "  durability: fsync=%s checkpoint=%s\n", p.Durability.Fsync, p.Durability.cadence())
 	return b.String()
+}
+
+func (d Durability) cadence() time.Duration {
+	if d.CheckpointEvery <= 0 {
+		return core.DefaultCheckpointEvery
+	}
+	return d.CheckpointEvery
 }
 
 // WorkersUsed sums the plan's domain sizes.
@@ -243,6 +292,7 @@ func Compose(instances []Instance, workers int, measure MeasureFunc) (*Plan, err
 	// Step 1+2: calibrated optimal size per instance, plus the read-path
 	// policy its mix recommends (a second per-instance configuration axis;
 	// core gates it on the materialised structure's concurrent-read safety).
+	plan.Durability = RecommendDurability(instances)
 	calCache := map[string]int{}
 	for _, inst := range instances {
 		plan.ReadPolicies[inst.Name] = RecommendReadPolicy(inst.Mix)
@@ -448,6 +498,10 @@ func Materialise(plan *Plan, m *topology.Machine) (core.Config, error) {
 			}
 		}
 	}
+	// Durability axes ride along; the WAL stays off (Dir == "") until the
+	// caller points it at a log directory.
+	cfg.WAL.Fsync = plan.Durability.Fsync
+	cfg.WAL.CheckpointEvery = plan.Durability.CheckpointEvery
 	if err := cfg.Validate(); err != nil {
 		return core.Config{}, err
 	}

@@ -26,6 +26,7 @@ import (
 	"robustconf/internal/metrics"
 	"robustconf/internal/obs"
 	"robustconf/internal/topology"
+	"robustconf/internal/wal"
 )
 
 // PlacementPolicy controls how a domain's workers relate to its CPUs
@@ -114,6 +115,10 @@ type Config struct {
 	// and structures that do not vouch for concurrent-reader safety — use
 	// ReadDelegate.
 	ReadPolicies map[string]ReadPolicy
+	// WAL configures per-domain write-ahead logging and checkpointing (see
+	// wal.go). The zero value disables it: no log is opened, no structure
+	// is snapshotted, and the delegation hot path is unchanged.
+	WAL WALConfig
 }
 
 // Validate checks the configuration's internal consistency.
@@ -170,6 +175,15 @@ func (c *Config) Validate() error {
 type Task struct {
 	Structure string
 	Op        func(ds any) any
+	// Log, when non-nil on a WAL-enabled runtime, marks the task as a
+	// logged mutation: the worker appends Log's output (the operation's
+	// logical record, fed to Durable.WALApply on replay) to its domain log
+	// during the sweep, and the future completes only after the sweep
+	// batch's group commit — success implies the record is durable. Log
+	// runs on the worker goroutine immediately after Op, so it may encode
+	// post-state Op computed. Nil tasks are not logged; so are read-only
+	// submissions regardless of Log.
+	Log func(dst []byte) []byte
 }
 
 // Domain is a running virtual domain: its workers, inbox and structures.
@@ -182,6 +196,13 @@ type Domain struct {
 	stop       chan struct{}
 	wg         sync.WaitGroup
 	restarts   atomic.Int64 // worker respawns consumed (shared budget)
+	dead       atomic.Bool  // budget exhausted: domain retired for good
+
+	// Durability (nil / no-op without Config.WAL): the domain's log and
+	// the recovery closure supervise runs before respawning a crashed
+	// worker (built in setupWAL; it needs the runtime for routing state).
+	wal       *wal.DomainLog
+	recoverFn func()
 
 	faults *metrics.FaultCounters
 	obs    *obs.Observer  // nil when observability is not attached
@@ -226,6 +247,23 @@ type Runtime struct {
 
 	mu      sync.Mutex
 	stopped bool
+
+	// walMu serializes the operations that walk a domain's structure set
+	// while touching structure state — checkpoints, crash recovery, and the
+	// ownership swap in Migrate. Without it, a structure could migrate away
+	// between recovery's snapshot of the domain and its in-place restore,
+	// leaving recovery rewriting state the new owner domain is mutating.
+	// Acquired before rt.mu; never held by hot paths and never across the
+	// migration quiesce (a crashed worker's recovery needs it to respawn
+	// and drain, so holding it there would deadlock).
+	walMu sync.Mutex
+	// migrating counts in-flight migrations (guarded by walMu). While it is
+	// non-zero, periodic checkpoints skip their tick: a straggler task still
+	// draining in the old domain may be mutating the moving structure, and a
+	// checkpoint snapshot in the new domain would race it. Crash recovery
+	// needs no such guard — it only restores structures present in the
+	// domain's last checkpoint, which a mid-migration structure never is.
+	migrating int
 }
 
 // Faults returns the fault-counter set this runtime reports to (the
@@ -303,6 +341,14 @@ func Start(cfg Config, structures map[string]any) (*Runtime, error) {
 					ext.Pending += b.PendingPublished()
 				}
 				ext.Restarts = d.restarts.Load()
+				ext.BudgetRemaining = d.BudgetRemaining()
+				if d.wal != nil {
+					st := d.wal.Stats()
+					ext.Recoveries = st.Recoveries
+					ext.WALReplayed = st.Replayed
+					ext.WALReplayNs = st.ReplayNs
+					ext.WALLastCheckpoint = st.LastCheckpoint
+				}
 				return ext
 			})
 		}
@@ -310,6 +356,15 @@ func Start(cfg Config, structures map[string]any) (*Runtime, error) {
 	}
 	for name, di := range cfg.Assignment {
 		rt.domains[di].structures[name] = structures[name]
+	}
+	if cfg.WAL.Enabled() {
+		// Open the per-domain logs, take the initial checkpoints (replay
+		// always has a base) and start the checkpoint cadence — before
+		// workers spawn, so no sweep ever runs without its log handle.
+		if err := rt.setupWAL(); err != nil {
+			return nil, err
+		}
+		rt.startCheckpointers()
 	}
 	// Spawn workers after all registration so a task can never observe a
 	// half-registered domain. Each worker runs under a supervisor loop that
@@ -356,7 +411,10 @@ func Start(cfg Config, structures map[string]any) (*Runtime, error) {
 // exponential backoff until the stop channel closes or the domain's restart
 // budget is exhausted. A crash has already failed the buffer's posted tasks
 // with a PanicError (see delegation.Worker.Run); the respawned worker picks
-// up anything posted since.
+// up anything posted since. On a WAL-enabled runtime the respawn is
+// preceded by recovery: the domain quiesces, the latest checkpoint restores
+// and the committed log tail replays, healing any state the crash tore
+// (recoverDomain documents why no read can observe the restore in flight).
 func supervise(d *Domain, b *delegation.Buffer) {
 	for attempt := 0; ; attempt++ {
 		crash := delegation.NewWorker(b).Run(d.stop)
@@ -366,6 +424,7 @@ func supervise(d *Domain, b *delegation.Buffer) {
 		d.faults.WorkerPanics.Add(1)
 		d.event(b.Worker(), obs.EventWorkerCrash)
 		if !d.allowRestart() {
+			d.dead.Store(true) // submissions now fail with ErrDomainDead
 			d.faults.RestartsExhausted.Add(1)
 			d.event(b.Worker(), obs.EventRestartsExhausted)
 			return // deferred Seal retires the buffer
@@ -374,6 +433,9 @@ func supervise(d *Domain, b *delegation.Buffer) {
 		case <-d.stop:
 			return
 		case <-time.After(restartBackoff(attempt)):
+		}
+		if d.recoverFn != nil {
+			d.recoverFn()
 		}
 		d.faults.WorkerRestarts.Add(1)
 		d.event(b.Worker(), obs.EventWorkerRespawn)
@@ -408,7 +470,9 @@ func (rt *Runtime) DomainOf(structure string) (*Domain, error) {
 }
 
 // route resolves a structure to its current domain and instance atomically
-// with respect to Migrate.
+// with respect to Migrate. Routing to a domain that exhausted its restart
+// budget fails fast with ErrDomainDead — the tasks would only ever be
+// answered with ErrWorkerStopped by its sealed buffers.
 func (rt *Runtime) route(structure string) (*Domain, any, error) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
@@ -417,6 +481,9 @@ func (rt *Runtime) route(structure string) (*Domain, any, error) {
 		return nil, nil, fmt.Errorf("core: unknown structure %q", structure)
 	}
 	d := rt.domains[di]
+	if d.dead.Load() {
+		return nil, nil, fmt.Errorf("core: structure %q: %w", structure, ErrDomainDead)
+	}
 	return d, d.structures[structure], nil
 }
 
@@ -444,6 +511,11 @@ func (rt *Runtime) Stop() {
 	for _, d := range rt.domains {
 		d.wg.Wait()
 		d.event(-1, obs.EventDomainStop)
+	}
+	for _, d := range rt.domains {
+		if d.wal != nil {
+			d.wal.Close()
+		}
 	}
 }
 
@@ -507,6 +579,14 @@ type sessionClient struct {
 	thunk  delegation.Task
 	faults *metrics.FaultCounters
 
+	// Logged-invocation state: the reusable record encoder reads these
+	// exactly like thunk reads ds/op. logenc prefixes the structure name
+	// and delegates to the task's Log encoder, so a logged Invoke carries
+	// no per-call closure either.
+	logName string
+	logApp  func(dst []byte) []byte
+	logenc  func(dst []byte) []byte
+
 	// Pipelined-statement state: per-slot argument blocks, the FIFO of
 	// issued-but-unrecycled futures, and the future free list.
 	athunks []asyncThunk
@@ -533,6 +613,14 @@ type asyncThunk struct {
 	op  func(ds, arg any) any
 	arg any
 	fn  delegation.Task
+
+	// Logged-statement state (SubmitAsyncLogged): the per-slot prebuilt
+	// encFn prefixes the structure name and calls encAp with the slot's
+	// argument block. The encoder runs on the worker after op, so it may
+	// derive the record from post-execution state reachable through arg.
+	name  string
+	encAp func(dst []byte, arg any) []byte
+	encFn func(dst []byte) []byte
 }
 
 // AsyncFuture is the handle SubmitAsync returns for one pipelined
@@ -675,6 +763,9 @@ func (s *Session) client(d *Domain) (*sessionClient, error) {
 	}
 	sc := &sessionClient{c: c, faults: s.rt.faults}
 	sc.thunk = func() any { return sc.op(sc.ds) }
+	sc.logenc = func(dst []byte) []byte {
+		return sc.logApp(appendWALName(dst, sc.logName))
+	}
 	sc.bthunk = func() any {
 		ds := sc.bds
 		for i, op := range sc.bops {
@@ -686,6 +777,9 @@ func (s *Session) client(d *Domain) (*sessionClient, error) {
 	for i := range sc.athunks {
 		at := &sc.athunks[i]
 		at.fn = func() any { return at.op(at.ds, at.arg) }
+		at.encFn = func(dst []byte) []byte {
+			return at.encAp(appendWALName(dst, at.name), at.arg)
+		}
 	}
 	s.perDomain[d] = sc
 	return sc, nil
@@ -705,6 +799,12 @@ func (s *Session) Submit(task Task) (*delegation.Future, error) {
 	}
 	sc.ensureFree()
 	op := task.Op
+	if task.Log != nil {
+		name, logApp := task.Structure, task.Log
+		return sc.c.DelegateLogged(func() any { return op(ds) }, func(dst []byte) []byte {
+			return logApp(appendWALName(dst, name))
+		}), nil
+	}
 	return sc.c.Delegate(func() any { return op(ds) }), nil
 }
 
@@ -741,6 +841,37 @@ func (s *Session) SubmitAsync(structure string, op func(ds, arg any) any, arg an
 	at.ds, at.op, at.arg = ds, op, arg
 	f := sc.getFuture()
 	f.h = sc.c.PostReserved(i, at.fn)
+	sc.enqueue(f)
+	return f, nil
+}
+
+// SubmitAsyncLogged is SubmitAsync for a logged mutation: enc encodes the
+// statement's logical WAL record from its argument, and the future completes
+// only after the record's group commit — Wait returning nil means durable.
+// Like SubmitAsync the op and enc must be statement-pooled or otherwise
+// allocation-free to keep the hot path clean.
+func (s *Session) SubmitAsyncLogged(structure string, op func(ds, arg any) any, arg any, enc func(dst []byte, arg any) []byte) (*AsyncFuture, error) {
+	s.noteWrite(structure, 1)
+	d, ds, err := s.rt.route(structure)
+	if err != nil {
+		return nil, err
+	}
+	sc, err := s.client(d)
+	if err != nil {
+		return nil, err
+	}
+	i, ok := sc.c.Reserve()
+	for !ok {
+		if !sc.resolveOldest() {
+			return nil, fmt.Errorf("core: domain %q: no free slots and no outstanding statements", d.spec.Name)
+		}
+		i, ok = sc.c.Reserve()
+	}
+	at := &sc.athunks[i]
+	at.ds, at.op, at.arg = ds, op, arg
+	at.name, at.encAp = structure, enc
+	f := sc.getFuture()
+	f.h = sc.c.PostReservedLogged(i, at.fn, at.encFn)
 	sc.enqueue(f)
 	return f, nil
 }
@@ -809,7 +940,17 @@ func (s *Session) Invoke(task Task) (any, error) {
 	}
 	sc.ensureFree()
 	sc.ds, sc.op = ds, task.Op
-	v, err := sc.c.InvokeErr(sc.thunk)
+	var v any
+	if task.Log != nil {
+		// Logged mutation: the future completes after the group commit, so
+		// a nil error here means the record is durable. Field reuse is safe
+		// for the same reason ds/op reuse is — the call is synchronous and
+		// the encoder runs on the worker before the future completes.
+		sc.logName, sc.logApp = task.Structure, task.Log
+		v, err = sc.c.InvokeLoggedErr(sc.thunk, sc.logenc)
+	} else {
+		v, err = sc.c.InvokeErr(sc.thunk)
+	}
 	if err != nil {
 		s.rt.faults.TasksFailed.Add(1)
 		return nil, err

@@ -135,9 +135,19 @@ func TestRestartBudgetExhaustionSealsDomain(t *testing.T) {
 			t.Fatal("domain never sealed after budget exhaustion")
 		}
 		_, err := waitInvoke(t, s, Task{Structure: "tree", Op: func(any) any { return 1 }}, 5*time.Second)
-		if errors.Is(err, delegation.ErrWorkerStopped) {
+		if errors.Is(err, delegation.ErrWorkerStopped) || errors.Is(err, ErrDomainDead) {
 			break // sealed: typed error instead of a hang
 		}
+	}
+	// Once dead, routing fails fast with the permanent verdict.
+	if _, err := waitInvoke(t, s, Task{Structure: "tree", Op: func(any) any { return 1 }}, 5*time.Second); !errors.Is(err, ErrDomainDead) {
+		t.Errorf("post-seal submission error = %v, want ErrDomainDead", err)
+	}
+	if !rt.Domains()[0].Dead() {
+		t.Error("Dead() = false after exhaustion")
+	}
+	if got := rt.Domains()[0].BudgetRemaining(); got != 0 {
+		t.Errorf("BudgetRemaining = %d, want 0", got)
 	}
 	if metrics.Faults.RestartsExhausted.Load() == 0 {
 		t.Error("exhaustion not counted")

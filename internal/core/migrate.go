@@ -36,6 +36,20 @@ func (d *Domain) Pending() bool {
 // the runtime keeps running. On return, all future tasks for the structure
 // execute in the new domain and the old domain has fully drained.
 func (rt *Runtime) Migrate(structure string, toDomain int) error {
+	// Taken before rt.mu (lock order walMu > rt.mu) around the swap: a WAL
+	// checkpoint or crash recovery walking either domain's structure set
+	// must not interleave with the ownership change, or it would
+	// snapshot/restore a structure another domain is mutating. Released
+	// before the quiesce — a crashed worker's recovery needs it to respawn
+	// and drain — with rt.migrating keeping checkpoints away meanwhile.
+	rt.walMu.Lock()
+	rt.migrating++
+	defer func() {
+		// Re-acquired (or still held on the error paths) by the time any
+		// return runs; see the unlock/relock around the quiesce below.
+		rt.migrating--
+		rt.walMu.Unlock()
+	}()
 	rt.mu.Lock()
 	if rt.stopped {
 		rt.mu.Unlock()
@@ -71,9 +85,24 @@ func (rt *Runtime) Migrate(structure string, toDomain int) error {
 	// Quiesce: wait for the old domain's inboxes to drain so the
 	// momentary non-exclusivity window closes before we return. Tasks
 	// already posted there still see the structure through their closures
-	// and execute correctly.
+	// and execute correctly. walMu is dropped for the wait: draining may
+	// require a crashed worker to recover and respawn, and recovery takes
+	// walMu. rt.migrating stays elevated, so checkpoint ticks keep away
+	// from the still-moving structure.
+	rt.walMu.Unlock()
 	for src.Pending() {
 		runtime.Gosched()
+	}
+	rt.walMu.Lock()
+
+	// With a WAL, re-checkpoint both ends so each domain's checkpoint again
+	// matches its structure set: the source stops snapshotting the structure
+	// (a crash there must not restore a stale copy over live state that now
+	// lives elsewhere) and the destination starts. Sequential, one gate at a
+	// time — recovery's skip rules make the transient window safe either way.
+	if src.wal != nil || dst.wal != nil {
+		_ = rt.checkpointDomainLocked(src)
+		_ = rt.checkpointDomainLocked(dst)
 	}
 	return nil
 }

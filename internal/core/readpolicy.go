@@ -181,6 +181,9 @@ func (rt *Runtime) routeEpoch(structure string, rs *readState) (*Domain, any, ui
 		return nil, nil, 0, fmt.Errorf("core: unknown structure %q", structure)
 	}
 	d := rt.domains[di]
+	if d.dead.Load() {
+		return nil, nil, 0, fmt.Errorf("core: structure %q: %w", structure, ErrDomainDead)
+	}
 	return d, d.structures[structure], rs.migrations.Load(), nil
 }
 

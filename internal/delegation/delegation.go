@@ -328,6 +328,7 @@ type Slot struct {
 	fut0  Future // recycled future for the zero-alloc synchronous path
 	owner int32  // client id for diagnostics; -1 = unowned
 	ro    bool   // task is read-only: the sweep must not count it as a mutating batch
+	enc   func(dst []byte) []byte
 	buf   *Buffer
 }
 
@@ -337,16 +338,19 @@ func (s *Slot) posted() bool { return s.state.Load()&1 == 1 }
 // post publishes a task into the slot. The client must own the slot and the
 // slot must be free. f is either a fresh detached future (Delegate) or the
 // slot's own recycled fut0 with its generation already begun (InvokeErr).
+// enc, when non-nil, is the task's logical WAL record encoder: the sweep
+// stages its output and defers the future's completion to the group commit.
 //
 // The sealed check after the posted store closes the stop/post race: both
 // sides use sequentially consistent atomics, so either the worker's final
 // sweep observes the posted slot, or this client observes the seal and
 // rescues its own task with ErrWorkerStopped — a post can never dangle.
-func (s *Slot) post(t Task, f *Future, ro bool) {
+func (s *Slot) post(t Task, f *Future, ro bool, enc func(dst []byte) []byte) {
 	s.task = t
 	s.fut = f
 	s.ro = ro
-	s.state.Store(s.state.Load() + 1) // release: publishes task+fut+ro to the worker
+	s.enc = enc
+	s.state.Store(s.state.Load() + 1) // release: publishes task+fut+ro+enc to the worker
 	if s.buf.sealed.Load() {
 		s.buf.rescue(s)
 	}
@@ -386,6 +390,17 @@ type Buffer struct {
 	hook FaultHook // fault injection; nil by default, set before workers run
 
 	probe *obs.WorkerShard // telemetry shard; nil by default, set before workers run
+
+	// wal, when set, routes sweeps through sweepSlotsWAL: mutating tasks
+	// that carry a record encoder are staged into the worker's log and
+	// their futures complete only after the batch group-commits (success
+	// implies durable). Nil — the default — keeps Sweep on the original
+	// body, so the WAL-off hot path is unchanged. stash holds the
+	// executed-but-uncommitted completions between execute and commit; it
+	// is worker-local state, preallocated so the logged path stays
+	// allocation-free.
+	wal   WALSink
+	stash [SlotsPerBuffer]walStash
 
 	_ [64]byte // keep the worker-local mirrors off the lifecycle fields' line
 
@@ -450,6 +465,34 @@ func (b *Buffer) SetFaultHook(h FaultHook) { b.hook = h }
 // be called before any worker polls the buffer; the field is read without
 // synchronisation on the hot path.
 func (b *Buffer) SetProbe(p *obs.WorkerShard) { b.probe = p }
+
+// WALSink is the per-worker write-ahead log handle the sweep drives; it is
+// satisfied structurally by internal/wal.WorkerLog so this package stays
+// free of a wal import. The contract mirrors a sweep batch: Begin on the
+// first staged record of a pass (may block on the domain's quiescence
+// gate), StageRecord per logged task, then exactly one of Commit (group
+// commit; allowFaults=false on seal-path sweeps suppresses injected commit
+// faults) or Abort (crash unwind: discard the batch, release the gate).
+type WALSink interface {
+	Begin()
+	StageRecord(enc func(dst []byte) []byte)
+	Commit(allowFaults bool) error
+	Abort()
+}
+
+// walStash is one executed-but-uncommitted completion: the future, the
+// pending word to CAS against, and the task's result, parked between
+// execution and the batch's group commit.
+type walStash struct {
+	f   *Future
+	w   uint64
+	res any
+}
+
+// SetWAL installs the worker's log handle, switching this buffer's sweeps
+// to the write-ahead logged path. Call before any worker polls the buffer;
+// the field is read without synchronisation on the hot path.
+func (b *Buffer) SetWAL(l WALSink) { b.wal = l }
 
 // Sealed reports whether the buffer has been sealed.
 func (b *Buffer) Sealed() bool { return b.sealed.Load() }
@@ -548,19 +591,29 @@ func (b *Buffer) Sweep() int {
 		// No probe or local stats on the sealed path: seal/rescue sweeps may
 		// run on non-worker goroutines, which must not touch the worker's
 		// unsynchronised mirrors.
-		return b.sweepSlots(nil, nil, false)
+		return b.sweepBody(nil, nil, false)
 	}
 	if h := b.hook; h != nil {
 		h.BeforeSweep(b.worker)
 	}
 	probe := b.probe
 	if probe == nil {
-		return b.sweepSlots(b.hook, nil, true)
+		return b.sweepBody(b.hook, nil, true)
 	}
 	t0 := probe.SweepBegin()
-	n := b.sweepSlots(b.hook, probe, true)
+	n := b.sweepBody(b.hook, probe, true)
 	probe.SweepEnd(t0, n)
 	return n
+}
+
+// sweepBody dispatches one pass over the slots: the write-ahead logged
+// variant when a WAL sink is installed, the original body otherwise — the
+// WAL-off hot path pays exactly one predictable branch.
+func (b *Buffer) sweepBody(hook FaultHook, probe *obs.WorkerShard, local bool) int {
+	if b.wal != nil {
+		return b.sweepSlotsWAL(hook, probe, local)
+	}
+	return b.sweepSlots(hook, probe, local)
 }
 
 // sweepSlots is the sweep body. Callers on the sealed path hold sealMu and
@@ -644,6 +697,147 @@ func (b *Buffer) sweepSlots(hook FaultHook, probe *obs.WorkerShard, local bool) 
 	return n
 }
 
+// sweepSlotsWAL is the sweep body on the write-ahead logged path. It
+// mirrors sweepSlots exactly, with one extra discipline: a mutating task
+// that carries a record encoder has its logical record staged into the
+// worker log, and its future parks in the stash until the end-of-pass group
+// commit — a client observes success only once the record is durable
+// (group-commit rule, DESIGN.md §13). Unlogged tasks, read-only tasks, and
+// panicked tasks complete inline as before: they change no logged state.
+//
+// The first claimed task of a pass — logged or not — opens the log batch
+// (Begin takes the domain quiescence gate's read side), so only empty
+// sweeps skip the gate: recovery's in-place restore rewrites structure
+// state, and *every* task execution in the domain (including unlogged and
+// read-only tasks) must quiesce behind its write side, not just logged
+// mutations. A panic unwinding the pass — an injected worker kill, a
+// commit fault — aborts the batch (discarding staged records, releasing
+// the gate) and fails the stashed futures with a PanicError: those tasks
+// executed but their effects were never committed, so after recovery
+// replays the committed prefix the client's retry re-converges (records
+// are idempotent post-state effects). The panic then re-raises to
+// Worker.Run's crash recovery. FailPending cannot answer stashed futures —
+// their slots are already claimed — which is exactly why the defer here
+// must.
+func (b *Buffer) sweepSlotsWAL(hook FaultHook, probe *obs.WorkerShard, local bool) (n int) {
+	mutating := false
+	logging := false
+	ns := 0
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if logging {
+			b.wal.Abort()
+		}
+		for i := 0; i < ns; i++ {
+			st := &b.stash[i]
+			st.f.err = PanicError{Value: r}
+			st.f.span.MarkResponded()
+			if st.f.word.CompareAndSwap(st.w, st.w|futError) {
+				b.Failed.Add(1)
+			}
+			*st = walStash{}
+		}
+		panic(r)
+	}()
+	for i := range b.slots {
+		s := &b.slots[i]
+		v := s.state.Load() // acquire: sees task+fut+enc when posted
+		if v&1 == 0 {
+			continue
+		}
+		f := s.fut
+		w := f.word.Load()
+		if w&futStateMask != futPending {
+			continue // answered by a racing completer this very moment
+		}
+		task := s.task
+		ro := s.ro
+		enc := s.enc
+		if !s.state.CompareAndSwap(v, v+1) {
+			continue // a seal-path sweep or rescue claimed it first
+		}
+		if !logging {
+			b.wal.Begin()
+			logging = true
+		}
+		if !ro && !mutating {
+			b.mutEnter.Add(1)
+			mutating = true
+		}
+		s.task = nil
+		s.enc = nil
+		sp := f.span
+		sp.MarkSwept(b.worker)
+		var tt int64
+		if probe != nil {
+			tt = probe.TaskBegin()
+		}
+		sp.MarkExecStart()
+		res := runTask(task, hook, b.worker)
+		sp.MarkExecEnd()
+		if probe != nil {
+			probe.TaskEnd(tt)
+		}
+		sp.MarkResponded()
+		if pe, ok := res.(PanicError); ok {
+			f.err = pe
+			f.word.CompareAndSwap(w, w|futError)
+			b.Failed.Add(1)
+		} else if enc == nil || ro {
+			f.val = res
+			f.word.CompareAndSwap(w, w|futValue)
+		} else {
+			b.wal.StageRecord(enc)
+			b.stash[ns] = walStash{f: f, w: w, res: res}
+			ns++
+		}
+		n++
+	}
+	if logging {
+		// Group commit: injected commit faults only fire on live worker
+		// sweeps (hook != nil); the seal path's final sweep must not crash
+		// the sealing goroutine.
+		err := b.wal.Commit(hook != nil)
+		logging = false
+		for i := 0; i < ns; i++ {
+			st := &b.stash[i]
+			if err != nil {
+				st.f.err = PanicError{Value: err}
+				if st.f.word.CompareAndSwap(st.w, st.w|futError) {
+					b.Failed.Add(1)
+				}
+			} else {
+				st.f.val = st.res
+				st.f.word.CompareAndSwap(st.w, st.w|futValue)
+			}
+			*st = walStash{}
+		}
+		ns = 0
+	}
+	if mutating {
+		b.mutExit.Add(1) // close the mutating window: pair balanced again
+	}
+	if local {
+		b.nSweeps++
+		b.sinceFlush++
+		if n == 0 {
+			b.nEmpty++
+		} else {
+			b.nExec += uint64(n)
+			if n > 1 {
+				b.nBatch += uint64(n)
+			}
+		}
+		if b.sinceFlush >= statFlushEvery {
+			b.SyncStats()
+		}
+	}
+	return n
+}
+
 // Seal marks the buffer closed and runs a final sweep that executes every
 // task already posted, so no future delegated before shutdown dangles. Any
 // task posted after the seal is completed with ErrWorkerStopped by its own
@@ -660,7 +854,7 @@ func (b *Buffer) Seal() int {
 	// deepen the imbalance.
 	b.mutEnter.Add(1)
 	b.sealed.Store(true)
-	return b.sweepSlots(nil, nil, false)
+	return b.sweepBody(nil, nil, false)
 }
 
 // FailPending completes every posted, unclaimed task with err without
@@ -958,13 +1152,26 @@ func (c *Client) Reserve() (int32, bool) {
 // keep several statements in flight and synchronise once per dependency
 // barrier instead of once per statement.
 func (c *Client) PostReserved(i int32, task Task) InvokeHandle {
+	return c.postReserved(i, task, nil)
+}
+
+// PostReservedLogged is PostReserved for a mutating task with a logical WAL
+// record encoder: the worker stages enc's output into its log and completes
+// the handle's future only after the sweep batch group-commits. On a
+// runtime without a WAL sink the encoder is ignored and the task behaves
+// exactly like PostReserved.
+func (c *Client) PostReservedLogged(i int32, task Task, enc func(dst []byte) []byte) InvokeHandle {
+	return c.postReserved(i, task, enc)
+}
+
+func (c *Client) postReserved(i int32, task Task, enc func(dst []byte) []byte) InvokeHandle {
 	s := c.slots[i]
 	f := &s.fut0
 	tok := f.begin()
 	if c.probe != nil {
 		f.span = c.probe.PostRecycled()
 	}
-	s.post(task, f, false)
+	s.post(task, f, false, enc)
 	return InvokeHandle{slot: i, tok: tok}
 }
 
@@ -1002,7 +1209,26 @@ func (c *Client) Delegate(task Task) *Future {
 		// future) to the worker alongside the task.
 		f.span = c.probe.Post()
 	}
-	c.slots[i].post(task, f, false)
+	c.slots[i].post(task, f, false, nil)
+	tail := c.head + c.n
+	if tail >= len(c.ring) {
+		tail -= len(c.ring)
+	}
+	c.ring[tail] = pendingOp{slot: i, fut: f}
+	c.n++
+	return f
+}
+
+// DelegateLogged is Delegate for a logged mutation: enc encodes the task's
+// WAL record on the worker after the task runs, and the future completes
+// only after the record's group commit — success implies durable.
+func (c *Client) DelegateLogged(task Task, enc func(dst []byte) []byte) *Future {
+	i := c.takeSlot()
+	f := &Future{}
+	if c.probe != nil {
+		f.span = c.probe.Post()
+	}
+	c.slots[i].post(task, f, false, enc)
 	tail := c.head + c.n
 	if tail >= len(c.ring) {
 		tail -= len(c.ring)
@@ -1035,16 +1261,27 @@ func (c *Client) Invoke(task Task) any {
 // this invocation and CAS-completed by exactly one of worker sweep, seal
 // rescue, or crash fail-over. The future never escapes, so the slot can be
 // recycled the moment the result is observed.
-func (c *Client) InvokeErr(task Task) (any, error) { return c.invokeErr(task, false) }
+func (c *Client) InvokeErr(task Task) (any, error) { return c.invokeErr(task, false, nil) }
+
+// InvokeLoggedErr is InvokeErr for a mutating task with a logical WAL
+// record encoder: the worker stages enc's output into its log during the
+// sweep and completes the future only after the batch group-commits, so a
+// successful return implies the record is durable. On a runtime without a
+// WAL sink the encoder is ignored and the call behaves exactly like
+// InvokeErr. The encoder runs on the worker goroutine, serialised with the
+// task itself — it may read the structure state the task just wrote.
+func (c *Client) InvokeLoggedErr(task Task, enc func(dst []byte) []byte) (any, error) {
+	return c.invokeErr(task, false, enc)
+}
 
 // InvokeReadErr is InvokeErr for a task the caller guarantees is read-only:
 // the slot is posted with the read flag, so the worker's sweep does not open
 // a mutating-batch window for it. The read-bypass fallback path uses it — a
 // delegated read serializes with mutations exactly like any other task, it
 // just must not spuriously invalidate concurrent bypass readers.
-func (c *Client) InvokeReadErr(task Task) (any, error) { return c.invokeErr(task, true) }
+func (c *Client) InvokeReadErr(task Task) (any, error) { return c.invokeErr(task, true, nil) }
 
-func (c *Client) invokeErr(task Task, ro bool) (any, error) {
+func (c *Client) invokeErr(task Task, ro bool, enc func(dst []byte) []byte) (any, error) {
 	i := c.takeSlot()
 	s := c.slots[i]
 	f := &s.fut0
@@ -1057,7 +1294,7 @@ func (c *Client) invokeErr(task Task, ro bool) (any, error) {
 		// holders may Wait (and Resolve) long after the span would recycle.
 		f.span = c.probe.PostRecycled()
 	}
-	s.post(task, f, ro)
+	s.post(task, f, ro, enc)
 	v, err := f.awaitToken(tok)
 	c.free = append(c.free, i)
 	return v, err

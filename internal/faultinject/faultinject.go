@@ -35,6 +35,15 @@ const (
 	// SweepDelay sleeps briefly (Rule.Stall) before a sweep — a milder
 	// stall that stretches the response-batching window.
 	SweepDelay
+	// WALKillCommit kills the worker inside the WAL group commit, after the
+	// sweep staged its records but before they reach the segment: the crash
+	// loses the whole batch, and recovery must serve the pre-batch state
+	// while clients see the batch fail with a typed error.
+	WALKillCommit
+	// WALTornTail writes a truncated final frame to the segment and then
+	// kills the worker, simulating a crash mid-append: replay must detect
+	// the torn frame, drop it, and truncate the segment there.
+	WALTornTail
 	numKinds
 )
 
@@ -49,6 +58,10 @@ func (k Kind) String() string {
 		return "worker-stall"
 	case SweepDelay:
 		return "sweep-delay"
+	case WALKillCommit:
+		return "wal-kill-commit"
+	case WALTornTail:
+		return "wal-torn-tail"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -180,6 +193,27 @@ func (in *Injector) BeforeSweep(worker int) {
 			}
 		}
 	}
+}
+
+// DecideWALFault is the commit-fault hook the core runtime bridges into the
+// WAL layer (wal.CommitHook): called once per group commit, it returns 0
+// (no fault), 1 (kill before the append) or 2 (torn tail), matching
+// wal.CommitNone/CommitKill/CommitTear. Plain ints keep the packages
+// decoupled; the first armed WAL rule that fires wins.
+func (in *Injector) DecideWALFault(worker int) int {
+	for _, r := range in.rules {
+		switch r.Kind {
+		case WALKillCommit:
+			if in.decide(r, worker) {
+				return 1
+			}
+		case WALTornTail:
+			if in.decide(r, worker) {
+				return 2
+			}
+		}
+	}
+	return 0
 }
 
 // BeforeTask implements delegation.FaultHook: task-level faults. A

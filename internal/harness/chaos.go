@@ -91,6 +91,28 @@ func ChaosSchedules() []ChaosSchedule {
 	}
 }
 
+// Scaled returns a copy of the schedule with every deterministic EveryNth
+// counter divided by div (floored at 1). Shrunk -short runs see an order of
+// magnitude fewer sweep opportunities than the full-size suite, so the
+// full-size thresholds would make deterministic kill rules never fire —
+// scaling them down keeps every armed crash kind firing in every domain.
+func (s ChaosSchedule) Scaled(div uint64) ChaosSchedule {
+	if div <= 1 {
+		return s
+	}
+	out := s
+	out.Rules = append([]faultinject.Rule(nil), s.Rules...)
+	for i := range out.Rules {
+		if n := out.Rules[i].EveryNth; n > 0 {
+			if n /= div; n < 1 {
+				n = 1
+			}
+			out.Rules[i].EveryNth = n
+		}
+	}
+	return out
+}
+
 // ChaosScheduleNamed returns the named schedule.
 func ChaosScheduleNamed(name string) (ChaosSchedule, error) {
 	var names []string

@@ -5,12 +5,15 @@ import (
 )
 
 // chaosScale shrinks the suite under -short (the tier-2 `make verify` runs
-// it full-size with -race).
-func chaosScale(t *testing.T) (sessions, tasks int, seeds []int64) {
+// it full-size with -race). The returned divisor scales the schedules'
+// deterministic EveryNth counters down to match (see ChaosSchedule.Scaled):
+// a shrunk run sees ~8× fewer sweeps, and unscaled thresholds would let the
+// kill rules never fire in either domain.
+func chaosScale(t *testing.T) (sessions, tasks int, seeds []int64, div uint64) {
 	if testing.Short() {
-		return 4, 100, []int64{1}
+		return 4, 100, []int64{1}, 8
 	}
-	return 6, 300, []int64{1, 7, 42}
+	return 6, 300, []int64{1, 7, 42}, 1
 }
 
 // TestChaosAllSchedules is the acceptance gate of the fault-tolerance
@@ -18,8 +21,9 @@ func chaosScale(t *testing.T) (sessions, tasks int, seeds []int64) {
 // complete — with a value or a typed error — within the deadline. A hang
 // is a protocol bug, not a flake.
 func TestChaosAllSchedules(t *testing.T) {
-	sessions, tasks, seeds := chaosScale(t)
+	sessions, tasks, seeds, div := chaosScale(t)
 	for _, sched := range ChaosSchedules() {
+		sched := sched.Scaled(div)
 		for _, seed := range seeds {
 			r, err := RunChaos(sched, seed, sessions, tasks)
 			if err != nil {
@@ -42,11 +46,12 @@ func TestChaosAllSchedules(t *testing.T) {
 // runtime observed panics, respawned workers, and still completed tasks
 // with values afterwards.
 func TestChaosWorkerKillRecovers(t *testing.T) {
-	sessions, tasks, _ := chaosScale(t)
+	sessions, tasks, _, div := chaosScale(t)
 	sched, err := ChaosScheduleNamed("worker-kill")
 	if err != nil {
 		t.Fatal(err)
 	}
+	sched = sched.Scaled(div)
 	// Kills are sweep-rate dependent; retry a few seeds until one fires
 	// (deterministic per seed, machine-speed dependent across machines).
 	for _, seed := range []int64{3, 5, 9, 11} {
@@ -73,7 +78,7 @@ func TestChaosWorkerKillRecovers(t *testing.T) {
 // TestChaosStopPostNoDangle pins the stop/post race at the system level:
 // shutting down mid-traffic must resolve every future.
 func TestChaosStopPostNoDangle(t *testing.T) {
-	sessions, tasks, seeds := chaosScale(t)
+	sessions, tasks, seeds, _ := chaosScale(t)
 	sched, err := ChaosScheduleNamed("stop-post")
 	if err != nil {
 		t.Fatal(err)

@@ -117,6 +117,27 @@ func (o *Observer) writeMetrics(w http.ResponseWriter) {
 	for _, d := range snap.Domains {
 		fmt.Fprintf(w, "robustconf_pending_tasks{domain=%q} %d\n", d.Name, d.Pending)
 	}
+	fmt.Fprintf(w, "# HELP robustconf_restart_budget_remaining Worker respawns left before the domain dies.\n")
+	fmt.Fprintf(w, "# TYPE robustconf_restart_budget_remaining gauge\n")
+	for _, d := range snap.Domains {
+		fmt.Fprintf(w, "robustconf_restart_budget_remaining{domain=%q} %d\n", d.Name, d.BudgetRemaining)
+	}
+	counter("robustconf_recoveries_total", "WAL recoveries run after worker crashes.",
+		func(d DomainSnapshot) uint64 { return d.Recoveries })
+	counter("robustconf_wal_replayed_records_total", "Log records applied during WAL recovery.",
+		func(d DomainSnapshot) uint64 { return d.WALReplayed })
+	counter("robustconf_wal_replay_ns_total", "Wall time spent replaying the WAL (ns).",
+		func(d DomainSnapshot) uint64 { return d.WALReplayNs })
+	fmt.Fprintf(w, "# HELP robustconf_wal_checkpoint_age_seconds Age of the domain's last completed checkpoint (-1 = no WAL or no checkpoint).\n")
+	fmt.Fprintf(w, "# TYPE robustconf_wal_checkpoint_age_seconds gauge\n")
+	now := time.Now().UnixNano()
+	for _, d := range snap.Domains {
+		age := -1.0
+		if d.WALLastCheckpoint > 0 {
+			age = float64(now-d.WALLastCheckpoint) / 1e9
+		}
+		fmt.Fprintf(w, "robustconf_wal_checkpoint_age_seconds{domain=%q} %g\n", d.Name, age)
+	}
 	fmt.Fprintf(w, "# HELP robustconf_max_batch_size Largest single-sweep response batch observed, by domain.\n")
 	fmt.Fprintf(w, "# TYPE robustconf_max_batch_size gauge\n")
 	for _, d := range snap.Domains {

@@ -193,6 +193,16 @@ type DomainExternal struct {
 	Rescued  uint64
 	Restarts int64
 	Pending  int
+	// BudgetRemaining is the domain's unspent restart budget: how many more
+	// worker crashes it survives before ErrDomainDead. Gauge, never negative.
+	BudgetRemaining int64
+	// Durability counters (zero when the runtime runs without a WAL):
+	// recoveries run, log records replayed, wall time spent replaying, and
+	// the UnixNano stamp of the last completed checkpoint (0 = none).
+	Recoveries        uint64
+	WALReplayed       uint64
+	WALReplayNs       uint64
+	WALLastCheckpoint int64
 }
 
 // SetExternal installs the snapshot-time callback for external counters.
@@ -223,9 +233,16 @@ type DomainSnapshot struct {
 	Rescued         uint64
 	Restarts        int64
 	Pending         int
-	SweepNs         metrics.HistogramSnapshot
-	ExecNs          metrics.HistogramSnapshot
-	RespNs          metrics.HistogramSnapshot
+	BudgetRemaining int64
+	// Durability view (see DomainExternal): recovery work and checkpoint
+	// freshness for the domain's write-ahead log.
+	Recoveries        uint64
+	WALReplayed       uint64
+	WALReplayNs       uint64
+	WALLastCheckpoint int64
+	SweepNs           metrics.HistogramSnapshot
+	ExecNs            metrics.HistogramSnapshot
+	RespNs            metrics.HistogramSnapshot
 }
 
 // Occupancy is the fraction of sweeps that found work.
@@ -268,6 +285,11 @@ func (d *DomainObs) snapshot() DomainSnapshot {
 		s.Rescued = ext.Rescued
 		s.Restarts = ext.Restarts
 		s.Pending = ext.Pending
+		s.BudgetRemaining = ext.BudgetRemaining
+		s.Recoveries = ext.Recoveries
+		s.WALReplayed = ext.WALReplayed
+		s.WALReplayNs = ext.WALReplayNs
+		s.WALLastCheckpoint = ext.WALLastCheckpoint
 	}
 	return s
 }
@@ -293,6 +315,16 @@ func (s *DomainSnapshot) merge(o DomainSnapshot) {
 	s.Rescued += o.Rescued
 	s.Restarts += o.Restarts
 	s.Pending += o.Pending
+	// Instances of a name run consecutively (one runtime at a time), so the
+	// live instance's gauges — remaining budget, checkpoint freshness —
+	// supersede the retired ones' rather than summing.
+	s.BudgetRemaining = o.BudgetRemaining
+	if o.WALLastCheckpoint > s.WALLastCheckpoint {
+		s.WALLastCheckpoint = o.WALLastCheckpoint
+	}
+	s.Recoveries += o.Recoveries
+	s.WALReplayed += o.WALReplayed
+	s.WALReplayNs += o.WALReplayNs
 	s.SweepNs.Merge(o.SweepNs)
 	s.ExecNs.Merge(o.ExecNs)
 	s.RespNs.Merge(o.RespNs)
@@ -342,7 +374,12 @@ func (o *Observer) Report() string {
 		fmt.Fprintf(&b, "domain %s: workers %d, tasks %d, posts %d, burst-waits %d, sweeps %d (occupancy %.3f), batched %d (max batch %d), pending %d\n",
 			d.Name, d.Workers, d.Tasks, d.Posts, d.BurstWaits, d.Sweeps, d.Occupancy(), d.Batched, d.MaxBatch, d.Pending)
 		if d.Failed > 0 || d.Rescued > 0 || d.Restarts > 0 {
-			fmt.Fprintf(&b, "  failures: %d failed, %d rescued, %d restarts\n", d.Failed, d.Rescued, d.Restarts)
+			fmt.Fprintf(&b, "  failures: %d failed, %d rescued, %d restarts (budget remaining %d)\n",
+				d.Failed, d.Rescued, d.Restarts, d.BudgetRemaining)
+		}
+		if d.Recoveries > 0 || d.WALLastCheckpoint > 0 {
+			fmt.Fprintf(&b, "  durability: %d recoveries, %d records replayed in %.2fms\n",
+				d.Recoveries, d.WALReplayed, float64(d.WALReplayNs)/1e6)
 		}
 		if d.BypassHits > 0 || d.BypassFallbacks > 0 {
 			fmt.Fprintf(&b, "  read-bypass: %d hits, %d retries, %d fallbacks\n", d.BypassHits, d.BypassRetries, d.BypassFallbacks)

@@ -202,6 +202,7 @@ const (
 	EventWorkerRespawn     = "worker-respawn"
 	EventRestartsExhausted = "restarts-exhausted"
 	EventDomainStop        = "domain-stop"
+	EventWALRecovery       = "wal-recovery"
 )
 
 // Event is one domain/worker lifecycle transition (start, crash, respawn,

@@ -29,14 +29,16 @@ import (
 
 // Warehouse is the composite data structure of one warehouse: its tables
 // and indexes, co-located so transactions rarely cross domains (the
-// co-location constraint of Section 5.2).
+// co-location constraint of Section 5.2). It implements core.Durable (see
+// wal.go), so a WAL-enabled runtime checkpoints and replays it.
 type Warehouse struct {
-	tables map[tpcc.Table]index.Index
+	tables   map[tpcc.Table]index.Index
+	newIndex func() index.Index // retained for WALRestore rebuilds
 }
 
 // NewWarehouse builds the composite structure with one index per table.
 func NewWarehouse(newIndex func() index.Index) *Warehouse {
-	w := &Warehouse{tables: map[tpcc.Table]index.Index{}}
+	w := &Warehouse{tables: map[tpcc.Table]index.Index{}, newIndex: newIndex}
 	for _, t := range tpcc.Tables {
 		w.tables[t] = newIndex()
 	}
@@ -156,6 +158,7 @@ type Engine struct {
 	rt         *core.Runtime
 	warehouses []*Warehouse
 	names      []string // cached structureName(w) per warehouse (hot path)
+	logged     bool     // runtime has a WAL: mutating statements carry effect records
 }
 
 // name returns the cached structure name of a (validated) warehouse id.
@@ -243,7 +246,7 @@ func NewEngineWithConfig(cfg tpcc.Config, newIndex func() index.Index, rc core.C
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	e := &Engine{cfg: cfg}
+	e := &Engine{cfg: cfg, logged: rc.WAL.Enabled()}
 	structures := map[string]any{}
 	for w := 1; w <= cfg.Warehouses; w++ {
 		wh := NewWarehouse(newIndex)
@@ -353,13 +356,21 @@ func (e *Engine) NewStoreMode(cpu, burst int, mode ExecMode) (*SessionStore, err
 	}
 	s.txnOp = func(ds any) any {
 		s.local.wh = ds.(*Warehouse)
+		if e.logged {
+			// The closure's writes accumulate effects; the task's WAL
+			// encoder (logEnc) reads them after the closure returns, on the
+			// same worker within the same sweep.
+			s.effects = s.effects[:0]
+			s.local.eff = &s.effects
+		}
 		err := s.txnFn(&s.local)
-		s.local.wh = nil
+		s.local.wh, s.local.eff = nil, nil
 		if err != nil {
 			return err
 		}
 		return nil
 	}
+	s.logEnc = func(dst []byte) []byte { return append(dst, s.effects...) }
 	return s, nil
 }
 
@@ -387,6 +398,12 @@ type SessionStore struct {
 	txnFn func(local tpcc.Store) error
 	txnOp func(ds any) any
 	local domainStore
+
+	// Logged-path scratch: fused batches and whole transactions accumulate
+	// their effect records here (worker side, inside the task), and logEnc
+	// copies them into the WAL staging buffer (worker side, same sweep).
+	effects []byte
+	logEnc  func(dst []byte) []byte
 }
 
 // kvPair is one collected scan match.
@@ -484,7 +501,15 @@ func (s *SessionStore) issue(w int, kind stmtKind, t tpcc.Table, key, arg uint64
 		}
 		return f
 	}
-	af, err := s.session.SubmitAsync(s.engine.name(w), execStmt, f)
+	var af *core.AsyncFuture
+	var err error
+	if s.engine.logged && kind != stGet {
+		// Logged mutation: the future completes only after the effect
+		// record's group commit, so Value returning nil means durable.
+		af, err = s.session.SubmitAsyncLogged(s.engine.name(w), execStmt, f, encStmtEffect)
+	} else {
+		af, err = s.session.SubmitAsync(s.engine.name(w), execStmt, f)
+	}
 	if err != nil {
 		f.err = err
 		return f
@@ -527,8 +552,15 @@ func (s *SessionStore) batch(w int) *stmtBatch {
 		b = &stmtBatch{store: s, w: w}
 		b.op = func(ds any) any {
 			wh := ds.(*Warehouse)
+			logged := s.engine.logged
+			if logged {
+				s.effects = s.effects[:0]
+			}
 			for _, f := range b.stmts {
 				f.exec(wh)
+				if logged {
+					s.effects = f.appendEffect(s.effects)
+				}
 			}
 			return nil
 		}
@@ -544,7 +576,16 @@ func (b *stmtBatch) flush() error {
 	if len(b.stmts) == 0 {
 		return nil
 	}
-	_, err := b.store.session.Invoke(core.Task{Structure: b.store.engine.name(b.w), Op: b.op})
+	task := core.Task{Structure: b.store.engine.name(b.w), Op: b.op}
+	if b.store.engine.logged {
+		for _, f := range b.stmts {
+			if f.kind != stGet {
+				task.Log = b.store.logEnc // at least one mutation: log the batch
+				break
+			}
+		}
+	}
+	_, err := b.store.session.Invoke(task)
 	for i, f := range b.stmts {
 		f.batch = nil
 		if err != nil && f.err == nil {
@@ -672,7 +713,11 @@ func (s *SessionStore) RunTxn(w int, fn func(local tpcc.Store) error) error {
 		return err
 	}
 	s.txnFn, s.local.w = fn, w
-	out, err := s.session.Invoke(core.Task{Structure: s.engine.name(w), Op: s.txnOp})
+	task := core.Task{Structure: s.engine.name(w), Op: s.txnOp}
+	if s.engine.logged {
+		task.Log = s.logEnc // one record carries the whole transaction's effects
+	}
+	out, err := s.session.Invoke(task)
 	s.txnFn = nil
 	if err != nil {
 		return err
@@ -688,8 +733,9 @@ func (s *SessionStore) RunTxn(w int, fn func(local tpcc.Store) error) error {
 // partition; touching any other warehouse is a programming error (the
 // closure was promised to be single-warehouse) and fails loudly.
 type domainStore struct {
-	wh *Warehouse
-	w  int
+	wh  *Warehouse
+	w   int
+	eff *[]byte // when non-nil, successful writes append their WAL effects
 }
 
 func (d *domainStore) table(w int, t tpcc.Table) (index.Index, error) {
@@ -715,7 +761,11 @@ func (d *domainStore) Update(w int, t tpcc.Table, key, val uint64) (bool, error)
 	if err != nil {
 		return false, err
 	}
-	return tb.Update(key, val, nil), nil
+	ok := tb.Update(key, val, nil)
+	if ok && d.eff != nil {
+		*d.eff = appendEffSet(*d.eff, t, key, val)
+	}
+	return ok, nil
 }
 
 // Insert implements tpcc.Store.
@@ -724,7 +774,11 @@ func (d *domainStore) Insert(w int, t tpcc.Table, key, val uint64) (bool, error)
 	if err != nil {
 		return false, err
 	}
-	return tb.Insert(key, val, nil), nil
+	ok := tb.Insert(key, val, nil)
+	if ok && d.eff != nil {
+		*d.eff = appendEffSet(*d.eff, t, key, val)
+	}
+	return ok, nil
 }
 
 // Delete implements tpcc.Store.
@@ -733,7 +787,11 @@ func (d *domainStore) Delete(w int, t tpcc.Table, key uint64) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	return tb.Delete(key, nil), nil
+	ok := tb.Delete(key, nil)
+	if ok && d.eff != nil {
+		*d.eff = appendEffDelete(*d.eff, t, key)
+	}
+	return ok, nil
 }
 
 // Scan implements tpcc.Store.
@@ -756,6 +814,9 @@ func (d *domainStore) RMW(w int, t tpcc.Table, key uint64, kind tpcc.RMWKind, de
 	}
 	nv := tpcc.ApplyRMW(kind, old, delta)
 	tb.Update(key, nv, nil)
+	if d.eff != nil {
+		*d.eff = appendEffSet(*d.eff, t, key, nv)
+	}
 	return nv, true, nil
 }
 

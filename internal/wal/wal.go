@@ -1,0 +1,554 @@
+// Package wal implements per-domain write-ahead logging and checkpointing
+// for the delegation runtime (DESIGN.md §13).
+//
+// The layout exploits the delegation design's single-writer discipline:
+// each domain worker is the sole mutator of the structures it sweeps, so
+// each worker gets a private append-only log segment written with plain
+// file appends — no locking, no contention — and group-committed once per
+// sweep batch. A domain-level checkpoint snapshots every structure under a
+// quiescence gate (workers pause between sweep batches, never inside one)
+// and truncates all segments, bounding replay work.
+//
+// Fault model: the runtime supervises *goroutine* crashes (a panic escaping
+// a worker sweep), not process crashes. In-memory structure state survives a
+// crash, but a crash can interrupt a group commit and leave a torn frame at
+// a segment tail; recovery heals that by restoring the latest checkpoint,
+// truncating the torn tail, and replaying the committed record suffix. The
+// checkpoint protocol (temp file + rename + segment truncation, all under
+// the gate) is atomic in this model because the checkpointer goroutine is
+// never a fault target; a true process-crash port would need a checkpoint
+// epoch in the segment headers (noted in DESIGN.md §13).
+//
+// Durability axis: FsyncNone never syncs (the log only serves crash-replay
+// inside the process), FsyncBatch syncs once per group commit, FsyncAlways
+// syncs every record at append time. The modes are a *cost* axis for the
+// configuration search — correctness of recovery in the goroutine-crash
+// model does not depend on them.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FsyncMode selects when log writes are flushed to stable storage.
+type FsyncMode int
+
+const (
+	// FsyncNone never calls fsync: the log is an in-process replay journal.
+	FsyncNone FsyncMode = iota
+	// FsyncBatch fsyncs once per group commit (sweep-batch boundary).
+	FsyncBatch
+	// FsyncAlways fsyncs every record at append time.
+	FsyncAlways
+)
+
+// String implements fmt.Stringer.
+func (m FsyncMode) String() string {
+	switch m {
+	case FsyncNone:
+		return "none"
+	case FsyncBatch:
+		return "batch"
+	case FsyncAlways:
+		return "always"
+	default:
+		return fmt.Sprintf("FsyncMode(%d)", int(m))
+	}
+}
+
+// ParseFsyncMode parses "none", "batch", or "always".
+func ParseFsyncMode(s string) (FsyncMode, error) {
+	switch s {
+	case "none":
+		return FsyncNone, nil
+	case "batch":
+		return FsyncBatch, nil
+	case "always":
+		return FsyncAlways, nil
+	default:
+		return 0, fmt.Errorf("wal: unknown fsync mode %q (want none, batch, always)", s)
+	}
+}
+
+// Commit fault actions, decided by a CommitHook at each group commit.
+const (
+	CommitNone = iota // no fault: commit normally
+	CommitKill        // crash before writing: staged records are lost
+	CommitTear        // crash mid-write: a torn frame is left at the tail
+)
+
+// CommitHook intercepts group commits for deterministic fault injection
+// (internal/faultinject implements it via DecideWALFault). A kill panics
+// before any staged byte reaches the segment — the crash-between-append
+// case; a tear writes the staged batch minus its final bytes and then
+// panics — the torn-tail case recovery must truncate.
+type CommitHook func(worker int) int
+
+// Frame format, shared by log segments and checkpoint files:
+//
+//	[u32 payload length][u32 CRC-32 (IEEE) of payload][payload]
+//
+// Little-endian. A reader stops at the first frame whose header or payload
+// is short or whose CRC mismatches — everything before is the committed
+// prefix, everything after is torn garbage.
+//
+// Log segments use two nested layers of this format: the outer frames are
+// group-commit batches whose payload is [u64 LSN][inner record frames], one
+// outer frame per Commit (or per record in FsyncAlways mode); the inner
+// frames are individual records. The outer CRC makes a batch commit
+// atomic — either the whole batch replays or none of it — and the LSN lets
+// Recover merge batches from all worker segments in commit order.
+// Checkpoint files use a single layer of plain record frames.
+const frameHeader = 8
+
+// maxFramePayload bounds a single frame so a corrupt length field cannot
+// drive a giant allocation during replay.
+const maxFramePayload = 1 << 26 // 64 MiB
+
+// WriteFrame appends one framed payload to w. Checkpoint writers use it so
+// checkpoint files share the segment frame format (and its torn-tail
+// detection, though checkpoints are atomic in this fault model anyway).
+func WriteFrame(w io.Writer, payload []byte) error {
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one framed payload from r. It returns io.EOF at a clean
+// end of stream and ErrTornFrame for a short or corrupt frame.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [frameHeader]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, ErrTornFrame
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	if n > maxFramePayload {
+		return nil, ErrTornFrame
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, ErrTornFrame
+	}
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(hdr[4:8]) {
+		return nil, ErrTornFrame
+	}
+	return payload, nil
+}
+
+// ErrTornFrame marks a short or corrupt frame: the point where a crash
+// interrupted an append. Replay treats it as end-of-log and truncates.
+var ErrTornFrame = errors.New("wal: torn or corrupt frame")
+
+// checkpointName is the domain checkpoint file; checkpointTmp is the
+// staging name renamed over it once fully written and synced.
+const (
+	checkpointName = "checkpoint.ckpt"
+	checkpointTmp  = "checkpoint.tmp"
+)
+
+// DomainLog is one domain's durability unit: a checkpoint file plus one
+// append-only segment per worker.
+//
+// The gate is the quiescence protocol: each worker holds the read side
+// while a logged sweep batch is in flight (lazily, from its first staged
+// record to its group commit), and the checkpointer/recovery hold the write
+// side — so a checkpoint or replay observes structures only at sweep-batch
+// boundaries, where the single-writer state is consistent.
+type DomainLog struct {
+	dir   string
+	fsync FsyncMode
+	gate  sync.RWMutex
+	segs  []*segment
+	wls   []*WorkerLog
+
+	// lsn numbers group commits domain-wide: each committed batch frame
+	// carries the next value, and replay merges batches from all worker
+	// segments in LSN order — so two writes to the same key from different
+	// workers replay in commit order, not in segment order. (Two tasks
+	// racing within one commit window have no defined order live either;
+	// see the ordering note on Recover.)
+	lsn atomic.Uint64
+
+	committed  atomic.Uint64 // records group-committed since open
+	replayed   atomic.Uint64 // records applied by Recover since open
+	recoveries atomic.Uint64 // Recover invocations
+	replayNs   atomic.Int64  // wall time spent inside Recover
+	lastCkpt   atomic.Int64  // UnixNano of the last completed checkpoint; 0 = none
+}
+
+type segment struct {
+	path string
+	f    *os.File
+}
+
+// OpenDomain creates (or resets) the WAL directory for one domain with one
+// segment per worker. A fresh runtime start truncates everything: in the
+// goroutine-crash model there is no pre-start state to recover, and the
+// checkpoint cadence re-establishes durability immediately (core writes an
+// initial checkpoint right after Start).
+func OpenDomain(dir string, workers int, fsync FsyncMode) (*DomainLog, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("wal: domain needs at least one worker segment")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	// Drop any stale checkpoint from a previous run of the same binary.
+	_ = os.Remove(filepath.Join(dir, checkpointName))
+	_ = os.Remove(filepath.Join(dir, checkpointTmp))
+	d := &DomainLog{dir: dir, fsync: fsync}
+	for i := 0; i < workers; i++ {
+		path := filepath.Join(dir, fmt.Sprintf("w%d.log", i))
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_TRUNC|os.O_APPEND, 0o644)
+		if err != nil {
+			d.Close()
+			return nil, err
+		}
+		d.segs = append(d.segs, &segment{path: path, f: f})
+		d.wls = append(d.wls, &WorkerLog{dom: d, seg: d.segs[i], worker: i})
+	}
+	return d, nil
+}
+
+// Dir returns the domain's WAL directory.
+func (d *DomainLog) Dir() string { return d.dir }
+
+// Worker returns worker i's log handle. Exactly one goroutine — the
+// sweeping worker — may use it at a time; a respawned worker reuses the
+// same handle (the crash defer released any held gate).
+func (d *DomainLog) Worker(i int) *WorkerLog { return d.wls[i] }
+
+// SetCommitHook installs a commit fault hook on every worker log. Call
+// before workers run; the field is read without synchronisation.
+func (d *DomainLog) SetCommitHook(h CommitHook) {
+	for _, wl := range d.wls {
+		wl.hook = h
+	}
+}
+
+// Close closes the segment files. Call after workers have stopped.
+func (d *DomainLog) Close() {
+	for _, s := range d.segs {
+		if s.f != nil {
+			_ = s.f.Close()
+		}
+	}
+}
+
+// Stats is a point-in-time copy of the domain's durability counters.
+type Stats struct {
+	Committed      uint64
+	Replayed       uint64
+	Recoveries     uint64
+	ReplayNs       uint64
+	LastCheckpoint int64 // UnixNano; 0 = no checkpoint yet
+}
+
+// Stats snapshots the counters.
+func (d *DomainLog) Stats() Stats {
+	return Stats{
+		Committed:      d.committed.Load(),
+		Replayed:       d.replayed.Load(),
+		Recoveries:     d.recoveries.Load(),
+		ReplayNs:       uint64(d.replayNs.Load()),
+		LastCheckpoint: d.lastCkpt.Load(),
+	}
+}
+
+// Checkpoint quiesces the domain (write side of the gate: waits for every
+// in-flight logged sweep batch to commit, blocks new ones), streams a
+// snapshot through write into a temp file, fsyncs and renames it over the
+// checkpoint, and truncates every segment — the replay horizon moves to the
+// checkpoint.
+func (d *DomainLog) Checkpoint(write func(w io.Writer) error) error {
+	d.gate.Lock()
+	defer d.gate.Unlock()
+	return d.checkpointLocked(write)
+}
+
+func (d *DomainLog) checkpointLocked(write func(w io.Writer) error) error {
+	tmp := filepath.Join(d.dir, checkpointTmp)
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	if d.fsync != FsyncNone {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(d.dir, checkpointName)); err != nil {
+		return err
+	}
+	for _, s := range d.segs {
+		if err := s.f.Truncate(0); err != nil {
+			return err
+		}
+	}
+	d.lastCkpt.Store(time.Now().UnixNano())
+	return nil
+}
+
+// Recover quiesces the domain and rebuilds structure state: restore is
+// called with the latest checkpoint (skipped when none exists), then apply
+// is called once per committed log record. Batches from all worker segments
+// are merged in LSN (commit) order, so replay reproduces the commit order of
+// conflicting writes across workers; only tasks racing within one commit
+// window — which have no defined order live either — replay in an arbitrary
+// but deterministic order. A torn tail — the batch a crash interrupted — is
+// detected by CRC, truncated off its segment, and replay continues.
+//
+// Recover returns the number of records applied.
+func (d *DomainLog) Recover(restore func(r io.Reader) error, apply func(rec []byte) error) (int, error) {
+	d.gate.Lock()
+	defer d.gate.Unlock()
+	start := time.Now()
+	d.recoveries.Add(1)
+
+	ckpt := filepath.Join(d.dir, checkpointName)
+	if f, err := os.Open(ckpt); err == nil {
+		rerr := restore(f)
+		f.Close()
+		if rerr != nil {
+			return 0, fmt.Errorf("wal: checkpoint restore: %w", rerr)
+		}
+	} else if !os.IsNotExist(err) {
+		return 0, err
+	}
+
+	var batches []batch
+	for _, s := range d.segs {
+		bs, err := readSegment(s)
+		if err != nil {
+			return 0, err
+		}
+		batches = append(batches, bs...)
+	}
+	sort.Slice(batches, func(i, j int) bool { return batches[i].lsn < batches[j].lsn })
+
+	applied := 0
+	for _, b := range batches {
+		off := 0
+		for off < len(b.body) {
+			// The outer batch CRC already validated these bytes; a short
+			// inner frame here is a writer bug, not a torn append.
+			if len(b.body)-off < frameHeader {
+				return applied, fmt.Errorf("wal: corrupt record framing in batch %d", b.lsn)
+			}
+			n := int(binary.LittleEndian.Uint32(b.body[off : off+4]))
+			if off+frameHeader+n > len(b.body) {
+				return applied, fmt.Errorf("wal: corrupt record framing in batch %d", b.lsn)
+			}
+			if err := apply(b.body[off+frameHeader : off+frameHeader+n]); err != nil {
+				return applied, fmt.Errorf("wal: replay batch %d: %w", b.lsn, err)
+			}
+			applied++
+			off += frameHeader + n
+		}
+	}
+	d.replayed.Add(uint64(applied))
+	d.replayNs.Add(time.Since(start).Nanoseconds())
+	return applied, nil
+}
+
+// batch is one committed group-commit unit read back from a segment.
+type batch struct {
+	lsn  uint64
+	body []byte // concatenated record frames
+}
+
+// readSegment collects every committed batch in one segment and truncates
+// the segment at the first torn batch frame.
+func readSegment(s *segment) ([]batch, error) {
+	buf, err := os.ReadFile(s.path)
+	if err != nil {
+		return nil, err
+	}
+	var out []batch
+	off := 0
+	for off < len(buf) {
+		if len(buf)-off < frameHeader {
+			break // torn header
+		}
+		n := int(binary.LittleEndian.Uint32(buf[off : off+4]))
+		if n > maxFramePayload || off+frameHeader+n > len(buf) {
+			break // torn payload
+		}
+		payload := buf[off+frameHeader : off+frameHeader+n]
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(buf[off+4:off+8]) {
+			break // corrupt frame
+		}
+		if n < 8 {
+			break // a batch frame always starts with its LSN
+		}
+		out = append(out, batch{lsn: binary.LittleEndian.Uint64(payload[:8]), body: payload[8:]})
+		off += frameHeader + n
+	}
+	if off < len(buf) {
+		// Torn tail: cut it so the writer appends committed batches after
+		// the last good one (the file is opened O_APPEND; Truncate moves
+		// the append position to the new end).
+		if err := s.f.Truncate(int64(off)); err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// WorkerLog is one worker's append handle: staging buffer for the current
+// sweep batch plus the group-commit protocol. It satisfies the delegation
+// layer's WALSink interface structurally, so delegation never imports wal.
+//
+// Lifecycle per sweep batch: the sweep calls Begin on its first logged
+// task (taking the gate's read side — empty or read-only sweeps never touch
+// the gate), StageRecord per logged task, and Commit at the end of the
+// pass; a crash unwinds through Abort instead. Exactly one goroutine uses a
+// WorkerLog at a time.
+type WorkerLog struct {
+	dom     *DomainLog
+	seg     *segment
+	worker  int
+	staging []byte
+	out     []byte // scratch for the framed outer batch; reused across commits
+	records int
+	active  bool
+	hook    CommitHook
+}
+
+// frameBatch wraps the given record frames into one outer batch frame —
+// [u32 len][u32 CRC][u64 LSN][record frames] — stamping the domain's next
+// LSN. The CRC covers LSN plus frames, so a torn batch is detected as a
+// unit. The result aliases l.out and is valid until the next call.
+func (l *WorkerLog) frameBatch(frames []byte) []byte {
+	lsn := l.dom.lsn.Add(1)
+	l.out = append(l.out[:0], 0, 0, 0, 0, 0, 0, 0, 0)
+	l.out = binary.LittleEndian.AppendUint64(l.out, lsn)
+	l.out = append(l.out, frames...)
+	payload := l.out[frameHeader:]
+	binary.LittleEndian.PutUint32(l.out[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(l.out[4:8], crc32.ChecksumIEEE(payload))
+	return l.out
+}
+
+// Begin opens a logged sweep batch: it takes the domain gate's read side,
+// blocking only when a checkpoint or recovery is in progress.
+func (l *WorkerLog) Begin() {
+	l.dom.gate.RLock()
+	l.active = true
+	l.staging = l.staging[:0]
+	l.records = 0
+}
+
+// StageRecord appends one framed record to the batch. enc appends the
+// record payload to its argument and returns the extended slice; an encoder
+// that appends nothing stages no record. In FsyncAlways mode the frame is
+// written and synced immediately instead of staged.
+func (l *WorkerLog) StageRecord(enc func(dst []byte) []byte) {
+	base := len(l.staging)
+	// Reserve the frame header, let enc append the payload, then backfill.
+	l.staging = append(l.staging, 0, 0, 0, 0, 0, 0, 0, 0)
+	l.staging = enc(l.staging)
+	n := len(l.staging) - base - frameHeader
+	if n <= 0 {
+		l.staging = l.staging[:base]
+		return
+	}
+	payload := l.staging[base+frameHeader:]
+	binary.LittleEndian.PutUint32(l.staging[base:base+4], uint32(n))
+	binary.LittleEndian.PutUint32(l.staging[base+4:base+8], crc32.ChecksumIEEE(payload))
+	l.records++
+	if l.dom.fsync == FsyncAlways {
+		// Each record becomes its own single-record batch so it carries an
+		// LSN and lands on disk immediately.
+		if _, err := l.seg.f.Write(l.frameBatch(l.staging[base:])); err == nil {
+			_ = l.seg.f.Sync()
+		}
+		l.staging = l.staging[:base]
+	}
+}
+
+// Commit group-commits the batch: the staged record frames are wrapped in
+// one LSN-stamped batch frame and appended to the segment in one write
+// (synced in FsyncBatch mode), then the gate's read side is released.
+// allowFaults gates the commit fault hook — shutdown's final seal sweep
+// passes false so an injected commit fault cannot crash the sealing
+// goroutine.
+//
+// A commit fault panics out of Commit with the gate still held; the sweep's
+// crash defer runs Abort, which releases it. Kill panics before any staged
+// byte reaches the segment; Tear writes the framed batch minus its final
+// bytes first, leaving the torn tail recovery must truncate.
+func (l *WorkerLog) Commit(allowFaults bool) error {
+	if !l.active {
+		return nil
+	}
+	var framed []byte
+	if len(l.staging) > 0 {
+		framed = l.frameBatch(l.staging)
+	}
+	if h := l.hook; h != nil && allowFaults {
+		switch h(l.worker) {
+		case CommitKill:
+			panic(fmt.Sprintf("wal: injected kill before group commit (worker %d)", l.worker))
+		case CommitTear:
+			if n := len(framed); n > 0 {
+				_, _ = l.seg.f.Write(framed[:n-3])
+			}
+			panic(fmt.Sprintf("wal: injected torn-tail crash during group commit (worker %d)", l.worker))
+		}
+	}
+	var err error
+	if len(framed) > 0 {
+		_, err = l.seg.f.Write(framed)
+		if err == nil && l.dom.fsync == FsyncBatch {
+			err = l.seg.f.Sync()
+		}
+	}
+	if err == nil {
+		l.dom.committed.Add(uint64(l.records))
+	}
+	l.staging = l.staging[:0]
+	l.records = 0
+	l.active = false
+	l.dom.gate.RUnlock()
+	return err
+}
+
+// Abort discards the staged batch and releases the gate. The sweep's crash
+// defer calls it when a panic (injected or genuine) unwinds a logged batch;
+// it is a no-op when no batch is open.
+func (l *WorkerLog) Abort() {
+	if !l.active {
+		return
+	}
+	l.staging = l.staging[:0]
+	l.records = 0
+	l.active = false
+	l.dom.gate.RUnlock()
+}

@@ -1,0 +1,317 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func appendRec(payload string) func([]byte) []byte {
+	return func(dst []byte) []byte { return append(dst, payload...) }
+}
+
+// commitBatch stages the payloads as one sweep batch and group-commits.
+func commitBatch(t *testing.T, l *WorkerLog, payloads ...string) {
+	t.Helper()
+	l.Begin()
+	for _, p := range payloads {
+		l.StageRecord(appendRec(p))
+	}
+	if err := l.Commit(true); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+}
+
+func recoverAll(t *testing.T, d *DomainLog) (ckpt []string, recs []string) {
+	t.Helper()
+	_, err := d.Recover(
+		func(r io.Reader) error {
+			for {
+				p, err := ReadFrame(r)
+				if err == io.EOF {
+					return nil
+				}
+				if err != nil {
+					return err
+				}
+				ckpt = append(ckpt, string(p))
+			}
+		},
+		func(rec []byte) error {
+			recs = append(recs, string(rec))
+			return nil
+		},
+	)
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	return ckpt, recs
+}
+
+func TestParseFsyncMode(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want FsyncMode
+	}{{"none", FsyncNone}, {"batch", FsyncBatch}, {"always", FsyncAlways}} {
+		got, err := ParseFsyncMode(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseFsyncMode(%q) = %v, %v", tc.in, got, err)
+		}
+		if got.String() != tc.in {
+			t.Fatalf("String() = %q, want %q", got.String(), tc.in)
+		}
+	}
+	if _, err := ParseFsyncMode("bogus"); err == nil {
+		t.Fatal("ParseFsyncMode(bogus) succeeded")
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	for _, p := range []string{"alpha", "", "gamma-gamma"} {
+		if err := WriteFrame(&buf, []byte(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := bytes.NewReader(buf.Bytes())
+	var got []string
+	for {
+		p, err := ReadFrame(r)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, string(p))
+	}
+	if len(got) != 3 || got[0] != "alpha" || got[1] != "" || got[2] != "gamma-gamma" {
+		t.Fatalf("round trip mismatch: %q", got)
+	}
+}
+
+func TestReadFrameDetectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[len(b)-1] ^= 0xff
+	if _, err := ReadFrame(bytes.NewReader(b)); err != ErrTornFrame {
+		t.Fatalf("corrupt payload: err = %v, want ErrTornFrame", err)
+	}
+	// A short header is torn, not EOF.
+	if _, err := ReadFrame(bytes.NewReader(b[:3])); err != ErrTornFrame {
+		t.Fatalf("short header: err = %v, want ErrTornFrame", err)
+	}
+}
+
+func TestGroupCommitAndReplay(t *testing.T) {
+	d, err := OpenDomain(t.TempDir(), 2, FsyncNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	commitBatch(t, d.Worker(0), "a1", "a2")
+	commitBatch(t, d.Worker(1), "b1")
+	commitBatch(t, d.Worker(0), "a3")
+
+	_, recs := recoverAll(t, d)
+	// Replay merges the two worker segments in LSN (commit) order, not in
+	// worker order: worker 1's batch committed between worker 0's two.
+	want := []string{"a1", "a2", "b1", "a3"}
+	if fmt.Sprint(recs) != fmt.Sprint(want) {
+		t.Fatalf("replayed %q, want %q", recs, want)
+	}
+	st := d.Stats()
+	if st.Committed != 4 || st.Replayed != 4 || st.Recoveries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestAbortDiscardsBatch(t *testing.T) {
+	d, err := OpenDomain(t.TempDir(), 1, FsyncNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	l := d.Worker(0)
+	commitBatch(t, l, "kept")
+	l.Begin()
+	l.StageRecord(appendRec("dropped"))
+	l.Abort()
+	_, recs := recoverAll(t, d)
+	if len(recs) != 1 || recs[0] != "kept" {
+		t.Fatalf("replayed %q, want [kept]", recs)
+	}
+}
+
+func TestEmptyEncoderStagesNothing(t *testing.T) {
+	d, err := OpenDomain(t.TempDir(), 1, FsyncNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	l := d.Worker(0)
+	l.Begin()
+	l.StageRecord(func(dst []byte) []byte { return dst }) // no payload
+	l.StageRecord(appendRec("real"))
+	if err := l.Commit(true); err != nil {
+		t.Fatal(err)
+	}
+	_, recs := recoverAll(t, d)
+	if len(recs) != 1 || recs[0] != "real" {
+		t.Fatalf("replayed %q, want [real]", recs)
+	}
+	if d.Stats().Committed != 1 {
+		t.Fatalf("committed = %d, want 1", d.Stats().Committed)
+	}
+}
+
+func TestTornTailTruncatedAndAppendContinues(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDomain(dir, 1, FsyncNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	l := d.Worker(0)
+	commitBatch(t, l, "good1", "good2")
+
+	// Simulate a crash mid-append: write a frame header promising more
+	// payload than follows.
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], 100)
+	if _, err := l.seg.f.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.seg.f.Write([]byte("partial")); err != nil {
+		t.Fatal(err)
+	}
+
+	_, recs := recoverAll(t, d)
+	if fmt.Sprint(recs) != fmt.Sprint([]string{"good1", "good2"}) {
+		t.Fatalf("replayed %q, want the committed prefix", recs)
+	}
+
+	// The torn bytes are gone: a post-recovery commit appends cleanly.
+	commitBatch(t, l, "good3")
+	_, recs = recoverAll(t, d)
+	if fmt.Sprint(recs) != fmt.Sprint([]string{"good1", "good2", "good3"}) {
+		t.Fatalf("replayed %q after re-append", recs)
+	}
+}
+
+func TestCommitKillAndTearFaults(t *testing.T) {
+	d, err := OpenDomain(t.TempDir(), 1, FsyncNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	action := CommitNone
+	d.SetCommitHook(func(worker int) int { return action })
+	l := d.Worker(0)
+	commitBatch(t, l, "before")
+
+	crash := func(a int) (recovered any) {
+		defer func() {
+			recovered = recover()
+			l.Abort() // the sweep's crash defer
+		}()
+		action = a
+		l.Begin()
+		l.StageRecord(appendRec("doomed-record"))
+		_ = l.Commit(true)
+		return nil
+	}
+	if crash(CommitKill) == nil {
+		t.Fatal("kill hook did not panic")
+	}
+	if crash(CommitTear) == nil {
+		t.Fatal("tear hook did not panic")
+	}
+	action = CommitNone
+
+	_, recs := recoverAll(t, d)
+	if fmt.Sprint(recs) != fmt.Sprint([]string{"before"}) {
+		t.Fatalf("replayed %q, want only the pre-crash commit", recs)
+	}
+
+	// Suppressed faults (seal path) commit normally.
+	action = CommitKill
+	l.Begin()
+	l.StageRecord(appendRec("sealed"))
+	if err := l.Commit(false); err != nil {
+		t.Fatal(err)
+	}
+	_, recs = recoverAll(t, d)
+	if fmt.Sprint(recs) != fmt.Sprint([]string{"before", "sealed"}) {
+		t.Fatalf("replayed %q, want fault suppressed on seal path", recs)
+	}
+}
+
+func TestCheckpointTruncatesSegments(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDomain(dir, 2, FsyncBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	commitBatch(t, d.Worker(0), "pre1")
+	commitBatch(t, d.Worker(1), "pre2")
+
+	err = d.Checkpoint(func(w io.Writer) error {
+		return WriteFrame(w, []byte("snapshot-state"))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		fi, err := os.Stat(filepath.Join(dir, fmt.Sprintf("w%d.log", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() != 0 {
+			t.Fatalf("segment %d not truncated: %d bytes", i, fi.Size())
+		}
+	}
+	commitBatch(t, d.Worker(0), "post")
+
+	ckpt, recs := recoverAll(t, d)
+	if len(ckpt) != 1 || ckpt[0] != "snapshot-state" {
+		t.Fatalf("checkpoint payloads %q", ckpt)
+	}
+	if fmt.Sprint(recs) != fmt.Sprint([]string{"post"}) {
+		t.Fatalf("replayed %q, want only the post-checkpoint tail", recs)
+	}
+	if d.Stats().LastCheckpoint == 0 {
+		t.Fatal("LastCheckpoint not stamped")
+	}
+}
+
+func TestOpenDomainResetsPriorState(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDomain(dir, 1, FsyncNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	commitBatch(t, d.Worker(0), "old")
+	if err := d.Checkpoint(func(w io.Writer) error { return WriteFrame(w, []byte("old-ckpt")) }); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+
+	d2, err := OpenDomain(dir, 1, FsyncNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	ckpt, recs := recoverAll(t, d2)
+	if len(ckpt) != 0 || len(recs) != 0 {
+		t.Fatalf("fresh open kept state: ckpt=%q recs=%q", ckpt, recs)
+	}
+}

@@ -45,6 +45,7 @@ import (
 	"robustconf/internal/delegation"
 	"robustconf/internal/obs"
 	"robustconf/internal/topology"
+	"robustconf/internal/wal"
 )
 
 // PaperBurstSize is the burst size used in all of the paper's experiments
@@ -132,9 +133,41 @@ var (
 	ErrWaitTimeout   = delegation.ErrWaitTimeout
 )
 
+// ErrDomainDead is returned for structures owned by a domain that exhausted
+// its restart budget and sealed: the runtime will not serve them again until
+// a reconfiguration.
+var ErrDomainDead = core.ErrDomainDead
+
 // DefaultRestartBudget is how many crash respawns a domain performs before
 // sealing its buffers (override per domain via Domain.RestartBudget).
 const DefaultRestartBudget = core.DefaultRestartBudget
+
+// Durability: set Config.WAL to give every domain a per-worker write-ahead
+// log with periodic checkpoints. Structures participate by implementing
+// Durable; logged mutations (Task.Log, Session.SubmitAsyncLogged) complete
+// only after their group commit, and a crashed worker's respawn restores the
+// latest checkpoint and replays the committed log tail before serving.
+type (
+	// WALConfig enables per-domain write-ahead logging (Config.WAL).
+	WALConfig = core.WALConfig
+	// Durable is implemented by structures that participate in
+	// checkpointing and replay.
+	Durable = core.Durable
+	// FsyncMode selects the log's flush discipline (a durability-cost axis
+	// of the configuration search).
+	FsyncMode = wal.FsyncMode
+)
+
+// Fsync modes for WALConfig.Fsync.
+const (
+	FsyncNone   = wal.FsyncNone
+	FsyncBatch  = wal.FsyncBatch
+	FsyncAlways = wal.FsyncAlways
+)
+
+// ParseFsyncMode parses the command-line spelling of a FsyncMode
+// ("none", "batch", "always").
+func ParseFsyncMode(s string) (FsyncMode, error) { return wal.ParseFsyncMode(s) }
 
 // Observability: set Config.Obs to an Observer to collect per-worker task
 // telemetry, sampled latency histograms and lifecycle events from the

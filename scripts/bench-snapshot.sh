@@ -17,7 +17,7 @@ OUT="BENCH_delegation.json"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT INT TERM
 
-PATTERN='BenchmarkDelegation|BenchmarkAblationBurstSize|BenchmarkAblationResponseBatching|BenchmarkAblationTxnMode|BenchmarkIndex|BenchmarkTPCC|BenchmarkReadBypass'
+PATTERN='BenchmarkDelegation|BenchmarkAblationBurstSize|BenchmarkAblationResponseBatching|BenchmarkAblationTxnMode|BenchmarkIndex|BenchmarkTPCC|BenchmarkReadBypass|BenchmarkRecoveryReplay'
 
 go test -run NONE -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" . | tee "$RAW"
 

@@ -1,0 +1,36 @@
+#!/bin/sh
+# wal-smoke: cheap durability gate (DESIGN.md §13).
+#
+# Two checks:
+#  1. The shrunk WAL chaos suite under the race detector — seeded crash
+#     storms (worker kills, kills inside group commit, torn log tails,
+#     crash-during-migration) must recover to state byte-equal to the
+#     crash-free run of the same seed.
+#  2. The logged delegation round trip stays allocation-free: turning the
+#     WAL on must not put allocations on the hot path (staging reuses the
+#     per-worker buffers), so WAL-off costs nothing by construction.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+go test -race -short -run 'TestChaosWAL' ./internal/harness/
+
+OUT="$(go test -run NONE -bench 'BenchmarkDelegationInvokeLogged$' -benchtime 100x -benchmem .)"
+echo "$OUT"
+
+LINE=$(echo "$OUT" | awk '$1 ~ "^BenchmarkDelegationInvokeLogged(-[0-9]+)?$" { print }')
+if [ -z "$LINE" ]; then
+	echo "wal-smoke: BenchmarkDelegationInvokeLogged produced no output" >&2
+	exit 1
+fi
+ALLOCS=$(echo "$LINE" | awk '{ for (i = 2; i <= NF; i++) if ($i == "allocs/op") print $(i-1) }')
+BYTES=$(echo "$LINE" | awk '{ for (i = 2; i <= NF; i++) if ($i == "B/op") print $(i-1) }')
+if [ -z "$ALLOCS" ] || [ -z "$BYTES" ]; then
+	echo "wal-smoke: no allocs/op / B/op figures" >&2
+	exit 1
+fi
+if [ "$ALLOCS" != "0" ] || [ "$BYTES" != "0" ]; then
+	echo "wal-smoke: logged invoke reports $BYTES B/op, $ALLOCS allocs/op, want 0/0" >&2
+	exit 1
+fi
+echo "wal-smoke: logged delegation round trip is allocation-free ($BYTES B/op, $ALLOCS allocs/op)"
