@@ -239,6 +239,87 @@ func BenchmarkDelegationInvokeObserved(b *testing.B) {
 	}
 }
 
+// BenchmarkDelegationInvokeSampled is BenchmarkDelegationInvokeObserved
+// with the continuous-signal sampler running at its default 250ms cadence —
+// the overhead budget for continuous telemetry is <1% over the observed
+// number, since the sampler only reads the shards' published atomics from
+// its own goroutine and adds nothing to the invoke path itself.
+func BenchmarkDelegationInvokeSampled(b *testing.B) {
+	machine := robustconf.Machine(1)
+	observer := robustconf.NewObserver(robustconf.ObserverOptions{})
+	cfg := robustconf.Config{
+		Machine:    machine,
+		Domains:    []robustconf.Domain{{Name: "d", CPUs: robustconf.CPURange(0, 4)}},
+		Assignment: map[string]int{"x": 0},
+		Obs:        observer,
+	}
+	rt, err := robustconf.Start(cfg, map[string]any{"x": btree.New()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rt.Stop()
+	smp := observer.StartSampler(robustconf.SamplerOptions{})
+	defer smp.Stop()
+	s, err := rt.NewSession(0, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	task := robustconf.Task{Structure: "x", Op: func(ds any) any { return nil }}
+	if _, err := s.Invoke(task); err != nil { // warm up: lazy client creation
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Invoke(task); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDelegationSignalTick measures one sampler tick — snapshot every
+// shard's published counters, window the deltas, derive the signal set and
+// classify health — against a live runtime. This is the cost the sampler
+// goroutine pays per cadence, off every worker's critical path; obs's
+// TestSignalTickZeroAlloc pins its 0 allocs/op.
+func BenchmarkDelegationSignalTick(b *testing.B) {
+	machine := robustconf.Machine(1)
+	observer := robustconf.NewObserver(robustconf.ObserverOptions{})
+	cfg := robustconf.Config{
+		Machine:    machine,
+		Domains:    []robustconf.Domain{{Name: "d", CPUs: robustconf.CPURange(0, 4)}},
+		Assignment: map[string]int{"x": 0},
+		Obs:        observer,
+	}
+	rt, err := robustconf.Start(cfg, map[string]any{"x": btree.New()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rt.Stop()
+	// Manual sampler: negative cadence means no goroutine; the benchmark
+	// loop is the tick driver.
+	smp := observer.StartSampler(robustconf.SamplerOptions{Every: -1})
+	defer smp.Stop()
+	s, err := rt.NewSession(0, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	task := robustconf.Task{Structure: "x", Op: func(ds any) any { return nil }}
+	for i := 0; i < 1000; i++ { // give the window real traffic to digest
+		if _, err := s.Invoke(task); err != nil {
+			b.Fatal(err)
+		}
+	}
+	smp.TickNow()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		smp.TickNow()
+	}
+}
+
 // BenchmarkDelegationReadBypass is the read-path counterpart of
 // BenchmarkDelegationInvoke: a NOP read-only task submitted through
 // SubmitRead against a bypass-armed Hash Map, so the number measures the

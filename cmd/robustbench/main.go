@@ -7,8 +7,10 @@
 //	robustbench -exp fig7       # one experiment (fig1, table2, fig6..fig13, ablations, txn-modes)
 //	robustbench -exp fig7 -format csv   # machine-readable series for plotting
 //	robustbench -exp chaos      # fault-injection schedules on the real runtime
+//	robustbench -exp skew-shift # windowed health detection on the real runtime
 //	robustbench -list           # list experiment names
 //	robustbench -obs :6060      # live metrics/pprof endpoint during the run
+//	robustbench -exp chaos -signals -signals-stream signals.ndjson
 package main
 
 import (
@@ -27,10 +29,13 @@ func main() {
 	format := flag.String("format", "text", "output format: text or csv (figures only)")
 	list := flag.Bool("list", false, "list experiment names")
 	obsAddr := flag.String("obs", "", "serve the observability endpoint on this address during the run (e.g. :6060)")
+	signals := flag.Bool("signals", false, "run the continuous-signal sampler during the run (adds /signals + gauges, report block)")
+	signalsEvery := flag.Duration("signals-every", obs.DefaultSamplerEvery, "sampler cadence (with -signals)")
+	signalsStream := flag.String("signals-stream", "", "stream per-tick domain signals as NDJSON to this file (implies -signals)")
 	flag.Parse()
 
 	if *list {
-		fmt.Println(strings.Join(append(append([]string{}, harness.Experiments...), "chaos"), "\n"))
+		fmt.Println(strings.Join(append(append([]string{}, harness.Experiments...), "chaos", "skew-shift"), "\n"))
 		return
 	}
 
@@ -42,7 +47,15 @@ func main() {
 			fatal(err)
 		}
 		defer stopSrv()
-		fmt.Printf("obs: serving http://%s/metrics (also /spans, /events, /debug/pprof/)\n", addr)
+		fmt.Printf("obs: serving http://%s/metrics (also /signals, /spans, /events, /debug/pprof/)\n", addr)
+	}
+	samplerOn := *signals || *signalsStream != ""
+	if samplerOn {
+		stopSampler, err := observer.StartSamplerToPath(*signalsEvery, *signalsStream)
+		if err != nil {
+			fatal(err)
+		}
+		defer stopSampler()
 	}
 	opts := harness.ChaosOptions{Observer: observer, Faults: faults}
 
@@ -52,9 +65,15 @@ func main() {
 	case *exp == "":
 		out, err = harness.RunAll()
 	case *exp == "chaos":
-		// The one experiment on the real runtime rather than the simulator:
-		// every fault schedule, with telemetry attached.
+		// On the real runtime rather than the simulator: every fault
+		// schedule, with telemetry attached.
 		out, err = harness.RunChaosAllOpts(1, 6, 300, opts)
+	case *exp == "skew-shift":
+		// Also on the real runtime: hammer one domain until the sampler
+		// reports Degraded, shift the load away, watch it recover.
+		var r harness.SkewShiftReport
+		r, err = harness.RunSkewShift(harness.SkewShiftOptions{})
+		out = r.String()
 	default:
 		out, err = harness.RunFormat(*exp, *format)
 	}
@@ -65,7 +84,7 @@ func main() {
 	fmt.Print(out)
 	// Every report ends with the fault summary: zero counters assert the
 	// run saw no runtime faults, non-zero ones (chaos) quantify them.
-	if *exp == "chaos" {
+	if *exp == "chaos" || samplerOn {
 		fmt.Print(observer.Report())
 	} else {
 		fmt.Printf("faults: %s\n", faults.Snapshot())

@@ -89,7 +89,7 @@ func newIndexForKind(k sim.StructureKind) index.Index {
 // structures registered for every instance, drives ops operations per
 // instance through it, and prints throughput plus the observer's telemetry
 // and fault report.
-func runPlan(plan *config.Plan, instances []config.Instance, ops int, records uint64, obsAddr string, obsTrace int) error {
+func runPlan(plan *config.Plan, instances []config.Instance, ops int, records uint64, obsAddr string, obsTrace int, signalsOn bool, signalsEvery time.Duration, signalsStream string) error {
 	sockets := (plan.WorkersUsed() + 47) / 48
 	if sockets < 1 {
 		sockets = 1
@@ -110,7 +110,14 @@ func runPlan(plan *config.Plan, instances []config.Instance, ops int, records ui
 			return err
 		}
 		defer stopSrv()
-		fmt.Printf("obs: serving http://%s/metrics (also /spans, /events, /debug/pprof/)\n", addr)
+		fmt.Printf("obs: serving http://%s/metrics (also /signals, /spans, /events, /debug/pprof/)\n", addr)
+	}
+	if signalsOn {
+		stopSampler, err := observer.StartSamplerToPath(signalsEvery, signalsStream)
+		if err != nil {
+			return err
+		}
+		defer stopSampler()
 	}
 	cfg.Faults = faults
 	cfg.Obs = observer
@@ -197,6 +204,9 @@ func main() {
 	records := flag.Uint64("records", 10_000, "pre-loaded records per instance when -run is set")
 	obsAddr := flag.String("obs", "", "serve the observability endpoint on this address during -run (e.g. :6060)")
 	obsTrace := flag.Int("obs-trace", 0, "commit every Nth sampled task span to the trace ring (0 = off)")
+	signals := flag.Bool("signals", false, "run the continuous-signal sampler during -run (adds /signals + gauges, report block)")
+	signalsEvery := flag.Duration("signals-every", obs.DefaultSamplerEvery, "sampler cadence (with -signals)")
+	signalsStream := flag.String("signals-stream", "", "stream per-tick domain signals as NDJSON to this file (implies -signals)")
 	flag.Parse()
 
 	instances, err := scenario(*name)
@@ -223,7 +233,8 @@ func main() {
 		fmt.Printf("  %-14s %d\n", inst.Name, plan.CalibratedSizes[inst.Name])
 	}
 	if *runOps > 0 {
-		if err := runPlan(plan, instances, *runOps, *records, *obsAddr, *obsTrace); err != nil {
+		if err := runPlan(plan, instances, *runOps, *records, *obsAddr, *obsTrace,
+			*signals || *signalsStream != "", *signalsEvery, *signalsStream); err != nil {
 			fmt.Fprintln(os.Stderr, "robustconfig:", err)
 			os.Exit(1)
 		}

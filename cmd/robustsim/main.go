@@ -41,10 +41,14 @@ func main() {
 	obsAddr := flag.String("obs", "", "serve the observability endpoint on this address (e.g. :6060; chaos mode)")
 	obsTrace := flag.Int("obs-trace", 0, "commit every Nth sampled task span to the trace ring (0 = off)")
 	obsHold := flag.Bool("obs-hold", false, "keep the process (and the -obs endpoint) alive after the chaos run until interrupted")
+	signals := flag.Bool("signals", false, "run the continuous-signal sampler during chaos (adds /signals + gauges, report block)")
+	signalsEvery := flag.Duration("signals-every", obs.DefaultSamplerEvery, "sampler cadence (with -signals)")
+	signalsStream := flag.String("signals-stream", "", "stream per-tick domain signals as NDJSON to this file (implies -signals)")
 	flag.Parse()
 
 	if *chaos != "" {
-		runChaos(*chaos, *chaosSeed, *chaosSessions, *chaosTasks, *obsAddr, *obsTrace, *obsHold)
+		runChaos(*chaos, *chaosSeed, *chaosSessions, *chaosTasks, *obsAddr, *obsTrace, *obsHold,
+			*signals || *signalsStream != "", *signalsEvery, *signalsStream)
 		return
 	}
 
@@ -131,10 +135,10 @@ func main() {
 // seeded fault schedule and reports whether every submitted future resolved.
 // With -obs, every chaos runtime attaches to one observer behind a live
 // endpoint, and the run ends with the per-domain telemetry + fault summary.
-func runChaos(name string, seed int64, sessions, tasks int, obsAddr string, obsTrace int, hold bool) {
+func runChaos(name string, seed int64, sessions, tasks int, obsAddr string, obsTrace int, hold bool, signalsOn bool, signalsEvery time.Duration, signalsStream string) {
 	opts := harness.ChaosOptions{Faults: &metrics.FaultCounters{}}
 	var observer *obs.Observer
-	if obsAddr != "" || obsTrace > 0 {
+	if obsAddr != "" || obsTrace > 0 || signalsOn {
 		observer = obs.New(obs.Options{TraceEvery: obsTrace, Faults: opts.Faults})
 		opts.Observer = observer
 	}
@@ -144,7 +148,14 @@ func runChaos(name string, seed int64, sessions, tasks int, obsAddr string, obsT
 			fatal(err)
 		}
 		defer stopSrv()
-		fmt.Printf("obs: serving http://%s/metrics (also /spans, /events, /debug/pprof/)\n", addr)
+		fmt.Printf("obs: serving http://%s/metrics (also /signals, /spans, /events, /debug/pprof/)\n", addr)
+	}
+	if signalsOn {
+		stopSampler, err := observer.StartSamplerToPath(signalsEvery, signalsStream)
+		if err != nil {
+			fatal(err)
+		}
+		defer stopSampler()
 	}
 
 	if name == "all" {

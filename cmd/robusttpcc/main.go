@@ -51,6 +51,9 @@ func main() {
 	remote := flag.Float64("remote", 0.01, "remote transaction fraction")
 	obsAddr := flag.String("obs", "", "serve the observability endpoint on this address during the run (delegated engine; e.g. :6060)")
 	obsTrace := flag.Int("obs-trace", 0, "commit every Nth sampled task span to the trace ring (0 = off)")
+	signals := flag.Bool("signals", false, "run the continuous-signal sampler during the run (adds /signals + gauges, report block)")
+	signalsEvery := flag.Duration("signals-every", obs.DefaultSamplerEvery, "sampler cadence (with -signals)")
+	signalsStream := flag.String("signals-stream", "", "stream per-tick domain signals as NDJSON to this file (implies -signals)")
 	walDir := flag.String("wal", "", "directory for per-domain write-ahead logs (delegated engine; empty = durability off)")
 	fsync := flag.String("fsync", "batch", "WAL flush discipline: none, batch or always")
 	checkpoint := flag.Duration("checkpoint", 0, "WAL checkpoint cadence (0 = default)")
@@ -81,7 +84,14 @@ func main() {
 			fatal(err)
 		}
 		defer stopSrv()
-		fmt.Printf("obs: serving http://%s/metrics (also /spans, /events, /debug/pprof/)\n", addr)
+		fmt.Printf("obs: serving http://%s/metrics (also /signals, /spans, /events, /debug/pprof/)\n", addr)
+	}
+	if *signals || *signalsStream != "" {
+		stopSampler, err := observer.StartSamplerToPath(*signalsEvery, *signalsStream)
+		if err != nil {
+			fatal(err)
+		}
+		defer stopSampler()
 	}
 
 	var openStore func(id int) (tpcc.Store, func() error, error)

@@ -45,6 +45,9 @@ func main() {
 	tracePath := flag.String("trace", "", "optional: write the generated op trace to this file first, then replay it")
 	obsAddr := flag.String("obs", "", "serve the observability endpoint on this address during the run (e.g. :6060)")
 	obsTrace := flag.Int("obs-trace", 0, "commit every Nth sampled task span to the trace ring (0 = off)")
+	signals := flag.Bool("signals", false, "run the continuous-signal sampler during the run (adds /signals + gauges, report block)")
+	signalsEvery := flag.Duration("signals-every", robustconf.DefaultSamplerEvery, "sampler cadence (with -signals)")
+	signalsStream := flag.String("signals-stream", "", "stream per-tick domain signals as NDJSON to this file (implies -signals)")
 	walDir := flag.String("wal", "", "directory for per-domain write-ahead logs (empty = durability off; needs -structure fptree or bwtree)")
 	fsyncMode := flag.String("fsync", "batch", "WAL flush discipline: none, batch or always")
 	checkpoint := flag.Duration("checkpoint", 0, "WAL checkpoint cadence (0 = default)")
@@ -114,7 +117,14 @@ func main() {
 			fatal(err)
 		}
 		defer stopSrv()
-		fmt.Printf("obs: serving http://%s/metrics (also /spans, /events, /debug/pprof/)\n", addr)
+		fmt.Printf("obs: serving http://%s/metrics (also /signals, /spans, /events, /debug/pprof/)\n", addr)
+	}
+	if *signals || *signalsStream != "" {
+		stopSampler, err := observer.StartSamplerToPath(*signalsEvery, *signalsStream)
+		if err != nil {
+			fatal(err)
+		}
+		defer stopSampler()
 	}
 	rtCfg := robustconf.Config{
 		Machine:      machine,

@@ -216,6 +216,35 @@ func (d *Domain) event(worker int, kind string) {
 	}
 }
 
+// externalCounters is the snapshot-time closure the obs layer calls for
+// counters the runtime owns: failure accounting and queue depth from the
+// buffer atomics, restart budget, and the WAL's durability stats. Called
+// from scrape/sampler goroutines; everything it reads is atomic or behind
+// the WAL's own lock, and it allocates nothing (the signal sampler's tick
+// is pinned allocation-free).
+func (d *Domain) externalCounters() obs.DomainExternal {
+	var ext obs.DomainExternal
+	for _, b := range d.inbox.Buffers() {
+		ext.Failed += b.Failed.Load()
+		ext.Rescued += b.Rescued.Load()
+		// The published gauge, not the live slot scan: the endpoint polls
+		// from foreign goroutines and only needs a bounded-staleness queue
+		// depth.
+		ext.Pending += b.PendingPublished()
+	}
+	ext.Restarts = d.restarts.Load()
+	ext.BudgetRemaining = d.BudgetRemaining()
+	if d.wal != nil {
+		st := d.wal.Stats()
+		ext.Recoveries = st.Recoveries
+		ext.WALReplayed = st.Replayed
+		ext.WALReplayNs = st.ReplayNs
+		ext.WALCommitted = st.Committed
+		ext.WALLastCheckpoint = st.LastCheckpoint
+	}
+	return ext
+}
+
 // Restarts returns how many worker respawns the domain has consumed.
 func (d *Domain) Restarts() int64 { return d.restarts.Load() }
 
@@ -327,31 +356,6 @@ func Start(cfg Config, structures map[string]any) (*Runtime, error) {
 			return nil, err
 		}
 		d.inbox = inbox
-		if d.obsDom != nil {
-			// Failure accounting and queue depth live in the buffers; the
-			// obs layer reads them through this snapshot-time closure.
-			d.obsDom.SetExternal(func() obs.DomainExternal {
-				var ext obs.DomainExternal
-				for _, b := range inbox.Buffers() {
-					ext.Failed += b.Failed.Load()
-					ext.Rescued += b.Rescued.Load()
-					// The published gauge, not the live slot scan: the
-					// endpoint polls from foreign goroutines and only needs
-					// a bounded-staleness queue depth.
-					ext.Pending += b.PendingPublished()
-				}
-				ext.Restarts = d.restarts.Load()
-				ext.BudgetRemaining = d.BudgetRemaining()
-				if d.wal != nil {
-					st := d.wal.Stats()
-					ext.Recoveries = st.Recoveries
-					ext.WALReplayed = st.Replayed
-					ext.WALReplayNs = st.ReplayNs
-					ext.WALLastCheckpoint = st.LastCheckpoint
-				}
-				return ext
-			})
-		}
 		rt.domains = append(rt.domains, d)
 	}
 	for name, di := range cfg.Assignment {
@@ -365,6 +369,16 @@ func Start(cfg Config, structures map[string]any) (*Runtime, error) {
 			return nil, err
 		}
 		rt.startCheckpointers()
+	}
+	// Install the obs external-counter closures only now, after setupWAL:
+	// the closure reads d.wal, and an endpoint scrape can race Start (the
+	// observer may already be serving). Ordering the install after the WAL
+	// assignment — with SetExternal's mutex pairing against the snapshot's
+	// — makes the write visible to every scrape that sees the closure.
+	if cfg.Obs != nil {
+		for _, d := range rt.domains {
+			d.obsDom.SetExternal(d.externalCounters)
+		}
 	}
 	// Spawn workers after all registration so a task can never observe a
 	// half-registered domain. Each worker runs under a supervisor loop that

@@ -1292,6 +1292,13 @@ func (c *Client) invokeErr(task Task, ro bool, enc func(dst []byte) []byte) (any
 		// span instead of allocating one (the stray 1 B/op on the observed
 		// path). Detached Delegate futures keep the allocating Post — their
 		// holders may Wait (and Resolve) long after the span would recycle.
+		if ro {
+			// The read/write split is known right here and nowhere cheaper:
+			// counting read-flagged invokes at this branch gives the signal
+			// sampler its write fraction without adding any bookkeeping to
+			// the (hotter) write path.
+			c.probe.CountRead()
+		}
 		f.span = c.probe.PostRecycled()
 	}
 	s.post(task, f, ro, enc)

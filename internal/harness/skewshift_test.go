@@ -1,0 +1,38 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSkewShiftDegradedToHealthy runs the full skew-shift experiment at a
+// fast cadence and asserts the contract the autopilot depends on: the hot
+// domain's journal shows Degraded followed by Healthy, in that order.
+func TestSkewShiftDegradedToHealthy(t *testing.T) {
+	r, err := RunSkewShift(SkewShiftOptions{
+		Cadence:      10 * time.Millisecond,
+		Sessions:     4,
+		PhaseTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.HotOps == 0 || r.ColdOps == 0 {
+		t.Errorf("phases did no work: hot=%d cold=%d", r.HotOps, r.ColdOps)
+	}
+	joined := strings.Join(r.Transitions, ",")
+	if !strings.Contains(joined, "degraded") {
+		t.Errorf("journal missing degraded transition: %q", joined)
+	}
+	di := strings.Index(joined, "degraded")
+	if hi := strings.LastIndex(joined, "healthy"); hi < di {
+		t.Errorf("no healthy transition after degraded: %q", joined)
+	}
+	if r.DegradedAfter <= 0 || r.RecoveredAfter <= 0 {
+		t.Errorf("non-positive phase timings: %+v", r)
+	}
+	if out := r.String(); !strings.Contains(out, "journal (domain=hot)") {
+		t.Errorf("report rendering incomplete:\n%s", out)
+	}
+}

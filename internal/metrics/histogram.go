@@ -139,6 +139,31 @@ func (s HistogramSnapshot) Quantile(q float64) float64 {
 	return float64(s.Max)
 }
 
+// Sub returns the window delta s − prev: the observations recorded between
+// the two snapshots, suitable for windowed quantile math. It is
+// underflow-safe: snapshots are advisory (concurrent Records may land
+// between field loads) and windowing may race a counter reset, so any
+// per-bucket or Sum difference that would underflow clamps to zero instead
+// of wrapping. Count is recomputed from the clamped buckets so the quantile
+// rank math stays internally consistent. Max carries the cumulative maximum
+// (a per-window max is not recoverable from counters), so windowed
+// Quantile() estimates inside the top bucket are clamped by the all-time
+// max — an upper bound, documented rather than hidden.
+func (s HistogramSnapshot) Sub(prev HistogramSnapshot) HistogramSnapshot {
+	var out HistogramSnapshot
+	for b := range s.Buckets {
+		if s.Buckets[b] > prev.Buckets[b] {
+			out.Buckets[b] = s.Buckets[b] - prev.Buckets[b]
+			out.Count += out.Buckets[b]
+		}
+	}
+	if s.Sum > prev.Sum {
+		out.Sum = s.Sum - prev.Sum
+	}
+	out.Max = s.Max
+	return out
+}
+
 // Merge accumulates another snapshot into s (summed buckets/count/sum,
 // max of maxes) — used when several shards observe the same metric.
 func (s *HistogramSnapshot) Merge(o HistogramSnapshot) {

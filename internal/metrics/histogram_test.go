@@ -171,3 +171,110 @@ func BenchmarkHistogramRecord(b *testing.B) {
 		h.Record(uint64(i))
 	}
 }
+
+// TestSnapshotQuantileEmptyAndSingleBucket pins the snapshot-level edge
+// cases the windowing code leans on: a zero snapshot (a window with no
+// samples) must answer 0 for every q, and a single-bucket snapshot must
+// interpolate inside that one bucket with the top clamped to Max.
+func TestSnapshotQuantileEmptyAndSingleBucket(t *testing.T) {
+	var empty HistogramSnapshot
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		if v := empty.Quantile(q); v != 0 {
+			t.Errorf("empty snapshot Quantile(%g) = %g, want 0", q, v)
+		}
+	}
+	if empty.Mean() != 0 {
+		t.Errorf("empty snapshot Mean = %g, want 0", empty.Mean())
+	}
+
+	var h Histogram
+	for v := uint64(64); v < 96; v++ { // all land in bucket 7: [64,127]
+		h.Record(v)
+	}
+	s := h.Snapshot()
+	if q := s.Quantile(0.01); q < 64 || q > 67 {
+		t.Errorf("single-bucket Quantile(0.01) = %g, want ≈64", q)
+	}
+	if q := s.Quantile(1); q != float64(s.Max) {
+		t.Errorf("single-bucket Quantile(1) = %g, want max %d", q, s.Max)
+	}
+	if q50 := s.Quantile(0.5); q50 < 64 || q50 > float64(s.Max) {
+		t.Errorf("single-bucket Quantile(0.5) = %g outside [64, %d]", q50, s.Max)
+	}
+
+	var zeroOnly Histogram
+	zeroOnly.Record(0) // bucket 0 is the single bucket
+	if q := zeroOnly.Snapshot().Quantile(0.5); q != 0 {
+		t.Errorf("bucket-0-only Quantile(0.5) = %g, want 0", q)
+	}
+}
+
+// TestSnapshotSub exercises the window-delta helper: exact deltas between
+// two snapshots of the same histogram, and clamped (not wrapped) fields
+// when prev is ahead of cur.
+func TestSnapshotSub(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{10, 20, 30} {
+		h.Record(v)
+	}
+	prev := h.Snapshot()
+	for _, v := range []uint64{100, 200, 400000} {
+		h.Record(v)
+	}
+	cur := h.Snapshot()
+
+	d := cur.Sub(prev)
+	if d.Count != 3 {
+		t.Errorf("delta Count = %d, want 3", d.Count)
+	}
+	if d.Sum != 100+200+400000 {
+		t.Errorf("delta Sum = %d, want %d", d.Sum, 100+200+400000)
+	}
+	if d.Max != cur.Max {
+		t.Errorf("delta Max = %d, want cumulative max %d", d.Max, cur.Max)
+	}
+	// The delta's quantiles reflect only the window's observations.
+	if q := d.Quantile(0.5); q < 128 || q > 255 {
+		t.Errorf("delta Quantile(0.5) = %g, want inside 200's bucket [128,255]", q)
+	}
+	// Self-delta is the zero window.
+	z := cur.Sub(cur)
+	if z.Count != 0 || z.Sum != 0 || z.Quantile(0.99) != 0 {
+		t.Errorf("self Sub not zero: %+v", z)
+	}
+}
+
+// TestSnapshotSubUnderflowSafe feeds Sub a prev that is ahead of cur (a
+// reset or a torn advisory snapshot) and checks every field clamps at zero
+// and Count stays consistent with the clamped buckets.
+func TestSnapshotSubUnderflowSafe(t *testing.T) {
+	var a, b Histogram
+	a.Record(10)
+	for _, v := range []uint64{10, 10, 1000} {
+		b.Record(v)
+	}
+	d := a.Snapshot().Sub(b.Snapshot()) // prev ahead of cur everywhere
+	var bucketSum uint64
+	for _, c := range d.Buckets {
+		bucketSum += c
+	}
+	if d.Count != bucketSum {
+		t.Errorf("Count %d inconsistent with clamped bucket sum %d", d.Count, bucketSum)
+	}
+	if d.Count != 0 || d.Sum != 0 {
+		t.Errorf("underflow not clamped: count=%d sum=%d", d.Count, d.Sum)
+	}
+	// Mixed case: one bucket ahead, one behind — only the genuine growth
+	// survives.
+	var c1, c2 Histogram
+	c1.Record(10) // bucket 4
+	c1.Record(10)
+	c1.Record(1000) // bucket 10
+	c2.Record(10)
+	c2.Record(1000)
+	c2.Record(1000)
+	d = c1.Snapshot().Sub(c2.Snapshot())
+	if d.Buckets[4] != 1 || d.Buckets[10] != 0 || d.Count != 1 {
+		t.Errorf("mixed clamp wrong: b4=%d b10=%d count=%d", d.Buckets[4], d.Buckets[10], d.Count)
+	}
+}

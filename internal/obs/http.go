@@ -1,7 +1,9 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -10,11 +12,14 @@ import (
 	"time"
 
 	"robustconf/internal/metrics"
+	"robustconf/internal/obs/signal"
 )
 
 // Handler returns the endpoint mux:
 //
 //	/metrics       Prometheus text exposition (counters, histograms, faults)
+//	/signals       windowed per-domain signals + health states (JSON;
+//	               empty set until a sampler is started)
 //	/spans         JSON dump of the task-lifecycle trace ring
 //	/events        JSON dump of retained lifecycle events + per-kind totals
 //	/debug/pprof/  the standard pprof suite (worker goroutines carry
@@ -28,9 +33,14 @@ func (o *Observer) Handler() http.Handler {
 		}
 		fmt.Fprint(w, "robustconf observability endpoint\n\n"+
 			"  /metrics       Prometheus text counters + histograms + faults\n"+
+			"  /signals       windowed per-domain signals + health (JSON)\n"+
 			"  /spans         sampled task-lifecycle spans (JSON)\n"+
 			"  /events        worker/domain lifecycle events (JSON)\n"+
 			"  /debug/pprof/  pprof suite (workers labelled domain/worker)\n")
+	})
+	mux.HandleFunc("/signals", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		o.writeSignalsJSON(w)
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -182,6 +192,76 @@ func (o *Observer) writeMetrics(w http.ResponseWriter) {
 	fmt.Fprintf(w, "# HELP robustconf_spans_sampled_total Task-lifecycle spans committed to the trace ring.\n")
 	fmt.Fprintf(w, "# TYPE robustconf_spans_sampled_total counter\n")
 	fmt.Fprintf(w, "robustconf_spans_sampled_total %d\n", snap.SpansSampled)
+
+	o.writeSignalGauges(w)
+}
+
+// writeSignalGauges renders the sampler's windowed signals as Prometheus
+// gauges (one scrape-time family per signal, labelled by domain, plus the
+// numeric health state). Nothing is written when no sampler runs.
+func (o *Observer) writeSignalGauges(w io.Writer) {
+	sigs := o.Signals()
+	if len(sigs) == 0 {
+		return
+	}
+	gauge := func(name, help string, val func(d signal.DomainSignals) float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+		for _, d := range sigs {
+			fmt.Fprintf(w, "%s{domain=%q} %g\n", name, d.Domain, val(d))
+		}
+	}
+	gauge("robustconf_signal_occupancy", "Windowed fraction of sweeps that found work.",
+		func(d signal.DomainSignals) float64 { return d.Occupancy.Value })
+	gauge("robustconf_signal_occupancy_ewma", "EWMA-smoothed windowed occupancy.",
+		func(d signal.DomainSignals) float64 { return d.Occupancy.EWMA })
+	gauge("robustconf_signal_queue_depth", "Posted-but-unanswered slots at the last tick.",
+		func(d signal.DomainSignals) float64 { return d.QueueDepth.Value })
+	gauge("robustconf_signal_throughput", "Windowed tasks executed per second.",
+		func(d signal.DomainSignals) float64 { return d.Throughput.Value })
+	gauge("robustconf_signal_p50_ns", "Windowed sampled response p50 (ns).",
+		func(d signal.DomainSignals) float64 { return d.P50Ns.Value })
+	gauge("robustconf_signal_p99_ns", "Windowed sampled response p99 (ns).",
+		func(d signal.DomainSignals) float64 { return d.P99Ns.Value })
+	gauge("robustconf_signal_p99_slope_ns_per_s", "Ring-regression slope of the windowed p99 (ns per second).",
+		func(d signal.DomainSignals) float64 { return d.P99Ns.Slope })
+	gauge("robustconf_signal_write_fraction", "Windowed writes / (reads + writes).",
+		func(d signal.DomainSignals) float64 { return d.WriteFraction.Value })
+	gauge("robustconf_signal_bypass_hit_rate", "Windowed bypass hits per read.",
+		func(d signal.DomainSignals) float64 { return d.BypassHitRate.Value })
+	gauge("robustconf_signal_bypass_fallback_rate", "Windowed bypass fallbacks per bypass attempt.",
+		func(d signal.DomainSignals) float64 { return d.BypassFallbackRate.Value })
+	gauge("robustconf_signal_fault_rate", "Windowed failed tasks per second.",
+		func(d signal.DomainSignals) float64 { return d.FaultRate.Value })
+	gauge("robustconf_signal_restart_rate", "Windowed worker restarts per second.",
+		func(d signal.DomainSignals) float64 { return d.RestartRate.Value })
+	gauge("robustconf_signal_wal_commit_rate", "Windowed WAL records committed per second.",
+		func(d signal.DomainSignals) float64 { return d.WALCommitRate.Value })
+	gauge("robustconf_signal_checkpoint_lag_records", "WAL records committed since the last completed checkpoint.",
+		func(d signal.DomainSignals) float64 { return d.CheckpointLag })
+	gauge("robustconf_health_state", "Classified domain health: 0 healthy, 1 degraded, 2 saturated, 3 stalled.",
+		func(d signal.DomainSignals) float64 { return float64(d.Health) })
+}
+
+// writeSignalsJSON renders the /signals payload: the latest published
+// signal set plus sampler identity, or {"domains": []} when no sampler
+// runs (scrapers can distinguish "off" from "no domains").
+func (o *Observer) writeSignalsJSON(w io.Writer) {
+	type payload struct {
+		SamplerRunning bool                   `json:"sampler_running"`
+		CadenceSeconds float64                `json:"cadence_seconds,omitempty"`
+		Domains        []signal.DomainSignals `json:"domains"`
+	}
+	p := payload{Domains: []signal.DomainSignals{}}
+	if s := o.Sampler(); s != nil {
+		p.SamplerRunning = true
+		if s.every > 0 {
+			p.CadenceSeconds = s.every.Seconds()
+		}
+		p.Domains = s.Signals()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(p)
 }
 
 // writePromHistogram renders one log₂ histogram as cumulative le buckets.

@@ -85,6 +85,7 @@ type Observer struct {
 	mu      sync.Mutex
 	domains []*DomainObs
 	faults  *metrics.FaultCounters
+	sampler *Sampler
 }
 
 // New builds an Observer.
@@ -197,11 +198,13 @@ type DomainExternal struct {
 	// worker crashes it survives before ErrDomainDead. Gauge, never negative.
 	BudgetRemaining int64
 	// Durability counters (zero when the runtime runs without a WAL):
-	// recoveries run, log records replayed, wall time spent replaying, and
-	// the UnixNano stamp of the last completed checkpoint (0 = none).
+	// recoveries run, log records replayed, wall time spent replaying,
+	// records group-committed to the log, and the UnixNano stamp of the
+	// last completed checkpoint (0 = none).
 	Recoveries        uint64
 	WALReplayed       uint64
 	WALReplayNs       uint64
+	WALCommitted      uint64
 	WALLastCheckpoint int64
 }
 
@@ -224,6 +227,11 @@ type DomainSnapshot struct {
 	MaxBatch   uint64
 	Posts      uint64
 	BurstWaits uint64
+	// Reads counts read-classified operations: bypass hits plus delegated
+	// read-flagged invokes (Client.InvokeReadErr). Writes are derivable as
+	// Posts − (Reads − BypassHits); the sampler turns the two deltas into
+	// the windowed write fraction.
+	Reads uint64
 	// Read-bypass counters: validated local reads, wasted validation
 	// attempts, and reads that fell back to delegation (see core.SubmitRead).
 	BypassHits      uint64
@@ -234,11 +242,12 @@ type DomainSnapshot struct {
 	Restarts        int64
 	Pending         int
 	BudgetRemaining int64
-	// Durability view (see DomainExternal): recovery work and checkpoint
-	// freshness for the domain's write-ahead log.
+	// Durability view (see DomainExternal): recovery work, commit volume,
+	// and checkpoint freshness for the domain's write-ahead log.
 	Recoveries        uint64
 	WALReplayed       uint64
 	WALReplayNs       uint64
+	WALCommitted      uint64
 	WALLastCheckpoint int64
 	SweepNs           metrics.HistogramSnapshot
 	ExecNs            metrics.HistogramSnapshot
@@ -253,9 +262,14 @@ func (s DomainSnapshot) Occupancy() float64 {
 	return 1 - float64(s.EmptySweep)/float64(s.Sweeps)
 }
 
-// snapshot aggregates one domain instance.
-func (d *DomainObs) snapshot() DomainSnapshot {
-	s := DomainSnapshot{Name: d.name, Workers: len(d.workers)}
+// snapshotInto aggregates one domain instance into *s, overwriting it.
+// This is the shared scrape path for Snapshot(), the HTTP exposition and
+// the signal sampler: the client-shard list is summed under d.mu (so a
+// concurrent NewClient registration can neither be missed half-initialised
+// nor force a defensive slice copy per scrape) and nothing here allocates —
+// the sampler tick depends on that.
+func (d *DomainObs) snapshotInto(s *DomainSnapshot) {
+	*s = DomainSnapshot{Name: d.name, Workers: len(d.workers)}
 	for _, w := range d.workers {
 		s.Tasks += w.pub[wsTasks].Load()
 		s.Sweeps += w.pub[wsSweeps].Load()
@@ -266,19 +280,22 @@ func (d *DomainObs) snapshot() DomainSnapshot {
 		}
 	}
 	d.mu.Lock()
-	clients := append([]*ClientShard(nil), d.clients...)
-	external := d.external
-	d.mu.Unlock()
-	for _, c := range clients {
+	for _, c := range d.clients {
 		s.Posts += c.pub[csPosts].Load()
 		s.BurstWaits += c.pub[csBurstWaits].Load()
+		s.Reads += c.pub[csReads].Load()
 		s.BypassHits += c.pub[csBypassHits].Load()
 		s.BypassRetries += c.pub[csBypassRetries].Load()
 		s.BypassFallbacks += c.pub[csBypassFallbacks].Load()
 	}
+	external := d.external
+	d.mu.Unlock()
 	s.SweepNs = d.sweepNs.Snapshot()
 	s.ExecNs = d.execNs.Snapshot()
 	s.RespNs = d.respNs.Snapshot()
+	// The external callback runs outside d.mu: it reaches into the runtime
+	// (buffer atomics, WAL stats behind the runtime's own locks) and must
+	// not nest under the obs lock.
 	if external != nil {
 		ext := external()
 		s.Failed = ext.Failed
@@ -289,9 +306,9 @@ func (d *DomainObs) snapshot() DomainSnapshot {
 		s.Recoveries = ext.Recoveries
 		s.WALReplayed = ext.WALReplayed
 		s.WALReplayNs = ext.WALReplayNs
+		s.WALCommitted = ext.WALCommitted
 		s.WALLastCheckpoint = ext.WALLastCheckpoint
 	}
-	return s
 }
 
 // merge folds another instance of the same domain name into s.
@@ -308,6 +325,7 @@ func (s *DomainSnapshot) merge(o DomainSnapshot) {
 	}
 	s.Posts += o.Posts
 	s.BurstWaits += o.BurstWaits
+	s.Reads += o.Reads
 	s.BypassHits += o.BypassHits
 	s.BypassRetries += o.BypassRetries
 	s.BypassFallbacks += o.BypassFallbacks
@@ -325,6 +343,7 @@ func (s *DomainSnapshot) merge(o DomainSnapshot) {
 	s.Recoveries += o.Recoveries
 	s.WALReplayed += o.WALReplayed
 	s.WALReplayNs += o.WALReplayNs
+	s.WALCommitted += o.WALCommitted
 	s.SweepNs.Merge(o.SweepNs)
 	s.ExecNs.Merge(o.ExecNs)
 	s.RespNs.Merge(o.RespNs)
@@ -340,7 +359,11 @@ type Snapshot struct {
 }
 
 // Snapshot aggregates every registered domain (merged by name, in first-
-// registration order) plus the fault counters.
+// registration order) plus the fault counters. The domain list is copied
+// under o.mu so a Domain() registering concurrently with a scrape either
+// appears whole or not at all — the per-instance aggregation then runs
+// outside the observer lock against that point-in-time view (per-domain
+// consistency is d.mu's job, see snapshotInto).
 func (o *Observer) Snapshot() Snapshot {
 	o.mu.Lock()
 	domains := append([]*DomainObs(nil), o.domains...)
@@ -349,8 +372,9 @@ func (o *Observer) Snapshot() Snapshot {
 
 	snap := Snapshot{UptimeSeconds: time.Since(o.start).Seconds()}
 	index := map[string]int{}
+	var ds DomainSnapshot
 	for _, d := range domains {
-		ds := d.snapshot()
+		d.snapshotInto(&ds)
 		if i, ok := index[ds.Name]; ok {
 			snap.Domains[i].merge(ds)
 			continue
@@ -387,6 +411,9 @@ func (o *Observer) Report() string {
 		writeHistLine(&b, "sweep ns", d.SweepNs)
 		writeHistLine(&b, "exec  ns", d.ExecNs)
 		writeHistLine(&b, "resp  ns", d.RespNs)
+	}
+	if smp := o.Sampler(); smp != nil {
+		b.WriteString(smp.Report())
 	}
 	if len(snap.EventCounts) > 0 {
 		kinds := make([]string, 0, len(snap.EventCounts))

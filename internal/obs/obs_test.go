@@ -351,3 +351,124 @@ func get(t *testing.T, url string) string {
 	}
 	return b.String()
 }
+
+// TestOccupancyZeroWorkers pins the zero-division edges: a domain with no
+// workers (or no sweeps yet) must answer occupancy 0, not NaN, and a
+// zero-worker instance must survive the snapshot/merge path.
+func TestOccupancyZeroWorkers(t *testing.T) {
+	var zero DomainSnapshot
+	if occ := zero.Occupancy(); occ != 0 {
+		t.Errorf("zero snapshot occupancy = %g, want 0", occ)
+	}
+	o := New(Options{SampleEvery: 1})
+	o.Domain("empty", 0)
+	s := o.Snapshot()
+	if len(s.Domains) != 1 || s.Domains[0].Workers != 0 {
+		t.Fatalf("zero-worker snapshot = %+v", s.Domains)
+	}
+	if occ := s.Domains[0].Occupancy(); occ != 0 || occ != occ { // NaN check via self-compare
+		t.Errorf("zero-worker occupancy = %g, want 0", occ)
+	}
+	// Merging a zero-worker instance into a live one must not regress the
+	// worker count or the counters.
+	d := o.Domain("empty", 2)
+	w := d.Worker(0)
+	for i := 0; i < 4; i++ {
+		tt := w.TaskBegin()
+		w.TaskEnd(tt)
+		w.SweepEnd(w.SweepBegin(), 1)
+	}
+	w.SweepEnd(w.SweepBegin(), 0)
+	w.Flush()
+	s = o.Snapshot()
+	if len(s.Domains) != 1 {
+		t.Fatalf("merge split domains: %+v", s.Domains)
+	}
+	ds := s.Domains[0]
+	if ds.Workers != 2 || ds.Tasks != 4 || ds.Sweeps != 5 || ds.EmptySweep != 1 {
+		t.Errorf("merged zero+live = %+v", ds)
+	}
+	if occ := ds.Occupancy(); occ < 0.79 || occ > 0.81 {
+		t.Errorf("merged occupancy = %g, want 4/5", occ)
+	}
+}
+
+// TestDomainSnapshotMergeSemantics unit-tests merge directly: monotonic
+// counters sum, gauges follow their documented rules (BudgetRemaining
+// latest-instance-wins, WALLastCheckpoint max, MaxBatch max, Pending sums),
+// and the new Reads/WALCommitted counters participate.
+func TestDomainSnapshotMergeSemantics(t *testing.T) {
+	a := DomainSnapshot{
+		Name: "d", Workers: 1, Tasks: 10, Sweeps: 20, EmptySweep: 5,
+		Batched: 2, MaxBatch: 3, Posts: 10, BurstWaits: 1,
+		Reads: 4, BypassHits: 2, BypassRetries: 1, BypassFallbacks: 1,
+		Failed: 1, Rescued: 1, Restarts: 2, Pending: 3, BudgetRemaining: 6,
+		Recoveries: 1, WALReplayed: 100, WALReplayNs: 1000,
+		WALCommitted: 500, WALLastCheckpoint: 111,
+	}
+	b := DomainSnapshot{
+		Name: "d", Workers: 4, Tasks: 30, Sweeps: 40, EmptySweep: 10,
+		Batched: 8, MaxBatch: 2, Posts: 30, BurstWaits: 2,
+		Reads: 6, BypassHits: 3, BypassRetries: 2, BypassFallbacks: 2,
+		Failed: 2, Rescued: 2, Restarts: 3, Pending: 4, BudgetRemaining: 1,
+		Recoveries: 2, WALReplayed: 200, WALReplayNs: 2000,
+		WALCommitted: 700, WALLastCheckpoint: 99,
+	}
+	m := a
+	m.merge(b)
+	if m.Workers != 4 || m.MaxBatch != 3 {
+		t.Errorf("max gauges wrong: workers=%d maxBatch=%d", m.Workers, m.MaxBatch)
+	}
+	if m.Tasks != 40 || m.Sweeps != 60 || m.EmptySweep != 15 || m.Posts != 40 ||
+		m.Reads != 10 || m.BypassHits != 5 || m.Failed != 3 || m.Restarts != 5 ||
+		m.Pending != 7 || m.Recoveries != 3 || m.WALCommitted != 1200 {
+		t.Errorf("summed counters wrong: %+v", m)
+	}
+	// Latest instance supersedes for the budget gauge; checkpoint keeps max.
+	if m.BudgetRemaining != 1 {
+		t.Errorf("BudgetRemaining = %d, want latest instance's 1", m.BudgetRemaining)
+	}
+	if m.WALLastCheckpoint != 111 {
+		t.Errorf("WALLastCheckpoint = %d, want max 111", m.WALLastCheckpoint)
+	}
+	if occ := m.Occupancy(); occ != 1-15.0/60.0 {
+		t.Errorf("merged occupancy = %g, want %g", occ, 1-15.0/60.0)
+	}
+}
+
+// TestSnapshotDuringConcurrentRegistration races Domain()/NewClient()
+// registration against scrapes — the satellite-audited path: the domain
+// list is copied under the observer lock and client sums run under each
+// domain's lock, so no scrape can observe a half-registered shard.
+func TestSnapshotDuringConcurrentRegistration(t *testing.T) {
+	o := New(Options{SampleEvery: 8})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			d := o.Domain("churn", 1)
+			c := d.NewClient()
+			c.Post()
+			c.Flush()
+			d.SetExternal(func() DomainExternal { return DomainExternal{Pending: 1} })
+		}
+		close(stop)
+	}()
+	for {
+		s := o.Snapshot()
+		for _, d := range s.Domains {
+			_ = d.Occupancy()
+		}
+		select {
+		case <-stop:
+			wg.Wait()
+			if got := o.Snapshot().Domains[0].Posts; got != 50 {
+				t.Errorf("posts after churn = %d, want 50", got)
+			}
+			return
+		default:
+		}
+	}
+}

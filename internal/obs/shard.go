@@ -128,6 +128,7 @@ func (s *WorkerShard) Flush() {
 const (
 	csPosts = iota
 	csBurstWaits
+	csReads
 	csBypassHits
 	csBypassRetries
 	csBypassFallbacks
@@ -143,6 +144,7 @@ type ClientShard struct {
 
 	posts           uint64
 	burstWaits      uint64
+	reads           uint64
 	bypassHits      uint64
 	bypassRetries   uint64
 	bypassFallbacks uint64
@@ -219,12 +221,21 @@ func (c *ClientShard) PostRecycled() *Span {
 // free slots bookkept pending) and it had to wait for its oldest future.
 func (c *ClientShard) BurstWait() { c.burstWaits++ }
 
+// CountRead marks the in-flight post as a read. The delegation client calls
+// it on the read-flagged invoke path (Client.InvokeReadErr), where the
+// read/write distinction is already a compile-time fact — one predictable
+// branch and an owner-local increment, no extra lookup on the write path.
+// Together with BypassHit (which also counts a read) this gives the sampler
+// the windowed write fraction: writes = posts − (reads − bypass hits).
+func (c *ClientShard) CountRead() { c.reads++ }
+
 // BypassHit counts one validated local read on the read-bypass fast path,
 // plus the wasted validation attempts (retries) it took before validating.
 // Same owner-local counting and flush cadence as Post: the bypass hot path
 // issues no atomic RMW.
 func (c *ClientShard) BypassHit(retries uint64) {
 	c.bypassHits++
+	c.reads++
 	c.bypassRetries += retries
 	c.sinceFlush++
 	if c.sinceFlush >= clientFlushEvery {
@@ -249,6 +260,7 @@ func (c *ClientShard) Flush() {
 	c.sinceFlush = 0
 	c.pub[csPosts].Store(c.posts)
 	c.pub[csBurstWaits].Store(c.burstWaits)
+	c.pub[csReads].Store(c.reads)
 	c.pub[csBypassHits].Store(c.bypassHits)
 	c.pub[csBypassRetries].Store(c.bypassRetries)
 	c.pub[csBypassFallbacks].Store(c.bypassFallbacks)

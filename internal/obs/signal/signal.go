@@ -1,0 +1,321 @@
+// Package signal holds the pure data types and window math behind the
+// continuous telemetry pipeline (internal/obs sampler): per-domain rolling
+// window signals derived from the cumulative shard counters, EWMA
+// smoothing, ring-regression slope estimates, and the health classifier
+// that turns signals into Healthy/Degraded/Saturated/Stalled states.
+//
+// The package is a leaf by design — it imports nothing from the runtime —
+// so the future re-planner (ROADMAP item 1) can consume DomainSignals
+// without dragging in the observer, and every piece of the math is unit
+// testable without goroutines or clocks.
+package signal
+
+import (
+	"fmt"
+	"time"
+)
+
+// Signal is one windowed telemetry series at the latest sampler tick:
+// the raw value of the last window, its EWMA-smoothed level, and a
+// per-second slope estimated by least squares over the retained ring of
+// windows. Slope is the derivative a detector wants ("p99 is climbing"),
+// robust to single-window noise in a way value−previous is not.
+type Signal struct {
+	Value float64 `json:"value"`
+	EWMA  float64 `json:"ewma"`
+	Slope float64 `json:"slope"`
+}
+
+// RingCap is how many windows a Series retains for slope regression. At
+// the default 250ms cadence this is a 4-second regression horizon.
+const RingCap = 16
+
+// DefaultEWMAAlpha is the default smoothing factor: each new window
+// contributes ~30%, so the EWMA settles within roughly 7 windows.
+const DefaultEWMAAlpha = 0.3
+
+// Series is the fixed-capacity state behind one Signal: a ring of
+// (time, value) window samples plus the running EWMA. The zero value is
+// ready to use; Observe never allocates.
+type Series struct {
+	times  [RingCap]float64 // seconds, caller's clock
+	values [RingCap]float64
+	n      int // samples retained (≤ RingCap)
+	next   int // ring write position
+	ewma   float64
+	primed bool
+}
+
+// Observe pushes one window sample (t in seconds on any monotonic clock,
+// v the window's value) and returns the derived Signal. alpha is the EWMA
+// smoothing factor in (0,1]; ≤0 falls back to DefaultEWMAAlpha.
+func (s *Series) Observe(t, v, alpha float64) Signal {
+	if alpha <= 0 || alpha > 1 {
+		alpha = DefaultEWMAAlpha
+	}
+	if !s.primed {
+		s.ewma = v
+		s.primed = true
+	} else {
+		s.ewma += alpha * (v - s.ewma)
+	}
+	s.times[s.next] = t
+	s.values[s.next] = v
+	s.next = (s.next + 1) % RingCap
+	if s.n < RingCap {
+		s.n++
+	}
+	return Signal{Value: v, EWMA: s.ewma, Slope: s.slope()}
+}
+
+// slope is the least-squares regression slope (value per second) over the
+// retained ring. Fewer than two samples — or a degenerate time spread —
+// yields 0.
+func (s *Series) slope() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	var sumT, sumV float64
+	for i := 0; i < s.n; i++ {
+		sumT += s.times[i]
+		sumV += s.values[i]
+	}
+	meanT := sumT / float64(s.n)
+	meanV := sumV / float64(s.n)
+	var cov, varT float64
+	for i := 0; i < s.n; i++ {
+		dt := s.times[i] - meanT
+		cov += dt * (s.values[i] - meanV)
+		varT += dt * dt
+	}
+	if varT < 1e-12 {
+		return 0
+	}
+	return cov / varT
+}
+
+// Health is a domain's classified state at one sampler tick. Ordered by
+// severity: when several rules fire, the most severe state wins.
+type Health int
+
+const (
+	// Healthy: no threshold breached.
+	Healthy Health = iota
+	// Degraded: a soft threshold is breached — occupancy sustained high,
+	// p99 climbing, restart budget burning, checkpoint stale, or reads
+	// falling back to delegation — the domain still serves but the
+	// autopilot should consider moving load.
+	Degraded
+	// Saturated: occupancy pinned at the hard threshold; the domain has no
+	// headroom and queue growth is structural, not transient.
+	Saturated
+	// Stalled: work is queued but nothing completed for a sustained
+	// interval — a dead or wedged domain.
+	Stalled
+)
+
+// String returns the lowercase state name (used in event kinds and JSON).
+func (h Health) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Saturated:
+		return "saturated"
+	case Stalled:
+		return "stalled"
+	}
+	return fmt.Sprintf("health(%d)", int(h))
+}
+
+// MarshalJSON encodes the state as its string name.
+func (h Health) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + h.String() + `"`), nil
+}
+
+// UnmarshalJSON decodes the string name form (offline analysis of NDJSON
+// streams round-trips through this).
+func (h *Health) UnmarshalJSON(b []byte) error {
+	switch string(b) {
+	case `"healthy"`:
+		*h = Healthy
+	case `"degraded"`:
+		*h = Degraded
+	case `"saturated"`:
+		*h = Saturated
+	case `"stalled"`:
+		*h = Stalled
+	default:
+		return fmt.Errorf("signal: unknown health state %s", b)
+	}
+	return nil
+}
+
+// Thresholds configures the health classifier. The zero value means "use
+// the default" for every field; WithDefaults fills the gaps.
+type Thresholds struct {
+	// OccupancyDegraded: EWMA occupancy at or above this marks Degraded.
+	OccupancyDegraded float64
+	// OccupancySaturated: EWMA occupancy at or above this marks Saturated.
+	OccupancySaturated float64
+	// P99SlopeNsPerSec: windowed response p99 climbing faster than this
+	// (ns per second, from the ring regression) marks Degraded.
+	P99SlopeNsPerSec float64
+	// FallbackRateDegraded: fraction of bypass read attempts falling back
+	// to delegation at or above this marks Degraded.
+	FallbackRateDegraded float64
+	// RestartRatePerSec: worker restarts per second at or above this marks
+	// Degraded (restart-budget burn).
+	RestartRatePerSec float64
+	// CheckpointAgeDegraded: a WAL checkpoint older than this marks
+	// Degraded. Ignored for domains without a WAL.
+	CheckpointAgeDegraded time.Duration
+	// SustainTicks: a candidate state must hold for this many consecutive
+	// sampler ticks before the published state changes (hysteresis).
+	SustainTicks int
+}
+
+// DefaultThresholds are conservative starting points: saturation near
+// occupancy 1, degradation at sustained 0.85, p99 climbing by ≥100µs/s,
+// half the bypass reads falling back, one restart every two seconds, a
+// checkpoint more than 30s stale, and two-tick hysteresis.
+var DefaultThresholds = Thresholds{
+	OccupancyDegraded:     0.85,
+	OccupancySaturated:    0.97,
+	P99SlopeNsPerSec:      100_000,
+	FallbackRateDegraded:  0.5,
+	RestartRatePerSec:     0.5,
+	CheckpointAgeDegraded: 30 * time.Second,
+	SustainTicks:          2,
+}
+
+// WithDefaults returns t with every zero field replaced by its default.
+func (t Thresholds) WithDefaults() Thresholds {
+	d := DefaultThresholds
+	if t.OccupancyDegraded <= 0 {
+		t.OccupancyDegraded = d.OccupancyDegraded
+	}
+	if t.OccupancySaturated <= 0 {
+		t.OccupancySaturated = d.OccupancySaturated
+	}
+	if t.P99SlopeNsPerSec <= 0 {
+		t.P99SlopeNsPerSec = d.P99SlopeNsPerSec
+	}
+	if t.FallbackRateDegraded <= 0 {
+		t.FallbackRateDegraded = d.FallbackRateDegraded
+	}
+	if t.RestartRatePerSec <= 0 {
+		t.RestartRatePerSec = d.RestartRatePerSec
+	}
+	if t.CheckpointAgeDegraded <= 0 {
+		t.CheckpointAgeDegraded = d.CheckpointAgeDegraded
+	}
+	if t.SustainTicks <= 0 {
+		t.SustainTicks = d.SustainTicks
+	}
+	return t
+}
+
+// Inputs are the per-tick facts the classifier reads, already reduced to
+// scalars by the sampler.
+type Inputs struct {
+	Occupancy        Signal
+	P99Ns            Signal
+	FallbackRate     float64 // fallbacks / (hits + fallbacks) this window
+	RestartRate      float64 // restarts per second this window
+	CheckpointAgeSec float64 // seconds since last checkpoint; < 0 = no WAL
+	QueueDepth       int     // posted-but-unanswered slots (gauge)
+	Throughput       float64 // tasks per second this window
+}
+
+// Classify maps one tick's inputs to the rawest (un-hysteresed) health
+// state under th. Severity wins: Stalled > Saturated > Degraded.
+func Classify(th Thresholds, in Inputs) Health {
+	if in.QueueDepth > 0 && in.Throughput == 0 {
+		return Stalled
+	}
+	if in.Occupancy.EWMA >= th.OccupancySaturated {
+		return Saturated
+	}
+	if in.Occupancy.EWMA >= th.OccupancyDegraded ||
+		in.P99Ns.Slope >= th.P99SlopeNsPerSec ||
+		in.FallbackRate >= th.FallbackRateDegraded ||
+		in.RestartRate >= th.RestartRatePerSec ||
+		(in.CheckpointAgeSec >= 0 && in.CheckpointAgeSec >= th.CheckpointAgeDegraded.Seconds()) {
+		return Degraded
+	}
+	return Healthy
+}
+
+// HealthTracker adds hysteresis on top of Classify: a candidate state must
+// repeat for SustainTicks consecutive ticks before the published state
+// flips, so a single noisy window cannot flap the journal. The zero value
+// starts published-Healthy.
+type HealthTracker struct {
+	published Health
+	candidate Health
+	streak    int
+}
+
+// Published returns the current hysteresed state.
+func (ht *HealthTracker) Published() Health { return ht.published }
+
+// Update feeds one tick's raw classification. It returns the published
+// state and whether this tick changed it (the transition edge the journal
+// records).
+func (ht *HealthTracker) Update(raw Health, sustainTicks int) (Health, bool) {
+	if sustainTicks < 1 {
+		sustainTicks = 1
+	}
+	if raw == ht.published {
+		ht.candidate = raw
+		ht.streak = 0
+		return ht.published, false
+	}
+	if raw == ht.candidate {
+		ht.streak++
+	} else {
+		ht.candidate = raw
+		ht.streak = 1
+	}
+	if ht.streak >= sustainTicks {
+		ht.published = raw
+		ht.streak = 0
+		return ht.published, true
+	}
+	return ht.published, false
+}
+
+// DomainSignals is the full windowed signal set for one domain at one
+// sampler tick — the value Observer.Signals() returns and the /signals
+// endpoint and NDJSON stream serialise.
+type DomainSignals struct {
+	Domain        string  `json:"domain"`
+	AtUnixNs      int64   `json:"at_unix_ns"`
+	WindowSeconds float64 `json:"window_seconds"`
+	Ticks         uint64  `json:"ticks"`
+	Health        Health  `json:"health"`
+
+	// Load and latency.
+	Occupancy  Signal `json:"occupancy"`   // fraction of sweeps finding work
+	QueueDepth Signal `json:"queue_depth"` // posted-but-unanswered slots (gauge)
+	Throughput Signal `json:"throughput"`  // tasks executed per second
+	PostRate   Signal `json:"post_rate"`   // tasks delegated per second
+	P50Ns      Signal `json:"p50_ns"`      // windowed response p50 (sampled)
+	P99Ns      Signal `json:"p99_ns"`      // windowed response p99 (sampled)
+
+	// Mix and read path.
+	WriteFraction      Signal `json:"write_fraction"`       // writes / (reads+writes)
+	BypassHitRate      Signal `json:"bypass_hit_rate"`      // bypass hits / reads
+	BypassRetryRate    Signal `json:"bypass_retry_rate"`    // retries per bypass attempt
+	BypassFallbackRate Signal `json:"bypass_fallback_rate"` // fallbacks / bypass attempts
+
+	// Failure and durability.
+	FaultRate            Signal  `json:"fault_rate"`             // failed tasks per second
+	RestartRate          Signal  `json:"restart_rate"`           // worker restarts per second
+	RestartBudget        float64 `json:"restart_budget"`         // respawns left (gauge)
+	WALCommitRate        Signal  `json:"wal_commit_rate"`        // records committed per second
+	CheckpointAgeSeconds float64 `json:"checkpoint_age_seconds"` // -1 = no WAL/checkpoint
+	CheckpointLag        float64 `json:"checkpoint_lag"`         // records committed since last checkpoint
+}

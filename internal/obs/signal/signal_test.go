@@ -1,0 +1,211 @@
+package signal
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestSeriesEWMAAndSlope(t *testing.T) {
+	var s Series
+	// A perfect ramp: v = 10·t. Slope must converge to 10/s, EWMA must trail
+	// the latest value from below.
+	var last Signal
+	for i := 0; i < RingCap; i++ {
+		tt := float64(i) * 0.25
+		last = s.Observe(tt, 10*tt, 0.3)
+	}
+	if math.Abs(last.Slope-10) > 1e-9 {
+		t.Errorf("ramp slope = %g, want 10", last.Slope)
+	}
+	if last.EWMA >= last.Value {
+		t.Errorf("EWMA %g should trail the ramp's latest value %g", last.EWMA, last.Value)
+	}
+	// A constant series: slope 0, EWMA equal to the constant.
+	var c Series
+	for i := 0; i < 2*RingCap; i++ {
+		last = c.Observe(float64(i), 7, 0.3)
+	}
+	if last.Slope != 0 || math.Abs(last.EWMA-7) > 1e-9 || last.Value != 7 {
+		t.Errorf("constant series signal = %+v, want value=ewma=7 slope=0", last)
+	}
+}
+
+func TestSeriesSingleSampleAndDegenerateTime(t *testing.T) {
+	var s Series
+	sig := s.Observe(1, 42, 0.3)
+	if sig.Slope != 0 {
+		t.Errorf("single-sample slope = %g, want 0", sig.Slope)
+	}
+	if sig.EWMA != 42 {
+		t.Errorf("first observation should prime EWMA: got %g", sig.EWMA)
+	}
+	// Identical timestamps must not divide by zero.
+	var d Series
+	d.Observe(5, 1, 0.3)
+	if sig := d.Observe(5, 100, 0.3); sig.Slope != 0 {
+		t.Errorf("degenerate-time slope = %g, want 0", sig.Slope)
+	}
+	// alpha out of range falls back to the default instead of freezing.
+	var a Series
+	a.Observe(0, 0, -1)
+	if sig := a.Observe(1, 10, -1); sig.EWMA <= 0 {
+		t.Errorf("fallback-alpha EWMA = %g, want > 0", sig.EWMA)
+	}
+}
+
+func TestSeriesRingWraps(t *testing.T) {
+	var s Series
+	// Fill the ring with a steep ramp, then continue flat: once the ramp
+	// falls out of the ring, the slope must decay toward 0.
+	for i := 0; i < RingCap; i++ {
+		s.Observe(float64(i), float64(100*i), 0.3)
+	}
+	steep := s.Observe(float64(RingCap), float64(100*RingCap), 0.3).Slope
+	var flat Signal
+	for i := 0; i < 2*RingCap; i++ {
+		flat = s.Observe(float64(RingCap+1+i), float64(100*RingCap), 0.3)
+	}
+	if flat.Slope >= steep/10 {
+		t.Errorf("slope did not decay after ring wrapped: steep=%g flat=%g", steep, flat.Slope)
+	}
+}
+
+func TestClassifySeverityOrder(t *testing.T) {
+	th := DefaultThresholds
+	cases := []struct {
+		name string
+		in   Inputs
+		want Health
+	}{
+		{"idle", Inputs{CheckpointAgeSec: -1}, Healthy},
+		{"busy-but-fine", Inputs{
+			Occupancy: Signal{EWMA: 0.5}, Throughput: 1000,
+			QueueDepth: 3, CheckpointAgeSec: -1,
+		}, Healthy},
+		{"occupancy-degraded", Inputs{
+			Occupancy: Signal{EWMA: 0.9}, Throughput: 1000, CheckpointAgeSec: -1,
+		}, Degraded},
+		{"p99-climbing", Inputs{
+			P99Ns: Signal{Slope: 2 * th.P99SlopeNsPerSec}, Throughput: 10, CheckpointAgeSec: -1,
+		}, Degraded},
+		{"fallback-storm", Inputs{
+			FallbackRate: 0.8, Throughput: 10, CheckpointAgeSec: -1,
+		}, Degraded},
+		{"restart-burn", Inputs{
+			RestartRate: 1.0, Throughput: 10, CheckpointAgeSec: -1,
+		}, Degraded},
+		{"stale-checkpoint", Inputs{
+			Throughput: 10, CheckpointAgeSec: th.CheckpointAgeDegraded.Seconds() + 1,
+		}, Degraded},
+		{"no-wal-never-stale", Inputs{
+			Throughput: 10, CheckpointAgeSec: -1,
+		}, Healthy},
+		{"saturated-beats-degraded", Inputs{
+			Occupancy: Signal{EWMA: 0.99}, RestartRate: 1.0, Throughput: 10, CheckpointAgeSec: -1,
+		}, Saturated},
+		{"stalled-beats-all", Inputs{
+			Occupancy: Signal{EWMA: 0.99}, QueueDepth: 5, Throughput: 0, CheckpointAgeSec: -1,
+		}, Stalled},
+	}
+	for _, c := range cases {
+		if got := Classify(th, c.in); got != c.want {
+			t.Errorf("%s: Classify = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestHealthTrackerHysteresis(t *testing.T) {
+	var ht HealthTracker
+	if ht.Published() != Healthy {
+		t.Fatalf("zero tracker publishes %v, want Healthy", ht.Published())
+	}
+	// One noisy Degraded tick must not flip a 2-tick sustain.
+	if st, changed := ht.Update(Degraded, 2); changed || st != Healthy {
+		t.Errorf("single tick flipped: %v changed=%v", st, changed)
+	}
+	if st, changed := ht.Update(Healthy, 2); changed || st != Healthy {
+		t.Errorf("recovery tick: %v changed=%v", st, changed)
+	}
+	// Two consecutive Degraded ticks flip exactly once.
+	ht.Update(Degraded, 2)
+	st, changed := ht.Update(Degraded, 2)
+	if !changed || st != Degraded {
+		t.Errorf("sustained ticks did not flip: %v changed=%v", st, changed)
+	}
+	if _, changed := ht.Update(Degraded, 2); changed {
+		t.Error("steady state reported a transition")
+	}
+	// A candidate switch mid-streak resets the streak.
+	ht.Update(Saturated, 3)
+	ht.Update(Saturated, 3)
+	if st, changed := ht.Update(Stalled, 3); changed || st != Degraded {
+		t.Errorf("candidate switch leaked: %v changed=%v", st, changed)
+	}
+	// Sustain below 1 is clamped to immediate.
+	var fast HealthTracker
+	if st, changed := fast.Update(Stalled, 0); !changed || st != Stalled {
+		t.Errorf("sustain 0 should flip immediately: %v changed=%v", st, changed)
+	}
+}
+
+func TestThresholdsWithDefaults(t *testing.T) {
+	filled := Thresholds{}.WithDefaults()
+	if filled != DefaultThresholds {
+		t.Errorf("zero thresholds = %+v, want defaults", filled)
+	}
+	custom := Thresholds{OccupancyDegraded: 0.5, SustainTicks: 7}.WithDefaults()
+	if custom.OccupancyDegraded != 0.5 || custom.SustainTicks != 7 {
+		t.Errorf("explicit fields overwritten: %+v", custom)
+	}
+	if custom.OccupancySaturated != DefaultThresholds.OccupancySaturated ||
+		custom.CheckpointAgeDegraded != 30*time.Second {
+		t.Errorf("unset fields not defaulted: %+v", custom)
+	}
+}
+
+func TestHealthJSONRoundTrip(t *testing.T) {
+	for _, h := range []Health{Healthy, Degraded, Saturated, Stalled} {
+		b, err := json.Marshal(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Health
+		if err := json.Unmarshal(b, &back); err != nil || back != h {
+			t.Errorf("round trip %v -> %s -> %v (err %v)", h, b, back, err)
+		}
+	}
+	var bad Health
+	if err := json.Unmarshal([]byte(`"melting"`), &bad); err == nil {
+		t.Error("unknown state should not unmarshal")
+	}
+	// DomainSignals serialises health as the string name.
+	b, err := json.Marshal(DomainSignals{Domain: "d", Health: Saturated})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `"health":"saturated"`; !containsStr(string(b), want) {
+		t.Errorf("DomainSignals JSON missing %s: %s", want, b)
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestSeriesObserveNoAlloc(t *testing.T) {
+	var s Series
+	i := 0
+	if n := testing.AllocsPerRun(1000, func() {
+		i++
+		s.Observe(float64(i), float64(i%7), 0.3)
+	}); n != 0 {
+		t.Errorf("Series.Observe allocates %.1f/op, want 0 (it sits on the sampler tick)", n)
+	}
+}

@@ -205,6 +205,16 @@ const (
 	EventWALRecovery       = "wal-recovery"
 )
 
+// Health transition event kinds recorded by the signal sampler (worker -1,
+// domain-scoped). The kind names the state the domain transitioned *into*;
+// the journal's ordering carries the from-state.
+const (
+	EventHealthHealthy   = "health-healthy"
+	EventHealthDegraded  = "health-degraded"
+	EventHealthSaturated = "health-saturated"
+	EventHealthStalled   = "health-stalled"
+)
+
 // Event is one domain/worker lifecycle transition (start, crash, respawn,
 // budget exhaustion, stop).
 type Event struct {

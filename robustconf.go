@@ -44,6 +44,7 @@ import (
 	"robustconf/internal/core"
 	"robustconf/internal/delegation"
 	"robustconf/internal/obs"
+	"robustconf/internal/obs/signal"
 	"robustconf/internal/topology"
 	"robustconf/internal/wal"
 )
@@ -184,6 +185,40 @@ type (
 // NewObserver builds an Observer (zero ObserverOptions give the defaults:
 // latency sampling every 64th operation, lifecycle tracing off).
 func NewObserver(opts ObserverOptions) *Observer { return obs.New(opts) }
+
+// Continuous telemetry: Observer.StartSampler runs a background sampler
+// that turns the cumulative shard counters into windowed per-domain
+// signals — occupancy, throughput, latency quantiles, write fraction,
+// bypass/WAL/fault rates — with EWMA smoothing, slope estimates and a
+// health classification (Healthy/Degraded/Saturated/Stalled) whose
+// transitions land in the event journal. Consume them via
+// Observer.Signals, the /signals JSON endpoint, the Prometheus gauges on
+// /metrics, or an NDJSON stream.
+type (
+	// Sampler is the windowed-signal sampler; see Observer.StartSampler.
+	Sampler = obs.Sampler
+	// SamplerOptions tunes cadence, smoothing, thresholds and streaming.
+	SamplerOptions = obs.SamplerOptions
+	// DomainSignals is one domain's published signal set for one window.
+	DomainSignals = signal.DomainSignals
+	// Signal is one windowed value with its EWMA and slope.
+	Signal = signal.Signal
+	// Health is the classified domain state.
+	Health = signal.Health
+	// HealthThresholds configures the classifier (zero fields = defaults).
+	HealthThresholds = signal.Thresholds
+)
+
+// Health states, in increasing severity.
+const (
+	Healthy   = signal.Healthy
+	Degraded  = signal.Degraded
+	Saturated = signal.Saturated
+	Stalled   = signal.Stalled
+)
+
+// DefaultSamplerEvery is the default sampler cadence (250ms).
+const DefaultSamplerEvery = obs.DefaultSamplerEvery
 
 // Machine returns the reference 24-core/48-thread-per-socket topology
 // restricted to n sockets (1–8); it models the paper's HPE MC990 X.

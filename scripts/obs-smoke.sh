@@ -2,9 +2,11 @@
 # obs-smoke: end-to-end check of the observability endpoint.
 #
 # Builds robustsim, runs the mixed chaos schedule with the live endpoint up
-# (-obs-hold keeps it serving after the run), scrapes /metrics, and asserts
-# that the injected faults are visible in the exported counters. Exits
-# non-zero if the endpoint never comes up or the counters stay at zero.
+# (-obs-hold keeps it serving after the run) and the continuous-signal
+# sampler on, scrapes /metrics and /signals, and asserts that the injected
+# faults are visible in the exported counters and that every domain
+# publishes windowed signals with a health classification. Exits non-zero
+# if the endpoint never comes up or the counters stay at zero.
 set -eu
 
 PORT="${OBS_SMOKE_PORT:-17060}"
@@ -13,6 +15,7 @@ TMP="$(mktemp -d)"
 BIN="$TMP/robustsim"
 OUT="$TMP/run.log"
 METRICS="$TMP/metrics.txt"
+SIGNALS="$TMP/signals.json"
 
 cleanup() {
 	[ -n "${PID:-}" ] && kill "$PID" 2>/dev/null || true
@@ -22,16 +25,16 @@ trap cleanup EXIT INT TERM
 
 go build -o "$BIN" ./cmd/robustsim
 
-"$BIN" -chaos mixed -obs "$ADDR" -obs-trace 1 -obs-hold >"$OUT" 2>&1 &
+"$BIN" -chaos mixed -obs "$ADDR" -obs-trace 1 -obs-hold -signals -signals-every 50ms >"$OUT" 2>&1 &
 PID=$!
 
 # Wait for the chaos run to finish and the endpoint to serve the final
 # counters (the run takes ~1s; poll up to 30s).
 fetch() {
 	if command -v curl >/dev/null 2>&1; then
-		curl -fsS "http://$ADDR/metrics" 2>/dev/null
+		curl -fsS "http://$ADDR$1" 2>/dev/null
 	else
-		wget -qO- "http://$ADDR/metrics" 2>/dev/null
+		wget -qO- "http://$ADDR$1" 2>/dev/null
 	fi
 }
 
@@ -42,7 +45,7 @@ while :; do
 		cat "$OUT" >&2
 		exit 1
 	fi
-	if fetch >"$METRICS" && grep -q '^robustconf_faults_worker_panics_total [1-9]' "$METRICS"; then
+	if fetch /metrics >"$METRICS" && grep -q '^robustconf_faults_worker_panics_total [1-9]' "$METRICS"; then
 		break
 	fi
 	i=$((i + 1))
@@ -73,5 +76,29 @@ done
 grep -q '^robustconf_exec_duration_ns_bucket{' "$METRICS" ||
 	{ echo "obs-smoke: exec histogram missing" >&2; exit 1; }
 
+# The sampler's windowed-signal gauges must be exported per domain. The
+# first capture above can race the sampler's first post-registration tick,
+# so give it a couple of cadences and re-scrape.
+sleep 0.5
+fetch /metrics >"$METRICS" || { echo "obs-smoke: /metrics re-fetch failed" >&2; exit 1; }
+for gauge in robustconf_signal_occupancy robustconf_signal_throughput robustconf_health_state; do
+	if ! grep -q "^$gauge{domain=" "$METRICS"; then
+		echo "obs-smoke: $gauge missing from /metrics" >&2
+		exit 1
+	fi
+done
+
+# /signals must serve the machine-readable feed: sampler running, at least
+# one domain, each row carrying a health classification. The sampler keeps
+# ticking under -obs-hold, so a couple of cadences in the rows are measured.
+fetch /signals >"$SIGNALS" || { echo "obs-smoke: /signals fetch failed" >&2; exit 1; }
+grep -q '"sampler_running": *true' "$SIGNALS" ||
+	{ echo "obs-smoke: /signals reports sampler not running" >&2; cat "$SIGNALS" >&2; exit 1; }
+grep -q '"domain": *"' "$SIGNALS" ||
+	{ echo "obs-smoke: /signals has no domains" >&2; cat "$SIGNALS" >&2; exit 1; }
+grep -q '"health": *"' "$SIGNALS" ||
+	{ echo "obs-smoke: /signals rows carry no health state" >&2; cat "$SIGNALS" >&2; exit 1; }
+
 panics="$(grep '^robustconf_faults_worker_panics_total ' "$METRICS" | awk '{print $2}')"
-echo "obs-smoke: ok — $panics worker panics exported on http://$ADDR/metrics"
+domains="$(grep -c '"domain": *"' "$SIGNALS" || true)"
+echo "obs-smoke: ok — $panics worker panics exported, $domains domain signal rows on http://$ADDR/signals"
