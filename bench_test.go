@@ -18,6 +18,7 @@ import (
 
 	"robustconf"
 	"robustconf/internal/config"
+	"robustconf/internal/core"
 	"robustconf/internal/delegation"
 	"robustconf/internal/harness"
 	"robustconf/internal/ilp"
@@ -573,15 +574,45 @@ func BenchmarkAblationBurstSize(b *testing.B) {
 				b.Fatal(err)
 			}
 			defer s.Close()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				k := uint64(i)
-				_, err := s.Submit(robustconf.Task{Structure: "x", Op: func(ds any) any {
-					ds.(*btree.Tree).Insert(k, k, nil)
-					return nil
-				}})
+			// Pre-boxed keys and one shared op: SubmitAsync threads the
+			// argument (a pointer, boxed alloc-free) instead of closing over
+			// it, and waiting the window's futures in FIFO order keeps the
+			// session's future pool recycling — the measured loop allocates
+			// nothing, so the sweep isolates the burst size itself.
+			var keys [1024]uint64
+			for i := range keys {
+				keys[i] = uint64(i)
+			}
+			insert := func(ds, arg any) any {
+				k := *arg.(*uint64)
+				ds.(*btree.Tree).Insert(k, k, nil)
+				return nil
+			}
+			futs := make([]*core.AsyncFuture, burst)
+			submit := func(i int) {
+				if f := futs[i%burst]; f != nil {
+					if _, err := f.Wait(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				f, err := s.SubmitAsync("x", insert, &keys[i%1024])
 				if err != nil {
 					b.Fatal(err)
+				}
+				futs[i%burst] = f
+			}
+			for i := 0; i < 2*burst; i++ {
+				submit(i) // warm the future pool before measuring
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				submit(i)
+			}
+			b.StopTimer()
+			for _, f := range futs {
+				if f != nil {
+					_, _ = f.Wait()
 				}
 			}
 		})
@@ -613,21 +644,42 @@ func BenchmarkAblationResponseBatching(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			// The reserved-slot pipeline (Reserve/PostReserved/Await) reuses
+			// the slot-embedded futures, so the loop measures sweep batching
+			// alone — Delegate would add one detached future allocation per
+			// task.
 			noop := delegation.Task(func() any { return nil })
+			var hs [14]delegation.InvokeHandle
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if batched {
 					for j := 0; j < 14; j++ {
-						client.Delegate(noop)
+						slot, ok := client.Reserve()
+						if !ok {
+							b.Fatal("no free slot")
+						}
+						hs[j] = client.PostReserved(slot, noop)
 					}
 					buf.Sweep() // one sweep answers all 14
+					for j := 0; j < 14; j++ {
+						if _, err := client.Await(hs[j]); err != nil {
+							b.Fatal(err)
+						}
+					}
 				} else {
 					for j := 0; j < 14; j++ {
-						client.Delegate(noop)
+						slot, ok := client.Reserve()
+						if !ok {
+							b.Fatal("no free slot")
+						}
+						h := client.PostReserved(slot, noop)
 						buf.Sweep()
+						if _, err := client.Await(h); err != nil {
+							b.Fatal(err)
+						}
 					}
 				}
-				client.Drain()
 			}
 		})
 	}
@@ -789,6 +841,48 @@ func BenchmarkTPCCDirectFullMix(b *testing.B) { benchTPCC(b, false, true) }
 // BenchmarkTPCCDelegatedFullMix measures the full mix on the delegated
 // engine.
 func BenchmarkTPCCDelegatedFullMix(b *testing.B) { benchTPCC(b, true, true) }
+
+// BenchmarkTPCCDelegatedFullMixArena is BenchmarkTPCCDelegatedFullMix with
+// the per-worker batch arenas enabled — the steady-state allocation pin
+// (scripts/alloc-smoke.sh holds it at ≤10 allocs/op) and the ns/op gap to
+// the arena-off run quantify the arena configuration axis.
+func BenchmarkTPCCDelegatedFullMixArena(b *testing.B) {
+	cfg := tpcc.Config{Warehouses: 2, Customers: 100, Items: 300}
+	machine := robustconf.Machine(1)
+	rc, err := oltp.EvenConfig(cfg, machine)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rc.Arena = robustconf.ArenaConfig{Enabled: true}
+	engine, err := oltp.NewEngineWithConfig(cfg, func() index.Index { return fptree.New() }, rc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer engine.Stop()
+	s, err := engine.NewStore(0, robustconf.PaperBurstSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	loader, err := tpcc.NewLoader(cfg, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := loader.Load(s); err != nil {
+		b.Fatal(err)
+	}
+	term, err := tpcc.NewTerminal(cfg, s, 1, 0.05, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := term.NextFullMix(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // benchTPCCParallel drives concurrent terminals (one per benchmark
 // goroutine, whole-transaction mode) through the delegated engine, with

@@ -130,6 +130,13 @@ type Instance struct {
 	// CoLocateWith optionally names another instance that must share this
 	// instance's domain (e.g. a table's secondary index).
 	CoLocateWith string
+	// RetainsReferences marks instances whose task results hand back
+	// references into long-lived buffers the client keeps (e.g. a structure
+	// that returns views instead of copies). Batch-boundary arena recycling
+	// is unsound for them — the reference would outlive the reset — so
+	// RecommendArena disables the arena axis for any composition containing
+	// one.
+	RetainsReferences bool
 }
 
 // RecommendReadPolicy derives an instance's read-path policy from its
@@ -185,6 +192,32 @@ func RecommendDurability(instances []Instance) Durability {
 	}
 }
 
+// RecommendArena derives the arena axis from the composition, following the
+// RecommendDurability precedent. Any instance that retains references into
+// result buffers disables the axis (recycling would invalidate memory the
+// client still holds). Otherwise arenas go on, sized by write volume: the
+// arena's main tenant is WAL effect staging, which scales with the write
+// fraction, so write-heavy compositions get deeper slabs and read-mostly
+// ones stay at the default.
+func RecommendArena(instances []Instance) core.ArenaConfig {
+	maxWF := 0.0
+	for _, inst := range instances {
+		if inst.RetainsReferences {
+			return core.ArenaConfig{}
+		}
+		if wf := inst.Mix.WriteFraction(); wf > maxWF {
+			maxWF = wf
+		}
+	}
+	cfg := core.ArenaConfig{Enabled: true}
+	if maxWF > 0.15 {
+		// One sweep batch stages up to SlotsPerBuffer records per worker;
+		// deeper slabs keep a write-heavy batch inside one slab per class.
+		cfg.SlabAllocs = 16
+	}
+	return cfg
+}
+
 // PlanDomain is one virtual domain of a composed plan.
 type PlanDomain struct {
 	Size      int
@@ -209,6 +242,9 @@ type Plan struct {
 	// into core.Config.WAL, which stays disabled until a log directory is
 	// supplied.
 	Durability Durability
+	// Arena records the recommended worker-arena axis (RecommendArena over
+	// the composition); Materialise carries it into core.Config.Arena.
+	Arena core.ArenaConfig
 }
 
 // String renders the plan in the robustconfig tool's format.
@@ -235,6 +271,16 @@ func (p *Plan) String() string {
 		fmt.Fprintf(&b, "  read policies: %s\n", strings.Join(pairs, ", "))
 	}
 	fmt.Fprintf(&b, "  durability: fsync=%s checkpoint=%s\n", p.Durability.Fsync, p.Durability.cadence())
+	if p.Arena.Enabled {
+		slabs := p.Arena.SlabAllocs
+		if slabs <= 0 {
+			fmt.Fprintf(&b, "  arena: on (default slabs)\n")
+		} else {
+			fmt.Fprintf(&b, "  arena: on (slabs=%d)\n", slabs)
+		}
+	} else {
+		fmt.Fprintf(&b, "  arena: off\n")
+	}
 	return b.String()
 }
 
@@ -293,6 +339,7 @@ func Compose(instances []Instance, workers int, measure MeasureFunc) (*Plan, err
 	// policy its mix recommends (a second per-instance configuration axis;
 	// core gates it on the materialised structure's concurrent-read safety).
 	plan.Durability = RecommendDurability(instances)
+	plan.Arena = RecommendArena(instances)
 	calCache := map[string]int{}
 	for _, inst := range instances {
 		plan.ReadPolicies[inst.Name] = RecommendReadPolicy(inst.Mix)
@@ -499,9 +546,11 @@ func Materialise(plan *Plan, m *topology.Machine) (core.Config, error) {
 		}
 	}
 	// Durability axes ride along; the WAL stays off (Dir == "") until the
-	// caller points it at a log directory.
+	// caller points it at a log directory. The arena axis is live
+	// immediately — it needs no external resource.
 	cfg.WAL.Fsync = plan.Durability.Fsync
 	cfg.WAL.CheckpointEvery = plan.Durability.CheckpointEvery
+	cfg.Arena = plan.Arena
 	if err := cfg.Validate(); err != nil {
 		return core.Config{}, err
 	}

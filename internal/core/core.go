@@ -23,6 +23,7 @@ import (
 
 	"robustconf/internal/affinity"
 	"robustconf/internal/delegation"
+	"robustconf/internal/mem"
 	"robustconf/internal/metrics"
 	"robustconf/internal/obs"
 	"robustconf/internal/topology"
@@ -119,6 +120,25 @@ type Config struct {
 	// wal.go). The zero value disables it: no log is opened, no structure
 	// is snapshotted, and the delegation hot path is unchanged.
 	WAL WALConfig
+	// Arena configures the per-worker batch arenas (internal/mem): each
+	// domain worker owns an arena recycled at sweep-batch boundaries, and
+	// the WAL's staging buffers draw from it. The zero value disables it.
+	Arena ArenaConfig
+}
+
+// ArenaConfig is the arena axis of a configuration: whether domain workers
+// get batch arenas, and how they are sized. The composer (internal/config)
+// disables the axis for plans whose structures retain references into
+// client buffers, where batch-boundary recycling would be unsound.
+type ArenaConfig struct {
+	// Enabled turns per-worker batch arenas on.
+	Enabled bool
+	// SlabAllocs sizes each size class's slabs in max-size
+	// allocations-per-slab (0 = the mem package default).
+	SlabAllocs int
+	// MaxBytes caps one arena's retained slab bytes; past it, allocations
+	// fall back to the heap and are counted (0 = unlimited).
+	MaxBytes int
 }
 
 // Validate checks the configuration's internal consistency.
@@ -201,8 +221,19 @@ type Domain struct {
 	// Durability (nil / no-op without Config.WAL): the domain's log and
 	// the recovery closure supervise runs before respawning a crashed
 	// worker (built in setupWAL; it needs the runtime for routing state).
+	// The closure receives the crashed worker's id so recovery can discard
+	// that worker's arena — the call runs on the crashed worker's own
+	// (supervisor) goroutine, which is what makes the owner-only Discard
+	// legal there.
 	wal       *wal.DomainLog
-	recoverFn func()
+	recoverFn func(worker int)
+
+	// arenas holds worker i's batch arena (nil slice when Config.Arena is
+	// off). Per-worker, not per-domain: AcquireSlots may spread one
+	// client's slots over several buffers, so tasks for one structure
+	// execute on multiple workers concurrently and a shared arena would
+	// race its owner-only bump pointer.
+	arenas []*mem.Arena
 
 	faults *metrics.FaultCounters
 	obs    *obs.Observer  // nil when observability is not attached
@@ -241,6 +272,14 @@ func (d *Domain) externalCounters() obs.DomainExternal {
 		ext.WALReplayNs = st.ReplayNs
 		ext.WALCommitted = st.Committed
 		ext.WALLastCheckpoint = st.LastCheckpoint
+	}
+	for _, a := range d.arenas {
+		st := a.Snapshot()
+		ext.ArenaLiveBytes += st.LiveBytes
+		ext.ArenaCapBytes += st.CapBytes
+		ext.ArenaOverflows += st.Overflows
+		ext.ArenaResets += st.Resets
+		ext.ArenaDiscards += st.Discards
 	}
 	return ext
 }
@@ -349,6 +388,11 @@ func Start(cfg Config, structures map[string]any) (*Runtime, error) {
 			if d.obsDom != nil {
 				b.SetProbe(d.obsDom.Worker(w))
 			}
+			if cfg.Arena.Enabled {
+				a := mem.New(mem.Options{SlabAllocs: cfg.Arena.SlabAllocs, MaxBytes: cfg.Arena.MaxBytes})
+				d.arenas = append(d.arenas, a)
+				b.SetArena(a)
+			}
 			bufs = append(bufs, b)
 		}
 		inbox, err := delegation.NewInbox(bufs)
@@ -449,7 +493,7 @@ func supervise(d *Domain, b *delegation.Buffer) {
 		case <-time.After(restartBackoff(attempt)):
 		}
 		if d.recoverFn != nil {
-			d.recoverFn()
+			d.recoverFn(b.Worker())
 		}
 		d.faults.WorkerRestarts.Add(1)
 		d.event(b.Worker(), obs.EventWorkerRespawn)

@@ -116,12 +116,18 @@ func (rt *Runtime) setupWAL() error {
 		}
 		for wi, b := range d.inbox.Buffers() {
 			b.SetWAL(dlog.Worker(wi))
+			if len(d.arenas) > 0 {
+				// The worker log's staging buffers draw from the worker's
+				// own arena: batch-lifetime memory, recycled by the sweep's
+				// post-commit reset.
+				dlog.Worker(wi).SetArena(d.arenas[wi])
+			}
 		}
 		if err := rt.checkpointDomain(d); err != nil {
 			return err
 		}
 		d := d
-		d.recoverFn = func() { rt.recoverDomain(d) }
+		d.recoverFn = func(worker int) { rt.recoverDomain(d, worker) }
 	}
 	return nil
 }
@@ -197,6 +203,12 @@ func (rt *Runtime) checkpointDomainLocked(d *Domain) error {
 	sort.Strings(names)
 	var buf bytes.Buffer
 	return d.wal.Checkpoint(func(w io.Writer) error {
+		// Deliberately no arena reset here. The gate's write side quiesces
+		// logged batches, but workers hold the read side only lazily (first
+		// staged record to group commit) — the owner's sweep-boundary
+		// recycle runs after Commit, outside the gate, so a checkpoint-time
+		// reset would race it. It is also unnecessary: every non-empty sweep
+		// already recycles, so a quiesced worker's arena has no live bytes.
 		for _, name := range names {
 			buf.Reset()
 			buf.Write(appendWALName(nil, name))
@@ -227,12 +239,22 @@ func (rt *Runtime) checkpointDomainLocked(d *Domain) error {
 // owned structure is bumped besides, so even a reader that routed before
 // the crash discards its read. Delegated reads quiesce behind the gate like
 // every other task.
-func (rt *Runtime) recoverDomain(d *Domain) {
+func (rt *Runtime) recoverDomain(d *Domain, worker int) {
 	// Exclude migrations (and other domains' checkpoints) for the whole
 	// recovery: the structure set snapshotted below must still be this
 	// domain's when the in-place restore rewrites it.
 	rt.walMu.Lock()
 	defer rt.walMu.Unlock()
+	if worker >= 0 && worker < len(d.arenas) {
+		// Discard-and-rebuild: the crash may have unwound mid-batch with
+		// arena-backed WAL staging half-written, so the crashed worker's
+		// arena goes back to the GC wholesale and the respawn starts from
+		// virgin slabs — replay can never observe recycled bytes. This runs
+		// on the crashed worker's own supervisor goroutine (owner-only
+		// Discard is legal), and walMu excludes the checkpointer's
+		// quiesce-time Reset of the same arena.
+		d.arenas[worker].Discard()
+	}
 	rt.mu.Lock()
 	durables := make(map[string]Durable, len(d.structures))
 	for name, ds := range d.structures {
@@ -248,8 +270,11 @@ func (rt *Runtime) recoverDomain(d *Domain) {
 	restored := map[string]bool{}
 	_, err := d.wal.Recover(
 		func(r io.Reader) error {
+			// One reusable frame buffer for the whole checkpoint stream:
+			// each payload is consumed (restored) before the next read.
+			fr := wal.NewFrameReader(r)
 			for {
-				p, err := wal.ReadFrame(r)
+				p, err := fr.Next()
 				if err == io.EOF {
 					return nil
 				}

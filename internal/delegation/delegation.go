@@ -402,6 +402,15 @@ type Buffer struct {
 	wal   WALSink
 	stash [SlotsPerBuffer]walStash
 
+	// arena, when set, is the worker-owned batch allocator recycled at
+	// sweep-batch boundaries: after a non-empty local sweep completes (and,
+	// on the WAL path, after the batch group-commits and every stashed
+	// future is answered) no batch-lifetime allocation is referenced
+	// anywhere, so the sweep resets the arena and the next batch reuses the
+	// same slabs. Sealed-path sweeps never reset — they may run on foreign
+	// goroutines, and Reset is owner-only.
+	arena ArenaSink
+
 	_ [64]byte // keep the worker-local mirrors off the lifecycle fields' line
 
 	// Worker-local stat mirrors: written only by the owning worker's
@@ -493,6 +502,19 @@ type walStash struct {
 // to the write-ahead logged path. Call before any worker polls the buffer;
 // the field is read without synchronisation on the hot path.
 func (b *Buffer) SetWAL(l WALSink) { b.wal = l }
+
+// ArenaSink is the slice of the worker arena the sweep drives — just the
+// batch-boundary recycle. Satisfied structurally by *mem.Arena so this
+// package stays free of a mem import, mirroring WALSink.
+type ArenaSink interface {
+	Reset()
+}
+
+// SetArena installs the worker's batch arena; the sweep resets it after
+// every non-empty local pass (post-commit on the WAL path). Call before any
+// worker polls the buffer; the field is read without synchronisation on the
+// hot path.
+func (b *Buffer) SetArena(a ArenaSink) { b.arena = a }
 
 // Sealed reports whether the buffer has been sealed.
 func (b *Buffer) Sealed() bool { return b.sealed.Load() }
@@ -680,6 +702,9 @@ func (b *Buffer) sweepSlots(hook FaultHook, probe *obs.WorkerShard, local bool) 
 		b.mutExit.Add(1) // close the mutating window: pair balanced again
 	}
 	if local {
+		if n > 0 && b.arena != nil {
+			b.arena.Reset() // batch boundary: no batch allocation outlives the pass
+		}
 		b.nSweeps++
 		b.sinceFlush++
 		if n == 0 {
@@ -821,6 +846,11 @@ func (b *Buffer) sweepSlotsWAL(hook FaultHook, probe *obs.WorkerShard, local boo
 		b.mutExit.Add(1) // close the mutating window: pair balanced again
 	}
 	if local {
+		if n > 0 && b.arena != nil {
+			// Batch boundary: the group commit is done and every stashed
+			// future answered, so no arena-backed staging memory is live.
+			b.arena.Reset()
+		}
 		b.nSweeps++
 		b.sinceFlush++
 		if n == 0 {

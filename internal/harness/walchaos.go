@@ -21,6 +21,7 @@ import (
 	"robustconf/internal/index/btree"
 	"robustconf/internal/index/bwtree"
 	"robustconf/internal/metrics"
+	"robustconf/internal/obs"
 	"robustconf/internal/topology"
 	"robustconf/internal/wal"
 )
@@ -226,16 +227,18 @@ func WALChaosSchedules() []ChaosSchedule {
 
 // WALChaosReport summarises one WAL chaos run against its golden twin.
 type WALChaosReport struct {
-	Schedule   string
-	Seed       int64
-	Ops        int    // operations that eventually succeeded
-	Retries    int    // extra attempts spent on crashed batches
-	Recoveries uint64 // checkpoint-restore + replay passes
-	Replayed   uint64 // records replayed across recoveries
-	Committed  uint64 // records group-committed
-	Kills      uint64 // injected crashes that fired (all kinds)
-	Hash       uint64 // final state digest of the faulted run
-	Golden     uint64 // final state digest of the crash-free run
+	Schedule      string
+	Seed          int64
+	Ops           int    // operations that eventually succeeded
+	Retries       int    // extra attempts spent on crashed batches
+	Recoveries    uint64 // checkpoint-restore + replay passes
+	Replayed      uint64 // records replayed across recoveries
+	Committed     uint64 // records group-committed
+	Kills         uint64 // injected crashes that fired (all kinds)
+	Hash          uint64 // final state digest of the faulted run
+	Golden        uint64 // final state digest of the crash-free run
+	ArenaResets   uint64 // sweep-batch arena recycles (arena runs only)
+	ArenaDiscards uint64 // crash-recovery arena discards (arena runs only)
 }
 
 func (r WALChaosReport) String() string {
@@ -256,7 +259,10 @@ func walWorkloadValue(k uint64, seed int64) uint64 {
 // upserts split across two single-structure domains — against a runtime with
 // the WAL rooted at dir, retrying each operation until it commits. It
 // returns the final state digest and the per-domain durability counters.
-func runWALWorkload(dir string, rules []faultinject.Rule, seed int64, sessions, opsPerSession int, fsync wal.FsyncMode) (WALChaosReport, error) {
+// With arena.Enabled the domains run per-worker batch arenas (the WAL's
+// record staging draws from them) and the report carries the arena
+// recycle/discard counters.
+func runWALWorkload(dir string, rules []faultinject.Rule, seed int64, sessions, opsPerSession int, fsync wal.FsyncMode, arena core.ArenaConfig) (WALChaosReport, error) {
 	rep := WALChaosReport{Seed: seed}
 	m, err := topology.Restricted(1)
 	if err != nil {
@@ -272,6 +278,12 @@ func runWALWorkload(dir string, rules []faultinject.Rule, seed int64, sessions, 
 		Assignment: map[string]int{"wtree": 0, "wtree2": 1},
 		Faults:     &metrics.FaultCounters{},
 		WAL:        core.WALConfig{Dir: dir, Fsync: fsync},
+		Arena:      arena,
+	}
+	var observer *obs.Observer
+	if arena.Enabled {
+		observer = obs.New(obs.Options{})
+		cfg.Obs = observer
 	}
 	if len(rules) > 0 {
 		cfg.FaultHook = faultinject.New(seed, rules...)
@@ -348,6 +360,12 @@ func runWALWorkload(dir string, rules []faultinject.Rule, seed int64, sessions, 
 			rep.Kills += n
 		}
 	}
+	if observer != nil {
+		for _, d := range observer.Snapshot().Domains {
+			rep.ArenaResets += uint64(d.ArenaResets)
+			rep.ArenaDiscards += uint64(d.ArenaDiscards)
+		}
+	}
 	h1, h2 := t1.Hash(), t2.Hash()
 	rep.Hash = h1*31 + h2
 	return rep, nil
@@ -359,11 +377,25 @@ func runWALWorkload(dir string, rules []faultinject.Rule, seed int64, sessions, 
 // report carries both final-state digests. Equal() failing means recovery
 // lost or invented state.
 func RunWALChaos(dir string, sched ChaosSchedule, seed int64, sessions, opsPerSession int, fsync wal.FsyncMode) (WALChaosReport, error) {
-	golden, err := runWALWorkload(dir+"/golden", nil, seed, sessions, opsPerSession, fsync)
+	return runWALChaos(dir, sched, seed, sessions, opsPerSession, fsync, core.ArenaConfig{})
+}
+
+// RunWALChaosArena is RunWALChaos with per-worker batch arenas enabled in
+// both the golden and the faulted run: WAL record staging draws from arena
+// memory recycled at sweep-batch boundaries, checkpoints reset the arenas
+// under the gate, and crash recovery discards the crashed worker's arena
+// before replay. Equal() failing here means recycled arena memory leaked
+// into (or was torn out of) the durable state.
+func RunWALChaosArena(dir string, sched ChaosSchedule, seed int64, sessions, opsPerSession int, fsync wal.FsyncMode) (WALChaosReport, error) {
+	return runWALChaos(dir, sched, seed, sessions, opsPerSession, fsync, core.ArenaConfig{Enabled: true})
+}
+
+func runWALChaos(dir string, sched ChaosSchedule, seed int64, sessions, opsPerSession int, fsync wal.FsyncMode, arena core.ArenaConfig) (WALChaosReport, error) {
+	golden, err := runWALWorkload(dir+"/golden", nil, seed, sessions, opsPerSession, fsync, arena)
 	if err != nil {
 		return golden, err
 	}
-	rep, err := runWALWorkload(dir+"/faulted", sched.Rules, seed, sessions, opsPerSession, fsync)
+	rep, err := runWALWorkload(dir+"/faulted", sched.Rules, seed, sessions, opsPerSession, fsync, arena)
 	if err != nil {
 		return rep, err
 	}

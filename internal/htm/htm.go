@@ -18,6 +18,7 @@ package htm
 
 import (
 	"errors"
+	"sync"
 	"sync/atomic"
 
 	"robustconf/internal/syncprims"
@@ -59,6 +60,22 @@ type Region struct {
 	maxRetries int
 	capacity   int
 	Stats      Stats
+
+	// txPool recycles transaction descriptors (and their read/write-set
+	// backing arrays) across Atomic calls, so a steady-state transaction
+	// allocates nothing. Safe under concurrent Atomic callers.
+	txPool sync.Pool
+
+	// commitGate makes the fallback-lock check atomic with commit:
+	// transactional commits hold the read side across [validate
+	// fallback version; commit]; the fallback body holds the write
+	// side. Without it a fallback execution — whose writes apply
+	// directly, without bumping cell versions — can interleave with an
+	// in-flight commit that already passed the fallback check, and the
+	// two apply concurrently (e.g. double-inserting one key). Real HTM
+	// has no such window: the fallback lock sits in the hardware read
+	// set, monitored to the commit instant.
+	commitGate sync.RWMutex
 }
 
 // NewRegion returns a region with default retry and capacity limits.
@@ -193,14 +210,46 @@ func (tx *Tx) owns(l *syncprims.VersionLock) bool {
 	return false
 }
 
+// acquireTx returns a recycled (or fresh) transaction descriptor with
+// empty read/write sets.
+func (r *Region) acquireTx() *Tx {
+	tx, _ := r.txPool.Get().(*Tx)
+	if tx == nil {
+		tx = &Tx{region: r}
+	}
+	return tx
+}
+
+// releaseTx clears the descriptor (dropping closure references so the
+// pool never pins caller state) and returns it for reuse. The Tx
+// contract — it must not escape the Atomic body — is what makes the
+// recycling safe.
+func (r *Region) releaseTx(tx *Tx) {
+	tx.resetSets()
+	tx.fallback = false
+	r.txPool.Put(tx)
+}
+
+// resetSets empties the read/write sets, keeping their capacity but
+// dropping apply-closure references.
+func (tx *Tx) resetSets() {
+	tx.reads = tx.reads[:0]
+	for i := range tx.writes {
+		tx.writes[i] = writeEntry{}
+	}
+	tx.writes = tx.writes[:0]
+}
+
 // Atomic executes body as a memory transaction, retrying on aborts and
 // falling back to the region's global lock after MaxRetries attempts. The
 // body may be executed several times and must be idempotent up to its Tx
 // writes (which only apply on commit). Any non-ErrAbort error is returned
 // to the caller after the transaction machinery unwinds.
 func (r *Region) Atomic(body func(tx *Tx) error) error {
+	tx := r.acquireTx()
+	defer r.releaseTx(tx)
 	for attempt := 0; attempt <= r.maxRetries; attempt++ {
-		tx := &Tx{region: r}
+		tx.resetSets()
 		// The fallback lock is in every read set: holders abort us.
 		fbVersion := r.fallback.Version()
 		if fbVersion&1 == 1 {
@@ -211,17 +260,29 @@ func (r *Region) Atomic(body func(tx *Tx) error) error {
 		if err != nil && !errors.Is(err, ErrAbort) {
 			return err
 		}
-		if err == nil && r.fallback.Version() == fbVersion && tx.commit() {
-			r.Stats.Commits.Add(1)
-			return nil
+		if err == nil {
+			r.commitGate.RLock()
+			ok := r.fallback.Version() == fbVersion && tx.commit()
+			r.commitGate.RUnlock()
+			if ok {
+				r.Stats.Commits.Add(1)
+				return nil
+			}
 		}
 		r.Stats.Aborts.Add(1)
 	}
 	// Fallback: serialise under the global lock, aborting all concurrent
-	// transactions (they validate the fallback lock's version).
+	// transactions (they validate the fallback lock's version). Taking
+	// the commitGate write side drains in-flight commits before the body
+	// reads anything, and blocks new commits until it finishes.
 	r.fallback.WriteLock()
-	defer r.fallback.WriteUnlock()
+	r.commitGate.Lock()
+	defer func() {
+		r.commitGate.Unlock()
+		r.fallback.WriteUnlock()
+	}()
 	r.Stats.Fallbacks.Add(1)
-	tx := &Tx{region: r, fallback: true}
+	tx.resetSets()
+	tx.fallback = true
 	return body(tx)
 }

@@ -12,12 +12,18 @@
 // nodes they modify. Leaf records are published through atomic stores so
 // in-flight optimistic readers never observe torn words.
 //
+// Steady-state operations are allocation-free: each op borrows a pooled
+// scratch descriptor carrying prebuilt transaction bodies, prebuilt
+// commit-time apply closures, a fixed descend-path array, and retained
+// scan/split buffers, so nothing escapes to the heap on the hot path
+// (structural splits still allocate the nodes they publish).
+//
 // In the original system the leaves live in storage-class memory; here they
 // are DRAM-resident (see DESIGN.md §2) with identical structure.
 package fptree
 
 import (
-	"sort"
+	"sync"
 	"sync/atomic"
 
 	"robustconf/internal/htm"
@@ -28,6 +34,12 @@ import (
 const (
 	leafCap     = 32 // records per leaf
 	innerFanout = 32 // children per inner node
+	// maxDepth sizes the scratch descend-path array; deeper trees fall
+	// back to a heap-grown path (32^15 keys before that happens).
+	maxDepth = 16
+	// maxRetainedScan caps the scan buffer capacity a pooled scratch
+	// may retain, so one huge range scan doesn't pin memory forever.
+	maxRetainedScan = 4096
 )
 
 // fingerprint is the one-byte hash probed before any key comparison.
@@ -69,22 +81,96 @@ type rootRef struct {
 	node any // *inner or *leaf
 }
 
+// rec is one key/value pair in scan and split scratch buffers.
+type rec struct{ k, v uint64 }
+
 // Tree is a concurrent FP-Tree. Construct with New.
 type Tree struct {
 	region   *htm.Region
 	rootCell syncprims.VersionLock
 	root     atomic.Pointer[rootRef]
 	count    atomic.Int64
+	scratch  sync.Pool // *opScratch
 }
 
 // New returns an empty FP-Tree with a fresh HTM region.
 func New() *Tree {
 	t := &Tree{region: htm.NewRegion()}
 	t.root.Store(&rootRef{node: newLeaf()})
+	t.scratch.New = func() any { return newScratch(t) }
 	return t
 }
 
 func newLeaf() *leaf { return &leaf{} }
+
+// opScratch is the recycled per-operation state. The transaction bodies
+// and apply closures are bound once at construction, so an operation
+// costs zero heap allocations at steady state; parameters and results
+// travel through the struct fields instead of closure captures.
+type opScratch struct {
+	t *Tree
+
+	// parameters
+	k, v   uint64
+	lo, hi uint64
+	st     *index.OpStats
+
+	// results
+	val      uint64
+	found    bool
+	updated  bool
+	deleted  bool
+	inserted bool
+
+	// per-attempt state consumed by the prebuilt apply closures
+	lf   *leaf
+	slot int
+	bm   uint64
+
+	pathBuf   [maxDepth]*inner
+	splitRecs [leafCap + 1]rec
+	scanOut   []rec
+
+	// prebuilt closures (one allocation each, at scratch construction)
+	getBody     func(*htm.Tx) error
+	updateBody  func(*htm.Tx) error
+	deleteBody  func(*htm.Tx) error
+	insertBody  func(*htm.Tx) error
+	scanBody    func(*htm.Tx) error
+	applyUpdate func()
+	applyDelete func()
+	applyInsert func()
+}
+
+func newScratch(t *Tree) *opScratch {
+	sc := &opScratch{t: t}
+	sc.getBody = sc.doGet
+	sc.updateBody = sc.doUpdate
+	sc.deleteBody = sc.doDelete
+	sc.insertBody = sc.doInsert
+	sc.scanBody = sc.doScan
+	sc.applyUpdate = func() { sc.lf.vals[sc.slot].Store(sc.v) }
+	sc.applyDelete = func() { sc.lf.bitmap.Store(sc.bm &^ (1 << uint(sc.slot))) }
+	sc.applyInsert = func() {
+		lf, slot := sc.lf, sc.slot
+		lf.fps[slot].Store(fingerprint(sc.k))
+		lf.keys[slot].Store(sc.k)
+		lf.vals[slot].Store(sc.v)
+		lf.bitmap.Store(sc.bm | 1<<uint(slot)) // publish last
+	}
+	return sc
+}
+
+func (t *Tree) getScratch() *opScratch { return t.scratch.Get().(*opScratch) }
+
+func (t *Tree) putScratch(sc *opScratch) {
+	sc.st = nil
+	sc.lf = nil
+	if cap(sc.scanOut) > maxRetainedScan {
+		sc.scanOut = nil
+	}
+	t.scratch.Put(sc)
+}
 
 // Name implements index.Index.
 func (t *Tree) Name() string { return "FP-Tree" }
@@ -95,8 +181,8 @@ func (t *Tree) Scheme() index.Scheme { return index.SchemeHTM }
 // ConcurrentReadSafe reports true: reads run inside the software-HTM
 // region's version-lock validation, inner-node content is copy-on-write
 // behind an atomic pointer, and leaf bitmap/fingerprint/key/value cells are
-// atomic — so a concurrent read is race-clean, though not allocation-free
-// (each read opens a transaction descriptor; see index.ConcurrentReadSafe).
+// atomic — so a concurrent read is race-clean (and allocation-free at
+// steady state: the transaction descriptor and op scratch are pooled).
 func (t *Tree) ConcurrentReadSafe() bool { return true }
 
 // Len implements index.Index.
@@ -108,14 +194,14 @@ func (t *Tree) HTMStats() *htm.Stats { return &t.region.Stats }
 
 // descend walks from the root to the leaf covering k inside tx, registering
 // every cell on the path in the transaction's read set. It returns the leaf
-// and its parent chain (nearest last).
-func (t *Tree) descend(tx *htm.Tx, k uint64, st *index.OpStats) (*leaf, []*inner, error) {
+// and its parent chain (nearest last), appended into path (normally the
+// scratch's fixed-size array, so no allocation below maxDepth).
+func (t *Tree) descend(tx *htm.Tx, k uint64, st *index.OpStats, path []*inner) (*leaf, []*inner, error) {
 	if err := tx.Read(&t.rootCell); err != nil {
 		return nil, nil, err
 	}
 	ref := t.root.Load()
 	node := ref.node
-	var path []*inner
 	depth := uint64(0)
 	for {
 		switch n := node.(type) {
@@ -182,30 +268,48 @@ func probe(lf *leaf, k uint64, st *index.OpStats) int {
 	return -1
 }
 
+func (sc *opScratch) doGet(tx *htm.Tx) error {
+	sc.val, sc.found = 0, false
+	lf, _, err := sc.t.descend(tx, sc.k, sc.st, sc.pathBuf[:0])
+	if err != nil {
+		return err
+	}
+	if i := probe(lf, sc.k, sc.st); i >= 0 {
+		sc.val = lf.vals[i].Load()
+		sc.found = true
+	}
+	return nil
+}
+
 // Get implements index.Index.
 func (t *Tree) Get(k uint64, st *index.OpStats) (uint64, bool) {
 	if st != nil {
 		st.Ops++
 	}
-	var val uint64
-	var found bool
-	err := t.region.Atomic(func(tx *htm.Tx) error {
-		val, found = 0, false
-		lf, _, err := t.descend(tx, k, st)
-		if err != nil {
-			return err
-		}
-		if i := probe(lf, k, st); i >= 0 {
-			val = lf.vals[i].Load()
-			found = true
-		}
-		return nil
-	})
-	if err != nil {
+	sc := t.getScratch()
+	sc.k, sc.st = k, st
+	if err := t.region.Atomic(sc.getBody); err != nil {
 		// Atomic only surfaces non-abort errors, which we never generate.
 		panic("fptree: unexpected transaction error: " + err.Error())
 	}
+	val, found := sc.val, sc.found
+	t.putScratch(sc)
 	return val, found
+}
+
+func (sc *opScratch) doUpdate(tx *htm.Tx) error {
+	sc.updated = false
+	lf, _, err := sc.t.descend(tx, sc.k, sc.st, sc.pathBuf[:0])
+	if err != nil {
+		return err
+	}
+	i := probe(lf, sc.k, sc.st)
+	if i < 0 {
+		return nil
+	}
+	sc.lf, sc.slot = lf, i
+	sc.updated = true
+	return tx.Write(&lf.cell, sc.applyUpdate)
 }
 
 // Update implements index.Index: an in-place value store under the leaf cell.
@@ -213,24 +317,29 @@ func (t *Tree) Update(k, v uint64, st *index.OpStats) bool {
 	if st != nil {
 		st.Ops++
 	}
-	var updated bool
-	err := t.region.Atomic(func(tx *htm.Tx) error {
-		updated = false
-		lf, _, err := t.descend(tx, k, st)
-		if err != nil {
-			return err
-		}
-		i := probe(lf, k, st)
-		if i < 0 {
-			return nil
-		}
-		updated = true
-		return tx.Write(&lf.cell, func() { lf.vals[i].Store(v) })
-	})
-	if err != nil {
+	sc := t.getScratch()
+	sc.k, sc.v, sc.st = k, v, st
+	if err := t.region.Atomic(sc.updateBody); err != nil {
 		panic("fptree: unexpected transaction error: " + err.Error())
 	}
+	updated := sc.updated
+	t.putScratch(sc)
 	return updated
+}
+
+func (sc *opScratch) doDelete(tx *htm.Tx) error {
+	sc.deleted = false
+	lf, _, err := sc.t.descend(tx, sc.k, sc.st, sc.pathBuf[:0])
+	if err != nil {
+		return err
+	}
+	i := probe(lf, sc.k, sc.st)
+	if i < 0 {
+		return nil
+	}
+	sc.lf, sc.slot, sc.bm = lf, i, lf.bitmap.Load()
+	sc.deleted = true
+	return tx.Write(&lf.cell, sc.applyDelete)
 }
 
 // Delete implements index.Index: the unsorted-leaf design makes removal a
@@ -240,30 +349,39 @@ func (t *Tree) Delete(k uint64, st *index.OpStats) bool {
 	if st != nil {
 		st.Ops++
 	}
-	var deleted bool
-	err := t.region.Atomic(func(tx *htm.Tx) error {
-		deleted = false
-		lf, _, err := t.descend(tx, k, st)
-		if err != nil {
-			return err
-		}
-		i := probe(lf, k, st)
-		if i < 0 {
-			return nil
-		}
-		deleted = true
-		bm := lf.bitmap.Load()
-		return tx.Write(&lf.cell, func() {
-			lf.bitmap.Store(bm &^ (1 << uint(i)))
-		})
-	})
-	if err != nil {
+	sc := t.getScratch()
+	sc.k, sc.st = k, st
+	if err := t.region.Atomic(sc.deleteBody); err != nil {
 		panic("fptree: unexpected transaction error: " + err.Error())
 	}
+	deleted := sc.deleted
+	t.putScratch(sc)
 	if deleted {
 		t.count.Add(-1)
 	}
 	return deleted
+}
+
+func (sc *opScratch) doInsert(tx *htm.Tx) error {
+	sc.inserted = false
+	lf, path, err := sc.t.descend(tx, sc.k, sc.st, sc.pathBuf[:0])
+	if err != nil {
+		return err
+	}
+	if probe(lf, sc.k, sc.st) >= 0 {
+		return nil // duplicate
+	}
+	bm := lf.bitmap.Load()
+	if slot := freeSlot(bm); slot >= 0 {
+		sc.lf, sc.slot, sc.bm = lf, slot, bm
+		sc.inserted = true
+		return tx.Write(&lf.cell, sc.applyInsert)
+	}
+	// Leaf full: split, then insert into the proper half. The split
+	// plan is computed here (reads only); all mutations are deferred
+	// writes under the cells of the modified nodes.
+	sc.inserted = true
+	return sc.t.planSplitInsert(tx, sc, lf, path)
 }
 
 // Insert implements index.Index.
@@ -271,35 +389,13 @@ func (t *Tree) Insert(k, v uint64, st *index.OpStats) bool {
 	if st != nil {
 		st.Ops++
 	}
-	var inserted bool
-	err := t.region.Atomic(func(tx *htm.Tx) error {
-		inserted = false
-		lf, path, err := t.descend(tx, k, st)
-		if err != nil {
-			return err
-		}
-		if probe(lf, k, st) >= 0 {
-			return nil // duplicate
-		}
-		bm := lf.bitmap.Load()
-		if slot := freeSlot(bm); slot >= 0 {
-			inserted = true
-			return tx.Write(&lf.cell, func() {
-				lf.fps[slot].Store(fingerprint(k))
-				lf.keys[slot].Store(k)
-				lf.vals[slot].Store(v)
-				lf.bitmap.Store(bm | 1<<uint(slot)) // publish last
-			})
-		}
-		// Leaf full: split, then insert into the proper half. The split
-		// plan is computed here (reads only); all mutations are deferred
-		// writes under the cells of the modified nodes.
-		inserted = true
-		return t.planSplitInsert(tx, lf, path, k, v, st)
-	})
-	if err != nil {
+	sc := t.getScratch()
+	sc.k, sc.v, sc.st = k, v, st
+	if err := t.region.Atomic(sc.insertBody); err != nil {
 		panic("fptree: unexpected transaction error: " + err.Error())
 	}
+	inserted := sc.inserted
+	t.putScratch(sc)
 	if inserted {
 		t.count.Add(1)
 	}
@@ -315,18 +411,31 @@ func freeSlot(bm uint64) int {
 	return -1
 }
 
-// planSplitInsert splits the full leaf lf around its median, inserts (k, v)
-// into the correct half, and updates the parent chain, growing the tree if
-// the root splits. All modifications are registered as transactional writes.
-func (t *Tree) planSplitInsert(tx *htm.Tx, lf *leaf, path []*inner, k, v uint64, st *index.OpStats) error {
+// insertionSortRecs sorts a small rec slice by key in place. Used instead
+// of sort.Slice on the ≤33-entry split and per-leaf scan batches, both to
+// stay allocation-free (sort.Slice builds a reflect-based swapper) and
+// because the batches are tiny.
+func insertionSortRecs(a []rec) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j].k < a[j-1].k; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// planSplitInsert splits the full leaf lf around its median, inserts
+// (sc.k, sc.v) into the correct half, and updates the parent chain, growing
+// the tree if the root splits. All modifications are registered as
+// transactional writes. The split path allocates (it publishes new nodes);
+// that cost is structural and amortises to <1/leafCap per insert.
+func (t *Tree) planSplitInsert(tx *htm.Tx, sc *opScratch, lf *leaf, path []*inner) error {
 	// Snapshot the full leaf (bitmap is all-ones here).
-	type rec struct{ k, v uint64 }
-	recs := make([]rec, 0, leafCap+1)
+	recs := sc.splitRecs[:0]
 	for i := 0; i < leafCap; i++ {
 		recs = append(recs, rec{lf.keys[i].Load(), lf.vals[i].Load()})
 	}
-	recs = append(recs, rec{k, v})
-	sort.Slice(recs, func(i, j int) bool { return recs[i].k < recs[j].k })
+	recs = append(recs, rec{sc.k, sc.v})
+	insertionSortRecs(recs)
 	mid := len(recs) / 2
 	sep := recs[mid].k // first key of the right leaf
 
@@ -340,6 +449,7 @@ func (t *Tree) planSplitInsert(tx *htm.Tx, lf *leaf, path []*inner, k, v uint64,
 		right.vals[i].Store(r.v)
 		rightBM |= 1 << uint(i)
 	}
+	st := sc.st
 	if st != nil {
 		st.Splits++
 		st.BytesCopied += uint64(len(recs) * 16)
@@ -411,64 +521,67 @@ func (t *Tree) propagateSplit(tx *htm.Tx, path []*inner, left, right any, sep ui
 	return t.propagateSplit(tx, path[:len(path)-1], parent, rightInner, up, st)
 }
 
+func (sc *opScratch) doScan(tx *htm.Tx) error {
+	sc.scanOut = sc.scanOut[:0]
+	lf, _, err := sc.t.descend(tx, sc.lo, sc.st, sc.pathBuf[:0])
+	if err != nil {
+		return err
+	}
+	for lf != nil {
+		start := len(sc.scanOut)
+		bm := lf.bitmap.Load()
+		minKey := uint64(1<<64 - 1)
+		for i := 0; i < leafCap; i++ {
+			if bm&(1<<uint(i)) == 0 {
+				continue
+			}
+			k := lf.keys[i].Load()
+			if k < minKey {
+				minKey = k
+			}
+			if k >= sc.lo && k <= sc.hi {
+				sc.scanOut = append(sc.scanOut, rec{k, lf.vals[i].Load()})
+			}
+		}
+		// Leaves are unsorted internally but the chain is in key order,
+		// so sorting each leaf's batch keeps the whole result sorted.
+		insertionSortRecs(sc.scanOut[start:])
+		if bm != 0 && minKey > sc.hi {
+			break
+		}
+		next := lf.next.Load()
+		if next == nil {
+			break
+		}
+		if err := tx.Read(&next.cell); err != nil {
+			return err
+		}
+		sc.st.Visit(1, index.CacheLines(leafBytes))
+		lf = next
+	}
+	return nil
+}
+
 // Scan implements index.Ranger. Leaves are unsorted, so each leaf's live
-// records are collected and sorted before yielding. Large scans may exceed
-// HTM capacity and execute on the fallback path — the behaviour a real
-// HTM-synchronised FP-Tree exhibits.
+// records are collected into the scratch buffer and insertion-sorted before
+// yielding. Large scans may exceed HTM capacity and execute on the fallback
+// path — the behaviour a real HTM-synchronised FP-Tree exhibits.
 func (t *Tree) Scan(lo, hi uint64, fn func(k, v uint64) bool, st *index.OpStats) int {
 	if st != nil {
 		st.Ops++
 	}
-	type rec struct{ k, v uint64 }
-	var out []rec
-	err := t.region.Atomic(func(tx *htm.Tx) error {
-		out = out[:0]
-		lf, _, err := t.descend(tx, lo, st)
-		if err != nil {
-			return err
-		}
-		for lf != nil {
-			var batch []rec
-			bm := lf.bitmap.Load()
-			minKey := uint64(1<<64 - 1)
-			for i := 0; i < leafCap; i++ {
-				if bm&(1<<uint(i)) == 0 {
-					continue
-				}
-				k := lf.keys[i].Load()
-				if k < minKey {
-					minKey = k
-				}
-				if k >= lo && k <= hi {
-					batch = append(batch, rec{k, lf.vals[i].Load()})
-				}
-			}
-			sort.Slice(batch, func(i, j int) bool { return batch[i].k < batch[j].k })
-			out = append(out, batch...)
-			if bm != 0 && minKey > hi {
-				break
-			}
-			next := lf.next.Load()
-			if next == nil {
-				break
-			}
-			if err := tx.Read(&next.cell); err != nil {
-				return err
-			}
-			st.Visit(1, index.CacheLines(leafBytes))
-			lf = next
-		}
-		return nil
-	})
-	if err != nil {
+	sc := t.getScratch()
+	sc.lo, sc.hi, sc.st = lo, hi, st
+	if err := t.region.Atomic(sc.scanBody); err != nil {
 		panic("fptree: unexpected transaction error: " + err.Error())
 	}
 	n := 0
-	for _, r := range out {
+	for _, r := range sc.scanOut {
 		n++
 		if !fn(r.k, r.v) {
 			break
 		}
 	}
+	t.putScratch(sc)
 	return n
 }

@@ -1,0 +1,232 @@
+// Package mem provides per-domain arena allocation in the SpeedMalloc
+// style: each domain worker owns an Arena and bump-allocates transaction
+// scratch (row copies, scan results, WAL effect records) from
+// size-classed slabs, recycling everything at transaction / sweep-batch
+// boundaries. The ownership rule mirrors the delegation runtime's: only
+// the owning worker calls Alloc/Reset/Discard; Stats and Epoch are safe
+// from any goroutine (they read atomics only) so the obs sampler can
+// watch allocator pressure without synchronising with the worker.
+//
+// Memory handed out by Alloc is pointer-free ([]byte) so the GC never
+// scans slab interiors. Data that crosses back to a client MUST be
+// copied out before the sweep ends (the escape rule, DESIGN.md §14);
+// holders that cache arena memory across operations must revalidate
+// against Epoch.
+package mem
+
+import "sync/atomic"
+
+// Size classes. An allocation of n bytes is served from the smallest
+// class with capacity ≥ n; larger requests fall through to the Go heap
+// and are counted as overflows. Class slabs are sized as a multiple of
+// the class cap so even the largest class fits several allocations per
+// slab.
+var classCaps = [...]int{64, 512, 4096, 32768}
+
+const (
+	numClasses = len(classCaps)
+	// slabAllocs is how many max-size allocations one slab of a class
+	// holds. Tuned via Options.SlabAllocs.
+	defaultSlabAllocs = 8
+	align             = 8
+)
+
+// Options configures an Arena. The zero value is usable.
+type Options struct {
+	// SlabAllocs sizes each slab at SlabAllocs × classCap bytes.
+	// 0 means the default (8).
+	SlabAllocs int
+	// MaxBytes caps total retained slab capacity. Once reached, new
+	// slab growth is refused and allocations overflow to the heap
+	// (counted). 0 means unlimited.
+	MaxBytes int
+}
+
+type sizeClass struct {
+	cap   int      // max allocation size for this class
+	slab  []byte   // active slab being bump-allocated
+	off   int      // bump offset into slab
+	full  [][]byte // filled slabs awaiting Reset
+	free  [][]byte // recycled slabs ready for reuse
+	slabB int      // slab size in bytes
+}
+
+// Arena is a size-classed slab allocator owned by one goroutine.
+type Arena struct {
+	classes [numClasses]sizeClass
+	opts    Options
+
+	// Cross-thread-readable telemetry. Written only by the owner via
+	// atomic stores; read by anyone.
+	epoch     atomic.Uint64
+	liveBytes atomic.Int64 // bytes handed out since last Reset
+	capBytes  atomic.Int64 // total retained slab capacity
+	overflows atomic.Int64 // allocations that fell through to the heap
+	overflowB atomic.Int64 // bytes of those allocations
+	resets    atomic.Int64
+	discards  atomic.Int64
+
+	live int // owner-local mirror of liveBytes (avoids RMW per alloc)
+}
+
+// Stats is a point-in-time snapshot of arena telemetry.
+type Stats struct {
+	Epoch         uint64
+	LiveBytes     int64 // bytes handed out since the last reset
+	CapBytes      int64 // retained slab capacity
+	Overflows     int64 // cumulative heap-fallback allocations
+	OverflowBytes int64
+	Resets        int64
+	Discards      int64
+}
+
+// New returns an empty Arena. Slabs are allocated lazily on first use
+// of each size class, so an arena for a domain that never materialises
+// rows costs nothing.
+func New(opts Options) *Arena {
+	if opts.SlabAllocs <= 0 {
+		opts.SlabAllocs = defaultSlabAllocs
+	}
+	a := &Arena{opts: opts}
+	for i := range a.classes {
+		a.classes[i].cap = classCaps[i]
+		a.classes[i].slabB = classCaps[i] * opts.SlabAllocs
+	}
+	return a
+}
+
+// Alloc returns a zeroed(-on-first-use) byte slice of length n valid
+// until the next Reset or Discard. Contents of recycled memory are NOT
+// cleared on Reset — callers own initialisation, and nothing may hold a
+// reference across a reset (enforced by Epoch validation in holders and
+// the bypass seqlock at the runtime layer). Owner-only.
+func (a *Arena) Alloc(n int) []byte {
+	if n == 0 {
+		return nil
+	}
+	need := (n + align - 1) &^ (align - 1)
+	for i := range a.classes {
+		c := &a.classes[i]
+		if need > c.cap {
+			continue
+		}
+		if c.off+need > len(c.slab) {
+			if !a.growClass(c) {
+				break // capacity-limited: overflow to heap
+			}
+		}
+		b := c.slab[c.off : c.off+n : c.off+need]
+		c.off += need
+		a.live += need
+		a.liveBytes.Store(int64(a.live))
+		return b
+	}
+	// Oversized or capacity-limited: fall back to the heap, counted so
+	// the obs layer can surface mis-sized configurations.
+	a.overflows.Add(1)
+	a.overflowB.Add(int64(n))
+	return make([]byte, n)
+}
+
+// growClass installs a fresh slab for c, recycling one if available.
+// Returns false when MaxBytes would be exceeded; the active slab is
+// only retired once a replacement is in hand.
+func (a *Arena) growClass(c *sizeClass) bool {
+	if k := len(c.free); k > 0 {
+		if c.slab != nil {
+			c.full = append(c.full, c.slab)
+		}
+		c.slab = c.free[k-1]
+		c.free[k-1] = nil
+		c.free = c.free[:k-1]
+		c.off = 0
+		return true
+	}
+	if a.opts.MaxBytes > 0 && int(a.capBytes.Load())+c.slabB > a.opts.MaxBytes {
+		return false
+	}
+	if c.slab != nil {
+		c.full = append(c.full, c.slab)
+	}
+	c.slab = make([]byte, c.slabB)
+	c.off = 0
+	a.capBytes.Add(int64(c.slabB))
+	return true
+}
+
+// Reset recycles every slab for reuse and bumps the epoch. All slices
+// previously returned by Alloc become invalid (their bytes will be
+// rewritten by future allocations). Owner-only; the runtime calls this
+// at sweep-batch boundaries and under the checkpoint quiesce gate.
+func (a *Arena) Reset() {
+	for i := range a.classes {
+		c := &a.classes[i]
+		for j, s := range c.full {
+			c.free = append(c.free, s)
+			c.full[j] = nil
+		}
+		c.full = c.full[:0]
+		c.off = 0
+	}
+	a.live = 0
+	a.liveBytes.Store(0)
+	a.resets.Add(1)
+	a.epoch.Add(1)
+}
+
+// Discard drops every slab back to the garbage collector and bumps the
+// epoch. Used on crash recovery: replay must never see recycled memory,
+// so the respawned worker starts from virgin slabs. Owner-only (called
+// by the supervisor while the domain is quiesced).
+func (a *Arena) Discard() {
+	for i := range a.classes {
+		c := &a.classes[i]
+		c.slab = nil
+		c.off = 0
+		for j := range c.full {
+			c.full[j] = nil
+		}
+		for j := range c.free {
+			c.free[j] = nil
+		}
+		c.full = c.full[:0]
+		c.free = c.free[:0]
+	}
+	a.live = 0
+	a.liveBytes.Store(0)
+	a.capBytes.Store(0)
+	a.discards.Add(1)
+	a.epoch.Add(1)
+}
+
+// Epoch returns the reset/discard generation. Holders that cache arena
+// memory must capture Epoch at allocation time and revalidate before
+// reuse. Safe from any goroutine.
+func (a *Arena) Epoch() uint64 { return a.epoch.Load() }
+
+// Snapshot returns current telemetry. Safe from any goroutine.
+func (a *Arena) Snapshot() Stats {
+	return Stats{
+		Epoch:         a.epoch.Load(),
+		LiveBytes:     a.liveBytes.Load(),
+		CapBytes:      a.capBytes.Load(),
+		Overflows:     a.overflows.Load(),
+		OverflowBytes: a.overflowB.Load(),
+		Resets:        a.resets.Load(),
+		Discards:      a.discards.Load(),
+	}
+}
+
+// Occupancy returns live/capacity in [0,1]; 0 when no slabs are
+// retained. Safe from any goroutine.
+func (a *Arena) Occupancy() float64 {
+	capB := a.capBytes.Load()
+	if capB == 0 {
+		return 0
+	}
+	occ := float64(a.liveBytes.Load()) / float64(capB)
+	if occ > 1 {
+		occ = 1
+	}
+	return occ
+}

@@ -1,0 +1,173 @@
+package mem
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestAllocBasics(t *testing.T) {
+	a := New(Options{})
+	sizes := []int{1, 7, 8, 63, 64, 65, 511, 512, 513, 4096, 4097, 32768}
+	var got [][]byte
+	for _, n := range sizes {
+		b := a.Alloc(n)
+		if len(b) != n {
+			t.Fatalf("Alloc(%d) len=%d", n, len(b))
+		}
+		for i := range b {
+			b[i] = byte(n)
+		}
+		got = append(got, b)
+	}
+	// No two live allocations may share bytes within a reset window.
+	for i, b := range got {
+		for j := range b {
+			if b[j] != byte(sizes[i]) {
+				t.Fatalf("allocation %d (size %d) clobbered at byte %d: got %d", i, sizes[i], j, b[j])
+			}
+		}
+	}
+	if s := a.Snapshot(); s.Overflows != 0 {
+		t.Fatalf("unexpected overflows: %+v", s)
+	}
+	if a.Alloc(0) != nil {
+		t.Fatal("Alloc(0) should be nil")
+	}
+}
+
+func TestOversizedOverflows(t *testing.T) {
+	a := New(Options{})
+	b := a.Alloc(classCaps[numClasses-1] + 1)
+	if len(b) != classCaps[numClasses-1]+1 {
+		t.Fatalf("oversized alloc len=%d", len(b))
+	}
+	s := a.Snapshot()
+	if s.Overflows != 1 || s.OverflowBytes != int64(classCaps[numClasses-1]+1) {
+		t.Fatalf("overflow not counted: %+v", s)
+	}
+}
+
+func TestMaxBytesOverflows(t *testing.T) {
+	a := New(Options{SlabAllocs: 1, MaxBytes: 64})
+	if b := a.Alloc(64); len(b) != 64 {
+		t.Fatal("first slab alloc failed")
+	}
+	// Second 64B allocation needs a second slab in class 0 but MaxBytes
+	// is exhausted; it must still succeed, via the heap.
+	if b := a.Alloc(64); len(b) != 64 {
+		t.Fatal("overflow alloc failed")
+	}
+	if s := a.Snapshot(); s.Overflows == 0 {
+		t.Fatalf("capacity overflow not counted: %+v", s)
+	}
+}
+
+func TestResetRecyclesWithoutGrowth(t *testing.T) {
+	a := New(Options{})
+	warm := func() {
+		for i := 0; i < 50; i++ {
+			a.Alloc(48)
+			a.Alloc(200)
+			a.Alloc(2000)
+		}
+		a.Reset()
+	}
+	warm()
+	capAfterWarm := a.Snapshot().CapBytes
+	allocs := testing.AllocsPerRun(100, warm)
+	if allocs != 0 {
+		t.Fatalf("steady-state arena cycle allocates: %v allocs/op", allocs)
+	}
+	if got := a.Snapshot().CapBytes; got != capAfterWarm {
+		t.Fatalf("capacity grew across steady-state cycles: %d -> %d", capAfterWarm, got)
+	}
+	if s := a.Snapshot(); s.Overflows != 0 {
+		t.Fatalf("unexpected overflows: %+v", s)
+	}
+}
+
+func TestEpochAndDiscard(t *testing.T) {
+	a := New(Options{})
+	e0 := a.Epoch()
+	a.Alloc(100)
+	a.Reset()
+	if a.Epoch() != e0+1 {
+		t.Fatalf("Reset must bump epoch: %d -> %d", e0, a.Epoch())
+	}
+	a.Alloc(100)
+	a.Discard()
+	if a.Epoch() != e0+2 {
+		t.Fatalf("Discard must bump epoch: got %d", a.Epoch())
+	}
+	s := a.Snapshot()
+	if s.CapBytes != 0 || s.LiveBytes != 0 {
+		t.Fatalf("Discard must drop all slabs: %+v", s)
+	}
+	if s.Resets != 1 || s.Discards != 1 {
+		t.Fatalf("counter mismatch: %+v", s)
+	}
+	// Arena is reusable after Discard.
+	if b := a.Alloc(64); len(b) != 64 {
+		t.Fatal("alloc after discard failed")
+	}
+}
+
+func TestOccupancy(t *testing.T) {
+	a := New(Options{})
+	if a.Occupancy() != 0 {
+		t.Fatal("empty arena occupancy != 0")
+	}
+	a.Alloc(64)
+	if occ := a.Occupancy(); occ <= 0 || occ > 1 {
+		t.Fatalf("occupancy out of range: %v", occ)
+	}
+	a.Reset()
+	if a.Occupancy() != 0 {
+		t.Fatalf("post-reset occupancy: %v", a.Occupancy())
+	}
+}
+
+// TestSnapshotConcurrent exercises the cross-goroutine telemetry reads
+// (obs sampler shape) under -race while the owner allocates and resets.
+func TestSnapshotConcurrent(t *testing.T) {
+	a := New(Options{})
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			_ = a.Snapshot()
+			_ = a.Occupancy()
+			_ = a.Epoch()
+		}
+	}()
+	for i := 0; i < 10000; i++ {
+		a.Alloc(i%1000 + 1)
+		if i%64 == 63 {
+			a.Reset()
+		}
+	}
+	a.Discard()
+	close(done)
+	wg.Wait()
+}
+
+func BenchmarkArenaAllocReset(b *testing.B) {
+	a := New(Options{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Alloc(48)
+		a.Alloc(200)
+		a.Alloc(2000)
+		if i%16 == 15 {
+			a.Reset()
+		}
+	}
+}

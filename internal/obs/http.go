@@ -138,6 +138,22 @@ func (o *Observer) writeMetrics(w http.ResponseWriter) {
 		func(d DomainSnapshot) uint64 { return d.WALReplayed })
 	counter("robustconf_wal_replay_ns_total", "Wall time spent replaying the WAL (ns).",
 		func(d DomainSnapshot) uint64 { return d.WALReplayNs })
+	fmt.Fprintf(w, "# HELP robustconf_arena_live_bytes Worker-arena bytes handed out since the last reset, by domain.\n")
+	fmt.Fprintf(w, "# TYPE robustconf_arena_live_bytes gauge\n")
+	for _, d := range snap.Domains {
+		fmt.Fprintf(w, "robustconf_arena_live_bytes{domain=%q} %d\n", d.Name, d.ArenaLiveBytes)
+	}
+	fmt.Fprintf(w, "# HELP robustconf_arena_capacity_bytes Worker-arena retained slab capacity, by domain.\n")
+	fmt.Fprintf(w, "# TYPE robustconf_arena_capacity_bytes gauge\n")
+	for _, d := range snap.Domains {
+		fmt.Fprintf(w, "robustconf_arena_capacity_bytes{domain=%q} %d\n", d.Name, d.ArenaCapBytes)
+	}
+	counter("robustconf_arena_overflows_total", "Arena allocations that fell back to the heap (mis-sized slabs).",
+		func(d DomainSnapshot) uint64 { return uint64(d.ArenaOverflows) })
+	counter("robustconf_arena_resets_total", "Arena batch-boundary recycles.",
+		func(d DomainSnapshot) uint64 { return uint64(d.ArenaResets) })
+	counter("robustconf_arena_discards_total", "Arena crash-recovery discards (slabs returned to the GC).",
+		func(d DomainSnapshot) uint64 { return uint64(d.ArenaDiscards) })
 	fmt.Fprintf(w, "# HELP robustconf_wal_checkpoint_age_seconds Age of the domain's last completed checkpoint (-1 = no WAL or no checkpoint).\n")
 	fmt.Fprintf(w, "# TYPE robustconf_wal_checkpoint_age_seconds gauge\n")
 	now := time.Now().UnixNano()

@@ -206,6 +206,15 @@ type DomainExternal struct {
 	WALReplayNs       uint64
 	WALCommitted      uint64
 	WALLastCheckpoint int64
+	// Arena telemetry (zero when the runtime runs without worker arenas):
+	// live/retained slab bytes summed over the domain's worker arenas
+	// (gauges), plus cumulative heap-overflow allocations and
+	// reset/discard epochs (counters).
+	ArenaLiveBytes int64
+	ArenaCapBytes  int64
+	ArenaOverflows int64
+	ArenaResets    int64
+	ArenaDiscards  int64
 }
 
 // SetExternal installs the snapshot-time callback for external counters.
@@ -249,7 +258,14 @@ type DomainSnapshot struct {
 	WALReplayNs       uint64
 	WALCommitted      uint64
 	WALLastCheckpoint int64
-	SweepNs           metrics.HistogramSnapshot
+	// Arena view (see DomainExternal): worker-arena occupancy and
+	// recycle/overflow volume for the domain.
+	ArenaLiveBytes int64
+	ArenaCapBytes  int64
+	ArenaOverflows int64
+	ArenaResets    int64
+	ArenaDiscards  int64
+	SweepNs        metrics.HistogramSnapshot
 	ExecNs            metrics.HistogramSnapshot
 	RespNs            metrics.HistogramSnapshot
 }
@@ -308,6 +324,11 @@ func (d *DomainObs) snapshotInto(s *DomainSnapshot) {
 		s.WALReplayNs = ext.WALReplayNs
 		s.WALCommitted = ext.WALCommitted
 		s.WALLastCheckpoint = ext.WALLastCheckpoint
+		s.ArenaLiveBytes = ext.ArenaLiveBytes
+		s.ArenaCapBytes = ext.ArenaCapBytes
+		s.ArenaOverflows = ext.ArenaOverflows
+		s.ArenaResets = ext.ArenaResets
+		s.ArenaDiscards = ext.ArenaDiscards
 	}
 }
 
@@ -344,6 +365,13 @@ func (s *DomainSnapshot) merge(o DomainSnapshot) {
 	s.WALReplayed += o.WALReplayed
 	s.WALReplayNs += o.WALReplayNs
 	s.WALCommitted += o.WALCommitted
+	// Live-instance gauges, like BudgetRemaining above; overflow and
+	// reset/discard volume are cumulative.
+	s.ArenaLiveBytes = o.ArenaLiveBytes
+	s.ArenaCapBytes = o.ArenaCapBytes
+	s.ArenaOverflows += o.ArenaOverflows
+	s.ArenaResets += o.ArenaResets
+	s.ArenaDiscards += o.ArenaDiscards
 	s.SweepNs.Merge(o.SweepNs)
 	s.ExecNs.Merge(o.ExecNs)
 	s.RespNs.Merge(o.RespNs)

@@ -116,8 +116,11 @@ func (w *Warehouse) WALSnapshot(dst io.Writer) error {
 // composites never arm bypass reads), so the in-place swap is unobservable.
 func (w *Warehouse) WALRestore(src io.Reader) error {
 	seen := map[tpcc.Table]bool{}
+	// One reusable frame buffer for the whole stream: each frame is fully
+	// loaded into fresh index nodes before the next read overwrites it.
+	fr := wal.NewFrameReader(src)
 	for {
-		frame, err := wal.ReadFrame(src)
+		frame, err := fr.Next()
 		if err == io.EOF {
 			break
 		}

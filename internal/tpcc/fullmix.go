@@ -35,32 +35,23 @@ func (t *Terminal) execDelivery(as AsyncStore) error {
 		// Oldest new order of the district: the minimum key in the
 		// district's NewOrders range.
 		lo, hi := OrderKey(d, 0), OrderKey(d, (1<<40)-1)
-		var oldest uint64
-		found := false
-		if _, err := as.Scan(w, NewOrders, lo, hi, func(k, v uint64) bool {
-			oldest = k
-			found = true
-			return false // first key is the minimum
-		}); err != nil {
+		t.delFound = false
+		if _, err := as.Scan(w, NewOrders, lo, hi, t.delMinCB); err != nil {
 			return err
 		}
-		if !found {
+		if !t.delFound {
 			continue // nothing to deliver in this district (allowed)
 		}
+		oldest := t.delOldest
 		fdel := as.DeleteAsync(w, NewOrders, oldest)
 		o := int(oldest & ((1 << 40) - 1))
 		fcu := as.GetAsync(w, Orders, OrderKey(d, o))
 
 		// Collect the order's lines, then price them as one flight.
-		nLines := 0
+		t.delN = 0
 		llo, lhi := OrderLineKey(d, o, 0), OrderLineKey(d, o, 255)
-		_, scanErr := as.Scan(w, OrderLines, llo, lhi, func(k, v uint64) bool {
-			if nLines < len(t.lineBuf) {
-				t.lineBuf[nLines] = v
-				nLines++
-			}
-			return true
-		})
+		_, scanErr := as.Scan(w, OrderLines, llo, lhi, t.delLineCB)
+		nLines := t.delN
 		for i := 0; i < nLines; i++ {
 			item, _ := UnpackLine(t.lineBuf[i])
 			t.futA[i] = as.GetAsync(w, ItemPrice, ItemKey(item))
@@ -142,10 +133,7 @@ func (t *Terminal) execOrderStatus(s Store, p *osParams) error {
 	if p.byName {
 		lo, hi := CustomerNameRange(d, p.nameHash)
 		t.matches = t.matches[:0]
-		if _, err := s.Scan(w, CustomerByName, lo, hi, func(k, v uint64) bool {
-			t.matches = append(t.matches, int(v))
-			return true
-		}); err != nil {
+		if _, err := s.Scan(w, CustomerByName, lo, hi, t.matchCB); err != nil {
 			return err
 		}
 		if len(t.matches) == 0 {
@@ -159,15 +147,11 @@ func (t *Terminal) execOrderStatus(s Store, p *osParams) error {
 	// Most recent order of this customer: highest order id in the
 	// district whose Orders row names the customer.
 	lo, hi := OrderKey(d, 0), OrderKey(d, (1<<40)-1)
-	lastOrder := -1
-	if _, err := s.Scan(w, Orders, lo, hi, func(k, v uint64) bool {
-		if int(v) == cu {
-			lastOrder = int(k & ((1 << 40) - 1))
-		}
-		return true
-	}); err != nil {
+	t.osCu, t.osLast = cu, -1
+	if _, err := s.Scan(w, Orders, lo, hi, t.osLastCB); err != nil {
 		return err
 	}
+	lastOrder := t.osLast
 	if lastOrder >= 0 {
 		llo, lhi := OrderLineKey(d, lastOrder, 0), OrderLineKey(d, lastOrder, 255)
 		if _, err := s.Scan(w, OrderLines, llo, lhi, func(k, v uint64) bool { return true }); err != nil {
@@ -201,18 +185,14 @@ func (t *Terminal) execStockLevel(as AsyncStore, d int) error {
 	if first < 1 {
 		first = 1
 	}
-	items := map[int]struct{}{}
+	clear(t.slItems) // reused map: clearing keeps the buckets allocated
 	llo := OrderLineKey(d, first, 0)
 	lhi := OrderLineKey(d, int(next), 255)
-	if _, err := as.Scan(w, OrderLines, llo, lhi, func(k, v uint64) bool {
-		item, _ := UnpackLine(v)
-		items[item] = struct{}{}
-		return true
-	}); err != nil {
+	if _, err := as.Scan(w, OrderLines, llo, lhi, t.slItemCB); err != nil {
 		return err
 	}
 	t.futExtra = t.futExtra[:0]
-	for item := range items {
+	for item := range t.slItems {
 		t.futExtra = append(t.futExtra, as.GetAsync(w, StockQuantity, StockKey(item)))
 	}
 	low := 0

@@ -137,10 +137,17 @@ func NameHash(name string) uint32 {
 // lastNameSyllables per the TPC-C specification.
 var lastNameSyllables = [...]string{"BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING"}
 
-// LastName builds the TPC-C last name for a number (0-999).
-func LastName(n int) string {
-	return lastNameSyllables[n/100%10] + lastNameSyllables[n/10%10] + lastNameSyllables[n%10]
-}
+// lastNames interns all 1000 possible TPC-C last names so drawing one on
+// the transaction hot path never allocates.
+var lastNames = func() (t [1000]string) {
+	for n := range t {
+		t[n] = lastNameSyllables[n/100%10] + lastNameSyllables[n/10%10] + lastNameSyllables[n%10]
+	}
+	return
+}()
+
+// LastName returns the TPC-C last name for a number (0-999).
+func LastName(n int) string { return lastNames[n%1000] }
 
 // Config sizes a generated database.
 type Config struct {

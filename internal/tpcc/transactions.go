@@ -56,6 +56,23 @@ type Terminal struct {
 	futD     [MaxItemsPerOrder]StmtFuture
 	futExtra []StmtFuture
 
+	// Prebuilt scan callbacks and the scratch cells they write through,
+	// so no statement body builds a capturing closure per call (a
+	// captured local escapes to the heap). Terminals are
+	// single-goroutine and bodies run one scan at a time, so one cell
+	// set suffices.
+	matchCB   func(k, v uint64) bool // appends to matches
+	delMinCB  func(k, v uint64) bool // records first (minimum) NewOrders key
+	delLineCB func(k, v uint64) bool // collects order lines into lineBuf
+	osLastCB  func(k, v uint64) bool // tracks the customer's highest order id
+	slItemCB  func(k, v uint64) bool // dedups items into slItems
+	delOldest uint64
+	delFound  bool
+	delN      int
+	osCu      int
+	osLast    int
+	slItems   map[int]struct{}
+
 	// Stats.
 	NewOrders     uint64
 	Payments      uint64
@@ -111,6 +128,34 @@ func NewTerminal(cfg Config, store Store, home int, remoteFrac float64, seed int
 	t.delFn = func(local Store) error { return t.execDelivery(t.asyncOn(local)) }
 	t.osFn = func(local Store) error { return t.execOrderStatus(local, &t.osp) }
 	t.slFn = func(local Store) error { return t.execStockLevel(t.asyncOn(local), t.sld) }
+	t.matchCB = func(k, v uint64) bool {
+		t.matches = append(t.matches, int(v))
+		return true
+	}
+	t.delMinCB = func(k, v uint64) bool {
+		t.delOldest = k
+		t.delFound = true
+		return false // first key is the minimum
+	}
+	t.delLineCB = func(k, v uint64) bool {
+		if t.delN < len(t.lineBuf) {
+			t.lineBuf[t.delN] = v
+			t.delN++
+		}
+		return true
+	}
+	t.osLastCB = func(k, v uint64) bool {
+		if int(v) == t.osCu {
+			t.osLast = int(k & ((1 << 40) - 1))
+		}
+		return true
+	}
+	t.slItems = make(map[int]struct{}, 64)
+	t.slItemCB = func(k, v uint64) bool {
+		item, _ := UnpackLine(v)
+		t.slItems[item] = struct{}{}
+		return true
+	}
 	return t, nil
 }
 
@@ -304,10 +349,7 @@ func (t *Terminal) execPayment(as AsyncStore, p *payParams) error {
 		// match, per the TPC-C specification.
 		lo, hi := CustomerNameRange(p.cd, p.nameHash)
 		t.matches = t.matches[:0]
-		if _, err := as.Scan(p.cw, CustomerByName, lo, hi, func(k, v uint64) bool {
-			t.matches = append(t.matches, int(v))
-			return true
-		}); err != nil {
+		if _, err := as.Scan(p.cw, CustomerByName, lo, hi, t.matchCB); err != nil {
 			scanErr = err
 		} else if len(t.matches) == 0 {
 			scanErr = fmt.Errorf("payment: no customer named %s in %d/%d", p.name, p.cw, p.cd)

@@ -157,6 +157,51 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 // interrupted an append. Replay treats it as end-of-log and truncates.
 var ErrTornFrame = errors.New("wal: torn or corrupt frame")
 
+// FrameReader reads framed payloads from a stream through one reusable
+// buffer, so replaying a long checkpoint or record stream costs a handful of
+// allocations instead of one per frame. The slice Next returns aliases the
+// reader's buffer and is valid only until the next call — callers that
+// retain a payload must copy it.
+type FrameReader struct {
+	r   io.Reader
+	buf []byte
+}
+
+// NewFrameReader wraps r. The zero value is not usable; Reset re-points an
+// existing reader at a new stream while keeping its buffer.
+func NewFrameReader(r io.Reader) *FrameReader { return &FrameReader{r: r} }
+
+// Reset re-points the reader at a new stream, retaining the grown buffer.
+func (fr *FrameReader) Reset(r io.Reader) { fr.r = r }
+
+// Next reads one framed payload into the reusable buffer. It returns io.EOF
+// at a clean end of stream and ErrTornFrame for a short or corrupt frame,
+// exactly like ReadFrame.
+func (fr *FrameReader) Next() ([]byte, error) {
+	var hdr [frameHeader]byte
+	if _, err := io.ReadFull(fr.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, ErrTornFrame
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[0:4]))
+	if n > maxFramePayload {
+		return nil, ErrTornFrame
+	}
+	if cap(fr.buf) < n {
+		fr.buf = make([]byte, n)
+	}
+	payload := fr.buf[:n]
+	if _, err := io.ReadFull(fr.r, payload); err != nil {
+		return nil, ErrTornFrame
+	}
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(hdr[4:8]) {
+		return nil, ErrTornFrame
+	}
+	return payload, nil
+}
+
 // checkpointName is the domain checkpoint file; checkpointTmp is the
 // staging name renamed over it once fully written and synced.
 const (
@@ -197,6 +242,7 @@ type DomainLog struct {
 type segment struct {
 	path string
 	f    *os.File
+	rbuf []byte // retained recovery read buffer, reused across recoveries
 }
 
 // OpenDomain creates (or resets) the WAL directory for one domain with one
@@ -384,11 +430,25 @@ type batch struct {
 }
 
 // readSegment collects every committed batch in one segment and truncates
-// the segment at the first torn batch frame.
+// the segment at the first torn batch frame. The segment bytes land in a
+// per-segment buffer retained across recoveries (the returned batches alias
+// it, so per-segment — not domain-shared — retention is what keeps Recover's
+// read-all-then-apply merge sound), so a crash storm's repeated replays
+// stop paying one whole-segment allocation per recovery.
 func readSegment(s *segment) ([]batch, error) {
-	buf, err := os.ReadFile(s.path)
+	st, err := s.f.Stat()
 	if err != nil {
 		return nil, err
+	}
+	size := int(st.Size())
+	if cap(s.rbuf) < size {
+		s.rbuf = make([]byte, size)
+	}
+	buf := s.rbuf[:size]
+	if size > 0 {
+		if _, err := s.f.ReadAt(buf, 0); err != nil {
+			return nil, err
+		}
 	}
 	var out []batch
 	off := 0
@@ -439,7 +499,32 @@ type WorkerLog struct {
 	records int
 	active  bool
 	hook    CommitHook
+
+	// arena, when set, backs staging and out with worker-arena memory
+	// instead of retained heap slices: Begin carves a staging block sized to
+	// the batch high-water, frameBatch carves the outer frame exactly, and
+	// Commit/Abort drop both references so the sweep's post-commit arena
+	// reset can never be observed through a stale slice. Growth past the
+	// carved block falls back to the heap transparently (append reallocates)
+	// and only teaches the next Begin a bigger high-water.
+	arena      Allocator
+	stagingCap int // high-water of staged batch bytes, sizes arena blocks
 }
+
+// Allocator is the slice of the worker arena this package needs; satisfied
+// structurally by *mem.Arena so wal stays free of a mem import.
+type Allocator interface {
+	Alloc(n int) []byte
+}
+
+// minStagingAlloc floors the arena staging block so the first batches of a
+// fresh worker do not crawl through repeated growth.
+const minStagingAlloc = 256
+
+// SetArena installs the worker's batch arena. Call before the worker
+// sweeps; like the delegation layer's Set* hooks the field is read without
+// synchronisation.
+func (l *WorkerLog) SetArena(a Allocator) { l.arena = a }
 
 // frameBatch wraps the given record frames into one outer batch frame —
 // [u32 len][u32 CRC][u64 LSN][record frames] — stamping the domain's next
@@ -447,6 +532,11 @@ type WorkerLog struct {
 // unit. The result aliases l.out and is valid until the next call.
 func (l *WorkerLog) frameBatch(frames []byte) []byte {
 	lsn := l.dom.lsn.Add(1)
+	if l.arena != nil {
+		// Exact-size arena carve: the framed batch is write-once scratch
+		// that dies at the group commit, the canonical arena tenant.
+		l.out = l.arena.Alloc(frameHeader + 8 + len(frames))[:0]
+	}
 	l.out = append(l.out[:0], 0, 0, 0, 0, 0, 0, 0, 0)
 	l.out = binary.LittleEndian.AppendUint64(l.out, lsn)
 	l.out = append(l.out, frames...)
@@ -461,7 +551,15 @@ func (l *WorkerLog) frameBatch(frames []byte) []byte {
 func (l *WorkerLog) Begin() {
 	l.dom.gate.RLock()
 	l.active = true
-	l.staging = l.staging[:0]
+	if l.arena != nil {
+		want := l.stagingCap
+		if want < minStagingAlloc {
+			want = minStagingAlloc
+		}
+		l.staging = l.arena.Alloc(want)[:0]
+	} else {
+		l.staging = l.staging[:0]
+	}
 	l.records = 0
 }
 
@@ -482,6 +580,9 @@ func (l *WorkerLog) StageRecord(enc func(dst []byte) []byte) {
 	payload := l.staging[base+frameHeader:]
 	binary.LittleEndian.PutUint32(l.staging[base:base+4], uint32(n))
 	binary.LittleEndian.PutUint32(l.staging[base+4:base+8], crc32.ChecksumIEEE(payload))
+	if len(l.staging) > l.stagingCap {
+		l.stagingCap = len(l.staging) // batch high-water: sizes the next arena carve
+	}
 	l.records++
 	if l.dom.fsync == FsyncAlways {
 		// Each record becomes its own single-record batch so it carries an
@@ -533,7 +634,11 @@ func (l *WorkerLog) Commit(allowFaults bool) error {
 	if err == nil {
 		l.dom.committed.Add(uint64(l.records))
 	}
-	l.staging = l.staging[:0]
+	if l.arena != nil {
+		l.staging, l.out = nil, nil // arena memory: drop refs before the sweep resets it
+	} else {
+		l.staging = l.staging[:0]
+	}
 	l.records = 0
 	l.active = false
 	l.dom.gate.RUnlock()
@@ -547,7 +652,11 @@ func (l *WorkerLog) Abort() {
 	if !l.active {
 		return
 	}
-	l.staging = l.staging[:0]
+	if l.arena != nil {
+		l.staging, l.out = nil, nil // the crashed worker's arena is discarded by recovery
+	} else {
+		l.staging = l.staging[:0]
+	}
 	l.records = 0
 	l.active = false
 	l.dom.gate.RUnlock()

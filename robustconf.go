@@ -157,6 +157,9 @@ type (
 	// FsyncMode selects the log's flush discipline (a durability-cost axis
 	// of the configuration search).
 	FsyncMode = wal.FsyncMode
+	// ArenaConfig enables per-worker batch arenas recycled at sweep-batch
+	// boundaries (Config.Arena); the WAL's record staging draws from them.
+	ArenaConfig = core.ArenaConfig
 )
 
 // Fsync modes for WALConfig.Fsync.

@@ -6,6 +6,12 @@
 # than 0 allocs/op or 0 B/op — the tentpole property of the zero-allocation
 # hot path (DESIGN.md §10), which span recycling extends to the observed
 # path and publication-word validation to the bypass read path (§12).
+#
+# A second gate runs the arena-backed delegated TPC-C full mix and pins it
+# to at most MAX_TPCC_ALLOCS allocs/op (default 10): with per-worker batch
+# arenas on (DESIGN.md §14) the steady-state transaction path must stay
+# allocation-free up to the few per-transaction escapes the workload itself
+# makes (result boxing, payload strings).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -31,3 +37,26 @@ for BENCH in BenchmarkDelegationInvoke BenchmarkDelegationInvokeObserved Benchma
 	fi
 	echo "alloc-smoke: $BENCH is allocation-free ($BYTES B/op, $ALLOCS allocs/op)"
 done
+
+# Arena gate: the delegated TPC-C full mix with arenas enabled. 3000x is
+# enough iterations to amortise the load-phase and pool warm-up allocations
+# out of the per-op figure.
+MAX_TPCC_ALLOCS="${MAX_TPCC_ALLOCS:-10}"
+BENCH=BenchmarkTPCCDelegatedFullMixArena
+OUT="$(go test -run NONE -bench "$BENCH\$" -benchtime 3000x -benchmem .)"
+echo "$OUT"
+LINE=$(echo "$OUT" | awk -v b="$BENCH" '$1 ~ "^"b"(-[0-9]+)?$" { print }')
+if [ -z "$LINE" ]; then
+	echo "alloc-smoke: $BENCH produced no output" >&2
+	exit 1
+fi
+ALLOCS=$(echo "$LINE" | awk '{ for (i = 2; i <= NF; i++) if ($i == "allocs/op") print $(i-1) }')
+if [ -z "$ALLOCS" ]; then
+	echo "alloc-smoke: $BENCH produced no allocs/op figure" >&2
+	exit 1
+fi
+if [ "$ALLOCS" -gt "$MAX_TPCC_ALLOCS" ]; then
+	echo "alloc-smoke: $BENCH reports $ALLOCS allocs/op, want <= $MAX_TPCC_ALLOCS" >&2
+	exit 1
+fi
+echo "alloc-smoke: $BENCH within the arena budget ($ALLOCS allocs/op <= $MAX_TPCC_ALLOCS)"

@@ -8,9 +8,15 @@
 # benchmarks don't fail the gate — but comparing nothing at all does.
 #
 # Each benchmark runs COUNT times (default 3) and the per-benchmark MINIMUM
-# ns/op is compared: scheduling noise on a shared host only ever slows a run
-# down, so the minimum is the stable estimate and keeps the gate from
-# flapping. BENCHTIME tunes -benchtime (default 300ms, like bench-snapshot).
+# ns/op is compared (the estimator bench-snapshot.sh records): scheduling
+# noise on a shared host only ever slows a run down, so the minimum is the
+# stable estimate. Because noise windows can outlast one pass entirely —
+# this repo's reference host is a single-CPU VM — benchmarks flagged on the
+# first pass are re-measured up to CONFIRM_ROUNDS more times (suspects
+# only) and every observation folds into the minimum. Extra samples can
+# only lower the floor estimate, never raise it, so retries clear false
+# positives but cannot wash out a genuine regression. BENCHTIME tunes
+# -benchtime (default 300ms, like bench-snapshot).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -19,6 +25,7 @@ BASELINE="BENCH_delegation.json"
 BENCHTIME="${BENCHTIME:-300ms}"
 THRESHOLD_PCT="${THRESHOLD_PCT:-15}"
 COUNT="${COUNT:-3}"
+CONFIRM_ROUNDS="${CONFIRM_ROUNDS:-2}"
 
 if [ ! -f "$BASELINE" ]; then
 	echo "bench-compare: no $BASELINE baseline (run make bench first)" >&2
@@ -28,12 +35,17 @@ fi
 PATTERN='BenchmarkDelegation|BenchmarkAblationBurstSize|BenchmarkAblationResponseBatching|BenchmarkAblationTxnMode|BenchmarkIndex|BenchmarkTPCC|BenchmarkReadBypass'
 
 RAW="$(mktemp)"
-trap 'rm -f "$RAW"' EXIT INT TERM
+SUSPECTS="$(mktemp)"
+trap 'rm -f "$RAW" "$SUSPECTS"' EXIT INT TERM
+
 go test -run NONE -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" -count "$COUNT" . | tee "$RAW"
 
-# Join baseline records ("name ns" lines) with fresh benchmark output and
-# flag regressions beyond the threshold.
-awk -v threshold="$THRESHOLD_PCT" '
+# evaluate reads the baseline plus every accumulated benchmark line, folds
+# repeats to the per-benchmark minimum, and prints the comparison. In
+# report mode it also writes the regressed names to $SUSPECTS; in final
+# mode it exits nonzero on any remaining regression.
+evaluate() {
+	awk -v threshold="$THRESHOLD_PCT" -v suspects="$SUSPECTS" -v final="$1" '
 NR == FNR {
 	# Baseline JSON: one record per line after bench-snapshot formatting.
 	if (match($0, /"name": "[^"]+"/)) {
@@ -56,7 +68,7 @@ END {
 	failed = 0
 	for (name in fresh) {
 		if (!(name in base)) {
-			printf "bench-compare: NEW      %-48s %12.1f ns/op (no baseline, skipped)\n", name, fresh[name]
+			if (final) printf "bench-compare: NEW      %-48s %12.1f ns/op (no baseline, skipped)\n", name, fresh[name]
 			continue
 		}
 		compared++
@@ -65,24 +77,48 @@ END {
 		if (delta > threshold) {
 			status = "REGRESSED"
 			failed++
+			print name > suspects
 		}
-		printf "bench-compare: %-9s %-48s %12.1f -> %12.1f ns/op (%+6.1f%%)\n", \
-			status, name, base[name], fresh[name], delta
-	}
-	for (name in base) {
-		if (!(name in fresh)) {
-			printf "bench-compare: GONE     %-48s (in baseline only, skipped)\n", name
+		if (final || status == "REGRESSED") {
+			printf "bench-compare: %-9s %-48s %12.1f -> %12.1f ns/op (%+6.1f%%)\n", \
+				status, name, base[name], fresh[name], delta
 		}
 	}
-	if (compared == 0) {
-		print "bench-compare: no benchmarks compared against the baseline" > "/dev/stderr"
-		exit 1
+	if (final) {
+		for (name in base) {
+			if (!(name in fresh)) {
+				printf "bench-compare: GONE     %-48s (in baseline only, skipped)\n", name
+			}
+		}
+		if (compared == 0) {
+			print "bench-compare: no benchmarks compared against the baseline" > "/dev/stderr"
+			exit 1
+		}
+		if (failed > 0) {
+			printf "bench-compare: %d of %d benchmarks regressed more than %s%%\n", \
+				failed, compared, threshold > "/dev/stderr"
+			exit 1
+		}
+		printf "bench-compare: %d benchmarks within %s%% of the committed baseline\n", compared, threshold
 	}
-	if (failed > 0) {
-		printf "bench-compare: %d of %d benchmarks regressed more than %s%%\n", \
-			failed, compared, threshold > "/dev/stderr"
-		exit 1
-	}
-	printf "bench-compare: %d benchmarks within %s%% of the committed baseline\n", compared, threshold
 }
 ' "$BASELINE" "$RAW"
+}
+
+ROUND=0
+while [ "$ROUND" -lt "$CONFIRM_ROUNDS" ]; do
+	: >"$SUSPECTS"
+	evaluate 0
+	if [ ! -s "$SUSPECTS" ]; then
+		break
+	fi
+	# Re-measure only the flagged benchmarks (top-level name: strip the
+	# subbenchmark path and the -GOMAXPROCS suffix) and fold the new runs in.
+	SUSPECT_PATTERN=$(sed 's|/.*||; s|-[0-9]*$||' "$SUSPECTS" | sort -u | paste -sd'|' -)
+	ROUND=$((ROUND + 1))
+	echo "bench-compare: confirm round $ROUND/$CONFIRM_ROUNDS: re-measuring suspects ($SUSPECT_PATTERN)"
+	go test -run NONE -bench "^($SUSPECT_PATTERN)\$" -benchmem -benchtime "$BENCHTIME" -count "$COUNT" . >>"$RAW"
+done
+
+: >"$SUSPECTS"
+evaluate 1

@@ -8,25 +8,31 @@
 #
 # BENCHTIME tunes -benchtime (default 300ms: enough iterations for stable
 # ns/op on the sub-microsecond benchmarks without a minutes-long run).
+# Each benchmark runs COUNT times (default 3) and the per-benchmark MINIMUM
+# ns/op is recorded — the same estimator bench-compare.sh uses, so both
+# sides of the regression gate measure the same statistic (scheduling noise
+# only ever slows a run down; the minimum is the stable floor).
 set -eu
 
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-300ms}"
+COUNT="${COUNT:-3}"
 OUT="BENCH_delegation.json"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT INT TERM
 
 PATTERN='BenchmarkDelegation|BenchmarkAblationBurstSize|BenchmarkAblationResponseBatching|BenchmarkAblationTxnMode|BenchmarkIndex|BenchmarkTPCC|BenchmarkReadBypass|BenchmarkRecoveryReplay'
 
-go test -run NONE -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" . | tee "$RAW"
+go test -run NONE -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" -count "$COUNT" . | tee "$RAW"
 
-# Parse `BenchmarkName  N  12.3 ns/op  4 B/op  1 allocs/op` lines into JSON.
-# The name is kept exactly as printed (Go appends a -GOMAXPROCS suffix when
-# running on more than one proc; stripping it cannot be told apart from a
-# numeric subbenchmark name, so we don't try).
+# Parse `BenchmarkName  N  12.3 ns/op  4 B/op  1 allocs/op` lines into JSON,
+# folding the COUNT repeats of each benchmark to the minimum ns/op (the
+# alloc figures are deterministic across repeats; the fastest run's are
+# kept). The name is kept exactly as printed (Go appends a -GOMAXPROCS
+# suffix when running on more than one proc; stripping it cannot be told
+# apart from a numeric subbenchmark name, so we don't try).
 awk '
-BEGIN { print "["; n = 0 }
 /^Benchmark/ && /ns\/op/ {
 	name = $1
 	ns = ""; bytes = ""; allocs = ""
@@ -36,16 +42,27 @@ BEGIN { print "["; n = 0 }
 		if ($i == "allocs/op") allocs = $(i-1)
 	}
 	if (ns == "") next
-	if (n++) printf ",\n"
-	printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s, \"bytes_per_op\": %s}", \
-		name, ns, (allocs == "" ? 0 : allocs), (bytes == "" ? 0 : bytes)
+	if (!(name in best)) order[n++] = name
+	if (!(name in best) || ns + 0 < best[name] + 0) {
+		best[name] = ns
+		ba[name] = (allocs == "" ? 0 : allocs)
+		bb[name] = (bytes == "" ? 0 : bytes)
+	}
 }
-END { print "\n]" }
+END {
+	print "["
+	for (i = 0; i < n; i++) {
+		name = order[i]
+		printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s, \"bytes_per_op\": %s}%s\n", \
+			name, best[name], ba[name], bb[name], (i < n - 1 ? "," : "")
+	}
+	print "]"
+}
 ' "$RAW" >"$OUT"
 
-COUNT=$(grep -c '"name"' "$OUT" || true)
-if [ "$COUNT" -eq 0 ]; then
+RECORDS=$(grep -c '"name"' "$OUT" || true)
+if [ "$RECORDS" -eq 0 ]; then
 	echo "bench-snapshot: no benchmark lines parsed" >&2
 	exit 1
 fi
-echo "bench-snapshot: wrote $COUNT records to $OUT"
+echo "bench-snapshot: wrote $RECORDS records to $OUT (min ns/op of $COUNT runs)"
