@@ -15,9 +15,12 @@ test: build
 
 # Tier-2: vet + race-detected tests + allocation gate on the delegation hot
 # path. -short shrinks the chaos schedules (fewer sessions/seeds); drop it
-# for the full sweep.
+# for the full sweep. The arm64 cross-build keeps the prefetch package's
+# per-arch split (assembly on amd64, no-op elsewhere) compiling on a
+# non-amd64 target.
 verify: build obs-smoke alloc-smoke wal-smoke
 	$(GO) vet ./...
+	GOARCH=arm64 $(GO) build ./...
 	$(GO) test -race -short ./...
 
 # Fail if the unobserved synchronous delegation round trip allocates.

@@ -1,0 +1,204 @@
+package robustconf_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"robustconf"
+	"robustconf/internal/index"
+	"robustconf/internal/index/fptree"
+	"robustconf/internal/index/hashmap"
+)
+
+// kvResult is one typed op's observable outcome, flattened for comparison
+// across schedules (errors compare by message).
+type kvResult struct {
+	v   uint64
+	ok  bool
+	err string
+}
+
+// runKVStream executes the same seeded mixed stream of typed ops — and,
+// when panicEvery > 0, a panicking closure task interleaved into the bursts
+// — against a fresh hashmap + FP-Tree runtime, and returns every op's
+// result plus the final state of both structures. The stream, burst
+// boundaries and panic positions are purely seed-determined, so two calls
+// differing only in the batch-exec width must return identical slices:
+// that is the interleaved schedule's serial-equivalence contract.
+func runKVStream(t *testing.T, width int, panicEvery int) ([]kvResult, map[string][]kvResult) {
+	t.Helper()
+	const keys = 512
+	const ops = 50 * 14
+
+	cfg := robustconf.Config{
+		Machine: robustconf.Machine(1),
+		Domains: []robustconf.Domain{
+			// A single-worker domain concentrates every burst in one buffer,
+			// so interleaved passes claim full groups.
+			{Name: "d0", CPUs: robustconf.CPURange(0, 1)},
+		},
+		Assignment: map[string]int{"h": 0, "f": 0},
+	}
+	if width >= 2 {
+		cfg.BatchExec = robustconf.BatchExecConfig{Enabled: true, Width: width}
+	}
+	hm, ft := hashmap.New(), fptree.New()
+	rt, err := robustconf.Start(cfg, map[string]any{"h": hm, "f": ft})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+	session, err := rt.NewSession(0, robustconf.PaperBurstSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer session.Close()
+
+	rng := uint64(0x9e3779b97f4a7c15)
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	var results []kvResult
+	var futs []*robustconf.AsyncFuture
+	flush := func() {
+		for _, f := range futs {
+			v, ok, err := f.WaitKV()
+			r := kvResult{v: v, ok: ok}
+			if err != nil {
+				r.err = err.Error()
+			}
+			results = append(results, r)
+		}
+		futs = futs[:0]
+	}
+	for i := 0; i < ops; i++ {
+		if panicEvery > 0 && i%panicEvery == panicEvery/2 {
+			// A closure task in the middle of the burst: on the batched
+			// path it splits typed runs; its panic must fail only itself.
+			f, err := session.SubmitAsync("h", func(ds, arg any) any {
+				panic("equivalence boom")
+			}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, werr := f.Wait()
+			var pe robustconf.PanicError
+			if !errors.As(werr, &pe) {
+				t.Fatalf("closure panic came back as %v, want PanicError", werr)
+			}
+		}
+		structure := "h"
+		if next()%2 == 0 {
+			structure = "f"
+		}
+		kind := uint8(robustconf.KVGet)
+		switch next() % 4 {
+		case 1:
+			kind = robustconf.KVInsert
+		case 2:
+			kind = robustconf.KVUpdate
+		case 3:
+			kind = robustconf.KVDelete
+		}
+		f, err := session.SubmitKV(structure, kind, next()%keys+1, next())
+		if err != nil {
+			t.Fatal(err)
+		}
+		futs = append(futs, f)
+		if len(futs) == robustconf.PaperBurstSize {
+			flush()
+		}
+	}
+	flush()
+
+	final := map[string][]kvResult{}
+	for name, idx := range map[string]index.Index{"h": hm, "f": ft} {
+		state := []kvResult{{v: uint64(idx.Len())}}
+		for k := uint64(1); k <= keys; k++ {
+			v, ok := idx.Get(k, nil)
+			state = append(state, kvResult{v: v, ok: ok})
+		}
+		final[name] = state
+	}
+	return results, final
+}
+
+func diffStreams(t *testing.T, label string, serial, batched []kvResult) {
+	t.Helper()
+	if len(serial) != len(batched) {
+		t.Fatalf("%s: %d results serial vs %d batched", label, len(serial), len(batched))
+	}
+	for i := range serial {
+		if serial[i] != batched[i] {
+			t.Fatalf("%s: op %d diverged: serial %+v, batched %+v", label, i, serial[i], batched[i])
+		}
+	}
+}
+
+// TestBatchExecEquivalence is the cross-path equivalence pin: the identical
+// seeded op stream through serial sweeps and through interleaved sweeps (at
+// two widths) must produce identical per-op results and leave both indexes
+// in identical final states.
+func TestBatchExecEquivalence(t *testing.T) {
+	serialRes, serialState := runKVStream(t, 0, 0)
+	for _, width := range []int{8, 15} {
+		batchRes, batchState := runKVStream(t, width, 0)
+		diffStreams(t, fmt.Sprintf("width=%d results", width), serialRes, batchRes)
+		for name := range serialState {
+			diffStreams(t, fmt.Sprintf("width=%d final state %q", width, name),
+				serialState[name], batchState[name])
+		}
+	}
+}
+
+// TestBatchExecEquivalenceWithPanics re-runs the equivalence pin with a
+// panicking closure task injected into every burst: the panic must fail
+// only its own future on both schedules, leaving the typed results and
+// final states identical.
+func TestBatchExecEquivalenceWithPanics(t *testing.T) {
+	serialRes, serialState := runKVStream(t, 0, 14)
+	batchRes, batchState := runKVStream(t, 15, 14)
+	diffStreams(t, "panic-stream results", serialRes, batchRes)
+	for name := range serialState {
+		diffStreams(t, fmt.Sprintf("panic-stream final state %q", name),
+			serialState[name], batchState[name])
+	}
+}
+
+// TestBatchExecStopWithOutstandingBurst stops the runtime while a full
+// typed burst is outstanding on the interleaved path: every future must
+// still resolve — with its value if the final sweep executed it, or with
+// ErrWorkerStopped if the seal rescued it — and never hang.
+func TestBatchExecStopWithOutstandingBurst(t *testing.T) {
+	cfg := robustconf.Config{
+		Machine:    robustconf.Machine(1),
+		Domains:    []robustconf.Domain{{Name: "d0", CPUs: robustconf.CPURange(0, 1)}},
+		Assignment: map[string]int{"h": 0},
+		BatchExec:  robustconf.BatchExecConfig{Enabled: true, Width: 15},
+	}
+	rt, err := robustconf.Start(cfg, map[string]any{"h": hashmap.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	session, err := rt.NewSession(0, robustconf.PaperBurstSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var futs [robustconf.PaperBurstSize]*robustconf.AsyncFuture
+	for i := range futs {
+		if futs[i], err = session.SubmitKV("h", robustconf.KVInsert, uint64(i+1), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rt.Stop()
+	for i, f := range futs {
+		if _, _, err := f.WaitKV(); err != nil && !errors.Is(err, robustconf.ErrWorkerStopped) {
+			t.Fatalf("op %d: err = %v, want nil or ErrWorkerStopped", i, err)
+		}
+	}
+	session.Close()
+}

@@ -206,6 +206,62 @@ func BenchmarkDelegationInvoke(b *testing.B) {
 	}
 }
 
+// BenchmarkDelegationInvokeKV measures the typed key/value round trip
+// through the interleaved sweep path (Config.BatchExec on, full width):
+// a burst of 14 pipelined SubmitKV Gets answered by live workers through
+// the hashmap's batch kernel. Pinned allocation-free by alloc-smoke — the
+// typed path must not re-introduce boxing anywhere from post to answer.
+func BenchmarkDelegationInvokeKV(b *testing.B) {
+	const burst = 14
+	machine := robustconf.Machine(1)
+	cfg := robustconf.Config{
+		Machine:    machine,
+		Domains:    []robustconf.Domain{{Name: "d", CPUs: robustconf.CPURange(0, 4)}},
+		Assignment: map[string]int{"x": 0},
+		BatchExec:  robustconf.BatchExecConfig{Enabled: true, Width: 15},
+	}
+	idx := hashmap.New()
+	for k := uint64(0); k < 1024; k++ {
+		idx.Insert(k, k, nil)
+	}
+	rt, err := robustconf.Start(cfg, map[string]any{"x": idx})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rt.Stop()
+	s, err := rt.NewSession(0, burst)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	var futs [burst]*core.AsyncFuture
+	cycle := func() error {
+		for j := 0; j < burst; j++ {
+			f, err := s.SubmitKV("x", robustconf.KVGet, uint64(j), 0)
+			if err != nil {
+				return err
+			}
+			futs[j] = f
+		}
+		for j := 0; j < burst; j++ {
+			if _, _, err := futs[j].WaitKV(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := cycle(); err != nil { // warm up: lazy client + future pool
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cycle(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkDelegationInvokeObserved is the same round trip with an
 // Observer attached at default sampling — the overhead budget for the
 // introspection layer (DESIGN.md §9) is ≤5% over BenchmarkDelegationInvoke.
@@ -680,6 +736,92 @@ func BenchmarkAblationResponseBatching(b *testing.B) {
 						}
 					}
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationBatchExec compares serial sweep execution against the
+// interleaved batched schedule (DESIGN.md §15) on the real indexes: 14
+// typed random Gets are posted as one burst, a single sweep claims and
+// executes them, and the only difference between the arms is whether the
+// sweep hands the run to the structure's batch kernel (which walks the 14
+// traversals stage by stage, prefetching each op's next node) or runs them
+// one at a time. The working set is sized well past LLC so the traversals
+// are cache-miss bound — the regime the interleave targets. ns/kvop is the
+// per-operation figure (ns/op covers the whole 14-op burst).
+func BenchmarkAblationBatchExec(b *testing.B) {
+	const records = 1 << 21
+	const burst = 14
+	keys := workload.LoadKeys(records)
+	builders := []struct {
+		name  string
+		build func() index.Index
+	}{
+		{"hashmap", func() index.Index { return hashmap.New() }},
+		{"btree", func() index.Index { return btree.New() }},
+		{"fptree", func() index.Index { return fptree.New() }},
+		{"bwtree", func() index.Index { return bwtree.New() }},
+	}
+	for _, bl := range builders {
+		b.Run(bl.name, func(b *testing.B) {
+			idx := bl.build()
+			for _, k := range keys {
+				idx.Insert(k, k, nil)
+			}
+			kern, ok := idx.(delegation.BatchKernel)
+			if !ok {
+				b.Fatalf("%s has no batch kernel", bl.name)
+			}
+			for _, width := range []int{0, 8, 15} {
+				name := "serial"
+				if width >= 2 {
+					name = fmt.Sprintf("width=%d", width)
+				}
+				b.Run(name, func(b *testing.B) {
+					buf, err := delegation.NewBuffer(0, burst)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if width >= 2 {
+						buf.SetBatchExec(width)
+					}
+					inbox, err := delegation.NewInbox([]*delegation.Buffer{buf})
+					if err != nil {
+						b.Fatal(err)
+					}
+					slots, err := inbox.AcquireSlots(burst, nil)
+					if err != nil {
+						b.Fatal(err)
+					}
+					client, err := delegation.NewClient(slots)
+					if err != nil {
+						b.Fatal(err)
+					}
+					var hs [burst]delegation.InvokeHandle
+					rng := uint64(0x9e3779b97f4a7c15)
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						for j := 0; j < burst; j++ {
+							rng ^= rng << 13
+							rng ^= rng >> 7
+							rng ^= rng << 17
+							slot, ok := client.Reserve()
+							if !ok {
+								b.Fatal("no free slot")
+							}
+							hs[j] = client.PostReservedKV(slot, kern, delegation.KVGet, keys[rng%records], 0)
+						}
+						buf.Sweep()
+						for j := 0; j < burst; j++ {
+							if _, _, err := client.AwaitKV(hs[j]); err != nil {
+								b.Fatal(err)
+							}
+						}
+					}
+					b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*burst), "ns/kvop")
+				})
 			}
 		})
 	}

@@ -124,6 +124,12 @@ type Config struct {
 	// domain worker owns an arena recycled at sweep-batch boundaries, and
 	// the WAL's staging buffers draw from it. The zero value disables it.
 	Arena ArenaConfig
+	// BatchExec configures interleaved sweep execution (DESIGN.md §15):
+	// workers claim a whole pass of posted slots up front and hand runs of
+	// typed key/value ops to the structure's batch kernel, which overlaps
+	// their traversal cache misses with software prefetch. The zero value
+	// disables it: sweeps claim-execute-answer one slot at a time.
+	BatchExec BatchExecConfig
 }
 
 // ArenaConfig is the arena axis of a configuration: whether domain workers
@@ -139,6 +145,22 @@ type ArenaConfig struct {
 	// MaxBytes caps one arena's retained slab bytes; past it, allocations
 	// fall back to the heap and are counted (0 = unlimited).
 	MaxBytes int
+}
+
+// BatchExecConfig is the interleaved-execution axis of a configuration.
+// Only typed ops issued through Session.InvokeKV / SubmitKV reach a batch
+// kernel; closure tasks always execute serially, in slot order, inside the
+// same pass. Structures without a kernel simply never receive typed ops, so
+// the axis is safe to enable for any plan.
+type BatchExecConfig struct {
+	// Enabled turns the interleaved batched sweep body on.
+	Enabled bool
+	// Width caps how many same-kernel typed ops one ExecBatch call covers
+	// (the group-prefetch width). Clamped to the slot count per buffer;
+	// values below 2 disable the axis (a group of one cannot overlap
+	// anything). 0 with Enabled uses the delegation default of the full
+	// buffer.
+	Width int
 }
 
 // Validate checks the configuration's internal consistency.
@@ -262,6 +284,8 @@ func (d *Domain) externalCounters() obs.DomainExternal {
 		// from foreign goroutines and only needs a bounded-staleness queue
 		// depth.
 		ext.Pending += b.PendingPublished()
+		ext.BatchSweeps += b.BatchSweeps.Load()
+		ext.BatchKernelOps += b.BatchKernelOps.Load()
 	}
 	ext.Restarts = d.restarts.Load()
 	ext.BudgetRemaining = d.BudgetRemaining()
@@ -392,6 +416,13 @@ func Start(cfg Config, structures map[string]any) (*Runtime, error) {
 				a := mem.New(mem.Options{SlabAllocs: cfg.Arena.SlabAllocs, MaxBytes: cfg.Arena.MaxBytes})
 				d.arenas = append(d.arenas, a)
 				b.SetArena(a)
+			}
+			if cfg.BatchExec.Enabled {
+				w := cfg.BatchExec.Width
+				if w == 0 {
+					w = delegation.SlotsPerBuffer
+				}
+				b.SetBatchExec(w)
 			}
 			bufs = append(bufs, b)
 		}
@@ -658,6 +689,15 @@ type sessionClient struct {
 	bops   []func(ds any) any
 	bout   []any
 	bthunk delegation.Task
+
+	// Typed-op state (InvokeKVLogged): the reusable KV record encoder
+	// prefixes the structure name and delegates to the caller's encoder,
+	// exactly like logenc does for closure tasks. The worker invokes it
+	// with the slot's own kind/key/val, so unlike logenc it needs no
+	// per-call argument capture beyond these two fields.
+	kvName string
+	kvApp  delegation.KVEncoder
+	kvenc  delegation.KVEncoder
 }
 
 // asyncThunk is one reserved slot's argument block on the pipelined path.
@@ -695,8 +735,11 @@ type AsyncFuture struct {
 	h        delegation.InvokeHandle
 	val      any
 	err      error
-	resolved bool // result cached; the underlying slot is free again
-	consumed bool // Wait handed the result to the caller
+	kv       bool   // issued by SubmitKV: resolve through AwaitKV
+	kvVal    uint64 // typed result value (kv futures only)
+	kvOK     bool   // typed result found flag (kv futures only)
+	resolved bool   // result cached; the underlying slot is free again
+	consumed bool   // Wait handed the result to the caller
 	qNext    *AsyncFuture
 }
 
@@ -709,6 +752,7 @@ func (sc *sessionClient) getFuture() *AsyncFuture {
 		sc.pool = f.qNext
 	}
 	f.val, f.err = nil, nil
+	f.kv, f.kvVal, f.kvOK = false, 0, false
 	f.resolved, f.consumed = false, false
 	f.qNext = nil
 	return f
@@ -746,7 +790,11 @@ func (sc *sessionClient) resolve(f *AsyncFuture) {
 	if f.resolved {
 		return
 	}
-	f.val, f.err = sc.c.Await(f.h)
+	if f.kv {
+		f.kvVal, f.kvOK, f.err = sc.c.AwaitKV(f.h)
+	} else {
+		f.val, f.err = sc.c.Await(f.h)
+	}
 	f.resolved = true
 	if f.err != nil {
 		sc.faults.TasksFailed.Add(1)
@@ -830,6 +878,9 @@ func (s *Session) client(d *Domain) (*sessionClient, error) {
 			sc.bout[i] = op(ds)
 		}
 		return nil
+	}
+	sc.kvenc = func(dst []byte, kind uint8, key, val uint64) []byte {
+		return sc.kvApp(appendWALName(dst, sc.kvName), kind, key, val)
 	}
 	sc.athunks = make([]asyncThunk, len(slots))
 	for i := range sc.athunks {
@@ -947,6 +998,17 @@ func (f *AsyncFuture) Wait() (any, error) {
 	return v, err
 }
 
+// WaitKV is Wait for a future returned by SubmitKV: it returns the typed
+// value/found pair instead of a boxed any. Consume-once, like Wait.
+func (f *AsyncFuture) WaitKV() (uint64, bool, error) {
+	sc := f.sc
+	sc.resolve(f)
+	f.consumed = true
+	v, ok, err := f.kvVal, f.kvOK, f.err
+	sc.recycleHead()
+	return v, ok, err
+}
+
 // Done reports whether the statement's result is already available without
 // blocking (either cached by a Barrier or completed in its slot).
 func (f *AsyncFuture) Done() bool {
@@ -1014,6 +1076,101 @@ func (s *Session) Invoke(task Task) (any, error) {
 		return nil, err
 	}
 	return v, nil
+}
+
+// InvokeKV submits one typed key/value op (delegation.KVGet, KVInsert,
+// KVUpdate or KVDelete) against the named structure and waits for its
+// value/found pair. The op travels as three words in the slot — no closure,
+// no boxing — and executes through the structure's batch kernel: when the
+// owning worker runs interleaved sweeps (Config.BatchExec) adjacent typed
+// ops are grouped into one kernel call that overlaps their traversal cache
+// misses with software prefetch; otherwise the kernel runs them one at a
+// time with identical semantics. The structure must implement
+// delegation.BatchKernel (every built-in index does); structures without a
+// kernel must use Invoke with a closure task.
+func (s *Session) InvokeKV(structure string, kind uint8, key, val uint64) (uint64, bool, error) {
+	s.noteWrite(structure, 1)
+	d, ds, err := s.rt.route(structure)
+	if err != nil {
+		return 0, false, err
+	}
+	kern, ok := ds.(delegation.BatchKernel)
+	if !ok {
+		return 0, false, fmt.Errorf("core: structure %q has no batch kernel; use Invoke", structure)
+	}
+	sc, err := s.client(d)
+	if err != nil {
+		return 0, false, err
+	}
+	sc.ensureFree()
+	v, found, err := sc.c.InvokeKVErr(kern, kind, key, val)
+	if err != nil {
+		s.rt.faults.TasksFailed.Add(1)
+		return 0, false, err
+	}
+	return v, found, nil
+}
+
+// InvokeKVLogged is InvokeKV for a logged mutation: enc encodes the op's
+// logical WAL record from its kind/key/val (the structure-name prefix is
+// added by the session) and the call returns only after the record's group
+// commit — a nil error means durable.
+func (s *Session) InvokeKVLogged(structure string, kind uint8, key, val uint64, enc delegation.KVEncoder) (uint64, bool, error) {
+	s.noteWrite(structure, 1)
+	d, ds, err := s.rt.route(structure)
+	if err != nil {
+		return 0, false, err
+	}
+	kern, ok := ds.(delegation.BatchKernel)
+	if !ok {
+		return 0, false, fmt.Errorf("core: structure %q has no batch kernel; use Invoke", structure)
+	}
+	sc, err := s.client(d)
+	if err != nil {
+		return 0, false, err
+	}
+	sc.ensureFree()
+	sc.kvName, sc.kvApp = structure, enc
+	v, found, err := sc.c.InvokeKVLoggedErr(kern, kind, key, val, sc.kvenc)
+	if err != nil {
+		s.rt.faults.TasksFailed.Add(1)
+		return 0, false, err
+	}
+	return v, found, nil
+}
+
+// SubmitKV issues one pipelined typed op and returns its future without
+// waiting — the typed counterpart of SubmitAsync, and the path that feeds
+// interleaved execution best: a burst of SubmitKV calls lands several typed
+// ops in the worker's pass, so one sweep executes them through a single
+// prefetch-interleaved kernel call. Synchronise with WaitKV (or Barrier,
+// then WaitKV for the cached results).
+func (s *Session) SubmitKV(structure string, kind uint8, key, val uint64) (*AsyncFuture, error) {
+	s.noteWrite(structure, 1)
+	d, ds, err := s.rt.route(structure)
+	if err != nil {
+		return nil, err
+	}
+	kern, ok := ds.(delegation.BatchKernel)
+	if !ok {
+		return nil, fmt.Errorf("core: structure %q has no batch kernel; use SubmitAsync", structure)
+	}
+	sc, err := s.client(d)
+	if err != nil {
+		return nil, err
+	}
+	i, ok := sc.c.Reserve()
+	for !ok {
+		if !sc.resolveOldest() {
+			return nil, fmt.Errorf("core: domain %q: no free slots and no outstanding statements", d.spec.Name)
+		}
+		i, ok = sc.c.Reserve()
+	}
+	f := sc.getFuture()
+	f.kv = true
+	f.h = sc.c.PostReservedKV(i, kern, kind, key, val)
+	sc.enqueue(f)
+	return f, nil
 }
 
 // SubmitBulk delegates several tasks targeting the same structure under a

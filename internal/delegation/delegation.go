@@ -106,6 +106,14 @@ type Future struct {
 	val  any
 	err  error
 	span *obs.Span // lifecycle span on sampled posts; nil almost always
+
+	// Typed result channel for KV posts (postKV): written by the completer
+	// before the publishing CAS, read by awaitTokenKV after it, so a typed
+	// round trip never boxes a uint64 into val. Every completion path of a
+	// typed op either writes these or completes with futError, so no reset
+	// in begin is needed.
+	kvVal uint64
+	kvOK  bool
 }
 
 // begin recycles the future for its next generation and returns the pending
@@ -143,6 +151,31 @@ func (f *Future) awaitToken(tok uint64) (any, error) {
 		return nil, f.err
 	}
 	return f.val, nil
+}
+
+// awaitTokenKV is awaitToken for a typed KV post: it blocks until the
+// generation identified by tok completes and returns the typed result
+// without boxing. Only the slot-owning client calls it.
+func (f *Future) awaitTokenKV(tok uint64) (uint64, bool, error) {
+	w := f.word.Load()
+	for i := 0; w == tok && i < waitSpins; i++ {
+		runtime.Gosched()
+		w = f.word.Load()
+	}
+	d := waitSleepMin
+	for w == tok {
+		time.Sleep(d)
+		if d < waitSleepMax {
+			d *= 2
+		}
+		w = f.word.Load()
+	}
+	failed := w&futStateMask == futError
+	f.span.Resolve(failed)
+	if failed {
+		return 0, false, f.err
+	}
+	return f.kvVal, f.kvOK, nil
 }
 
 // complete publishes a value result for the current generation; used by
@@ -330,6 +363,20 @@ type Slot struct {
 	ro    bool   // task is read-only: the sweep must not count it as a mutating batch
 	enc   func(dst []byte) []byte
 	buf   *Buffer
+
+	// Typed KV posts (postKV): the op encoded as plain words instead of a
+	// closure, so the sweep can group same-kernel ops into one interleaved
+	// ExecBatch call and the result travels back through the future's typed
+	// fields — no boxing anywhere. kern is nil for opaque closure posts.
+	kern  BatchKernel
+	kind  uint8
+	key   uint64
+	val   uint64
+	kvenc KVEncoder
+	// encKV adapts kvenc to the WALSink.StageRecord shape; prebuilt once in
+	// NewBuffer (it reads the slot's kind/key/val at encode time), so logged
+	// typed posts allocate nothing.
+	encKV func(dst []byte) []byte
 }
 
 // posted reports whether the slot currently holds an unclaimed task.
@@ -350,7 +397,35 @@ func (s *Slot) post(t Task, f *Future, ro bool, enc func(dst []byte) []byte) {
 	s.fut = f
 	s.ro = ro
 	s.enc = enc
+	s.kern = nil // opaque post: the sweep must not route it through a kernel
 	s.state.Store(s.state.Load() + 1) // release: publishes task+fut+ro+enc to the worker
+	if s.buf.sealed.Load() {
+		s.buf.rescue(s)
+	}
+}
+
+// postKV publishes a typed KV operation into the slot: kern is the target
+// structure's batch kernel, kind/key/val the operation. A KVGet posts as
+// read-only (it must not open the mutating-batch window, like
+// InvokeReadErr); a mutation with a non-nil kvenc posts with the prebuilt
+// encKV record encoder so the WAL sweep stages and group-commits it exactly
+// like a logged closure task. The same sealed check as post closes the
+// stop/post race.
+func (s *Slot) postKV(kern BatchKernel, kind uint8, key, val uint64, f *Future, kvenc KVEncoder) {
+	s.task = nil
+	s.fut = f
+	s.kern = kern
+	s.kind = kind
+	s.key = key
+	s.val = val
+	s.kvenc = kvenc
+	s.ro = kind == KVGet
+	if kvenc != nil && kind != KVGet {
+		s.enc = s.encKV
+	} else {
+		s.enc = nil
+	}
+	s.state.Store(s.state.Load() + 1) // release: publishes the typed op to the worker
 	if s.buf.sealed.Load() {
 		s.buf.rescue(s)
 	}
@@ -402,6 +477,29 @@ type Buffer struct {
 	wal   WALSink
 	stash [SlotsPerBuffer]walStash
 
+	// Interleaved batched execution (DESIGN.md §15), armed by SetBatchExec:
+	// batchWidth > 0 routes local sweeps through sweepSlotsBatch, which
+	// claims the whole pass first and then executes same-kernel runs of
+	// typed slots (capped at batchWidth) through one ExecBatch call. The bk*
+	// arrays are the pass's claim list and kernel staging area; bk1* is the
+	// single-op staging used by the serial bodies' typed branch. All are
+	// worker-local in the same sense as stash: written by the owning
+	// worker's sweeps, and by sealed-path sweeps only under the shutdown
+	// discipline that keeps them off live-worker passes.
+	batchWidth int
+	bkSlot     [SlotsPerBuffer]*Slot
+	bkW        [SlotsPerBuffer]uint64
+	bkKind     [SlotsPerBuffer]uint8
+	bkKey      [SlotsPerBuffer]uint64
+	bkVal      [SlotsPerBuffer]uint64
+	bkOutV     [SlotsPerBuffer]uint64
+	bkOutOK    [SlotsPerBuffer]bool
+	bk1Kind    [1]uint8
+	bk1Key     [1]uint64
+	bk1Val     [1]uint64
+	bk1OutV    [1]uint64
+	bk1OutOK   [1]bool
+
 	// arena, when set, is the worker-owned batch allocator recycled at
 	// sweep-batch boundaries: after a non-empty local sweep completes (and,
 	// on the WAL path, after the batch group-commits and every stashed
@@ -419,16 +517,19 @@ type Buffer struct {
 	// they may run on non-worker goroutines and shutdown traffic is not
 	// steady-state signal.
 	nSweeps, nEmpty, nExec, nBatch, sinceFlush uint64
+	nBatchSweeps, nKernOps                     uint64
 
 	_ [64]byte // local mirrors and published images on separate lines
 
 	// Published stat images (flushed on the statFlushEvery cadence; see
 	// SyncStats). Snapshots lag a live worker by at most one cadence.
-	Executed   atomic.Uint64 // tasks executed
-	Sweeps     atomic.Uint64 // buffer sweeps (poll rounds)
-	EmptySweep atomic.Uint64 // sweeps that found no posted slot
-	Batched    atomic.Uint64 // tasks answered in multi-task sweeps (batching)
-	pubPending atomic.Int64  // posted-slot gauge at last flush (obs export)
+	Executed       atomic.Uint64 // tasks executed
+	Sweeps         atomic.Uint64 // buffer sweeps (poll rounds)
+	EmptySweep     atomic.Uint64 // sweeps that found no posted slot
+	Batched        atomic.Uint64 // tasks answered in multi-task sweeps (batching)
+	BatchSweeps    atomic.Uint64 // non-empty passes of the interleaved batched path
+	BatchKernelOps atomic.Uint64 // typed ops executed through batch kernels
+	pubPending     atomic.Int64  // posted-slot gauge at last flush (obs export)
 
 	_ [64]byte // publication words off the flush-cadence stats' line
 
@@ -456,8 +557,14 @@ func NewBuffer(worker, n int) (*Buffer, error) {
 	}
 	b := &Buffer{worker: worker, slots: make([]Slot, n)}
 	for i := range b.slots {
-		b.slots[i].owner = -1
-		b.slots[i].buf = b
+		s := &b.slots[i]
+		s.owner = -1
+		s.buf = b
+		// One closure per slot, for the buffer's lifetime: adapts a typed
+		// post's stateless KVEncoder to the WALSink.StageRecord shape by
+		// reading the slot's op words at encode time (stable until the
+		// future is answered, which is after the commit that consumes them).
+		s.encKV = func(dst []byte) []byte { return s.kvenc(dst, s.kind, s.key, s.val) }
 	}
 	return b, nil
 }
@@ -491,11 +598,15 @@ type WALSink interface {
 
 // walStash is one executed-but-uncommitted completion: the future, the
 // pending word to CAS against, and the task's result, parked between
-// execution and the batch's group commit.
+// execution and the batch's group commit. Typed KV results park in the kv
+// fields (kv=true) so the logged typed path stays free of boxing.
 type walStash struct {
-	f   *Future
-	w   uint64
-	res any
+	f     *Future
+	w     uint64
+	res   any
+	kv    bool
+	kvVal uint64
+	kvOK  bool
 }
 
 // SetWAL installs the worker's log handle, switching this buffer's sweeps
@@ -515,6 +626,53 @@ type ArenaSink interface {
 // worker polls the buffer; the field is read without synchronisation on the
 // hot path.
 func (b *Buffer) SetArena(a ArenaSink) { b.arena = a }
+
+// Typed KV op kinds for the batched-execution path. The values mirror
+// index.BatchGet..BatchDelete numerically (a test pins the equality) so the
+// sweep can hand its claimed kinds straight to an index batch kernel without
+// this package importing internal/index — the same structural-decoupling
+// pattern as WALSink and ArenaSink.
+const (
+	KVGet uint8 = 1 + iota
+	KVInsert
+	KVUpdate
+	KVDelete
+)
+
+// BatchKernel is the structural mirror of index.BatchKernel: a target that
+// can execute a group of typed point operations with their traversal stages
+// interleaved (software prefetch between stages), with effects and results
+// identical to serial execution in index order. The sweep hands it maximal
+// same-target runs of claimed typed slots.
+type BatchKernel interface {
+	ExecBatch(kinds []uint8, keys, vals, outVals []uint64, outOKs []bool)
+}
+
+// KVEncoder encodes the logical WAL record of one typed KV mutation into
+// dst. It must be stateless with respect to the call site — the sweep
+// invokes it through a per-slot prebuilt closure that reads the slot's
+// kind/key/val fields, which stay stable from post until the future is
+// answered (the owning client never reposts before observing completion).
+type KVEncoder func(dst []byte, kind uint8, key, val uint64) []byte
+
+// SetBatchExec arms the interleaved batched-execution sweep path with the
+// given kernel group width: a local sweep claims every posted slot first,
+// then executes maximal same-kernel runs of typed slots (capped at width)
+// through BatchKernel.ExecBatch, overlapping their cache misses. width < 2
+// disables the path (serial sweeps, the default). Call before any worker
+// polls the buffer; the field is read without synchronisation on the hot
+// path. Opaque closure tasks and typed slots without a kernel still execute
+// serially inside a batched sweep — structures without a kernel silently
+// degrade, they never break.
+func (b *Buffer) SetBatchExec(width int) {
+	if width > SlotsPerBuffer {
+		width = SlotsPerBuffer
+	}
+	if width < 2 {
+		width = 0
+	}
+	b.batchWidth = width
+}
 
 // Sealed reports whether the buffer has been sealed.
 func (b *Buffer) Sealed() bool { return b.sealed.Load() }
@@ -569,6 +727,8 @@ func (b *Buffer) SyncStats() {
 	b.EmptySweep.Store(b.nEmpty)
 	b.Executed.Store(b.nExec)
 	b.Batched.Store(b.nBatch)
+	b.BatchSweeps.Store(b.nBatchSweeps)
+	b.BatchKernelOps.Store(b.nKernOps)
 	b.pubPending.Store(int64(b.Pending()))
 }
 
@@ -597,6 +757,29 @@ func runTask(task Task, hook FaultHook, worker int) (res any) {
 		hook.BeforeTask(worker)
 	}
 	return task()
+}
+
+// runKV executes one claimed typed slot through its kernel via the
+// single-op staging arrays, converting a panic into a PanicError exactly
+// like runTask. Used by the serial sweep bodies (sealed-path sweeps, and
+// live sweeps with batched execution disabled) so typed posts behave
+// identically whichever body claims them.
+func (b *Buffer) runKV(s *Slot, hook FaultHook) (v uint64, ok bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			v, ok, err = 0, false, PanicError{Value: r}
+		}
+	}()
+	if hook != nil {
+		hook.BeforeTask(b.worker)
+	}
+	b.bk1Kind[0] = s.kind
+	b.bk1Key[0] = s.key
+	b.bk1Val[0] = s.val
+	b.bk1OutV[0] = 0
+	b.bk1OutOK[0] = false
+	s.kern.ExecBatch(b.bk1Kind[:], b.bk1Key[:], b.bk1Val[:], b.bk1OutV[:], b.bk1OutOK[:])
+	return b.bk1OutV[0], b.bk1OutOK[0], nil
 }
 
 // Sweep executes all currently posted tasks in the buffer, in slot order,
@@ -628,10 +811,16 @@ func (b *Buffer) Sweep() int {
 	return n
 }
 
-// sweepBody dispatches one pass over the slots: the write-ahead logged
+// sweepBody dispatches one pass over the slots: the interleaved batched
+// variant when SetBatchExec armed it (local sweeps only — sealed-path
+// sweeps may run on foreign goroutines and always take the serial bodies,
+// whose typed branch keeps KV slots working), the write-ahead logged
 // variant when a WAL sink is installed, the original body otherwise — the
-// WAL-off hot path pays exactly one predictable branch.
+// WAL-off serial hot path pays two predictable branches.
 func (b *Buffer) sweepBody(hook FaultHook, probe *obs.WorkerShard, local bool) int {
+	if local && b.batchWidth > 0 {
+		return b.sweepSlotsBatch(hook, probe)
+	}
 	if b.wal != nil {
 		return b.sweepSlotsWAL(hook, probe, local)
 	}
@@ -663,6 +852,7 @@ func (b *Buffer) sweepSlots(hook FaultHook, probe *obs.WorkerShard, local bool) 
 		}
 		task := s.task
 		ro := s.ro
+		kern := s.kern
 		if !s.state.CompareAndSwap(v, v+1) {
 			continue // a seal-path sweep or rescue claimed it first
 		}
@@ -682,6 +872,25 @@ func (b *Buffer) sweepSlots(hook FaultHook, probe *obs.WorkerShard, local bool) 
 			tt = probe.TaskBegin()
 		}
 		sp.MarkExecStart()
+		if kern != nil {
+			// Typed KV slot: one-op kernel execution, serial order.
+			kvV, kvOK, kerr := b.runKV(s, hook)
+			sp.MarkExecEnd()
+			if probe != nil {
+				probe.TaskEnd(tt)
+			}
+			sp.MarkResponded()
+			if kerr != nil {
+				f.err = kerr
+				f.word.CompareAndSwap(w, w|futError)
+				b.Failed.Add(1)
+			} else {
+				f.kvVal, f.kvOK = kvV, kvOK
+				f.word.CompareAndSwap(w, w|futValue)
+			}
+			n++
+			continue
+		}
 		res := runTask(task, hook, b.worker)
 		sp.MarkExecEnd()
 		if probe != nil {
@@ -781,6 +990,7 @@ func (b *Buffer) sweepSlotsWAL(hook FaultHook, probe *obs.WorkerShard, local boo
 		task := s.task
 		ro := s.ro
 		enc := s.enc
+		kern := s.kern
 		if !s.state.CompareAndSwap(v, v+1) {
 			continue // a seal-path sweep or rescue claimed it first
 		}
@@ -793,7 +1003,6 @@ func (b *Buffer) sweepSlotsWAL(hook FaultHook, probe *obs.WorkerShard, local boo
 			mutating = true
 		}
 		s.task = nil
-		s.enc = nil
 		sp := f.span
 		sp.MarkSwept(b.worker)
 		var tt int64
@@ -801,6 +1010,34 @@ func (b *Buffer) sweepSlotsWAL(hook FaultHook, probe *obs.WorkerShard, local boo
 			tt = probe.TaskBegin()
 		}
 		sp.MarkExecStart()
+		if kern != nil {
+			// Typed KV slot: one-op kernel execution. The record encoder
+			// (enc, the slot's prebuilt encKV) reads the slot's op words, so
+			// it must stage before the future is answered — the same
+			// stability window the stash relies on.
+			kvV, kvOK, kerr := b.runKV(s, hook)
+			sp.MarkExecEnd()
+			if probe != nil {
+				probe.TaskEnd(tt)
+			}
+			sp.MarkResponded()
+			switch {
+			case kerr != nil:
+				f.err = kerr
+				f.word.CompareAndSwap(w, w|futError)
+				b.Failed.Add(1)
+			case enc == nil || ro:
+				f.kvVal, f.kvOK = kvV, kvOK
+				f.word.CompareAndSwap(w, w|futValue)
+			default:
+				b.wal.StageRecord(enc)
+				b.stash[ns] = walStash{f: f, w: w, kv: true, kvVal: kvV, kvOK: kvOK}
+				ns++
+			}
+			n++
+			continue
+		}
+		s.enc = nil
 		res := runTask(task, hook, b.worker)
 		sp.MarkExecEnd()
 		if probe != nil {
@@ -835,7 +1072,11 @@ func (b *Buffer) sweepSlotsWAL(hook FaultHook, probe *obs.WorkerShard, local boo
 					b.Failed.Add(1)
 				}
 			} else {
-				st.f.val = st.res
+				if st.kv {
+					st.f.kvVal, st.f.kvOK = st.kvVal, st.kvOK
+				} else {
+					st.f.val = st.res
+				}
 				st.f.word.CompareAndSwap(st.w, st.w|futValue)
 			}
 			*st = walStash{}
@@ -864,6 +1105,277 @@ func (b *Buffer) sweepSlotsWAL(hook FaultHook, probe *obs.WorkerShard, local boo
 		if b.sinceFlush >= statFlushEvery {
 			b.SyncStats()
 		}
+	}
+	return n
+}
+
+// runKernel executes the claimed typed run [i,j) through kern with one
+// interleaved ExecBatch call over the staging arrays, converting a panic —
+// the kernel's own, or an injected BeforeTask fault's — into a PanicError
+// the caller applies to the run's unanswered ops. The worker survives, as
+// with any task panic; BeforeTask fires once per op in the run so injected
+// task-fault budgets drain at the same rate as on the serial path.
+func (b *Buffer) runKernel(kern BatchKernel, i, j int, hook FaultHook) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = PanicError{Value: r}
+		}
+	}()
+	if hook != nil {
+		for g := i; g < j; g++ {
+			hook.BeforeTask(b.worker)
+		}
+	}
+	kern.ExecBatch(b.bkKind[i:j], b.bkKey[i:j], b.bkVal[i:j], b.bkOutV[i:j], b.bkOutOK[i:j])
+	return nil
+}
+
+// sweepSlotsBatch is the interleaved batched sweep body (DESIGN.md §15),
+// taken only by local unsealed sweeps when SetBatchExec armed it. It
+// restructures the pass from claim→execute→answer per slot into three
+// phases over the whole pass:
+//
+//  1. Claim: every posted slot is claimed into the batch array with exactly
+//     the per-slot protocol of the serial bodies (pending-word read, state
+//     CAS; losers walk away). Slot fields stay readable after the claim —
+//     the owning client never reposts before observing its completion.
+//  2. Execute: claimed slots run in slot order. Maximal runs of typed slots
+//     sharing a kernel (capped at the configured width) execute through one
+//     ExecBatch call, which interleaves their traversal stages around
+//     software prefetches so the run's cache misses overlap. Opaque closure
+//     tasks — and typed slots whose structure has no kernel never exist
+//     (the client falls back to closures) — execute serially in place, so a
+//     mixed pass preserves slot order end to end.
+//  3. Answer: results publish with the same future CAS as the serial
+//     bodies. On the WAL path, logged mutations stage their records in
+//     execution order and park in the stash until the end-of-pass group
+//     commit — the group-commit rule and the arena's batch-boundary recycle
+//     point are untouched, because both were already end-of-pass concepts.
+//
+// The mutating window opens once, before anything executes, when any
+// claimed op is non-read — slightly wider than the serial bodies' first-
+// mutation point, which only costs concurrent bypass readers a retry. A
+// panic unwinding the pass aborts the log batch and fails every stashed and
+// claimed-but-unanswered future with a PanicError (FailPending cannot see
+// claimed slots), then re-raises to Worker.Run's crash recovery.
+func (b *Buffer) sweepSlotsBatch(hook FaultHook, probe *obs.WorkerShard) (n int) {
+	nc := 0
+	anyMut := false
+	for i := range b.slots {
+		s := &b.slots[i]
+		v := s.state.Load() // acquire: sees the op fields when posted
+		if v&1 == 0 {
+			continue
+		}
+		f := s.fut
+		w := f.word.Load()
+		if w&futStateMask != futPending {
+			continue // answered by a racing completer this very moment
+		}
+		if !s.state.CompareAndSwap(v, v+1) {
+			continue // a seal-path sweep or rescue claimed it first
+		}
+		if !s.ro {
+			anyMut = true
+		}
+		b.bkSlot[nc] = s
+		b.bkW[nc] = w
+		nc++
+	}
+	if nc == 0 {
+		b.nSweeps++
+		b.nEmpty++
+		b.sinceFlush++
+		if b.sinceFlush >= statFlushEvery {
+			b.SyncStats()
+		}
+		return 0
+	}
+	mutating := false
+	logging := false
+	ns := 0
+	done := 0
+	kernOps := 0
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if logging {
+			b.wal.Abort()
+		}
+		for i := 0; i < ns; i++ {
+			st := &b.stash[i]
+			st.f.err = PanicError{Value: r}
+			st.f.span.MarkResponded()
+			if st.f.word.CompareAndSwap(st.w, st.w|futError) {
+				b.Failed.Add(1)
+			}
+			*st = walStash{}
+		}
+		// Claimed-but-unanswered slots (nil entries are ops a partially
+		// answered run already published; their completion CAS makes the
+		// overlap with the stash loop idempotent).
+		for g := done; g < nc; g++ {
+			s := b.bkSlot[g]
+			if s == nil {
+				continue
+			}
+			f := s.fut
+			f.err = PanicError{Value: r}
+			f.span.MarkResponded()
+			if f.word.CompareAndSwap(b.bkW[g], b.bkW[g]|futError) {
+				b.Failed.Add(1)
+			}
+			b.bkSlot[g] = nil
+		}
+		panic(r)
+	}()
+	if b.wal != nil {
+		// First claimed task of the pass opens the log batch: Begin takes
+		// the domain quiescence gate's read side for every execution in the
+		// pass, logged or not, exactly like the serial WAL body.
+		b.wal.Begin()
+		logging = true
+	}
+	if anyMut {
+		b.mutEnter.Add(1)
+		mutating = true
+	}
+	for done < nc {
+		s := b.bkSlot[done]
+		if s.kern == nil {
+			// Opaque closure task: serial execution in place, identical to
+			// the serial bodies.
+			f := s.fut
+			w := b.bkW[done]
+			task := s.task
+			ro := s.ro
+			enc := s.enc
+			s.task = nil
+			s.enc = nil
+			sp := f.span
+			sp.MarkSwept(b.worker)
+			var tt int64
+			if probe != nil {
+				tt = probe.TaskBegin()
+			}
+			sp.MarkExecStart()
+			res := runTask(task, hook, b.worker)
+			sp.MarkExecEnd()
+			if probe != nil {
+				probe.TaskEnd(tt)
+			}
+			sp.MarkResponded()
+			if pe, ok := res.(PanicError); ok {
+				f.err = pe
+				f.word.CompareAndSwap(w, w|futError)
+				b.Failed.Add(1)
+			} else if logging && enc != nil && !ro {
+				b.wal.StageRecord(enc)
+				b.stash[ns] = walStash{f: f, w: w, res: res}
+				ns++
+			} else {
+				f.val = res
+				f.word.CompareAndSwap(w, w|futValue)
+			}
+			b.bkSlot[done] = nil
+			done++
+			n++
+			continue
+		}
+		// Typed run: extend over subsequent claimed ops on the same kernel,
+		// up to the configured group width.
+		kern := s.kern
+		j := done + 1
+		for j < nc && j-done < b.batchWidth && b.bkSlot[j].kern == kern {
+			j++
+		}
+		for g := done; g < j; g++ {
+			sg := b.bkSlot[g]
+			b.bkKind[g] = sg.kind
+			b.bkKey[g] = sg.key
+			b.bkVal[g] = sg.val
+			b.bkOutV[g] = 0
+			b.bkOutOK[g] = false
+			sp := sg.fut.span
+			sp.MarkSwept(b.worker)
+			sp.MarkExecStart()
+		}
+		var tt int64
+		if probe != nil {
+			// The run times as one probe task (its ops genuinely overlap);
+			// the per-op count is BatchKernelOps.
+			tt = probe.TaskBegin()
+		}
+		kerr := b.runKernel(kern, done, j, hook)
+		if probe != nil {
+			probe.TaskEnd(tt)
+		}
+		for g := done; g < j; g++ {
+			sg := b.bkSlot[g]
+			f := sg.fut
+			w := b.bkW[g]
+			sp := f.span
+			sp.MarkExecEnd()
+			sp.MarkResponded()
+			switch {
+			case kerr != nil:
+				f.err = kerr
+				f.word.CompareAndSwap(w, w|futError)
+				b.Failed.Add(1)
+			case logging && sg.enc != nil && !sg.ro:
+				b.wal.StageRecord(sg.enc)
+				b.stash[ns] = walStash{f: f, w: w, kv: true, kvVal: b.bkOutV[g], kvOK: b.bkOutOK[g]}
+				ns++
+			default:
+				f.kvVal, f.kvOK = b.bkOutV[g], b.bkOutOK[g]
+				f.word.CompareAndSwap(w, w|futValue)
+			}
+			b.bkSlot[g] = nil
+			n++
+		}
+		kernOps += j - done
+		done = j
+	}
+	if logging {
+		err := b.wal.Commit(hook != nil)
+		logging = false
+		for i := 0; i < ns; i++ {
+			st := &b.stash[i]
+			if err != nil {
+				st.f.err = PanicError{Value: err}
+				if st.f.word.CompareAndSwap(st.w, st.w|futError) {
+					b.Failed.Add(1)
+				}
+			} else {
+				if st.kv {
+					st.f.kvVal, st.f.kvOK = st.kvVal, st.kvOK
+				} else {
+					st.f.val = st.res
+				}
+				st.f.word.CompareAndSwap(st.w, st.w|futValue)
+			}
+			*st = walStash{}
+		}
+		ns = 0
+	}
+	if mutating {
+		b.mutExit.Add(1) // close the mutating window: pair balanced again
+	}
+	if b.arena != nil {
+		b.arena.Reset() // batch boundary, post-commit: nothing batch-lived survives
+	}
+	b.nSweeps++
+	b.sinceFlush++
+	b.nExec += uint64(n)
+	if n > 1 {
+		b.nBatch += uint64(n)
+	}
+	b.nBatchSweeps++
+	b.nKernOps += uint64(kernOps)
+	if b.sinceFlush >= statFlushEvery {
+		b.SyncStats()
 	}
 	return n
 }
@@ -1214,6 +1726,44 @@ func (c *Client) Await(h InvokeHandle) (any, error) {
 	return v, err
 }
 
+// PostReservedKV posts a typed key/value op into a slot obtained from
+// Reserve without waiting, returning the handle to AwaitKV later. The op
+// carries no closure: the worker's interleaved sweep body groups adjacent
+// typed ops on the same kernel into one ExecBatch call, overlapping their
+// traversal cache misses. On a worker without batching armed the op runs
+// through the same kernel one at a time — semantics are identical either
+// way, only the execution schedule changes.
+func (c *Client) PostReservedKV(i int32, kern BatchKernel, kind uint8, key, val uint64) InvokeHandle {
+	return c.postReservedKV(i, kern, kind, key, val, nil)
+}
+
+// PostReservedKVLogged is PostReservedKV for a logged mutation: kvenc
+// encodes the op's logical WAL record on the worker and the handle's future
+// completes only after the sweep batch group-commits.
+func (c *Client) PostReservedKVLogged(i int32, kern BatchKernel, kind uint8, key, val uint64, kvenc KVEncoder) InvokeHandle {
+	return c.postReservedKV(i, kern, kind, key, val, kvenc)
+}
+
+func (c *Client) postReservedKV(i int32, kern BatchKernel, kind uint8, key, val uint64, kvenc KVEncoder) InvokeHandle {
+	s := c.slots[i]
+	f := &s.fut0
+	tok := f.begin()
+	if c.probe != nil {
+		f.span = c.probe.PostRecycled()
+	}
+	s.postKV(kern, kind, key, val, f, kvenc)
+	return InvokeHandle{slot: i, tok: tok}
+}
+
+// AwaitKV blocks until a typed handle's op completes, frees its slot, and
+// returns the kernel's value/found pair. Each handle must be awaited
+// exactly once, with the await flavour matching the post flavour.
+func (c *Client) AwaitKV(h InvokeHandle) (uint64, bool, error) {
+	v, ok, err := c.slots[h.slot].fut0.awaitTokenKV(h.tok)
+	c.free = append(c.free, h.slot)
+	return v, ok, err
+}
+
 // HandleDone reports, without blocking or freeing the slot, whether the
 // handle's invocation has completed. Valid only between PostReserved and
 // Await — the embedded future's word equals the handle's token exactly while
@@ -1310,6 +1860,40 @@ func (c *Client) InvokeLoggedErr(task Task, enc func(dst []byte) []byte) (any, e
 // delegated read serializes with mutations exactly like any other task, it
 // just must not spuriously invalidate concurrent bypass readers.
 func (c *Client) InvokeReadErr(task Task) (any, error) { return c.invokeErr(task, true, nil) }
+
+// InvokeKVErr delegates a typed key/value op synchronously: the op's kind,
+// key and value travel in the slot itself (no closure, no boxing) and the
+// worker executes it through kern — batched with neighbouring typed ops
+// when interleaved execution is armed, one at a time otherwise. Returns the
+// kernel's value/found pair. Zero-allocation like InvokeErr.
+func (c *Client) InvokeKVErr(kern BatchKernel, kind uint8, key, val uint64) (uint64, bool, error) {
+	return c.invokeKVErr(kern, kind, key, val, nil)
+}
+
+// InvokeKVLoggedErr is InvokeKVErr for a logged mutation: kvenc encodes the
+// op's logical WAL record on the worker (from the same kind/key/val the
+// kernel executed) and the call returns only after the record's batch
+// group-commits, so success implies durable.
+func (c *Client) InvokeKVLoggedErr(kern BatchKernel, kind uint8, key, val uint64, kvenc KVEncoder) (uint64, bool, error) {
+	return c.invokeKVErr(kern, kind, key, val, kvenc)
+}
+
+func (c *Client) invokeKVErr(kern BatchKernel, kind uint8, key, val uint64, kvenc KVEncoder) (uint64, bool, error) {
+	i := c.takeSlot()
+	s := c.slots[i]
+	f := &s.fut0
+	tok := f.begin()
+	if c.probe != nil {
+		if kind == KVGet {
+			c.probe.CountRead()
+		}
+		f.span = c.probe.PostRecycled()
+	}
+	s.postKV(kern, kind, key, val, f, kvenc)
+	v, ok, err := f.awaitTokenKV(tok)
+	c.free = append(c.free, i)
+	return v, ok, err
+}
 
 func (c *Client) invokeErr(task Task, ro bool, enc func(dst []byte) []byte) (any, error) {
 	i := c.takeSlot()

@@ -1,0 +1,128 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"robustconf/internal/core"
+	"robustconf/internal/delegation"
+	"robustconf/internal/index"
+	"robustconf/internal/index/btree"
+	"robustconf/internal/index/bwtree"
+	"robustconf/internal/index/fptree"
+	"robustconf/internal/index/hashmap"
+	"robustconf/internal/topology"
+	"robustconf/internal/workload"
+)
+
+// BatchExecAblation is the real-execution ablation of the interleaved-
+// execution axis (DESIGN.md §15): the same seeded YCSB read-update stream
+// runs against each index through pipelined typed ops (Session.SubmitKV in
+// bursts of the paper's 14), once with serial sweeps and once per
+// interleaved group width. A single-worker domain concentrates the burst in
+// one buffer, so a sweep pass claims the whole burst and the kernel gets
+// its full group to overlap — the configuration the axis is for. Rows
+// report measured per-op latency on this host; the factor column is the
+// speed-up over the serial schedule of the identical op stream.
+func BatchExecAblation() (string, error) {
+	const records = 100_000
+	const ops = 56_000 // a multiple of the burst: every pass is full
+	const burst = 14
+	const seed = int64(1)
+
+	m, err := topology.Restricted(1)
+	if err != nil {
+		return "", err
+	}
+	builders := []struct {
+		name  string
+		build func() index.Index
+	}{
+		{"Hash Map", func() index.Index { return hashmap.New() }},
+		{"B-Tree", func() index.Index { return btree.New() }},
+		{"FP-Tree", func() index.Index { return fptree.New() }},
+		{"BW-Tree", func() index.Index { return bwtree.New() }},
+	}
+
+	run := func(build func() index.Index, width int) (time.Duration, error) {
+		idx := build()
+		for _, k := range workload.LoadKeys(records) {
+			idx.Insert(k, k, nil)
+		}
+		cfg := core.Config{
+			Machine:    m,
+			Domains:    []core.DomainSpec{{Name: "d0", CPUs: topology.Range(0, 1)}},
+			Assignment: map[string]int{"ycsb": 0},
+		}
+		if width >= 2 {
+			cfg.BatchExec = core.BatchExecConfig{Enabled: true, Width: width}
+		}
+		rt, err := core.Start(cfg, map[string]any{"ycsb": idx})
+		if err != nil {
+			return 0, err
+		}
+		defer rt.Stop()
+		session, err := rt.NewSession(0, burst)
+		if err != nil {
+			return 0, err
+		}
+		defer session.Close()
+		gen, err := workload.NewGenerator(workload.A, records, 0, seed)
+		if err != nil {
+			return 0, err
+		}
+		var futs [burst]*core.AsyncFuture
+		start := time.Now()
+		for done := 0; done < ops; done += burst {
+			for i := 0; i < burst; i++ {
+				op := gen.Next()
+				kind := delegation.KVGet
+				switch op.Type {
+				case workload.OpUpdate:
+					kind = delegation.KVUpdate
+				case workload.OpInsert:
+					kind = delegation.KVInsert
+				}
+				futs[i], err = session.SubmitKV("ycsb", kind, op.Key, op.Val)
+				if err != nil {
+					return 0, err
+				}
+			}
+			for i := 0; i < burst; i++ {
+				if _, _, err := futs[i].WaitKV(); err != nil {
+					return 0, err
+				}
+			}
+		}
+		return time.Since(start), nil
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Batch-exec ablation: %d records, %d typed ops in bursts of %d, one client, 1-worker domain\n",
+		records, ops, burst)
+	fmt.Fprintf(&b, "%-24s %12s %12s %10s\n", "structure / schedule", "ns/op", "ops/s", "vs serial")
+	for _, bl := range builders {
+		serial, err := run(bl.build, 0)
+		if err != nil {
+			return "", fmt.Errorf("%s serial: %w", bl.name, err)
+		}
+		serialNs := float64(serial.Nanoseconds()) / ops
+		row := func(label string, dur time.Duration) {
+			ns := float64(dur.Nanoseconds()) / ops
+			fmt.Fprintf(&b, "%-24s %12.0f %12.0f %9.2fx\n",
+				bl.name+" "+label, ns, float64(ops)/dur.Seconds(), serialNs/ns)
+		}
+		row("serial", serial)
+		for _, w := range []int{4, 8, 15} {
+			dur, err := run(bl.build, w)
+			if err != nil {
+				return "", fmt.Errorf("%s width %d: %w", bl.name, w, err)
+			}
+			row(fmt.Sprintf("width=%d", w), dur)
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("(vs serial > 1 means the interleaved schedule is faster on the identical op stream)\n")
+	return b.String(), nil
+}

@@ -129,23 +129,66 @@ func (t *WALTree) WALSnapshot(w io.Writer) error {
 	return err
 }
 
+// restoreChunk sizes WALRestore's read buffer: 4Ki pairs per read call, so
+// restoring a checkpoint costs one read syscall per 64KiB instead of one
+// per 16-byte pair.
+const restoreChunk = 1 << 16
+
 // WALRestore rebuilds the wrapper in place from a snapshot stream: a fresh
-// inner index is filled and swapped in atomically.
+// inner index is filled and swapped in atomically. The stream is consumed
+// in chunks, and the pairs arrive sorted (WALSnapshot scans in order), so
+// the inner index's sorted-load fast path sees a pure ascending key
+// sequence.
 func (t *WALTree) WALRestore(r io.Reader) error {
 	in := t.fresh()
-	var buf [16]byte
+	buf := make([]byte, restoreChunk)
+	fill := 0
 	for {
-		_, err := io.ReadFull(r, buf[:])
+		n, err := r.Read(buf[fill:])
+		fill += n
+		rest := 0
+		for ; rest+16 <= fill; rest += 16 {
+			in.Insert(binary.LittleEndian.Uint64(buf[rest:rest+8]),
+				binary.LittleEndian.Uint64(buf[rest+8:rest+16]), nil)
+		}
+		fill = copy(buf, buf[rest:fill])
 		if err == io.EOF {
+			if fill != 0 {
+				return io.ErrUnexpectedEOF
+			}
 			break
 		}
 		if err != nil {
 			return err
 		}
-		in.Insert(binary.LittleEndian.Uint64(buf[:8]), binary.LittleEndian.Uint64(buf[8:]), nil)
 	}
 	t.cur.Store(in)
 	return nil
+}
+
+// ExecBatch implements delegation.BatchKernel by forwarding to the inner
+// index's batch kernel when it has one, so a WAL-wrapped structure keeps
+// the interleaved-execution axis (DESIGN.md §15); an inner index without a
+// kernel executes the group serially through the wrapper's point ops —
+// observationally identical, per the kernel contract.
+func (t *WALTree) ExecBatch(kinds []uint8, keys, vals, outVals []uint64, outOKs []bool) {
+	in := t.inner()
+	if bk, ok := in.(index.BatchKernel); ok {
+		bk.ExecBatch(kinds, keys, vals, outVals, outOKs)
+		return
+	}
+	for i := range kinds {
+		switch kinds[i] {
+		case index.BatchGet:
+			outVals[i], outOKs[i] = in.Get(keys[i], nil)
+		case index.BatchInsert:
+			outVals[i], outOKs[i] = 0, in.Insert(keys[i], vals[i], nil)
+		case index.BatchUpdate:
+			outVals[i], outOKs[i] = 0, in.Update(keys[i], vals[i], nil)
+		case index.BatchDelete:
+			outVals[i], outOKs[i] = 0, in.Delete(keys[i], nil)
+		}
+	}
 }
 
 // WALApply applies one committed logical record.

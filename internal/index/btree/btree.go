@@ -10,8 +10,10 @@ package btree
 
 import (
 	"sync/atomic"
+	"unsafe"
 
 	"robustconf/internal/index"
+	"robustconf/internal/prefetch"
 	"robustconf/internal/syncprims"
 )
 
@@ -44,6 +46,12 @@ type Tree struct {
 	count      atomic.Int64
 	structLock syncprims.SpinLock    // the paper's "global lock for inserts"
 	version    syncprims.VersionLock // reader validation of structural changes
+	// maxKey is the largest key ever inserted (never lowered on delete, so
+	// it may be stale-high — which keeps the k > maxKey append fast-path
+	// trigger safe: a strictly greater key is new and belongs at the
+	// rightmost edge regardless). Guarded by structLock.
+	maxKey uint64
+	hasMax bool
 }
 
 // New returns an empty tree.
@@ -200,8 +208,26 @@ func (t *Tree) Insert(k, v uint64, st *index.OpStats) bool {
 		lf.values[0].Store(v)
 		t.root = lf
 		t.version.WriteUnlock()
+		t.maxKey, t.hasMax = k, true
 		t.count.Add(1)
 		st.Visit(1, index.CacheLines(leafBytes))
+		return true
+	}
+
+	// Sorted-append fast path: a key beyond the current maximum is new by
+	// construction and belongs at the rightmost edge. Appending there packs
+	// nodes full instead of median-splitting them, so a sorted load (the
+	// checkpoint-restore stream, a time-ordered key sequence) builds the
+	// tree with half the node allocations and full occupancy.
+	if t.hasMax && k > t.maxKey {
+		t.version.WriteLock()
+		split := t.appendMax(k, v, st)
+		t.version.WriteUnlock()
+		t.maxKey = k
+		if split && st != nil {
+			st.Splits++
+		}
+		t.count.Add(1)
 		return true
 	}
 
@@ -232,6 +258,68 @@ func (t *Tree) insertAt(k, v uint64, st *index.OpStats) bool {
 	r.children[0] = t.root
 	r.children[1] = newChild
 	t.root = r
+	t.height++
+	return true
+}
+
+// appendMax inserts k (strictly greater than every present key) at the
+// rightmost edge: into the last leaf while it has room, otherwise into a
+// fresh single-record right sibling whose separator climbs the rightmost
+// inner spine — full spine nodes get a fresh single-child sibling too, so
+// a pure ascending load leaves every node fully packed. Runs under the
+// structural lock with the version write-locked; reports whether the tree
+// grew a node.
+func (t *Tree) appendMax(k, v uint64, st *index.OpStats) bool {
+	var spine [32]*inner
+	depth := 0
+	node := t.root
+	for {
+		in, ok := node.(*inner)
+		if !ok {
+			break
+		}
+		st.Visit(1, index.CacheLines(innerBytes))
+		spine[depth] = in
+		depth++
+		node = in.children[in.num]
+	}
+	lf := node.(*leaf)
+	st.Visit(1, index.CacheLines(leafBytes))
+	if lf.num < leafSlots {
+		lf.keys[lf.num] = k
+		lf.values[lf.num].Store(v)
+		lf.num++
+		return false
+	}
+	r := &leaf{num: 1}
+	r.keys[0] = k
+	r.values[0].Store(v)
+	lf.next = r
+	if st != nil {
+		st.BytesCopied += 16
+	}
+	// The separator (k itself: everything existing is strictly below it)
+	// climbs the spine; a full spine node gets a single-child sibling and
+	// the separator keeps climbing.
+	var child any = r
+	for i := depth - 1; i >= 0; i-- {
+		in := spine[i]
+		if in.num < innerSlots {
+			in.keys[in.num] = k
+			in.children[in.num+1] = child
+			in.num++
+			return true
+		}
+		nr := &inner{}
+		nr.children[0] = child
+		child = nr
+	}
+	// Every spine node was full (or the root is a leaf): grow the root.
+	nr := &inner{num: 1}
+	nr.keys[0] = k
+	nr.children[0] = t.root
+	nr.children[1] = child
+	t.root = nr
 	t.height++
 	return true
 }
@@ -394,6 +482,67 @@ func (t *Tree) Scan(lo, hi uint64, fn func(k, v uint64) bool, st *index.OpStats)
 		}
 		if t.version.ReadValidate(ver) {
 			return n
+		}
+	}
+}
+
+// batchStride is the interleaved group width of one ExecBatch round; 16
+// in-flight descents keep the stage arrays on the stack while exceeding the
+// line-fill-buffer depth the prefetches need to overlap.
+const batchStride = 16
+
+// ExecBatch implements index.BatchKernel with a level-synchronous descent:
+// every operation in the group advances one tree level per round, and the
+// child node each will visit next is prefetched before any of them is
+// touched, so the group's per-level cache misses overlap. The locate stage
+// uses plain reads — within the delegation runtime the sweeping worker is
+// the sole mutator and the B-Tree takes no bypass readers
+// (ConcurrentReadSafe is false), so nothing races — and is discarded
+// entirely by the execute stage, which re-runs each operation through the
+// public methods in index order (the serial-equivalence contract).
+func (t *Tree) ExecBatch(kinds []uint8, keys, vals, outVals []uint64, outOKs []bool) {
+	var cur [batchStride]any
+	for base := 0; base < len(kinds); base += batchStride {
+		n := len(kinds) - base
+		if n > batchStride {
+			n = batchStride
+		}
+		for i := 0; i < n; i++ {
+			cur[i] = t.root
+		}
+		// Descend level-synchronously until every op sits on its leaf.
+		for {
+			advanced := false
+			for i := 0; i < n; i++ {
+				in, ok := cur[i].(*inner)
+				if !ok {
+					continue
+				}
+				c := in.children[searchKeys(in.keys[:in.num], keys[base+i])]
+				cur[i] = c
+				switch c := c.(type) {
+				case *inner:
+					prefetch.Line(unsafe.Pointer(c))
+					advanced = true
+				case *leaf:
+					prefetch.Line(unsafe.Pointer(c))
+				}
+			}
+			if !advanced {
+				break
+			}
+		}
+		for i := base; i < base+n; i++ {
+			switch kinds[i] {
+			case index.BatchGet:
+				outVals[i], outOKs[i] = t.Get(keys[i], nil)
+			case index.BatchInsert:
+				outVals[i], outOKs[i] = 0, t.Insert(keys[i], vals[i], nil)
+			case index.BatchUpdate:
+				outVals[i], outOKs[i] = 0, t.Update(keys[i], vals[i], nil)
+			case index.BatchDelete:
+				outVals[i], outOKs[i] = 0, t.Delete(keys[i], nil)
+			}
 		}
 	}
 }

@@ -300,3 +300,120 @@ func TestScanPropertyMatchesSortedKeys(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestSortedAppendFastPath exercises the k > maxKey append path: a pure
+// ascending load must leave a fully correct tree (every key retrievable,
+// scan ordered and complete), and a subsequent mixed workload below the
+// maximum — landing in the fully-packed nodes the fast path builds — must
+// keep matching a map oracle through the generic split path.
+func TestSortedAppendFastPath(t *testing.T) {
+	tr := New()
+	const n = 5000
+	oracle := map[uint64]uint64{}
+	for k := uint64(1); k <= n; k++ {
+		if !tr.Insert(k, k*3, nil) {
+			t.Fatalf("ascending insert %d rejected", k)
+		}
+		oracle[k] = k * 3
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+	prev := uint64(0)
+	got := 0
+	tr.Scan(0, ^uint64(0), func(k, v uint64) bool {
+		if k <= prev {
+			t.Fatalf("scan out of order: %d after %d", k, prev)
+		}
+		if v != oracle[k] {
+			t.Fatalf("scan value for %d = %d, want %d", k, v, oracle[k])
+		}
+		prev = k
+		got++
+		return true
+	}, nil)
+	if got != n {
+		t.Fatalf("scan saw %d keys, want %d", got, n)
+	}
+	// Mixed follow-up below the maximum: generic inserts split the packed
+	// leaves; deletes and re-inserts around the (stale-high) maximum.
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		k := uint64(rng.Intn(2*n)) + 1
+		switch rng.Intn(3) {
+		case 0:
+			v := rng.Uint64()
+			if tr.Insert(k, v, nil) {
+				if _, dup := oracle[k]; dup {
+					t.Fatalf("insert %d accepted a duplicate", k)
+				}
+				oracle[k] = v
+			} else if _, dup := oracle[k]; !dup {
+				t.Fatalf("insert %d rejected a fresh key", k)
+			}
+		case 1:
+			_, present := oracle[k]
+			if tr.Delete(k, nil) != present {
+				t.Fatalf("delete %d disagreed with oracle (present=%v)", k, present)
+			}
+			delete(oracle, k)
+		case 2:
+			want, present := oracle[k]
+			if v, ok := tr.Get(k, nil); ok != present || (ok && v != want) {
+				t.Fatalf("Get(%d) = %d,%v, oracle %d,%v", k, v, ok, want, present)
+			}
+		}
+	}
+	if tr.Len() != len(oracle) {
+		t.Fatalf("Len = %d, oracle %d", tr.Len(), len(oracle))
+	}
+	for k, want := range oracle {
+		if v, ok := tr.Get(k, nil); !ok || v != want {
+			t.Fatalf("Get(%d) = %d,%v, want %d,true", k, v, ok, want)
+		}
+	}
+}
+
+// TestSortedAppendPacksNodes pins what the fast path is for: an ascending
+// load allocates one node per leafSlots records plus the thin inner spine —
+// about half the median-split cost — and leaves leaves fully packed.
+func TestSortedAppendPacksNodes(t *testing.T) {
+	tr := New()
+	var k uint64
+	n := testing.AllocsPerRun(16384, func() {
+		k++
+		tr.Insert(k, k, nil)
+	})
+	// One leaf per 16 inserts plus spine inners: ~0.07 allocs per op; the
+	// median-split path costs double. Guard with headroom.
+	if n > 0.1 {
+		t.Errorf("ascending insert allocates %.3f per op, want packed-append (< 0.1)", n)
+	}
+	full, leaves := 0, 0
+	tr.Scan(0, ^uint64(0), func(uint64, uint64) bool { return true }, nil)
+	for lf := leftmostLeaf(tr); lf != nil; lf = lf.next {
+		leaves++
+		if lf.num == leafSlots {
+			full++
+		}
+	}
+	// Every leaf but the in-progress rightmost one is fully packed.
+	if leaves == 0 || full < leaves-1 {
+		t.Errorf("%d of %d leaves fully packed, want all but the last", full, leaves)
+	}
+}
+
+// leftmostLeaf descends the leftmost spine (test helper).
+func leftmostLeaf(t *Tree) *leaf {
+	node := t.root
+	for {
+		switch n := node.(type) {
+		case *inner:
+			node = n.children[0]
+		case *leaf:
+			return n
+		default:
+			return nil
+		}
+	}
+}

@@ -17,9 +17,12 @@ package bwtree
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
+	"unsafe"
 
 	"robustconf/internal/index"
+	"robustconf/internal/prefetch"
 )
 
 const (
@@ -97,12 +100,48 @@ type Tree struct {
 	mapping []atomic.Pointer[node]
 	nextPID atomic.Uint32
 	count   atomic.Int64
+	scratch sync.Pool // *opScratch
 
 	// CASFailures and Consolidations are cumulative structure-wide counters
 	// mirrored into per-op stats as they occur.
 	CASFailures    atomic.Uint64
 	Consolidations atomic.Uint64
 }
+
+// maxPath sizes the scratch descend-path array; with ≥2 children per inner
+// node, 16 levels address far beyond the mapping table's capacity, so the
+// append fallback to a heap-grown path never triggers in practice.
+const maxPath = 16
+
+// kv pairs a key with its resolved value in flatten scratch buffers.
+type kv struct{ k, v uint64 }
+
+// opScratch is pooled per-operation traversal state: the descend path and
+// the delta-resolution buffers of flatten. Pooling it makes steady-state
+// point operations free of incidental allocations — the only remaining
+// per-mutation allocation is the published delta record itself, which lives
+// on in the structure (recycling it would require epoch reclamation, since
+// concurrent bypass readers may still be traversing a chain after its slot
+// is CAS'd away; the Go GC is the epoch scheme here, as the package comment
+// notes).
+type opScratch struct {
+	pathBuf [maxPath]pid
+	// flatten buffers, sized for a chain at the consolidation threshold;
+	// chains only exceed that under CAS-failure races, and the slices then
+	// grow off the scratch arrays transparently.
+	resolved [consolidateAt + 2]kv   // newest-first resolution, newest wins
+	dead     [consolidateAt + 2]bool // parallel: resolved as deleted
+	extraBuf [consolidateAt + 2]kv   // resolved keys absent from the base
+}
+
+func (t *Tree) getScratch() *opScratch {
+	if sc, ok := t.scratch.Get().(*opScratch); ok {
+		return sc
+	}
+	return &opScratch{}
+}
+
+func (t *Tree) putScratch(sc *opScratch) { t.scratch.Put(sc) }
 
 // DefaultCapacity is the mapping-table size of New: 1Mi slots address well
 // beyond 30M records at the default leaf size.
@@ -153,9 +192,9 @@ func (t *Tree) Len() int { return int(t.count.Load()) }
 // descend walks from the root to the leaf responsible for k, following
 // B-link right pointers past in-progress splits. It returns the leaf's pid,
 // the chain head it observed, and the pid path of inner nodes visited
-// (root first) for parent maintenance.
-func (t *Tree) descend(k uint64, st *index.OpStats) (pid, *node, []pid) {
-	var path []pid
+// (root first) for parent maintenance, appended into the caller's path
+// buffer (normally the scratch's fixed array, so no allocation).
+func (t *Tree) descend(k uint64, st *index.OpStats, path []pid) (pid, *node, []pid) {
 	p := pid(rootPID)
 	depth := uint64(0)
 	for {
@@ -224,8 +263,11 @@ func (t *Tree) Get(k uint64, st *index.OpStats) (uint64, bool) {
 	if st != nil {
 		st.Ops++
 	}
-	_, head, _ := t.descend(k, st)
-	return chainLookup(head, k, st)
+	sc := t.getScratch()
+	_, head, _ := t.descend(k, st, sc.pathBuf[:0])
+	v, ok := chainLookup(head, k, st)
+	t.putScratch(sc)
+	return v, ok
 }
 
 // Insert implements index.Index by publishing an insert delta with CAS.
@@ -233,8 +275,10 @@ func (t *Tree) Insert(k, v uint64, st *index.OpStats) bool {
 	if st != nil {
 		st.Ops++
 	}
+	sc := t.getScratch()
+	defer t.putScratch(sc)
 	for {
-		p, head, path := t.descend(k, st)
+		p, head, path := t.descend(k, st, sc.pathBuf[:0])
 		if _, exists := chainLookup(head, k, st); exists {
 			return false
 		}
@@ -245,7 +289,7 @@ func (t *Tree) Insert(k, v uint64, st *index.OpStats) bool {
 		if t.mapping[p].CompareAndSwap(head, d) {
 			t.count.Add(1)
 			if d.depth >= consolidateAt {
-				t.consolidate(p, d, path, st)
+				t.consolidate(p, d, path, st, sc)
 			}
 			return true
 		}
@@ -261,8 +305,10 @@ func (t *Tree) Update(k, v uint64, st *index.OpStats) bool {
 	if st != nil {
 		st.Ops++
 	}
+	sc := t.getScratch()
+	defer t.putScratch(sc)
 	for {
-		p, head, path := t.descend(k, st)
+		p, head, path := t.descend(k, st, sc.pathBuf[:0])
 		if _, exists := chainLookup(head, k, st); !exists {
 			return false
 		}
@@ -272,7 +318,7 @@ func (t *Tree) Update(k, v uint64, st *index.OpStats) bool {
 		}
 		if t.mapping[p].CompareAndSwap(head, d) {
 			if d.depth >= consolidateAt {
-				t.consolidate(p, d, path, st)
+				t.consolidate(p, d, path, st, sc)
 			}
 			return true
 		}
@@ -290,8 +336,10 @@ func (t *Tree) Delete(k uint64, st *index.OpStats) bool {
 	if st != nil {
 		st.Ops++
 	}
+	sc := t.getScratch()
+	defer t.putScratch(sc)
 	for {
-		p, head, path := t.descend(k, st)
+		p, head, path := t.descend(k, st, sc.pathBuf[:0])
 		if _, exists := chainLookup(head, k, st); !exists {
 			return false
 		}
@@ -302,7 +350,7 @@ func (t *Tree) Delete(k uint64, st *index.OpStats) bool {
 		if t.mapping[p].CompareAndSwap(head, d) {
 			t.count.Add(-1)
 			if d.depth >= consolidateAt {
-				t.consolidate(p, d, path, st)
+				t.consolidate(p, d, path, st, sc)
 			}
 			return true
 		}
@@ -313,42 +361,65 @@ func (t *Tree) Delete(k uint64, st *index.OpStats) bool {
 	}
 }
 
-// flatten merges a leaf chain into sorted key/value slices.
-func flatten(head *node) (keys, vals []uint64, b *node) {
+// insertionSortKVs sorts a small kv slice by key in place. The slice is a
+// chain's worth of entries (~consolidateAt), so the quadratic bound is
+// irrelevant and the sort stays allocation-free (sort.Slice would build a
+// reflect-based swapper).
+func insertionSortKVs(a []kv) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j].k < a[j-1].k; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// resolveIdx returns the index of k in the resolved buffer, or -1. Linear
+// scan: the buffer holds one entry per distinct delta key in a chain.
+func resolveIdx(resolved []kv, k uint64) int {
+	for i := range resolved {
+		if resolved[i].k == k {
+			return i
+		}
+	}
+	return -1
+}
+
+// flatten merges a leaf chain into sorted key/value slices. The output
+// slices are freshly allocated (they become the new base's payload); all
+// intermediate delta-resolution state lives in the scratch's fixed buffers,
+// replacing the per-consolidation maps and sort.Slice closure this function
+// used to allocate.
+func flatten(head *node, sc *opScratch) (keys, vals []uint64, b *node) {
 	b = head.base()
-	type kv struct{ k, v uint64 }
-	// Newest-first wins: collect delta overrides (deletions drop the
-	// key), then merge with the base.
-	overrides := map[uint64]uint64{}
-	deleted := map[uint64]bool{}
-	inserted := []kv{}
+	// Newest-first wins: resolve each distinct delta key once (deletions
+	// drop the key), then merge with the base.
+	resolved := sc.resolved[:0]
+	dead := sc.dead[:0]
 	for n := head; n != nil; n = n.next {
 		if n.kind != leafInsertDelta && n.kind != leafUpdateDelta && n.kind != leafDeleteDelta {
 			break
 		}
-		if _, seen := overrides[n.key]; seen || deleted[n.key] {
+		if resolveIdx(resolved, n.key) >= 0 {
 			continue
 		}
-		if n.kind == leafDeleteDelta {
-			deleted[n.key] = true
+		resolved = append(resolved, kv{n.key, n.val})
+		dead = append(dead, n.kind == leafDeleteDelta)
+	}
+	keys = make([]uint64, 0, len(b.keys)+len(resolved))
+	vals = make([]uint64, 0, len(b.keys)+len(resolved))
+	// Live resolved keys absent from the (sorted) base are merged in key
+	// order alongside it.
+	extra := sc.extraBuf[:0]
+	for i, e := range resolved {
+		if dead[i] {
 			continue
 		}
-		overrides[n.key] = n.val
-		inserted = append(inserted, kv{n.key, n.val})
-	}
-	keys = make([]uint64, 0, len(b.keys)+len(inserted))
-	vals = make([]uint64, 0, len(b.keys)+len(inserted))
-	extra := make([]kv, 0, len(inserted))
-	inBase := map[uint64]bool{}
-	for _, k := range b.keys {
-		inBase[k] = true
-	}
-	for _, e := range inserted {
-		if !inBase[e.k] {
+		j := sort.Search(len(b.keys), func(j int) bool { return b.keys[j] >= e.k })
+		if j >= len(b.keys) || b.keys[j] != e.k {
 			extra = append(extra, e)
 		}
 	}
-	sort.Slice(extra, func(i, j int) bool { return extra[i].k < extra[j].k })
+	insertionSortKVs(extra)
 	ei := 0
 	for i, k := range b.keys {
 		for ei < len(extra) && extra[ei].k < k {
@@ -356,15 +427,16 @@ func flatten(head *node) (keys, vals []uint64, b *node) {
 			vals = append(vals, extra[ei].v)
 			ei++
 		}
-		if deleted[k] {
+		if ri := resolveIdx(resolved, k); ri >= 0 {
+			if dead[ri] {
+				continue
+			}
+			keys = append(keys, k)
+			vals = append(vals, resolved[ri].v)
 			continue
 		}
 		keys = append(keys, k)
-		if ov, ok := overrides[k]; ok {
-			vals = append(vals, ov)
-		} else {
-			vals = append(vals, b.vals[i])
-		}
+		vals = append(vals, b.vals[i])
 	}
 	for ; ei < len(extra); ei++ {
 		keys = append(keys, extra[ei].k)
@@ -376,8 +448,8 @@ func flatten(head *node) (keys, vals []uint64, b *node) {
 // consolidate replaces the chain at p (observed as head) with a fresh base,
 // splitting it when oversized. Failure to install is benign — someone else
 // changed the chain and will consolidate later.
-func (t *Tree) consolidate(p pid, head *node, path []pid, st *index.OpStats) {
-	keys, vals, b := flatten(head)
+func (t *Tree) consolidate(p pid, head *node, path []pid, st *index.OpStats, sc *opScratch) {
+	keys, vals, b := flatten(head, sc)
 	t.Consolidations.Add(1)
 	if st != nil {
 		st.Consolidates++
@@ -413,13 +485,13 @@ func (t *Tree) consolidate(p pid, head *node, path []pid, st *index.OpStats) {
 	if st != nil {
 		st.Splits++
 	}
-	t.installSeparator(p, rp, sep, path, st)
+	t.installSeparator(p, rp, sep, path, st, sc)
 }
 
 // installSeparator publishes (sep → right) into the parent of p, splitting
 // parents and growing the root as needed. Inner nodes are replaced wholesale
 // (copy-on-write) with a CAS on their mapping slot.
-func (t *Tree) installSeparator(left, right pid, sep uint64, path []pid, st *index.OpStats) {
+func (t *Tree) installSeparator(left, right pid, sep uint64, path []pid, st *index.OpStats, sc *opScratch) {
 	for attempt := 0; attempt < 64; attempt++ {
 		if len(path) == 0 {
 			// p was the root: grow the tree. The old root's content has
@@ -442,7 +514,7 @@ func (t *Tree) installSeparator(left, right pid, sep uint64, path []pid, st *ind
 			// Root changed under us (e.g. concurrent delta on the old
 			// leaf that is now also reachable via movedLeft — those CAS
 			// on rootPID, not movedLeft, so retry from scratch).
-			path = t.refreshPath(sep)
+			path = t.refreshPath(sep, sc)
 			continue
 		}
 		pp := path[len(path)-1]
@@ -450,7 +522,7 @@ func (t *Tree) installSeparator(left, right pid, sep uint64, path []pid, st *ind
 		b := cur.base()
 		if b.kind != innerBase {
 			// The parent got replaced by something unexpected; re-walk.
-			path = t.refreshPath(sep)
+			path = t.refreshPath(sep, sc)
 			continue
 		}
 		// Already installed? (Another thread may have helped.)
@@ -461,7 +533,7 @@ func (t *Tree) installSeparator(left, right pid, sep uint64, path []pid, st *ind
 		if b.hasHigh && sep >= b.highKey {
 			// The parent split concurrently and sep belongs to its right
 			// sibling now; re-walk from the root to find the new parent.
-			path = t.refreshPath(sep)
+			path = t.refreshPath(sep, sc)
 			continue
 		}
 		nseps := make([]uint64, 0, len(b.seps)+1)
@@ -508,15 +580,16 @@ func (t *Tree) installSeparator(left, right pid, sep uint64, path []pid, st *ind
 		if st != nil {
 			st.Splits++
 		}
-		t.installSeparator(pp, rip, upSep, path[:len(path)-1], st)
+		t.installSeparator(pp, rip, upSep, path[:len(path)-1], st, sc)
 		return
 	}
 }
 
 // refreshPath re-walks from the root and returns the inner pid path leading
-// to the leaf that covers k.
-func (t *Tree) refreshPath(k uint64) []pid {
-	_, _, path := t.descend(k, nil)
+// to the leaf that covers k, rebuilt into the scratch's path buffer (the
+// caller's stale path slice aliases the same buffer but is dead by then).
+func (t *Tree) refreshPath(k uint64, sc *opScratch) []pid {
+	_, _, path := t.descend(k, nil, sc.pathBuf[:0])
 	return path
 }
 
@@ -526,10 +599,12 @@ func (t *Tree) Scan(lo, hi uint64, fn func(k, v uint64) bool, st *index.OpStats)
 	if st != nil {
 		st.Ops++
 	}
-	p, head, _ := t.descend(lo, st)
+	sc := t.getScratch()
+	defer t.putScratch(sc)
+	p, head, _ := t.descend(lo, st, sc.pathBuf[:0])
 	n := 0
 	for {
-		keys, vals, b := flatten(head)
+		keys, vals, b := flatten(head, sc)
 		for i, k := range keys {
 			if k < lo {
 				continue
@@ -554,6 +629,79 @@ func (t *Tree) Scan(lo, hi uint64, fn func(k, v uint64) bool, st *index.OpStats)
 // DeltaChainLength returns the current chain length at the leaf covering k,
 // exposed for tests and the cost model.
 func (t *Tree) DeltaChainLength(k uint64) int {
-	_, head, _ := t.descend(k, nil)
+	sc := t.getScratch()
+	_, head, _ := t.descend(k, nil, sc.pathBuf[:0])
+	t.putScratch(sc)
 	return head.depth
+}
+
+// batchStride is the interleaved group width of one ExecBatch round.
+const batchStride = 16
+
+// ExecBatch implements index.BatchKernel. The locate stage advances every
+// operation's descent one mapping-table hop per round — prefetching first
+// the mapping slot the op will load next and then the chain head it
+// resolves to — so the group's pointer-chase misses overlap. The walk is
+// purely optimistic (mapping slots are atomic pointers and published nodes
+// are immutable, the same property ConcurrentReadSafe relies on) and
+// publishes nothing; the execute stage then runs each operation through the
+// public methods in index order against the warmed lines. The BW-Tree's
+// per-op cost is dominated by delta-chain walks rather than node hops, so
+// this kernel is deliberately minimal — correctness comes from the serial
+// execute stage, the prefetches are best-effort.
+func (t *Tree) ExecBatch(kinds []uint8, keys, vals, outVals []uint64, outOKs []bool) {
+	var cur [batchStride]pid
+	var live [batchStride]bool
+	for base := 0; base < len(kinds); base += batchStride {
+		n := len(kinds) - base
+		if n > batchStride {
+			n = batchStride
+		}
+		for i := 0; i < n; i++ {
+			cur[i] = rootPID
+			live[i] = true
+		}
+		for {
+			advanced := false
+			for i := 0; i < n; i++ {
+				if !live[i] {
+					continue
+				}
+				nd := t.load(cur[i])
+				if nd == nil {
+					live[i] = false
+					continue
+				}
+				prefetch.Line(unsafe.Pointer(nd))
+				b := nd.base()
+				k := keys[base+i]
+				switch {
+				case b.hasHigh && k >= b.highKey && b.right != nilPID:
+					cur[i] = b.right
+				case nd.isLeaf():
+					live[i] = false
+					continue
+				default:
+					cur[i] = b.children[searchSeps(b.seps, k)]
+				}
+				prefetch.Line(unsafe.Pointer(&t.mapping[cur[i]]))
+				advanced = true
+			}
+			if !advanced {
+				break
+			}
+		}
+		for i := base; i < base+n; i++ {
+			switch kinds[i] {
+			case index.BatchGet:
+				outVals[i], outOKs[i] = t.Get(keys[i], nil)
+			case index.BatchInsert:
+				outVals[i], outOKs[i] = 0, t.Insert(keys[i], vals[i], nil)
+			case index.BatchUpdate:
+				outVals[i], outOKs[i] = 0, t.Update(keys[i], vals[i], nil)
+			case index.BatchDelete:
+				outVals[i], outOKs[i] = 0, t.Delete(keys[i], nil)
+			}
+		}
+	}
 }

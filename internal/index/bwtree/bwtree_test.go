@@ -377,3 +377,31 @@ func TestScanCountProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestPointOpAllocationsPinned pins the pooled-scratch guarantee: with the
+// descend path and flatten buffers coming from the per-tree pool, a steady-
+// state Get allocates nothing, and a steady-state Update allocates only the
+// published delta record (plus the amortised consolidation at every
+// consolidateAt-th delta) — never incidental traversal state. Regressing
+// this re-introduces the per-op garbage the delegation hot path is pinned
+// against.
+func TestPointOpAllocationsPinned(t *testing.T) {
+	tr := New()
+	const keys = 4096
+	for k := uint64(1); k <= keys; k++ {
+		tr.Insert(k, k, nil)
+	}
+	var i uint64
+	if n := testing.AllocsPerRun(2000, func() {
+		i++
+		tr.Get(i%keys+1, nil)
+	}); n != 0 {
+		t.Errorf("Get allocates %.3f per op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(2000, func() {
+		i++
+		tr.Update(i%keys+1, i, nil)
+	}); n >= 2 {
+		t.Errorf("Update allocates %.3f per op, want delta+amortised consolidation only (< 2)", n)
+	}
+}

@@ -50,7 +50,7 @@ func (t *Tree) CheckInvariants() error {
 		if err := checkChain(head); err != nil {
 			return err
 		}
-		keys, _, b := flatten(head)
+		keys, _, b := flatten(head, &opScratch{})
 		for i, k := range keys {
 			if i > 0 && keys[i-1] >= k {
 				return fmt.Errorf("bwtree: leaf pid %d keys unsorted", p)

@@ -32,7 +32,7 @@ func TestCheckInvariantsDetectsCorruption(t *testing.T) {
 	t.Run("unsorted base keys", func(t *testing.T) {
 		tr := build()
 		// Find a leaf base and swap two keys in place.
-		_, head, _ := tr.descend(100, nil)
+		_, head, _ := tr.descend(100, nil, nil)
 		b := head.base()
 		if len(b.keys) < 2 {
 			t.Skip("leaf too small")
@@ -55,7 +55,7 @@ func TestCheckInvariantsDetectsCorruption(t *testing.T) {
 
 	t.Run("broken chain depth", func(t *testing.T) {
 		tr := build()
-		p, head, _ := tr.descend(42, nil)
+		p, head, _ := tr.descend(42, nil, nil)
 		bad := &node{kind: leafUpdateDelta, key: 42, val: 0, next: head, depth: head.depth + 7}
 		tr.mapping[p].Store(bad)
 		err := tr.CheckInvariants()
@@ -68,7 +68,7 @@ func TestCheckInvariantsDetectsCorruption(t *testing.T) {
 		tr := build()
 		// The leftmost leaf has a high bound after splits; plant a key
 		// beyond it via a raw base rewrite.
-		p, head, _ := tr.descend(0, nil)
+		p, head, _ := tr.descend(0, nil, nil)
 		b := head.base()
 		if !b.hasHigh {
 			t.Skip("tree too small to have split")
@@ -89,7 +89,7 @@ func TestRefreshPathFindsParents(t *testing.T) {
 	for i := uint64(0); i < 100000; i++ {
 		tr.Insert(i, i, nil)
 	}
-	path := tr.refreshPath(50000)
+	path := tr.refreshPath(50000, &opScratch{})
 	if len(path) == 0 {
 		t.Fatal("no inner path for a deep tree")
 	}

@@ -25,9 +25,11 @@ package fptree
 import (
 	"sync"
 	"sync/atomic"
+	"unsafe"
 
 	"robustconf/internal/htm"
 	"robustconf/internal/index"
+	"robustconf/internal/prefetch"
 	"robustconf/internal/syncprims"
 )
 
@@ -519,6 +521,101 @@ func (t *Tree) propagateSplit(tx *htm.Tx, path []*inner, left, right any, sep ui
 		return err
 	}
 	return t.propagateSplit(tx, path[:len(path)-1], parent, rightInner, up, st)
+}
+
+// batchStride is the interleaved group width of one ExecBatch round.
+const batchStride = 16
+
+// ExecBatch implements index.BatchKernel. The locate stage descends all
+// operations level-synchronously outside any transaction: the root reference,
+// inner contents (copy-on-write behind atomic pointers) and leaf cells are
+// all atomically published, so the optimistic walk is race-clean
+// (ConcurrentReadSafe documents the same property), and it publishes nothing
+// — it only issues prefetches for the inner content and the leaf's
+// fingerprint/key lines each operation is about to probe. The execute stage
+// then runs the operations in index order through the normal transactional
+// methods, which re-descend against warm lines; serial equivalence is
+// therefore inherited from the serial path itself.
+func (t *Tree) ExecBatch(kinds []uint8, keys, vals, outVals []uint64, outOKs []bool) {
+	var cur [batchStride]any
+	for base := 0; base < len(kinds); base += batchStride {
+		n := len(kinds) - base
+		if n > batchStride {
+			n = batchStride
+		}
+		root := t.root.Load().node
+		for i := 0; i < n; i++ {
+			cur[i] = root
+		}
+		for {
+			advanced := false
+			for i := 0; i < n; i++ {
+				in, ok := cur[i].(*inner)
+				if !ok {
+					continue
+				}
+				c := in.content.Load()
+				if c == nil || len(c.children) == 0 {
+					cur[i] = nil // torn mid-install; the execute stage retries properly
+					continue
+				}
+				child := c.children[searchSeparators(c.keys, keys[base+i])]
+				cur[i] = child
+				switch ch := child.(type) {
+				case *inner:
+					if cc := ch.content.Load(); cc != nil {
+						prefetch.Line(unsafe.Pointer(cc))
+						if len(cc.keys) > 0 {
+							prefetch.Line(unsafe.Pointer(&cc.keys[0]))
+						}
+					}
+					advanced = true
+				case *leaf:
+					// The probe reads bitmap and the whole fingerprint
+					// array (two lines at leafCap=32); hint both so the
+					// candidate stage below scans resident fingerprints.
+					prefetch.Line(unsafe.Pointer(ch))
+					prefetch.Line(unsafe.Pointer(&ch.fps[0]))
+					prefetch.Line(unsafe.Pointer(&ch.fps[leafCap/2]))
+				}
+			}
+			if !advanced {
+				break
+			}
+		}
+		// Candidate stage: with every leaf's fingerprints resident, run
+		// each operation's fingerprint scan here and prefetch the exact
+		// key and value slots the execute-stage probe will compare — the
+		// sparse lines a whole-array hint would waste bandwidth on. The
+		// scan publishes nothing; the execute stage re-probes
+		// transactionally.
+		for i := 0; i < n; i++ {
+			lf, ok := cur[i].(*leaf)
+			if !ok {
+				continue
+			}
+			fp := fingerprint(keys[base+i])
+			bm := lf.bitmap.Load()
+			for s := 0; s < leafCap; s++ {
+				if bm&(1<<uint(s)) != 0 && lf.fps[s].Load() == fp {
+					prefetch.Line(unsafe.Pointer(&lf.keys[s]))
+					prefetch.Line(unsafe.Pointer(&lf.vals[s]))
+				}
+			}
+		}
+		for i := base; i < base+n; i++ {
+			switch kinds[i] {
+			case index.BatchGet:
+				outVals[i], outOKs[i] = t.Get(keys[i], nil)
+			case index.BatchInsert:
+				outVals[i], outOKs[i] = 0, t.Insert(keys[i], vals[i], nil)
+			case index.BatchUpdate:
+				outVals[i], outOKs[i] = 0, t.Update(keys[i], vals[i], nil)
+			case index.BatchDelete:
+				outVals[i], outOKs[i] = 0, t.Delete(keys[i], nil)
+			}
+		}
+	}
 }
 
 func (sc *opScratch) doScan(tx *htm.Tx) error {

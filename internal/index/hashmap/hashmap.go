@@ -14,8 +14,10 @@ package hashmap
 import (
 	"math"
 	"sync/atomic"
+	"unsafe"
 
 	"robustconf/internal/index"
+	"robustconf/internal/prefetch"
 	"robustconf/internal/syncprims"
 )
 
@@ -201,6 +203,101 @@ func (m *Map) Delete(k uint64, st *index.OpStats) bool {
 	}
 	st.Visit(n+1, (n+1)*index.CacheLines(entryBytes))
 	return false
+}
+
+// batchStride is how many in-flight operations one interleaved round of
+// ExecBatch advances together. 16 independent probes comfortably exceed the
+// line-fill-buffer depth of current cores, so the group's misses overlap
+// without the stage arrays outgrowing the stack.
+const batchStride = 16
+
+// ExecBatch implements index.BatchKernel with an AMAC-style interleaved
+// chain walk: every operation's bucket is hashed and prefetched, each chain
+// head is loaded and prefetched, and then per-operation cursors advance one
+// entry per round — each round issuing the prefetch for every cursor's next
+// entry before any cursor dereferences its own — so up to batchStride
+// dependent pointer chases miss the cache concurrently instead of one after
+// another. The walk is read-only and lock-free, which is safe precisely in
+// the delegation context the kernel is specified for: ExecBatch runs on the
+// structure's owning worker, the sole mutator, and concurrent bypass
+// readers never modify chains (see ConcurrentReadSafe). Operations then
+// execute serially in index order through the normal public methods, which
+// re-read the (now resident) chain under the bucket lock — the optimistic
+// walk is purely a cache warmer, so the serial-equivalence contract holds
+// trivially.
+func (m *Map) ExecBatch(kinds []uint8, keys, vals, outVals []uint64, outOKs []bool) {
+	var bs [batchStride]*bucket
+	var cur [batchStride]*entry
+	for base := 0; base < len(kinds); base += batchStride {
+		n := len(kinds) - base
+		if n > batchStride {
+			n = batchStride
+		}
+		// A group of one has nothing to overlap with — the optimistic walk
+		// would only replay the chain chase it cannot hide — so it skips
+		// straight to execution. This is the degraded path workers take
+		// when interleaving is off.
+		if n > 1 {
+			// Stage 1: hash every key and prefetch its bucket header (lock
+			// word, chain head and size share the line).
+			for i := 0; i < n; i++ {
+				b := &m.buckets[m.hash(keys[base+i])]
+				bs[i] = b
+				prefetch.Line(unsafe.Pointer(b))
+			}
+			// Stage 2: the bucket lines are (now) resident; load each
+			// chain's first entry and prefetch it.
+			for i := 0; i < n; i++ {
+				if e := bs[i].head.Load(); e != nil {
+					cur[i] = e
+					prefetch.Line(unsafe.Pointer(e))
+				} else {
+					cur[i] = nil
+				}
+			}
+			// Stage 3: interleaved chain walk. A cursor retires when its
+			// key matches (the entry the execute stage will want is
+			// resident) or its chain ends; the round keeps going while any
+			// cursor is in flight.
+			for {
+				active := false
+				for i := 0; i < n; i++ {
+					e := cur[i]
+					if e == nil {
+						continue
+					}
+					if e.key == keys[base+i] {
+						cur[i] = nil
+						continue
+					}
+					next := e.next
+					cur[i] = next
+					if next != nil {
+						prefetch.Line(unsafe.Pointer(next))
+						active = true
+					}
+				}
+				if !active {
+					break
+				}
+			}
+		}
+		// Stage 4: execute in index order with the public operations.
+		// (Reached directly for single-op groups, with no staging.)
+		for i := 0; i < n; i++ {
+			j := base + i
+			switch kinds[j] {
+			case index.BatchGet:
+				outVals[j], outOKs[j] = m.Get(keys[j], nil)
+			case index.BatchInsert:
+				outVals[j], outOKs[j] = 0, m.Insert(keys[j], vals[j], nil)
+			case index.BatchUpdate:
+				outVals[j], outOKs[j] = 0, m.Update(keys[j], vals[j], nil)
+			case index.BatchDelete:
+				outVals[j], outOKs[j] = 0, m.Delete(keys[j], nil)
+			}
+		}
+	}
 }
 
 // Buckets returns the bucket count.

@@ -158,6 +158,48 @@ type ConcurrentReadSafe interface {
 	ConcurrentReadSafe() bool
 }
 
+// Batch op kinds for BatchKernel.ExecBatch. The values are a wire-level
+// contract with the delegation layer's typed KV slots (delegation.KVGet and
+// friends mirror them numerically; a test pins the equality), which is what
+// lets delegation drive kernels through a structural interface without an
+// index import.
+const (
+	BatchGet uint8 = 1 + iota
+	BatchInsert
+	BatchUpdate
+	BatchDelete
+)
+
+// BatchKernel is the interleaved batch-execution contract (DESIGN.md §15):
+// a structure that implements it can execute a group of independent point
+// operations with their traversal stages interleaved — hash/root for every
+// op first, a software prefetch on each op's next node line, then the probe
+// — so the group's dependent cache misses overlap (AMAC/group-prefetch
+// style) instead of serialising one op at a time.
+//
+// Contract:
+//
+//   - Op i is kinds[i] (BatchGet/BatchInsert/BatchUpdate/BatchDelete) on
+//     keys[i], with vals[i] as the value for inserts and updates.
+//   - Effects and results MUST be identical to executing the ops serially in
+//     index order with the Index methods: outOKs[i] is the op's boolean
+//     result, and outVals[i] is the value Get returned (mutations store 0).
+//     Conflicting keys inside one group therefore resolve in index order.
+//   - The interleaved locate stage must be side-effect-free: it may read
+//     optimistically (stale pointers are fine — prefetch.Line tolerates any
+//     address) but must not publish anything. All mutation happens in the
+//     in-order execute stage.
+//   - All five slices have equal length; the kernel must accept any length
+//     (callers cap groups at their sweep width, but nothing here assumes it).
+//
+// The method takes no OpStats sink: batch execution is the delegated hot
+// path, and accounting there is the observability layer's job. Structures
+// without a kernel are simply executed serially by the sweep (the same
+// silent-degrade pattern as ConcurrentReadSafe).
+type BatchKernel interface {
+	ExecBatch(kinds []uint8, keys, vals, outVals []uint64, outOKs []bool)
+}
+
 // Ranger is implemented by the ordered structures (the three trees) and
 // supports ascending range scans, which the TPC-C engine needs for
 // secondary-index lookups.

@@ -215,6 +215,12 @@ type DomainExternal struct {
 	ArenaOverflows int64
 	ArenaResets    int64
 	ArenaDiscards  int64
+	// Interleaved-execution counters (zero when Config.BatchExec is off):
+	// non-empty passes of the batched sweep body, and typed ops executed
+	// through structure batch kernels. Their ratio is the realised group
+	// width the prefetch interleave actually achieved.
+	BatchSweeps    uint64
+	BatchKernelOps uint64
 }
 
 // SetExternal installs the snapshot-time callback for external counters.
@@ -265,6 +271,10 @@ type DomainSnapshot struct {
 	ArenaOverflows int64
 	ArenaResets    int64
 	ArenaDiscards  int64
+	// Interleaved-execution view (see DomainExternal): batched passes and
+	// kernel-executed typed ops for the domain.
+	BatchSweeps    uint64
+	BatchKernelOps uint64
 	SweepNs        metrics.HistogramSnapshot
 	ExecNs            metrics.HistogramSnapshot
 	RespNs            metrics.HistogramSnapshot
@@ -329,6 +339,8 @@ func (d *DomainObs) snapshotInto(s *DomainSnapshot) {
 		s.ArenaOverflows = ext.ArenaOverflows
 		s.ArenaResets = ext.ArenaResets
 		s.ArenaDiscards = ext.ArenaDiscards
+		s.BatchSweeps = ext.BatchSweeps
+		s.BatchKernelOps = ext.BatchKernelOps
 	}
 }
 
@@ -372,6 +384,8 @@ func (s *DomainSnapshot) merge(o DomainSnapshot) {
 	s.ArenaOverflows += o.ArenaOverflows
 	s.ArenaResets += o.ArenaResets
 	s.ArenaDiscards += o.ArenaDiscards
+	s.BatchSweeps += o.BatchSweeps
+	s.BatchKernelOps += o.BatchKernelOps
 	s.SweepNs.Merge(o.SweepNs)
 	s.ExecNs.Merge(o.ExecNs)
 	s.RespNs.Merge(o.RespNs)

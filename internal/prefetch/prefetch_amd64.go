@@ -1,0 +1,10 @@
+//go:build amd64
+
+package prefetch
+
+import "unsafe"
+
+// line is implemented in prefetch_amd64.s as a PREFETCHT0.
+//
+//go:noescape
+func line(p unsafe.Pointer)

@@ -70,6 +70,9 @@ type (
 	Session = core.Session
 	// Future is the invocation handle on a submitted task.
 	Future = delegation.Future
+	// AsyncFuture is the pipelined invocation handle returned by
+	// Session.SubmitAsync / SubmitKV; resolve with Wait or WaitKV.
+	AsyncFuture = core.AsyncFuture
 	// CPUSet is an ordered set of logical CPU ids.
 	CPUSet = topology.CPUSet
 	// Topology describes a machine (sockets, cores, NUMA distances).
@@ -160,6 +163,24 @@ type (
 	// ArenaConfig enables per-worker batch arenas recycled at sweep-batch
 	// boundaries (Config.Arena); the WAL's record staging draws from them.
 	ArenaConfig = core.ArenaConfig
+	// BatchExecConfig enables interleaved sweep execution
+	// (Config.BatchExec): workers claim a whole pass of posted slots and
+	// run typed key/value ops through the structure's batch kernel, which
+	// overlaps their traversal cache misses with software prefetch.
+	BatchExecConfig = core.BatchExecConfig
+	// BatchKernel is the typed-op kernel a structure implements to accept
+	// InvokeKV/SubmitKV ops (all built-in indexes do).
+	BatchKernel = delegation.BatchKernel
+	// KVEncoder encodes a typed op's logical WAL record (InvokeKVLogged).
+	KVEncoder = delegation.KVEncoder
+)
+
+// Typed key/value op kinds for Session.InvokeKV / SubmitKV.
+const (
+	KVGet    = delegation.KVGet
+	KVInsert = delegation.KVInsert
+	KVUpdate = delegation.KVUpdate
+	KVDelete = delegation.KVDelete
 )
 
 // Fsync modes for WALConfig.Fsync.

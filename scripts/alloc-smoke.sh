@@ -1,8 +1,8 @@
 #!/bin/sh
 # alloc-smoke: cheap allocation gate on the delegation hot path.
 #
-# Runs the unobserved AND observed invoke benchmarks plus the bypass-read
-# benchmark for 100 iterations with -benchmem and fails if any reports more
+# Runs the unobserved AND observed invoke benchmarks, the interleaved typed
+# (KV) pipeline benchmark, and the bypass-read benchmark for 100 iterations with -benchmem and fails if any reports more
 # than 0 allocs/op or 0 B/op — the tentpole property of the zero-allocation
 # hot path (DESIGN.md §10), which span recycling extends to the observed
 # path and publication-word validation to the bypass read path (§12).
@@ -16,10 +16,10 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-OUT="$(go test -run NONE -bench 'BenchmarkDelegationInvoke(Observed)?$|BenchmarkDelegationReadBypass$' -benchtime 100x -benchmem .)"
+OUT="$(go test -run NONE -bench 'BenchmarkDelegationInvoke(Observed|KV)?$|BenchmarkDelegationReadBypass$' -benchtime 100x -benchmem .)"
 echo "$OUT"
 
-for BENCH in BenchmarkDelegationInvoke BenchmarkDelegationInvokeObserved BenchmarkDelegationReadBypass; do
+for BENCH in BenchmarkDelegationInvoke BenchmarkDelegationInvokeObserved BenchmarkDelegationInvokeKV BenchmarkDelegationReadBypass; do
 	LINE=$(echo "$OUT" | awk -v b="$BENCH" '$1 ~ "^"b"(-[0-9]+)?$" { print }')
 	if [ -z "$LINE" ]; then
 		echo "alloc-smoke: $BENCH produced no output" >&2
