@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test verify chaos bench bench-compare bench-full alloc-smoke obs-smoke wal-smoke
+.PHONY: build test verify chaos bench bench-compare bench-full alloc-smoke obs-smoke wal-smoke net-smoke
 
 build:
 	$(GO) build ./...
@@ -18,7 +18,7 @@ test: build
 # for the full sweep. The arm64 cross-build keeps the prefetch package's
 # per-arch split (assembly on amd64, no-op elsewhere) compiling on a
 # non-amd64 target.
-verify: build obs-smoke alloc-smoke wal-smoke
+verify: build obs-smoke alloc-smoke wal-smoke net-smoke
 	$(GO) vet ./...
 	GOARCH=arm64 $(GO) build ./...
 	$(GO) test -race -short ./...
@@ -37,6 +37,12 @@ wal-smoke:
 # exported counters.
 obs-smoke:
 	./scripts/obs-smoke.sh
+
+# End-to-end network front-end smoke: robustserved on a free port, a short
+# mixed workload over TCP via robustycsb -addr, server counters asserted on
+# /metrics, clean SIGTERM drain.
+net-smoke:
+	./scripts/net-smoke.sh
 
 # The full-size chaos fault-injection suite on its own — both the WAL-off
 # schedules (crash-with-data-loss envelope) and the TestChaosWAL* suite

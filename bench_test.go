@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"robustconf"
+	"robustconf/client"
 	"robustconf/internal/config"
 	"robustconf/internal/core"
 	"robustconf/internal/delegation"
@@ -28,6 +29,7 @@ import (
 	"robustconf/internal/index/fptree"
 	"robustconf/internal/index/hashmap"
 	"robustconf/internal/oltp"
+	"robustconf/internal/server"
 	"robustconf/internal/sim"
 	"robustconf/internal/tpcc"
 	"robustconf/internal/wal"
@@ -1141,5 +1143,121 @@ func BenchmarkAblationTxnMode(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkServerPipelined measures the network front end end to end on
+// loopback: a client pipelines GET windows of the given depth over the
+// binary protocol; the server folds each window into delegation bursts
+// through its session pool (DESIGN.md §16). The runtime underneath is the
+// same single-domain interleaved-sweep setup as BenchmarkDelegationInvokeKV,
+// so ns/op here against that benchmark isolates the network front end's
+// overhead, and the depth series shows pipelining amortising it: depth 1
+// pays one full network round trip per op, depth 64 spreads that round
+// trip across a whole delegation burst worth of work.
+func BenchmarkServerPipelined(b *testing.B) {
+	for _, depth := range []int{1, 16, 64, 128} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			machine := robustconf.Machine(1)
+			cfg := robustconf.Config{
+				Machine:    machine,
+				Domains:    []robustconf.Domain{{Name: "d", CPUs: robustconf.CPURange(0, 4)}},
+				Assignment: map[string]int{"x": 0},
+				BatchExec:  robustconf.BatchExecConfig{Enabled: true, Width: 15},
+			}
+			idx := hashmap.New()
+			for k := uint64(0); k < 1024; k++ {
+				idx.Insert(k, k, nil)
+			}
+			rt, err := robustconf.Start(cfg, map[string]any{"x": idx})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer rt.Stop()
+			srv, err := server.Listen("127.0.0.1:0", server.Config{
+				Runtime:  rt,
+				Shards:   []string{"x"},
+				Sessions: 4,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close(5 * time.Second)
+			c, err := client.Dial(srv.Addr())
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+
+			window := func(n, base int) error {
+				for j := 0; j < n; j++ {
+					c.QueueGet(uint64(base+j) & 1023)
+				}
+				if err := c.Flush(); err != nil {
+					return err
+				}
+				for j := 0; j < n; j++ {
+					if _, _, err := c.Recv(); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			if err := window(depth, 0); err != nil { // warm up buffers + pool
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; {
+				n := depth
+				if left := b.N - i; left < n {
+					n = left
+				}
+				if err := window(n, i); err != nil {
+					b.Fatal(err)
+				}
+				i += n
+			}
+		})
+	}
+}
+
+// BenchmarkDelegationInvokeKVSync measures the synchronous typed round
+// trip — one InvokeKV Get per call, no pipelining — on the same
+// single-domain hashmap setup as BenchmarkServerPipelined. It is the
+// in-process baseline for the network front end's acceptance ratio: a
+// remote client at depth 64 amortises its network round trip across a
+// window and should land within 2× of this per-op latency.
+func BenchmarkDelegationInvokeKVSync(b *testing.B) {
+	machine := robustconf.Machine(1)
+	cfg := robustconf.Config{
+		Machine:    machine,
+		Domains:    []robustconf.Domain{{Name: "d", CPUs: robustconf.CPURange(0, 4)}},
+		Assignment: map[string]int{"x": 0},
+		BatchExec:  robustconf.BatchExecConfig{Enabled: true, Width: 15},
+	}
+	idx := hashmap.New()
+	for k := uint64(0); k < 1024; k++ {
+		idx.Insert(k, k, nil)
+	}
+	rt, err := robustconf.Start(cfg, map[string]any{"x": idx})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rt.Stop()
+	s, err := rt.NewSession(0, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	if _, _, err := s.InvokeKV("x", robustconf.KVGet, 0, 0); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.InvokeKV("x", robustconf.KVGet, uint64(i)&1023, 0); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -1,0 +1,272 @@
+// Package client is the thin Go client for the robustconf network front
+// end (internal/server). It speaks the length-prefixed binary protocol of
+// internal/server/proto over one TCP connection and exposes two surfaces:
+//
+//   - a synchronous surface (Get/Put/Delete/Ping/Stats) — one round trip
+//     per call, convenient for tools and tests;
+//   - a pipelined surface (QueueGet/QueuePut/QueueDelete + Flush + Recv) —
+//     the client queues any number of request frames, flushes them as one
+//     write, and pairs replies back by order. Depth-k pipelining is what
+//     lets the server turn one network read into one k-op delegation
+//     burst, so this surface is the one benchmarks and robustycsb use.
+//
+// A Conn is single-goroutine, like a core.Session: no internal locking,
+// and the steady-state hot path (queue, flush, recv of GET/PUT/DELETE)
+// allocates nothing — frames encode into a retained write buffer and
+// responses decode from a retained read buffer.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"robustconf/internal/server/proto"
+)
+
+// ErrBusy is the typed admission-control rejection: the server's session
+// pool stayed empty past its deadline or the tenant quota was exceeded.
+// The request did not execute; the caller may retry (ideally after
+// backoff — the server is telling you it is saturated).
+var ErrBusy = errors.New("client: server busy (admission control)")
+
+// ErrUnsupported reports an op the server recognises but does not serve
+// (SCAN, until the range path lands).
+var ErrUnsupported = errors.New("client: op unsupported by server")
+
+// ServerError carries a typed execution error relayed from the server
+// (worker crash PanicError, dead domain, upsert race exhaustion, …).
+type ServerError struct{ Msg string }
+
+func (e *ServerError) Error() string { return "client: server error: " + e.Msg }
+
+// Conn is one client connection. Not safe for concurrent use — open one
+// Conn per goroutine, exactly like a delegation session.
+type Conn struct {
+	nc   net.Conn
+	wbuf []byte // queued request frames, flushed as one write
+	rbuf []byte // response framing buffer; [r,w) unconsumed
+	r, w int
+	// pending counts flushed requests whose replies have not been received;
+	// queued counts requests written into wbuf but not yet flushed.
+	pending int
+	queued  int
+	resp    proto.Response
+	timeout time.Duration
+}
+
+// Dial connects to a robustconf server.
+func Dial(addr string) (*Conn, error) { return DialTenant(addr, "") }
+
+// DialTenant connects and names the connection's tenant for quota
+// accounting (HELLO handshake). Empty tenant skips the handshake.
+func DialTenant(addr, tenant string) (*Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	c := &Conn{
+		nc:      nc,
+		wbuf:    make([]byte, 0, 4<<10),
+		rbuf:    make([]byte, 4<<10),
+		timeout: 30 * time.Second,
+	}
+	if tenant != "" {
+		if len(tenant) > proto.MaxTenant {
+			nc.Close()
+			return nil, fmt.Errorf("client: tenant name %d bytes > max %d", len(tenant), proto.MaxTenant)
+		}
+		c.wbuf = proto.AppendRequest(c.wbuf, proto.Request{Op: proto.OpHello, Tenant: []byte(tenant)})
+		c.queued++
+		if err := c.Flush(); err != nil {
+			nc.Close()
+			return nil, err
+		}
+		if _, _, err := c.Recv(); err != nil {
+			nc.Close()
+			return nil, fmt.Errorf("client: HELLO rejected: %w", err)
+		}
+	}
+	return c, nil
+}
+
+// SetTimeout bounds each Flush write and each Recv read (default 30s).
+func (c *Conn) SetTimeout(d time.Duration) { c.timeout = d }
+
+// Close closes the connection.
+func (c *Conn) Close() error { return c.nc.Close() }
+
+// QueueGet queues a GET without flushing.
+func (c *Conn) QueueGet(key uint64) {
+	c.wbuf = proto.AppendRequest(c.wbuf, proto.Request{Op: proto.OpGet, Key: key})
+	c.queued++
+}
+
+// QueuePut queues an upsert PUT without flushing.
+func (c *Conn) QueuePut(key, val uint64) {
+	c.wbuf = proto.AppendRequest(c.wbuf, proto.Request{Op: proto.OpPut, Key: key, Val: val})
+	c.queued++
+}
+
+// QueueDelete queues a DELETE without flushing.
+func (c *Conn) QueueDelete(key uint64) {
+	c.wbuf = proto.AppendRequest(c.wbuf, proto.Request{Op: proto.OpDelete, Key: key})
+	c.queued++
+}
+
+// Queued reports requests queued but not yet flushed.
+func (c *Conn) Queued() int { return c.queued }
+
+// Pending reports flushed requests whose replies are still owed.
+func (c *Conn) Pending() int { return c.pending }
+
+// Flush writes every queued frame as one write. The queued requests
+// become pending; their replies arrive in queue order via Recv.
+func (c *Conn) Flush() error {
+	if len(c.wbuf) == 0 {
+		return nil
+	}
+	if err := c.nc.SetWriteDeadline(time.Now().Add(c.timeout)); err != nil {
+		return err
+	}
+	_, err := c.nc.Write(c.wbuf)
+	c.wbuf = c.wbuf[:0]
+	c.pending += c.queued
+	c.queued = 0
+	return err
+}
+
+// Recv receives the next pending reply in FIFO order. For a GET hit it
+// returns (value, true, nil); a GET/DELETE miss returns (0, false, nil);
+// PUT/PING/HELLO acknowledgements return (0, true, nil). Admission
+// rejections map to ErrBusy, relayed execution errors to *ServerError.
+func (c *Conn) Recv() (uint64, bool, error) {
+	if c.pending == 0 {
+		return 0, false, errors.New("client: Recv with no pending requests")
+	}
+	payload, err := c.readFrame()
+	if err != nil {
+		return 0, false, err
+	}
+	c.pending--
+	if err := proto.DecodeResponse(payload, &c.resp); err != nil {
+		return 0, false, err
+	}
+	switch c.resp.Status {
+	case proto.StatusOK:
+		if c.resp.HasVal {
+			return c.resp.Val, true, nil
+		}
+		return 0, true, nil
+	case proto.StatusNotFound:
+		return 0, false, nil
+	case proto.StatusBusy:
+		return 0, false, ErrBusy
+	case proto.StatusUnsupported:
+		return 0, false, ErrUnsupported
+	case proto.StatusErr:
+		return 0, false, &ServerError{Msg: string(c.resp.Msg)}
+	}
+	return 0, false, fmt.Errorf("client: unknown status %d", c.resp.Status)
+}
+
+// Get looks a key up synchronously.
+func (c *Conn) Get(key uint64) (uint64, bool, error) {
+	c.QueueGet(key)
+	if err := c.Flush(); err != nil {
+		return 0, false, err
+	}
+	return c.Recv()
+}
+
+// Put upserts synchronously.
+func (c *Conn) Put(key, val uint64) error {
+	c.QueuePut(key, val)
+	if err := c.Flush(); err != nil {
+		return err
+	}
+	_, _, err := c.Recv()
+	return err
+}
+
+// Delete removes a key synchronously, reporting whether it was present.
+func (c *Conn) Delete(key uint64) (bool, error) {
+	c.QueueDelete(key)
+	if err := c.Flush(); err != nil {
+		return false, err
+	}
+	_, found, err := c.Recv()
+	return found, err
+}
+
+// Ping round-trips a liveness probe.
+func (c *Conn) Ping() error {
+	c.wbuf = proto.AppendRequest(c.wbuf, proto.Request{Op: proto.OpPing})
+	c.queued++
+	if err := c.Flush(); err != nil {
+		return err
+	}
+	_, _, err := c.Recv()
+	return err
+}
+
+// Stats fetches the server's counter snapshot as text.
+func (c *Conn) Stats() (string, error) {
+	c.wbuf = proto.AppendRequest(c.wbuf, proto.Request{Op: proto.OpStats})
+	c.queued++
+	if err := c.Flush(); err != nil {
+		return "", err
+	}
+	payload, err := c.readFrame()
+	if err != nil {
+		return "", err
+	}
+	c.pending--
+	if err := proto.DecodeResponse(payload, &c.resp); err != nil {
+		return "", err
+	}
+	if c.resp.Status != proto.StatusOK {
+		return "", fmt.Errorf("client: STATS status %d", c.resp.Status)
+	}
+	return string(c.resp.Msg), nil
+}
+
+// readFrame blocks until one complete response frame is buffered and
+// returns its payload (aliasing the read buffer — valid until the next
+// readFrame call).
+func (c *Conn) readFrame() ([]byte, error) {
+	for {
+		payload, size, ok, err := proto.Frame(c.rbuf[c.r:c.w])
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			c.r += size
+			return payload, nil
+		}
+		if c.r > 0 {
+			copy(c.rbuf, c.rbuf[c.r:c.w])
+			c.w -= c.r
+			c.r = 0
+		}
+		if c.w == len(c.rbuf) {
+			grown := make([]byte, 2*len(c.rbuf))
+			copy(grown, c.rbuf[:c.w])
+			c.rbuf = grown
+		}
+		if err := c.nc.SetReadDeadline(time.Now().Add(c.timeout)); err != nil {
+			return nil, err
+		}
+		n, err := c.nc.Read(c.rbuf[c.w:])
+		if n > 0 {
+			c.w += n
+		}
+		if err != nil && n == 0 {
+			return nil, err
+		}
+	}
+}

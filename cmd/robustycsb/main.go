@@ -16,13 +16,16 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"robustconf"
+	"robustconf/client"
 	"robustconf/internal/harness"
 	"robustconf/internal/index"
 	"robustconf/internal/index/btree"
@@ -34,6 +37,9 @@ import (
 )
 
 func main() {
+	addr := flag.String("addr", "", "drive a robustserved server at this address over TCP instead of an in-process runtime")
+	pipeline := flag.Int("pipeline", 16, "pipelining depth per connection (with -addr)")
+	tenant := flag.String("tenant", "", "tenant name for server-side quota accounting (with -addr)")
 	structure := flag.String("structure", "fptree", "btree, fptree, bwtree, hashmap")
 	mixName := flag.String("mix", "a", "a (read-update), c (read-only), d (read-insert)")
 	domain := flag.Int("domain", 24, "virtual domain size in workers")
@@ -53,6 +59,18 @@ func main() {
 	checkpoint := flag.Duration("checkpoint", 0, "WAL checkpoint cadence (0 = default)")
 	batchExec := flag.Int("batch-exec", 0, "interleaved sweep execution group width (0 = off, ≥2 = batch typed ops through index kernels with prefetch)")
 	flag.Parse()
+
+	// Network mode: the server owns the structures and the runtime; this
+	// binary is only the driver, pipelining ops over TCP connections.
+	if *addr != "" {
+		mixes := map[string]workload.Mix{"a": workload.A, "c": workload.C, "d": workload.D}
+		mix, ok := mixes[*mixName]
+		if !ok {
+			fatal(fmt.Errorf("unknown mix %q", *mixName))
+		}
+		runNetwork(*addr, *tenant, mix, *clients, *records, *ops, *pipeline)
+		return
+	}
 
 	// With -wal the structure must be Durable (checkpoint + replay), so the
 	// tree is wrapped in the harness's durable adapter; writes become
@@ -310,6 +328,90 @@ func main() {
 			*fsyncMode, committed, recoveries, replayed)
 	}
 	fmt.Print(observer.Report())
+}
+
+// runNetwork drives a robustserved server: one connection per client
+// goroutine, each keeping a window of `depth` requests pipelined so the
+// server turns every network read into one delegation burst. Latency is
+// recorded per flushed window (a depth-k window's round trip covers k ops).
+func runNetwork(addr, tenant string, mix workload.Mix, clients int, records uint64, ops, depth int) {
+	if depth < 1 {
+		depth = 1
+	}
+	var latency metrics.Histogram
+	var busy atomic.Uint64
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			gen, err := workload.NewGenerator(mix, records, uint64(c), int64(c)+1)
+			if err != nil {
+				errs <- err
+				return
+			}
+			conn, err := client.DialTenant(addr, tenant)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer conn.Close()
+			drain := func() error {
+				for conn.Pending() > 0 {
+					if _, _, err := conn.Recv(); err != nil {
+						if errors.Is(err, client.ErrBusy) {
+							busy.Add(1)
+							continue
+						}
+						return err
+					}
+				}
+				return nil
+			}
+			sent := 0
+			for sent < ops {
+				window := depth
+				if left := ops - sent; left < window {
+					window = left
+				}
+				for i := 0; i < window; i++ {
+					op := gen.Next()
+					if op.Type == workload.OpRead {
+						conn.QueueGet(op.Key)
+					} else {
+						conn.QueuePut(op.Key, op.Val)
+					}
+				}
+				t0 := time.Now()
+				if err := conn.Flush(); err != nil {
+					errs <- err
+					return
+				}
+				if err := drain(); err != nil {
+					errs <- err
+					return
+				}
+				ns := uint64(time.Since(t0).Nanoseconds())
+				for i := 0; i < window; i++ {
+					latency.Record(ns)
+				}
+				sent += window
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+	total := float64(clients * ops)
+	fmt.Printf("network / %s: %s, %d clients, pipeline depth %d\n", mix.Name, addr, clients, depth)
+	fmt.Printf("throughput: %.0f ops/s (%d ops in %v, %d busy-rejected)\n",
+		total/elapsed.Seconds(), int(total), elapsed.Round(time.Millisecond), busy.Load())
+	fmt.Printf("window latency ns: %s\n", latency.String())
 }
 
 func fatal(err error) {

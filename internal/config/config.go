@@ -231,6 +231,43 @@ func RecommendBatchExec(instances []Instance) core.BatchExecConfig {
 	return core.BatchExecConfig{Enabled: true, Width: delegation.SlotsPerBuffer}
 }
 
+// ServerAxes is the composed network front-end configuration: how many
+// pooled delegation sessions the server multiplexes its connections onto,
+// each session's bursting window, and how deep one connection's pipelined
+// batch may run. Two further configuration axes in the paper's sense —
+// derived from the plan, not hand-tuned per deployment.
+type ServerAxes struct {
+	Sessions    int
+	Burst       int
+	MaxPipeline int
+}
+
+// RecommendServer derives the front-end axes from a composed plan. The
+// binding constraint is slot capacity: every pooled session may reserve
+// Burst message-buffer slots in every domain it touches (and the router
+// spreads keys over all shards, so every session touches every domain),
+// while a domain of w workers exposes w×SlotsPerBuffer slots. Sessions is
+// therefore sized to what the smallest domain can absorb —
+// ⌊minSize×SlotsPerBuffer/Burst⌋ — which saturates that domain's buffers
+// without ever making a session block on slot acquisition. Burst is the
+// paper's 14. MaxPipeline is fixed at 128: deep enough that a depth-64
+// client still lands one batch per read, shallow enough to bound
+// per-connection scratch and reply latency.
+func RecommendServer(p *Plan) ServerAxes {
+	const burst = 14 // the paper's bursting window
+	minSize := 0
+	for _, d := range p.Domains {
+		if minSize == 0 || d.Size < minSize {
+			minSize = d.Size
+		}
+	}
+	sessions := minSize * delegation.SlotsPerBuffer / burst
+	if sessions < 1 {
+		sessions = 1
+	}
+	return ServerAxes{Sessions: sessions, Burst: burst, MaxPipeline: 128}
+}
+
 // PlanDomain is one virtual domain of a composed plan.
 type PlanDomain struct {
 	Size      int
@@ -262,6 +299,9 @@ type Plan struct {
 	// (RecommendBatchExec over the composition); Materialise carries it
 	// into core.Config.BatchExec.
 	BatchExec core.BatchExecConfig
+	// Server records the recommended network front-end axes (RecommendServer
+	// over the finished plan); robustserved seeds its defaults from them.
+	Server ServerAxes
 }
 
 // String renders the plan in the robustconfig tool's format.
@@ -302,6 +342,10 @@ func (p *Plan) String() string {
 		fmt.Fprintf(&b, "  batch exec: on (width=%d)\n", p.BatchExec.Width)
 	} else {
 		fmt.Fprintf(&b, "  batch exec: off\n")
+	}
+	if p.Server.Sessions > 0 {
+		fmt.Fprintf(&b, "  server: sessions=%d burst=%d pipeline=%d\n",
+			p.Server.Sessions, p.Server.Burst, p.Server.MaxPipeline)
 	}
 	return b.String()
 }
@@ -402,6 +446,7 @@ func Compose(instances []Instance, workers int, measure MeasureFunc) (*Plan, err
 
 	if len(shared) == 0 {
 		plan.Kind = "isolated"
+		plan.Server = RecommendServer(plan)
 		return plan, nil
 	}
 	if remaining == 0 {
@@ -427,6 +472,7 @@ func Compose(instances []Instance, workers int, measure MeasureFunc) (*Plan, err
 	if isolated {
 		plan.Kind = "isolated+" + plan.Kind
 	}
+	plan.Server = RecommendServer(plan)
 	return plan, nil
 }
 

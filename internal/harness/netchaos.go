@@ -1,0 +1,237 @@
+package harness
+
+// Network chaos: drive the TCP front end (internal/server) over loopback
+// while the injector storms the runtime underneath it, and verify the
+// end-to-end fault contract — every pipelined request gets a reply (a
+// value, a miss, BUSY, or a typed relayed error), never a hang; the
+// connection survives a worker dying mid-pipeline; and once the storm
+// passes, respawned workers serve a fresh client normally (the session
+// pool recovered — no session was poisoned by the faults it rode through).
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"robustconf/client"
+	"robustconf/internal/core"
+	"robustconf/internal/faultinject"
+	"robustconf/internal/index/btree"
+	"robustconf/internal/metrics"
+	"robustconf/internal/server"
+	"robustconf/internal/topology"
+	"robustconf/internal/workload"
+)
+
+// NetChaosReport summarises one network chaos run.
+type NetChaosReport struct {
+	Schedule string
+	Seed     int64
+	Ops      int // requests whose replies were received
+	Values   int // OK / value replies
+	Misses   int // NOTFOUND replies
+	Busy     int // admission-control rejections
+	Errors   int // typed relayed execution errors
+	Hangs    int // replies that never arrived — must be 0
+	Panics   uint64
+	Restarts uint64
+	// RecoveredOps counts post-storm ops a fresh connection completed
+	// against the same server — the pool-recovery assertion.
+	RecoveredOps int
+}
+
+func (r NetChaosReport) String() string {
+	return fmt.Sprintf("netchaos %-12s seed=%-3d ops=%-6d values=%-6d misses=%-5d busy=%-4d errors=%-5d hangs=%d recovered=%d worker-panics=%d restarts=%d",
+		r.Schedule, r.Seed, r.Ops, r.Values, r.Misses, r.Busy, r.Errors, r.Hangs, r.RecoveredOps, r.Panics, r.Restarts)
+}
+
+// Complete reports whether every request was answered.
+func (r NetChaosReport) Complete() bool {
+	return r.Hangs == 0 && r.Ops == r.Values+r.Misses+r.Busy+r.Errors
+}
+
+// RunNetChaos executes one network chaos run: conns pipelined connections
+// each push opsPerConn mixed PUT/GET requests at the given pipeline depth
+// against a loopback server whose two-domain runtime runs under the
+// schedule's fault injector; afterwards a fresh connection proves the
+// server still serves. Hangs > 0, an unanswered request, or a failed
+// post-storm op is a fault-tolerance bug.
+func RunNetChaos(sched ChaosSchedule, seed int64, conns, opsPerConn, depth int) (NetChaosReport, error) {
+	report := NetChaosReport{Schedule: sched.Name, Seed: seed}
+	m, err := topology.Restricted(1)
+	if err != nil {
+		return report, err
+	}
+	faults := &metrics.FaultCounters{}
+	cfg := core.Config{
+		Machine: m,
+		Domains: []core.DomainSpec{
+			{Name: "n0", CPUs: topology.Range(0, 4), RestartBudget: 1 << 20},
+			{Name: "n1", CPUs: topology.Range(4, 8), RestartBudget: 1 << 20},
+		},
+		Assignment: map[string]int{"shard0": 0, "shard1": 1},
+		Faults:     faults,
+	}
+	if len(sched.Rules) > 0 {
+		cfg.FaultHook = faultinject.New(seed, sched.Rules...)
+	}
+	rt, err := core.Start(cfg, map[string]any{"shard0": btree.New(), "shard1": btree.New()})
+	if err != nil {
+		return report, err
+	}
+	defer rt.Stop()
+
+	srv, err := server.Listen("127.0.0.1:0", server.Config{
+		Runtime:  rt,
+		Shards:   []string{"shard0", "shard1"},
+		Sessions: 2,
+		Obs:      nil,
+	})
+	if err != nil {
+		return report, err
+	}
+	defer srv.Close(5 * time.Second)
+
+	var values, misses, busy, errsN, hangs, answered atomic.Int64
+	var wg sync.WaitGroup
+	fatal := make(chan error, conns)
+	for g := 0; g < conns; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := client.Dial(srv.Addr())
+			if err != nil {
+				fatal <- err
+				return
+			}
+			defer c.Close()
+			c.SetTimeout(10 * time.Second)
+			sent := 0
+			for sent < opsPerConn {
+				window := depth
+				if left := opsPerConn - sent; left < window {
+					window = left
+				}
+				for i := 0; i < window; i++ {
+					k := workload.ScatterKey(uint64(g*opsPerConn + sent + i))
+					if (sent+i)%2 == 0 {
+						c.QueuePut(k, k)
+					} else {
+						c.QueueGet(k)
+					}
+				}
+				if err := c.Flush(); err != nil {
+					fatal <- fmt.Errorf("flush: %w", err)
+					return
+				}
+				for c.Pending() > 0 {
+					_, found, err := c.Recv()
+					answered.Add(1)
+					switch {
+					case err == nil && found:
+						values.Add(1)
+					case err == nil:
+						misses.Add(1)
+					case errors.Is(err, client.ErrBusy):
+						busy.Add(1)
+					default:
+						var se *client.ServerError
+						if !errors.As(err, &se) {
+							// A transport error (timeout, reset) means a reply
+							// never arrived: the hang the contract forbids.
+							answered.Add(-1)
+							hangs.Add(int64(c.Pending() + 1))
+							fatal <- fmt.Errorf("recv: %w", err)
+							return
+						}
+						errsN.Add(1)
+					}
+				}
+				sent += window
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(fatal)
+	var firstErr error
+	for err := range fatal {
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+
+	report.Ops = int(answered.Load())
+	report.Values = int(values.Load())
+	report.Misses = int(misses.Load())
+	report.Busy = int(busy.Load())
+	report.Errors = int(errsN.Load())
+	report.Hangs = int(hangs.Load())
+	snap := faults.Snapshot()
+	report.Panics = snap.WorkerPanics
+	report.Restarts = snap.WorkerRestarts
+	if firstErr != nil {
+		return report, firstErr
+	}
+
+	// Post-storm recovery: a fresh connection against the same server must
+	// execute cleanly. The fault injector is still live — probabilistic
+	// rules keep firing after the storm — so transient BUSY and typed
+	// execution errors are retried; what must hold is that every op
+	// eventually succeeds, proving the pool and workers recovered.
+	c, err := client.Dial(srv.Addr())
+	if err != nil {
+		return report, fmt.Errorf("post-storm dial: %w", err)
+	}
+	defer c.Close()
+	transient := func(err error) bool {
+		var srvErr *client.ServerError
+		return errors.Is(err, client.ErrBusy) || errors.As(err, &srvErr)
+	}
+	for i := 0; i < 32; i++ {
+		k := workload.ScatterKey(uint64(1_000_000 + i))
+		var lastErr error
+		for attempt := 0; attempt < 50; attempt++ {
+			if lastErr = c.Put(k, k+1); lastErr == nil || !transient(lastErr) {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		if lastErr != nil {
+			return report, fmt.Errorf("post-storm put: %w", lastErr)
+		}
+		var v uint64
+		var found bool
+		for attempt := 0; attempt < 50; attempt++ {
+			v, found, lastErr = c.Get(k)
+			if lastErr == nil || !transient(lastErr) {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		if lastErr != nil || !found || v != k+1 {
+			return report, fmt.Errorf("post-storm get(%d) = (%d,%v,%v), want (%d,true,nil)", k, v, found, lastErr, k+1)
+		}
+		report.RecoveredOps += 2
+	}
+	return report, nil
+}
+
+// NetChaosSchedules returns the fault schedules the network suite runs:
+// the classes that stress the wire contract (kills mid-pipeline, panics
+// under decode bursts, the mixed storm). StopMidway schedules are excluded
+// — Server.Close owns orderly-shutdown coverage.
+func NetChaosSchedules() []ChaosSchedule {
+	var out []ChaosSchedule
+	for _, s := range ChaosSchedules() {
+		if s.StopMidway {
+			continue
+		}
+		switch s.Name {
+		case "task-panic", "worker-kill", "worker-stall":
+			out = append(out, s)
+		}
+	}
+	return out
+}

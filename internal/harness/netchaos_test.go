@@ -1,0 +1,78 @@
+package harness
+
+import (
+	"testing"
+)
+
+// netChaosScale shrinks the network suite under -short, mirroring
+// chaosScale: fewer connections and ops, with the deterministic EveryNth
+// kill thresholds scaled down to keep every fault class firing.
+func netChaosScale(t *testing.T) (conns, ops, depth int, seeds []int64, div uint64) {
+	if testing.Short() {
+		return 3, 200, 16, []int64{1}, 8
+	}
+	return 4, 800, 16, []int64{1, 7}, 2
+}
+
+// TestChaosServerPipeline is the wire-level fault-contract gate: with
+// workers dying (and panicking, and stalling) under pipelined network
+// batches, every request must still be answered — value, miss, BUSY, or a
+// typed relayed error — the connection must survive a worker killed
+// mid-pipeline, and after the storm a fresh connection must execute
+// cleanly against the recovered pool. A transport-level hang or an
+// unanswered request is a bug, not a flake.
+func TestChaosServerPipeline(t *testing.T) {
+	conns, ops, depth, seeds, div := netChaosScale(t)
+	for _, sched := range NetChaosSchedules() {
+		sched := sched.Scaled(div)
+		for _, seed := range seeds {
+			r, err := RunNetChaos(sched, seed, conns, ops, depth)
+			if err != nil {
+				t.Fatalf("%s/seed %d: %v (%v)", sched.Name, seed, err, r)
+			}
+			t.Log(r)
+			if !r.Complete() {
+				t.Errorf("%s/seed %d: %d requests unanswered (%v)", sched.Name, seed,
+					r.Ops-r.Values-r.Misses-r.Busy-r.Errors+r.Hangs, r)
+			}
+			if r.RecoveredOps == 0 {
+				t.Errorf("%s/seed %d: post-storm recovery ran no ops", sched.Name, seed)
+			}
+		}
+	}
+}
+
+// TestChaosServerWorkerKillTypedErrors pins the error-relay half: when the
+// kill schedule fires under load, the injected worker deaths must surface
+// to network clients as typed ERR replies (relayed PanicError), never as
+// dropped connections or hangs — and the run must still recover.
+func TestChaosServerWorkerKillTypedErrors(t *testing.T) {
+	conns, ops, depth, _, div := netChaosScale(t)
+	sched, err := ChaosScheduleNamed("worker-kill")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched = sched.Scaled(div)
+	// Kills are sweep-rate dependent; try seeds until one fires (the same
+	// convention as TestChaosWorkerKillRecovers).
+	for _, seed := range []int64{3, 5, 9, 11} {
+		r, runErr := RunNetChaos(sched, seed, conns, ops, depth)
+		if runErr != nil {
+			t.Fatalf("seed %d: %v (%v)", seed, runErr, r)
+		}
+		if !r.Complete() {
+			t.Fatalf("seed %d: incomplete: %v", seed, r)
+		}
+		if r.Panics > 0 {
+			t.Log(r)
+			if r.Restarts == 0 {
+				t.Fatalf("seed %d: %d worker panics but no respawns", seed, r.Panics)
+			}
+			if r.Values == 0 {
+				t.Fatalf("seed %d: no request succeeded despite respawns", seed)
+			}
+			return
+		}
+	}
+	t.Skip("no kill fired on this machine's sweep rate; contract covered by TestChaosServerPipeline")
+}

@@ -1,11 +1,14 @@
 // Package btree implements an STX-style in-memory B+Tree over 64-bit keys
 // and values. The core structure is unsynchronised, as in the original STX
 // template classes; following the paper's modification, record updates use
-// atomic load/store on leaf slots and structural changes (inserts) take a
-// global lock. Readers validate traversals against a global version lock so
-// the scheme stays within the Go memory model; the paper itself notes this
-// synchronisation is "unfair" (it does not fully protect structure
-// modifications) and serves as an upper bound for the simplest scheme.
+// atomic load/store on leaf slots and structural changes take a global
+// lock. The global lock is a reader-writer spin lock: traversals hold it
+// shared (readers stay parallel, and — unlike the earlier optimistic
+// version-validated scheme, whose plain loads raced in-place writes once
+// pooled sessions let one structure's ops execute on several workers —
+// race-clean under the Go memory model), structural changes hold it
+// exclusive. The paper itself notes this synchronisation is "unfair" (a
+// single global lock) and serves as an upper bound for the simplest scheme.
 package btree
 
 import (
@@ -44,8 +47,10 @@ type Tree struct {
 	root       any // *inner or *leaf; nil when empty
 	height     int // number of inner levels above the leaves
 	count      atomic.Int64
-	structLock syncprims.SpinLock    // the paper's "global lock for inserts"
-	version    syncprims.VersionLock // reader validation of structural changes
+	// structLock is the paper's "global lock": shared for traversals
+	// (Get/Update/Scan and the ExecBatch locate stage), exclusive for
+	// structural changes (Insert/Delete).
+	structLock syncprims.RWSpinLock
 	// maxKey is the largest key ever inserted (never lowered on delete, so
 	// it may be stale-high — which keeps the k > maxKey append fast-path
 	// trigger safe: a strictly greater key is new and belongs at the
@@ -63,11 +68,11 @@ func (t *Tree) Name() string { return "B-Tree" }
 // Scheme implements index.Index.
 func (t *Tree) Scheme() index.Scheme { return index.SchemeAtomicRecord }
 
-// ConcurrentReadSafe reports false: the optimistic read path loads leaf key
-// arrays with plain reads while writers store them in place under the
-// internal version lock — benign within this scheme's own validation, but a
-// data race for a foreign goroutine, so bypass reads must stay delegated
-// (see index.ConcurrentReadSafe).
+// ConcurrentReadSafe reports false: reads hold the structural lock in
+// shared mode, so a foreign bypass reader would contend on the same spin
+// word the delegated sweep's own operations use — the B-Tree stays a
+// delegate-only structure (see index.ConcurrentReadSafe) and keeps the
+// paper's configuration for it.
 func (t *Tree) ConcurrentReadSafe() bool { return false }
 
 // Len implements index.Index.
@@ -115,34 +120,22 @@ func searchKeys(keys []uint64, k uint64) int {
 	return lo
 }
 
-// Get implements index.Index. Reads are optimistic: they snapshot the global
-// version, traverse, and retry if a structural change intervened; the value
-// itself is an atomic load (the paper's record-level atomics).
+// Get implements index.Index: a traversal under the shared structural lock;
+// the value itself is an atomic load (the paper's record-level atomics).
 func (t *Tree) Get(k uint64, st *index.OpStats) (uint64, bool) {
 	if st != nil {
 		st.Ops++
 	}
-	for {
-		v := t.version.ReadBegin()
-		lf := t.findLeaf(k, st)
-		if lf == nil {
-			if t.version.ReadValidate(v) {
-				return 0, false
-			}
-			continue
-		}
-		i := searchRecords(lf, k)
-		var val uint64
-		found := false
-		if i >= 0 {
-			val = lf.values[i].Load()
-			found = true
-		}
-		if t.version.ReadValidate(v) {
-			return val, found
-		}
-		// A concurrent insert moved records; retry the traversal.
+	t.structLock.RLock()
+	defer t.structLock.RUnlock()
+	lf := t.findLeaf(k, st)
+	if lf == nil {
+		return 0, false
 	}
+	if i := searchRecords(lf, k); i >= 0 {
+		return lf.values[i].Load(), true
+	}
+	return 0, false
 }
 
 // searchRecords returns the slot of k in the leaf, or -1.
@@ -163,33 +156,24 @@ func searchRecords(lf *leaf, k uint64) int {
 }
 
 // Update implements index.Index: an in-place atomic store on the record
-// slot, with optimistic validation of the traversal.
+// slot under the shared structural lock (the store is atomic, so shared
+// mode suffices — record slots never move while the lock is held shared).
 func (t *Tree) Update(k, v uint64, st *index.OpStats) bool {
 	if st != nil {
 		st.Ops++
 	}
-	for {
-		ver := t.version.ReadBegin()
-		lf := t.findLeaf(k, st)
-		if lf == nil {
-			if t.version.ReadValidate(ver) {
-				return false
-			}
-			continue
-		}
-		i := searchRecords(lf, k)
-		if i < 0 {
-			if t.version.ReadValidate(ver) {
-				return false
-			}
-			continue
-		}
-		lf.values[i].Store(v)
-		if t.version.ReadValidate(ver) {
-			return true
-		}
-		// The slot may have moved mid-store; redo against the new layout.
+	t.structLock.RLock()
+	defer t.structLock.RUnlock()
+	lf := t.findLeaf(k, st)
+	if lf == nil {
+		return false
 	}
+	i := searchRecords(lf, k)
+	if i < 0 {
+		return false
+	}
+	lf.values[i].Store(v)
+	return true
 }
 
 // Insert implements index.Index under the global structural lock.
@@ -202,12 +186,10 @@ func (t *Tree) Insert(k, v uint64, st *index.OpStats) bool {
 	defer t.structLock.Unlock()
 
 	if t.root == nil {
-		t.version.WriteLock()
 		lf := &leaf{num: 1}
 		lf.keys[0] = k
 		lf.values[0].Store(v)
 		t.root = lf
-		t.version.WriteUnlock()
 		t.maxKey, t.hasMax = k, true
 		t.count.Add(1)
 		st.Visit(1, index.CacheLines(leafBytes))
@@ -220,9 +202,7 @@ func (t *Tree) Insert(k, v uint64, st *index.OpStats) bool {
 	// checkpoint-restore stream, a time-ordered key sequence) builds the
 	// tree with half the node allocations and full occupancy.
 	if t.hasMax && k > t.maxKey {
-		t.version.WriteLock()
 		split := t.appendMax(k, v, st)
-		t.version.WriteUnlock()
 		t.maxKey = k
 		if split && st != nil {
 			st.Splits++
@@ -231,15 +211,12 @@ func (t *Tree) Insert(k, v uint64, st *index.OpStats) bool {
 		return true
 	}
 
-	// Pre-check for duplicates outside the version write-lock.
 	lf := t.findLeaf(k, st)
 	if searchRecords(lf, k) >= 0 {
 		return false
 	}
 
-	t.version.WriteLock()
 	split := t.insertAt(k, v, st)
-	t.version.WriteUnlock()
 	if split && st != nil {
 		st.Splits++
 	}
@@ -436,54 +413,50 @@ func (t *Tree) Delete(k uint64, st *index.OpStats) bool {
 	if i < 0 {
 		return false
 	}
-	t.version.WriteLock()
 	copy(lf.keys[i:lf.num-1], lf.keys[i+1:lf.num])
 	for j := i; j < lf.num-1; j++ {
 		lf.values[j].Store(lf.values[j+1].Load())
 	}
 	lf.num--
-	t.version.WriteUnlock()
 	t.count.Add(-1)
 	return true
 }
 
-// Scan implements index.Ranger via the leaf chain.
+// Scan implements index.Ranger via the leaf chain, under the shared
+// structural lock.
 func (t *Tree) Scan(lo, hi uint64, fn func(k, v uint64) bool, st *index.OpStats) int {
 	if st != nil {
 		st.Ops++
 	}
-	for {
-		ver := t.version.ReadBegin()
-		n := 0
-		lf := t.findLeaf(lo, st)
-		ok := true
-		for lf != nil && ok {
-			for i := 0; i < lf.num; i++ {
-				k := lf.keys[i]
-				if k < lo {
-					continue
-				}
-				if k > hi {
-					ok = false
-					break
-				}
-				n++
-				if !fn(k, lf.values[i].Load()) {
-					ok = false
-					break
-				}
+	t.structLock.RLock()
+	defer t.structLock.RUnlock()
+	n := 0
+	lf := t.findLeaf(lo, st)
+	ok := true
+	for lf != nil && ok {
+		for i := 0; i < lf.num; i++ {
+			k := lf.keys[i]
+			if k < lo {
+				continue
 			}
-			if ok {
-				lf = lf.next
-				if lf != nil {
-					st.Visit(1, index.CacheLines(leafBytes))
-				}
+			if k > hi {
+				ok = false
+				break
+			}
+			n++
+			if !fn(k, lf.values[i].Load()) {
+				ok = false
+				break
 			}
 		}
-		if t.version.ReadValidate(ver) {
-			return n
+		if ok {
+			lf = lf.next
+			if lf != nil {
+				st.Visit(1, index.CacheLines(leafBytes))
+			}
 		}
 	}
+	return n
 }
 
 // batchStride is the interleaved group width of one ExecBatch round; 16
@@ -495,11 +468,14 @@ const batchStride = 16
 // every operation in the group advances one tree level per round, and the
 // child node each will visit next is prefetched before any of them is
 // touched, so the group's per-level cache misses overlap. The locate stage
-// uses plain reads — within the delegation runtime the sweeping worker is
-// the sole mutator and the B-Tree takes no bypass readers
-// (ConcurrentReadSafe is false), so nothing races — and is discarded
-// entirely by the execute stage, which re-runs each operation through the
-// public methods in index order (the serial-equivalence contract).
+// descends under the shared structural lock: with pooled sessions one
+// structure's ops may execute on several workers concurrently, and unlike
+// the other kernels the B-Tree mutates nodes in place (no atomic
+// publication to read optimistically). The lock is uncontended in the
+// single-worker common case, and the descent is discarded entirely by the
+// execute stage, which re-runs each operation through the public methods in
+// index order (the serial-equivalence contract) — another worker mutating
+// between locate and execute only costs prefetch accuracy.
 func (t *Tree) ExecBatch(kinds []uint8, keys, vals, outVals []uint64, outOKs []bool) {
 	var cur [batchStride]any
 	for base := 0; base < len(kinds); base += batchStride {
@@ -507,6 +483,7 @@ func (t *Tree) ExecBatch(kinds []uint8, keys, vals, outVals []uint64, outOKs []b
 		if n > batchStride {
 			n = batchStride
 		}
+		t.structLock.RLock()
 		for i := 0; i < n; i++ {
 			cur[i] = t.root
 		}
@@ -532,6 +509,7 @@ func (t *Tree) ExecBatch(kinds []uint8, keys, vals, outVals []uint64, outOKs []b
 				break
 			}
 		}
+		t.structLock.RUnlock()
 		for i := base; i < base+n; i++ {
 			switch kinds[i] {
 			case index.BatchGet:

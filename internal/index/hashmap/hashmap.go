@@ -26,9 +26,15 @@ import (
 const DefaultBuckets = 1 << 16
 
 type entry struct {
-	key  uint64
-	val  atomic.Uint64
-	next *entry
+	key uint64
+	val atomic.Uint64
+	// next is atomic so ExecBatch's lock-free interleaved walk can chase
+	// chains while another worker's Delete unlinks in place under the
+	// bucket's exclusive lock — with pooled sessions one structure's ops
+	// may execute on several workers concurrently. key is immutable after
+	// publication; relaxed pointer loads cost nothing on the lock-holding
+	// paths.
+	next atomic.Pointer[entry]
 }
 
 const entryBytes = 8 + 8 + 8
@@ -110,7 +116,7 @@ func (m *Map) Get(k uint64, st *index.OpStats) (uint64, bool) {
 	b.lock.RLock()
 	defer b.lock.RUnlock()
 	n := uint64(0)
-	for e := b.head.Load(); e != nil; e = e.next {
+	for e := b.head.Load(); e != nil; e = e.next.Load() {
 		n++
 		if e.key == k {
 			st.Visit(n, n*index.CacheLines(entryBytes))
@@ -131,14 +137,15 @@ func (m *Map) Insert(k, v uint64, st *index.OpStats) bool {
 	b.lock.Lock()
 	defer b.lock.Unlock()
 	n := uint64(0)
-	for e := b.head.Load(); e != nil; e = e.next {
+	for e := b.head.Load(); e != nil; e = e.next.Load() {
 		n++
 		if e.key == k {
 			st.Visit(n, n*index.CacheLines(entryBytes))
 			return false
 		}
 	}
-	e := &entry{key: k, next: b.head.Load()}
+	e := &entry{key: k}
+	e.next.Store(b.head.Load())
 	e.val.Store(v)
 	b.head.Store(e)
 	b.size.Add(1)
@@ -160,7 +167,7 @@ func (m *Map) Update(k, v uint64, st *index.OpStats) bool {
 	b.lock.RLock() // value stores are atomic; shared mode suffices
 	defer b.lock.RUnlock()
 	n := uint64(0)
-	for e := b.head.Load(); e != nil; e = e.next {
+	for e := b.head.Load(); e != nil; e = e.next.Load() {
 		n++
 		if e.key == k {
 			e.val.Store(v)
@@ -184,15 +191,15 @@ func (m *Map) Delete(k uint64, st *index.OpStats) bool {
 	defer b.lock.Unlock()
 	n := uint64(0)
 	var prev *entry
-	for e := b.head.Load(); e != nil; e = e.next {
+	for e := b.head.Load(); e != nil; e = e.next.Load() {
 		n++
 		if e.key == k {
 			// Readers hold the bucket's shared lock, so the exclusive
 			// holder may unlink in place.
 			if prev == nil {
-				b.head.Store(e.next)
+				b.head.Store(e.next.Load())
 			} else {
-				prev.next = e.next
+				prev.next.Store(e.next.Load())
 			}
 			b.size.Add(-1)
 			m.count.Add(-1)
@@ -217,10 +224,11 @@ const batchStride = 16
 // entry per round — each round issuing the prefetch for every cursor's next
 // entry before any cursor dereferences its own — so up to batchStride
 // dependent pointer chases miss the cache concurrently instead of one after
-// another. The walk is read-only and lock-free, which is safe precisely in
-// the delegation context the kernel is specified for: ExecBatch runs on the
-// structure's owning worker, the sole mutator, and concurrent bypass
-// readers never modify chains (see ConcurrentReadSafe). Operations then
+// another. The walk is read-only and lock-free, and race-clean even against
+// concurrent mutators on other workers (with pooled sessions one
+// structure's ops may execute on several workers at once): chain heads and
+// links are atomic pointers, keys are immutable after publication, and a
+// stale or mid-unlink view only mis-prefetches. Operations then
 // execute serially in index order through the normal public methods, which
 // re-read the (now resident) chain under the bucket lock — the optimistic
 // walk is purely a cache warmer, so the serial-equivalence contract holds
@@ -270,7 +278,7 @@ func (m *Map) ExecBatch(kinds []uint8, keys, vals, outVals []uint64, outOKs []bo
 						cur[i] = nil
 						continue
 					}
-					next := e.next
+					next := e.next.Load()
 					cur[i] = next
 					if next != nil {
 						prefetch.Line(unsafe.Pointer(next))

@@ -146,12 +146,11 @@ type Index interface {
 //     region's version-lock validation; inner-node content is COW behind an
 //     atomic pointer and leaf fields are atomic. (Its reads allocate a
 //     transaction descriptor, so it is bypass-safe but not allocation-free.)
-//   - B-Tree (SchemeAtomicRecord): NOT safe. Leaf key arrays are written in
-//     place with plain stores under the structure's internal version lock,
-//     and optimistic readers load them with plain reads — the race is benign
-//     under that scheme's own validation but is still a data race a foreign
-//     reader must not be exposed to, so it reports false and always
-//     delegates.
+//   - B-Tree (SchemeAtomicRecord): reports false. Its reads hold the
+//     global structural lock in shared mode, so they are race-clean — but a
+//     foreign bypass reader would spin on the very word the delegated
+//     sweep's operations contend for, defeating the point of the bypass, so
+//     the structure stays delegate-only (the paper's configuration for it).
 type ConcurrentReadSafe interface {
 	// ConcurrentReadSafe reports whether reads may run concurrently with the
 	// owning domain's writers (under the runtime's validation protocol).
@@ -189,6 +188,11 @@ const (
 //     optimistically (stale pointers are fine — prefetch.Line tolerates any
 //     address) but must not publish anything. All mutation happens in the
 //     in-order execute stage.
+//   - The locate stage must also be race-clean against the structure's own
+//     mutators running on other workers — with pooled sessions one
+//     structure's ops may execute on several workers concurrently. Read
+//     only atomically published pointers and immutable content, or take
+//     the structure's locks for the walk.
 //   - All five slices have equal length; the kernel must accept any length
 //     (callers cap groups at their sweep width, but nothing here assumes it).
 //

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -65,9 +66,17 @@ func (o *Observer) Handler() http.Handler {
 	return mux
 }
 
+// ServeShutdownTimeout bounds how long Serve's closer waits for in-flight
+// requests to drain before forcing connections closed.
+const ServeShutdownTimeout = 5 * time.Second
+
 // Serve starts the endpoint on addr (e.g. ":6060"; ":0" picks a free port).
-// It returns the bound address and a stop function that shuts the listener
-// down. Serving runs on its own goroutine; Serve itself returns immediately.
+// It returns the bound address and a stop function that shuts the server
+// down gracefully: the closer stops the listener and waits (bounded by
+// ServeShutdownTimeout) for in-flight /metrics, /signals and pprof requests
+// to drain before forcing any straggler connections closed — a scrape
+// racing shutdown gets its complete response, not a torn one. Serving runs
+// on its own goroutine; Serve itself returns immediately.
 func (o *Observer) Serve(addr string) (string, func() error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -75,7 +84,17 @@ func (o *Observer) Serve(addr string) (string, func() error, error) {
 	}
 	srv := &http.Server{Handler: o.Handler(), ReadHeaderTimeout: 5 * time.Second}
 	go func() { _ = srv.Serve(ln) }()
-	return ln.Addr().String(), srv.Close, nil
+	closer := func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), ServeShutdownTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			// Drain deadline passed (or the context died): cut whatever is
+			// still open so the closer always terminates the server.
+			return srv.Close()
+		}
+		return nil
+	}
+	return ln.Addr().String(), closer, nil
 }
 
 // writeMetrics renders the Prometheus text exposition: per-domain counters
@@ -213,13 +232,60 @@ func (o *Observer) writeMetrics(w http.ResponseWriter) {
 	fmt.Fprintf(w, "# TYPE robustconf_spans_sampled_total counter\n")
 	fmt.Fprintf(w, "robustconf_spans_sampled_total %d\n", snap.SpansSampled)
 
+	o.writeServerMetrics(w)
 	o.writeSignalGauges(w)
+}
+
+// writeServerMetrics renders the network front end's counters, when one is
+// attached (robustconf_server_*). Nothing is written for library-only runs.
+func (o *Observer) writeServerMetrics(w io.Writer) {
+	st, ok := o.ServerStats()
+	if !ok {
+		return
+	}
+	c := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	g := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	c("robustconf_server_connections_accepted_total", "Network connections accepted by the front end.", st.ConnsAccepted)
+	g("robustconf_server_connections_active", "Currently open network connections.", st.ConnsActive)
+	c("robustconf_server_ops_total", "KV/control operations decoded and answered.", st.Ops)
+	c("robustconf_server_batches_total", "Pipelined request batches executed (one delegation burst each).", st.Batches)
+	c("robustconf_server_quota_rejects_total", "Batches answered BUSY by per-tenant quota checks.", st.QuotaRejects)
+	c("robustconf_server_busy_rejects_total", "Batches answered BUSY after the session-pool acquire deadline.", st.BusyRejects)
+	c("robustconf_server_pool_waits_total", "Batches that blocked waiting for a pooled session.", st.PoolWaits)
+	c("robustconf_server_proto_errors_total", "Connections dropped on malformed frames.", st.ProtoErrors)
+	c("robustconf_server_write_timeouts_total", "Connections dropped on slow-reader write stalls.", st.WriteTimeouts)
+	c("robustconf_server_bytes_read_total", "Request bytes read from the network.", st.BytesRead)
+	c("robustconf_server_bytes_written_total", "Response bytes written to the network.", st.BytesWritten)
+	g("robustconf_server_pipeline_depth_max", "Largest single-batch op count observed.", st.PipelineMax)
+	g("robustconf_server_sessions", "Pooled delegation sessions the connections multiplex onto.", st.Sessions)
+	draining := int64(0)
+	if st.Draining {
+		draining = 1
+	}
+	g("robustconf_server_draining", "1 while the front end is draining for shutdown.", draining)
 }
 
 // writeSignalGauges renders the sampler's windowed signals as Prometheus
 // gauges (one scrape-time family per signal, labelled by domain, plus the
 // numeric health state). Nothing is written when no sampler runs.
 func (o *Observer) writeSignalGauges(w io.Writer) {
+	// The server block is independent of domain signals: a front end can be
+	// the only signal source (no domains registered yet, or a pure proxy).
+	if s := o.Sampler(); s != nil {
+		if srv, ok := s.ServerSignals(); ok {
+			sg := func(name, help string, v float64) {
+				fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+			}
+			sg("robustconf_signal_server_ops_per_sec", "Windowed front-end operations per second.", srv.OpsRate.Value)
+			sg("robustconf_signal_server_batches_per_sec", "Windowed front-end delegation bursts per second.", srv.BatchRate.Value)
+			sg("robustconf_signal_server_pipeline_depth", "Windowed ops per batch (realised pipeline depth).", srv.PipelineDepth)
+			sg("robustconf_signal_server_reject_rate", "Windowed BUSY replies per second.", srv.RejectRate.Value)
+		}
+	}
 	sigs := o.Signals()
 	if len(sigs) == 0 {
 		return
@@ -270,6 +336,7 @@ func (o *Observer) writeSignalsJSON(w io.Writer) {
 		SamplerRunning bool                   `json:"sampler_running"`
 		CadenceSeconds float64                `json:"cadence_seconds,omitempty"`
 		Domains        []signal.DomainSignals `json:"domains"`
+		Server         *ServerSignals         `json:"server,omitempty"`
 	}
 	p := payload{Domains: []signal.DomainSignals{}}
 	if s := o.Sampler(); s != nil {
@@ -278,6 +345,9 @@ func (o *Observer) writeSignalsJSON(w io.Writer) {
 			p.CadenceSeconds = s.every.Seconds()
 		}
 		p.Domains = s.Signals()
+		if srv, ok := s.ServerSignals(); ok {
+			p.Server = &srv
+		}
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

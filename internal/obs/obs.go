@@ -86,6 +86,51 @@ type Observer struct {
 	domains []*DomainObs
 	faults  *metrics.FaultCounters
 	sampler *Sampler
+	server  func() ServerStats // nil until a network front end attaches
+}
+
+// ServerStats is the network front end's counter snapshot (internal/server
+// installs a provider via SetServerStats). Everything is cumulative except
+// the gauges called out below; the obs layer exports them on /metrics as
+// robustconf_server_* and the signal sampler derives windowed rates from
+// them for /signals.
+type ServerStats struct {
+	ConnsAccepted uint64
+	ConnsActive   int64 // gauge
+	Ops           uint64
+	Batches       uint64
+	QuotaRejects  uint64 // BUSY replies from per-tenant quota checks
+	BusyRejects   uint64 // BUSY replies from session-pool acquire timeouts
+	PoolWaits     uint64 // batches that blocked waiting for a session
+	ProtoErrors   uint64 // connections dropped on malformed frames
+	WriteTimeouts uint64 // connections dropped on slow-reader write stalls
+	BytesRead     uint64
+	BytesWritten  uint64
+	PipelineMax   int64 // gauge: largest single-batch op count observed
+	Sessions      int64 // gauge: pooled session count
+	Draining      bool
+}
+
+// SetServerStats installs (or, with nil, removes) the snapshot-time
+// provider for network front-end counters. Scrapes and sampler ticks call
+// the provider from their own goroutines; it must be safe for concurrent
+// use and should not block.
+func (o *Observer) SetServerStats(fn func() ServerStats) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.server = fn
+}
+
+// ServerStats returns the latest front-end counter snapshot and whether a
+// provider is attached.
+func (o *Observer) ServerStats() (ServerStats, bool) {
+	o.mu.Lock()
+	fn := o.server
+	o.mu.Unlock()
+	if fn == nil {
+		return ServerStats{}, false
+	}
+	return fn(), true
 }
 
 // New builds an Observer.

@@ -66,6 +66,33 @@ type Sampler struct {
 	ticks   uint64
 	lastAt  time.Time
 	stream  *json.Encoder
+
+	// Network front-end signals (zero-valued until a server attaches a
+	// stats provider via Observer.SetServerStats).
+	srvPrev     ServerStats
+	srvHavePrev bool
+	srvOps      signal.Series
+	srvBatches  signal.Series
+	srvRejects  signal.Series
+	srvSig      ServerSignals
+	srvHave     bool
+}
+
+// ServerSignals is the windowed view of the network front end's counters,
+// derived on the same tick cadence as the per-domain signals: operation and
+// batch rates with EWMA + slope, the realised pipeline depth (windowed
+// ops/batch — the batching amplification the server actually achieved),
+// and the BUSY rejection rate across quota and pool-acquire checks.
+type ServerSignals struct {
+	AtUnixNs      int64   `json:"at_unix_ns"`
+	WindowSeconds float64 `json:"window_seconds"`
+
+	OpsRate       signal.Signal `json:"ops_rate"`        // ops/s
+	BatchRate     signal.Signal `json:"batch_rate"`      // delegation bursts/s
+	RejectRate    signal.Signal `json:"reject_rate"`     // BUSY replies/s
+	PipelineDepth float64       `json:"pipeline_depth"`  // windowed ops/batch
+	ConnsActive   float64       `json:"conns_active"`    // gauge
+	Draining      bool          `json:"draining"`
 }
 
 // domainSignalState is the sampler's per-domain-name memory: the previous
@@ -274,11 +301,56 @@ func (s *Sampler) tick(now time.Time) {
 		st.prev = st.cur
 	}
 
+	s.tickServerLocked(dt, tSec, nowUnix)
+
 	if s.stream != nil {
 		for i := range s.out {
 			_ = s.stream.Encode(&s.out[i])
 		}
 	}
+}
+
+// tickServerLocked folds the front end's cumulative counters (when a
+// provider is attached) into windowed rates, mirroring deriveLocked for
+// the pseudo-domain that is the server itself.
+func (s *Sampler) tickServerLocked(dt, tSec float64, nowUnix int64) {
+	cur, ok := s.o.ServerStats()
+	if !ok {
+		s.srvHave = false
+		return
+	}
+	if !s.srvHavePrev || dt <= 0 {
+		s.srvPrev = cur
+		s.srvHavePrev = true
+		return
+	}
+	opsD := subU(cur.Ops, s.srvPrev.Ops)
+	batchesD := subU(cur.Batches, s.srvPrev.Batches)
+	rejectsD := subU(cur.QuotaRejects+cur.BusyRejects, s.srvPrev.QuotaRejects+s.srvPrev.BusyRejects)
+	a := s.alpha
+	sig := &s.srvSig
+	sig.AtUnixNs = nowUnix
+	sig.WindowSeconds = dt
+	sig.OpsRate = s.srvOps.Observe(tSec, float64(opsD)/dt, a)
+	sig.BatchRate = s.srvBatches.Observe(tSec, float64(batchesD)/dt, a)
+	sig.RejectRate = s.srvRejects.Observe(tSec, float64(rejectsD)/dt, a)
+	sig.PipelineDepth = 0
+	if batchesD > 0 {
+		sig.PipelineDepth = float64(opsD) / float64(batchesD)
+	}
+	sig.ConnsActive = float64(cur.ConnsActive)
+	sig.Draining = cur.Draining
+	s.srvHave = true
+	s.srvPrev = cur
+}
+
+// ServerSignals returns the latest windowed front-end signals and whether
+// any have been derived (false when no server is attached, or before the
+// first measured window).
+func (s *Sampler) ServerSignals() (ServerSignals, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.srvSig, s.srvHave
 }
 
 // deriveLocked computes one domain's window deltas and signals, classifies

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"robustconf/internal/obs/signal"
+)
+
+// TestServeStopDrainsInFlightRequests is the regression test for the
+// Serve closer: it must call http.Server.Shutdown (graceful, bounded by
+// ServeShutdownTimeout) rather than only closing the listener, so a
+// request in flight when an operator stops the endpoint completes instead
+// of dying mid-response. The pprof profile endpoint is the probe — its
+// handler blocks for the requested duration, guaranteeing the stop call
+// races an active request.
+func TestServeStopDrainsInFlightRequests(t *testing.T) {
+	o := New(Options{})
+	addr, stop, err := o.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	type result struct {
+		status int
+		body   int
+		err    error
+	}
+	done := make(chan result, 1)
+	go func() {
+		resp, err := http.Get(fmt.Sprintf("http://%s/debug/pprof/profile?seconds=1", addr))
+		if err != nil {
+			done <- result{err: err}
+			return
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		done <- result{status: resp.StatusCode, body: len(body), err: err}
+	}()
+	// Let the profile request reach its handler, then stop the server
+	// while the handler is still blocking.
+	time.Sleep(200 * time.Millisecond)
+	t0 := time.Now()
+	if err := stop(); err != nil {
+		t.Fatalf("stop during in-flight request: %v", err)
+	}
+	if d := time.Since(t0); d > ServeShutdownTimeout+time.Second {
+		t.Fatalf("stop took %v, want < shutdown timeout %v + slack", d, ServeShutdownTimeout)
+	}
+	select {
+	case r := <-done:
+		if r.err != nil {
+			t.Fatalf("in-flight request killed by stop: %v", r.err)
+		}
+		if r.status != http.StatusOK || r.body == 0 {
+			t.Fatalf("in-flight request got status %d, %d body bytes; want 200 with a profile", r.status, r.body)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("in-flight request never completed")
+	}
+	// And the listener really is down.
+	if _, err := http.Get(fmt.Sprintf("http://%s/metrics", addr)); err == nil {
+		t.Fatal("listener still accepting after stop")
+	}
+}
+
+// TestServerStatsMetricsAndSignals covers the front-end observability
+// wiring end to end: an installed ServerStats provider must surface as
+// robustconf_server_* metrics, feed the sampler's windowed rates, and ride
+// the /signals payload and signal gauges.
+func TestServerStatsMetricsAndSignals(t *testing.T) {
+	o := New(Options{})
+	st := ServerStats{
+		ConnsAccepted: 3, ConnsActive: 2, Ops: 1000, Batches: 100,
+		QuotaRejects: 4, BusyRejects: 6, PipelineMax: 64, Sessions: 2,
+	}
+	o.SetServerStats(func() ServerStats { return st })
+
+	got, ok := o.ServerStats()
+	if !ok || got.Ops != 1000 {
+		t.Fatalf("ServerStats() = %+v, %v; want installed snapshot", got, ok)
+	}
+
+	addr, stop, err := o.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	fetch := func(path string) string {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	metrics := fetch("/metrics")
+	for _, want := range []string{
+		"robustconf_server_ops_total 1000",
+		"robustconf_server_batches_total 100",
+		"robustconf_server_connections_active 2",
+		"robustconf_server_pipeline_depth_max 64",
+		"robustconf_server_sessions 2",
+		"robustconf_server_draining 0",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// Two manual ticks with advancing counters give the sampler a window.
+	s := o.StartSampler(SamplerOptions{Every: -1, Thresholds: signal.Thresholds{}})
+	defer s.Stop()
+	s.TickNow()
+	st.Ops += 500
+	st.Batches += 10
+	st.BusyRejects += 5
+	time.Sleep(10 * time.Millisecond)
+	s.TickNow()
+
+	sig, ok := s.ServerSignals()
+	if !ok {
+		t.Fatal("no server signals after two ticks with a provider installed")
+	}
+	if sig.OpsRate.Value <= 0 {
+		t.Errorf("ops rate %v, want > 0", sig.OpsRate.Value)
+	}
+	if want := 50.0; sig.PipelineDepth != want {
+		t.Errorf("pipeline depth %v, want %v (500 ops / 10 batches)", sig.PipelineDepth, want)
+	}
+	if sig.RejectRate.Value <= 0 {
+		t.Errorf("reject rate %v, want > 0", sig.RejectRate.Value)
+	}
+
+	signals := fetch("/signals")
+	if !strings.Contains(signals, `"server"`) || !strings.Contains(signals, `"ops_rate"`) {
+		t.Errorf("/signals missing server block: %s", signals)
+	}
+	metrics = fetch("/metrics")
+	if !strings.Contains(metrics, "robustconf_signal_server_ops_per_sec") {
+		t.Error("/metrics missing robustconf_signal_server_ops_per_sec gauge")
+	}
+
+	// Uninstalling the provider clears the signal on the next tick.
+	o.SetServerStats(nil)
+	s.TickNow()
+	if _, ok := s.ServerSignals(); ok {
+		t.Error("server signals survive a removed provider")
+	}
+}

@@ -1,0 +1,302 @@
+// Package proto defines the wire protocol between the robustconf network
+// front end (internal/server) and its clients (the robustconf/client
+// package, the network mode of robustycsb). It is deliberately tiny: a
+// length-prefixed binary framing with fixed little-endian operand layouts,
+// so both sides encode and decode with zero allocations from reused
+// buffers, and a batch of pipelined requests decodes into exactly the typed
+// key/value operands the delegation runtime's slot-embedded KV path wants
+// (delegation.KVGet et al.) — no intermediate representation, no copies.
+//
+// # Framing
+//
+// Every message — request or response — is one frame:
+//
+//	[u32 len][payload…]            len = payload length, little-endian
+//
+// Frames never span a response to a different request: request k's reply is
+// the k-th response frame on the connection (strict FIFO), which is what
+// makes pipelining free — a client writes any number of request frames
+// without waiting and pairs replies by order, no request ids on the wire.
+//
+// # Requests
+//
+// The payload's first byte is the op code; operands follow, little-endian:
+//
+//	GET    [op][u64 key]                     → value lookup
+//	PUT    [op][u64 key][u64 val]            → upsert
+//	DELETE [op][u64 key]                     → removal
+//	SCAN   [op][u64 start][u32 limit]        → range scan (stub: UNSUPPORTED)
+//	PING   [op]                              → liveness/RTT probe
+//	STATS  [op]                              → server counter snapshot (text)
+//	HELLO  [op][u16 n][n tenant bytes]       → names the connection's tenant
+//
+// # Responses
+//
+// The payload's first byte is the status; operands follow:
+//
+//	OK          [st]            PUT/DELETE/PING/HELLO acknowledgement
+//	OK          [st][u64 val]   GET hit (the only OK with an operand)
+//	NOTFOUND    [st]            GET/DELETE miss
+//	BUSY        [st]            admission control: quota exceeded or no
+//	                            pooled session within the deadline — retry
+//	ERR         [st][u16 n][n message bytes]   typed execution error
+//	                            (worker crash PanicError, domain dead, …)
+//	UNSUPPORTED [st]            recognised op the server does not serve (SCAN)
+//	STATS       OK with [u16 n][n text bytes] — counter snapshot
+package proto
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Op codes. The zero value is invalid so a torn or misframed payload can
+// never alias a real request.
+const (
+	OpGet uint8 = 1 + iota
+	OpPut
+	OpDelete
+	OpScan
+	OpPing
+	OpStats
+	OpHello
+)
+
+// Response status codes. Like ops, zero is invalid.
+const (
+	StatusOK uint8 = 1 + iota
+	StatusNotFound
+	StatusBusy
+	StatusErr
+	StatusUnsupported
+)
+
+// MaxFrame bounds one frame's payload. Requests are tiny (≤ 1+8+8 bytes for
+// KV ops, ≤ 1+2+255 for HELLO) and responses are bounded by the STATS text;
+// anything larger is a framing error and the connection is cut rather than
+// buffered — the bound is what keeps a malicious or corrupt length prefix
+// from ballooning server memory.
+const MaxFrame = 64 << 10
+
+// MaxTenant bounds the HELLO tenant name.
+const MaxTenant = 255
+
+// HeaderLen is the frame header size (the u32 length prefix).
+const HeaderLen = 4
+
+// Request is one decoded request: the op code and its operands. Key/Val are
+// meaningful for the KV ops only (Val doubles as the scan limit operand's
+// start key; Limit carries the SCAN limit). Tenant aliases into the decode
+// buffer for HELLO — copy it before the buffer is reused.
+type Request struct {
+	Op     uint8
+	Key    uint64
+	Val    uint64
+	Limit  uint32
+	Tenant []byte
+}
+
+// ErrFrame reports a malformed frame (bad length, bad op, truncated
+// operands). Connections that produce one are dropped: the stream has lost
+// sync and every later byte is suspect.
+type ErrFrame struct{ Reason string }
+
+func (e ErrFrame) Error() string { return "proto: " + e.Reason }
+
+// AppendRequest encodes one request frame onto dst and returns the extended
+// slice. It never fails: op-specific operands beyond the layout above are
+// simply not written.
+func AppendRequest(dst []byte, r Request) []byte {
+	var payload int
+	switch r.Op {
+	case OpGet, OpDelete:
+		payload = 1 + 8
+	case OpPut:
+		payload = 1 + 8 + 8
+	case OpScan:
+		payload = 1 + 8 + 4
+	case OpPing, OpStats:
+		payload = 1
+	case OpHello:
+		payload = 1 + 2 + len(r.Tenant)
+	default:
+		payload = 1
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(payload))
+	dst = append(dst, r.Op)
+	switch r.Op {
+	case OpGet, OpDelete:
+		dst = binary.LittleEndian.AppendUint64(dst, r.Key)
+	case OpPut:
+		dst = binary.LittleEndian.AppendUint64(dst, r.Key)
+		dst = binary.LittleEndian.AppendUint64(dst, r.Val)
+	case OpScan:
+		dst = binary.LittleEndian.AppendUint64(dst, r.Key)
+		dst = binary.LittleEndian.AppendUint32(dst, r.Limit)
+	case OpHello:
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(r.Tenant)))
+		dst = append(dst, r.Tenant...)
+	}
+	return dst
+}
+
+// DecodeRequest decodes one request from a complete frame payload (the
+// bytes after the length prefix) into req. The payload must be exactly one
+// request; trailing bytes are a framing error.
+func DecodeRequest(payload []byte, req *Request) error {
+	if len(payload) < 1 {
+		return ErrFrame{"empty request payload"}
+	}
+	op := payload[0]
+	body := payload[1:]
+	req.Op = op
+	req.Tenant = nil
+	switch op {
+	case OpGet, OpDelete:
+		if len(body) != 8 {
+			return ErrFrame{fmt.Sprintf("op %d wants 8 operand bytes, got %d", op, len(body))}
+		}
+		req.Key = binary.LittleEndian.Uint64(body)
+	case OpPut:
+		if len(body) != 16 {
+			return ErrFrame{fmt.Sprintf("PUT wants 16 operand bytes, got %d", len(body))}
+		}
+		req.Key = binary.LittleEndian.Uint64(body)
+		req.Val = binary.LittleEndian.Uint64(body[8:])
+	case OpScan:
+		if len(body) != 12 {
+			return ErrFrame{fmt.Sprintf("SCAN wants 12 operand bytes, got %d", len(body))}
+		}
+		req.Key = binary.LittleEndian.Uint64(body)
+		req.Limit = binary.LittleEndian.Uint32(body[8:])
+	case OpPing, OpStats:
+		if len(body) != 0 {
+			return ErrFrame{fmt.Sprintf("op %d carries no operands, got %d bytes", op, len(body))}
+		}
+	case OpHello:
+		if len(body) < 2 {
+			return ErrFrame{"HELLO missing tenant length"}
+		}
+		n := int(binary.LittleEndian.Uint16(body))
+		if n > MaxTenant || len(body) != 2+n {
+			return ErrFrame{fmt.Sprintf("HELLO tenant length %d vs %d payload bytes", n, len(body)-2)}
+		}
+		req.Tenant = body[2 : 2+n]
+	default:
+		return ErrFrame{fmt.Sprintf("unknown op %d", op)}
+	}
+	return nil
+}
+
+// AppendOK appends a bare OK response frame.
+func AppendOK(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, 1)
+	return append(dst, StatusOK)
+}
+
+// AppendValue appends a GET-hit response frame carrying the value.
+func AppendValue(dst []byte, val uint64) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, 1+8)
+	dst = append(dst, StatusOK)
+	return binary.LittleEndian.AppendUint64(dst, val)
+}
+
+// AppendStatus appends a bare status frame (NOTFOUND, BUSY, UNSUPPORTED).
+func AppendStatus(dst []byte, status uint8) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, 1)
+	return append(dst, status)
+}
+
+// AppendError appends an ERR response frame with the given message,
+// truncated to fit MaxFrame.
+func AppendError(dst []byte, msg string) []byte {
+	if len(msg) > MaxFrame-8 {
+		msg = msg[:MaxFrame-8]
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(1+2+len(msg)))
+	dst = append(dst, StatusErr)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(msg)))
+	return append(dst, msg...)
+}
+
+// AppendText appends an OK response frame carrying a text payload (STATS).
+func AppendText(dst []byte, text []byte) []byte {
+	if len(text) > MaxFrame-8 {
+		text = text[:MaxFrame-8]
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(1+2+len(text)))
+	dst = append(dst, StatusOK)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(text)))
+	return append(dst, text...)
+}
+
+// Response is one decoded response.
+type Response struct {
+	Status uint8
+	Val    uint64 // GET hit value
+	HasVal bool
+	Msg    []byte // ERR message or STATS text; aliases the decode buffer
+}
+
+// DecodeResponse decodes one response from a complete frame payload.
+func DecodeResponse(payload []byte, resp *Response) error {
+	if len(payload) < 1 {
+		return ErrFrame{"empty response payload"}
+	}
+	st := payload[0]
+	body := payload[1:]
+	resp.Status = st
+	resp.Val, resp.HasVal, resp.Msg = 0, false, nil
+	switch st {
+	case StatusOK:
+		switch len(body) {
+		case 0:
+		case 8:
+			resp.Val = binary.LittleEndian.Uint64(body)
+			resp.HasVal = true
+		default:
+			if len(body) < 2 {
+				return ErrFrame{fmt.Sprintf("OK with %d operand bytes", len(body))}
+			}
+			n := int(binary.LittleEndian.Uint16(body))
+			if len(body) != 2+n {
+				return ErrFrame{fmt.Sprintf("OK text length %d vs %d payload bytes", n, len(body)-2)}
+			}
+			resp.Msg = body[2 : 2+n]
+		}
+	case StatusNotFound, StatusBusy, StatusUnsupported:
+		if len(body) != 0 {
+			return ErrFrame{fmt.Sprintf("status %d carries no operands, got %d bytes", st, len(body))}
+		}
+	case StatusErr:
+		if len(body) < 2 {
+			return ErrFrame{"ERR missing message length"}
+		}
+		n := int(binary.LittleEndian.Uint16(body))
+		if len(body) != 2+n {
+			return ErrFrame{fmt.Sprintf("ERR message length %d vs %d payload bytes", n, len(body)-2)}
+		}
+		resp.Msg = body[2 : 2+n]
+	default:
+		return ErrFrame{fmt.Sprintf("unknown status %d", st)}
+	}
+	return nil
+}
+
+// Frame inspects buf for one complete frame. It returns the payload slice
+// (aliasing buf), the total encoded size consumed (header + payload), and
+// whether a complete frame was present. A length prefix beyond MaxFrame
+// returns an ErrFrame — the caller must drop the connection.
+func Frame(buf []byte) (payload []byte, size int, ok bool, err error) {
+	if len(buf) < HeaderLen {
+		return nil, 0, false, nil
+	}
+	n := binary.LittleEndian.Uint32(buf)
+	if n == 0 || n > MaxFrame {
+		return nil, 0, false, ErrFrame{fmt.Sprintf("frame length %d outside (0,%d]", n, MaxFrame)}
+	}
+	if len(buf) < HeaderLen+int(n) {
+		return nil, 0, false, nil
+	}
+	return buf[HeaderLen : HeaderLen+int(n)], HeaderLen + int(n), true, nil
+}

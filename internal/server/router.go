@@ -1,0 +1,126 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+)
+
+// Router maps keys to the structure shard that owns them with a consistent
+// hash ring, read lock-free on the per-request hot path. The table is
+// copy-on-write in the style of the Memento lock-free balancer (SNIPPETS.md
+// #1): Lookup does one atomic pointer load of an immutable ring, and
+// Rebuild — which only runs on a re-plan, never per request — publishes a
+// whole new ring with a single store. Consistency matters less for
+// correctness here than for cache locality (any key→shard map would serve
+// reads), but a consistent ring keeps most keys on their shard across a
+// re-plan, so a routing change does not invalidate every domain's working
+// set at once.
+type Router struct {
+	table atomic.Pointer[routeTable]
+}
+
+// vnodesPerShard is the ring replication factor. 64 virtual nodes per shard
+// keeps the max/mean shard load imbalance in the few-percent range for
+// small shard counts without making the binary search noticeably deeper.
+const vnodesPerShard = 64
+
+// routeTable is one immutable published ring.
+type routeTable struct {
+	// hashes is the sorted ring; shard[i] names the owner of arc i.
+	hashes []uint64
+	shard  []string
+	names  []string // the distinct shard names, registration order
+}
+
+// NewRouter builds a router over the given shard (structure) names.
+func NewRouter(shards []string) (*Router, error) {
+	r := &Router{}
+	if err := r.Rebuild(shards); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Rebuild replaces the routing table with a ring over the given shards.
+// Runs off the hot path (startup, re-plan); readers racing it see either
+// the old or the new complete ring, never a partial one.
+func (r *Router) Rebuild(shards []string) error {
+	if len(shards) == 0 {
+		return fmt.Errorf("server: router needs at least one shard")
+	}
+	t := &routeTable{
+		hashes: make([]uint64, 0, len(shards)*vnodesPerShard),
+		names:  append([]string(nil), shards...),
+	}
+	type vnode struct {
+		h    uint64
+		name string
+	}
+	vs := make([]vnode, 0, len(shards)*vnodesPerShard)
+	for _, name := range shards {
+		h := hashString(name)
+		for v := 0; v < vnodesPerShard; v++ {
+			h = mix64(h + uint64(v)*0x9e3779b97f4a7c15)
+			vs = append(vs, vnode{h, name})
+		}
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i].h < vs[j].h })
+	t.shard = make([]string, len(vs))
+	for i, v := range vs {
+		t.hashes = append(t.hashes, v.h)
+		t.shard[i] = v.name
+	}
+	r.table.Store(t)
+	return nil
+}
+
+// Lookup returns the shard owning the key: one atomic load, one hash, one
+// binary search over the immutable ring. No locks, no allocation.
+func (r *Router) Lookup(key uint64) string {
+	t := r.table.Load()
+	if len(t.names) == 1 {
+		// Single-shard deployments skip the hash and search entirely —
+		// every key has only one possible owner.
+		return t.names[0]
+	}
+	h := mix64(key)
+	// Successor on the ring (wrap to 0 past the last vnode).
+	lo, hi := 0, len(t.hashes)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if t.hashes[mid] < h {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(t.hashes) {
+		lo = 0
+	}
+	return t.shard[lo]
+}
+
+// Shards returns the distinct shard names the current table routes over.
+func (r *Router) Shards() []string {
+	return append([]string(nil), r.table.Load().names...)
+}
+
+// mix64 is the splitmix64 finalizer: a cheap, well-distributed 64-bit
+// mixer, the same family the workload generator's ScatterKey uses.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hashString is FNV-1a over the shard name, seeding its vnode sequence.
+func hashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,141 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestRouterDeterministicAndTotal pins that Lookup is a pure function of
+// the shard set: two routers over the same names agree on every key (this
+// is what lets robustserved preload keys into the shards the server will
+// later route them to), and every key lands on a registered shard.
+func TestRouterDeterministicAndTotal(t *testing.T) {
+	names := []string{"shard0", "shard1", "shard2", "shard3"}
+	a, err := NewRouter(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRouter(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid := map[string]bool{}
+	for _, n := range names {
+		valid[n] = true
+	}
+	for k := uint64(0); k < 10_000; k++ {
+		sa, sb := a.Lookup(k), b.Lookup(k)
+		if sa != sb {
+			t.Fatalf("key %d: router disagreement %q vs %q", k, sa, sb)
+		}
+		if !valid[sa] {
+			t.Fatalf("key %d routed to unregistered shard %q", k, sa)
+		}
+	}
+}
+
+// TestRouterBalance checks the ring spreads keys within a reasonable
+// imbalance for the vnode count (64/shard keeps max/mean under ~1.4).
+func TestRouterBalance(t *testing.T) {
+	names := []string{"s0", "s1", "s2", "s3"}
+	r, err := NewRouter(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const n = 100_000
+	for k := uint64(0); k < n; k++ {
+		counts[r.Lookup(k)]++
+	}
+	mean := float64(n) / float64(len(names))
+	for name, c := range counts {
+		if ratio := float64(c) / mean; ratio > 1.5 || ratio < 0.5 {
+			t.Errorf("shard %s holds %d keys (%.2f× mean) — ring too skewed", name, c, ratio)
+		}
+	}
+}
+
+// TestRouterRebuildStability pins the consistent-hashing property the COW
+// table exists for: growing the shard set moves only the keys the new
+// shard takes — keys that stay route identically before and after.
+func TestRouterRebuildStability(t *testing.T) {
+	r, err := NewRouter([]string{"s0", "s1", "s2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := make([]string, 20_000)
+	for k := range before {
+		before[k] = r.Lookup(uint64(k))
+	}
+	if err := r.Rebuild([]string{"s0", "s1", "s2", "s3"}); err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for k := range before {
+		after := r.Lookup(uint64(k))
+		if after != before[k] {
+			if after != "s3" {
+				t.Fatalf("key %d moved %s→%s, not to the new shard", k, before[k], after)
+			}
+			moved++
+		}
+	}
+	// The new shard should take roughly 1/4 of the space; far more means
+	// the ring reshuffled wholesale, defeating consistent hashing.
+	if frac := float64(moved) / float64(len(before)); frac > 0.45 || frac == 0 {
+		t.Errorf("rebuild moved %.0f%% of keys, want ~25%%", frac*100)
+	}
+}
+
+// TestRouterConcurrentRebuild races lookups against rebuilds: every lookup
+// must return a shard from either the old or the new complete table (run
+// under -race this also proves the COW publication is sound).
+func TestRouterConcurrentRebuild(t *testing.T) {
+	r, err := NewRouter([]string{"a0", "a1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for k := uint64(0); ; k++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := r.Lookup(k)
+				if len(s) < 2 || (s[0] != 'a' && s[0] != 'b') {
+					t.Errorf("lookup saw torn shard name %q", s)
+					return
+				}
+			}
+		}(g)
+	}
+	for i := 0; i < 200; i++ {
+		gen := []string{fmt.Sprintf("a%d", i%3), fmt.Sprintf("b%d", i%5)}
+		if err := r.Rebuild(gen); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestRouterLookupAllocFree pins the per-request routing cost.
+func TestRouterLookupAllocFree(t *testing.T) {
+	r, err := NewRouter([]string{"s0", "s1", "s2", "s3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		_ = r.Lookup(12345)
+	})
+	if allocs != 0 {
+		t.Fatalf("Lookup allocates %.1f per call", allocs)
+	}
+}

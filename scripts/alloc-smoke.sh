@@ -60,3 +60,26 @@ if [ "$ALLOCS" -gt "$MAX_TPCC_ALLOCS" ]; then
 	exit 1
 fi
 echo "alloc-smoke: $BENCH within the arena budget ($ALLOCS allocs/op <= $MAX_TPCC_ALLOCS)"
+
+# Network front-end gate: the loopback pipelined benchmark at depth 64 —
+# frame decode → SubmitKV → encode reply, client and server both in
+# steady state — must stay at 0 allocs/op (DESIGN.md §16). 2000x windows
+# amortise dial/session warm-up out of the per-op figure.
+BENCH='BenchmarkServerPipelined/depth=64'
+OUT="$(go test -run NONE -bench "$BENCH\$" -benchtime 2000x -benchmem .)"
+echo "$OUT"
+LINE=$(echo "$OUT" | awk '$1 ~ "^BenchmarkServerPipelined/depth=64(-[0-9]+)?$" { print }')
+if [ -z "$LINE" ]; then
+	echo "alloc-smoke: $BENCH produced no output" >&2
+	exit 1
+fi
+ALLOCS=$(echo "$LINE" | awk '{ for (i = 2; i <= NF; i++) if ($i == "allocs/op") print $(i-1) }')
+if [ -z "$ALLOCS" ]; then
+	echo "alloc-smoke: $BENCH produced no allocs/op figure" >&2
+	exit 1
+fi
+if [ "$ALLOCS" != "0" ]; then
+	echo "alloc-smoke: $BENCH reports $ALLOCS allocs/op, want 0" >&2
+	exit 1
+fi
+echo "alloc-smoke: $BENCH is allocation-free in steady state"
